@@ -1,0 +1,91 @@
+//! ML substrate microbenchmarks: SVM training/inference and the RL policy's
+//! forward/backward passes — the computations behind MobiRescue's
+//! sub-second dispatch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mobirescue_rl::nn::Mlp;
+use mobirescue_rl::qscore::{PairTransition, QScore, QScoreConfig};
+use mobirescue_svm::{train, Kernel, SmoConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn synthetic_classification(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = if i % 2 == 0 { 1.0 } else { -1.0 };
+        let center = label * 1.5;
+        xs.push(vec![
+            center + rng.random_range(-1.0..1.0),
+            center + rng.random_range(-1.0..1.0),
+            rng.random_range(-1.0..1.0),
+        ]);
+        ys.push(label);
+    }
+    (xs, ys)
+}
+
+fn bench_svm_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svm_smo_train");
+    group.sample_size(10);
+    for &n in &[100usize, 400] {
+        let (xs, ys) = synthetic_classification(n, 3);
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| {
+                black_box(train(
+                    &xs,
+                    &ys,
+                    Kernel::Rbf { gamma: 0.5 },
+                    &SmoConfig::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_svm_predict(c: &mut Criterion) {
+    let (xs, ys) = synthetic_classification(400, 5);
+    let model = train(&xs, &ys, Kernel::Rbf { gamma: 0.5 }, &SmoConfig::default());
+    c.bench_function("svm_predict", |b| {
+        b.iter(|| black_box(model.predict(&[0.3, -0.2, 0.8])))
+    });
+}
+
+fn bench_mlp(c: &mut Criterion) {
+    let mlp = Mlp::new(&[6, 32, 32, 1], 1);
+    let x = [0.1, 0.5, -0.3, 0.9, 0.0, 1.0];
+    c.bench_function("mlp_forward_6_32_32_1", |b| b.iter(|| black_box(mlp.predict(&x))));
+    let mut trainable = mlp.clone();
+    c.bench_function("mlp_forward_backward", |b| {
+        b.iter(|| {
+            let cache = trainable.forward(&x);
+            let err = cache.output()[0] - 1.0;
+            trainable.backward(&cache, &[err]);
+        })
+    });
+}
+
+fn bench_qscore_learn(c: &mut Criterion) {
+    let mut q = QScore::new(QScoreConfig::new(6));
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..1_000 {
+        q.store(PairTransition {
+            features: (0..6).map(|_| rng.random::<f64>()).collect(),
+            reward: rng.random::<f64>(),
+            next_candidates: (0..16)
+                .map(|_| (0..6).map(|_| rng.random::<f64>()).collect())
+                .collect(),
+        });
+    }
+    c.bench_function("qscore_learn_step_batch32", |b| b.iter(|| black_box(q.learn_step())));
+    // Scoring 65 zone candidates — one team's decision in the dispatcher.
+    let candidates: Vec<Vec<f64>> =
+        (0..65).map(|_| (0..6).map(|_| rng.random::<f64>()).collect()).collect();
+    c.bench_function("qscore_best_of_65", |b| b.iter(|| black_box(q.best(&candidates))));
+}
+
+criterion_group!(benches, bench_svm_train, bench_svm_predict, bench_mlp, bench_qscore_learn);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Dataset-pipeline benchmarks (the Section-III analysis stages): routing,
+//! map matching, cleaning, trip inference and flow measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mobirescue_core::scenario::ScenarioConfig;
+use mobirescue_mobility::cleaning::{clean, CleaningConfig};
+use mobirescue_mobility::flow::FlowField;
+use mobirescue_mobility::map_match::MapMatcher;
+use mobirescue_mobility::trips::{extract_trips, DEFAULT_TRIP_THRESHOLD_M};
+use mobirescue_roadnet::generator::CityConfig;
+use mobirescue_roadnet::graph::LandmarkId;
+use mobirescue_roadnet::routing::{FreeFlow, Router};
+use std::hint::black_box;
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let city = CityConfig::charlotte_like().build(3);
+    let router = Router::new(&city.network);
+    let n = city.network.num_landmarks() as u32;
+    c.bench_function("dijkstra_charlotte_single_path", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i * 7 + 13) % n;
+            black_box(router.shortest_path(&FreeFlow, city.depot, LandmarkId(i)))
+        })
+    });
+    c.bench_function("dijkstra_charlotte_full_tree", |b| {
+        b.iter(|| black_box(router.shortest_paths_from(&FreeFlow, city.depot)))
+    });
+}
+
+fn bench_map_matching(c: &mut Criterion) {
+    let city = CityConfig::charlotte_like().build(4);
+    let matcher = MapMatcher::new(&city.network);
+    let p = city.center.offset_m(3_333.0, -2_222.0);
+    c.bench_function("map_match_nearest_landmark", |b| {
+        b.iter(|| black_box(matcher.nearest_landmark(&city.network, p)))
+    });
+    c.bench_function("map_match_nearest_segment", |b| {
+        b.iter(|| black_box(matcher.nearest_segment(&city.network, p)))
+    });
+}
+
+fn bench_analysis_stages(c: &mut Criterion) {
+    let scenario = ScenarioConfig::small().florence().build(5);
+    let bounds = scenario.city.network.bounding_box().unwrap().expanded_m(2_000.0);
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+    group.bench_function("clean_170k_pings", |b| {
+        b.iter(|| {
+            black_box(clean(
+                &scenario.generated.dataset.pings,
+                &CleaningConfig::for_bounds(bounds),
+            ))
+        })
+    });
+    let matcher = MapMatcher::new(&scenario.city.network);
+    group.bench_function("extract_trips", |b| {
+        b.iter(|| {
+            black_box(extract_trips(
+                &scenario.generated.dataset,
+                &scenario.city.network,
+                &matcher,
+                DEFAULT_TRIP_THRESHOLD_M,
+            ))
+        })
+    });
+    let trips = extract_trips(
+        &scenario.generated.dataset,
+        &scenario.city.network,
+        &matcher,
+        DEFAULT_TRIP_THRESHOLD_M,
+    );
+    group.bench_function("flow_from_trips", |b| {
+        b.iter(|| {
+            black_box(FlowField::from_trips(
+                &scenario.city.network,
+                &trips,
+                &scenario.conditions,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dijkstra, bench_map_matching, bench_analysis_stages);
+criterion_main!(benches);

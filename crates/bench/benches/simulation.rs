@@ -1,0 +1,47 @@
+//! Simulation-engine throughput: how fast the SUMO-replacement simulates a
+//! rescue day.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mobirescue_core::scenario::ScenarioConfig;
+use mobirescue_roadnet::graph::SegmentId;
+use mobirescue_sim::dispatcher::NearestRequestDispatcher;
+use mobirescue_sim::types::{RequestSpec, SimConfig};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let scenario = ScenarioConfig::small().florence().build(6);
+    let n_segments = scenario.city.network.num_segments() as u32;
+    let requests: Vec<RequestSpec> = (0..30)
+        .map(|i| RequestSpec { appear_s: i * 200, segment: SegmentId((i * 41) % n_segments) })
+        .collect();
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("four_hours_six_teams", |b| {
+        b.iter(|| {
+            black_box(mobirescue_sim::run(
+                &scenario.city,
+                &scenario.conditions,
+                &requests,
+                &mut NearestRequestDispatcher,
+                &SimConfig::small(24),
+            ))
+        })
+    });
+    let mut paper_hour = SimConfig::paper(24);
+    paper_hour.duration_hours = 1;
+    group.bench_function("one_hour_hundred_teams", |b| {
+        b.iter(|| {
+            black_box(mobirescue_sim::run(
+                &scenario.city,
+                &scenario.conditions,
+                &requests,
+                &mut NearestRequestDispatcher,
+                &paper_hour,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

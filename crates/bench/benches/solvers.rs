@@ -1,0 +1,58 @@
+//! Solver microbenchmarks: the Hungarian assignment both baselines run
+//! every period, and the generic branch-and-bound covering IP whose
+//! exponential worst case motivates the paper's "integer programming is
+//! slow" premise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mobirescue_solver::bnb::CoverProblem;
+use mobirescue_solver::hungarian::{min_cost_assignment, CostMatrix};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for &n in &[25usize, 50, 100] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cost = CostMatrix::from_fn(n, n, |_, _| rng.random_range(0.0..1_000.0));
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| black_box(min_cost_assignment(&cost)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rectangular_hungarian(c: &mut Criterion) {
+    // Teams × (requests + predicted slots): the Rescue baseline's shape.
+    let mut rng = StdRng::seed_from_u64(9);
+    let cost = CostMatrix::from_fn(100, 200, |_, _| rng.random_range(0.0..1_000.0));
+    c.bench_function("hungarian_100x200", |b| {
+        b.iter(|| black_box(min_cost_assignment(&cost)))
+    });
+}
+
+fn bench_branch_and_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bnb_cover");
+    group.sample_size(10);
+    for &n in &[12usize, 18] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let problem = CoverProblem {
+            costs: (0..n).map(|_| rng.random_range(1.0..10.0)).collect(),
+            constraints: (0..n / 3)
+                .map(|_| {
+                    (
+                        (0..n).map(|_| rng.random_range(0.0..2.0)).collect(),
+                        rng.random_range(1.0..3.0),
+                    )
+                })
+                .collect(),
+        };
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| black_box(problem.solve()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hungarian, bench_rectangular_hungarian, bench_branch_and_bound);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p mobirescue-bench --release --bin figures -- [--scale small|medium|paper]
+//!     [--seed N] [--exp all|analysis|comparison|table1|fig2..fig16|summary]
+//! ```
+
+use mobirescue_bench::{ExperimentScale, FigureContext};
+
+fn main() {
+    let mut scale = ExperimentScale::Medium;
+    let mut seed = 42u64;
+    let mut exp = "all".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = ExperimentScale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?} (small|medium|paper)");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--exp" => exp = args.next().unwrap_or_default(),
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [--scale small|medium|paper] [--seed N] \
+                     [--exp all|analysis|comparison|<id>]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let ids: Vec<&str> = match exp.as_str() {
+        "all" => FigureContext::analysis_ids()
+            .iter()
+            .chain(FigureContext::comparison_ids())
+            .copied()
+            .collect(),
+        "analysis" => FigureContext::analysis_ids().to_vec(),
+        "comparison" => FigureContext::comparison_ids().to_vec(),
+        id => vec![id],
+    };
+    let needs_comparison =
+        ids.iter().any(|id| FigureContext::comparison_ids().contains(id));
+
+    eprintln!("building context (scale {scale:?}, seed {seed}) ...");
+    let start = std::time::Instant::now();
+    let ctx = if needs_comparison {
+        FigureContext::build_full(scale, seed)
+    } else {
+        FigureContext::analysis_only(scale, seed)
+    };
+    eprintln!("context ready in {:.1?}", start.elapsed());
+
+    for id in ids {
+        match ctx.run(id) {
+            Some(text) => println!("{text}"),
+            None => {
+                eprintln!("unknown experiment id {id:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Renders the scenario map (streets, flood, hospitals, rescue requests) to
+//! an SVG file.
+//!
+//! ```text
+//! cargo run -p mobirescue-bench --release --bin render_map -- \
+//!     [--scale small|medium|paper] [--seed N] [--hour H|peak] [--out map.svg]
+//! ```
+
+use mobirescue_bench::svgmap::{render_map, MapStyle};
+use mobirescue_bench::ExperimentScale;
+use mobirescue_core::predictor::mine_rescues;
+use mobirescue_core::scenario::ScenarioConfig;
+
+fn main() {
+    let mut scale = ExperimentScale::Small;
+    let mut seed = 42u64;
+    let mut hour_arg = "peak".to_owned();
+    let mut out = "map.svg".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .as_deref()
+                    .and_then(ExperimentScale::parse)
+                    .unwrap_or(ExperimentScale::Small)
+            }
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(42),
+            "--hour" => hour_arg = args.next().unwrap_or_default(),
+            "--out" => out = args.next().unwrap_or(out),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let base = match scale {
+        ExperimentScale::Small => ScenarioConfig::small(),
+        ExperimentScale::Medium => ScenarioConfig::medium(),
+        ExperimentScale::Paper => ScenarioConfig::charlotte_like(),
+    };
+    eprintln!("building scenario ...");
+    let scenario = base.florence().build(seed);
+    let hour = if hour_arg == "peak" {
+        scenario.hurricane().timeline.peak_hour() + 18
+    } else {
+        hour_arg.parse().unwrap_or(0)
+    };
+    // Mark the day's rescue requests.
+    let rescues = mine_rescues(&scenario);
+    let markers: Vec<_> = rescues
+        .iter()
+        .filter(|r| r.request_day() == hour / 24)
+        .map(|r| r.request_position)
+        .collect();
+    let svg = render_map(&scenario, hour, &markers, &MapStyle::default());
+    std::fs::write(&out, svg).expect("writing the SVG file");
+    eprintln!("wrote {out} (hour {hour}, {} request markers)", markers.len());
+}

@@ -1,0 +1,204 @@
+//! Dependency-free SVG rendering of the city, its flood state and rescue
+//! activity — the visual counterpart of the paper's Figures 1 and 4.
+
+use mobirescue_core::scenario::Scenario;
+use mobirescue_roadnet::geo::GeoPoint;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapStyle {
+    /// Output width in pixels (height follows the bounding-box aspect).
+    pub width_px: f64,
+    /// Stroke width for residential streets.
+    pub street_px: f64,
+    /// Draw the flood raster under the streets.
+    pub show_flood: bool,
+    /// Draw hospitals and the depot.
+    pub show_facilities: bool,
+}
+
+impl Default for MapStyle {
+    fn default() -> Self {
+        Self { width_px: 900.0, street_px: 1.0, show_flood: true, show_facilities: true }
+    }
+}
+
+/// Renders the scenario at `hour` as an SVG document. `markers` are extra
+/// highlighted positions (e.g. the hour's rescue requests).
+pub fn render_map(
+    scenario: &Scenario,
+    hour: u32,
+    markers: &[GeoPoint],
+    style: &MapStyle,
+) -> String {
+    let net = &scenario.city.network;
+    let bbox = net.bounding_box().expect("city network is non-empty").expanded_m(300.0);
+    let (width_m, height_m) = bbox.north_east.local_xy_m(bbox.south_west);
+    let scale = style.width_px / width_m;
+    let height_px = height_m * scale;
+    let project = |p: GeoPoint| -> (f64, f64) {
+        let (e, n) = p.local_xy_m(bbox.south_west);
+        (e * scale, height_px - n * scale) // SVG y grows downward
+    };
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"##,
+        style.width_px, height_px, style.width_px, height_px
+    );
+    let _ = writeln!(svg, r##"<rect width="100%" height="100%" fill="#fcfbf7"/>"##);
+
+    // Flood raster as translucent cells.
+    if style.show_flood {
+        let cells = 40usize;
+        let cell_w = style.width_px / cells as f64;
+        let cell_h = height_px / cells as f64;
+        for r in 0..cells {
+            for c in 0..cells {
+                let east = (c as f64 + 0.5) / cells as f64 * width_m;
+                let north = (1.0 - (r as f64 + 0.5) / cells as f64) * height_m;
+                let p = bbox.south_west.offset_m(east, north);
+                let depth = scenario.disaster.flood().depth_m(p, hour);
+                if depth > 0.05 {
+                    let alpha = (depth / 0.8).clamp(0.08, 0.75);
+                    let _ = writeln!(
+                        svg,
+                        r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="#3b82c4" fill-opacity="{alpha:.2}"/>"##,
+                        c as f64 * cell_w,
+                        r as f64 * cell_h,
+                        cell_w + 0.5,
+                        cell_h + 0.5,
+                    );
+                }
+            }
+        }
+    }
+
+    // Streets, colored by class; flooded (inoperable) segments in red.
+    let condition = scenario.disaster.network_condition(net, hour);
+    for seg in net.segments() {
+        // Draw each two-way pair once.
+        if seg.from.0 > seg.to.0 {
+            continue;
+        }
+        let (x1, y1) = project(net.landmark(seg.from).position);
+        let (x2, y2) = project(net.landmark(seg.to).position);
+        let (color, width) = if !condition.is_operable(seg.id) {
+            ("#d64541", style.street_px * 1.3)
+        } else {
+            match seg.class {
+                mobirescue_roadnet::graph::RoadClass::Motorway => {
+                    ("#7a6df0", style.street_px * 2.4)
+                }
+                mobirescue_roadnet::graph::RoadClass::Arterial => {
+                    ("#9a9a9a", style.street_px * 1.6)
+                }
+                mobirescue_roadnet::graph::RoadClass::Residential => {
+                    ("#c9c4b8", style.street_px)
+                }
+            }
+        };
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{color}" stroke-width="{width:.1}"/>"##
+        );
+    }
+
+    // Facilities.
+    if style.show_facilities {
+        for &h in &scenario.city.hospitals {
+            let (x, y) = project(net.landmark(h).position);
+            let _ = writeln!(
+                svg,
+                r##"<circle cx="{x:.1}" cy="{y:.1}" r="5" fill="#ffffff" stroke="#c2303a" stroke-width="2.5"/>"##
+            );
+        }
+        let (x, y) = project(net.landmark(scenario.city.depot).position);
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{:.1}" y="{:.1}" width="10" height="10" fill="#2d2a26"/>"##,
+            x - 5.0,
+            y - 5.0
+        );
+    }
+
+    // Extra markers (rescue requests).
+    for &m in markers {
+        let (x, y) = project(m);
+        let _ = writeln!(
+            svg,
+            r##"<circle cx="{x:.1}" cy="{y:.1}" r="3.5" fill="#e8a33d" stroke="#2d2a26" stroke-width="0.8"/>"##
+        );
+    }
+
+    let label = format!(
+        "{} — {} h{:02}",
+        scenario.hurricane().name,
+        scenario.hurricane().day_label(hour / 24),
+        hour % 24
+    );
+    let _ = writeln!(
+        svg,
+        r##"<text x="12" y="22" font-family="sans-serif" font-size="15" fill="#2d2a26">{label}</text>"##
+    );
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobirescue_core::scenario::ScenarioConfig;
+
+    fn scenario() -> Scenario {
+        ScenarioConfig::small().florence().build(33)
+    }
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let s = scenario();
+        let svg = render_map(&s, 24, &[], &MapStyle::default());
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One line per two-way pair.
+        let lines = svg.matches("<line ").count();
+        assert_eq!(lines, s.city.network.num_segments() / 2);
+        // Hospitals + depot drawn.
+        assert_eq!(svg.matches("<circle ").count(), s.city.hospitals.len());
+        assert!(svg.contains("Florence"));
+    }
+
+    #[test]
+    fn flood_appears_only_during_the_disaster() {
+        let s = scenario();
+        let calm = render_map(&s, 24, &[], &MapStyle::default());
+        let peak = s.hurricane().timeline.peak_hour() + 24;
+        let flooded = render_map(&s, peak, &[], &MapStyle::default());
+        let water = |svg: &str| svg.matches("fill=\"#3b82c4\"").count();
+        assert_eq!(water(&calm), 0, "water rendered on a dry day");
+        assert!(water(&flooded) > 10, "no water at the flood peak");
+        // Inoperable streets show up red.
+        assert!(flooded.contains("#d64541"));
+        assert!(!calm.contains("#d64541"));
+    }
+
+    #[test]
+    fn markers_are_drawn_on_top() {
+        let s = scenario();
+        let markers = vec![s.city.center, s.city.center.offset_m(1_000.0, 500.0)];
+        let svg = render_map(&s, 24, &markers, &MapStyle::default());
+        assert_eq!(svg.matches("#e8a33d").count(), markers.len());
+    }
+
+    #[test]
+    fn style_flags_disable_layers() {
+        let s = scenario();
+        let style = MapStyle { show_flood: false, show_facilities: false, ..Default::default() };
+        let peak = s.hurricane().timeline.peak_hour();
+        let svg = render_map(&s, peak, &[], &style);
+        assert_eq!(svg.matches("fill=\"#3b82c4\"").count(), 0);
+        assert_eq!(svg.matches("<circle ").count(), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Smoke tests: every experiment id renders non-empty output at small
+//! scale, and the analysis-only context covers exactly the Section-III
+//! experiments.
+
+use mobirescue_bench::{ExperimentScale, FigureContext};
+
+#[test]
+fn analysis_experiments_render() {
+    let ctx = FigureContext::analysis_only(ExperimentScale::Small, 5);
+    for id in FigureContext::analysis_ids() {
+        let out = ctx.run(id).unwrap_or_else(|| panic!("unknown id {id}"));
+        assert!(out.len() > 40, "{id} output too small:\n{out}");
+        assert!(out.contains("=="), "{id} missing heading");
+    }
+    assert!(ctx.comparison().is_none());
+    assert_eq!(ctx.scale(), ExperimentScale::Small);
+    assert_eq!(ctx.seed(), 5);
+}
+
+#[test]
+fn unknown_experiment_id_is_none() {
+    let ctx = FigureContext::analysis_only(ExperimentScale::Small, 6);
+    assert!(ctx.run("fig99").is_none());
+    assert!(ctx.run("").is_none());
+}
+
+#[test]
+#[should_panic(expected = "needs a full context")]
+fn comparison_figures_need_full_context() {
+    let ctx = FigureContext::analysis_only(ExperimentScale::Small, 7);
+    let _ = ctx.run("fig9");
+}
+
+/// The full-context path is exercised end-to-end (slow: trains the models).
+#[test]
+fn comparison_experiments_render() {
+    let ctx = FigureContext::build_full(ExperimentScale::Small, 8);
+    for id in FigureContext::comparison_ids() {
+        let out = ctx.run(id).unwrap_or_else(|| panic!("unknown id {id}"));
+        assert!(out.len() > 40, "{id} output too small:\n{out}");
+    }
+    let summary = ctx.run("summary").expect("summary renders");
+    assert!(summary.contains("timely served"));
+}

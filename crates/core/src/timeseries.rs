@@ -1,0 +1,155 @@
+//! Time-series request prediction — the *Rescue* baseline's predictor.
+//!
+//! Per the paper (Section V-A), *Rescue* \[8\] "predicts the rescue request
+//! demand at the current hour by using the weighted average request demand
+//! at this hour in several previous days", without looking at any
+//! disaster-related factor — which is exactly why its accuracy trails the
+//! SVM (Figures 15–16).
+
+use mobirescue_mobility::map_match::MapMatcher;
+use mobirescue_mobility::rescue::RescueRecord;
+use mobirescue_roadnet::graph::{RoadNetwork, SegmentId};
+
+/// Weighted same-hour historical average demand per segment.
+#[derive(Debug, Clone)]
+pub struct TimeSeriesPredictor {
+    /// Predicted demand per `[segment][hour_of_day]`.
+    demand: Vec<[f64; 24]>,
+    lookback_days: u32,
+}
+
+impl TimeSeriesPredictor {
+    /// Fits the predictor for `target_day` from the historical requests of
+    /// the `lookback_days` preceding days, with geometrically decaying
+    /// weights (most recent day heaviest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookback_days == 0` or exceeds `target_day`.
+    pub fn fit(
+        net: &RoadNetwork,
+        matcher: &MapMatcher,
+        history: &[RescueRecord],
+        target_day: u32,
+        lookback_days: u32,
+    ) -> Self {
+        assert!(lookback_days > 0, "need at least one day of history");
+        assert!(lookback_days <= target_day, "lookback reaches before day 0");
+        let mut demand = vec![[0.0; 24]; net.num_segments()];
+        // Weights 1, 1/2, 1/4, ... normalized.
+        let weights: Vec<f64> = (0..lookback_days).map(|i| 0.5_f64.powi(i as i32)).collect();
+        let norm: f64 = weights.iter().sum();
+        for r in history {
+            let day = r.request_day();
+            if day >= target_day || day + lookback_days < target_day {
+                continue;
+            }
+            let back = target_day - day; // 1..=lookback
+            let w = weights[(back - 1) as usize] / norm;
+            let seg = matcher.nearest_segment(net, r.request_position);
+            let hour = ((r.request_minute / 60) % 24) as usize;
+            demand[seg.index()][hour] += w;
+        }
+        Self { demand, lookback_days }
+    }
+
+    /// Days of history used.
+    pub fn lookback_days(&self) -> u32 {
+        self.lookback_days
+    }
+
+    /// Predicted demand on `segment` at `hour_of_day`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour_of_day >= 24` or the segment is out of range.
+    pub fn predicted_demand(&self, segment: SegmentId, hour_of_day: u32) -> f64 {
+        assert!(hour_of_day < 24, "hour of day out of range");
+        self.demand[segment.index()][hour_of_day as usize]
+    }
+
+    /// Per-segment predicted demand vector at `hour_of_day`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour_of_day >= 24`.
+    pub fn per_segment_at(&self, hour_of_day: u32) -> Vec<f64> {
+        assert!(hour_of_day < 24, "hour of day out of range");
+        self.demand.iter().map(|h| h[hour_of_day as usize]).collect()
+    }
+
+    /// Person-level classification proxy for Figures 15–16: a person is
+    /// predicted to need rescue when their segment's predicted demand at
+    /// that hour is at least `threshold`.
+    pub fn predict_person(
+        &self,
+        segment: SegmentId,
+        hour_of_day: u32,
+        threshold: f64,
+    ) -> bool {
+        self.predicted_demand(segment, hour_of_day) >= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobirescue_mobility::person::PersonId;
+    use mobirescue_roadnet::generator::CityConfig;
+
+    fn record(day: u32, hour: u32, pos: mobirescue_roadnet::geo::GeoPoint) -> RescueRecord {
+        RescueRecord {
+            person: PersonId(0),
+            request_minute: day * 1440 + hour * 60,
+            request_position: pos,
+            arrival_minute: day * 1440 + hour * 60 + 120,
+            hospital_index: 0,
+        }
+    }
+
+    #[test]
+    fn recent_days_weigh_more() {
+        let city = CityConfig::small().build(2);
+        let matcher = MapMatcher::new(&city.network);
+        let p = city.center;
+        let seg = matcher.nearest_segment(&city.network, p);
+        // One request at hour 10 yesterday, one two days ago at hour 11.
+        let history = vec![record(14, 10, p), record(13, 11, p)];
+        let ts = TimeSeriesPredictor::fit(&city.network, &matcher, &history, 15, 3);
+        assert!(ts.predicted_demand(seg, 10) > ts.predicted_demand(seg, 11));
+        assert_eq!(ts.predicted_demand(seg, 5), 0.0);
+        assert_eq!(ts.lookback_days(), 3);
+    }
+
+    #[test]
+    fn ignores_days_outside_the_window() {
+        let city = CityConfig::small().build(3);
+        let matcher = MapMatcher::new(&city.network);
+        let p = city.center;
+        let seg = matcher.nearest_segment(&city.network, p);
+        let history = vec![record(5, 10, p), record(15, 10, p)];
+        let ts = TimeSeriesPredictor::fit(&city.network, &matcher, &history, 15, 2);
+        // Day 5 is too old; day 15 is the target itself (excluded).
+        assert_eq!(ts.predicted_demand(seg, 10), 0.0);
+    }
+
+    #[test]
+    fn person_classification_thresholds_demand() {
+        let city = CityConfig::small().build(4);
+        let matcher = MapMatcher::new(&city.network);
+        let p = city.center;
+        let seg = matcher.nearest_segment(&city.network, p);
+        let history = vec![record(14, 9, p), record(14, 9, p)];
+        let ts = TimeSeriesPredictor::fit(&city.network, &matcher, &history, 15, 1);
+        assert!(ts.predict_person(seg, 9, 0.5));
+        assert!(!ts.predict_person(seg, 10, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "before day 0")]
+    fn excessive_lookback_rejected() {
+        let city = CityConfig::small().build(5);
+        let matcher = MapMatcher::new(&city.network);
+        let _ = TimeSeriesPredictor::fit(&city.network, &matcher, &[], 2, 5);
+    }
+}

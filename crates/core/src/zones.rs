@@ -1,0 +1,194 @@
+//! Dispatch zones: the RL action-space factorization.
+//!
+//! The paper's action is "which road segment each rescue team should drive
+//! to" over the whole edge set — intractable verbatim for a small DQN and
+//! unspecified in the paper. Following standard fleet-dispatch practice
+//! (documented in DESIGN.md), the network is aggregated into a `k × k` grid
+//! of zones; the policy picks a zone per team, and within a zone the team is
+//! routed to the segment with the highest predicted demand.
+
+use mobirescue_roadnet::generator::City;
+use mobirescue_roadnet::graph::{LandmarkId, SegmentId};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a dispatch zone.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ZoneId(pub u16);
+
+impl ZoneId {
+    /// Index into zone storage.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A `k × k` spatial aggregation of the road network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZoneMap {
+    k: usize,
+    zone_of_landmark: Vec<ZoneId>,
+    zone_of_segment: Vec<ZoneId>,
+    /// A central landmark per zone (for distance features); `None` for
+    /// zones containing no landmark.
+    anchors: Vec<Option<LandmarkId>>,
+    /// Segments per zone.
+    segments: Vec<Vec<SegmentId>>,
+}
+
+impl ZoneMap {
+    /// Builds a `k × k` zone grid over the city's bounding box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the city network is empty.
+    pub fn new(city: &City, k: usize) -> Self {
+        assert!(k > 0, "zone grid must be non-empty");
+        let bbox = city.network.bounding_box().expect("city network must be non-empty");
+        let origin = bbox.south_west;
+        let (width_m, height_m) = bbox.north_east.local_xy_m(origin);
+        let zone_of = |p: mobirescue_roadnet::geo::GeoPoint| -> ZoneId {
+            let (x, y) = p.local_xy_m(origin);
+            let c = ((x / width_m * k as f64) as isize).clamp(0, k as isize - 1) as usize;
+            let r = ((y / height_m * k as f64) as isize).clamp(0, k as isize - 1) as usize;
+            ZoneId((r * k + c) as u16)
+        };
+        let zone_of_landmark: Vec<ZoneId> =
+            city.network.landmarks().map(|lm| zone_of(lm.position)).collect();
+        let zone_of_segment: Vec<ZoneId> = city
+            .network
+            .segments()
+            .map(|seg| zone_of_landmark[seg.from.index()])
+            .collect();
+        let mut segments = vec![Vec::new(); k * k];
+        for (i, z) in zone_of_segment.iter().enumerate() {
+            segments[z.index()].push(SegmentId(i as u32));
+        }
+        // Anchor: the landmark closest to each zone's landmark centroid.
+        let mut anchors = vec![None; k * k];
+        #[allow(clippy::needless_range_loop)]
+        for z in 0..k * k {
+            let members: Vec<LandmarkId> = zone_of_landmark
+                .iter()
+                .enumerate()
+                .filter(|(_, zz)| zz.index() == z)
+                .map(|(i, _)| LandmarkId(i as u32))
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let (mut cx, mut cy) = (0.0, 0.0);
+            for &lm in &members {
+                let (x, y) = city.network.landmark(lm).position.local_xy_m(origin);
+                cx += x / members.len() as f64;
+                cy += y / members.len() as f64;
+            }
+            anchors[z] = members
+                .into_iter()
+                .min_by(|&a, &b| {
+                    let da = dist2(city, a, origin, cx, cy);
+                    let db = dist2(city, b, origin, cx, cy);
+                    da.partial_cmp(&db).expect("distances are never NaN")
+                });
+        }
+        Self { k, zone_of_landmark, zone_of_segment, anchors, segments }
+    }
+
+    /// Number of zones (`k²`).
+    pub fn num_zones(&self) -> usize {
+        self.k * self.k
+    }
+
+    /// Grid side length `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Zone of a landmark.
+    pub fn of_landmark(&self, lm: LandmarkId) -> ZoneId {
+        self.zone_of_landmark[lm.index()]
+    }
+
+    /// Zone of a segment.
+    pub fn of_segment(&self, seg: SegmentId) -> ZoneId {
+        self.zone_of_segment[seg.index()]
+    }
+
+    /// The zone's central landmark, if it contains any.
+    pub fn anchor(&self, zone: ZoneId) -> Option<LandmarkId> {
+        self.anchors[zone.index()]
+    }
+
+    /// Segments belonging to a zone.
+    pub fn segments_in(&self, zone: ZoneId) -> &[SegmentId] {
+        &self.segments[zone.index()]
+    }
+
+    /// Aggregates a per-segment demand map into per-zone totals.
+    pub fn aggregate_demand(&self, per_segment: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_zones()];
+        for (i, &d) in per_segment.iter().enumerate() {
+            out[self.zone_of_segment[i].index()] += d;
+        }
+        out
+    }
+}
+
+fn dist2(
+    city: &City,
+    lm: LandmarkId,
+    origin: mobirescue_roadnet::geo::GeoPoint,
+    cx: f64,
+    cy: f64,
+) -> f64 {
+    let (x, y) = city.network.landmark(lm).position.local_xy_m(origin);
+    (x - cx) * (x - cx) + (y - cy) * (y - cy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobirescue_roadnet::generator::CityConfig;
+
+    #[test]
+    fn zones_partition_the_network() {
+        let city = CityConfig::small().build(4);
+        let zones = ZoneMap::new(&city, 4);
+        assert_eq!(zones.num_zones(), 16);
+        let total: usize = (0..16).map(|z| zones.segments_in(ZoneId(z)).len()).sum();
+        assert_eq!(total, city.network.num_segments());
+        for seg in city.network.segments() {
+            let z = zones.of_segment(seg.id);
+            assert!(zones.segments_in(z).contains(&seg.id));
+        }
+    }
+
+    #[test]
+    fn anchors_lie_in_their_zone() {
+        let city = CityConfig::small().build(5);
+        let zones = ZoneMap::new(&city, 3);
+        for z in 0..zones.num_zones() {
+            if let Some(anchor) = zones.anchor(ZoneId(z as u16)) {
+                assert_eq!(zones.of_landmark(anchor).index(), z);
+            }
+        }
+    }
+
+    #[test]
+    fn demand_aggregation_sums_per_zone() {
+        let city = CityConfig::small().build(6);
+        let zones = ZoneMap::new(&city, 2);
+        let per_segment = vec![1.0; city.network.num_segments()];
+        let agg = zones.aggregate_demand(&per_segment);
+        assert_eq!(agg.iter().sum::<f64>(), city.network.num_segments() as f64);
+        assert_eq!(agg.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_k_rejected() {
+        let city = CityConfig::small().build(7);
+        let _ = ZoneMap::new(&city, 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Cross-crate persistence: a predictor trained on one process must
+//! produce identical dispatch inputs after a text round-trip, and a trained
+//! policy network must round-trip through the rl persistence format.
+
+use mobirescue_core::predictor::{PredictorConfig, RequestPredictor};
+use mobirescue_core::scenario::ScenarioConfig;
+use mobirescue_mobility::map_match::MapMatcher;
+use mobirescue_rl::persist::{mlp_from_text, mlp_to_text};
+use mobirescue_rl::nn::Mlp;
+
+#[test]
+fn predictor_round_trip_preserves_the_demand_distribution() {
+    let michael = ScenarioConfig::small().michael().build(42);
+    let florence = ScenarioConfig::small().florence().build(42);
+    let predictor = RequestPredictor::train_on(&michael, &PredictorConfig::default());
+
+    let revived =
+        RequestPredictor::from_text(&predictor.to_text()).expect("round trip parses");
+
+    let matcher = MapMatcher::new(&florence.city.network);
+    let tl = florence.hurricane().timeline;
+    for hour in [(tl.disaster_start_day + 1) * 24, tl.peak_hour(), tl.peak_hour() + 6] {
+        let a = predictor.predict_distribution(&florence, &matcher, hour);
+        let b = revived.predict_distribution(&florence, &matcher, hour);
+        assert_eq!(a, b, "distribution diverged at hour {hour}");
+    }
+}
+
+#[test]
+fn policy_network_text_round_trip_is_exact() {
+    // Shape matches the dispatcher's scoring network.
+    let mut net = Mlp::new(&[6, 32, 32, 1], 42);
+    net.visit_params_mut(|i, w, _| *w *= 1.0 + (i % 7) as f64 * 1e-3);
+    let revived = mlp_from_text(&mlp_to_text(&net)).expect("round trip parses");
+    for probe in [
+        [0.0, 0.0, 0.0, 0.0, 0.0, 1.0],
+        [0.2, 0.9, 0.4, 0.5, 0.2, 0.0],
+        [1.0, 0.0, 0.0, 0.3, 1.0, 0.0],
+    ] {
+        assert_eq!(net.predict(&probe), revived.predict(&probe));
+    }
+}

@@ -1,0 +1,155 @@
+//! Terrain altitude model.
+//!
+//! Altitude is one of the paper's three hurricane *disaster-related factors*
+//! (Table I: correlation +0.739 with vehicle flow rate — higher ground is
+//! less impacted). The paper reads altitude from cellphone altimeters; here a
+//! smooth deterministic field stands in: a gently rolling plateau around
+//! Charlotte's ~230 m elevation with a low-lying basin under the downtown
+//! core, so the dense central region floods hardest (the paper's "Region 3").
+
+use mobirescue_roadnet::geo::GeoPoint;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Smooth altitude field over the city, in meters above sea level.
+///
+/// # Examples
+///
+/// ```
+/// use mobirescue_disaster::terrain::TerrainModel;
+/// use mobirescue_roadnet::geo::GeoPoint;
+///
+/// let center = GeoPoint::new(35.2271, -80.8431);
+/// let terrain = TerrainModel::new(center, 42);
+/// let alt = terrain.altitude_m(center);
+/// assert!(alt > 100.0 && alt < 300.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TerrainModel {
+    origin: GeoPoint,
+    base_m: f64,
+    basin_depth_m: f64,
+    basin_sigma_m: f64,
+    /// (amplitude_m, wavelength_m_x, wavelength_m_y, phase_x, phase_y) waves.
+    waves: Vec<(f64, f64, f64, f64, f64)>,
+}
+
+impl TerrainModel {
+    /// Creates a terrain around `origin`, deterministic in `seed`.
+    pub fn new(origin: GeoPoint, seed: u64) -> Self {
+        Self::with_params(origin, seed, 232.0, 45.0, 3_500.0)
+    }
+
+    /// Creates a terrain with explicit base altitude, basin depth and basin
+    /// radius (all meters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basin_sigma_m` is not positive.
+    pub fn with_params(
+        origin: GeoPoint,
+        seed: u64,
+        base_m: f64,
+        basin_depth_m: f64,
+        basin_sigma_m: f64,
+    ) -> Self {
+        assert!(basin_sigma_m > 0.0, "basin radius must be positive");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7465_7272_6169_6e00);
+        let mut waves = Vec::new();
+        for i in 0..4 {
+            let amp = 12.0 / (1.0 + i as f64);
+            let wl = rng.random_range(4_000.0..16_000.0);
+            let wl2 = rng.random_range(4_000.0..16_000.0);
+            let ph = rng.random_range(0.0..std::f64::consts::TAU);
+            let ph2 = rng.random_range(0.0..std::f64::consts::TAU);
+            waves.push((amp, wl, wl2, ph, ph2));
+        }
+        Self { origin, base_m, basin_depth_m, basin_sigma_m, waves }
+    }
+
+    /// Altitude at `p` in meters.
+    pub fn altitude_m(&self, p: GeoPoint) -> f64 {
+        let (x, y) = p.local_xy_m(self.origin);
+        let mut alt = self.base_m;
+        for &(amp, wlx, wly, phx, phy) in &self.waves {
+            alt += amp
+                * (x / wlx * std::f64::consts::TAU + phx).sin()
+                * (y / wly * std::f64::consts::TAU + phy).cos();
+        }
+        let r2 = x * x + y * y;
+        alt -= self.basin_depth_m * (-r2 / (2.0 * self.basin_sigma_m * self.basin_sigma_m)).exp();
+        alt
+    }
+
+    /// The origin the field is anchored to.
+    pub fn origin(&self) -> GeoPoint {
+        self.origin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn center() -> GeoPoint {
+        GeoPoint::new(35.2271, -80.8431)
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = TerrainModel::new(center(), 9);
+        let b = TerrainModel::new(center(), 9);
+        let p = center().offset_m(1234.0, -987.0);
+        assert_eq!(a.altitude_m(p), b.altitude_m(p));
+        let c = TerrainModel::new(center(), 10);
+        assert_ne!(a.altitude_m(p), c.altitude_m(p));
+    }
+
+    #[test]
+    fn downtown_sits_in_a_basin() {
+        let t = TerrainModel::new(center(), 1);
+        let downtown = t.altitude_m(center());
+        // Average altitude on a ring far outside the basin.
+        let mut ring = 0.0;
+        let n = 16;
+        for i in 0..n {
+            let a = i as f64 / n as f64 * std::f64::consts::TAU;
+            ring += t.altitude_m(center().offset_m(9_000.0 * a.cos(), 9_000.0 * a.sin()));
+        }
+        ring /= n as f64;
+        assert!(
+            downtown < ring - 15.0,
+            "downtown {downtown:.1} m should sit well below ring {ring:.1} m"
+        );
+    }
+
+    #[test]
+    fn altitude_stays_in_plausible_range() {
+        let t = TerrainModel::new(center(), 2);
+        for i in -20..=20 {
+            for j in -20..=20 {
+                let p = center().offset_m(i as f64 * 700.0, j as f64 * 700.0);
+                let alt = t.altitude_m(p);
+                assert!((120.0..320.0).contains(&alt), "altitude {alt} at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn field_is_smooth() {
+        let t = TerrainModel::new(center(), 3);
+        // Altitude change over 10 m should be tiny (no cliffs).
+        for i in 0..50 {
+            let p = center().offset_m(i as f64 * 317.0, i as f64 * 211.0);
+            let q = p.offset_m(10.0, 0.0);
+            assert!((t.altitude_m(p) - t.altitude_m(q)).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "basin radius")]
+    fn zero_basin_radius_rejected() {
+        let _ = TerrainModel::with_params(center(), 0, 230.0, 40.0, 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the disaster substrate.
+
+use mobirescue_disaster::hurricane::{Hurricane, Timeline};
+use mobirescue_disaster::scenario::DisasterScenario;
+use mobirescue_disaster::terrain::TerrainModel;
+use mobirescue_disaster::weather::WeatherField;
+use mobirescue_roadnet::generator::CityConfig;
+use mobirescue_roadnet::geo::GeoPoint;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn scenario() -> &'static (mobirescue_roadnet::generator::City, DisasterScenario) {
+    static CACHE: OnceLock<(mobirescue_roadnet::generator::City, DisasterScenario)> =
+        OnceLock::new();
+    CACHE.get_or_init(|| {
+        let city = CityConfig::small().build(7);
+        let s = DisasterScenario::new(&city, Hurricane::florence(), 7);
+        (city, s)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Timeline intensity is bounded, zero outside the ramped window, and
+    /// phases partition the days.
+    #[test]
+    fn timeline_laws(total in 10u32..60, start in 1u32..20, len in 1u32..10) {
+        let start = start.min(total - 2);
+        let end = (start + len).min(total);
+        let tl = Timeline::new(total, start, end);
+        for h in (0..tl.total_hours()).step_by(5) {
+            let i = tl.intensity(h);
+            prop_assert!((0.0..=1.0).contains(&i));
+        }
+        prop_assert!((tl.intensity(tl.peak_hour()) - 1.0).abs() < 1e-9);
+        for d in 0..total {
+            let phase = tl.phase_of_day(d);
+            use mobirescue_disaster::hurricane::DisasterPhase::*;
+            match phase {
+                Before => prop_assert!(d < start),
+                During => prop_assert!((start..end).contains(&d)),
+                After => prop_assert!(d >= end),
+            }
+        }
+    }
+
+    /// Weather fields are non-negative everywhere/anytime, and terrain is
+    /// deterministic.
+    #[test]
+    fn field_laws(
+        east in -8_000.0f64..8_000.0,
+        north in -8_000.0f64..8_000.0,
+        hour_step in 0u32..72,
+    ) {
+        let center = GeoPoint::new(35.2271, -80.8431);
+        let terrain = TerrainModel::new(center, 5);
+        let weather = WeatherField::new(center, Hurricane::florence(), 5);
+        let p = center.offset_m(east, north);
+        let hour = hour_step * 10; // spans the whole scenario
+        prop_assert!(weather.precipitation_mm_h(p, hour) >= 0.0);
+        prop_assert!(weather.wind_mph(p, hour) >= 0.0);
+        prop_assert_eq!(terrain.altitude_m(p), terrain.altitude_m(p));
+        // Daily accumulation is the sum of its hours.
+        let day = hour / 24;
+        if day < 30 {
+            let manual: f64 = (0..24).map(|h| weather.precipitation_mm_h(p, day * 24 + h)).sum();
+            prop_assert!((weather.daily_precipitation_mm(p, day) - manual).abs() < 1e-9);
+        }
+    }
+
+    /// Flood depth is consistent with flood-zone membership and the
+    /// network condition: blocked ⇔ deep at the midpoint.
+    #[test]
+    fn flood_condition_consistency(hour_step in 0u32..120) {
+        let (city, s) = scenario();
+        let hour = (hour_step * 6).min(s.total_hours() - 1);
+        let cond = s.network_condition(&city.network, hour);
+        for sid in city.network.segment_ids().step_by(17) {
+            let depth = s.flood().depth_m(city.network.segment_midpoint(sid), hour);
+            prop_assert_eq!(
+                cond.is_operable(sid),
+                depth < mobirescue_disaster::flood::FLOOD_DEPTH_M,
+                "segment {} depth {} operable {}", sid, depth, cond.is_operable(sid)
+            );
+            let c = cond.condition(sid);
+            prop_assert!(c.speed_factor > 0.0 && c.speed_factor <= 1.0);
+        }
+    }
+
+    /// Factors at any position/time are finite and physically plausible.
+    #[test]
+    fn factors_plausible(
+        east in -7_000.0f64..7_000.0,
+        north in -7_000.0f64..7_000.0,
+        hour_step in 0u32..120,
+    ) {
+        let (city, s) = scenario();
+        let hour = (hour_step * 6).min(s.total_hours() - 1);
+        let f = s.factors_at(city.center.offset_m(east, north), hour);
+        prop_assert!((0.0..60.0).contains(&f.precipitation_mm_h));
+        prop_assert!((0.0..200.0).contains(&f.wind_mph));
+        prop_assert!((100.0..350.0).contains(&f.altitude_m));
+    }
+}

@@ -1,0 +1,281 @@
+//! Vehicle flow rate measurement (the paper's Definition 2).
+//!
+//! Flow rate of a segment is the number of vehicles driving through it per
+//! hour; a region's flow rate averages over its segments. Inferred
+//! [`Trip`]s are routed over the network *as it existed at departure time*
+//! (flooded segments are impassable) and every traversed segment's counter
+//! for the departure hour is incremented. Trips that cannot be routed on the
+//! damaged network are cancelled — exactly the mechanism that makes flow
+//! collapse in flooded regions (Observation 2).
+
+use crate::trips::Trip;
+use mobirescue_disaster::scenario::DisasterScenario;
+use mobirescue_roadnet::damage::NetworkCondition;
+use mobirescue_roadnet::graph::{RoadNetwork, SegmentId};
+use mobirescue_roadnet::regions::{RegionId, RegionPartition};
+use mobirescue_roadnet::routing::Router;
+use serde::{Deserialize, Serialize};
+
+/// Per-hour network conditions (G̃ at every hour), precomputed once.
+#[derive(Debug, Clone)]
+pub struct HourlyConditions {
+    conditions: Vec<NetworkCondition>,
+}
+
+impl HourlyConditions {
+    /// Precomputes the condition of `net` for every hour of `scenario`.
+    pub fn compute(net: &RoadNetwork, scenario: &DisasterScenario) -> Self {
+        let conditions = (0..scenario.total_hours())
+            .map(|h| scenario.network_condition(net, h))
+            .collect();
+        Self { conditions }
+    }
+
+    /// Builds from explicit per-hour conditions (synthetic damage schedules
+    /// for tests and failure-injection studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conditions` is empty.
+    pub fn from_conditions(conditions: Vec<NetworkCondition>) -> Self {
+        assert!(!conditions.is_empty(), "need at least one hour of conditions");
+        Self { conditions }
+    }
+
+    /// Number of hours covered.
+    pub fn hours(&self) -> u32 {
+        self.conditions.len() as u32
+    }
+
+    /// The condition at `hour`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour` is out of range.
+    pub fn at(&self, hour: u32) -> &NetworkCondition {
+        &self.conditions[hour as usize]
+    }
+}
+
+/// Flow counts per segment per hour.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowField {
+    num_segments: usize,
+    hours: u32,
+    counts: Vec<u32>,
+}
+
+impl FlowField {
+    /// An all-zero flow field.
+    pub fn zeros(num_segments: usize, hours: u32) -> Self {
+        Self { num_segments, hours, counts: vec![0; num_segments * hours as usize] }
+    }
+
+    /// Routes every trip and accumulates per-segment hourly flow.
+    /// Unroutable trips (origin or destination cut off by flooding) are
+    /// dropped.
+    ///
+    /// Routing is embarrassingly parallel (one Dijkstra per trip), so the
+    /// work is spread over the available cores; results are deterministic
+    /// because per-thread partial counts are merged by addition.
+    pub fn from_trips(
+        net: &RoadNetwork,
+        trips: &[Trip],
+        conditions: &HourlyConditions,
+    ) -> Self {
+        let hours = conditions.hours();
+        let num_segments = net.num_segments();
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 16);
+        let chunk = trips.len().div_ceil(threads.max(1)).max(1);
+        let partials: Vec<Vec<u32>> = std::thread::scope(|scope| {
+            trips
+                .chunks(chunk)
+                .map(|slice| {
+                    scope.spawn(move || {
+                        let router = Router::new(net);
+                        let mut counts = vec![0u32; num_segments * hours as usize];
+                        for trip in slice {
+                            let hour = trip.depart_hour().min(hours - 1);
+                            let cond = conditions.at(hour);
+                            if let Some(route) = router.shortest_path(cond, trip.from, trip.to)
+                            {
+                                for sid in route.segments {
+                                    counts[sid.index() * hours as usize + hour as usize] += 1;
+                                }
+                            }
+                        }
+                        counts
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("routing threads never panic"))
+                .collect()
+        });
+        let mut field = Self::zeros(num_segments, hours);
+        for partial in partials {
+            for (acc, x) in field.counts.iter_mut().zip(partial) {
+                *acc += x;
+            }
+        }
+        field
+    }
+
+    /// Hours covered.
+    pub fn hours(&self) -> u32 {
+        self.hours
+    }
+
+    /// Vehicles through `seg` during `hour`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` or `hour` is out of range.
+    pub fn flow(&self, seg: SegmentId, hour: u32) -> u32 {
+        assert!(hour < self.hours, "hour {hour} out of range");
+        self.counts[seg.index() * self.hours as usize + hour as usize]
+    }
+
+    /// Average hourly flow of `seg` over the day range `days` (inclusive
+    /// start, exclusive end).
+    pub fn segment_daily_avg(&self, seg: SegmentId, days: std::ops::Range<u32>) -> f64 {
+        let mut total = 0u64;
+        let mut hours = 0u64;
+        for day in days {
+            for h in 0..24 {
+                let hour = day * 24 + h;
+                if hour < self.hours {
+                    total += self.flow(seg, hour) as u64;
+                    hours += 1;
+                }
+            }
+        }
+        if hours == 0 {
+            0.0
+        } else {
+            total as f64 / hours as f64
+        }
+    }
+
+    /// Region flow rate during one hour: average over the region's segments
+    /// (Definition 2).
+    pub fn region_flow(&self, partition: &RegionPartition, region: RegionId, hour: u32) -> f64 {
+        let segs = partition.segments_in(region);
+        if segs.is_empty() {
+            return 0.0;
+        }
+        segs.iter().map(|&s| self.flow(s, hour) as f64).sum::<f64>() / segs.len() as f64
+    }
+
+    /// Region flow rate averaged over all 24 hours of `day`.
+    pub fn region_daily_avg(
+        &self,
+        partition: &RegionPartition,
+        region: RegionId,
+        day: u32,
+    ) -> f64 {
+        (0..24)
+            .map(|h| self.region_flow(partition, region, (day * 24 + h).min(self.hours - 1)))
+            .sum::<f64>()
+            / 24.0
+    }
+
+    /// Per-segment difference of average hourly flow between two day ranges
+    /// (`|before − after|`), the statistic behind Figure 3.
+    pub fn segment_flow_differences(
+        &self,
+        net: &RoadNetwork,
+        before: std::ops::Range<u32>,
+        after: std::ops::Range<u32>,
+    ) -> Vec<f64> {
+        net.segment_ids()
+            .map(|s| {
+                (self.segment_daily_avg(s, before.clone())
+                    - self.segment_daily_avg(s, after.clone()))
+                .abs()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::person::PersonId;
+    use mobirescue_disaster::hurricane::Hurricane;
+    use mobirescue_roadnet::generator::CityConfig;
+
+    fn setup() -> (mobirescue_roadnet::generator::City, DisasterScenario, HourlyConditions) {
+        let city = CityConfig::small().build(31);
+        let scenario = DisasterScenario::new(&city, Hurricane::florence(), 31);
+        let conds = HourlyConditions::compute(&city.network, &scenario);
+        (city, scenario, conds)
+    }
+
+    #[test]
+    fn hourly_conditions_cover_scenario() {
+        let (city, scenario, conds) = setup();
+        assert_eq!(conds.hours(), scenario.total_hours());
+        assert_eq!(conds.at(0).operable_count(), city.network.num_segments());
+    }
+
+    #[test]
+    fn trips_increment_route_segments() {
+        let (city, _, conds) = setup();
+        let from = mobirescue_roadnet::graph::LandmarkId(0);
+        let to = city.depot;
+        let trip = Trip { person: PersonId(0), depart_minute: 60, from, to };
+        let field = FlowField::from_trips(&city.network, &[trip], &conds);
+        let router = Router::new(&city.network);
+        let route = router.shortest_path(conds.at(1), from, to).unwrap();
+        for sid in &route.segments {
+            assert_eq!(field.flow(*sid, 1), 1);
+        }
+        // Total flow equals route length in segments.
+        let total: u32 = city.network.segment_ids().map(|s| field.flow(s, 1)).sum();
+        assert_eq!(total as usize, route.segments.len());
+    }
+
+    #[test]
+    fn flow_during_flood_avoids_blocked_segments() {
+        let (city, scenario, conds) = setup();
+        let peak = scenario.hurricane().timeline.peak_hour() + 24;
+        let cond = conds.at(peak);
+        let from = mobirescue_roadnet::graph::LandmarkId(0);
+        let to = mobirescue_roadnet::graph::LandmarkId((city.network.num_landmarks() - 1) as u32);
+        let trip = Trip { person: PersonId(0), depart_minute: peak * 60, from, to };
+        let field = FlowField::from_trips(&city.network, &[trip], &conds);
+        for sid in city.network.segment_ids() {
+            if field.flow(sid, peak) > 0 {
+                assert!(cond.is_operable(sid), "flow on blocked segment {sid}");
+            }
+        }
+    }
+
+    #[test]
+    fn region_flow_averages_segments() {
+        let (city, _, conds) = setup();
+        let from = mobirescue_roadnet::graph::LandmarkId(0);
+        let trip = Trip { person: PersonId(0), depart_minute: 0, from, to: city.depot };
+        let field = FlowField::from_trips(&city.network, &[trip], &conds);
+        let mut manual_sum = 0.0;
+        let mut by_region = 0.0;
+        for r in city.regions.region_ids() {
+            let segs = city.regions.segments_in(r);
+            by_region += field.region_flow(&city.regions, r, 0) * segs.len() as f64;
+        }
+        for s in city.network.segment_ids() {
+            manual_sum += field.flow(s, 0) as f64;
+        }
+        assert!((by_region - manual_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn daily_average_over_empty_range_is_zero() {
+        let field = FlowField::zeros(10, 48);
+        assert_eq!(field.segment_daily_avg(SegmentId(3), 1..1), 0.0);
+    }
+}

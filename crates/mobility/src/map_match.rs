@@ -1,0 +1,192 @@
+//! Map matching: snapping GPS positions to landmarks and road segments.
+//!
+//! The paper derives "trajectories in landmarks" from raw GPS (Figure 7,
+//! stage 1) and counts people per road segment (Equation 2). The
+//! [`MapMatcher`] does both lookups with a spatial grid index so matching
+//! millions of pings stays cheap.
+
+use mobirescue_roadnet::geo::GeoPoint;
+use mobirescue_roadnet::graph::{LandmarkId, RoadNetwork, SegmentId};
+
+/// Grid-indexed nearest-landmark / nearest-segment lookup.
+///
+/// # Examples
+///
+/// ```
+/// use mobirescue_mobility::map_match::MapMatcher;
+/// use mobirescue_roadnet::generator::CityConfig;
+///
+/// let city = CityConfig::small().build(1);
+/// let matcher = MapMatcher::new(&city.network);
+/// let lm = matcher.nearest_landmark(&city.network, city.center);
+/// assert_eq!(lm, city.network.nearest_landmark(city.center).unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MapMatcher {
+    origin: GeoPoint,
+    cell_m: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<LandmarkId>>,
+}
+
+impl MapMatcher {
+    /// Builds the index over `net` with ~800 m cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty network.
+    pub fn new(net: &RoadNetwork) -> Self {
+        let bbox = net.bounding_box().expect("network must be non-empty").expanded_m(100.0);
+        let origin = bbox.south_west;
+        let (width_m, height_m) = bbox.north_east.local_xy_m(origin);
+        let cell_m = 800.0;
+        let cols = (width_m / cell_m).ceil().max(1.0) as usize;
+        let rows = (height_m / cell_m).ceil().max(1.0) as usize;
+        let mut buckets = vec![Vec::new(); cols * rows];
+        for lm in net.landmarks() {
+            let (x, y) = lm.position.local_xy_m(origin);
+            let c = ((x / cell_m) as isize).clamp(0, cols as isize - 1) as usize;
+            let r = ((y / cell_m) as isize).clamp(0, rows as isize - 1) as usize;
+            buckets[r * cols + c].push(lm.id);
+        }
+        Self { origin, cell_m, cols, rows, buckets }
+    }
+
+    fn cell_of(&self, p: GeoPoint) -> (isize, isize) {
+        let (x, y) = p.local_xy_m(self.origin);
+        (
+            ((x / self.cell_m) as isize).clamp(0, self.cols as isize - 1),
+            ((y / self.cell_m) as isize).clamp(0, self.rows as isize - 1),
+        )
+    }
+
+    /// The landmark nearest to `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not the network the index was built from (debug
+    /// assertion) or the network is empty.
+    pub fn nearest_landmark(&self, net: &RoadNetwork, p: GeoPoint) -> LandmarkId {
+        debug_assert_eq!(
+            net.num_landmarks(),
+            self.buckets.iter().map(Vec::len).sum::<usize>(),
+            "index/network mismatch"
+        );
+        let (c0, r0) = self.cell_of(p);
+        let mut best: Option<(f64, LandmarkId)> = None;
+        // Expand rings until a hit is found, then one extra ring to be safe
+        // against cell-boundary effects.
+        let max_ring = self.cols.max(self.rows) as isize;
+        let mut found_ring: Option<isize> = None;
+        for ring in 0..=max_ring {
+            if let Some(fr) = found_ring {
+                if ring > fr + 1 {
+                    break;
+                }
+            }
+            let mut any = false;
+            for dr in -ring..=ring {
+                for dc in -ring..=ring {
+                    if dr.abs() != ring && dc.abs() != ring {
+                        continue; // only the ring boundary
+                    }
+                    let r = r0 + dr;
+                    let c = c0 + dc;
+                    if r < 0 || c < 0 || r >= self.rows as isize || c >= self.cols as isize {
+                        continue;
+                    }
+                    for &lm in &self.buckets[r as usize * self.cols + c as usize] {
+                        any = true;
+                        let d = net.landmark(lm).position.distance_m(p);
+                        if best.is_none_or(|(bd, _)| d < bd) {
+                            best = Some((d, lm));
+                        }
+                    }
+                }
+            }
+            if any && found_ring.is_none() {
+                found_ring = Some(ring);
+            }
+        }
+        best.expect("non-empty network always yields a match").1
+    }
+
+    /// The segment whose midpoint is nearest to `p`, searched among the
+    /// segments incident to the nearest landmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no segments.
+    pub fn nearest_segment(&self, net: &RoadNetwork, p: GeoPoint) -> SegmentId {
+        assert!(net.num_segments() > 0, "network has no segments");
+        let lm = self.nearest_landmark(net, p);
+        let mut best: Option<(f64, SegmentId)> = None;
+        let mut consider = |sid: SegmentId| {
+            let d = net.segment_midpoint(sid).distance_m(p);
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, sid));
+            }
+        };
+        for &sid in net.out_segments(lm) {
+            consider(sid);
+            // Also the neighbours' incident segments, one hop out.
+            let nb = net.segment(sid).to;
+            for &s2 in net.out_segments(nb) {
+                consider(s2);
+            }
+        }
+        for &sid in net.in_segments(lm) {
+            consider(sid);
+        }
+        best.expect("landmark has incident segments in a connected network").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobirescue_roadnet::generator::CityConfig;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn matches_brute_force_nearest_landmark() {
+        let city = CityConfig::small().build(3);
+        let matcher = MapMatcher::new(&city.network);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let p = city
+                .center
+                .offset_m(rng.random_range(-5_000.0..5_000.0), rng.random_range(-5_000.0..5_000.0));
+            let fast = matcher.nearest_landmark(&city.network, p);
+            let brute = city.network.nearest_landmark(p).unwrap();
+            let df = city.network.landmark(fast).position.distance_m(p);
+            let db = city.network.landmark(brute).position.distance_m(p);
+            assert!(
+                (df - db).abs() < 1e-6,
+                "grid match {fast} at {df} m vs brute {brute} at {db} m"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_segment_touches_nearby_landmark() {
+        let city = CityConfig::small().build(4);
+        let matcher = MapMatcher::new(&city.network);
+        let p = city.center.offset_m(250.0, 100.0);
+        let sid = matcher.nearest_segment(&city.network, p);
+        let d = city.network.segment_midpoint(sid).distance_m(p);
+        assert!(d < 800.0, "matched segment {d} m away");
+    }
+
+    #[test]
+    fn points_outside_bbox_still_match() {
+        let city = CityConfig::small().build(5);
+        let matcher = MapMatcher::new(&city.network);
+        let far = city.center.offset_m(50_000.0, 50_000.0);
+        let lm = matcher.nearest_landmark(&city.network, far);
+        let brute = city.network.nearest_landmark(far).unwrap();
+        assert_eq!(lm, brute);
+    }
+}

@@ -1,0 +1,61 @@
+//! People and their behavioural attributes.
+
+use mobirescue_roadnet::geo::GeoPoint;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a person in the mobility dataset.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PersonId(pub u32);
+
+impl PersonId {
+    /// The person's index into dataset storage.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PersonId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// How mobile a person is on a normal day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MobilityProfile {
+    /// Commutes to a workplace every day and runs occasional errands.
+    Commuter,
+    /// Mostly stays home; occasional errands only.
+    Homebody,
+}
+
+/// A tracked person: anonymous id plus home/work anchors.
+///
+/// The paper's dataset is anonymized cellphone GPS; the only per-person
+/// structure it reveals (and that Section IV-C5's historical-position
+/// fallback relies on) is home/work anchors and a movement pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Person {
+    /// Anonymous identifier.
+    pub id: PersonId,
+    /// Home position.
+    pub home: GeoPoint,
+    /// Workplace position (equals `home` for [`MobilityProfile::Homebody`]).
+    pub work: GeoPoint,
+    /// Daily movement pattern.
+    pub profile: MobilityProfile,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn person_id_formats_and_indexes() {
+        assert_eq!(PersonId(7).to_string(), "P7");
+        assert_eq!(PersonId(7).index(), 7);
+    }
+}

@@ -1,0 +1,228 @@
+//! Statistics used by the paper's dataset analysis: Pearson correlation
+//! (Table I) and empirical CDFs (Figures 3, 10, 12, 13, 15, 16).
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean, `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation, `0.0` for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Pearson correlation coefficient `cov(x, y) / (σ_x σ_y)` — the statistic
+/// of the paper's Table I.
+///
+/// Returns `None` when the slices differ in length, have fewer than two
+/// samples, or either is constant (undefined correlation).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// An empirical cumulative distribution function.
+///
+/// # Examples
+///
+/// ```
+/// use mobirescue_mobility::stats::Cdf;
+///
+/// let cdf = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+/// assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+/// assert_eq!(cdf.quantile(0.5), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples. NaN samples are dropped.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.retain(|x| !x.is_nan());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaNs removed"));
+        Self { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `≤ x`, in `[0, 1]`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (nearest-rank), clamping `q` to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty CDF.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[idx - 1]
+    }
+
+    /// Minimum sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        mean(&self.sorted)
+    }
+
+    /// `(x, F(x))` pairs for plotting, one per sample.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// `(x, F(x))` pairs at `bins + 1` evenly spaced x values spanning the
+    /// sample range — compact series for printed figures.
+    pub fn sampled_points(&self, bins: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || bins == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = self.sorted[self.sorted.len() - 1];
+        (0..=bins)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / bins as f64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_dev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y_pos: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        let y_neg: Vec<f64> = x.iter().map(|v| -3.0 * v).collect();
+        assert!((pearson(&x, &y_pos).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &y_neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_undefined_cases() {
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+        assert!(pearson(&[1.0, 2.0], &[3.0]).is_none());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn pearson_uncorrelated_is_small() {
+        // Orthogonal pattern.
+        let x = [1.0, -1.0, 1.0, -1.0];
+        let y = [1.0, 1.0, -1.0, -1.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_basic_queries() {
+        let cdf = Cdf::new(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.fraction_at_or_below(5.0), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(20.0), 0.5);
+        assert_eq!(cdf.fraction_at_or_below(100.0), 1.0);
+        assert_eq!(cdf.min(), Some(10.0));
+        assert_eq!(cdf.max(), Some(40.0));
+        assert_eq!(cdf.quantile(0.0), 10.0);
+        assert_eq!(cdf.quantile(0.25), 10.0);
+        assert_eq!(cdf.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn cdf_points_are_monotone() {
+        let cdf = Cdf::new(vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0]);
+        let pts = cdf.points();
+        assert_eq!(pts.len(), 7);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn cdf_drops_nans() {
+        let cdf = Cdf::new(vec![1.0, f64::NAN, 2.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn sampled_points_span_range() {
+        let cdf = Cdf::new((0..100).map(|i| i as f64).collect());
+        let pts = cdf.sampled_points(10);
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[0].0, 0.0);
+        assert_eq!(pts[10].0, 99.0);
+        assert_eq!(pts[10].1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty CDF")]
+    fn quantile_of_empty_panics() {
+        Cdf::new(vec![]).quantile(0.5);
+    }
+}

@@ -1,0 +1,201 @@
+//! GPS pings, trajectories and the mobility dataset container.
+//!
+//! The paper's dataset schema (Section III-A): per-user GPS samples at 0.5–2
+//! hour intervals carrying timestamp, latitude, longitude, altitude and
+//! speed, with an anonymous user id. [`GpsPing`] reproduces that schema;
+//! time is minutes since the scenario start.
+
+use crate::person::{Person, PersonId};
+use mobirescue_roadnet::geo::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// Minutes per simulated day.
+pub const MINUTES_PER_DAY: u32 = 24 * 60;
+
+/// One GPS sample of one person — the paper's dataset row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpsPing {
+    /// The sampled person.
+    pub person: PersonId,
+    /// Minutes since scenario start.
+    pub minute: u32,
+    /// Sampled position.
+    pub position: GeoPoint,
+    /// Altimeter reading, meters.
+    pub altitude_m: f64,
+    /// Instantaneous speed, meters per second.
+    pub speed_mps: f64,
+}
+
+impl GpsPing {
+    /// Hour (since scenario start) containing this ping.
+    pub fn hour(&self) -> u32 {
+        self.minute / 60
+    }
+
+    /// Day (since scenario start) containing this ping.
+    pub fn day(&self) -> u32 {
+        self.minute / MINUTES_PER_DAY
+    }
+}
+
+/// The time-ordered pings of a single person (the paper's Definition 1,
+/// before snapping to landmarks).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// The person this trajectory belongs to.
+    pub person: PersonId,
+    /// Pings in increasing `minute` order.
+    pub pings: Vec<GpsPing>,
+}
+
+impl Trajectory {
+    /// The paper's Definition 1 proper: the trajectory as a sequence of
+    /// time-ordered *landmarks* (consecutive duplicates collapsed — a
+    /// person pinging from home all night is one landmark visit).
+    pub fn to_landmarks(
+        &self,
+        net: &mobirescue_roadnet::graph::RoadNetwork,
+        matcher: &crate::map_match::MapMatcher,
+    ) -> Vec<(u32, mobirescue_roadnet::graph::LandmarkId)> {
+        let mut out: Vec<(u32, mobirescue_roadnet::graph::LandmarkId)> = Vec::new();
+        for ping in &self.pings {
+            let lm = matcher.nearest_landmark(net, ping.position);
+            if out.last().map(|&(_, prev)| prev) != Some(lm) {
+                out.push((ping.minute, lm));
+            }
+        }
+        out
+    }
+
+    /// Total straight-line displacement along the trajectory, meters.
+    pub fn total_displacement_m(&self) -> f64 {
+        self.pings
+            .windows(2)
+            .map(|w| w[0].position.distance_m(w[1].position))
+            .sum()
+    }
+}
+
+/// A complete mobility dataset: the population plus every ping.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MobilityDataset {
+    /// All tracked people.
+    pub people: Vec<Person>,
+    /// All pings, sorted by `(person, minute)`.
+    pub pings: Vec<GpsPing>,
+}
+
+impl MobilityDataset {
+    /// Number of tracked people.
+    pub fn num_people(&self) -> usize {
+        self.people.len()
+    }
+
+    /// Splits the pings into one [`Trajectory`] per person, preserving time
+    /// order. People without pings get an empty trajectory.
+    pub fn trajectories(&self) -> Vec<Trajectory> {
+        let mut out: Vec<Trajectory> = self
+            .people
+            .iter()
+            .map(|p| Trajectory { person: p.id, pings: Vec::new() })
+            .collect();
+        for ping in &self.pings {
+            out[ping.person.index()].pings.push(*ping);
+        }
+        for t in &mut out {
+            debug_assert!(t.pings.windows(2).all(|w| w[0].minute <= w[1].minute));
+        }
+        out
+    }
+
+    /// Pings recorded during day `day`.
+    pub fn pings_on_day(&self, day: u32) -> impl Iterator<Item = &GpsPing> + '_ {
+        self.pings.iter().filter(move |p| p.day() == day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::person::MobilityProfile;
+
+    fn tiny_dataset() -> MobilityDataset {
+        let home = GeoPoint::new(35.2, -80.8);
+        let people = vec![
+            Person { id: PersonId(0), home, work: home, profile: MobilityProfile::Homebody },
+            Person { id: PersonId(1), home, work: home, profile: MobilityProfile::Commuter },
+        ];
+        let ping = |person, minute| GpsPing {
+            person: PersonId(person),
+            minute,
+            position: home,
+            altitude_m: 230.0,
+            speed_mps: 0.0,
+        };
+        MobilityDataset {
+            people,
+            pings: vec![ping(0, 10), ping(0, 1500), ping(1, 70), ping(1, 200)],
+        }
+    }
+
+    #[test]
+    fn ping_time_arithmetic() {
+        let p = GpsPing {
+            person: PersonId(0),
+            minute: MINUTES_PER_DAY + 125,
+            position: GeoPoint::new(0.0, 0.0),
+            altitude_m: 0.0,
+            speed_mps: 0.0,
+        };
+        assert_eq!(p.day(), 1);
+        assert_eq!(p.hour(), 26);
+    }
+
+    #[test]
+    fn trajectories_split_by_person_in_order() {
+        let ds = tiny_dataset();
+        let trajs = ds.trajectories();
+        assert_eq!(trajs.len(), 2);
+        assert_eq!(trajs[0].pings.len(), 2);
+        assert_eq!(trajs[1].pings.len(), 2);
+        assert!(trajs[1].pings[0].minute < trajs[1].pings[1].minute);
+    }
+
+    #[test]
+    fn pings_on_day_filters() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.pings_on_day(0).count(), 3);
+        assert_eq!(ds.pings_on_day(1).count(), 1);
+        assert_eq!(ds.pings_on_day(2).count(), 0);
+    }
+
+    #[test]
+    fn landmark_trajectory_collapses_duplicates() {
+        let city = mobirescue_roadnet::generator::CityConfig::small().build(9);
+        let matcher = crate::map_match::MapMatcher::new(&city.network);
+        let home = city.center;
+        let far = home.offset_m(3_000.0, 0.0);
+        let ping = |minute, pos| GpsPing {
+            person: PersonId(0),
+            minute,
+            position: pos,
+            altitude_m: 0.0,
+            speed_mps: 0.0,
+        };
+        let traj = Trajectory {
+            person: PersonId(0),
+            pings: vec![
+                ping(0, home),
+                ping(60, home.offset_m(5.0, 5.0)), // same landmark
+                ping(120, far),
+                ping(180, home),
+            ],
+        };
+        let lms = traj.to_landmarks(&city.network, &matcher);
+        assert_eq!(lms.len(), 3, "duplicate home visit collapsed: {lms:?}");
+        assert_eq!(lms[0].1, lms[2].1, "returns to the same home landmark");
+        assert!(lms.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(traj.total_displacement_m() > 5_900.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the mobility pipeline.
+
+use mobirescue_disaster::hurricane::Hurricane;
+use mobirescue_disaster::scenario::DisasterScenario;
+use mobirescue_mobility::cleaning::{clean, CleaningConfig};
+use mobirescue_mobility::generator::{generate, PopulationConfig};
+use mobirescue_mobility::person::PersonId;
+use mobirescue_mobility::stats::{pearson, Cdf};
+use mobirescue_mobility::trace::GpsPing;
+use mobirescue_roadnet::generator::CityConfig;
+use mobirescue_roadnet::geo::{BoundingBox, GeoPoint};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// CDFs are monotone, bounded, and quantiles invert fractions.
+    #[test]
+    fn cdf_laws(samples in prop::collection::vec(-1_000.0f64..1_000.0, 1..200)) {
+        let cdf = Cdf::new(samples.clone());
+        prop_assert_eq!(cdf.len(), samples.len());
+        let lo = cdf.min().unwrap();
+        let hi = cdf.max().unwrap();
+        prop_assert_eq!(cdf.fraction_at_or_below(hi), 1.0);
+        prop_assert!(cdf.fraction_at_or_below(lo) > 0.0);
+        prop_assert_eq!(cdf.fraction_at_or_below(lo - 1.0), 0.0);
+        let mut prev = 0.0;
+        for (_, f) in cdf.sampled_points(16) {
+            prop_assert!(f >= prev - 1e-12);
+            prev = f;
+        }
+        for q in [0.1, 0.5, 0.9] {
+            let x = cdf.quantile(q);
+            prop_assert!(cdf.fraction_at_or_below(x) + 1e-12 >= q);
+        }
+    }
+
+    /// Pearson correlation is symmetric, bounded, and scale-invariant.
+    #[test]
+    fn pearson_laws(
+        xs in prop::collection::vec(-100.0f64..100.0, 3..40),
+        scale in 0.1f64..10.0,
+        offset in -50.0f64..50.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, x)| x * 0.5 + (i as f64).sin() * 10.0).collect();
+        if let Some(r) = pearson(&xs, &ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            let r_sym = pearson(&ys, &xs).unwrap();
+            prop_assert!((r - r_sym).abs() < 1e-9);
+            let scaled: Vec<f64> = ys.iter().map(|y| y * scale + offset).collect();
+            if let Some(r_scaled) = pearson(&xs, &scaled) {
+                prop_assert!((r - r_scaled).abs() < 1e-6, "{r} vs {r_scaled}");
+            }
+        }
+    }
+
+    /// Cleaning never invents pings, keeps order, and respects the bounds.
+    #[test]
+    fn cleaning_laws(
+        raw in prop::collection::vec((0u32..5_000, -0.2f64..0.2, -0.2f64..0.2), 0..60),
+    ) {
+        let center = GeoPoint::new(35.2271, -80.8431);
+        let bounds = BoundingBox::new(center.offset_m(-8_000.0, -8_000.0), center.offset_m(8_000.0, 8_000.0));
+        let mut pings: Vec<GpsPing> = raw
+            .iter()
+            .map(|&(minute, dlat, dlon)| GpsPing {
+                person: PersonId(0),
+                minute,
+                position: GeoPoint::new(center.lat + dlat, center.lon + dlon),
+                altitude_m: 0.0,
+                speed_mps: 0.0,
+            })
+            .collect();
+        pings.sort_by_key(|p| (p.person, p.minute));
+        let (kept, report) = clean(&pings, &CleaningConfig::for_bounds(bounds));
+        prop_assert_eq!(kept.len() + report.out_of_bounds + report.redundant, pings.len());
+        prop_assert!(kept.windows(2).all(|w| w[0].minute <= w[1].minute));
+        prop_assert!(kept.iter().all(|p| bounds.contains(p.position)));
+    }
+}
+
+/// Generation invariants that hold for any seed (moved out of proptest to
+/// keep runtime bounded: 6 seeds, full pipeline each).
+#[test]
+fn generation_invariants_across_seeds() {
+    for seed in [1u64, 2, 3] {
+        let city = CityConfig::small().build(seed);
+        let scenario = DisasterScenario::new(&city, Hurricane::florence(), seed);
+        let mut config = PopulationConfig::small();
+        config.num_people = 120;
+        let out = generate(&city, &scenario, &config, seed);
+        assert_eq!(out.dataset.num_people(), 120);
+        // Pings sorted and inside the scenario window.
+        assert!(out
+            .dataset
+            .pings
+            .windows(2)
+            .all(|w| (w[0].person, w[0].minute) <= (w[1].person, w[1].minute)));
+        let end = scenario.total_hours() * 60;
+        assert!(out.dataset.pings.iter().all(|p| p.minute < end));
+        // Every true rescue is causal and indexes a real hospital.
+        for r in &out.true_rescues {
+            assert!(r.rescue_minute > r.trapped_minute);
+            assert!(city.hospitals.contains(&r.hospital));
+            assert!(scenario.is_flooded(
+                r.position,
+                (r.trapped_minute / 60).min(scenario.total_hours() - 1)
+            ) || {
+                // The trap decision was made at the top of the hour; the
+                // recorded minute may drift past a receding boundary.
+                let h = (r.trapped_minute / 60).saturating_sub(1);
+                scenario.is_flooded(r.position, h)
+            });
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Deep Q-learning with experience replay, a target network and action
+//! masking.
+//!
+//! The rescue dispatcher has a discrete action set (destination zones plus
+//! "return to the dispatching center") whose feasibility changes as roads
+//! flood, so both action selection and the TD target accept a valid-action
+//! mask.
+
+use crate::adam::Adam;
+use crate::nn::Mlp;
+use crate::replay::{ReplayBuffer, Transition};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// DQN hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DqnConfig {
+    /// State vector dimension.
+    pub state_dim: usize,
+    /// Number of discrete actions.
+    pub num_actions: usize,
+    /// Hidden layer sizes.
+    pub hidden: Vec<usize>,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Minibatch size per learning step.
+    pub batch_size: usize,
+    /// Replay buffer capacity.
+    pub replay_capacity: usize,
+    /// Transitions required before learning starts.
+    pub min_replay: usize,
+    /// Copy online → target every this many learning steps.
+    pub target_sync_every: u64,
+    /// Initial exploration rate.
+    pub eps_start: f64,
+    /// Final exploration rate.
+    pub eps_end: f64,
+    /// Steps over which ε anneals linearly.
+    pub eps_decay_steps: u64,
+    /// Use the Double-DQN target (online argmax, target evaluation).
+    pub double_dqn: bool,
+    /// RNG / initialization seed.
+    pub seed: u64,
+}
+
+impl DqnConfig {
+    /// Reasonable defaults for a small dispatch problem.
+    pub fn new(state_dim: usize, num_actions: usize) -> Self {
+        Self {
+            state_dim,
+            num_actions,
+            hidden: vec![64, 64],
+            gamma: 0.95,
+            lr: 1e-3,
+            batch_size: 32,
+            replay_capacity: 20_000,
+            min_replay: 200,
+            target_sync_every: 250,
+            eps_start: 1.0,
+            eps_end: 0.05,
+            eps_decay_steps: 5_000,
+            double_dqn: true,
+            seed: 0,
+        }
+    }
+}
+
+/// A DQN agent.
+///
+/// # Examples
+///
+/// ```
+/// use mobirescue_rl::dqn::{DqnAgent, DqnConfig};
+///
+/// let mut agent = DqnAgent::new(DqnConfig::new(4, 3));
+/// let action = agent.act(&[0.0, 1.0, 0.0, 0.5], &[true, true, false]);
+/// assert!(action < 2, "masked action 2 must never be chosen");
+/// ```
+#[derive(Debug)]
+pub struct DqnAgent {
+    config: DqnConfig,
+    online: Mlp,
+    target: Mlp,
+    adam: Adam,
+    replay: ReplayBuffer,
+    rng: StdRng,
+    act_steps: u64,
+    learn_steps: u64,
+}
+
+impl DqnAgent {
+    /// Creates an agent from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state_dim`, `num_actions` or `batch_size` is zero.
+    pub fn new(config: DqnConfig) -> Self {
+        assert!(config.state_dim > 0 && config.num_actions > 0, "dimensions must be positive");
+        assert!(config.batch_size > 0, "batch size must be positive");
+        let mut dims = vec![config.state_dim];
+        dims.extend_from_slice(&config.hidden);
+        dims.push(config.num_actions);
+        let online = Mlp::new(&dims, config.seed);
+        let mut target = Mlp::new(&dims, config.seed.wrapping_add(1));
+        target.copy_params_from(&online);
+        let adam = Adam::new(&online, config.lr);
+        let replay = ReplayBuffer::new(config.replay_capacity);
+        let rng = StdRng::seed_from_u64(config.seed ^ 0x6471_6e00);
+        Self { config, online, target, adam, replay, rng, act_steps: 0, learn_steps: 0 }
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &DqnConfig {
+        &self.config
+    }
+
+    /// Current exploration rate (linear anneal).
+    pub fn epsilon(&self) -> f64 {
+        let f = (self.act_steps as f64 / self.config.eps_decay_steps as f64).min(1.0);
+        self.config.eps_start + (self.config.eps_end - self.config.eps_start) * f
+    }
+
+    /// Q-values of every action in `state`.
+    pub fn q_values(&self, state: &[f64]) -> Vec<f64> {
+        self.online.predict(state)
+    }
+
+    /// ε-greedy action among the valid ones. An empty mask means all
+    /// actions are valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask length mismatches the action count or no action
+    /// is valid.
+    pub fn act(&mut self, state: &[f64], valid: &[bool]) -> usize {
+        self.act_steps += 1;
+        let eps = self.epsilon();
+        if self.rng.random::<f64>() < eps {
+            let candidates: Vec<usize> = valid_indices(valid, self.config.num_actions);
+            candidates[self.rng.random_range(0..candidates.len())]
+        } else {
+            self.act_greedy(state, valid)
+        }
+    }
+
+    /// Greedy (exploitation-only) action among the valid ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask length mismatches the action count or no action
+    /// is valid.
+    pub fn act_greedy(&self, state: &[f64], valid: &[bool]) -> usize {
+        let q = self.online.predict(state);
+        argmax_masked(&q, valid).expect("at least one valid action")
+    }
+
+    /// Stores a transition without learning (callers throttling update
+    /// frequency pair this with explicit [`DqnAgent::learn_step`] calls).
+    pub fn store(&mut self, transition: Transition) {
+        self.replay.push(transition);
+    }
+
+    /// Stores a transition and, if warmed up, performs one learning step.
+    /// Returns the TD loss when a step happened.
+    pub fn observe(&mut self, transition: Transition) -> Option<f64> {
+        self.replay.push(transition);
+        if self.replay.len() >= self.config.min_replay.max(self.config.batch_size) {
+            Some(self.learn_step())
+        } else {
+            None
+        }
+    }
+
+    /// One minibatch TD update; returns the mean squared TD error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replay buffer is empty.
+    pub fn learn_step(&mut self) -> f64 {
+        let batch_size = self.config.batch_size;
+        let batch: Vec<Transition> = self
+            .replay
+            .sample(&mut self.rng, batch_size)
+            .into_iter()
+            .cloned()
+            .collect();
+        self.online.zero_grad();
+        let mut loss = 0.0;
+        for t in &batch {
+            let target_q = if t.done {
+                t.reward
+            } else {
+                let next_best = if self.config.double_dqn {
+                    let online_next = self.online.predict(&t.next_state);
+                    let a = argmax_masked(&online_next, &t.next_valid)
+                        .expect("next state has a valid action");
+                    self.target.predict(&t.next_state)[a]
+                } else {
+                    let target_next = self.target.predict(&t.next_state);
+                    let a = argmax_masked(&target_next, &t.next_valid)
+                        .expect("next state has a valid action");
+                    target_next[a]
+                };
+                t.reward + self.config.gamma * next_best
+            };
+            let cache = self.online.forward(&t.state);
+            let q = cache.output()[t.action];
+            let err = q - target_q;
+            loss += err * err;
+            let mut dout = vec![0.0; self.config.num_actions];
+            dout[t.action] = err; // d(0.5 err²)/dq
+            self.online.backward(&cache, &dout);
+        }
+        self.adam.step(&mut self.online, batch_size);
+        self.learn_steps += 1;
+        if self.learn_steps.is_multiple_of(self.config.target_sync_every) {
+            self.sync_target();
+        }
+        loss / batch_size as f64
+    }
+
+    /// Copies the online network into the target network.
+    pub fn sync_target(&mut self) {
+        self.target.copy_params_from(&self.online);
+    }
+
+    /// Number of learning steps performed so far.
+    pub fn learn_steps(&self) -> u64 {
+        self.learn_steps
+    }
+}
+
+fn valid_indices(valid: &[bool], n: usize) -> Vec<usize> {
+    if valid.is_empty() {
+        return (0..n).collect();
+    }
+    assert_eq!(valid.len(), n, "mask length must equal the action count");
+    let out: Vec<usize> = (0..n).filter(|&i| valid[i]).collect();
+    assert!(!out.is_empty(), "no valid action");
+    out
+}
+
+fn argmax_masked(q: &[f64], valid: &[bool]) -> Option<usize> {
+    let ok = |i: usize| valid.is_empty() || valid[i];
+    (0..q.len())
+        .filter(|&i| ok(i))
+        .max_by(|&a, &b| q[a].partial_cmp(&q[b]).expect("Q values are never NaN"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 6-state corridor: start at 0, `right` (action 1) moves toward the
+    /// goal at state 5 (+1 reward, episode ends), `left` (action 0) moves
+    /// back. Optimal policy: always right.
+    fn corridor_step(state: usize, action: usize) -> (usize, f64, bool) {
+        let next = if action == 1 { state + 1 } else { state.saturating_sub(1) };
+        if next == 5 {
+            (next, 1.0, true)
+        } else {
+            (next, -0.01, false)
+        }
+    }
+
+    fn one_hot(s: usize) -> Vec<f64> {
+        let mut v = vec![0.0; 6];
+        v[s] = 1.0;
+        v
+    }
+
+    #[test]
+    fn learns_the_corridor() {
+        let mut cfg = DqnConfig::new(6, 2);
+        cfg.hidden = vec![24];
+        cfg.eps_decay_steps = 1_500;
+        cfg.min_replay = 64;
+        cfg.target_sync_every = 50;
+        cfg.seed = 7;
+        let mut agent = DqnAgent::new(cfg);
+        for _episode in 0..250 {
+            let mut s = 0usize;
+            for _ in 0..30 {
+                let a = agent.act(&one_hot(s), &[]);
+                let (s2, r, done) = corridor_step(s, a);
+                agent.observe(Transition {
+                    state: one_hot(s),
+                    action: a,
+                    reward: r,
+                    next_state: one_hot(s2),
+                    next_valid: Vec::new(),
+                    done,
+                });
+                s = s2;
+                if done {
+                    break;
+                }
+            }
+        }
+        // The greedy policy must walk straight to the goal.
+        let mut s = 0usize;
+        for step in 0..6 {
+            let a = agent.act_greedy(&one_hot(s), &[]);
+            assert_eq!(a, 1, "greedy policy went left at state {s} (step {step})");
+            let (s2, _, done) = corridor_step(s, a);
+            s = s2;
+            if done {
+                return;
+            }
+        }
+        panic!("never reached the goal");
+    }
+
+    #[test]
+    fn masking_blocks_invalid_actions() {
+        let mut agent = DqnAgent::new(DqnConfig::new(3, 4));
+        for _ in 0..100 {
+            let a = agent.act(&[0.1, 0.2, 0.3], &[false, true, false, true]);
+            assert!(a == 1 || a == 3);
+        }
+        let g = agent.act_greedy(&[0.1, 0.2, 0.3], &[false, false, true, false]);
+        assert_eq!(g, 2);
+    }
+
+    #[test]
+    fn epsilon_anneals() {
+        let mut cfg = DqnConfig::new(2, 2);
+        cfg.eps_decay_steps = 10;
+        let mut agent = DqnAgent::new(cfg);
+        assert_eq!(agent.epsilon(), 1.0);
+        for _ in 0..20 {
+            let _ = agent.act(&[0.0, 0.0], &[]);
+        }
+        assert!((agent.epsilon() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn learning_reduces_td_loss_on_a_bandit() {
+        // Single state, two actions with rewards 0 / 1, episodes of length 1.
+        let mut cfg = DqnConfig::new(1, 2);
+        cfg.min_replay = 16;
+        cfg.seed = 3;
+        let mut agent = DqnAgent::new(cfg);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for i in 0..800 {
+            let a = agent.act(&[1.0], &[]);
+            let r = if a == 1 { 1.0 } else { 0.0 };
+            if let Some(loss) = agent.observe(Transition {
+                state: vec![1.0],
+                action: a,
+                reward: r,
+                next_state: vec![1.0],
+                next_valid: Vec::new(),
+                done: true,
+            }) {
+                if first_loss.is_none() && i > 20 {
+                    first_loss = Some(loss);
+                }
+                last_loss = loss;
+            }
+        }
+        assert!(last_loss < first_loss.unwrap(), "loss did not shrink");
+        assert_eq!(agent.act_greedy(&[1.0], &[]), 1);
+        assert!(agent.learn_steps() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no valid action")]
+    fn all_masked_panics() {
+        let mut agent = DqnAgent::new(DqnConfig::new(1, 2));
+        let _ = agent.act(&[0.0], &[false, false]);
+    }
+}

@@ -1,0 +1,184 @@
+//! REINFORCE (Monte-Carlo policy gradient) — the policy-based alternative
+//! to the value-based DQN dispatcher, used for ablations.
+
+use crate::adam::Adam;
+use crate::nn::Mlp;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// REINFORCE hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReinforceConfig {
+    /// State vector dimension.
+    pub state_dim: usize,
+    /// Number of discrete actions.
+    pub num_actions: usize,
+    /// Hidden layer sizes.
+    pub hidden: Vec<usize>,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// RNG / initialization seed.
+    pub seed: u64,
+}
+
+impl ReinforceConfig {
+    /// Defaults for a small control problem.
+    pub fn new(state_dim: usize, num_actions: usize) -> Self {
+        Self { state_dim, num_actions, hidden: vec![32], gamma: 0.98, lr: 5e-3, seed: 0 }
+    }
+}
+
+/// A softmax-policy REINFORCE agent.
+#[derive(Debug)]
+pub struct Reinforce {
+    config: ReinforceConfig,
+    policy: Mlp,
+    adam: Adam,
+    rng: StdRng,
+    /// Current-episode `(state, action, reward)` log.
+    episode: Vec<(Vec<f64>, usize, f64)>,
+}
+
+impl Reinforce {
+    /// Creates an agent from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(config: ReinforceConfig) -> Self {
+        assert!(config.state_dim > 0 && config.num_actions > 0, "dimensions must be positive");
+        let mut dims = vec![config.state_dim];
+        dims.extend_from_slice(&config.hidden);
+        dims.push(config.num_actions);
+        let policy = Mlp::new(&dims, config.seed);
+        let adam = Adam::new(&policy, config.lr);
+        let rng = StdRng::seed_from_u64(config.seed ^ 0x7265_696e);
+        Self { config, policy, adam, rng, episode: Vec::new() }
+    }
+
+    /// Action probabilities in `state`.
+    pub fn probabilities(&self, state: &[f64]) -> Vec<f64> {
+        softmax(&self.policy.predict(state))
+    }
+
+    /// Samples an action from the softmax policy.
+    pub fn act(&mut self, state: &[f64]) -> usize {
+        let probs = self.probabilities(state);
+        let mut u = self.rng.random::<f64>();
+        for (i, p) in probs.iter().enumerate() {
+            if u <= *p {
+                return i;
+            }
+            u -= p;
+        }
+        probs.len() - 1
+    }
+
+    /// The greedy (most probable) action.
+    pub fn act_greedy(&self, state: &[f64]) -> usize {
+        let probs = self.probabilities(state);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are never NaN"))
+            .map(|(i, _)| i)
+            .expect("non-empty action set")
+    }
+
+    /// Records one step of the running episode.
+    pub fn record(&mut self, state: Vec<f64>, action: usize, reward: f64) {
+        self.episode.push((state, action, reward));
+    }
+
+    /// Ends the episode: computes normalized discounted returns and applies
+    /// one policy-gradient step. Returns the episode's total reward.
+    pub fn finish_episode(&mut self) -> f64 {
+        if self.episode.is_empty() {
+            return 0.0;
+        }
+        let n = self.episode.len();
+        let mut returns = vec![0.0; n];
+        let mut g = 0.0;
+        for i in (0..n).rev() {
+            g = self.episode[i].2 + self.config.gamma * g;
+            returns[i] = g;
+        }
+        let total: f64 = self.episode.iter().map(|e| e.2).sum();
+        // Normalize returns for variance reduction.
+        let mean = returns.iter().sum::<f64>() / n as f64;
+        let var = returns.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n as f64;
+        let std = var.sqrt().max(1e-8);
+        self.policy.zero_grad();
+        let episode = std::mem::take(&mut self.episode);
+        for ((state, action, _), ret) in episode.into_iter().zip(returns) {
+            let advantage = (ret - mean) / std;
+            let cache = self.policy.forward(&state);
+            let probs = softmax(cache.output());
+            // d(−log π(a|s))/dlogits = π − onehot(a), scaled by advantage.
+            let mut dout: Vec<f64> = probs.iter().map(|p| p * advantage).collect();
+            dout[action] -= advantage;
+            self.policy.backward(&cache, &dout);
+        }
+        self.adam.step(&mut self.policy, n);
+        total
+    }
+}
+
+fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_are_a_distribution() {
+        let agent = Reinforce::new(ReinforceConfig::new(3, 4));
+        let p = agent.probabilities(&[0.5, -0.5, 1.0]);
+        assert_eq!(p.len(), 4);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn learns_a_contextual_bandit() {
+        // Two states; the rewarded action equals the state index.
+        let mut cfg = ReinforceConfig::new(2, 2);
+        cfg.seed = 11;
+        let mut agent = Reinforce::new(cfg);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..400 {
+            for _ in 0..8 {
+                let s = rng.random_range(0..2usize);
+                let state = if s == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] };
+                let a = agent.act(&state);
+                let r = if a == s { 1.0 } else { -1.0 };
+                agent.record(state, a, r);
+            }
+            agent.finish_episode();
+        }
+        assert_eq!(agent.act_greedy(&[1.0, 0.0]), 0);
+        assert_eq!(agent.act_greedy(&[0.0, 1.0]), 1);
+    }
+
+    #[test]
+    fn finish_episode_returns_total_reward_and_clears() {
+        let mut agent = Reinforce::new(ReinforceConfig::new(1, 2));
+        agent.record(vec![0.0], 0, 1.0);
+        agent.record(vec![0.0], 1, 2.0);
+        assert_eq!(agent.finish_episode(), 3.0);
+        assert_eq!(agent.finish_episode(), 0.0, "episode log cleared");
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let p = softmax(&[1_000.0, 1_000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+}

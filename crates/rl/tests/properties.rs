@@ -1,0 +1,101 @@
+//! Property-based tests for the RL substrate.
+
+use mobirescue_rl::nn::Mlp;
+use mobirescue_rl::qscore::{QScore, QScoreConfig};
+use mobirescue_rl::replay::{ReplayBuffer, Transition};
+use mobirescue_rl::reinforce::{Reinforce, ReinforceConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Gradient check on arbitrary small architectures and inputs.
+    #[test]
+    fn backprop_matches_finite_differences(
+        seed in 0u64..500,
+        hidden in 2usize..6,
+        x in prop::collection::vec(-2.0f64..2.0, 3),
+    ) {
+        let mut mlp = Mlp::new(&[3, hidden, 1], seed);
+        let target = 0.7;
+        let cache = mlp.forward(&x);
+        let err = cache.output()[0] - target;
+        mlp.zero_grad();
+        mlp.backward(&cache, &[err]);
+        let mut grads = Vec::new();
+        mlp.visit_params_mut(|_, _, g| grads.push(g));
+        let loss = |m: &Mlp| {
+            let y = m.predict(&x)[0];
+            0.5 * (y - target) * (y - target)
+        };
+        let eps = 1e-6;
+        for k in (0..grads.len()).step_by(5) {
+            let mut plus = mlp.clone();
+            plus.visit_params_mut(|i, w, _| if i == k { *w += eps });
+            let mut minus = mlp.clone();
+            minus.visit_params_mut(|i, w, _| if i == k { *w -= eps });
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            prop_assert!((numeric - grads[k]).abs() < 1e-4,
+                "param {k}: numeric {numeric} vs analytic {}", grads[k]);
+        }
+    }
+
+    /// The replay buffer never exceeds capacity and always retains the most
+    /// recent item.
+    #[test]
+    fn replay_bounds(capacity in 1usize..20, pushes in 1usize..80) {
+        let mut buf = ReplayBuffer::new(capacity);
+        for i in 0..pushes {
+            buf.push(Transition {
+                state: vec![i as f64],
+                action: 0,
+                reward: i as f64,
+                next_state: vec![],
+                next_valid: vec![],
+                done: true,
+            });
+        }
+        prop_assert_eq!(buf.len(), pushes.min(capacity));
+        let mut rng = StdRng::seed_from_u64(0);
+        let sample = buf.sample(&mut rng, 64);
+        // Every sampled reward is one of the last `capacity` pushes.
+        let floor = pushes.saturating_sub(capacity) as f64;
+        prop_assert!(sample.iter().all(|t| t.reward >= floor));
+    }
+
+    /// Softmax policies always output proper distributions.
+    #[test]
+    fn reinforce_distribution(
+        state in prop::collection::vec(-5.0f64..5.0, 4),
+        actions in 2usize..8,
+        seed in 0u64..100,
+    ) {
+        let mut cfg = ReinforceConfig::new(4, actions);
+        cfg.seed = seed;
+        let agent = Reinforce::new(cfg);
+        let p = agent.probabilities(&state);
+        prop_assert_eq!(p.len(), actions);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| x > 0.0));
+        let greedy = agent.act_greedy(&state);
+        prop_assert!(p.iter().all(|&x| x <= p[greedy]));
+    }
+
+    /// QScore's greedy choice is consistent with its own Q values.
+    #[test]
+    fn qscore_best_is_argmax(
+        seed in 0u64..100,
+        candidates in prop::collection::vec(prop::collection::vec(-1.0f64..1.0, 3), 1..10),
+    ) {
+        let mut cfg = QScoreConfig::new(3);
+        cfg.seed = seed;
+        let q = QScore::new(cfg);
+        let best = q.best(&candidates);
+        let best_q = q.q(&candidates[best]);
+        for c in &candidates {
+            prop_assert!(q.q(c) <= best_q + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the road-network substrate.
+
+use mobirescue_roadnet::damage::NetworkCondition;
+use mobirescue_roadnet::generator::CityConfig;
+use mobirescue_roadnet::geo::GeoPoint;
+use mobirescue_roadnet::graph::{LandmarkId, SegmentId};
+use mobirescue_roadnet::routing::{FreeFlow, Router};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Haversine distance is a metric: symmetric, zero iff equal (for
+    /// distinct city-scale points), and satisfies the triangle inequality.
+    #[test]
+    fn haversine_is_a_metric(
+        lat1 in 34.0f64..37.0, lon1 in -82.0f64..-78.0,
+        lat2 in 34.0f64..37.0, lon2 in -82.0f64..-78.0,
+        lat3 in 34.0f64..37.0, lon3 in -82.0f64..-78.0,
+    ) {
+        let a = GeoPoint::new(lat1, lon1);
+        let b = GeoPoint::new(lat2, lon2);
+        let c = GeoPoint::new(lat3, lon3);
+        prop_assert!((a.distance_m(b) - b.distance_m(a)).abs() < 1e-6);
+        prop_assert!(a.distance_m(b) >= 0.0);
+        prop_assert!(a.distance_m(c) <= a.distance_m(b) + b.distance_m(c) + 1e-6);
+    }
+
+    /// offset_m followed by local_xy_m round-trips within a meter.
+    #[test]
+    fn offset_round_trip(
+        east in -20_000.0f64..20_000.0,
+        north in -20_000.0f64..20_000.0,
+    ) {
+        let origin = GeoPoint::new(35.2271, -80.8431);
+        let moved = origin.offset_m(east, north);
+        let (e, n) = moved.local_xy_m(origin);
+        prop_assert!((e - east).abs() < 1.0, "east {e} vs {east}");
+        prop_assert!((n - north).abs() < 1.0, "north {n} vs {north}");
+    }
+
+    /// Every shortest route is contiguous, starts/ends correctly, and its
+    /// reported travel time matches the sum over its segments.
+    #[test]
+    fn routes_are_valid(seed in 0u64..1_000, from in 0u32..144, to in 0u32..144) {
+        let city = CityConfig::small().build(seed);
+        let n = city.network.num_landmarks() as u32;
+        let from = LandmarkId(from % n);
+        let to = LandmarkId(to % n);
+        let router = Router::new(&city.network);
+        let route = router.shortest_path(&FreeFlow, from, to).expect("grid is connected");
+        prop_assert_eq!(*route.landmarks.first().unwrap(), from);
+        prop_assert_eq!(*route.landmarks.last().unwrap(), to);
+        let mut t = 0.0;
+        let mut cur = from;
+        for &sid in &route.segments {
+            let seg = city.network.segment(sid);
+            prop_assert_eq!(seg.from, cur);
+            cur = seg.to;
+            t += seg.free_flow_time_s();
+        }
+        prop_assert_eq!(cur, to);
+        prop_assert!((t - route.travel_time_s).abs() < 1e-6);
+    }
+
+    /// Shortest-path travel times satisfy the triangle inequality through
+    /// any intermediate landmark.
+    #[test]
+    fn dijkstra_triangle_inequality(seed in 0u64..100, mid in 0u32..144) {
+        let city = CityConfig::small().build(seed);
+        let n = city.network.num_landmarks() as u32;
+        let mid = LandmarkId(mid % n);
+        let router = Router::new(&city.network);
+        let from_depot = router.shortest_paths_from(&FreeFlow, city.depot);
+        let from_mid = router.shortest_paths_from(&FreeFlow, mid);
+        for lm in city.network.landmark_ids() {
+            let direct = from_depot.travel_time_s(lm).unwrap();
+            let via = from_depot.travel_time_s(mid).unwrap() + from_mid.travel_time_s(lm).unwrap();
+            prop_assert!(direct <= via + 1e-6);
+        }
+    }
+
+    /// Blocking segments never shortens any shortest path (monotonicity of
+    /// damage), and blocked segments never appear in a route.
+    #[test]
+    fn damage_is_monotone(seed in 0u64..100, blocked in prop::collection::vec(0u32..500, 0..40)) {
+        let city = CityConfig::small().build(seed);
+        let num_segs = city.network.num_segments() as u32;
+        let mut cond = NetworkCondition::pristine(&city.network);
+        let blocked: Vec<SegmentId> =
+            blocked.into_iter().map(|s| SegmentId(s % num_segs)).collect();
+        for &s in &blocked {
+            cond.block(s);
+        }
+        let router = Router::new(&city.network);
+        let pristine = router.shortest_paths_from(&FreeFlow, city.depot);
+        let damaged = router.shortest_paths_from(&cond, city.depot);
+        for lm in city.network.landmark_ids() {
+            let before = pristine.travel_time_s(lm).unwrap();
+            if let Some(after) = damaged.travel_time_s(lm) {
+                prop_assert!(after + 1e-9 >= before);
+            } // unreachable after damage is fine
+            if let Some(route) = damaged.route_to(&city.network, lm) {
+                for sid in route.segments {
+                    prop_assert!(cond.is_operable(sid), "route uses blocked {sid}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The dispatcher interface and a simple built-in baseline.
+//!
+//! Every dispatching method under evaluation (MobiRescue's RL, *Schedule*,
+//! *Rescue*) implements [`Dispatcher`]: the engine calls it every dispatch
+//! period with a [`DispatchState`] snapshot and applies the returned plan
+//! after the dispatcher's modeled *computation latency* — the quantity that
+//! separates RL (<0.5 s) from integer programming (~300 s) in Figure 13.
+
+use crate::types::{DispatchPlan, Order, RequestView, TeamView};
+use mobirescue_roadnet::damage::NetworkCondition;
+use mobirescue_roadnet::graph::{LandmarkId, RoadNetwork};
+use mobirescue_roadnet::routing::Router;
+
+/// Everything a dispatcher can see at a dispatch tick.
+#[derive(Debug)]
+pub struct DispatchState<'a> {
+    /// Seconds since simulation start.
+    pub now_s: u32,
+    /// Absolute scenario hour (for predictors indexing weather/flood state).
+    pub hour: u32,
+    /// All teams.
+    pub teams: &'a [TeamView],
+    /// Requests that have appeared and are not yet picked up.
+    pub waiting: &'a [RequestView],
+    /// The road network.
+    pub net: &'a RoadNetwork,
+    /// Current condition of the network (G̃ now).
+    pub condition: &'a NetworkCondition,
+    /// Hospital landmarks.
+    pub hospitals: &'a [LandmarkId],
+    /// The dispatching center.
+    pub depot: LandmarkId,
+}
+
+/// A rescue-team dispatching policy.
+pub trait Dispatcher {
+    /// Display name ("MobiRescue", "Schedule", "Rescue", ...).
+    fn name(&self) -> &str;
+
+    /// Modeled computation latency of one dispatch round, seconds. The
+    /// engine delays applying the plan by this much.
+    fn compute_latency_s(&self, state: &DispatchState<'_>) -> f64;
+
+    /// Computes the plan for this tick.
+    fn dispatch(&mut self, state: &DispatchState<'_>) -> DispatchPlan;
+}
+
+/// A naive built-in policy for engine tests and as an extra baseline: every
+/// idle team is sent to the segment of the oldest waiting request not yet
+/// claimed this tick; teams with nothing to do stand by where they are.
+#[derive(Debug, Clone, Default)]
+pub struct NearestRequestDispatcher;
+
+impl Dispatcher for NearestRequestDispatcher {
+    fn name(&self) -> &str {
+        "NearestRequest"
+    }
+
+    fn compute_latency_s(&self, _state: &DispatchState<'_>) -> f64 {
+        0.1
+    }
+
+    fn dispatch(&mut self, state: &DispatchState<'_>) -> DispatchPlan {
+        let mut plan = DispatchPlan::none(state.teams.len());
+        let router = Router::new(state.net);
+        let mut claimed = vec![false; state.waiting.len()];
+        for team in state.teams {
+            if team.delivering || team.onboard > 0 {
+                continue;
+            }
+            // Oldest unclaimed request reachable from this team.
+            let sp = router.shortest_paths_from(state.condition, team.location);
+            let target = state
+                .waiting
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !claimed[*i])
+                .filter(|(_, r)| {
+                    sp.travel_time_s(state.net.segment(r.segment).to).is_some()
+                })
+                .min_by_key(|(_, r)| r.appear_s);
+            if let Some((i, r)) = target {
+                claimed[i] = true;
+                plan.orders[team.id.index()] = Some(Order::GoToSegment(r.segment));
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{RequestId, TeamId};
+    use mobirescue_roadnet::generator::CityConfig;
+    use mobirescue_roadnet::graph::SegmentId;
+
+    #[test]
+    fn nearest_dispatcher_claims_each_request_once() {
+        let city = CityConfig::small().build(1);
+        let cond = NetworkCondition::pristine(&city.network);
+        let teams: Vec<TeamView> = (0..3)
+            .map(|i| TeamView {
+                id: TeamId(i),
+                location: city.hospitals[i as usize % city.hospitals.len()],
+                onboard: 0,
+                delivering: false,
+                standby: true,
+            })
+            .collect();
+        let waiting = vec![
+            RequestView { id: RequestId(0), segment: SegmentId(10), appear_s: 5 },
+            RequestView { id: RequestId(1), segment: SegmentId(20), appear_s: 1 },
+        ];
+        let state = DispatchState {
+            now_s: 100,
+            hour: 0,
+            teams: &teams,
+            waiting: &waiting,
+            net: &city.network,
+            condition: &cond,
+            hospitals: &city.hospitals,
+            depot: city.depot,
+        };
+        let mut d = NearestRequestDispatcher;
+        let plan = d.dispatch(&state);
+        let targets: Vec<_> = plan.orders.iter().flatten().collect();
+        assert_eq!(targets.len(), 2, "two requests, two orders");
+        assert_ne!(plan.orders[0], plan.orders[1], "requests claimed once each");
+        // Oldest request (id 1) claimed by the first team.
+        assert_eq!(plan.orders[0], Some(Order::GoToSegment(SegmentId(20))));
+        assert!(d.compute_latency_s(&state) < 1.0);
+    }
+
+    #[test]
+    fn busy_teams_keep_their_mission() {
+        let city = CityConfig::small().build(2);
+        let cond = NetworkCondition::pristine(&city.network);
+        let teams = vec![TeamView {
+            id: TeamId(0),
+            location: city.depot,
+            onboard: 2,
+            delivering: true,
+            standby: false,
+        }];
+        let waiting =
+            vec![RequestView { id: RequestId(0), segment: SegmentId(0), appear_s: 0 }];
+        let state = DispatchState {
+            now_s: 0,
+            hour: 0,
+            teams: &teams,
+            waiting: &waiting,
+            net: &city.network,
+            condition: &cond,
+            hospitals: &city.hospitals,
+            depot: city.depot,
+        };
+        let plan = NearestRequestDispatcher.dispatch(&state);
+        assert_eq!(plan.orders[0], None);
+    }
+}

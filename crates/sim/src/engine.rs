@@ -1,0 +1,536 @@
+//! The discrete-time rescue simulation engine.
+//!
+//! Replaces the paper's SUMO/Flow stack at the granularity its metrics are
+//! defined on: teams drive shortest routes over the hour-by-hour damaged
+//! network, pick up requests on the segments they traverse (the paper's
+//! reward counts requests "encountered by driving to their destination"),
+//! deliver to the nearest hospital when full or done, and receive new
+//! orders every dispatch period — delayed by the dispatcher's computation
+//! latency, exactly what Figure 13's timeliness metric penalizes.
+
+use crate::dispatcher::{DispatchState, Dispatcher};
+use crate::types::{
+    DispatchPlan, Order, RequestId, RequestOutcome, RequestSpec, RequestView, SimConfig, TeamId,
+    TeamView,
+};
+use mobirescue_mobility::flow::HourlyConditions;
+use mobirescue_roadnet::damage::NetworkCondition;
+use mobirescue_roadnet::generator::City;
+use mobirescue_roadnet::graph::{LandmarkId, SegmentId};
+use mobirescue_roadnet::routing::{Router, TravelCost};
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mission {
+    Standby,
+    ToSegment(SegmentId),
+    ToHospital,
+    ToBase,
+}
+
+#[derive(Debug)]
+struct Team {
+    location: LandmarkId,
+    route: VecDeque<SegmentId>,
+    seg_remaining_s: f64,
+    stall_s: f64,
+    onboard: Vec<RequestId>,
+    mission: Mission,
+    order_start_s: u32,
+}
+
+impl Team {
+    fn standby(&self) -> bool {
+        matches!(self.mission, Mission::Standby)
+    }
+
+    fn serving(&self) -> bool {
+        matches!(self.mission, Mission::ToSegment(_) | Mission::ToHospital)
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Name of the dispatcher that produced this run.
+    pub dispatcher: String,
+    /// The configuration used.
+    pub config: SimConfig,
+    /// Final state of every injected request.
+    pub requests: Vec<RequestOutcome>,
+    /// `(second, serving team count)` sampled at every dispatch tick
+    /// (Figure 14's series).
+    pub serving_per_tick: Vec<(u32, usize)>,
+    /// Requests picked up per team per simulated hour (Figures 9–10).
+    pub team_served: Vec<Vec<u32>>,
+    /// Number of dispatcher invocations.
+    pub dispatch_rounds: u32,
+    /// Orders that could not be routed on the damaged network.
+    pub unroutable_orders: u32,
+    /// Sampled `(second, per-team landmark)` rows when
+    /// [`SimConfig::sample_positions_every_s`] is set — the paper's RL
+    /// training-data stream of team positions.
+    pub position_samples: Vec<(u32, Vec<LandmarkId>)>,
+}
+
+/// Runs one simulation of `dispatcher` on `city` with the given request
+/// schedule.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (no teams, zero capacity), the
+/// city has no hospitals, a request references an unknown segment, or the
+/// simulated window extends past the scenario's hourly conditions.
+pub fn run(
+    city: &City,
+    conditions: &HourlyConditions,
+    requests: &[RequestSpec],
+    dispatcher: &mut dyn Dispatcher,
+    config: &SimConfig,
+) -> SimOutcome {
+    assert!(config.num_teams > 0, "need at least one team");
+    assert!(config.capacity > 0, "capacity must be positive");
+    assert!(config.dispatch_period_s > 0, "dispatch period must be positive");
+    assert!(!city.hospitals.is_empty(), "city must have hospitals");
+    assert!(
+        config.start_hour + config.duration_hours <= conditions.hours(),
+        "simulation window exceeds scenario conditions"
+    );
+    let net = &city.network;
+    for r in requests {
+        assert!(r.segment.index() < net.num_segments(), "unknown segment in request");
+    }
+    let router = Router::new(net);
+
+    // Reverse-segment lookup: requests on a one-way pair are reachable from
+    // either direction.
+    let mut reverse: HashMap<SegmentId, SegmentId> = HashMap::new();
+    {
+        let mut by_ends: HashMap<(LandmarkId, LandmarkId), SegmentId> = HashMap::new();
+        for seg in net.segments() {
+            by_ends.insert((seg.from, seg.to), seg.id);
+        }
+        for seg in net.segments() {
+            if let Some(&r) = by_ends.get(&(seg.to, seg.from)) {
+                reverse.insert(seg.id, r);
+            }
+        }
+    }
+
+    // Request bookkeeping.
+    let mut specs: Vec<(RequestId, RequestSpec)> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (RequestId(i as u32), s))
+        .collect();
+    specs.sort_by_key(|(_, s)| s.appear_s);
+    let mut outcomes: Vec<RequestOutcome> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, &spec)| RequestOutcome {
+            id: RequestId(i as u32),
+            spec,
+            picked_up_s: None,
+            delivered_s: None,
+            team: None,
+            driving_delay_s: None,
+        })
+        .collect();
+    let mut waiting_by_segment: HashMap<SegmentId, Vec<RequestId>> = HashMap::new();
+    let mut next_spec = 0usize;
+
+    // Teams start distributed round-robin over the hospitals.
+    let mut teams: Vec<Team> = (0..config.num_teams)
+        .map(|i| Team {
+            location: city.hospitals[i % city.hospitals.len()],
+            route: VecDeque::new(),
+            seg_remaining_s: 0.0,
+            stall_s: 0.0,
+            onboard: Vec::new(),
+            mission: Mission::Standby,
+            order_start_s: 0,
+        })
+        .collect();
+
+    let mut serving_per_tick = Vec::new();
+    let mut position_samples = Vec::new();
+    let mut team_served = vec![vec![0u32; config.duration_hours as usize]; config.num_teams];
+    let mut pending_plans: VecDeque<(u32, DispatchPlan)> = VecDeque::new();
+    let mut dispatch_rounds = 0u32;
+    let mut unroutable_orders = 0u32;
+
+    let end = config.duration_s();
+    for now in 0..end {
+        let hour = (config.start_hour + now / 3_600).min(conditions.hours() - 1);
+        let cond = conditions.at(hour);
+
+        // 1. Inject appearing requests.
+        while next_spec < specs.len() && specs[next_spec].1.appear_s <= now {
+            let (id, spec) = specs[next_spec];
+            waiting_by_segment.entry(spec.segment).or_default().push(id);
+            next_spec += 1;
+        }
+
+        // 1b. Sample team positions (Section IV-C4 training data).
+        if let Some(every) = config.sample_positions_every_s {
+            if every > 0 && now % every == 0 {
+                position_samples.push((now, teams.iter().map(|t| t.location).collect()));
+            }
+        }
+
+        // 2. Dispatch tick.
+        if now % config.dispatch_period_s == 0 {
+            serving_per_tick.push((now, teams.iter().filter(|t| t.serving()).count()));
+            let views: Vec<TeamView> = teams
+                .iter()
+                .enumerate()
+                .map(|(i, t)| TeamView {
+                    id: TeamId(i as u32),
+                    location: t.location,
+                    onboard: t.onboard.len(),
+                    delivering: t.mission == Mission::ToHospital,
+                    standby: t.standby(),
+                })
+                .collect();
+            let waiting: Vec<RequestView> = waiting_by_segment
+                .iter()
+                .flat_map(|(&segment, ids)| {
+                    ids.iter().map(move |&id| (segment, id))
+                })
+                .map(|(segment, id)| RequestView {
+                    id,
+                    segment,
+                    appear_s: outcomes[id.index()].spec.appear_s,
+                })
+                .collect();
+            let mut waiting = waiting;
+            waiting.sort_by_key(|r| r.id);
+            let state = DispatchState {
+                now_s: now,
+                hour,
+                teams: &views,
+                waiting: &waiting,
+                net,
+                condition: cond,
+                hospitals: &city.hospitals,
+                depot: city.depot,
+            };
+            let latency = dispatcher.compute_latency_s(&state).max(0.0);
+            let plan = dispatcher.dispatch(&state);
+            pending_plans.push_back((now + latency.ceil() as u32, plan));
+            dispatch_rounds += 1;
+        }
+
+        // 3. Apply plans whose computation has finished.
+        while pending_plans.front().is_some_and(|(t, _)| *t <= now) {
+            let (_, plan) = pending_plans.pop_front().expect("checked non-empty");
+            for (i, order) in plan.orders.iter().enumerate().take(teams.len()) {
+                let Some(order) = order else { continue };
+                let team = &mut teams[i];
+                if team.mission == Mission::ToHospital || team.onboard.len() >= config.capacity
+                {
+                    continue; // committed to unloading
+                }
+                match order {
+                    Order::GoToSegment(seg) => {
+                        if !set_route_to_segment(team, &router, cond, *seg) {
+                            unroutable_orders += 1;
+                        } else {
+                            team.mission = Mission::ToSegment(*seg);
+                            team.order_start_s = now;
+                        }
+                    }
+                    Order::ReturnToBase => {
+                        if team.onboard.is_empty()
+                            && set_route_to_landmark(team, &router, cond, city.depot)
+                        {
+                            team.mission = Mission::ToBase;
+                            team.order_start_s = now;
+                        }
+                    }
+                }
+            }
+        }
+
+        // 4. Move teams.
+        for (ti, team) in teams.iter_mut().enumerate() {
+            if team.stall_s > 0.0 {
+                team.stall_s -= 1.0;
+                continue;
+            }
+            // A team ordered to a hospital it is already at unloads on the
+            // spot.
+            if team.route.is_empty() && team.mission == Mission::ToHospital {
+                for id in team.onboard.drain(..) {
+                    outcomes[id.index()].delivered_s = Some(now);
+                }
+                team.mission = Mission::Standby;
+            }
+            let Some(&current) = team.route.front() else { continue };
+            if team.seg_remaining_s <= 0.0 {
+                // Entering the segment now.
+                match cond.travel_time_s(net.segment(current)) {
+                    Some(t) => team.seg_remaining_s = t,
+                    None => {
+                        // Flooded since routing: replan toward the mission.
+                        if !replan(team, &router, cond, net, city) {
+                            abort_mission(team, &router, cond, city);
+                        }
+                        continue;
+                    }
+                }
+            }
+            team.seg_remaining_s -= 1.0;
+            if team.seg_remaining_s > 0.0 {
+                continue;
+            }
+            // Arrived at the end of `current`.
+            team.route.pop_front();
+            team.location = net.segment(current).to;
+            let hour_idx = (now / 3_600) as usize;
+            pickup_on(
+                current,
+                &reverse,
+                team,
+                ti,
+                now,
+                config,
+                &mut waiting_by_segment,
+                &mut outcomes,
+                &mut team_served[ti][hour_idx..hour_idx + 1],
+            );
+            if team.onboard.len() >= config.capacity {
+                team.route.clear();
+            }
+            if team.route.is_empty() {
+                // Mission endpoint reached (or truncated by a full load).
+                match team.mission {
+                    Mission::ToSegment(target) => {
+                        // Serve the assigned segment even if it could not
+                        // be traversed (e.g. the segment itself is flooded)
+                        // — but only from one of its endpoints; a route
+                        // truncated at the water's edge does not reach the
+                        // trapped person.
+                        let tgt = net.segment(target);
+                        if team.location == tgt.from || team.location == tgt.to {
+                            pickup_on(
+                                target,
+                                &reverse,
+                                team,
+                                ti,
+                                now,
+                                config,
+                                &mut waiting_by_segment,
+                                &mut outcomes,
+                                &mut team_served[ti][hour_idx..hour_idx + 1],
+                            );
+                        }
+                        if team.onboard.is_empty() {
+                            team.mission = Mission::Standby;
+                        } else {
+                            head_to_hospital(team, &router, cond, city, now);
+                        }
+                    }
+                    Mission::ToHospital => {
+                        for id in team.onboard.drain(..) {
+                            outcomes[id.index()].delivered_s = Some(now);
+                        }
+                        team.mission = Mission::Standby;
+                    }
+                    Mission::ToBase | Mission::Standby => {
+                        team.mission = Mission::Standby;
+                    }
+                }
+            }
+        }
+    }
+
+    SimOutcome {
+        dispatcher: dispatcher.name().to_owned(),
+        config: config.clone(),
+        requests: outcomes,
+        serving_per_tick,
+        team_served,
+        dispatch_rounds,
+        unroutable_orders,
+        position_samples,
+    }
+}
+
+/// Picks up waiting requests on `seg` (and its reverse twin) into `team`,
+/// recording outcomes. `served_slot` is the team's counter for the current
+/// hour.
+#[allow(clippy::too_many_arguments)]
+fn pickup_on(
+    seg: SegmentId,
+    reverse: &HashMap<SegmentId, SegmentId>,
+    team: &mut Team,
+    team_index: usize,
+    now: u32,
+    config: &SimConfig,
+    waiting_by_segment: &mut HashMap<SegmentId, Vec<RequestId>>,
+    outcomes: &mut [RequestOutcome],
+    served_slot: &mut [u32],
+) {
+    let mut segs = vec![seg];
+    if let Some(&r) = reverse.get(&seg) {
+        segs.push(r);
+    }
+    for s in segs {
+        let Some(queue) = waiting_by_segment.get_mut(&s) else { continue };
+        while !queue.is_empty() && team.onboard.len() < config.capacity {
+            let id = queue.remove(0);
+            let out = &mut outcomes[id.index()];
+            out.picked_up_s = Some(now);
+            out.team = Some(TeamId(team_index as u32));
+            // Driving delay counts from whichever came later: the team's
+            // order or the request's appearance — a pre-positioned team
+            // was not yet "driving to" a request that did not exist.
+            let start = team.order_start_s.max(out.spec.appear_s);
+            out.driving_delay_s = Some(now.saturating_sub(start) as f64);
+            team.onboard.push(id);
+            team.stall_s += config.pickup_service_s as f64;
+            served_slot[0] += 1;
+        }
+        if queue.is_empty() {
+            waiting_by_segment.remove(&s);
+        }
+    }
+}
+
+/// Where rerouting starts and which in-progress segment must be kept: a
+/// team midway along a segment finishes it first and replans from its end;
+/// an idle team replans from its location.
+fn reroute_start(team: &Team, router: &Router<'_>) -> (LandmarkId, VecDeque<SegmentId>) {
+    if team.seg_remaining_s > 0.0 {
+        if let Some(&cur) = team.route.front() {
+            let mut prefix = VecDeque::new();
+            prefix.push_back(cur);
+            return (router.network().segment(cur).to, prefix);
+        }
+    }
+    (team.location, VecDeque::new())
+}
+
+/// Routes `team` to traverse `seg` (or only to `seg.from` when the segment
+/// itself is flooded — the assigned pickup still happens on arrival).
+///
+/// When the target is unreachable on the damaged network, the team instead
+/// drives the *pre-disaster* shortest route as far as the first blockage —
+/// modelling a damage-unaware dispatcher's vehicles discovering the flood
+/// en route. Returns `false` only when the team cannot move toward the
+/// target at all.
+fn set_route_to_segment(
+    team: &mut Team,
+    router: &Router<'_>,
+    cond: &NetworkCondition,
+    seg: SegmentId,
+) -> bool {
+    let net = router.network();
+    let target_from = net.segment(seg).from;
+    let (start, mut route) = reroute_start(team, router);
+    if let Some(path) = router.shortest_path(cond, start, target_from) {
+        route.extend(path.segments);
+        if cond.is_operable(seg) {
+            route.push_back(seg);
+        }
+        team.route = route;
+        return true;
+    }
+    // Unreachable on G̃: drive the intact-network route up to the water's
+    // edge.
+    let Some(path) =
+        router.shortest_path(&mobirescue_roadnet::routing::FreeFlow, start, target_from)
+    else {
+        return false;
+    };
+    let mut drove_anywhere = false;
+    for sid in path.segments {
+        if !cond.is_operable(sid) {
+            break;
+        }
+        route.push_back(sid);
+        drove_anywhere = true;
+    }
+    if !drove_anywhere {
+        return false;
+    }
+    team.route = route;
+    true
+}
+
+/// Routes `team` to a landmark. Returns `false` when unreachable.
+fn set_route_to_landmark(
+    team: &mut Team,
+    router: &Router<'_>,
+    cond: &NetworkCondition,
+    to: LandmarkId,
+) -> bool {
+    let (start, mut route) = reroute_start(team, router);
+    let Some(path) = router.shortest_path(cond, start, to) else {
+        return false;
+    };
+    route.extend(path.segments);
+    team.route = route;
+    true
+}
+
+/// Replans the current mission from the team's location. Returns `false`
+/// when the mission target is unreachable.
+fn replan(
+    team: &mut Team,
+    router: &Router<'_>,
+    cond: &NetworkCondition,
+    _net: &mobirescue_roadnet::graph::RoadNetwork,
+    city: &City,
+) -> bool {
+    team.seg_remaining_s = 0.0;
+    team.route.clear();
+    match team.mission {
+        Mission::ToSegment(seg) => set_route_to_segment(team, router, cond, seg),
+        Mission::ToHospital => {
+            router
+                .nearest_target(cond, team.location, &city.hospitals)
+                .is_some_and(|(i, _)| {
+                    set_route_to_landmark(team, router, cond, city.hospitals[i])
+                })
+        }
+        Mission::ToBase => set_route_to_landmark(team, router, cond, city.depot),
+        Mission::Standby => true,
+    }
+}
+
+/// Abandons the mission: loaded teams try any hospital, empty teams stand
+/// by.
+fn abort_mission(team: &mut Team, router: &Router<'_>, cond: &NetworkCondition, city: &City) {
+    team.route.clear();
+    team.seg_remaining_s = 0.0;
+    if !team.onboard.is_empty() {
+        if let Some((i, _)) = router.nearest_target(cond, team.location, &city.hospitals) {
+            if set_route_to_landmark(team, router, cond, city.hospitals[i]) {
+                team.mission = Mission::ToHospital;
+                return;
+            }
+        }
+    }
+    team.mission = Mission::Standby;
+}
+
+/// Sends a loaded team to the nearest reachable hospital.
+fn head_to_hospital(
+    team: &mut Team,
+    router: &Router<'_>,
+    cond: &NetworkCondition,
+    city: &City,
+    now: u32,
+) {
+    team.seg_remaining_s = 0.0;
+    if let Some((i, _)) = router.nearest_target(cond, team.location, &city.hospitals) {
+        if set_route_to_landmark(team, router, cond, city.hospitals[i]) {
+            team.mission = Mission::ToHospital;
+            team.order_start_s = now;
+            return;
+        }
+    }
+    team.mission = Mission::Standby;
+}

@@ -1,0 +1,220 @@
+//! Core simulation types: configuration, requests, team views, orders.
+
+use mobirescue_roadnet::graph::{LandmarkId, SegmentId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a rescue team.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TeamId(pub u32);
+
+impl TeamId {
+    /// Index into team storage.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TeamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a rescue request.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RequestId(pub u32);
+
+impl RequestId {
+    /// Index into request storage.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// One rescue request to be injected into the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestSpec {
+    /// Seconds after simulation start at which the request appears.
+    pub appear_s: u32,
+    /// Road segment the trapped person is on.
+    pub segment: SegmentId,
+}
+
+/// Simulation configuration (the paper's experiment settings, Section V-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of rescue teams (the paper simulates 100).
+    pub num_teams: usize,
+    /// Team capacity `c` — people carried at once (the paper suggests 5).
+    pub capacity: usize,
+    /// Dispatch period in seconds (the paper runs every 5 minutes).
+    pub dispatch_period_s: u32,
+    /// Time to load one person, seconds.
+    pub pickup_service_s: u32,
+    /// Absolute scenario hour at which the simulation starts.
+    pub start_hour: u32,
+    /// Simulated duration in hours (the paper runs 24 h).
+    pub duration_hours: u32,
+    /// Requests served within this bound are "timely served" (30 min).
+    pub timely_threshold_s: u32,
+    /// When set, record every team's landmark position at this interval
+    /// (seconds) — the paper samples team positions "per unit time (e.g.,
+    /// 1 minute)" as RL training data (Section IV-C4).
+    pub sample_positions_every_s: Option<u32>,
+}
+
+impl SimConfig {
+    /// The paper's experiment settings: 100 teams, capacity 5, 5-minute
+    /// dispatch period, 24 hours, 30-minute timeliness bound.
+    pub fn paper(start_hour: u32) -> Self {
+        Self {
+            num_teams: 100,
+            capacity: 5,
+            dispatch_period_s: 300,
+            pickup_service_s: 60,
+            start_hour,
+            duration_hours: 24,
+            timely_threshold_s: 1_800,
+            sample_positions_every_s: None,
+        }
+    }
+
+    /// A small configuration for tests.
+    pub fn small(start_hour: u32) -> Self {
+        Self { num_teams: 6, duration_hours: 4, ..Self::paper(start_hour) }
+    }
+
+    /// Total simulated seconds.
+    pub fn duration_s(&self) -> u32 {
+        self.duration_hours * 3_600
+    }
+}
+
+/// An order for one team, produced by a dispatcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Order {
+    /// Drive to the given road segment (the paper's `x_mk = e_j ∈ Ẽ`).
+    GoToSegment(SegmentId),
+    /// Drive back to the dispatching center and stand by (`x_mk = 0`).
+    ReturnToBase,
+}
+
+/// A dispatch plan: for each team, an optional new order (`None` keeps the
+/// team doing whatever it was doing).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DispatchPlan {
+    /// One slot per team, indexed by [`TeamId`].
+    pub orders: Vec<Option<Order>>,
+}
+
+impl DispatchPlan {
+    /// A plan of `n` empty orders.
+    pub fn none(n: usize) -> Self {
+        Self { orders: vec![None; n] }
+    }
+}
+
+/// What a dispatcher can see about one team.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TeamView {
+    /// The team's id.
+    pub id: TeamId,
+    /// The landmark the team is at or will next reach.
+    pub location: LandmarkId,
+    /// People currently on board.
+    pub onboard: usize,
+    /// Whether the team is driving to a hospital to unload (it will ignore
+    /// orders until done).
+    pub delivering: bool,
+    /// Whether the team is standing by (idle at a hospital or the depot).
+    pub standby: bool,
+}
+
+/// What a dispatcher can see about one waiting request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestView {
+    /// The request's id.
+    pub id: RequestId,
+    /// Segment the request is on.
+    pub segment: SegmentId,
+    /// Seconds after simulation start at which it appeared.
+    pub appear_s: u32,
+}
+
+/// Final outcome of one request after the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestOutcome {
+    /// The request's id.
+    pub id: RequestId,
+    /// The injected spec.
+    pub spec: RequestSpec,
+    /// When the person was picked up, if ever.
+    pub picked_up_s: Option<u32>,
+    /// When the person was delivered to a hospital, if ever.
+    pub delivered_s: Option<u32>,
+    /// The serving team.
+    pub team: Option<TeamId>,
+    /// The serving team's driving time from its order to the pickup.
+    pub driving_delay_s: Option<f64>,
+}
+
+impl RequestOutcome {
+    /// Waiting time from appearance to pickup (the paper's *timeliness of
+    /// rescuing*, which includes dispatch computation delay).
+    pub fn timeliness_s(&self) -> Option<u32> {
+        self.picked_up_s.map(|p| p.saturating_sub(self.spec.appear_s))
+    }
+
+    /// Whether the request was picked up within `threshold_s` of appearing.
+    pub fn timely_served(&self, threshold_s: u32) -> bool {
+        self.timeliness_s().is_some_and(|t| t <= threshold_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(TeamId(3).to_string(), "T3");
+        assert_eq!(RequestId(9).to_string(), "R9");
+    }
+
+    #[test]
+    fn outcome_timeliness() {
+        let out = RequestOutcome {
+            id: RequestId(0),
+            spec: RequestSpec { appear_s: 100, segment: SegmentId(0) },
+            picked_up_s: Some(400),
+            delivered_s: None,
+            team: Some(TeamId(1)),
+            driving_delay_s: Some(250.0),
+        };
+        assert_eq!(out.timeliness_s(), Some(300));
+        assert!(out.timely_served(300));
+        assert!(!out.timely_served(299));
+        let unserved = RequestOutcome { picked_up_s: None, ..out };
+        assert_eq!(unserved.timeliness_s(), None);
+        assert!(!unserved.timely_served(10_000));
+    }
+
+    #[test]
+    fn config_durations() {
+        let cfg = SimConfig::paper(360);
+        assert_eq!(cfg.duration_s(), 86_400);
+        assert_eq!(cfg.num_teams, 100);
+        assert_eq!(SimConfig::small(0).num_teams, 6);
+    }
+}

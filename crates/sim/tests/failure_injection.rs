@@ -1,0 +1,145 @@
+//! Failure injection: the network degrades *while* teams are driving.
+//! The engine must replan, strand gracefully, and never violate its
+//! conservation laws.
+
+use mobirescue_mobility::flow::HourlyConditions;
+use mobirescue_roadnet::damage::NetworkCondition;
+use mobirescue_roadnet::generator::{City, CityConfig};
+use mobirescue_roadnet::graph::SegmentId;
+use mobirescue_sim::dispatcher::NearestRequestDispatcher;
+use mobirescue_sim::types::{RequestSpec, SimConfig};
+
+fn city() -> City {
+    CityConfig::small().build(17)
+}
+
+/// Hour 0 pristine; from hour 1 on, a widening band of blocked segments
+/// sweeps the city.
+fn degrading_conditions(city: &City, hours: u32) -> HourlyConditions {
+    let conditions = (0..hours)
+        .map(|h| {
+            let mut cond = NetworkCondition::pristine(&city.network);
+            for seg in city.network.segments() {
+                let mid = city.network.segment_midpoint(seg.id);
+                let (_, north) = mid.local_xy_m(city.center);
+                let band_half_width = 600.0 * h as f64;
+                if north.abs() <= band_half_width {
+                    cond.block(seg.id);
+                }
+            }
+            cond
+        })
+        .collect();
+    HourlyConditions::from_conditions(conditions)
+}
+
+#[test]
+fn engine_survives_progressive_damage() {
+    let city = city();
+    let conditions = degrading_conditions(&city, 6);
+    let num_segments = city.network.num_segments() as u32;
+    let requests: Vec<RequestSpec> = (0..30)
+        .map(|i| RequestSpec { appear_s: i * 550, segment: SegmentId((i * 29) % num_segments) })
+        .collect();
+    let mut config = SimConfig::small(0);
+    config.duration_hours = 6;
+    let outcome = mobirescue_sim::run(
+        &city,
+        &conditions,
+        &requests,
+        &mut NearestRequestDispatcher,
+        &config,
+    );
+    // No panics, invariants hold, and the early (pristine) phase serves
+    // some requests while the late (severed) phase cannot serve them all.
+    assert!(outcome.total_served() > 0, "nothing served before the damage");
+    assert!(
+        outcome.total_served() < requests.len(),
+        "progressive damage should strand some requests"
+    );
+    for r in &outcome.requests {
+        if let Some(p) = r.picked_up_s {
+            assert!(p >= r.spec.appear_s);
+        }
+    }
+}
+
+#[test]
+fn teams_boxed_in_by_water_do_not_wedge_the_engine() {
+    let city = city();
+    // Hour 0 pristine; hour 1+ everything blocked — teams freeze wherever
+    // they are.
+    let mut all_blocked = NetworkCondition::pristine(&city.network);
+    for sid in city.network.segment_ids() {
+        all_blocked.block(sid);
+    }
+    let conditions = HourlyConditions::from_conditions(vec![
+        NetworkCondition::pristine(&city.network),
+        all_blocked.clone(),
+        all_blocked.clone(),
+        all_blocked,
+    ]);
+    let num_segments = city.network.num_segments() as u32;
+    let requests: Vec<RequestSpec> = (0..12)
+        .map(|i| RequestSpec {
+            appear_s: 3_700 + i * 60, // appear after the flood hits
+            segment: SegmentId((i * 43) % num_segments),
+        })
+        .collect();
+    let mut config = SimConfig::small(0);
+    config.duration_hours = 4;
+    let outcome = mobirescue_sim::run(
+        &city,
+        &conditions,
+        &requests,
+        &mut NearestRequestDispatcher,
+        &config,
+    );
+    // Every order is unroutable once the world is water; the run must
+    // still terminate with all requests unserved.
+    assert_eq!(outcome.total_served(), 0);
+    assert!(outcome.dispatch_rounds >= 40);
+}
+
+#[test]
+fn recovery_restores_service() {
+    let city = city();
+    // Blocked for the first two hours, pristine afterwards.
+    let mut blocked = NetworkCondition::pristine(&city.network);
+    for sid in city.network.segment_ids() {
+        blocked.block(sid);
+    }
+    let pristine = NetworkCondition::pristine(&city.network);
+    let conditions = HourlyConditions::from_conditions(vec![
+        blocked.clone(),
+        blocked,
+        pristine.clone(),
+        pristine.clone(),
+        pristine,
+    ]);
+    let num_segments = city.network.num_segments() as u32;
+    let requests: Vec<RequestSpec> = (0..10)
+        .map(|i| RequestSpec { appear_s: 60 + i * 120, segment: SegmentId((i * 31) % num_segments) })
+        .collect();
+    let mut config = SimConfig::small(0);
+    config.duration_hours = 5;
+    let outcome = mobirescue_sim::run(
+        &city,
+        &conditions,
+        &requests,
+        &mut NearestRequestDispatcher,
+        &config,
+    );
+    // All requests appeared during the blockade but teams serve them after
+    // the waters recede.
+    assert!(
+        outcome.total_served() >= 8,
+        "only {}/10 served after recovery",
+        outcome.total_served()
+    );
+    for r in &outcome.requests {
+        if let Some(p) = r.picked_up_s {
+            assert!(p >= 2 * 3_600, "{} picked up during the blockade", r.id);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the simulation engine: conservation laws that
+//! must hold for any request schedule.
+
+use mobirescue_disaster::hurricane::Hurricane;
+use mobirescue_disaster::scenario::DisasterScenario;
+use mobirescue_mobility::flow::HourlyConditions;
+use mobirescue_roadnet::generator::CityConfig;
+use mobirescue_roadnet::graph::SegmentId;
+use mobirescue_sim::dispatcher::NearestRequestDispatcher;
+use mobirescue_sim::types::{RequestSpec, SimConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+struct Fixture {
+    city: mobirescue_roadnet::generator::City,
+    conditions: HourlyConditions,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let city = CityConfig::small().build(99);
+        let scenario = DisasterScenario::new(&city, Hurricane::florence(), 99);
+        let conditions = HourlyConditions::compute(&city.network, &scenario);
+        Fixture { city, conditions }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any request schedule: outcomes are causal (pickup ≥ appear,
+    /// delivery ≥ pickup), per-team counters match, serving counts are
+    /// bounded by the fleet, and every request appears exactly once.
+    #[test]
+    fn engine_conservation_laws(
+        specs in prop::collection::vec((0u32..3 * 3_600, 0u32..500), 1..25),
+        teams in 1usize..5,
+        capacity in 1usize..4,
+    ) {
+        let f = fixture();
+        let num_segments = f.city.network.num_segments() as u32;
+        let requests: Vec<RequestSpec> = specs
+            .iter()
+            .map(|&(appear_s, seg)| RequestSpec { appear_s, segment: SegmentId(seg % num_segments) })
+            .collect();
+        let mut config = SimConfig::small(24);
+        config.num_teams = teams;
+        config.capacity = capacity;
+        let outcome = mobirescue_sim::run(
+            &f.city,
+            &f.conditions,
+            &requests,
+            &mut NearestRequestDispatcher,
+            &config,
+        );
+        prop_assert_eq!(outcome.requests.len(), requests.len());
+        for r in &outcome.requests {
+            if let Some(p) = r.picked_up_s {
+                prop_assert!(p >= r.spec.appear_s);
+                prop_assert!(r.team.is_some());
+                let delay = r.driving_delay_s.expect("served requests carry a delay");
+                prop_assert!(delay >= 0.0);
+                if let Some(d) = r.delivered_s {
+                    prop_assert!(d >= p);
+                }
+            } else {
+                prop_assert!(r.team.is_none() && r.delivered_s.is_none());
+            }
+        }
+        let counted: u32 = outcome.team_served.iter().flatten().sum();
+        prop_assert_eq!(counted as usize, outcome.total_served());
+        for &(_, n) in outcome.serving_teams_per_slot() {
+            prop_assert!(n <= teams);
+        }
+        prop_assert!(outcome.total_timely_served() <= outcome.total_served());
+    }
+
+    /// Determinism: identical inputs give identical outcomes.
+    #[test]
+    fn engine_is_deterministic(
+        specs in prop::collection::vec((0u32..2 * 3_600, 0u32..500), 1..10),
+    ) {
+        let f = fixture();
+        let num_segments = f.city.network.num_segments() as u32;
+        let requests: Vec<RequestSpec> = specs
+            .iter()
+            .map(|&(appear_s, seg)| RequestSpec { appear_s, segment: SegmentId(seg % num_segments) })
+            .collect();
+        let config = SimConfig::small(24);
+        let a = mobirescue_sim::run(
+            &f.city, &f.conditions, &requests, &mut NearestRequestDispatcher, &config,
+        );
+        let b = mobirescue_sim::run(
+            &f.city, &f.conditions, &requests, &mut NearestRequestDispatcher, &config,
+        );
+        prop_assert_eq!(a.requests, b.requests);
+        prop_assert_eq!(a.serving_per_tick, b.serving_per_tick);
+    }
+}

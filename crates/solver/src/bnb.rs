@@ -1,0 +1,287 @@
+//! Exact 0/1 integer programming by branch-and-bound.
+//!
+//! The baselines' dispatch formulations are assignment problems (solved
+//! exactly by [`crate::hungarian`]), but the paper emphasizes that *general*
+//! integer programming is what makes them slow. This module provides the
+//! general form for completeness and for latency benchmarks: minimize
+//! `c · x` over binary `x` subject to covering constraints `Σⱼ aᵢⱼ xⱼ ≥ bᵢ`
+//! with non-negative coefficients.
+
+use serde::{Deserialize, Serialize};
+
+/// A 0/1 covering program: minimize `c·x` s.t. `A x ≥ b`, `x ∈ {0,1}ⁿ`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverProblem {
+    /// Objective coefficients, one per variable (must be ≥ 0).
+    pub costs: Vec<f64>,
+    /// Constraint rows: `(coefficients, required amount)`.
+    pub constraints: Vec<(Vec<f64>, f64)>,
+}
+
+/// An optimal solution to a [`CoverProblem`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverSolution {
+    /// Chosen variables.
+    pub selected: Vec<bool>,
+    /// Objective value.
+    pub cost: f64,
+    /// Search nodes explored (a proxy for "integer programming is slow").
+    pub nodes_explored: u64,
+}
+
+impl CoverProblem {
+    /// Validates shape: every constraint row has one coefficient per
+    /// variable, and all data is non-negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input.
+    fn validate(&self) {
+        let n = self.costs.len();
+        assert!(n > 0, "need at least one variable");
+        assert!(self.costs.iter().all(|&c| c >= 0.0), "costs must be non-negative");
+        for (row, b) in &self.constraints {
+            assert_eq!(row.len(), n, "constraint row has wrong width");
+            assert!(row.iter().all(|&a| a >= 0.0), "coefficients must be non-negative");
+            assert!(*b >= 0.0, "requirements must be non-negative");
+        }
+    }
+
+    /// Solves the program exactly. Returns `None` when infeasible (even
+    /// selecting every variable violates some constraint).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input (see [`CoverProblem`] field docs).
+    pub fn solve(&self) -> Option<CoverSolution> {
+        self.validate();
+        let n = self.costs.len();
+        // Feasibility check with everything selected.
+        for (row, b) in &self.constraints {
+            if row.iter().sum::<f64>() < *b - 1e-9 {
+                return None;
+            }
+        }
+        // Greedy incumbent: repeatedly take the variable with the best
+        // (remaining coverage / cost) ratio.
+        let mut incumbent = vec![true; n];
+        let mut incumbent_cost: f64 = self.costs.iter().sum();
+        if let Some((sel, cost)) = self.greedy() {
+            if cost < incumbent_cost {
+                incumbent = sel;
+                incumbent_cost = cost;
+            }
+        }
+
+        // DFS over variables in cost order with a simple admissible bound.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            self.costs[a].partial_cmp(&self.costs[b]).expect("costs are never NaN")
+        });
+        let mut state = Dfs {
+            problem: self,
+            order,
+            best: incumbent_cost,
+            best_sel: incumbent,
+            nodes: 0,
+        };
+        let deficit: Vec<f64> = self.constraints.iter().map(|(_, b)| *b).collect();
+        let mut chosen = vec![false; n];
+        state.recurse(0, 0.0, deficit, &mut chosen);
+        Some(CoverSolution {
+            selected: state.best_sel,
+            cost: state.best,
+            nodes_explored: state.nodes,
+        })
+    }
+
+    fn greedy(&self) -> Option<(Vec<bool>, f64)> {
+        let n = self.costs.len();
+        let mut deficit: Vec<f64> = self.constraints.iter().map(|(_, b)| *b).collect();
+        let mut selected = vec![false; n];
+        let mut cost = 0.0;
+        while deficit.iter().any(|&d| d > 1e-9) {
+            let mut best: Option<(f64, usize)> = None;
+            for j in 0..n {
+                if selected[j] {
+                    continue;
+                }
+                let gain: f64 = self
+                    .constraints
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (row, _))| row[j].min(deficit[i]).max(0.0))
+                    .sum();
+                if gain <= 1e-12 {
+                    continue;
+                }
+                let ratio = if self.costs[j] <= 1e-12 { f64::MAX } else { gain / self.costs[j] };
+                if best.is_none_or(|(r, _)| ratio > r) {
+                    best = Some((ratio, j));
+                }
+            }
+            let (_, j) = best?;
+            selected[j] = true;
+            cost += self.costs[j];
+            for (i, (row, _)) in self.constraints.iter().enumerate() {
+                deficit[i] = (deficit[i] - row[j]).max(0.0);
+            }
+        }
+        Some((selected, cost))
+    }
+}
+
+struct Dfs<'a> {
+    problem: &'a CoverProblem,
+    order: Vec<usize>,
+    best: f64,
+    best_sel: Vec<bool>,
+    nodes: u64,
+}
+
+impl Dfs<'_> {
+    fn recurse(&mut self, depth: usize, cost: f64, deficit: Vec<f64>, chosen: &mut Vec<bool>) {
+        self.nodes += 1;
+        if deficit.iter().all(|&d| d <= 1e-9) {
+            if cost < self.best {
+                self.best = cost;
+                self.best_sel = chosen.clone();
+            }
+            return;
+        }
+        if depth >= self.order.len() || cost >= self.best {
+            return;
+        }
+        // Bound: even covering the largest remaining deficit with the best
+        // remaining coverage-per-cost cannot beat the incumbent.
+        let remaining: Vec<usize> = self.order[depth..].to_vec();
+        let feasible = deficit.iter().enumerate().all(|(i, &d)| {
+            d <= 1e-9
+                || remaining
+                    .iter()
+                    .map(|&j| self.problem.constraints[i].0[j])
+                    .sum::<f64>()
+                    >= d - 1e-9
+        });
+        if !feasible {
+            return;
+        }
+        let j = self.order[depth];
+        // Branch 1: take j.
+        let mut with: Vec<f64> = deficit.clone();
+        for (i, (row, _)) in self.problem.constraints.iter().enumerate() {
+            with[i] = (with[i] - row[j]).max(0.0);
+        }
+        chosen[j] = true;
+        self.recurse(depth + 1, cost + self.problem.costs[j], with, chosen);
+        chosen[j] = false;
+        // Branch 2: skip j.
+        self.recurse(depth + 1, cost, deficit, chosen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn solves_a_simple_set_cover() {
+        // Cover both constraints; the single expensive variable covering
+        // both beats two cheap partial ones... or not — B&B decides.
+        let p = CoverProblem {
+            costs: vec![3.0, 2.0, 2.5],
+            constraints: vec![
+                (vec![1.0, 1.0, 0.0], 1.0),
+                (vec![1.0, 0.0, 1.0], 1.0),
+            ],
+        };
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.cost, 3.0, "variable 0 alone covers everything");
+        assert_eq!(sol.selected, vec![true, false, false]);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let p = CoverProblem {
+            costs: vec![1.0],
+            constraints: vec![(vec![0.5], 1.0)],
+        };
+        assert!(p.solve().is_none());
+    }
+
+    #[test]
+    fn empty_constraints_select_nothing() {
+        let p = CoverProblem { costs: vec![1.0, 1.0], constraints: vec![] };
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.cost, 0.0);
+        assert!(sol.selected.iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn matches_exhaustive_search_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for trial in 0..20 {
+            let n = 3 + trial % 6; // up to 8 variables
+            let m = 1 + trial % 3;
+            let p = CoverProblem {
+                costs: (0..n).map(|_| rng.random_range(1.0..10.0)).collect(),
+                constraints: (0..m)
+                    .map(|_| {
+                        (
+                            (0..n).map(|_| rng.random_range(0.0..2.0)).collect(),
+                            rng.random_range(0.5..2.5),
+                        )
+                    })
+                    .collect(),
+            };
+            let exhaustive = {
+                let mut best = f64::INFINITY;
+                for mask in 0..(1u32 << n) {
+                    let ok = p.constraints.iter().all(|(row, b)| {
+                        (0..n)
+                            .filter(|&j| mask & (1 << j) != 0)
+                            .map(|j| row[j])
+                            .sum::<f64>()
+                            >= *b - 1e-9
+                    });
+                    if ok {
+                        let cost: f64 =
+                            (0..n).filter(|&j| mask & (1 << j) != 0).map(|j| p.costs[j]).sum();
+                        best = best.min(cost);
+                    }
+                }
+                best
+            };
+            match p.solve() {
+                Some(sol) => {
+                    assert!(
+                        (sol.cost - exhaustive).abs() < 1e-9,
+                        "trial {trial}: bnb {} vs exhaustive {exhaustive}",
+                        sol.cost
+                    );
+                }
+                None => assert!(exhaustive.is_infinite(), "trial {trial}: bnb said infeasible"),
+            }
+        }
+    }
+
+    #[test]
+    fn multi_cover_requires_multiple_sets() {
+        let p = CoverProblem {
+            costs: vec![1.0, 1.0, 1.0],
+            constraints: vec![(vec![1.0, 1.0, 1.0], 2.0)],
+        };
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.cost, 2.0);
+        assert_eq!(sol.selected.iter().filter(|&&s| s).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong width")]
+    fn malformed_constraint_rejected() {
+        let p = CoverProblem { costs: vec![1.0, 2.0], constraints: vec![(vec![1.0], 1.0)] };
+        let _ = p.solve();
+    }
+}

@@ -1,0 +1,286 @@
+//! Exact minimum-cost assignment (Hungarian algorithm, potentials /
+//! Jonker–Volgenant formulation, O(n²m)).
+//!
+//! Both baseline dispatchers (*Schedule* \[5\] and *Rescue* \[8\]) periodically
+//! solve an integer program that is assignment-shaped: match rescue teams to
+//! (predicted) request positions minimizing total driving delay. This solver
+//! computes that optimum exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost value treated as "this pairing is impossible" (e.g. the request is
+/// unreachable on the damaged network).
+pub const FORBIDDEN: f64 = 1e15;
+
+/// A dense rows × cols cost matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Creates a matrix filled with `fill`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize, fill: f64) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data: vec![fill; rows * cols] }
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::new(rows, cols, 0.0);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The cost at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the cost at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[row * self.cols + col] = value;
+    }
+}
+
+/// Result of an assignment solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// For each row, the column it was matched to (`None` when the row's
+    /// only options were [`FORBIDDEN`] or there were more rows than
+    /// columns).
+    pub row_to_col: Vec<Option<usize>>,
+    /// Total cost of the realized (non-forbidden) pairs.
+    pub total_cost: f64,
+}
+
+impl Assignment {
+    /// Number of rows actually matched.
+    pub fn matched(&self) -> usize {
+        self.row_to_col.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+/// Solves the min-cost assignment for `cost`, matching every row when
+/// `rows ≤ cols` (up to forbidden pairs). With more rows than columns the
+/// cheapest `cols` rows are matched.
+#[allow(clippy::needless_range_loop)] // classic index-based formulation
+pub fn min_cost_assignment(cost: &CostMatrix) -> Assignment {
+    if cost.rows() > cost.cols() {
+        // Transpose, solve, and invert the mapping.
+        let t = CostMatrix::from_fn(cost.cols(), cost.rows(), |r, c| cost.get(c, r));
+        let sol = min_cost_assignment(&t);
+        let mut row_to_col = vec![None; cost.rows()];
+        for (col, assigned_row) in sol.row_to_col.iter().enumerate() {
+            if let Some(r) = assigned_row {
+                row_to_col[*r] = Some(col);
+            }
+        }
+        return Assignment { row_to_col, total_cost: sol.total_cost };
+    }
+    let n = cost.rows();
+    let m = cost.cols();
+    // 1-based potentials formulation.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[col] = row assigned to col (0 = none)
+    let mut way = vec![0usize; m + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost.get(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut row_to_col = vec![None; n];
+    let mut total_cost = 0.0;
+    for j in 1..=m {
+        if p[j] != 0 {
+            let r = p[j] - 1;
+            let c = cost.get(r, j - 1);
+            if c < FORBIDDEN / 2.0 {
+                row_to_col[r] = Some(j - 1);
+                total_cost += c;
+            }
+        }
+    }
+    Assignment { row_to_col, total_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Brute-force optimum over all permutations (square matrices only).
+    fn brute_force(cost: &CostMatrix) -> f64 {
+        fn perms(n: usize) -> Vec<Vec<usize>> {
+            if n == 1 {
+                return vec![vec![0]];
+            }
+            let mut out = Vec::new();
+            for p in perms(n - 1) {
+                for i in 0..n {
+                    let mut q: Vec<usize> = p.iter().map(|&x| if x >= i { x + 1 } else { x }).collect();
+                    q.push(i);
+                    out.push(q);
+                }
+            }
+            out
+        }
+        perms(cost.rows())
+            .into_iter()
+            .map(|perm| {
+                perm.iter().enumerate().map(|(r, &c)| cost.get(r, c)).sum::<f64>()
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn solves_a_known_instance() {
+        // Classic 3x3 example: optimum is 5 (0→1, 1→0, 2→2).
+        let cost = CostMatrix::from_fn(3, 3, |r, c| {
+            [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]][r][c]
+        });
+        let sol = min_cost_assignment(&cost);
+        assert_eq!(sol.total_cost, 5.0);
+        assert_eq!(sol.row_to_col, vec![Some(1), Some(0), Some(2)]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for trial in 0..30 {
+            let n = 2 + (trial % 5);
+            let cost = CostMatrix::from_fn(n, n, |_, _| rng.random_range(0.0..100.0));
+            let fast = min_cost_assignment(&cost).total_cost;
+            let brute = brute_force(&cost);
+            assert!((fast - brute).abs() < 1e-9, "trial {trial}: {fast} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn assignment_is_a_matching() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cost = CostMatrix::from_fn(6, 9, |_, _| rng.random_range(0.0..10.0));
+        let sol = min_cost_assignment(&cost);
+        let mut seen = std::collections::HashSet::new();
+        for c in sol.row_to_col.iter().flatten() {
+            assert!(seen.insert(*c), "column {c} used twice");
+        }
+        assert_eq!(sol.matched(), 6, "rows ≤ cols must all match");
+    }
+
+    #[test]
+    fn more_rows_than_cols_matches_cheapest() {
+        let cost = CostMatrix::from_fn(3, 1, |r, _| [5.0, 1.0, 9.0][r]);
+        let sol = min_cost_assignment(&cost);
+        assert_eq!(sol.matched(), 1);
+        assert_eq!(sol.row_to_col[1], Some(0));
+        assert_eq!(sol.total_cost, 1.0);
+    }
+
+    #[test]
+    fn forbidden_pairs_stay_unassigned() {
+        let mut cost = CostMatrix::new(2, 2, FORBIDDEN);
+        cost.set(0, 0, 1.0);
+        // Row 1 can only take forbidden columns.
+        let sol = min_cost_assignment(&cost);
+        assert_eq!(sol.row_to_col[0], Some(0));
+        assert_eq!(sol.row_to_col[1], None);
+        assert_eq!(sol.total_cost, 1.0);
+    }
+
+    #[test]
+    fn rectangular_matches_square_padding() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..10 {
+            let data = CostMatrix::from_fn(3, 5, |_, _| rng.random_range(0.0..50.0));
+            let rect = min_cost_assignment(&data).total_cost;
+            // Pad to 5x5 with zero-cost dummy rows.
+            let padded = CostMatrix::from_fn(5, 5, |r, c| if r < 3 { data.get(r, c) } else { 0.0 });
+            let square = min_cost_assignment(&padded).total_cost;
+            assert!((rect - square).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn empty_matrix_rejected() {
+        let _ = CostMatrix::new(0, 3, 0.0);
+    }
+}

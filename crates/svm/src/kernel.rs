@@ -1,0 +1,96 @@
+//! SVM kernel functions.
+//!
+//! The paper motivates SVM partly by kernels: "the SVM classifier can
+//! overcome [non-linear separability] by using the kernel function". The
+//! RBF kernel is the default for the rescue-decision classifier.
+
+use serde::{Deserialize, Serialize};
+
+/// A positive-definite kernel `K(x, y)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// `K(x, y) = x · y`.
+    Linear,
+    /// `K(x, y) = exp(−γ ‖x − y‖²)`.
+    Rbf {
+        /// The width parameter γ (> 0).
+        gamma: f64,
+    },
+    /// `K(x, y) = (x · y + c)^d`.
+    Polynomial {
+        /// The degree `d` (≥ 1).
+        degree: u32,
+        /// The constant offset `c`.
+        coef0: f64,
+    },
+}
+
+impl Kernel {
+    /// Evaluates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` differ in length.
+    pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "kernel arguments must have equal dimension");
+        match *self {
+            Kernel::Linear => dot(x, y),
+            Kernel::Rbf { gamma } => {
+                let d2: f64 = x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum();
+                (-gamma * d2).exp()
+            }
+            Kernel::Polynomial { degree, coef0 } => (dot(x, y) + coef0).powi(degree as i32),
+        }
+    }
+}
+
+fn dot(x: &[f64], y: &[f64]) -> f64 {
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_is_dot_product() {
+        let k = Kernel::Linear;
+        assert_eq!(k.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn rbf_is_one_at_zero_distance_and_decays() {
+        let k = Kernel::Rbf { gamma: 0.5 };
+        assert!((k.eval(&[1.0, 2.0], &[1.0, 2.0]) - 1.0).abs() < 1e-12);
+        let near = k.eval(&[0.0, 0.0], &[0.1, 0.0]);
+        let far = k.eval(&[0.0, 0.0], &[2.0, 0.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn polynomial_matches_formula() {
+        let k = Kernel::Polynomial { degree: 2, coef0: 1.0 };
+        // (1*2 + 1)^2 = 9
+        assert_eq!(k.eval(&[1.0], &[2.0]), 9.0);
+    }
+
+    #[test]
+    fn kernels_are_symmetric() {
+        let x = [0.3, -1.2, 4.0];
+        let y = [2.0, 0.5, -0.1];
+        for k in [
+            Kernel::Linear,
+            Kernel::Rbf { gamma: 0.7 },
+            Kernel::Polynomial { degree: 3, coef0: 0.5 },
+        ] {
+            assert!((k.eval(&x, &y) - k.eval(&y, &x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimension")]
+    fn dimension_mismatch_panics() {
+        Kernel::Linear.eval(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,119 @@
+//! The trained SVM model (Equation 1's `f`).
+
+use crate::kernel::Kernel;
+use serde::{Deserialize, Serialize};
+
+/// A trained soft-margin SVM classifier.
+///
+/// Stores only the support vectors with their `αᵢ yᵢ` coefficients and the
+/// bias; the decision function is
+/// `f(x) = Σ αᵢ yᵢ K(xᵢ, x) + b`, predicting the positive class ("should be
+/// rescued") when `f(x) > 0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvmModel {
+    kernel: Kernel,
+    support_vectors: Vec<Vec<f64>>,
+    /// `αᵢ yᵢ` for each support vector.
+    coefficients: Vec<f64>,
+    bias: f64,
+}
+
+impl SvmModel {
+    /// Assembles a model from trained parameters (used by the SMO trainer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector and coefficient counts differ.
+    pub fn from_parts(
+        kernel: Kernel,
+        support_vectors: Vec<Vec<f64>>,
+        coefficients: Vec<f64>,
+        bias: f64,
+    ) -> Self {
+        assert_eq!(
+            support_vectors.len(),
+            coefficients.len(),
+            "one coefficient per support vector"
+        );
+        Self { kernel, support_vectors, coefficients, bias }
+    }
+
+    /// Number of support vectors retained.
+    pub fn num_support_vectors(&self) -> usize {
+        self.support_vectors.len()
+    }
+
+    /// The kernel the model was trained with.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// The retained support vectors.
+    pub fn support_vectors(&self) -> &[Vec<f64>] {
+        &self.support_vectors
+    }
+
+    /// The `αᵢ yᵢ` coefficient of each support vector.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// The bias term `b`.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// The raw decision value `f(x)`; its sign is the class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn decision_function(&self, x: &[f64]) -> f64 {
+        self.support_vectors
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(sv, c)| c * self.kernel.eval(sv, x))
+            .sum::<f64>()
+            + self.bias
+    }
+
+    /// Predicts the class: `true` = positive ("should be rescued").
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.decision_function(x) > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_built_model_classifies() {
+        // A single support vector at the origin with positive coefficient:
+        // RBF decision decays with distance but stays positive; bias shifts
+        // the boundary.
+        let model = SvmModel::from_parts(
+            Kernel::Rbf { gamma: 1.0 },
+            vec![vec![0.0, 0.0]],
+            vec![2.0],
+            -1.0,
+        );
+        assert!(model.predict(&[0.0, 0.0]));
+        assert!(!model.predict(&[3.0, 0.0]));
+        assert_eq!(model.num_support_vectors(), 1);
+    }
+
+    #[test]
+    fn decision_function_is_linear_in_coefficients() {
+        let sv = vec![vec![1.0], vec![-1.0]];
+        let m1 = SvmModel::from_parts(Kernel::Linear, sv.clone(), vec![1.0, -1.0], 0.0);
+        // f(x) = 1*(1*x) + (-1)*(-1*x) = 2x
+        assert!((m1.decision_function(&[3.0]) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one coefficient per support vector")]
+    fn mismatched_parts_panic() {
+        let _ = SvmModel::from_parts(Kernel::Linear, vec![vec![1.0]], vec![], 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Feature standardization.
+//!
+//! The disaster factors live on wildly different scales (mm/h, mph, meters);
+//! SMO convergence and RBF width both want z-scored features.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-feature z-score scaler: `x' = (x − μ) / σ`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler to rows of equal dimension. Constant features get
+    /// `σ = 1` so they pass through centered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or rows differ in dimension.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler to zero rows");
+        let dim = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == dim), "rows differ in dimension");
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; dim];
+        for r in rows {
+            for (m, x) in means.iter_mut().zip(r) {
+                *m += x / n;
+            }
+        }
+        let mut stds = vec![0.0; dim];
+        for r in rows {
+            for ((s, m), x) in stds.iter_mut().zip(&means).zip(r) {
+                *s += (x - m) * (x - m) / n;
+            }
+        }
+        for s in &mut stds {
+            *s = s.sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Self { means, stds }
+    }
+
+    /// Reassembles a scaler from its parameters (persistence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length, are empty, or any σ is not
+    /// positive.
+    pub fn from_parts(means: Vec<f64>, stds: Vec<f64>) -> Self {
+        assert_eq!(means.len(), stds.len(), "means/stds length mismatch");
+        assert!(!means.is_empty(), "scaler must have at least one feature");
+        assert!(stds.iter().all(|&s| s > 0.0), "standard deviations must be positive");
+        Self { means, stds }
+    }
+
+    /// Per-feature means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-feature standard deviations.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Dimension the scaler was fitted on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Scales one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong dimension.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.dim(), "row has wrong dimension");
+        row.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(x, (m, s))| (x - m) / s)
+            .collect()
+    }
+
+    /// Scales many rows.
+    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_features_have_zero_mean_unit_std() {
+        let rows = vec![
+            vec![10.0, 100.0],
+            vec![20.0, 300.0],
+            vec![30.0, 200.0],
+            vec![40.0, 400.0],
+        ];
+        let scaler = StandardScaler::fit(&rows);
+        let scaled = scaler.transform_all(&rows);
+        for d in 0..2 {
+            let mean: f64 = scaled.iter().map(|r| r[d]).sum::<f64>() / 4.0;
+            let var: f64 = scaled.iter().map(|r| r[d] * r[d]).sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_feature_passes_through_centered() {
+        let rows = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let scaler = StandardScaler::fit(&rows);
+        assert_eq!(scaler.transform(&[5.0]), vec![0.0]);
+        assert_eq!(scaler.transform(&[7.0]), vec![2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn empty_fit_panics() {
+        let _ = StandardScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn wrong_dim_transform_panics() {
+        let scaler = StandardScaler::fit(&[vec![1.0, 2.0]]);
+        let _ = scaler.transform(&[1.0]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Sequential Minimal Optimization (Platt's SMO) trainer.
+//!
+//! Trains the soft-margin dual problem
+//! `max Σαᵢ − ½ ΣΣ αᵢαⱼyᵢyⱼK(xᵢ,xⱼ)` s.t. `0 ≤ αᵢ ≤ C`, `Σαᵢyᵢ = 0`
+//! with the simplified SMO working-set heuristic (random second index),
+//! which is robust and more than fast enough for the few thousand labelled
+//! examples the rescue predictor trains on.
+
+use crate::kernel::Kernel;
+use crate::model::SvmModel;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// SMO hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoConfig {
+    /// Soft-margin penalty `C` (> 0).
+    pub c: f64,
+    /// KKT violation tolerance.
+    pub tolerance: f64,
+    /// Stop after this many consecutive passes without an update.
+    pub max_passes: u32,
+    /// Hard cap on total passes (guards pathological data).
+    pub max_iterations: u32,
+    /// RNG seed for the second-index heuristic.
+    pub seed: u64,
+}
+
+impl Default for SmoConfig {
+    fn default() -> Self {
+        Self { c: 1.0, tolerance: 1e-3, max_passes: 5, max_iterations: 200, seed: 0 }
+    }
+}
+
+/// Trains an SVM on `xs` with ±1 labels `ys`.
+///
+/// # Panics
+///
+/// Panics if the input is empty, lengths mismatch, labels are not ±1, or
+/// `config.c <= 0`.
+pub fn train(xs: &[Vec<f64>], ys: &[f64], kernel: Kernel, config: &SmoConfig) -> SvmModel {
+    assert!(!xs.is_empty(), "cannot train on zero examples");
+    assert_eq!(xs.len(), ys.len(), "one label per example");
+    assert!(ys.iter().all(|&y| y == 1.0 || y == -1.0), "labels must be ±1");
+    assert!(config.c > 0.0, "C must be positive");
+    let n = xs.len();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x736d_6f00);
+
+    // Precompute the kernel matrix; training sets are capped by callers.
+    let mut k = vec![0.0; n * n];
+    for i in 0..n {
+        for j in i..n {
+            let v = kernel.eval(&xs[i], &xs[j]);
+            k[i * n + j] = v;
+            k[j * n + i] = v;
+        }
+    }
+
+    let mut alpha = vec![0.0f64; n];
+    let mut b = 0.0f64;
+    let f = |alpha: &[f64], b: f64, i: usize, k: &[f64]| -> f64 {
+        (0..n).map(|t| alpha[t] * ys[t] * k[t * n + i]).sum::<f64>() + b
+    };
+
+    let mut passes = 0;
+    let mut iterations = 0;
+    while passes < config.max_passes && iterations < config.max_iterations {
+        iterations += 1;
+        let mut changed = 0;
+        for i in 0..n {
+            let e_i = f(&alpha, b, i, &k) - ys[i];
+            let violates = (ys[i] * e_i < -config.tolerance && alpha[i] < config.c)
+                || (ys[i] * e_i > config.tolerance && alpha[i] > 0.0);
+            if !violates {
+                continue;
+            }
+            let mut j = rng.random_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            let e_j = f(&alpha, b, j, &k) - ys[j];
+            let (a_i_old, a_j_old) = (alpha[i], alpha[j]);
+            let (lo, hi) = if ys[i] != ys[j] {
+                ((a_j_old - a_i_old).max(0.0), (config.c + a_j_old - a_i_old).min(config.c))
+            } else {
+                ((a_i_old + a_j_old - config.c).max(0.0), (a_i_old + a_j_old).min(config.c))
+            };
+            if (hi - lo).abs() < 1e-12 {
+                continue;
+            }
+            let eta = 2.0 * k[i * n + j] - k[i * n + i] - k[j * n + j];
+            if eta >= 0.0 {
+                continue;
+            }
+            let mut a_j = a_j_old - ys[j] * (e_i - e_j) / eta;
+            a_j = a_j.clamp(lo, hi);
+            if (a_j - a_j_old).abs() < 1e-6 {
+                continue;
+            }
+            let a_i = a_i_old + ys[i] * ys[j] * (a_j_old - a_j);
+            alpha[i] = a_i;
+            alpha[j] = a_j;
+            let b1 = b - e_i
+                - ys[i] * (a_i - a_i_old) * k[i * n + i]
+                - ys[j] * (a_j - a_j_old) * k[i * n + j];
+            let b2 = b - e_j
+                - ys[i] * (a_i - a_i_old) * k[i * n + j]
+                - ys[j] * (a_j - a_j_old) * k[j * n + j];
+            b = if 0.0 < a_i && a_i < config.c {
+                b1
+            } else if 0.0 < a_j && a_j < config.c {
+                b2
+            } else {
+                (b1 + b2) / 2.0
+            };
+            changed += 1;
+        }
+        passes = if changed == 0 { passes + 1 } else { 0 };
+    }
+
+    // Keep only the support vectors.
+    let mut svs = Vec::new();
+    let mut coeffs = Vec::new();
+    for i in 0..n {
+        if alpha[i] > 1e-8 {
+            svs.push(xs[i].clone());
+            coeffs.push(alpha[i] * ys[i]);
+        }
+    }
+    SvmModel::from_parts(kernel, svs, coeffs, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accuracy(model: &SvmModel, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        let hits = xs
+            .iter()
+            .zip(ys)
+            .filter(|(x, &y)| model.predict(x) == (y > 0.0))
+            .count();
+        hits as f64 / xs.len() as f64
+    }
+
+    #[test]
+    fn separates_linearly_separable_data() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            let t = i as f64 / 10.0;
+            xs.push(vec![2.0 + t, 2.0 - t]);
+            ys.push(1.0);
+            xs.push(vec![-2.0 - t, -2.0 + t]);
+            ys.push(-1.0);
+        }
+        let model = train(&xs, &ys, Kernel::Linear, &SmoConfig::default());
+        assert_eq!(accuracy(&model, &xs, &ys), 1.0);
+        assert!(model.num_support_vectors() < xs.len(), "not all points are SVs");
+    }
+
+    #[test]
+    fn rbf_solves_xor() {
+        // XOR is not linearly separable; the RBF kernel handles it.
+        let xs = vec![
+            vec![1.0, 1.0],
+            vec![-1.0, -1.0],
+            vec![1.0, -1.0],
+            vec![-1.0, 1.0],
+            vec![1.2, 0.9],
+            vec![-0.9, -1.1],
+            vec![0.8, -1.2],
+            vec![-1.1, 1.1],
+        ];
+        let ys = vec![1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, -1.0];
+        let model = train(&xs, &ys, Kernel::Rbf { gamma: 1.0 }, &SmoConfig::default());
+        assert_eq!(accuracy(&model, &xs, &ys), 1.0);
+    }
+
+    #[test]
+    fn tolerates_label_noise_with_soft_margin() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..30 {
+            let t = (i as f64) * 0.37;
+            xs.push(vec![1.5 + t.sin() * 0.3, 1.5 + t.cos() * 0.3]);
+            ys.push(1.0);
+            xs.push(vec![-1.5 + t.cos() * 0.3, -1.5 + t.sin() * 0.3]);
+            ys.push(-1.0);
+        }
+        // Flip two labels.
+        ys[0] = -1.0;
+        ys[1] = 1.0;
+        let model = train(&xs, &ys, Kernel::Rbf { gamma: 0.5 }, &SmoConfig { c: 1.0, ..SmoConfig::default() });
+        assert!(accuracy(&model, &xs, &ys) > 0.9);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let xs: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![(i % 5) as f64, (i / 5) as f64]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let cfg = SmoConfig { seed: 3, ..SmoConfig::default() };
+        let a = train(&xs, &ys, Kernel::Rbf { gamma: 0.8 }, &cfg);
+        let b = train(&xs, &ys, Kernel::Rbf { gamma: 0.8 }, &cfg);
+        assert_eq!(a.decision_function(&[2.0, 2.0]), b.decision_function(&[2.0, 2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be ±1")]
+    fn bad_labels_rejected() {
+        let _ = train(&[vec![1.0]], &[0.5], Kernel::Linear, &SmoConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero examples")]
+    fn empty_training_rejected() {
+        let _ = train(&[], &[], Kernel::Linear, &SmoConfig::default());
+    }
+}

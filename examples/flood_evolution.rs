@@ -1,0 +1,78 @@
+//! Watch the disaster substrate evolve: storm intensity, flood coverage,
+//! road-network fragmentation and factor vectors hour by hour — the
+//! "external support" (weather service + satellite imaging) MobiRescue
+//! consumes.
+//!
+//! ```text
+//! cargo run --release --example flood_evolution
+//! ```
+
+use mobirescue::disaster::hurricane::Hurricane;
+use mobirescue::disaster::scenario::DisasterScenario;
+use mobirescue::roadnet::connectivity::largest_component_size;
+use mobirescue::roadnet::generator::CityConfig;
+
+fn main() {
+    let city = CityConfig::small().build(42);
+    let scenario = DisasterScenario::new(&city, Hurricane::florence(), 42);
+    let tl = scenario.hurricane().timeline;
+    let total_landmarks = city.network.num_landmarks();
+    let total_segments = city.network.num_segments();
+
+    println!(
+        "{} over a {}-landmark city; disaster days {}..{}",
+        scenario.hurricane().name,
+        total_landmarks,
+        tl.disaster_start_day,
+        tl.disaster_end_day
+    );
+    println!(
+        "\n{:>8} {:>10} {:>12} {:>12} {:>12} {:>14}",
+        "day", "intensity", "precip mm/h", "flooded %", "operable %", "largest SCC %"
+    );
+    for day in (tl.disaster_start_day.saturating_sub(2)..tl.total_days).step_by(1) {
+        let hour = day * 24 + 12;
+        if hour >= scenario.total_hours() {
+            break;
+        }
+        let intensity = tl.intensity(hour);
+        let factors = scenario.factors_at(city.center, hour);
+        let flooded = scenario.flood().flooded_fraction(hour);
+        let condition = scenario.network_condition(&city.network, hour);
+        let operable = condition.operable_count() as f64 / total_segments as f64;
+        let scc = largest_component_size(&city.network, &condition) as f64
+            / total_landmarks as f64;
+        println!(
+            "{:>8} {:>10.2} {:>12.2} {:>11.1}% {:>11.1}% {:>13.1}%",
+            scenario.hurricane().day_label(day),
+            intensity,
+            factors.precipitation_mm_h,
+            flooded * 100.0,
+            operable * 100.0,
+            scc * 100.0
+        );
+        // Stop once the city has fully recovered.
+        if day > tl.disaster_end_day + 3 && flooded == 0.0 {
+            println!("(fully recovered)");
+            break;
+        }
+    }
+
+    // The factor vector MobiRescue's SVM reads, at three contrasting spots.
+    let peak = tl.peak_hour();
+    println!("\nfactor vectors h = (precipitation, wind, altitude) at the rain peak:");
+    for (name, pos) in [
+        ("downtown basin", city.center),
+        ("north-east edge", city.center.offset_m(3_500.0, 3_500.0)),
+        ("south-west edge", city.center.offset_m(-3_500.0, -3_500.0)),
+    ] {
+        let f = scenario.factors_at(pos, peak);
+        println!(
+            "  {name:<16} ({:>5.1} mm/h, {:>4.1} mph, {:>5.1} m)  flooded: {}",
+            f.precipitation_mm_h,
+            f.wind_mph,
+            f.altitude_m,
+            scenario.is_flooded(pos, peak)
+        );
+    }
+}

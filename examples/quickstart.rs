@@ -1,0 +1,96 @@
+//! Quickstart: build a small disaster scenario, train MobiRescue, and
+//! dispatch rescue teams for one simulated day.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mobirescue::core::predictor::{mine_rescues, PredictorConfig, RequestPredictor};
+use mobirescue::core::rl_dispatch::{MobiRescueDispatcher, RlDispatchConfig};
+use mobirescue::core::scenario::ScenarioConfig;
+use mobirescue::core::training::{busiest_request_day, requests_on_day, train_offline};
+use mobirescue::mobility::map_match::MapMatcher;
+use mobirescue::sim::types::SimConfig;
+
+fn main() {
+    let seed = 42;
+
+    // 1. Build the training disaster (Hurricane Michael) and the
+    //    evaluation disaster (Hurricane Florence) over the same city.
+    println!("building scenarios ...");
+    let michael = ScenarioConfig::small().michael().build(seed);
+    let florence = ScenarioConfig::small().florence().build(seed);
+    println!(
+        "  city: {} landmarks, {} segments, {} hospitals",
+        florence.city.network.num_landmarks(),
+        florence.city.network.num_segments(),
+        florence.city.hospitals.len()
+    );
+    println!(
+        "  population: {} people, {} GPS pings",
+        florence.generated.dataset.num_people(),
+        florence.generated.dataset.pings.len()
+    );
+
+    // 2. Train the SVM rescue-request predictor on Michael's mined ground
+    //    truth (Section IV-B).
+    let predictor = RequestPredictor::train_on(&michael, &PredictorConfig::default());
+    println!(
+        "trained SVM on {} ({} examples)",
+        predictor.trained_on(),
+        predictor.num_training_examples()
+    );
+
+    // 3. Train the RL dispatch policy offline on Michael (Section IV-C4).
+    let mut sim = SimConfig::paper(0);
+    sim.num_teams = 8;
+    let (policy, report) = train_offline(
+        &michael,
+        Some(predictor.clone()),
+        RlDispatchConfig::default(),
+        &sim,
+        4,
+    );
+    for e in &report.episodes {
+        println!(
+            "  episode day {}: {}/{} served, reward {:.1}",
+            e.day, e.served, e.requests, e.reward
+        );
+    }
+
+    // 4. Evaluate on Florence's busiest request day.
+    let matcher = MapMatcher::new(&florence.city.network);
+    let rescues = mine_rescues(&florence);
+    let day = busiest_request_day(&rescues).expect("florence has rescues");
+    let requests = requests_on_day(&florence, &matcher, &rescues, day);
+    println!(
+        "evaluating on {} ({} requests) ...",
+        florence.hurricane().day_label(day),
+        requests.len()
+    );
+    let mut dispatcher = MobiRescueDispatcher::with_policy(
+        &florence,
+        Some(predictor),
+        RlDispatchConfig::default(),
+        policy,
+    );
+    sim.start_hour = day * 24;
+    let outcome = mobirescue::sim::run(
+        &florence.city,
+        &florence.conditions,
+        &requests,
+        &mut dispatcher,
+        &sim,
+    );
+
+    println!(
+        "served {}/{} requests ({} timely within 30 min)",
+        outcome.total_served(),
+        requests.len(),
+        outcome.total_timely_served()
+    );
+    let cdf = outcome.timeliness_cdf();
+    if !cdf.is_empty() {
+        println!("median rescue timeliness: {:.1} min", cdf.quantile(0.5) / 60.0);
+    }
+}

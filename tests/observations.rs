@@ -1,0 +1,103 @@
+//! Reproduction of the paper's Section-III observations from the synthetic
+//! dataset, through the public facade. These checks operate on the analysis
+//! *pipeline output* (pings → trips → flow → deliveries), not on generator
+//! internals.
+
+use mobirescue::core::analysis::DatasetAnalysis;
+use mobirescue::core::scenario::ScenarioConfig;
+
+fn analyzed() -> (mobirescue::core::scenario::Scenario, DatasetAnalysis) {
+    let scenario = ScenarioConfig::small().florence().build(123);
+    let analysis = DatasetAnalysis::run(&scenario);
+    (scenario, analysis)
+}
+
+#[test]
+fn observation1_factors_track_impact_severity() {
+    // Table I signs: precipitation and wind anticorrelate with (relative)
+    // flow; altitude correlates positively.
+    let (scenario, analysis) = analyzed();
+    let t = analysis.table1(&scenario).expect("correlations defined");
+    assert!(t.precipitation < 0.0, "precipitation {:+.3}", t.precipitation);
+    assert!(t.wind < 0.0, "wind {:+.3}", t.wind);
+    assert!(t.altitude > 0.0, "altitude {:+.3}", t.altitude);
+}
+
+#[test]
+fn observation1_regions_differ_in_impact() {
+    // Figure 3's premise: per-segment before/after flow differences spread
+    // over a wide range rather than being uniform.
+    let (scenario, analysis) = analyzed();
+    let tl = scenario.hurricane().timeline;
+    let cdf = analysis.flow_difference_cdf(
+        &scenario,
+        tl.disaster_start_day.saturating_sub(5)..tl.disaster_start_day,
+        (tl.disaster_end_day + 1)..(tl.disaster_end_day + 6),
+    );
+    assert!(cdf.len() > 100);
+    let spread = cdf.max().unwrap() - cdf.min().unwrap();
+    assert!(spread > 0.0, "no variation in segment impact");
+}
+
+#[test]
+fn observation2_flow_collapses_then_partially_recovers() {
+    let (scenario, analysis) = analyzed();
+    let tl = scenario.hurricane().timeline;
+    let regions = &scenario.city.regions;
+    let city_avg = |day: u32| -> f64 {
+        regions
+            .region_ids()
+            .map(|r| analysis.flow.region_daily_avg(regions, r, day))
+            .sum::<f64>()
+            / regions.num_regions() as f64
+    };
+    let before = (city_avg(tl.disaster_start_day - 4) + city_avg(tl.disaster_start_day - 3)) / 2.0;
+    let during = city_avg(tl.peak_hour() / 24);
+    let after = (city_avg(tl.disaster_end_day + 2) + city_avg(tl.disaster_end_day + 3)) / 2.0;
+    assert!(during < before * 0.4, "no collapse: before {before:.2}, during {during:.2}");
+    assert!(after > during, "no recovery: during {during:.2}, after {after:.2}");
+    assert!(after < before, "recovery should stay below baseline (Figure 5)");
+}
+
+#[test]
+fn observation2_hospital_deliveries_spike_with_the_disaster() {
+    let (scenario, analysis) = analyzed();
+    let tl = scenario.hurricane().timeline;
+    let before_avg: f64 = (2..tl.disaster_start_day)
+        .map(|d| analysis.deliveries_per_day[d as usize] as f64)
+        .sum::<f64>()
+        / (tl.disaster_start_day - 2) as f64;
+    let peak = (tl.disaster_start_day..tl.disaster_end_day + 2)
+        .map(|d| analysis.deliveries_per_day[d as usize])
+        .max()
+        .unwrap();
+    assert!(
+        peak as f64 > before_avg * 3.0 && peak >= 3,
+        "no delivery spike: before avg {before_avg:.2}, peak {peak}"
+    );
+}
+
+#[test]
+fn rescued_people_concentrate_in_the_flooded_basin() {
+    let (scenario, analysis) = analyzed();
+    let downtown = scenario.city.downtown_region();
+    let density = |i: usize| {
+        let lm = scenario
+            .city
+            .regions
+            .landmarks_in(mobirescue::roadnet::regions::RegionId(i as u8))
+            .len()
+            .max(1);
+        analysis.rescued_per_region[i] as f64 / lm as f64
+    };
+    let downtown_density = density(downtown.index());
+    let max_other = (0..analysis.rescued_per_region.len())
+        .filter(|&i| i != downtown.index())
+        .map(density)
+        .fold(0.0, f64::max);
+    assert!(
+        downtown_density >= max_other,
+        "downtown density {downtown_density:.3} vs max other {max_other:.3} ({:?})",
+        analysis.rescued_per_region
+    );
+}
