@@ -48,7 +48,12 @@ fn fixture(num_teams: usize, num_requests: usize) -> Fixture {
             appear_s: 0,
         })
         .collect();
-    Fixture { scenario, teams, waiting, hour }
+    Fixture {
+        scenario,
+        teams,
+        waiting,
+        hour,
+    }
 }
 
 fn state<'a>(f: &'a Fixture) -> DispatchState<'a> {
@@ -69,13 +74,9 @@ fn bench_dispatch_round(c: &mut Criterion) {
     group.sample_size(10);
     for &(teams, requests) in &[(20usize, 20usize), (60, 60)] {
         let f = fixture(teams, requests);
-        let predictor =
-            RequestPredictor::train_on(&f.scenario, &PredictorConfig::default());
-        let mut mr = MobiRescueDispatcher::new(
-            &f.scenario,
-            Some(predictor),
-            RlDispatchConfig::default(),
-        );
+        let predictor = RequestPredictor::train_on(&f.scenario, &PredictorConfig::default());
+        let mut mr =
+            MobiRescueDispatcher::new(&f.scenario, Some(predictor), RlDispatchConfig::default());
         mr.set_training(false);
         group.bench_function(BenchmarkId::new("mobirescue_rl", teams), |b| {
             b.iter(|| black_box(mr.dispatch(&state(&f))))
@@ -89,13 +90,7 @@ fn bench_dispatch_round(c: &mut Criterion) {
         let matcher = MapMatcher::new(&f.scenario.city.network);
         let rescues = mine_rescues(&f.scenario);
         let day = busiest_request_day(&rescues).unwrap_or(14);
-        let ts = TimeSeriesPredictor::fit(
-            &f.scenario.city.network,
-            &matcher,
-            &rescues,
-            day,
-            3,
-        );
+        let ts = TimeSeriesPredictor::fit(&f.scenario.city.network, &matcher, &rescues, day, 3);
         let mut rescue = RescueDispatcher::new(ts);
         group.bench_function(BenchmarkId::new("rescue_ip", teams), |b| {
             b.iter(|| black_box(rescue.dispatch(&state(&f))))

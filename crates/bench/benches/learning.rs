@@ -57,7 +57,9 @@ fn bench_svm_predict(c: &mut Criterion) {
 fn bench_mlp(c: &mut Criterion) {
     let mlp = Mlp::new(&[6, 32, 32, 1], 1);
     let x = [0.1, 0.5, -0.3, 0.9, 0.0, 1.0];
-    c.bench_function("mlp_forward_6_32_32_1", |b| b.iter(|| black_box(mlp.predict(&x))));
+    c.bench_function("mlp_forward_6_32_32_1", |b| {
+        b.iter(|| black_box(mlp.predict(&x)))
+    });
     let mut trainable = mlp.clone();
     c.bench_function("mlp_forward_backward", |b| {
         b.iter(|| {
@@ -80,12 +82,23 @@ fn bench_qscore_learn(c: &mut Criterion) {
                 .collect(),
         });
     }
-    c.bench_function("qscore_learn_step_batch32", |b| b.iter(|| black_box(q.learn_step())));
+    c.bench_function("qscore_learn_step_batch32", |b| {
+        b.iter(|| black_box(q.learn_step()))
+    });
     // Scoring 65 zone candidates — one team's decision in the dispatcher.
-    let candidates: Vec<Vec<f64>> =
-        (0..65).map(|_| (0..6).map(|_| rng.random::<f64>()).collect()).collect();
-    c.bench_function("qscore_best_of_65", |b| b.iter(|| black_box(q.best(&candidates))));
+    let candidates: Vec<Vec<f64>> = (0..65)
+        .map(|_| (0..6).map(|_| rng.random::<f64>()).collect())
+        .collect();
+    c.bench_function("qscore_best_of_65", |b| {
+        b.iter(|| black_box(q.best(&candidates)))
+    });
 }
 
-criterion_group!(benches, bench_svm_train, bench_svm_predict, bench_mlp, bench_qscore_learn);
+criterion_group!(
+    benches,
+    bench_svm_train,
+    bench_svm_predict,
+    bench_mlp,
+    bench_qscore_learn
+);
 criterion_main!(benches);

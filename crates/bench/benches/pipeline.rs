@@ -42,7 +42,12 @@ fn bench_map_matching(c: &mut Criterion) {
 
 fn bench_analysis_stages(c: &mut Criterion) {
     let scenario = ScenarioConfig::small().florence().build(5);
-    let bounds = scenario.city.network.bounding_box().unwrap().expanded_m(2_000.0);
+    let bounds = scenario
+        .city
+        .network
+        .bounding_box()
+        .unwrap()
+        .expanded_m(2_000.0);
     let mut group = c.benchmark_group("analysis");
     group.sample_size(10);
     group.bench_function("clean_170k_pings", |b| {
@@ -82,5 +87,10 @@ fn bench_analysis_stages(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dijkstra, bench_map_matching, bench_analysis_stages);
+criterion_group!(
+    benches,
+    bench_dijkstra,
+    bench_map_matching,
+    bench_analysis_stages
+);
 criterion_main!(benches);

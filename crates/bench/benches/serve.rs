@@ -1,0 +1,103 @@
+//! Service-runtime benchmarks: ingestion throughput (events/s into the
+//! bounded queues) and epoch-scheduling latency on a small scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mobirescue_core::scenario::ScenarioConfig;
+use mobirescue_roadnet::graph::SegmentId;
+use mobirescue_serve::{
+    BoundedQueue, Clock, DispatchService, Event, ModelRegistry, ServeConfig, ShedPolicy, SimClock,
+};
+use mobirescue_sim::{RequestSpec, SimConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const INGEST_BATCH: u64 = 10_000;
+
+fn bench_ingestion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_ingest");
+    group.throughput(Throughput::Elements(INGEST_BATCH));
+
+    // The raw queue: the per-event cost floor of the ingestion front.
+    group.bench_function("bounded_queue_push_drain", |b| {
+        let queue = BoundedQueue::new(INGEST_BATCH as usize, ShedPolicy::DropNewest);
+        b.iter(|| {
+            for i in 0..INGEST_BATCH {
+                queue.push(RequestSpec {
+                    appear_s: i as u32,
+                    segment: SegmentId((i % 97) as u32),
+                });
+            }
+            black_box(queue.drain().len())
+        })
+    });
+
+    // The full service path: shard routing + segment validation + queue.
+    let scenario = Arc::new(ScenarioConfig::small().florence().build(6));
+    let n_segments = scenario.city.network.num_segments() as u32;
+    let mut config = ServeConfig::new(SimConfig::small(6));
+    config.request_queue_capacity = INGEST_BATCH as usize;
+    let clock = Arc::new(SimClock::new());
+    let registry = Arc::new(ModelRegistry::new(None, None));
+    let service = DispatchService::start(
+        Arc::clone(&scenario),
+        config,
+        Arc::clone(&clock) as Arc<dyn Clock>,
+        registry,
+    )
+    .expect("service starts");
+    group.bench_function("service_ingest", |b| {
+        b.iter(|| {
+            let mut accepted = 0u64;
+            for i in 0..INGEST_BATCH {
+                let spec = RequestSpec {
+                    appear_s: i as u32,
+                    segment: SegmentId((i as u32 * 41) % n_segments),
+                };
+                if service
+                    .ingest(Event::Request { shard: 0, spec })
+                    .expect("valid")
+                {
+                    accepted += 1;
+                }
+            }
+            black_box((accepted, service.metrics().requests_accepted))
+        })
+    });
+    group.finish();
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let scenario = Arc::new(ScenarioConfig::small().florence().build(6));
+    let n_segments = scenario.city.network.num_segments() as u32;
+    let mut group = c.benchmark_group("serve_epoch");
+    group.sample_size(10);
+    group.bench_function("run_epoch_small", |b| {
+        let clock = Arc::new(SimClock::new());
+        let registry = Arc::new(ModelRegistry::new(None, None));
+        let service = DispatchService::start(
+            Arc::clone(&scenario),
+            ServeConfig::new(SimConfig::small(6)),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            registry,
+        )
+        .expect("service starts");
+        let mut epoch = 0u32;
+        b.iter(|| {
+            for i in 0..10u32 {
+                let spec = RequestSpec {
+                    appear_s: epoch * 300 + i * 29,
+                    segment: SegmentId((epoch * 53 + i * 17) % n_segments),
+                };
+                service
+                    .ingest(Event::Request { shard: 0, spec })
+                    .expect("valid");
+            }
+            epoch += 1;
+            black_box(service.run_epoch().expect("epoch runs"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingestion, bench_epoch);
+criterion_main!(benches);

@@ -12,7 +12,10 @@ fn bench_engine(c: &mut Criterion) {
     let scenario = ScenarioConfig::small().florence().build(6);
     let n_segments = scenario.city.network.num_segments() as u32;
     let requests: Vec<RequestSpec> = (0..30)
-        .map(|i| RequestSpec { appear_s: i * 200, segment: SegmentId((i * 41) % n_segments) })
+        .map(|i| RequestSpec {
+            appear_s: i * 200,
+            segment: SegmentId((i * 41) % n_segments),
+        })
         .collect();
     let mut group = c.benchmark_group("engine");
     group.sample_size(10);

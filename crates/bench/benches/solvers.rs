@@ -54,5 +54,10 @@ fn bench_branch_and_bound(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hungarian, bench_rectangular_hungarian, bench_branch_and_bound);
+criterion_group!(
+    benches,
+    bench_hungarian,
+    bench_rectangular_hungarian,
+    bench_branch_and_bound
+);
 criterion_main!(benches);

@@ -6,11 +6,11 @@
 //! cargo run -p mobirescue-bench --release --bin ablation -- [--scale small|medium] [--seed N]
 //! ```
 
+use mobirescue_bench::ExperimentScale;
 use mobirescue_core::predictor::{mine_rescues, RequestPredictor};
 use mobirescue_core::rl_dispatch::{MobiRescueDispatcher, RlDispatchConfig};
 use mobirescue_core::scenario::Scenario;
 use mobirescue_core::training::{busiest_request_day, requests_on_day, train_offline};
-use mobirescue_bench::ExperimentScale;
 use mobirescue_mobility::map_match::MapMatcher;
 use mobirescue_sim::types::SimConfig;
 
@@ -55,10 +55,19 @@ fn main() {
     let predictor = RequestPredictor::train_on(&michael, &config.predictor);
     let mut sim = config.sim.clone();
     sim.start_hour = day * 24;
-    eprintln!("evaluation day {day}: {} requests, {} teams", requests.len(), sim.num_teams);
+    eprintln!(
+        "evaluation day {day}: {} requests, {} teams",
+        requests.len(),
+        sim.num_teams
+    );
 
     let variants: Vec<Variant> = vec![
-        Variant { name: "full MobiRescue", use_predictor: true, online: true, tweak: no_tweak },
+        Variant {
+            name: "full MobiRescue",
+            use_predictor: true,
+            online: true,
+            tweak: no_tweak,
+        },
         Variant {
             name: "no SVM prediction",
             use_predictor: false,
@@ -122,7 +131,17 @@ fn main() {
     for v in variants {
         let mut rl = config.rl.clone();
         (v.tweak)(&mut rl);
-        let stats = evaluate(&michael, &florence, &requests, &predictor, rl, &sim, v.use_predictor, v.online, config.train_episodes);
+        let stats = evaluate(
+            &michael,
+            &florence,
+            &requests,
+            &predictor,
+            rl,
+            &sim,
+            v.use_predictor,
+            v.online,
+            config.train_episodes,
+        );
         println!(
             "{:<28} {:>7} {:>7} {:>12.0} {:>10.1}",
             v.name, stats.0, stats.1, stats.2, stats.3
@@ -148,8 +167,13 @@ fn evaluate(
     let (policy, _) = train_offline(michael, p.clone(), rl.clone(), sim, episodes);
     let mut dispatcher = MobiRescueDispatcher::with_policy(florence, p, rl, policy);
     dispatcher.set_training(online);
-    let outcome =
-        mobirescue_sim::run(&florence.city, &florence.conditions, requests, &mut dispatcher, sim);
+    let outcome = mobirescue_sim::run(
+        &florence.city,
+        &florence.conditions,
+        requests,
+        &mut dispatcher,
+        sim,
+    );
     let median = {
         let c = outcome.timeliness_cdf();
         if c.is_empty() {
@@ -160,5 +184,10 @@ fn evaluate(
     };
     let serving = outcome.avg_serving_teams_per_hour();
     let avg_serving = serving.iter().sum::<f64>() / serving.len().max(1) as f64;
-    (outcome.total_served(), outcome.total_timely_served(), median, avg_serving)
+    (
+        outcome.total_served(),
+        outcome.total_timely_served(),
+        median,
+        avg_serving,
+    )
 }

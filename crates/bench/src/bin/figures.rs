@@ -22,13 +22,10 @@ fn main() {
                 });
             }
             "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--seed needs an integer");
-                        std::process::exit(2);
-                    });
+                seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
             }
             "--exp" => exp = args.next().unwrap_or_default(),
             "--help" | "-h" => {
@@ -55,8 +52,9 @@ fn main() {
         "comparison" => FigureContext::comparison_ids().to_vec(),
         id => vec![id],
     };
-    let needs_comparison =
-        ids.iter().any(|id| FigureContext::comparison_ids().contains(id));
+    let needs_comparison = ids
+        .iter()
+        .any(|id| FigureContext::comparison_ids().contains(id));
 
     eprintln!("building context (scale {scale:?}, seed {seed}) ...");
     let start = std::time::Instant::now();

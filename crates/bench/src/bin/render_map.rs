@@ -56,5 +56,8 @@ fn main() {
         .collect();
     let svg = render_map(&scenario, hour, &markers, &MapStyle::default());
     std::fs::write(&out, svg).expect("writing the SVG file");
-    eprintln!("wrote {out} (hour {hour}, {} request markers)", markers.len());
+    eprintln!(
+        "wrote {out} (hour {hour}, {} request markers)",
+        markers.len()
+    );
 }

@@ -55,7 +55,13 @@ impl FigureContext {
     pub fn analysis_only(scale: ExperimentScale, seed: u64) -> Self {
         let florence = scale.config(seed).scenario.florence().build(seed);
         let analysis = DatasetAnalysis::run(&florence);
-        Self { scale, seed, florence_own: Some(florence), analysis, comparison: None }
+        Self {
+            scale,
+            seed,
+            florence_own: Some(florence),
+            analysis,
+            comparison: None,
+        }
     }
 
     /// Builds the full context including the dispatch comparison
@@ -63,7 +69,13 @@ impl FigureContext {
     pub fn build_full(scale: ExperimentScale, seed: u64) -> Self {
         let comparison = run_comparison(&scale.config(seed));
         let analysis = DatasetAnalysis::run(&comparison.florence);
-        Self { scale, seed, florence_own: None, analysis, comparison: Some(comparison) }
+        Self {
+            scale,
+            seed,
+            florence_own: None,
+            analysis,
+            comparison: Some(comparison),
+        }
     }
 
     /// The evaluation scenario.
@@ -109,7 +121,9 @@ impl FigureContext {
             .region_factors
             .iter()
             .max_by(|a, b| {
-                a.altitude_m.partial_cmp(&b.altitude_m).expect("altitudes are never NaN")
+                a.altitude_m
+                    .partial_cmp(&b.altitude_m)
+                    .expect("altitudes are never NaN")
             })
             .expect("regions exist")
             .region
@@ -161,10 +175,22 @@ impl FigureContext {
             "hour",
             &xs,
             &[
-                ("R1-before", fmt(self.analysis.hourly_region_flow(f, r1, before_day))),
-                ("R1-after", fmt(self.analysis.hourly_region_flow(f, r1, after_day))),
-                ("R2-before", fmt(self.analysis.hourly_region_flow(f, r2, before_day))),
-                ("R2-after", fmt(self.analysis.hourly_region_flow(f, r2, after_day))),
+                (
+                    "R1-before",
+                    fmt(self.analysis.hourly_region_flow(f, r1, before_day)),
+                ),
+                (
+                    "R1-after",
+                    fmt(self.analysis.hourly_region_flow(f, r1, after_day)),
+                ),
+                (
+                    "R2-before",
+                    fmt(self.analysis.hourly_region_flow(f, r2, before_day)),
+                ),
+                (
+                    "R2-after",
+                    fmt(self.analysis.hourly_region_flow(f, r2, after_day)),
+                ),
             ],
         ));
         out
@@ -175,7 +201,9 @@ impl FigureContext {
         let tl = self.timeline();
         let before = tl.disaster_start_day.saturating_sub(5)..tl.disaster_start_day;
         let after = (tl.disaster_end_day + 1)..(tl.disaster_end_day + 6).min(tl.total_days);
-        let cdf = self.analysis.flow_difference_cdf(self.florence(), before, after);
+        let cdf = self
+            .analysis
+            .flow_difference_cdf(self.florence(), before, after);
         let mut out = heading(
             "Fig 3",
             "CDF of per-segment difference of average vehicle flow rate before/after",
@@ -188,10 +216,13 @@ impl FigureContext {
     /// Figure 4: regional distribution of rescued people.
     pub fn fig4(&self) -> String {
         let f = self.florence();
-        let xs: Vec<String> =
-            f.city.regions.region_ids().map(|r| r.to_string()).collect();
-        let counts: Vec<String> =
-            self.analysis.rescued_per_region.iter().map(|n| n.to_string()).collect();
+        let xs: Vec<String> = f.city.regions.region_ids().map(|r| r.to_string()).collect();
+        let counts: Vec<String> = self
+            .analysis
+            .rescued_per_region
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
         let density: Vec<String> = f
             .city
             .regions
@@ -217,9 +248,9 @@ impl FigureContext {
     pub fn fig5(&self) -> String {
         let tl = self.timeline();
         let f = self.florence();
-        let days: Vec<u32> =
-            (tl.disaster_start_day.saturating_sub(3)..(tl.disaster_end_day + 4).min(tl.total_days))
-                .collect();
+        let days: Vec<u32> = (tl.disaster_start_day.saturating_sub(3)
+            ..(tl.disaster_end_day + 4).min(tl.total_days))
+            .collect();
         let xs: Vec<String> = days
             .iter()
             .map(|&d| format!("{} ({})", self.day_label(d), tl.phase_of_day(d)))
@@ -233,14 +264,19 @@ impl FigureContext {
                     r.to_string(),
                     days.iter()
                         .map(|&d| {
-                            format!("{:.2}", self.analysis.flow.region_daily_avg(&f.city.regions, r, d))
+                            format!(
+                                "{:.2}",
+                                self.analysis.flow.region_daily_avg(&f.city.regions, r, d)
+                            )
                         })
                         .collect(),
                 )
             })
             .collect();
-        let series_ref: Vec<(&str, Vec<String>)> =
-            series.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let series_ref: Vec<(&str, Vec<String>)> = series
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
         let mut out = heading(
             "Fig 5",
             "vehicle flow rate of each region before, during and after disaster",
@@ -256,8 +292,12 @@ impl FigureContext {
         let xs: Vec<String> = (0..tl.total_days)
             .map(|d| format!("{} ({})", self.day_label(d), tl.phase_of_day(d)))
             .collect();
-        let ys: Vec<String> =
-            self.analysis.deliveries_per_day.iter().map(|n| n.to_string()).collect();
+        let ys: Vec<String> = self
+            .analysis
+            .deliveries_per_day
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
         let mut out = heading("Fig 6", "# of people delivered to hospitals per day");
         out.push('\n');
         out.push_str(&series_table("day", &xs, &[("delivered", ys)]));
@@ -281,12 +321,18 @@ impl FigureContext {
             .map(|m| {
                 (
                     m.name.as_str(),
-                    m.outcome.timely_served_per_hour().iter().map(|n| n.to_string()).collect(),
+                    m.outcome
+                        .timely_served_per_hour()
+                        .iter()
+                        .map(|n| n.to_string())
+                        .collect(),
                 )
             })
             .collect();
-        let mut out =
-            heading("Fig 9", "total number of timely served rescue requests per hour");
+        let mut out = heading(
+            "Fig 9",
+            "total number of timely served rescue requests per hour",
+        );
         out.push_str(&format!(
             "\nexperiment day {} ({}), {} requests, {} teams\n",
             cmp.experiment_day,
@@ -313,8 +359,10 @@ impl FigureContext {
             .map(|m| (m.name.clone(), m.outcome.served_per_team_cdf()))
             .collect();
         let refs: Vec<(&str, &Cdf)> = cdfs.iter().map(|(n, c)| (n.as_str(), c)).collect();
-        let mut out =
-            heading("Fig 10", "CDF of the numbers of served rescue requests of rescue teams");
+        let mut out = heading(
+            "Fig 10",
+            "CDF of the numbers of served rescue requests of rescue teams",
+        );
         out.push('\n');
         out.push_str(&cdf_table("served", &refs, 10));
         out
@@ -432,10 +480,16 @@ impl FigureContext {
         let cmp = self.need_comparison();
         let mr = Cdf::new(cmp.prediction_mr.accuracies());
         let rescue = Cdf::new(cmp.prediction_rescue.accuracies());
-        let mut out =
-            heading("Fig 15", "CDF of prediction accuracies of rescue requests on segments");
+        let mut out = heading(
+            "Fig 15",
+            "CDF of prediction accuracies of rescue requests on segments",
+        );
         out.push('\n');
-        out.push_str(&cdf_table("accuracy", &[("MobiRescue", &mr), ("Rescue", &rescue)], 10));
+        out.push_str(&cdf_table(
+            "accuracy",
+            &[("MobiRescue", &mr), ("Rescue", &rescue)],
+            10,
+        ));
         out.push_str(&format!(
             "overall accuracy: MobiRescue {:.3}, Rescue {:.3}\n",
             cmp.prediction_mr.overall.accuracy().unwrap_or(0.0),
@@ -449,10 +503,16 @@ impl FigureContext {
         let cmp = self.need_comparison();
         let mr = Cdf::new(cmp.prediction_mr.precisions());
         let rescue = Cdf::new(cmp.prediction_rescue.precisions());
-        let mut out =
-            heading("Fig 16", "CDF of prediction precisions of rescue requests on segments");
+        let mut out = heading(
+            "Fig 16",
+            "CDF of prediction precisions of rescue requests on segments",
+        );
         out.push('\n');
-        out.push_str(&cdf_table("precision", &[("MobiRescue", &mr), ("Rescue", &rescue)], 10));
+        out.push_str(&cdf_table(
+            "precision",
+            &[("MobiRescue", &mr), ("Rescue", &rescue)],
+            10,
+        ));
         out.push_str(&format!(
             "overall precision: MobiRescue {:.3}, Rescue {:.3}\n",
             cmp.prediction_mr.overall.precision().unwrap_or(0.0),
@@ -472,8 +532,11 @@ impl FigureContext {
         let check = |ok: bool| if ok { "OK " } else { "MISS" };
         let mut out = heading("Summary", "paper orderings vs measured");
         out.push('\n');
-        let served =
-            (mr.outcome.total_timely_served(), rescue.outcome.total_timely_served(), schedule.outcome.total_timely_served());
+        let served = (
+            mr.outcome.total_timely_served(),
+            rescue.outcome.total_timely_served(),
+            schedule.outcome.total_timely_served(),
+        );
         out.push_str(&format!(
             "[{}] timely served: MobiRescue > Rescue > Schedule   (measured {} / {} / {})\n",
             check(served.0 > served.1 && served.1 >= served.2),
@@ -525,15 +588,20 @@ impl FigureContext {
             s.1,
             s.2
         ));
-        let acc = (cmp.prediction_mr.mean_accuracy(), cmp.prediction_rescue.mean_accuracy());
+        let acc = (
+            cmp.prediction_mr.mean_accuracy(),
+            cmp.prediction_rescue.mean_accuracy(),
+        );
         out.push_str(&format!(
             "[{}] prediction accuracy (per-segment mean): MobiRescue > Rescue   (measured {:.3} / {:.3})\n",
             check(acc.0 > acc.1),
             acc.0,
             acc.1
         ));
-        let prec =
-            (cmp.prediction_mr.mean_precision(), cmp.prediction_rescue.mean_precision());
+        let prec = (
+            cmp.prediction_mr.mean_precision(),
+            cmp.prediction_rescue.mean_precision(),
+        );
         out.push_str(&format!(
             "[{}] prediction precision (per-segment mean): MobiRescue > Rescue   (measured {:.3} / {:.3})\n",
             check(prec.0 > prec.1),

@@ -12,20 +12,24 @@ pub fn heading(id: &str, title: &str) -> String {
 /// # Panics
 ///
 /// Panics if a series length differs from `xs`.
-pub fn series_table(
-    x_label: &str,
-    xs: &[String],
-    series: &[(&str, Vec<String>)],
-) -> String {
+pub fn series_table(x_label: &str, xs: &[String], series: &[(&str, Vec<String>)]) -> String {
     for (name, ys) in series {
         assert_eq!(ys.len(), xs.len(), "series {name} has wrong length");
     }
     let mut out = String::new();
     let widths: Vec<usize> = std::iter::once(
-        xs.iter().map(String::len).chain([x_label.len()]).max().unwrap_or(4),
+        xs.iter()
+            .map(String::len)
+            .chain([x_label.len()])
+            .max()
+            .unwrap_or(4),
     )
     .chain(series.iter().map(|(name, ys)| {
-        ys.iter().map(String::len).chain([name.len()]).max().unwrap_or(4)
+        ys.iter()
+            .map(String::len)
+            .chain([name.len()])
+            .max()
+            .unwrap_or(4)
     }))
     .collect();
     let _ = write!(out, "{:>w$}", x_label, w = widths[0]);
@@ -69,15 +73,18 @@ pub fn cdf_table(
     if !lo.is_finite() || !hi.is_finite() {
         return format!("{x_label}: (no samples)\n");
     }
-    let xs: Vec<f64> =
-        (0..=points).map(|i| lo + (hi - lo) * i as f64 / points as f64).collect();
+    let xs: Vec<f64> = (0..=points)
+        .map(|i| lo + (hi - lo) * i as f64 / points as f64)
+        .collect();
     let x_strs: Vec<String> = xs.iter().map(|x| format!("{x:.1}")).collect();
     let series: Vec<(&str, Vec<String>)> = cdfs
         .iter()
         .map(|(name, c)| {
             (
                 *name,
-                xs.iter().map(|&x| format!("{:.3}", c.fraction_at_or_below(x))).collect(),
+                xs.iter()
+                    .map(|&x| format!("{:.3}", c.fraction_at_or_below(x)))
+                    .collect(),
             )
         })
         .collect();
@@ -94,7 +101,10 @@ mod tests {
         let out = series_table(
             "hour",
             &["0".into(), "1".into()],
-            &[("MR", vec!["10".into(), "20".into()]), ("Schedule", vec!["1".into(), "2".into()])],
+            &[
+                ("MR", vec!["10".into(), "20".into()]),
+                ("Schedule", vec!["1".into(), "2".into()]),
+            ],
         );
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 3);

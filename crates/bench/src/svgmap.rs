@@ -20,7 +20,12 @@ pub struct MapStyle {
 
 impl Default for MapStyle {
     fn default() -> Self {
-        Self { width_px: 900.0, street_px: 1.0, show_flood: true, show_facilities: true }
+        Self {
+            width_px: 900.0,
+            street_px: 1.0,
+            show_flood: true,
+            show_facilities: true,
+        }
     }
 }
 
@@ -33,7 +38,10 @@ pub fn render_map(
     style: &MapStyle,
 ) -> String {
     let net = &scenario.city.network;
-    let bbox = net.bounding_box().expect("city network is non-empty").expanded_m(300.0);
+    let bbox = net
+        .bounding_box()
+        .expect("city network is non-empty")
+        .expanded_m(300.0);
     let (width_m, height_m) = bbox.north_east.local_xy_m(bbox.south_west);
     let scale = style.width_px / width_m;
     let height_px = height_m * scale;
@@ -48,7 +56,10 @@ pub fn render_map(
         r##"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"##,
         style.width_px, height_px, style.width_px, height_px
     );
-    let _ = writeln!(svg, r##"<rect width="100%" height="100%" fill="#fcfbf7"/>"##);
+    let _ = writeln!(
+        svg,
+        r##"<rect width="100%" height="100%" fill="#fcfbf7"/>"##
+    );
 
     // Flood raster as translucent cells.
     if style.show_flood {
@@ -95,9 +106,7 @@ pub fn render_map(
                 mobirescue_roadnet::graph::RoadClass::Arterial => {
                     ("#9a9a9a", style.street_px * 1.6)
                 }
-                mobirescue_roadnet::graph::RoadClass::Residential => {
-                    ("#c9c4b8", style.street_px)
-                }
+                mobirescue_roadnet::graph::RoadClass::Residential => ("#c9c4b8", style.street_px),
             }
         };
         let _ = writeln!(
@@ -195,7 +204,11 @@ mod tests {
     #[test]
     fn style_flags_disable_layers() {
         let s = scenario();
-        let style = MapStyle { show_flood: false, show_facilities: false, ..Default::default() };
+        let style = MapStyle {
+            show_flood: false,
+            show_facilities: false,
+            ..Default::default()
+        };
         let peak = s.hurricane().timeline.peak_hour();
         let svg = render_map(&s, peak, &[], &style);
         assert_eq!(svg.matches("fill=\"#3b82c4\"").count(), 0);

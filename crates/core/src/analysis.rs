@@ -75,8 +75,10 @@ impl DatasetAnalysis {
             .bounding_box()
             .expect("city network is non-empty")
             .expanded_m(2_000.0);
-        let (kept, cleaning) =
-            clean(&scenario.generated.dataset.pings, &CleaningConfig::for_bounds(bounds));
+        let (kept, cleaning) = clean(
+            &scenario.generated.dataset.pings,
+            &CleaningConfig::for_bounds(bounds),
+        );
         let cleaned = MobilityDataset {
             people: scenario.generated.dataset.people.clone(),
             pings: kept,
@@ -86,8 +88,11 @@ impl DatasetAnalysis {
         let flow = FlowField::from_trips(&city.network, &trips, &scenario.conditions);
 
         // Hospital deliveries per day + rescued labelling.
-        let hospitals: Vec<GeoPoint> =
-            city.hospitals.iter().map(|&h| city.network.landmark(h).position).collect();
+        let hospitals: Vec<GeoPoint> = city
+            .hospitals
+            .iter()
+            .map(|&h| city.network.landmark(h).position)
+            .collect();
         let trajectories = cleaned.trajectories();
         let deliveries = detect_deliveries(
             &trajectories,
@@ -173,7 +178,10 @@ impl DatasetAnalysis {
         before: std::ops::Range<u32>,
         after: std::ops::Range<u32>,
     ) -> Cdf {
-        Cdf::new(self.flow.segment_flow_differences(&scenario.city.network, before, after))
+        Cdf::new(
+            self.flow
+                .segment_flow_differences(&scenario.city.network, before, after),
+        )
     }
 
     /// Figure 5: per-region daily average flow over a day range.
@@ -183,7 +191,11 @@ impl DatasetAnalysis {
         region: RegionId,
         days: std::ops::Range<u32>,
     ) -> Vec<f64> {
-        days.map(|d| self.flow.region_daily_avg(&scenario.city.regions, region, d)).collect()
+        days.map(|d| {
+            self.flow
+                .region_daily_avg(&scenario.city.regions, region, d)
+        })
+        .collect()
     }
 
     /// Table I: Pearson correlation between region-day flow rates and each
@@ -213,15 +225,20 @@ impl DatasetAnalysis {
                 continue;
             }
             let baseline = (base_lo..base_hi)
-                .map(|d| self.flow.region_daily_avg(&scenario.city.regions, region, d))
+                .map(|d| {
+                    self.flow
+                        .region_daily_avg(&scenario.city.regions, region, d)
+                })
                 .sum::<f64>()
                 / (base_hi - base_lo) as f64;
             if baseline <= 1e-9 {
                 continue;
             }
             for day in day_lo..day_hi {
-                let flow =
-                    self.flow.region_daily_avg(&scenario.city.regions, region, day) / baseline;
+                let flow = self
+                    .flow
+                    .region_daily_avg(&scenario.city.regions, region, day)
+                    / baseline;
                 let mut precip = 0.0;
                 let mut wind = 0.0;
                 let mut alt = 0.0;
@@ -284,8 +301,10 @@ mod tests {
             })
             .sum();
         let peak_day = tl.peak_hour() / 24;
-        let during: f64 =
-            regions.region_ids().map(|r| a.flow.region_daily_avg(regions, r, peak_day)).sum();
+        let during: f64 = regions
+            .region_ids()
+            .map(|r| a.flow.region_daily_avg(regions, r, peak_day))
+            .sum();
         assert!(
             during < before * 0.4,
             "flow should collapse during the disaster: before {before:.2}, during {during:.2}"
@@ -310,7 +329,11 @@ mod tests {
     fn table1_signs_match_the_paper() {
         let (scenario, a) = analysis();
         let t = a.table1(&scenario).expect("correlations defined");
-        assert!(t.precipitation < -0.3, "precipitation corr {}", t.precipitation);
+        assert!(
+            t.precipitation < -0.3,
+            "precipitation corr {}",
+            t.precipitation
+        );
         assert!(t.wind < -0.3, "wind corr {}", t.wind);
         assert!(t.altitude > 0.0, "altitude corr {}", t.altitude);
     }

@@ -40,7 +40,11 @@ fn patrol_post(team_index: usize, round: usize, state: &DispatchState<'_>) -> Se
 
 /// Teams eligible for new orders this round.
 fn free_teams<'v>(state: &'v DispatchState<'_>) -> Vec<&'v TeamView> {
-    state.teams.iter().filter(|t| !t.delivering && t.onboard == 0).collect()
+    state
+        .teams
+        .iter()
+        .filter(|t| !t.delivering && t.onboard == 0)
+        .collect()
 }
 
 /// Builds the team × target cost matrix (driving time to each target
@@ -134,7 +138,10 @@ pub struct RescueDispatcher {
 impl RescueDispatcher {
     /// Creates the dispatcher around a fitted time-series predictor.
     pub fn new(predictor: TimeSeriesPredictor) -> Self {
-        Self { predictor, round: 0 }
+        Self {
+            predictor,
+            round: 0,
+        }
     }
 
     /// The underlying predictor.
@@ -195,7 +202,10 @@ mod tests {
     fn schedule_serves_requests_with_high_latency() {
         let scenario = ScenarioConfig::small().florence().build(51);
         let requests: Vec<RequestSpec> = (0..12)
-            .map(|i| RequestSpec { appear_s: i * 200, segment: SegmentId(i * 17) })
+            .map(|i| RequestSpec {
+                appear_s: i * 200,
+                segment: SegmentId(i * 17),
+            })
             .collect();
         let cfg = SimConfig::small(24);
         let outcome = mobirescue_sim::run(
@@ -206,7 +216,11 @@ mod tests {
             &cfg,
         );
         assert_eq!(outcome.dispatcher, "Schedule");
-        assert!(outcome.total_served() > 6, "served {}", outcome.total_served());
+        assert!(
+            outcome.total_served() > 6,
+            "served {}",
+            outcome.total_served()
+        );
         // Latency floor of ~260 s: no rescue can be faster than that after
         // its request appears.
         let min_timeliness = outcome
@@ -215,14 +229,19 @@ mod tests {
             .filter_map(|r| r.timeliness_s())
             .min()
             .expect("some request served");
-        assert!(min_timeliness >= 200, "IP latency not reflected: {min_timeliness}");
+        assert!(
+            min_timeliness >= 200,
+            "IP latency not reflected: {min_timeliness}"
+        );
     }
 
     #[test]
     fn schedule_keeps_the_fleet_deployed() {
         let scenario = ScenarioConfig::small().florence().build(52);
-        let requests =
-            vec![RequestSpec { appear_s: 600, segment: SegmentId(5) }];
+        let requests = vec![RequestSpec {
+            appear_s: 600,
+            segment: SegmentId(5),
+        }];
         let cfg = SimConfig::small(24);
         let outcome = mobirescue_sim::run(
             &scenario.city,
@@ -253,11 +272,13 @@ mod tests {
         let matcher = MapMatcher::new(&scenario.city.network);
         let rescues = mine_rescues(&scenario);
         let day = scenario.hurricane().timeline.disaster_end_day;
-        let ts =
-            TimeSeriesPredictor::fit(&scenario.city.network, &matcher, &rescues, day, 3);
+        let ts = TimeSeriesPredictor::fit(&scenario.city.network, &matcher, &rescues, day, 3);
         let mut dispatcher = RescueDispatcher::new(ts);
         let requests: Vec<RequestSpec> = (0..10)
-            .map(|i| RequestSpec { appear_s: i * 300, segment: SegmentId(i * 23) })
+            .map(|i| RequestSpec {
+                appear_s: i * 300,
+                segment: SegmentId(i * 23),
+            })
             .collect();
         let cfg = SimConfig::small(day * 24);
         let outcome = mobirescue_sim::run(

@@ -50,7 +50,10 @@ impl ExperimentConfig {
             scenario: ScenarioConfig::small(),
             seed,
             sim,
-            rl: RlDispatchConfig { eps_decay_steps: 4_000, ..Default::default() },
+            rl: RlDispatchConfig {
+                eps_decay_steps: 4_000,
+                ..Default::default()
+            },
             predictor: PredictorConfig::default(),
             train_episodes: 6,
             lookback_days: 3,
@@ -65,7 +68,11 @@ impl ExperimentConfig {
             scenario: ScenarioConfig::medium(),
             seed,
             sim,
-            rl: RlDispatchConfig { zone_k: 8, eps_decay_steps: 40_000, ..Default::default() },
+            rl: RlDispatchConfig {
+                zone_k: 8,
+                eps_decay_steps: 40_000,
+                ..Default::default()
+            },
             predictor: PredictorConfig::default(),
             train_episodes: 6,
             lookback_days: 3,
@@ -161,8 +168,9 @@ pub fn run_comparison(config: &ExperimentConfig) -> Comparison {
 
     let mut sim = config.sim.clone();
     sim.start_hour = experiment_day * 24;
-    sim.duration_hours =
-        sim.duration_hours.min(florence.disaster.total_hours() - sim.start_hour);
+    sim.duration_hours = sim
+        .duration_hours
+        .min(florence.disaster.total_hours() - sim.start_hour);
 
     // MobiRescue: trained agent + online continual training (IV-C4).
     let mut mr = MobiRescueDispatcher::with_policy(
@@ -172,8 +180,13 @@ pub fn run_comparison(config: &ExperimentConfig) -> Comparison {
         policy,
     );
     mr.reset_episode();
-    let mr_outcome =
-        mobirescue_sim::run(&florence.city, &florence.conditions, &requests, &mut mr, &sim);
+    let mr_outcome = mobirescue_sim::run(
+        &florence.city,
+        &florence.conditions,
+        &requests,
+        &mut mr,
+        &sim,
+    );
 
     // Rescue baseline: time-series over the experiment day's history.
     let lookback = config.lookback_days.min(experiment_day);
@@ -233,9 +246,18 @@ pub fn run_comparison(config: &ExperimentConfig) -> Comparison {
         experiment_day,
         num_requests: requests.len(),
         results: vec![
-            MethodResult { name: "MobiRescue".into(), outcome: mr_outcome },
-            MethodResult { name: "Rescue".into(), outcome: rescue_outcome },
-            MethodResult { name: "Schedule".into(), outcome: schedule_outcome },
+            MethodResult {
+                name: "MobiRescue".into(),
+                outcome: mr_outcome,
+            },
+            MethodResult {
+                name: "Rescue".into(),
+                outcome: rescue_outcome,
+            },
+            MethodResult {
+                name: "Schedule".into(),
+                outcome: schedule_outcome,
+            },
         ],
         prediction_mr,
         prediction_rescue,

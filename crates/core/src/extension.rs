@@ -28,7 +28,10 @@ impl Default for FactorSetPredictorConfig {
     fn default() -> Self {
         Self {
             kernel: Kernel::Rbf { gamma: 0.5 },
-            smo: SmoConfig { c: 2.0, ..SmoConfig::default() },
+            smo: SmoConfig {
+                c: 2.0,
+                ..SmoConfig::default()
+            },
             max_examples: 1_200,
         }
     }
@@ -50,11 +53,7 @@ impl<F: FactorSet> FactorSetPredictor<F> {
     /// # Panics
     ///
     /// Panics if the scenario yields no positive or no negative examples.
-    pub fn train_on(
-        scenario: &Scenario,
-        factor_set: F,
-        config: &FactorSetPredictorConfig,
-    ) -> Self {
+    pub fn train_on(scenario: &Scenario, factor_set: F, config: &FactorSetPredictorConfig) -> Self {
         let rescues = mine_rescues(scenario);
         let examples = mobirescue_mobility::rescue::training_examples(
             &scenario.generated.dataset,
@@ -88,7 +87,12 @@ impl<F: FactorSet> FactorSetPredictor<F> {
         let scaler = StandardScaler::fit(&rows);
         let scaled = scaler.transform_all(&rows);
         let model = train(&scaled, &labels, config.kernel, &config.smo);
-        Self { factor_set, scaler, model, num_training_examples: rows.len() }
+        Self {
+            factor_set,
+            scaler,
+            model,
+            num_training_examples: rows.len(),
+        }
     }
 
     /// The factor set in use.
@@ -109,7 +113,8 @@ impl<F: FactorSet> FactorSetPredictor<F> {
         hour: u32,
     ) -> f64 {
         let features = self.factor_set.compute(&scenario.disaster, position, hour);
-        self.model.decision_function(&self.scaler.transform(&features))
+        self.model
+            .decision_function(&self.scaler.transform(&features))
     }
 
     /// Equation 1 over the generic factor set.

@@ -41,7 +41,10 @@ impl Default for PredictorConfig {
     fn default() -> Self {
         Self {
             kernel: Kernel::Rbf { gamma: 0.5 },
-            smo: SmoConfig { c: 2.0, ..SmoConfig::default() },
+            smo: SmoConfig {
+                c: 2.0,
+                ..SmoConfig::default()
+            },
             max_examples: 1_200,
             calibration_beta2: 0.25,
             min_recall: 0.5,
@@ -92,8 +95,7 @@ impl RequestPredictor {
     /// Panics if the scenario yields no positive or no negative examples.
     pub fn train_on(scenario: &Scenario, config: &PredictorConfig) -> Self {
         let rescues = mine_rescues(scenario);
-        let examples =
-            training_examples(&scenario.generated.dataset, &scenario.disaster, &rescues);
+        let examples = training_examples(&scenario.generated.dataset, &scenario.disaster, &rescues);
         Self::train_on_examples(&examples, config, &scenario.hurricane().name)
     }
 
@@ -107,19 +109,21 @@ impl RequestPredictor {
         config: &PredictorConfig,
         source: &str,
     ) -> Self {
-        let positives: Vec<&LabeledExample> =
-            examples.iter().filter(|e| e.needs_rescue).collect();
-        let negatives: Vec<&LabeledExample> =
-            examples.iter().filter(|e| !e.needs_rescue).collect();
+        let positives: Vec<&LabeledExample> = examples.iter().filter(|e| e.needs_rescue).collect();
+        let negatives: Vec<&LabeledExample> = examples.iter().filter(|e| !e.needs_rescue).collect();
         assert!(!positives.is_empty(), "no positive training examples");
         assert!(!negatives.is_empty(), "no negative training examples");
         // Class-balance (at most 2 negatives per positive) and cap.
         let per_class = (config.max_examples / 2).max(1);
         let pos_take = positives.len().min(per_class);
-        let neg_take = negatives.len().min((pos_take * 2).min(config.max_examples - pos_take));
+        let neg_take = negatives
+            .len()
+            .min((pos_take * 2).min(config.max_examples - pos_take));
         let take_evenly = |v: &[&LabeledExample], n: usize| -> Vec<LabeledExample> {
             let step = (v.len() as f64 / n as f64).max(1.0);
-            (0..n).map(|i| *v[((i as f64 * step) as usize).min(v.len() - 1)]).collect()
+            (0..n)
+                .map(|i| *v[((i as f64 * step) as usize).min(v.len() - 1)])
+                .collect()
         };
         let mut rows = Vec::new();
         let mut labels = Vec::new();
@@ -136,13 +140,16 @@ impl RequestPredictor {
         let model = train(&scaled, &labels, config.kernel, &config.smo);
         // Calibrate the decision threshold on the *full* example set (not
         // just the balanced subsample) for maximal F₀.₅.
-        let all_rows: Vec<Vec<f64>> =
-            examples.iter().map(|e| scaler.transform(&e.factors.as_array())).collect();
-        let decisions: Vec<f64> =
-            all_rows.iter().map(|r| model.decision_function(r)).collect();
+        let all_rows: Vec<Vec<f64>> = examples
+            .iter()
+            .map(|e| scaler.transform(&e.factors.as_array()))
+            .collect();
+        let decisions: Vec<f64> = all_rows
+            .iter()
+            .map(|r| model.decision_function(r))
+            .collect();
         let labels: Vec<bool> = examples.iter().map(|e| e.needs_rescue).collect();
-        let mut threshold =
-            calibrate_threshold(&decisions, &labels, config.calibration_beta2);
+        let mut threshold = calibrate_threshold(&decisions, &labels, config.calibration_beta2);
         // Never let precision-tuning push training recall below the
         // configured floor: a dispatcher that predicts no demand is
         // useless, and flood factors drift over the day (rain decays while
@@ -156,8 +163,7 @@ impl RequestPredictor {
         pos_decisions.sort_by(|a, b| a.partial_cmp(b).expect("decisions are never NaN"));
         if !pos_decisions.is_empty() {
             let q = (1.0 - config.min_recall.clamp(0.0, 1.0)).min(0.999);
-            let idx = ((pos_decisions.len() as f64 * q) as usize)
-                .min(pos_decisions.len() - 1);
+            let idx = ((pos_decisions.len() as f64 * q) as usize).min(pos_decisions.len() - 1);
             threshold = threshold.min(pos_decisions[idx] - 1e-9);
         }
         Self {
@@ -190,7 +196,10 @@ impl RequestPredictor {
             self.threshold
         );
         let fmt = |v: &[f64]| {
-            v.iter().map(|x| format!("{x:?}")).collect::<Vec<_>>().join(" ")
+            v.iter()
+                .map(|x| format!("{x:?}"))
+                .collect::<Vec<_>>()
+                .join(" ")
         };
         out.push_str(&format!("means {}\n", fmt(self.scaler.means())));
         out.push_str(&format!("stds {}\n", fmt(self.scaler.stds())));
@@ -211,10 +220,14 @@ impl RequestPredictor {
             return Err("missing predictor header".into());
         }
         let trained_on = parts.next().ok_or("missing source")?.replace('_', " ");
-        let num_training_examples =
-            parts.next().and_then(|n| n.parse().ok()).ok_or("bad example count")?;
-        let threshold: f64 =
-            parts.next().and_then(|t| t.parse().ok()).ok_or("bad threshold")?;
+        let num_training_examples = parts
+            .next()
+            .and_then(|n| n.parse().ok())
+            .ok_or("bad example count")?;
+        let threshold: f64 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or("bad threshold")?;
         let parse_vec = |line: Option<&str>, prefix: &str| -> Result<Vec<f64>, String> {
             line.and_then(|l| l.strip_prefix(prefix))
                 .ok_or_else(|| format!("missing {prefix} line"))?
@@ -225,8 +238,7 @@ impl RequestPredictor {
         let means = parse_vec(lines.next(), "means ")?;
         let stds = parse_vec(lines.next(), "stds ")?;
         let rest: String = lines.collect::<Vec<_>>().join("\n");
-        let model =
-            mobirescue_svm::persist::model_from_text(&rest).map_err(|e| e.to_string())?;
+        let model = mobirescue_svm::persist::model_from_text(&rest).map_err(|e| e.to_string())?;
         Ok(Self {
             scaler: mobirescue_svm::StandardScaler::from_parts(means, stds),
             model,
@@ -248,7 +260,8 @@ impl RequestPredictor {
 
     /// Raw SVM decision value for `h`.
     pub fn decision_value(&self, factors: &FactorVector) -> f64 {
-        self.model.decision_function(&self.scaler.transform(&factors.as_array()))
+        self.model
+            .decision_function(&self.scaler.transform(&factors.as_array()))
     }
 
     /// Equation 2: the predicted number of potential rescue requests per
@@ -284,7 +297,11 @@ fn calibrate_threshold(decisions: &[f64], labels: &[bool], beta2: f64) -> f64 {
     candidates.sort_by(|a, b| a.partial_cmp(b).expect("decisions are never NaN"));
     candidates.dedup();
     let mut best = (f64::NEG_INFINITY, 0.0);
-    for window in candidates.windows(2).map(|w| (w[0] + w[1]) / 2.0).chain([0.0]) {
+    for window in candidates
+        .windows(2)
+        .map(|w| (w[0] + w[1]) / 2.0)
+        .chain([0.0])
+    {
         let mut tp = 0.0;
         let mut fp = 0.0;
         let mut fn_ = 0.0;
@@ -297,7 +314,11 @@ fn calibrate_threshold(decisions: &[f64], labels: &[bool], beta2: f64) -> f64 {
             }
         }
         let denom = (1.0 + beta2) * tp + fp + beta2 * fn_;
-        let f = if denom > 0.0 { (1.0 + beta2) * tp / denom } else { 0.0 };
+        let f = if denom > 0.0 {
+            (1.0 + beta2) * tp / denom
+        } else {
+            0.0
+        };
         if f > best.0 {
             best = (f, window);
         }
@@ -421,7 +442,10 @@ pub fn evaluate_per_segment(
     }
     let mut per_segment: Vec<(SegmentId, ConfusionMatrix)> = per_segment.into_iter().collect();
     per_segment.sort_by_key(|(s, _)| *s);
-    SegmentEval { per_segment, overall }
+    SegmentEval {
+        per_segment,
+        overall,
+    }
 }
 
 #[cfg(test)]
@@ -445,8 +469,14 @@ mod tests {
         let hour = (r.request_minute / 60).min(scenario.disaster.total_hours() - 1);
         let danger = scenario.disaster.factors_at(r.request_position, hour);
         let safe = scenario.disaster.factors_at(r.request_position, 24);
-        assert!(predictor.predict(&danger), "trapped-person factors must trigger rescue");
-        assert!(!predictor.predict(&safe), "the same spot on a calm day must not");
+        assert!(
+            predictor.predict(&danger),
+            "trapped-person factors must trigger rescue"
+        );
+        assert!(
+            !predictor.predict(&safe),
+            "the same spot on a calm day must not"
+        );
         assert!(predictor.decision_value(&danger) > predictor.decision_value(&safe));
         let _ = FactorVector::default();
     }
@@ -466,8 +496,9 @@ mod tests {
         let mut trapped_scores = Vec::new();
         for r in &rescues {
             let hour = (r.request_minute / 60).min(florence.disaster.total_hours() - 1);
-            trapped_scores
-                .push(predictor.decision_value(&florence.disaster.factors_at(r.request_position, hour)));
+            trapped_scores.push(
+                predictor.decision_value(&florence.disaster.factors_at(r.request_position, hour)),
+            );
         }
         let mut calm_scores = Vec::new();
         for (_, pos) in people_positions_at(&florence, 24) {
@@ -522,7 +553,10 @@ mod tests {
         let back = RequestPredictor::from_text(&text).expect("round trip parses");
         assert_eq!(back.trained_on(), predictor.trained_on());
         assert_eq!(back.threshold(), predictor.threshold());
-        assert_eq!(back.num_training_examples(), predictor.num_training_examples());
+        assert_eq!(
+            back.num_training_examples(),
+            predictor.num_training_examples()
+        );
         // Decisions identical at arbitrary positions/hours.
         for hour in [24u32, 300, 400] {
             let f = scenario.disaster.factors_at(scenario.city.center, hour);

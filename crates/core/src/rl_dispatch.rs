@@ -28,8 +28,9 @@ use mobirescue_sim::dispatcher::{DispatchState, Dispatcher};
 use mobirescue_sim::types::{DispatchPlan, Order, RequestId};
 use std::collections::HashSet;
 
-/// Dimension of one `(team, zone)` feature vector.
-const FEATURE_DIM: usize = 6;
+/// Dimension of one `(team, zone)` feature vector — the input width any
+/// externally loaded policy network must match.
+pub const FEATURE_DIM: usize = 6;
 
 /// Reward weights and learning settings of the RL dispatcher.
 #[derive(Debug, Clone, PartialEq)]
@@ -236,6 +237,29 @@ impl<'a> MobiRescueDispatcher<'a> {
         d
     }
 
+    /// Like [`MobiRescueDispatcher::with_policy`] but rejects a mismatched
+    /// policy instead of panicking — the hot-swap path of a long-running
+    /// service must survive a bad checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch when the policy's feature
+    /// dimension is not [`FEATURE_DIM`].
+    pub fn try_with_policy(
+        scenario: &'a Scenario,
+        predictor: Option<RequestPredictor>,
+        config: RlDispatchConfig,
+        policy: QScore,
+    ) -> Result<Self, String> {
+        if policy.config().feature_dim != FEATURE_DIM {
+            return Err(format!(
+                "policy scores {}-dimensional features, dispatcher needs {FEATURE_DIM}",
+                policy.config().feature_dim
+            ));
+        }
+        Ok(Self::with_policy(scenario, predictor, config, policy))
+    }
+
     /// Clears cross-round state at an episode boundary (between simulated
     /// days during offline training).
     pub fn reset_episode(&mut self) {
@@ -322,9 +346,7 @@ impl<'a> MobiRescueDispatcher<'a> {
         nearest_live
             .or_else(|| {
                 segs.iter()
-                    .filter(|s| {
-                        demand[s.index()] > 0.0 && state.condition.is_operable(**s)
-                    })
+                    .filter(|s| demand[s.index()] > 0.0 && state.condition.is_operable(**s))
                     .max_by(|a, b| {
                         demand[a.index()]
                             .partial_cmp(&demand[b.index()])
@@ -365,12 +387,14 @@ impl Dispatcher for MobiRescueDispatcher<'_> {
         // Online Equation-5 reward for the previous round.
         if self.training {
             if let Some(prev) = self.prev.take() {
-                let served =
-                    prev.waiting_ids.iter().filter(|id| !now_waiting.contains(id)).count();
+                let served = prev
+                    .waiting_ids
+                    .iter()
+                    .filter(|id| !now_waiting.contains(id))
+                    .count();
                 let n = prev.decisions.len().max(1) as f64;
                 let total_delay: f64 = prev.decisions.iter().map(|d| d.delay_s).sum();
-                let total_serving =
-                    prev.decisions.iter().filter(|d| d.serving).count() as f64;
+                let total_serving = prev.decisions.iter().filter(|d| d.serving).count() as f64;
                 self.episode_reward += self.config.alpha * served as f64
                     - self.config.beta * (total_delay / 3_600.0)
                     - self.config.gamma_weight * total_serving;
@@ -396,8 +420,7 @@ impl Dispatcher for MobiRescueDispatcher<'_> {
                     // plus stand-by (the max rarely lives elsewhere).
                     const MAX_STORED_CANDIDATES: usize = 80;
                     if next_candidates.len() > MAX_STORED_CANDIDATES {
-                        let standby =
-                            next_candidates.pop().expect("stand-by is always present");
+                        let standby = next_candidates.pop().expect("stand-by is always present");
                         next_candidates.sort_by(|a, b| {
                             (b[1], b[2])
                                 .partial_cmp(&(a[1], a[2]))
@@ -430,8 +453,7 @@ impl Dispatcher for MobiRescueDispatcher<'_> {
             }
             let pos = state.net.landmark(team.location).position;
             let onboard_frac = team.onboard as f64 / self.config.capacity as f64;
-            let (feats, actions) =
-                self.candidates(pos, onboard_frac, &remaining, &live_zone);
+            let (feats, actions) = self.candidates(pos, onboard_frac, &remaining, &live_zone);
             let idx = if self.training {
                 self.policy.act(&feats)
             } else {
@@ -466,7 +488,10 @@ impl Dispatcher for MobiRescueDispatcher<'_> {
         }
 
         if self.training {
-            self.prev = Some(PrevRound { decisions, waiting_ids: now_waiting });
+            self.prev = Some(PrevRound {
+                decisions,
+                waiting_ids: now_waiting,
+            });
         }
         plan
     }
@@ -498,8 +523,13 @@ mod tests {
             })
             .collect();
         let cfg = SimConfig::small(24);
-        let outcome =
-            mobirescue_sim::run(&scenario.city, &scenario.conditions, &requests, &mut d, &cfg);
+        let outcome = mobirescue_sim::run(
+            &scenario.city,
+            &scenario.conditions,
+            &requests,
+            &mut d,
+            &cfg,
+        );
         assert_eq!(outcome.dispatcher, "MobiRescue");
         assert!(outcome.dispatch_rounds > 0);
         assert!(outcome.total_served() > 0, "no requests served at all");
@@ -517,17 +547,29 @@ mod tests {
     fn frozen_dispatcher_is_deterministic() {
         let scenario = florence();
         let requests: Vec<RequestSpec> = (0..8)
-            .map(|i| RequestSpec { appear_s: i * 300, segment: SegmentId(i * 11) })
+            .map(|i| RequestSpec {
+                appear_s: i * 300,
+                segment: SegmentId(i * 11),
+            })
             .collect();
         let cfg = SimConfig::small(24);
         let run = |seed: u64| {
             let mut d = MobiRescueDispatcher::new(
                 &scenario,
                 None,
-                RlDispatchConfig { seed, ..Default::default() },
+                RlDispatchConfig {
+                    seed,
+                    ..Default::default()
+                },
             );
             d.set_training(false);
-            mobirescue_sim::run(&scenario.city, &scenario.conditions, &requests, &mut d, &cfg)
+            mobirescue_sim::run(
+                &scenario.city,
+                &scenario.conditions,
+                &requests,
+                &mut d,
+                &cfg,
+            )
         };
         let a = run(5);
         let b = run(5);
@@ -539,12 +581,23 @@ mod tests {
         let scenario = florence();
         let mut d = MobiRescueDispatcher::new(&scenario, None, RlDispatchConfig::default());
         let requests: Vec<RequestSpec> = (0..20)
-            .map(|i| RequestSpec { appear_s: i * 100, segment: SegmentId(i * 7) })
+            .map(|i| RequestSpec {
+                appear_s: i * 100,
+                segment: SegmentId(i * 7),
+            })
             .collect();
         let cfg = SimConfig::small(24);
-        let _ =
-            mobirescue_sim::run(&scenario.city, &scenario.conditions, &requests, &mut d, &cfg);
-        assert!(d.policy().learn_steps() > 0, "online training never learned");
+        let _ = mobirescue_sim::run(
+            &scenario.city,
+            &scenario.conditions,
+            &requests,
+            &mut d,
+            &cfg,
+        );
+        assert!(
+            d.policy().learn_steps() > 0,
+            "online training never learned"
+        );
         d.reset_episode();
         assert_eq!(d.episode_reward, 0.0);
     }
@@ -587,7 +640,10 @@ mod tests {
     fn naive_baseline_still_works_side_by_side() {
         let scenario = florence();
         let requests: Vec<RequestSpec> = (0..10)
-            .map(|i| RequestSpec { appear_s: i * 120, segment: SegmentId(i * 13) })
+            .map(|i| RequestSpec {
+                appear_s: i * 120,
+                segment: SegmentId(i * 13),
+            })
             .collect();
         let cfg = SimConfig::small(24);
         let naive = mobirescue_sim::run(

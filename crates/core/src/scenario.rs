@@ -40,7 +40,11 @@ impl ScenarioConfig {
         city.grid_height = 24;
         let mut population = PopulationConfig::charlotte_like();
         population.num_people = 2_500;
-        Self { city, hurricane: Hurricane::florence(), population }
+        Self {
+            city,
+            hurricane: Hurricane::florence(),
+            population,
+        }
     }
 
     /// Paper-scale Florence scenario (36×36 city, 8,590 people).
@@ -74,7 +78,14 @@ impl ScenarioConfig {
         let disaster = DisasterScenario::new(&city, self.hurricane.clone(), seed);
         let generated = generate(&city, &disaster, &self.population, seed);
         let conditions = HourlyConditions::compute(&city.network, &disaster);
-        Scenario { config: self.clone(), seed, city, disaster, generated, conditions }
+        Scenario {
+            config: self.clone(),
+            seed,
+            city,
+            disaster,
+            generated,
+            conditions,
+        }
     }
 }
 
@@ -119,10 +130,7 @@ mod tests {
         let f = ScenarioConfig::small().florence().build(9);
         let m = ScenarioConfig::small().michael().build(9);
         assert_eq!(f.city.hospitals, m.city.hospitals);
-        assert_eq!(
-            f.city.network.num_segments(),
-            m.city.network.num_segments()
-        );
+        assert_eq!(f.city.network.num_segments(), m.city.network.num_segments());
         assert_ne!(f.hurricane().name, m.hurricane().name);
     }
 }

@@ -50,7 +50,10 @@ impl TimeSeriesPredictor {
             let hour = ((r.request_minute / 60) % 24) as usize;
             demand[seg.index()][hour] += w;
         }
-        Self { demand, lookback_days }
+        Self {
+            demand,
+            lookback_days,
+        }
     }
 
     /// Days of history used.
@@ -75,18 +78,16 @@ impl TimeSeriesPredictor {
     /// Panics if `hour_of_day >= 24`.
     pub fn per_segment_at(&self, hour_of_day: u32) -> Vec<f64> {
         assert!(hour_of_day < 24, "hour of day out of range");
-        self.demand.iter().map(|h| h[hour_of_day as usize]).collect()
+        self.demand
+            .iter()
+            .map(|h| h[hour_of_day as usize])
+            .collect()
     }
 
     /// Person-level classification proxy for Figures 15–16: a person is
     /// predicted to need rescue when their segment's predicted demand at
     /// that hour is at least `threshold`.
-    pub fn predict_person(
-        &self,
-        segment: SegmentId,
-        hour_of_day: u32,
-        threshold: f64,
-    ) -> bool {
+    pub fn predict_person(&self, segment: SegmentId, hour_of_day: u32, threshold: f64) -> bool {
         self.predicted_demand(segment, hour_of_day) >= threshold
     }
 }

@@ -34,8 +34,7 @@ pub fn requests_on_day(
         .iter()
         .filter(|r| r.request_day() == day)
         .map(|r| {
-            let hour =
-                (r.request_minute / 60).min(scenario.disaster.total_hours() - 1);
+            let hour = (r.request_minute / 60).min(scenario.disaster.total_hours() - 1);
             let cond = scenario.conditions.at(hour);
             let nearest = matcher.nearest_segment(net, r.request_position);
             let segment = if cond.is_operable(nearest) {
@@ -49,7 +48,10 @@ pub fn requests_on_day(
                     })
                     .unwrap_or(nearest)
             };
-            RequestSpec { appear_s: (r.request_minute - day * 24 * 60) * 60, segment }
+            RequestSpec {
+                appear_s: (r.request_minute - day * 24 * 60) * 60,
+                segment,
+            }
         })
         .collect()
 }
@@ -61,7 +63,10 @@ pub fn busiest_request_day(rescues: &[RescueRecord]) -> Option<u32> {
     for r in rescues {
         *counts.entry(r.request_day()).or_insert(0usize) += 1;
     }
-    counts.into_iter().max_by_key(|&(day, n)| (n, std::cmp::Reverse(day))).map(|(d, _)| d)
+    counts
+        .into_iter()
+        .max_by_key(|&(day, n)| (n, std::cmp::Reverse(day)))
+        .map(|(d, _)| d)
 }
 
 /// Statistics of one training episode.
@@ -93,8 +98,7 @@ impl TrainingReport {
         if self.episodes.len() < 2 * n || n == 0 {
             return None;
         }
-        let head: f64 =
-            self.episodes[..n].iter().map(|e| e.reward).sum::<f64>() / n as f64;
+        let head: f64 = self.episodes[..n].iter().map(|e| e.reward).sum::<f64>() / n as f64;
         let tail: f64 = self.episodes[self.episodes.len() - n..]
             .iter()
             .map(|e| e.reward)
@@ -135,7 +139,9 @@ pub fn train_offline(
         let requests = requests_on_day(scenario, &matcher, &rescues, day);
         let mut cfg = sim_config.clone();
         cfg.start_hour = day * 24;
-        cfg.duration_hours = cfg.duration_hours.min(scenario.disaster.total_hours() - cfg.start_hour);
+        cfg.duration_hours = cfg
+            .duration_hours
+            .min(scenario.disaster.total_hours() - cfg.start_hour);
         dispatcher.reset_episode();
         let outcome = mobirescue_sim::run(
             &scenario.city,
@@ -170,7 +176,11 @@ mod tests {
         let requests = requests_on_day(&scenario, &matcher, &rescues, day);
         assert!(!requests.is_empty());
         for r in &requests {
-            assert!(r.appear_s < 24 * 3_600, "appear_s {} beyond the day", r.appear_s);
+            assert!(
+                r.appear_s < 24 * 3_600,
+                "appear_s {} beyond the day",
+                r.appear_s
+            );
         }
     }
 
@@ -188,13 +198,7 @@ mod tests {
         let scenario = ScenarioConfig::small().michael().build(63);
         let mut sim = SimConfig::small(0);
         sim.duration_hours = 6;
-        let (policy, report) = train_offline(
-            &scenario,
-            None,
-            RlDispatchConfig::default(),
-            &sim,
-            3,
-        );
+        let (policy, report) = train_offline(&scenario, None, RlDispatchConfig::default(), &sim, 3);
         assert_eq!(report.episodes.len(), 3);
         assert!(policy.learn_steps() > 0, "policy never learned offline");
         assert!(report.episodes.iter().all(|e| e.requests > 0));

@@ -45,7 +45,10 @@ impl ZoneMap {
     /// Panics if `k == 0` or the city network is empty.
     pub fn new(city: &City, k: usize) -> Self {
         assert!(k > 0, "zone grid must be non-empty");
-        let bbox = city.network.bounding_box().expect("city network must be non-empty");
+        let bbox = city
+            .network
+            .bounding_box()
+            .expect("city network must be non-empty");
         let origin = bbox.south_west;
         let (width_m, height_m) = bbox.north_east.local_xy_m(origin);
         let zone_of = |p: mobirescue_roadnet::geo::GeoPoint| -> ZoneId {
@@ -54,8 +57,11 @@ impl ZoneMap {
             let r = ((y / height_m * k as f64) as isize).clamp(0, k as isize - 1) as usize;
             ZoneId((r * k + c) as u16)
         };
-        let zone_of_landmark: Vec<ZoneId> =
-            city.network.landmarks().map(|lm| zone_of(lm.position)).collect();
+        let zone_of_landmark: Vec<ZoneId> = city
+            .network
+            .landmarks()
+            .map(|lm| zone_of(lm.position))
+            .collect();
         let zone_of_segment: Vec<ZoneId> = city
             .network
             .segments()
@@ -84,15 +90,19 @@ impl ZoneMap {
                 cx += x / members.len() as f64;
                 cy += y / members.len() as f64;
             }
-            anchors[z] = members
-                .into_iter()
-                .min_by(|&a, &b| {
-                    let da = dist2(city, a, origin, cx, cy);
-                    let db = dist2(city, b, origin, cx, cy);
-                    da.partial_cmp(&db).expect("distances are never NaN")
-                });
+            anchors[z] = members.into_iter().min_by(|&a, &b| {
+                let da = dist2(city, a, origin, cx, cy);
+                let db = dist2(city, b, origin, cx, cy);
+                da.partial_cmp(&db).expect("distances are never NaN")
+            });
         }
-        Self { k, zone_of_landmark, zone_of_segment, anchors, segments }
+        Self {
+            k,
+            zone_of_landmark,
+            zone_of_segment,
+            anchors,
+            segments,
+        }
     }
 
     /// Number of zones (`k²`).

@@ -5,8 +5,8 @@
 use mobirescue_core::predictor::{PredictorConfig, RequestPredictor};
 use mobirescue_core::scenario::ScenarioConfig;
 use mobirescue_mobility::map_match::MapMatcher;
-use mobirescue_rl::persist::{mlp_from_text, mlp_to_text};
 use mobirescue_rl::nn::Mlp;
+use mobirescue_rl::persist::{mlp_from_text, mlp_to_text};
 
 #[test]
 fn predictor_round_trip_preserves_the_demand_distribution() {
@@ -14,12 +14,15 @@ fn predictor_round_trip_preserves_the_demand_distribution() {
     let florence = ScenarioConfig::small().florence().build(42);
     let predictor = RequestPredictor::train_on(&michael, &PredictorConfig::default());
 
-    let revived =
-        RequestPredictor::from_text(&predictor.to_text()).expect("round trip parses");
+    let revived = RequestPredictor::from_text(&predictor.to_text()).expect("round trip parses");
 
     let matcher = MapMatcher::new(&florence.city.network);
     let tl = florence.hurricane().timeline;
-    for hour in [(tl.disaster_start_day + 1) * 24, tl.peak_hour(), tl.peak_hour() + 6] {
+    for hour in [
+        (tl.disaster_start_day + 1) * 24,
+        tl.peak_hour(),
+        tl.peak_hour() + 6,
+    ] {
         let a = predictor.predict_distribution(&florence, &matcher, hour);
         let b = revived.predict_distribution(&florence, &matcher, hour);
         assert_eq!(a, b, "distribution diverged at hour {hour}");

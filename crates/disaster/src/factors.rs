@@ -110,7 +110,11 @@ mod tests {
 
     #[test]
     fn factor_vector_round_trips_to_array() {
-        let v = FactorVector { precipitation_mm_h: 1.0, wind_mph: 2.0, altitude_m: 3.0 };
+        let v = FactorVector {
+            precipitation_mm_h: 1.0,
+            wind_mph: 2.0,
+            altitude_m: 3.0,
+        };
         assert_eq!(v.as_array(), [1.0, 2.0, 3.0]);
         let vec: Vec<f64> = v.into();
         assert_eq!(vec, vec![1.0, 2.0, 3.0]);

@@ -87,7 +87,9 @@ impl FloodField {
         }
         let (alt_min, alt_max) = altitude
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &a| (lo.min(a), hi.max(a)));
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &a| {
+                (lo.min(a), hi.max(a))
+            });
         let alt_span = (alt_max - alt_min).max(1.0);
 
         // Water balance: each hour, water += rain * runoff(alt);
@@ -105,7 +107,14 @@ impl FloodField {
                 depth[h as usize * rows * cols + i] = water[i] as f32;
             }
         }
-        Self { bbox, cols, rows, cell_m, hours, depth }
+        Self {
+            bbox,
+            cols,
+            rows,
+            cell_m,
+            hours,
+            depth,
+        }
     }
 
     /// Scenario length in hours.
@@ -136,7 +145,11 @@ impl FloodField {
     ///
     /// Panics if `hour` is past the end of the scenario.
     pub fn depth_m(&self, p: GeoPoint, hour: u32) -> f64 {
-        assert!(hour < self.hours, "hour {hour} outside scenario of {} hours", self.hours);
+        assert!(
+            hour < self.hours,
+            "hour {hour} outside scenario of {} hours",
+            self.hours
+        );
         self.depth[hour as usize * self.rows * self.cols + self.cell_index(p)] as f64
     }
 
@@ -232,7 +245,10 @@ mod tests {
         let during = flood.flooded_fraction(tl.peak_hour() + 24);
         let after = flood.flooded_fraction((tl.disaster_end_day + 6) * 24);
         let much_later = flood.flooded_fraction(29 * 24);
-        assert!(after < during, "no recovery: during {during}, after {after}");
+        assert!(
+            after < during,
+            "no recovery: during {during}, after {after}"
+        );
         assert!(much_later <= after);
     }
 
@@ -243,7 +259,10 @@ mod tests {
         let (_, flood) = setup();
         let tl = Hurricane::florence().timeline;
         let day_after = flood.flooded_fraction((tl.disaster_end_day + 1) * 24);
-        assert!(day_after > 0.01, "flooding vanished immediately: {day_after}");
+        assert!(
+            day_after > 0.01,
+            "flooding vanished immediately: {day_after}"
+        );
     }
 
     #[test]
@@ -252,7 +271,10 @@ mod tests {
         let city = mobirescue_roadnet::generator::CityConfig::small().build(5);
         let peak = Hurricane::florence().timeline.peak_hour();
         let cond = flood.network_condition(&city.network, peak + 24);
-        assert!(cond.operable_count() < city.network.num_segments(), "nothing blocked");
+        assert!(
+            cond.operable_count() < city.network.num_segments(),
+            "nothing blocked"
+        );
         for sid in city.network.segment_ids() {
             let depth = flood.depth_m(city.network.segment_midpoint(sid), peak + 24);
             assert_eq!(cond.is_operable(sid), depth < FLOOD_DEPTH_M);

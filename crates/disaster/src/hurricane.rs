@@ -59,7 +59,11 @@ impl Timeline {
             disaster_start_day < disaster_end_day && disaster_end_day <= total_days,
             "disaster window [{disaster_start_day}, {disaster_end_day}) must fit in {total_days} days"
         );
-        Self { total_days, disaster_start_day, disaster_end_day }
+        Self {
+            total_days,
+            disaster_start_day,
+            disaster_end_day,
+        }
     }
 
     /// Total scenario length in hours.

@@ -75,7 +75,12 @@ impl DisasterScenario {
         let terrain = TerrainModel::with_params(city.center, seed, 232.0, 45.0, basin_sigma_m);
         let weather = WeatherField::new(city.center, hurricane, seed);
         let flood = FloodField::compute(bbox, &terrain, &weather, resolution);
-        Self { center: city.center, terrain, weather, flood }
+        Self {
+            center: city.center,
+            terrain,
+            weather,
+            flood,
+        }
     }
 
     /// The city center the scenario is anchored to.

@@ -65,7 +65,13 @@ impl TerrainModel {
             let ph2 = rng.random_range(0.0..std::f64::consts::TAU);
             waves.push((amp, wl, wl2, ph, ph2));
         }
-        Self { origin, base_m, basin_depth_m, basin_sigma_m, waves }
+        Self {
+            origin,
+            base_m,
+            basin_depth_m,
+            basin_sigma_m,
+            waves,
+        }
     }
 
     /// Altitude at `p` in meters.

@@ -52,7 +52,12 @@ impl WeatherField {
         };
         let precip_noise = noise(());
         let wind_noise = noise(());
-        Self { origin, hurricane, precip_noise, wind_noise }
+        Self {
+            origin,
+            hurricane,
+            precip_noise,
+            wind_noise,
+        }
     }
 
     /// The hurricane driving this field.
@@ -64,7 +69,8 @@ impl WeatherField {
     /// core + smooth noise.
     fn spatial_profile(&self, p: GeoPoint, noise: (f64, f64, f64, f64), band_weight: f64) -> f64 {
         let (x, y) = p.local_xy_m(self.origin);
-        let along = x * self.hurricane.band_angle_rad.cos() + y * self.hurricane.band_angle_rad.sin();
+        let along =
+            x * self.hurricane.band_angle_rad.cos() + y * self.hurricane.band_angle_rad.sin();
         // Normalize the along-band coordinate to about [-1, 1] at city scale.
         let band = (along / 12_000.0).clamp(-1.0, 1.0);
         let r2 = x * x + y * y;
@@ -96,7 +102,9 @@ impl WeatherField {
 
     /// Total precipitation at `p` accumulated over day `day`, in mm.
     pub fn daily_precipitation_mm(&self, p: GeoPoint, day: u32) -> f64 {
-        (0..24).map(|h| self.precipitation_mm_h(p, day * 24 + h)).sum()
+        (0..24)
+            .map(|h| self.precipitation_mm_h(p, day * 24 + h))
+            .sum()
     }
 }
 
@@ -165,7 +173,10 @@ mod tests {
         let day = w.hurricane().timeline.disaster_start_day + 1;
         let manual: f64 = (0..24).map(|h| w.precipitation_mm_h(p, day * 24 + h)).sum();
         assert!((w.daily_precipitation_mm(p, day) - manual).abs() < 1e-9);
-        assert!(manual > 10.0, "a disaster day should accumulate real rain, got {manual}");
+        assert!(
+            manual > 10.0,
+            "a disaster day should accumulate real rain, got {manual}"
+        );
     }
 
     #[test]

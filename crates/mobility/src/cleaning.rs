@@ -23,7 +23,11 @@ pub struct CleaningConfig {
 impl CleaningConfig {
     /// Standard cleaning: the given city bounds, 15 m / 10 min redundancy.
     pub fn for_bounds(bounds: BoundingBox) -> Self {
-        Self { bounds, redundant_distance_m: 15.0, redundant_minutes: 10 }
+        Self {
+            bounds,
+            redundant_distance_m: 15.0,
+            redundant_minutes: 10,
+        }
     }
 }
 
@@ -80,7 +84,13 @@ mod tests {
     use mobirescue_roadnet::geo::GeoPoint;
 
     fn ping(person: u32, minute: u32, pos: GeoPoint) -> GpsPing {
-        GpsPing { person: PersonId(person), minute, position: pos, altitude_m: 0.0, speed_mps: 0.0 }
+        GpsPing {
+            person: PersonId(person),
+            minute,
+            position: pos,
+            altitude_m: 0.0,
+            speed_mps: 0.0,
+        }
     }
 
     fn config() -> CleaningConfig {
@@ -94,7 +104,11 @@ mod tests {
     fn out_of_bounds_pings_dropped() {
         let inside = GeoPoint::new(35.5, -80.5);
         let outside = GeoPoint::new(40.0, -80.5);
-        let pings = vec![ping(0, 0, inside), ping(0, 100, outside), ping(0, 200, inside)];
+        let pings = vec![
+            ping(0, 0, inside),
+            ping(0, 100, outside),
+            ping(0, 200, inside),
+        ];
         let (kept, report) = clean(&pings, &config());
         assert_eq!(kept.len(), 2);
         assert_eq!(report.out_of_bounds, 1);

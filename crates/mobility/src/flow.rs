@@ -38,7 +38,10 @@ impl HourlyConditions {
     ///
     /// Panics if `conditions` is empty.
     pub fn from_conditions(conditions: Vec<NetworkCondition>) -> Self {
-        assert!(!conditions.is_empty(), "need at least one hour of conditions");
+        assert!(
+            !conditions.is_empty(),
+            "need at least one hour of conditions"
+        );
         Self { conditions }
     }
 
@@ -68,7 +71,11 @@ pub struct FlowField {
 impl FlowField {
     /// An all-zero flow field.
     pub fn zeros(num_segments: usize, hours: u32) -> Self {
-        Self { num_segments, hours, counts: vec![0; num_segments * hours as usize] }
+        Self {
+            num_segments,
+            hours,
+            counts: vec![0; num_segments * hours as usize],
+        }
     }
 
     /// Routes every trip and accumulates per-segment hourly flow.
@@ -78,11 +85,7 @@ impl FlowField {
     /// Routing is embarrassingly parallel (one Dijkstra per trip), so the
     /// work is spread over the available cores; results are deterministic
     /// because per-thread partial counts are merged by addition.
-    pub fn from_trips(
-        net: &RoadNetwork,
-        trips: &[Trip],
-        conditions: &HourlyConditions,
-    ) -> Self {
+    pub fn from_trips(net: &RoadNetwork, trips: &[Trip], conditions: &HourlyConditions) -> Self {
         let hours = conditions.hours();
         let num_segments = net.num_segments();
         let threads = std::thread::available_parallelism()
@@ -100,8 +103,7 @@ impl FlowField {
                         for trip in slice {
                             let hour = trip.depart_hour().min(hours - 1);
                             let cond = conditions.at(hour);
-                            if let Some(route) = router.shortest_path(cond, trip.from, trip.to)
-                            {
+                            if let Some(route) = router.shortest_path(cond, trip.from, trip.to) {
                                 for sid in route.segments {
                                     counts[sid.index() * hours as usize + hour as usize] += 1;
                                 }
@@ -171,12 +173,7 @@ impl FlowField {
     }
 
     /// Region flow rate averaged over all 24 hours of `day`.
-    pub fn region_daily_avg(
-        &self,
-        partition: &RegionPartition,
-        region: RegionId,
-        day: u32,
-    ) -> f64 {
+    pub fn region_daily_avg(&self, partition: &RegionPartition, region: RegionId, day: u32) -> f64 {
         (0..24)
             .map(|h| self.region_flow(partition, region, (day * 24 + h).min(self.hours - 1)))
             .sum::<f64>()
@@ -208,7 +205,11 @@ mod tests {
     use mobirescue_disaster::hurricane::Hurricane;
     use mobirescue_roadnet::generator::CityConfig;
 
-    fn setup() -> (mobirescue_roadnet::generator::City, DisasterScenario, HourlyConditions) {
+    fn setup() -> (
+        mobirescue_roadnet::generator::City,
+        DisasterScenario,
+        HourlyConditions,
+    ) {
         let city = CityConfig::small().build(31);
         let scenario = DisasterScenario::new(&city, Hurricane::florence(), 31);
         let conds = HourlyConditions::compute(&city.network, &scenario);
@@ -227,7 +228,12 @@ mod tests {
         let (city, _, conds) = setup();
         let from = mobirescue_roadnet::graph::LandmarkId(0);
         let to = city.depot;
-        let trip = Trip { person: PersonId(0), depart_minute: 60, from, to };
+        let trip = Trip {
+            person: PersonId(0),
+            depart_minute: 60,
+            from,
+            to,
+        };
         let field = FlowField::from_trips(&city.network, &[trip], &conds);
         let router = Router::new(&city.network);
         let route = router.shortest_path(conds.at(1), from, to).unwrap();
@@ -246,7 +252,12 @@ mod tests {
         let cond = conds.at(peak);
         let from = mobirescue_roadnet::graph::LandmarkId(0);
         let to = mobirescue_roadnet::graph::LandmarkId((city.network.num_landmarks() - 1) as u32);
-        let trip = Trip { person: PersonId(0), depart_minute: peak * 60, from, to };
+        let trip = Trip {
+            person: PersonId(0),
+            depart_minute: peak * 60,
+            from,
+            to,
+        };
         let field = FlowField::from_trips(&city.network, &[trip], &conds);
         for sid in city.network.segment_ids() {
             if field.flow(sid, peak) > 0 {
@@ -259,7 +270,12 @@ mod tests {
     fn region_flow_averages_segments() {
         let (city, _, conds) = setup();
         let from = mobirescue_roadnet::graph::LandmarkId(0);
-        let trip = Trip { person: PersonId(0), depart_minute: 0, from, to: city.depot };
+        let trip = Trip {
+            person: PersonId(0),
+            depart_minute: 0,
+            from,
+            to: city.depot,
+        };
         let field = FlowField::from_trips(&city.network, &[trip], &conds);
         let mut manual_sum = 0.0;
         let mut by_region = 0.0;

@@ -67,7 +67,10 @@ impl PopulationConfig {
 
     /// Small population for tests and quickstarts.
     pub fn small() -> Self {
-        Self { num_people: 300, ..Self::charlotte_like() }
+        Self {
+            num_people: 300,
+            ..Self::charlotte_like()
+        }
     }
 }
 
@@ -143,8 +146,11 @@ pub fn generate(
     let total_days = scenario.total_hours() / 24;
 
     let people = sample_people(city, config, &mut rng);
-    let hospital_pos: Vec<GeoPoint> =
-        city.hospitals.iter().map(|&h| city.network.landmark(h).position).collect();
+    let hospital_pos: Vec<GeoPoint> = city
+        .hospitals
+        .iter()
+        .map(|&h| city.network.landmark(h).position)
+        .collect();
     // High-ground evacuation spots: the least flooded hospitals suffice.
     let mut pings = Vec::new();
     let mut true_rescues = Vec::new();
@@ -185,8 +191,10 @@ pub fn generate(
                             let leave = rescue_minute + rng.random_range(240..620);
                             if leave < total_minutes {
                                 // Go home only if home has dried out.
-                                let home_ok =
-                                    !scenario.is_flooded(person.home, (leave / 60).min(scenario.total_hours() - 1));
+                                let home_ok = !scenario.is_flooded(
+                                    person.home,
+                                    (leave / 60).min(scenario.total_hours() - 1),
+                                );
                                 if home_ok {
                                     timeline.push(leave, person.home);
                                 }
@@ -232,8 +240,10 @@ pub fn generate(
             }
 
             // Sheltering: as the storm intensifies people stay home.
-            let midday_intensity =
-                scenario.hurricane().timeline.intensity((day_start / 60 + 12).min(scenario.total_hours() - 1));
+            let midday_intensity = scenario
+                .hurricane()
+                .timeline
+                .intensity((day_start / 60 + 12).min(scenario.total_hours() - 1));
             if midday_intensity > 0.25 && rng.random_bool((midday_intensity * 1.2).min(0.97)) {
                 continue;
             }
@@ -271,8 +281,7 @@ pub fn generate(
                 rng.random_range(-config.gps_noise_m..=config.gps_noise_m),
                 rng.random_range(-config.gps_noise_m..=config.gps_noise_m),
             );
-            let altitude_m =
-                scenario.terrain().altitude_m(position) + rng.random_range(-3.0..3.0);
+            let altitude_m = scenario.terrain().altitude_m(position) + rng.random_range(-3.0..3.0);
             pings.push(GpsPing {
                 person: person.id,
                 minute: t,
@@ -284,7 +293,10 @@ pub fn generate(
         }
     }
 
-    GenerationOutput { dataset: MobilityDataset { people, pings }, true_rescues }
+    GenerationOutput {
+        dataset: MobilityDataset { people, pings },
+        true_rescues,
+    }
 }
 
 /// Straight-line travel estimate at 8 m/s average urban speed, minutes.
@@ -303,7 +315,9 @@ fn nearest_hospital(hospitals: &[GeoPoint], p: GeoPoint) -> (usize, f64) {
 
 fn random_landmark_pos(city: &City, rng: &mut StdRng) -> GeoPoint {
     let n = city.network.num_landmarks() as u32;
-    city.network.landmark(LandmarkId(rng.random_range(0..n))).position
+    city.network
+        .landmark(LandmarkId(rng.random_range(0..n)))
+        .position
 }
 
 /// Samples homes (denser downtown), workplaces (mostly downtown) and
@@ -316,7 +330,8 @@ fn sample_people(city: &City, config: &PopulationConfig, rng: &mut StdRng) -> Ve
             let p = landmarks[rng.random_range(0..landmarks.len())];
             let (x, y) = p.local_xy_m(city.center);
             let r2 = x * x + y * y;
-            let w = 1.0 - downtown_bias + downtown_bias * (-r2 / (2.0 * 4_000.0_f64 * 4_000.0)).exp();
+            let w =
+                1.0 - downtown_bias + downtown_bias * (-r2 / (2.0 * 4_000.0_f64 * 4_000.0)).exp();
             if rng.random_bool(w.clamp(0.02, 1.0)) {
                 return p;
             }
@@ -341,7 +356,12 @@ fn sample_people(city: &City, config: &PopulationConfig, rng: &mut StdRng) -> Ve
             } else {
                 home
             };
-            Person { id: PersonId(i), home, work, profile }
+            Person {
+                id: PersonId(i),
+                home,
+                work,
+                profile,
+            }
         })
         .collect()
 }

@@ -37,7 +37,10 @@ impl MapMatcher {
     ///
     /// Panics on an empty network.
     pub fn new(net: &RoadNetwork) -> Self {
-        let bbox = net.bounding_box().expect("network must be non-empty").expanded_m(100.0);
+        let bbox = net
+            .bounding_box()
+            .expect("network must be non-empty")
+            .expanded_m(100.0);
         let origin = bbox.south_west;
         let (width_m, height_m) = bbox.north_east.local_xy_m(origin);
         let cell_m = 800.0;
@@ -50,7 +53,13 @@ impl MapMatcher {
             let r = ((y / cell_m) as isize).clamp(0, rows as isize - 1) as usize;
             buckets[r * cols + c].push(lm.id);
         }
-        Self { origin, cell_m, cols, rows, buckets }
+        Self {
+            origin,
+            cell_m,
+            cols,
+            rows,
+            buckets,
+        }
     }
 
     fn cell_of(&self, p: GeoPoint) -> (isize, isize) {
@@ -139,7 +148,8 @@ impl MapMatcher {
         for &sid in net.in_segments(lm) {
             consider(sid);
         }
-        best.expect("landmark has incident segments in a connected network").1
+        best.expect("landmark has incident segments in a connected network")
+            .1
     }
 }
 
@@ -156,9 +166,10 @@ mod tests {
         let matcher = MapMatcher::new(&city.network);
         let mut rng = StdRng::seed_from_u64(99);
         for _ in 0..200 {
-            let p = city
-                .center
-                .offset_m(rng.random_range(-5_000.0..5_000.0), rng.random_range(-5_000.0..5_000.0));
+            let p = city.center.offset_m(
+                rng.random_range(-5_000.0..5_000.0),
+                rng.random_range(-5_000.0..5_000.0),
+            );
             let fast = matcher.nearest_landmark(&city.network, p);
             let brute = city.network.nearest_landmark(p).unwrap();
             let df = city.network.landmark(fast).position.distance_m(p);

@@ -83,7 +83,9 @@ pub fn detect_deliveries(
         };
         let pings = &traj.pings;
         for (i, ping) in pings.iter().enumerate() {
-            let Some(hospital_index) = near(ping.position) else { continue };
+            let Some(hospital_index) = near(ping.position) else {
+                continue;
+            };
             // Find when the person leaves the catchment.
             let leave_minute = pings[i + 1..]
                 .iter()
@@ -176,8 +178,8 @@ pub fn training_examples(
     // disaster peak (within an extended disaster window — flooding peaks
     // after the rain does).
     let tl = scenario.hurricane().timeline;
-    let window = (tl.disaster_start_day * 24 * 60)
-        ..((tl.disaster_end_day + 2).min(tl.total_days) * 24 * 60);
+    let window =
+        (tl.disaster_start_day * 24 * 60)..((tl.disaster_end_day + 2).min(tl.total_days) * 24 * 60);
     let peak_minute = tl.peak_hour() * 60 + 12 * 60;
     // Keep negatives within half a day of the peak: beyond that the storm's
     // own intensity separates the classes and the classifier never learns
@@ -193,8 +195,8 @@ pub fn training_examples(
             continue;
         }
         let slot = &mut best[ping.person.index()];
-        let closer = slot
-            .is_none_or(|(m, _)| ping.minute.abs_diff(peak_minute) < m.abs_diff(peak_minute));
+        let closer =
+            slot.is_none_or(|(m, _)| ping.minute.abs_diff(peak_minute) < m.abs_diff(peak_minute));
         if closer {
             *slot = Some((ping.minute, ping.position));
         }
@@ -223,7 +225,13 @@ mod tests {
     use mobirescue_roadnet::generator::CityConfig;
 
     fn ping(minute: u32, pos: GeoPoint) -> GpsPing {
-        GpsPing { person: PersonId(0), minute, position: pos, altitude_m: 0.0, speed_mps: 0.0 }
+        GpsPing {
+            person: PersonId(0),
+            minute,
+            position: pos,
+            altitude_m: 0.0,
+            speed_mps: 0.0,
+        }
     }
 
     #[test]
@@ -283,8 +291,11 @@ mod tests {
         let city = CityConfig::small().build(55);
         let scenario = DisasterScenario::new(&city, Hurricane::florence(), 55);
         let out = generate(&city, &scenario, &PopulationConfig::small(), 55);
-        let hospitals: Vec<GeoPoint> =
-            city.hospitals.iter().map(|&h| city.network.landmark(h).position).collect();
+        let hospitals: Vec<GeoPoint> = city
+            .hospitals
+            .iter()
+            .map(|&h| city.network.landmark(h).position)
+            .collect();
         let trajs = out.dataset.trajectories();
         let deliveries = detect_deliveries(
             &trajs,
@@ -304,10 +315,7 @@ mod tests {
             .iter()
             .filter(|t| detected_people.contains(&t.person))
             .count();
-        assert!(
-            hits * 2 >= truth,
-            "detected {hits}/{truth} true rescues"
-        );
+        assert!(hits * 2 >= truth, "detected {hits}/{truth} true rescues");
     }
 
     #[test]
@@ -315,8 +323,11 @@ mod tests {
         let city = CityConfig::small().build(56);
         let scenario = DisasterScenario::new(&city, Hurricane::florence(), 56);
         let out = generate(&city, &scenario, &PopulationConfig::small(), 56);
-        let hospitals: Vec<GeoPoint> =
-            city.hospitals.iter().map(|&h| city.network.landmark(h).position).collect();
+        let hospitals: Vec<GeoPoint> = city
+            .hospitals
+            .iter()
+            .map(|&h| city.network.landmark(h).position)
+            .collect();
         let trajs = out.dataset.trajectories();
         let deliveries = detect_deliveries(
             &trajs,

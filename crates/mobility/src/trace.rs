@@ -98,7 +98,10 @@ impl MobilityDataset {
         let mut out: Vec<Trajectory> = self
             .people
             .iter()
-            .map(|p| Trajectory { person: p.id, pings: Vec::new() })
+            .map(|p| Trajectory {
+                person: p.id,
+                pings: Vec::new(),
+            })
             .collect();
         for ping in &self.pings {
             out[ping.person.index()].pings.push(*ping);
@@ -123,8 +126,18 @@ mod tests {
     fn tiny_dataset() -> MobilityDataset {
         let home = GeoPoint::new(35.2, -80.8);
         let people = vec![
-            Person { id: PersonId(0), home, work: home, profile: MobilityProfile::Homebody },
-            Person { id: PersonId(1), home, work: home, profile: MobilityProfile::Commuter },
+            Person {
+                id: PersonId(0),
+                home,
+                work: home,
+                profile: MobilityProfile::Homebody,
+            },
+            Person {
+                id: PersonId(1),
+                home,
+                work: home,
+                profile: MobilityProfile::Commuter,
+            },
         ];
         let ping = |person, minute| GpsPing {
             person: PersonId(person),

@@ -50,13 +50,16 @@ pub fn extract_trips(
     let mut prev: Option<&GpsPing> = None;
     for ping in &dataset.pings {
         if let Some(p) = prev {
-            if p.person == ping.person
-                && p.position.distance_m(ping.position) > threshold_m
-            {
+            if p.person == ping.person && p.position.distance_m(ping.position) > threshold_m {
                 let from = matcher.nearest_landmark(net, p.position);
                 let to = matcher.nearest_landmark(net, ping.position);
                 if from != to {
-                    trips.push(Trip { person: ping.person, depart_minute: p.minute, from, to });
+                    trips.push(Trip {
+                        person: ping.person,
+                        depart_minute: p.minute,
+                        from,
+                        to,
+                    });
                 }
             }
         }
@@ -73,7 +76,13 @@ mod tests {
     use mobirescue_roadnet::geo::GeoPoint;
 
     fn ping(person: u32, minute: u32, pos: GeoPoint) -> GpsPing {
-        GpsPing { person: PersonId(person), minute, position: pos, altitude_m: 0.0, speed_mps: 0.0 }
+        GpsPing {
+            person: PersonId(person),
+            minute,
+            position: pos,
+            altitude_m: 0.0,
+            speed_mps: 0.0,
+        }
     }
 
     #[test]

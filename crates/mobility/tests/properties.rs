@@ -102,15 +102,17 @@ fn generation_invariants_across_seeds() {
         for r in &out.true_rescues {
             assert!(r.rescue_minute > r.trapped_minute);
             assert!(city.hospitals.contains(&r.hospital));
-            assert!(scenario.is_flooded(
-                r.position,
-                (r.trapped_minute / 60).min(scenario.total_hours() - 1)
-            ) || {
-                // The trap decision was made at the top of the hour; the
-                // recorded minute may drift past a receding boundary.
-                let h = (r.trapped_minute / 60).saturating_sub(1);
-                scenario.is_flooded(r.position, h)
-            });
+            assert!(
+                scenario.is_flooded(
+                    r.position,
+                    (r.trapped_minute / 60).min(scenario.total_hours() - 1)
+                ) || {
+                    // The trap decision was made at the top of the hour; the
+                    // recorded minute may drift past a receding boundary.
+                    let h = (r.trapped_minute / 60).saturating_sub(1);
+                    scenario.is_flooded(r.position, h)
+                }
+            );
         }
     }
 }

@@ -25,7 +25,15 @@ impl Adam {
     pub fn new(net: &Mlp, lr: f64) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         let n = net.num_params();
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: vec![0.0; n], v: vec![0.0; n] }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
     }
 
     /// Applies one Adam step using the gradients accumulated in `net`
@@ -92,8 +100,9 @@ mod tests {
     /// Train y = 2x − 1 with a tiny MLP; loss must shrink drastically.
     fn train_regression<F: FnMut(&mut Mlp, usize)>(mut step: F) -> f64 {
         let mut net = Mlp::new(&[1, 8, 1], 3);
-        let data: Vec<(f64, f64)> =
-            (0..16).map(|i| (i as f64 / 8.0 - 1.0, 2.0 * (i as f64 / 8.0 - 1.0) - 1.0)).collect();
+        let data: Vec<(f64, f64)> = (0..16)
+            .map(|i| (i as f64 / 8.0 - 1.0, 2.0 * (i as f64 / 8.0 - 1.0) - 1.0))
+            .collect();
         for _ in 0..400 {
             net.zero_grad();
             for &(x, t) in &data {

@@ -97,7 +97,10 @@ impl DqnAgent {
     ///
     /// Panics if `state_dim`, `num_actions` or `batch_size` is zero.
     pub fn new(config: DqnConfig) -> Self {
-        assert!(config.state_dim > 0 && config.num_actions > 0, "dimensions must be positive");
+        assert!(
+            config.state_dim > 0 && config.num_actions > 0,
+            "dimensions must be positive"
+        );
         assert!(config.batch_size > 0, "batch size must be positive");
         let mut dims = vec![config.state_dim];
         dims.extend_from_slice(&config.hidden);
@@ -108,7 +111,16 @@ impl DqnAgent {
         let adam = Adam::new(&online, config.lr);
         let replay = ReplayBuffer::new(config.replay_capacity);
         let rng = StdRng::seed_from_u64(config.seed ^ 0x6471_6e00);
-        Self { config, online, target, adam, replay, rng, act_steps: 0, learn_steps: 0 }
+        Self {
+            config,
+            online,
+            target,
+            adam,
+            replay,
+            rng,
+            act_steps: 0,
+            learn_steps: 0,
+        }
     }
 
     /// The agent's configuration.
@@ -215,7 +227,10 @@ impl DqnAgent {
         }
         self.adam.step(&mut self.online, batch_size);
         self.learn_steps += 1;
-        if self.learn_steps.is_multiple_of(self.config.target_sync_every) {
+        if self
+            .learn_steps
+            .is_multiple_of(self.config.target_sync_every)
+        {
             self.sync_target();
         }
         loss / batch_size as f64
@@ -257,7 +272,11 @@ mod tests {
     /// goal at state 5 (+1 reward, episode ends), `left` (action 0) moves
     /// back. Optimal policy: always right.
     fn corridor_step(state: usize, action: usize) -> (usize, f64, bool) {
-        let next = if action == 1 { state + 1 } else { state.saturating_sub(1) };
+        let next = if action == 1 {
+            state + 1
+        } else {
+            state.saturating_sub(1)
+        };
         if next == 5 {
             (next, 1.0, true)
         } else {

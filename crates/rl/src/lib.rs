@@ -21,8 +21,8 @@ pub mod dqn;
 pub mod nn;
 pub mod persist;
 pub mod qscore;
-pub mod replay;
 pub mod reinforce;
+pub mod replay;
 
 pub use adam::{Adam, Sgd};
 pub use dqn::{DqnAgent, DqnConfig};

@@ -117,7 +117,10 @@ impl Mlp {
         assert!(dims.len() >= 2, "need at least input and output dimensions");
         assert!(dims.iter().all(|&d| d > 0), "layer sizes must be positive");
         let mut rng = StdRng::seed_from_u64(seed ^ 0x6e6e_0000);
-        let layers = dims.windows(2).map(|w| Linear::new(w[0], w[1], &mut rng)).collect();
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], &mut rng))
+            .collect();
         Self { layers }
     }
 
@@ -189,7 +192,11 @@ impl Mlp {
     ///
     /// Panics if the gradient has the wrong dimension.
     pub fn backward(&mut self, cache: &ForwardCache, dloss_dout: &[f64]) {
-        assert_eq!(dloss_dout.len(), self.output_dim(), "gradient has wrong dimension");
+        assert_eq!(
+            dloss_dout.len(),
+            self.output_dim(),
+            "gradient has wrong dimension"
+        );
         let n = self.layers.len();
         let mut dy = dloss_dout.to_vec();
         for i in (0..n).rev() {
@@ -217,7 +224,11 @@ impl Mlp {
     ///
     /// Panics if the architectures differ.
     pub fn copy_params_from(&mut self, other: &Mlp) {
-        assert_eq!(self.layers.len(), other.layers.len(), "architecture mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "architecture mismatch"
+        );
         for (a, b) in self.layers.iter_mut().zip(&other.layers) {
             assert_eq!(a.w.len(), b.w.len(), "architecture mismatch");
             a.w.copy_from_slice(&b.w);
@@ -287,11 +298,18 @@ mod tests {
         // Loss = 0.5 Σ (y − t)²; dL/dy = y − t.
         let loss_of = |m: &Mlp| -> f64 {
             let y = m.predict(&x);
-            y.iter().zip(&target).map(|(y, t)| 0.5 * (y - t) * (y - t)).sum()
+            y.iter()
+                .zip(&target)
+                .map(|(y, t)| 0.5 * (y - t) * (y - t))
+                .sum()
         };
         let cache = mlp.forward(&x);
-        let dout: Vec<f64> =
-            cache.output().iter().zip(&target).map(|(y, t)| y - t).collect();
+        let dout: Vec<f64> = cache
+            .output()
+            .iter()
+            .zip(&target)
+            .map(|(y, t)| y - t)
+            .collect();
         mlp.zero_grad();
         mlp.backward(&cache, &dout);
 

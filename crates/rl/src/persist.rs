@@ -120,10 +120,19 @@ mod tests {
     #[test]
     fn rejects_malformed_inputs() {
         assert_eq!(mlp_from_text(""), Err(ParseNetworkError::BadHeader));
-        assert_eq!(mlp_from_text("nope 3 2\n0 0"), Err(ParseNetworkError::BadHeader));
+        assert_eq!(
+            mlp_from_text("nope 3 2\n0 0"),
+            Err(ParseNetworkError::BadHeader)
+        );
         assert_eq!(mlp_from_text("mlp 3\n"), Err(ParseNetworkError::BadHeader));
-        assert_eq!(mlp_from_text("mlp 2 2\n1 2 x"), Err(ParseNetworkError::BadNumber));
-        assert_eq!(mlp_from_text("mlp 2 2\n1 2 3"), Err(ParseNetworkError::WrongLength));
+        assert_eq!(
+            mlp_from_text("mlp 2 2\n1 2 x"),
+            Err(ParseNetworkError::BadNumber)
+        );
+        assert_eq!(
+            mlp_from_text("mlp 2 2\n1 2 3"),
+            Err(ParseNetworkError::WrongLength)
+        );
         let err = ParseNetworkError::WrongLength.to_string();
         assert!(err.contains("parameter count"));
     }
@@ -131,9 +140,7 @@ mod tests {
     #[test]
     fn extreme_values_round_trip() {
         let mut net = Mlp::new(&[1, 1], 0);
-        net.visit_params_mut(|i, w, _| {
-            *w = if i == 0 { 1e-300 } else { -12345.678901234567 }
-        });
+        net.visit_params_mut(|i, w, _| *w = if i == 0 { 1e-300 } else { -12345.678901234567 });
         let back = mlp_from_text(&mlp_to_text(&net)).unwrap();
         assert_eq!(net.predict(&[2.0]), back.predict(&[2.0]));
     }

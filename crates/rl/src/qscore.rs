@@ -117,6 +117,50 @@ impl QScore {
         }
     }
 
+    /// Rebuilds a learner around an already-trained scoring network (e.g.
+    /// one loaded through [`crate::persist::mlp_from_text`]) — the model
+    /// hot-swap path of a serving runtime. The target network starts
+    /// synced to `online`, the replay buffer empty, and `config.hidden` is
+    /// overwritten with the loaded network's actual hidden sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's input dimension differs from
+    /// `config.feature_dim` or its output is not a single score.
+    pub fn from_mlp(mut config: QScoreConfig, online: Mlp) -> Self {
+        assert_eq!(
+            online.input_dim(),
+            config.feature_dim,
+            "network input dimension must match the feature dimension"
+        );
+        assert_eq!(
+            online.output_dim(),
+            1,
+            "scoring network must output one value"
+        );
+        let dims = online.layer_dims();
+        config.hidden = dims[1..dims.len() - 1].to_vec();
+        let target = online.clone();
+        let adam = Adam::new(&online, config.lr);
+        let rng = StdRng::seed_from_u64(config.seed ^ 0x7173_636f_7265);
+        Self {
+            config,
+            online,
+            target,
+            adam,
+            replay: Vec::new(),
+            replay_next: 0,
+            rng,
+            act_steps: 0,
+            learn_steps: 0,
+        }
+    }
+
+    /// The online scoring network (checkpointing / persistence).
+    pub fn online(&self) -> &Mlp {
+        &self.online
+    }
+
     /// The configuration.
     pub fn config(&self) -> &QScoreConfig {
         &self.config
@@ -144,7 +188,9 @@ impl QScore {
             .iter()
             .enumerate()
             .max_by(|a, b| {
-                self.q(a.1).partial_cmp(&self.q(b.1)).expect("Q values are never NaN")
+                self.q(a.1)
+                    .partial_cmp(&self.q(b.1))
+                    .expect("Q values are never NaN")
             })
             .map(|(i, _)| i)
             .expect("non-empty candidates")
@@ -212,7 +258,10 @@ impl QScore {
         }
         self.adam.step(&mut self.online, bs);
         self.learn_steps += 1;
-        if self.learn_steps.is_multiple_of(self.config.target_sync_every) {
+        if self
+            .learn_steps
+            .is_multiple_of(self.config.target_sync_every)
+        {
             self.target.copy_params_from(&self.online);
         }
         loss / bs as f64
@@ -244,8 +293,9 @@ mod tests {
         let mut q = QScore::new(cfg);
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..1_500 {
-            let candidates: Vec<Vec<f64>> =
-                (0..4).map(|_| vec![rng.random::<f64>(), rng.random::<f64>()]).collect();
+            let candidates: Vec<Vec<f64>> = (0..4)
+                .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+                .collect();
             let a = q.act(&candidates);
             let reward = candidates[a][0];
             q.observe(PairTransition {
@@ -255,11 +305,7 @@ mod tests {
             });
         }
         // Greedy choice must pick the max-value candidate.
-        let test: Vec<Vec<f64>> = vec![
-            vec![0.1, 0.9],
-            vec![0.9, 0.1],
-            vec![0.5, 0.5],
-        ];
+        let test: Vec<Vec<f64>> = vec![vec![0.1, 0.9], vec![0.9, 0.1], vec![0.5, 0.5]];
         assert_eq!(q.best(&test), 1);
         assert!(q.learn_steps() > 0);
     }
@@ -303,7 +349,12 @@ mod tests {
                 next_candidates: Vec::new(),
             });
         }
-        assert!(q.q(&[1.0]) > q.q(&[0.0]) + 0.3, "go {} stop {}", q.q(&[1.0]), q.q(&[0.0]));
+        assert!(
+            q.q(&[1.0]) > q.q(&[0.0]) + 0.3,
+            "go {} stop {}",
+            q.q(&[1.0]),
+            q.q(&[0.0])
+        );
     }
 
     #[test]

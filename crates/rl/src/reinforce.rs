@@ -26,7 +26,14 @@ pub struct ReinforceConfig {
 impl ReinforceConfig {
     /// Defaults for a small control problem.
     pub fn new(state_dim: usize, num_actions: usize) -> Self {
-        Self { state_dim, num_actions, hidden: vec![32], gamma: 0.98, lr: 5e-3, seed: 0 }
+        Self {
+            state_dim,
+            num_actions,
+            hidden: vec![32],
+            gamma: 0.98,
+            lr: 5e-3,
+            seed: 0,
+        }
     }
 }
 
@@ -48,14 +55,23 @@ impl Reinforce {
     ///
     /// Panics if any dimension is zero.
     pub fn new(config: ReinforceConfig) -> Self {
-        assert!(config.state_dim > 0 && config.num_actions > 0, "dimensions must be positive");
+        assert!(
+            config.state_dim > 0 && config.num_actions > 0,
+            "dimensions must be positive"
+        );
         let mut dims = vec![config.state_dim];
         dims.extend_from_slice(&config.hidden);
         dims.push(config.num_actions);
         let policy = Mlp::new(&dims, config.seed);
         let adam = Adam::new(&policy, config.lr);
         let rng = StdRng::seed_from_u64(config.seed ^ 0x7265_696e);
-        Self { config, policy, adam, rng, episode: Vec::new() }
+        Self {
+            config,
+            policy,
+            adam,
+            rng,
+            episode: Vec::new(),
+        }
     }
 
     /// Action probabilities in `state`.
@@ -156,7 +172,11 @@ mod tests {
         for _ in 0..400 {
             for _ in 0..8 {
                 let s = rng.random_range(0..2usize);
-                let state = if s == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] };
+                let state = if s == 0 {
+                    vec![1.0, 0.0]
+                } else {
+                    vec![0.0, 1.0]
+                };
                 let a = agent.act(&state);
                 let r = if a == s { 1.0 } else { -1.0 };
                 agent.record(state, a, r);

@@ -42,7 +42,11 @@ impl ReplayBuffer {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        Self { capacity, items: Vec::new(), next: 0 }
+        Self {
+            capacity,
+            items: Vec::new(),
+            next: 0,
+        }
     }
 
     /// Number of stored transitions.
@@ -78,7 +82,9 @@ impl ReplayBuffer {
     pub fn sample<'a>(&'a self, rng: &mut StdRng, k: usize) -> Vec<&'a Transition> {
         assert!(!self.items.is_empty(), "cannot sample an empty buffer");
         assert!(k > 0, "sample size must be positive");
-        (0..k).map(|_| &self.items[rng.random_range(0..self.items.len())]).collect()
+        (0..k)
+            .map(|_| &self.items[rng.random_range(0..self.items.len())])
+            .collect()
     }
 }
 

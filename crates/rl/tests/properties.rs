@@ -2,8 +2,8 @@
 
 use mobirescue_rl::nn::Mlp;
 use mobirescue_rl::qscore::{QScore, QScoreConfig};
-use mobirescue_rl::replay::{ReplayBuffer, Transition};
 use mobirescue_rl::reinforce::{Reinforce, ReinforceConfig};
+use mobirescue_rl::replay::{ReplayBuffer, Transition};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -97,5 +97,29 @@ proptest! {
         for c in &candidates {
             prop_assert!(q.q(c) <= best_q + 1e-12);
         }
+    }
+
+    /// Persisting a network is byte-stable: save → load → save produces the
+    /// identical text over arbitrary architectures and perturbed weights
+    /// (the serving hot-swap path relies on this).
+    #[test]
+    fn persist_save_load_save_is_byte_stable(
+        seed in 0u64..200,
+        input in 1usize..6,
+        hidden in prop::collection::vec(1usize..8, 0..3),
+        scale in -3.0f64..3.0,
+    ) {
+        let mut dims = vec![input];
+        dims.extend_from_slice(&hidden);
+        dims.push(1);
+        let mut net = Mlp::new(&dims, seed);
+        // Stretch weights away from the tidy init so the text covers
+        // long/short float spellings, negative zeros included.
+        net.visit_params_mut(|i, w, _| *w *= scale * (i as f64 + 0.5));
+        let text = mobirescue_rl::persist::mlp_to_text(&net);
+        let reloaded =
+            mobirescue_rl::persist::mlp_from_text(&text).expect("own output parses");
+        prop_assert_eq!(mobirescue_rl::persist::mlp_to_text(&reloaded), text);
+        prop_assert_eq!(reloaded.layer_dims(), net.layer_dims());
     }
 }

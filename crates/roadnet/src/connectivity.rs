@@ -11,11 +11,7 @@ use crate::routing::TravelCost;
 
 /// Landmarks reachable from `from` by driving (forward BFS over passable
 /// segments).
-pub fn reachable_from<C: TravelCost>(
-    net: &RoadNetwork,
-    cost: &C,
-    from: LandmarkId,
-) -> Vec<bool> {
+pub fn reachable_from<C: TravelCost>(net: &RoadNetwork, cost: &C, from: LandmarkId) -> Vec<bool> {
     let mut seen = vec![false; net.num_landmarks()];
     let mut queue = std::collections::VecDeque::new();
     seen[from.index()] = true;

@@ -21,7 +21,10 @@ pub struct SegmentCondition {
 
 impl Default for SegmentCondition {
     fn default() -> Self {
-        Self { operable: true, speed_factor: 1.0 }
+        Self {
+            operable: true,
+            speed_factor: 1.0,
+        }
     }
 }
 
@@ -53,7 +56,9 @@ pub struct NetworkCondition {
 impl NetworkCondition {
     /// Every segment passable at full speed (the pre-disaster network).
     pub fn pristine(net: &RoadNetwork) -> Self {
-        Self { conditions: vec![SegmentCondition::default(); net.num_segments()] }
+        Self {
+            conditions: vec![SegmentCondition::default(); net.num_segments()],
+        }
     }
 
     /// Number of segments tracked.

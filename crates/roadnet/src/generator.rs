@@ -17,7 +17,10 @@ use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Charlotte city center, used as the default generation origin.
-pub const CHARLOTTE_CENTER: GeoPoint = GeoPoint { lat: 35.2271, lon: -80.8431 };
+pub const CHARLOTTE_CENTER: GeoPoint = GeoPoint {
+    lat: 35.2271,
+    lon: -80.8431,
+};
 
 /// Configuration for the procedural city generator.
 ///
@@ -151,10 +154,22 @@ impl CityConfig {
         for r in 0..self.grid_height {
             for c in 0..self.grid_width {
                 if c + 1 < self.grid_width {
-                    add_street(&mut network, &mut rng, grid[r][c], grid[r][c + 1], class_of(r, c, true));
+                    add_street(
+                        &mut network,
+                        &mut rng,
+                        grid[r][c],
+                        grid[r][c + 1],
+                        class_of(r, c, true),
+                    );
                 }
                 if r + 1 < self.grid_height {
-                    add_street(&mut network, &mut rng, grid[r][c], grid[r + 1][c], class_of(r, c, false));
+                    add_street(
+                        &mut network,
+                        &mut rng,
+                        grid[r][c],
+                        grid[r + 1][c],
+                        class_of(r, c, false),
+                    );
                 }
             }
         }
@@ -166,7 +181,13 @@ impl CityConfig {
             .nearest_landmark(self.center)
             .expect("generated network is non-empty");
 
-        City { network, regions, hospitals, depot, center: self.center }
+        City {
+            network,
+            regions,
+            hospitals,
+            depot,
+            center: self.center,
+        }
     }
 
     /// Restores strong connectivity after one-way conversion: while the
@@ -225,7 +246,11 @@ impl CityConfig {
                 }
                 // Skip over the downtown index so sector regions keep their
                 // own ids.
-                let id = if sector >= downtown { sector + 1 } else { sector };
+                let id = if sector >= downtown {
+                    sector + 1
+                } else {
+                    sector
+                };
                 RegionId(id as u8)
             })
             .collect();
@@ -342,7 +367,10 @@ mod tests {
         let router = Router::new(&city.network);
         let sp = router.shortest_paths_from(&FreeFlow, city.depot);
         for lm in city.network.landmark_ids() {
-            assert!(sp.travel_time_s(lm).is_some(), "{lm} unreachable from depot");
+            assert!(
+                sp.travel_time_s(lm).is_some(),
+                "{lm} unreachable from depot"
+            );
         }
         // And back: reachability of depot from an arbitrary far corner.
         let corner = LandmarkId(0);
@@ -382,7 +410,10 @@ mod tests {
         for &h in &city.hospitals {
             covered[city.regions.of_landmark(h).index()] = true;
         }
-        assert!(covered.iter().all(|&c| c), "regions without hospital: {covered:?}");
+        assert!(
+            covered.iter().all(|&c| c),
+            "regions without hospital: {covered:?}"
+        );
     }
 
     #[test]
@@ -399,7 +430,11 @@ mod tests {
     #[test]
     fn depot_is_near_center() {
         let city = CityConfig::charlotte_like().build(8);
-        let d = city.network.landmark(city.depot).position.distance_m(city.center);
+        let d = city
+            .network
+            .landmark(city.depot)
+            .position
+            .distance_m(city.center);
         assert!(d < 1_000.0, "depot {d} m from center");
     }
 
@@ -438,17 +473,27 @@ mod one_way_tests {
                 .segments()
                 .filter(|s| !pairs.contains(&(s.to.0, s.from.0)))
                 .count();
-            assert!(one_ways > 5, "seed {seed}: only {one_ways} one-way streets survived");
+            assert!(
+                one_ways > 5,
+                "seed {seed}: only {one_ways} one-way streets survived"
+            );
         }
     }
 
     #[test]
     fn zero_fraction_builds_all_two_way() {
         let city = CityConfig::small().build(4);
-        let pairs: HashSet<(u32, u32)> =
-            city.network.segments().map(|s| (s.from.0, s.to.0)).collect();
+        let pairs: HashSet<(u32, u32)> = city
+            .network
+            .segments()
+            .map(|s| (s.from.0, s.to.0))
+            .collect();
         for s in city.network.segments() {
-            assert!(pairs.contains(&(s.to.0, s.from.0)), "{} has no reverse", s.id);
+            assert!(
+                pairs.contains(&(s.to.0, s.from.0)),
+                "{} has no reverse",
+                s.id
+            );
         }
     }
 

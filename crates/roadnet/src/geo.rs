@@ -59,9 +59,8 @@ impl GeoPoint {
     /// (east, north). Inverse of [`GeoPoint::offset_m`] at city scale.
     pub fn local_xy_m(self, origin: GeoPoint) -> (f64, f64) {
         let north = (self.lat - origin.lat).to_radians() * EARTH_RADIUS_M;
-        let east = (self.lon - origin.lon).to_radians()
-            * EARTH_RADIUS_M
-            * origin.lat.to_radians().cos();
+        let east =
+            (self.lon - origin.lon).to_radians() * EARTH_RADIUS_M * origin.lat.to_radians().cos();
         (east, north)
     }
 
@@ -96,7 +95,10 @@ impl BoundingBox {
             south_west.lat <= north_east.lat && south_west.lon <= north_east.lon,
             "corners must be given in (south-west, north-east) order"
         );
-        Self { south_west, north_east }
+        Self {
+            south_west,
+            north_east,
+        }
     }
 
     /// The smallest box containing every point of `iter`, or `None` when the

@@ -158,14 +158,23 @@ impl RoadNetwork {
     /// Panics if either landmark id is out of range or if `from == to`
     /// (self-loops carry no routing meaning).
     pub fn add_segment(&mut self, from: LandmarkId, to: LandmarkId, class: RoadClass) -> SegmentId {
-        assert!(from.index() < self.landmarks.len(), "unknown landmark {from}");
+        assert!(
+            from.index() < self.landmarks.len(),
+            "unknown landmark {from}"
+        );
         assert!(to.index() < self.landmarks.len(), "unknown landmark {to}");
         assert_ne!(from, to, "self-loop segments are not allowed");
         let length_m = self.landmarks[from.index()]
             .position
             .distance_m(self.landmarks[to.index()].position);
         let id = SegmentId(self.segments.len() as u32);
-        self.segments.push(RoadSegment { id, from, to, length_m, class });
+        self.segments.push(RoadSegment {
+            id,
+            from,
+            to,
+            length_m,
+            class,
+        });
         self.out[from.index()].push(id);
         self.inc[to.index()].push(id);
         id
@@ -242,7 +251,9 @@ impl RoadNetwork {
     /// Panics if `id` is out of range.
     pub fn segment_midpoint(&self, id: SegmentId) -> GeoPoint {
         let seg = self.segment(id);
-        self.landmark(seg.from).position.midpoint(self.landmark(seg.to).position)
+        self.landmark(seg.from)
+            .position
+            .midpoint(self.landmark(seg.to).position)
     }
 
     /// The landmark nearest to `p` (linear scan), or `None` for an empty
@@ -265,8 +276,14 @@ impl RoadNetwork {
         self.segments
             .iter()
             .min_by(|a, b| {
-                let da = self.landmark(a.from).position.midpoint(self.landmark(a.to).position);
-                let db = self.landmark(b.from).position.midpoint(self.landmark(b.to).position);
+                let da = self
+                    .landmark(a.from)
+                    .position
+                    .midpoint(self.landmark(a.to).position);
+                let db = self
+                    .landmark(b.from)
+                    .position
+                    .midpoint(self.landmark(b.to).position);
                 da.distance_m(p)
                     .partial_cmp(&db.distance_m(p))
                     .expect("distances are never NaN")
@@ -326,7 +343,10 @@ mod tests {
     fn segment_length_matches_haversine() {
         let (net, [a, b, _]) = triangle();
         let seg = net.segment(net.out_segments(a)[0]);
-        let expect = net.landmark(a).position.distance_m(net.landmark(b).position);
+        let expect = net
+            .landmark(a)
+            .position
+            .distance_m(net.landmark(b).position);
         assert!((seg.length_m - expect).abs() < 1e-9);
     }
 
@@ -385,8 +405,7 @@ mod tests {
     fn speed_limits_are_ordered() {
         assert!(
             RoadClass::Motorway.speed_limit_mps() > RoadClass::Arterial.speed_limit_mps()
-                && RoadClass::Arterial.speed_limit_mps()
-                    > RoadClass::Residential.speed_limit_mps()
+                && RoadClass::Arterial.speed_limit_mps() > RoadClass::Residential.speed_limit_mps()
         );
     }
 }

@@ -63,7 +63,11 @@ impl RegionPartition {
             .segments()
             .map(|seg| of_landmark[seg.from.index()])
             .collect();
-        Self { num_regions, of_landmark, of_segment }
+        Self {
+            num_regions,
+            of_landmark,
+            of_segment,
+        }
     }
 
     /// Number of regions in the partition.
@@ -137,8 +141,7 @@ mod tests {
         let c = net.add_landmark(GeoPoint::new(35.02, -80.0));
         net.add_two_way(a, b, RoadClass::Residential);
         net.add_two_way(b, c, RoadClass::Residential);
-        let part =
-            RegionPartition::new(&net, 2, vec![RegionId(0), RegionId(0), RegionId(1)]);
+        let part = RegionPartition::new(&net, 2, vec![RegionId(0), RegionId(0), RegionId(1)]);
         (net, part)
     }
 
@@ -183,7 +186,6 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_region_rejected() {
         let (net, _) = two_region_net();
-        let _ =
-            RegionPartition::new(&net, 2, vec![RegionId(0), RegionId(5), RegionId(1)]);
+        let _ = RegionPartition::new(&net, 2, vec![RegionId(0), RegionId(5), RegionId(1)]);
     }
 }

@@ -122,7 +122,12 @@ impl ShortestPaths {
         segments.reverse();
         landmarks.reverse();
         debug_assert_eq!(landmarks[0], self.source);
-        Some(Route { segments, landmarks, travel_time_s: self.dist[to.index()], length_m })
+        Some(Route {
+            segments,
+            landmarks,
+            travel_time_s: self.dist[to.index()],
+            length_m,
+        })
     }
 }
 
@@ -177,7 +182,10 @@ impl<'a> Router<'a> {
         let mut settled = vec![false; n];
         let mut heap = BinaryHeap::new();
         dist[from.index()] = 0.0;
-        heap.push(HeapEntry { cost: 0.0, node: from.0 });
+        heap.push(HeapEntry {
+            cost: 0.0,
+            node: from.0,
+        });
         while let Some(HeapEntry { cost: d, node }) = heap.pop() {
             let u = LandmarkId(node);
             if settled[u.index()] {
@@ -189,17 +197,26 @@ impl<'a> Router<'a> {
             }
             for &sid in self.net.out_segments(u) {
                 let seg = self.net.segment(sid);
-                let Some(w) = cost.travel_time_s(seg) else { continue };
+                let Some(w) = cost.travel_time_s(seg) else {
+                    continue;
+                };
                 debug_assert!(w >= 0.0, "negative travel time on {sid}");
                 let nd = d + w;
                 if nd < dist[seg.to.index()] {
                     dist[seg.to.index()] = nd;
                     prev_seg[seg.to.index()] = Some(sid);
-                    heap.push(HeapEntry { cost: nd, node: seg.to.0 });
+                    heap.push(HeapEntry {
+                        cost: nd,
+                        node: seg.to.0,
+                    });
                 }
             }
         }
-        ShortestPaths { source: from, dist, prev_seg }
+        ShortestPaths {
+            source: from,
+            dist,
+            prev_seg,
+        }
     }
 
     /// Shortest-path tree from `from` to every landmark.
@@ -223,7 +240,10 @@ impl<'a> Router<'a> {
         from: LandmarkId,
         to: LandmarkId,
     ) -> Option<Route> {
-        assert!(to.index() < self.net.num_landmarks(), "unknown landmark {to}");
+        assert!(
+            to.index() < self.net.num_landmarks(),
+            "unknown landmark {to}"
+        );
         self.dijkstra(cost, from, Some(to)).route_to(self.net, to)
     }
 
@@ -278,9 +298,15 @@ mod tests {
     #[test]
     fn manhattan_route_on_grid() {
         let (net, ids) = grid3();
-        let route = Router::new(&net).shortest_path(&FreeFlow, ids[0], ids[8]).unwrap();
+        let route = Router::new(&net)
+            .shortest_path(&FreeFlow, ids[0], ids[8])
+            .unwrap();
         assert_eq!(route.segments.len(), 4, "two east + two north hops");
-        assert!((route.length_m - 4000.0).abs() < 5.0, "got {}", route.length_m);
+        assert!(
+            (route.length_m - 4000.0).abs() < 5.0,
+            "got {}",
+            route.length_m
+        );
         let expect_t = route.length_m / RoadClass::Residential.speed_limit_mps();
         assert!((route.travel_time_s - expect_t).abs() < 1e-6);
     }
@@ -288,7 +314,9 @@ mod tests {
     #[test]
     fn route_to_self_is_empty() {
         let (net, ids) = grid3();
-        let route = Router::new(&net).shortest_path(&FreeFlow, ids[4], ids[4]).unwrap();
+        let route = Router::new(&net)
+            .shortest_path(&FreeFlow, ids[4], ids[4])
+            .unwrap();
         assert!(route.segments.is_empty());
         assert_eq!(route.landmarks, vec![ids[4]]);
         assert_eq!(route.travel_time_s, 0.0);
@@ -297,7 +325,9 @@ mod tests {
     #[test]
     fn route_segments_are_contiguous() {
         let (net, ids) = grid3();
-        let route = Router::new(&net).shortest_path(&FreeFlow, ids[2], ids[6]).unwrap();
+        let route = Router::new(&net)
+            .shortest_path(&FreeFlow, ids[2], ids[6])
+            .unwrap();
         let mut cur = ids[2];
         for &sid in &route.segments {
             let seg = net.segment(sid);
@@ -323,7 +353,9 @@ mod tests {
         let (net, ids) = grid3();
         let router = Router::new(&net);
         let direct = router.shortest_path(&FreeFlow, ids[3], ids[5]).unwrap();
-        let detour = router.shortest_path(&BlockMiddleRow, ids[3], ids[5]).unwrap();
+        let detour = router
+            .shortest_path(&BlockMiddleRow, ids[3], ids[5])
+            .unwrap();
         assert!(detour.travel_time_s > direct.travel_time_s);
         assert!(detour.landmarks.iter().all(|&lm| lm != ids[4]));
     }

@@ -1,0 +1,252 @@
+//! The `serve` binary: drives the online dispatch service on the
+//! charlotte-like scenario in accelerated (simulated-clock) time.
+//!
+//! The run demonstrates every serving feature end to end:
+//!
+//! 1. starts a two-shard service over the charlotte-like city under
+//!    Hurricane Florence, on the paper's 5-minute dispatch period;
+//! 2. streams rescue requests and weather/road-damage advisories into the
+//!    bounded ingest queues from producer threads;
+//! 3. hot-swaps a freshly trained SVM predictor + DQN policy checkpoint
+//!    through the model registry mid-run, via the on-disk persistence
+//!    formats, without pausing ingestion;
+//! 4. snapshots the whole service at an epoch boundary, tears it down,
+//!    restores it from the snapshot text, and keeps going;
+//! 5. prints periodic metrics and a final report, exiting 0 on success.
+
+use mobirescue_core::predictor::{PredictorConfig, RequestPredictor};
+use mobirescue_core::rl_dispatch::{RlDispatchConfig, FEATURE_DIM};
+use mobirescue_core::scenario::{Scenario, ScenarioConfig};
+use mobirescue_rl::nn::Mlp;
+use mobirescue_rl::persist::mlp_to_text;
+use mobirescue_roadnet::graph::SegmentId;
+use mobirescue_serve::{
+    Clock, DispatchService, EpochScheduler, Event, ModelRegistry, ServeConfig, ServeError, SimClock,
+};
+use mobirescue_sim::{RequestSpec, SimConfig};
+use std::sync::Arc;
+
+const SEED: u64 = 20180914; // Florence's landfall date.
+const NUM_SHARDS: usize = 2;
+const PHASE1_EPOCHS: u32 = 7;
+const PHASE2_EPOCHS: u32 = 5;
+const SWAP_AT_EPOCH: u32 = 3;
+
+/// A deterministic synthetic request stream for one shard and epoch,
+/// mimicking the repo's test idiom (mined rescue records need the full
+/// mobility pipeline; the service only cares about the arrival process).
+fn epoch_requests(scenario: &Scenario, shard: usize, epoch: u32) -> Vec<RequestSpec> {
+    let num_segments = scenario.city.network.num_segments() as u32;
+    let base = epoch * 300;
+    (0..8u32)
+        .map(|i| {
+            let mix = (epoch * 131 + i * 37 + shard as u32 * 61).wrapping_mul(2_654_435_761);
+            RequestSpec {
+                appear_s: base + i * 35,
+                segment: SegmentId(mix % num_segments),
+            }
+        })
+        .collect()
+}
+
+/// Streams one epoch's worth of events into the service from producer
+/// threads — ingestion is concurrent with (and independent of) the epoch
+/// loop.
+fn ingest_epoch(service: &Arc<DispatchService>, scenario: &Arc<Scenario>, epoch: u32) {
+    let handles: Vec<_> = (0..NUM_SHARDS)
+        .map(|shard| {
+            let service = Arc::clone(service);
+            let scenario = Arc::clone(scenario);
+            std::thread::spawn(move || {
+                let mut accepted = 0u32;
+                for spec in epoch_requests(&scenario, shard, epoch) {
+                    if service
+                        .ingest(Event::Request { shard, spec })
+                        .expect("in-range shard and segment")
+                    {
+                        accepted += 1;
+                    }
+                }
+                // One advisory of each kind per shard per epoch.
+                let hour = (epoch / 12).min(scenario.conditions.hours() - 1);
+                service
+                    .ingest(Event::Weather {
+                        shard,
+                        hour,
+                        rain_mm: 4.0 + f64::from(epoch),
+                    })
+                    .expect("in-range shard");
+                service
+                    .ingest(Event::RoadDamage {
+                        shard,
+                        segment: SegmentId((epoch * 97 + shard as u32) % 500),
+                        hour,
+                        flooded: epoch % 2 == 0,
+                    })
+                    .expect("in-range shard");
+                accepted
+            })
+        })
+        .collect();
+    let total: u32 = handles
+        .into_iter()
+        .map(|h| h.join().expect("producer thread"))
+        .sum();
+    println!("  ingested {total} requests for epoch {epoch}");
+}
+
+/// Trains a fresh SVM predictor + DQN policy, persists both through the
+/// on-disk checkpoint formats, and installs them via the registry.
+fn hot_swap(registry: &ModelRegistry, rl: &RlDispatchConfig) -> Result<u64, ServeError> {
+    // The paper trains on the *previous* disaster (Michael) before serving
+    // the live one; a small scenario keeps the demo quick — the factor
+    // vector has fixed dimensions, so the model transfers.
+    let training = ScenarioConfig::small().michael().build(SEED);
+    let predictor = RequestPredictor::train_on(&training, &PredictorConfig::default());
+    let mut dims = vec![FEATURE_DIM];
+    dims.extend_from_slice(&rl.hidden);
+    dims.push(1);
+    let policy = Mlp::new(&dims, rl.seed ^ 0xd15b);
+
+    let dir = std::path::Path::new("target/serve-demo");
+    std::fs::create_dir_all(dir).map_err(|e| ServeError::Io(e.to_string()))?;
+    let predictor_path = dir.join("predictor.txt");
+    let policy_path = dir.join("policy.txt");
+    std::fs::write(&predictor_path, predictor.to_text())
+        .map_err(|e| ServeError::Io(e.to_string()))?;
+    std::fs::write(&policy_path, mlp_to_text(&policy))
+        .map_err(|e| ServeError::Io(e.to_string()))?;
+    registry.install_from_files(Some(&predictor_path), Some(&policy_path))
+}
+
+fn main() -> Result<(), ServeError> {
+    println!("building the charlotte-like Florence scenario (seed {SEED})...");
+    let scenario = Arc::new(ScenarioConfig::charlotte_like().florence().build(SEED));
+    let hours = scenario.conditions.hours();
+    let start_hour = hours / 2;
+    println!(
+        "  {} segments, {} hospitals, {hours} disaster hours; serving from hour {start_hour}",
+        scenario.city.network.num_segments(),
+        scenario.city.hospitals.len(),
+    );
+
+    let sim = SimConfig {
+        num_teams: 20,
+        duration_hours: 2u32.min(hours - start_hour),
+        ..SimConfig::paper(start_hour)
+    };
+    let rl = RlDispatchConfig::default();
+    let config = ServeConfig {
+        num_shards: NUM_SHARDS,
+        sim: sim.clone(),
+        rl: rl.clone(),
+        ..ServeConfig::new(sim)
+    };
+    let clock: Arc<SimClock> = Arc::new(SimClock::new());
+    let registry = Arc::new(ModelRegistry::new(None, None));
+
+    println!(
+        "starting {NUM_SHARDS} shards, {}s dispatch period, simulated clock",
+        config.sim.dispatch_period_s
+    );
+    let service = Arc::new(DispatchService::start(
+        Arc::clone(&scenario),
+        config.clone(),
+        Arc::clone(&clock) as Arc<dyn Clock>,
+        Arc::clone(&registry),
+    )?);
+
+    // Phase 1: epochs 0..PHASE1_EPOCHS with a mid-run model hot-swap.
+    ingest_epoch(&service, &scenario, 0);
+    let mut scheduler = EpochScheduler::for_service(&service)?;
+    let mut swap_failed = None;
+    {
+        let service_cb = Arc::clone(&service);
+        let scenario_cb = Arc::clone(&scenario);
+        let registry_cb = Arc::clone(&registry);
+        let rl_cb = rl.clone();
+        scheduler.run(&service, clock.as_ref(), PHASE1_EPOCHS, |epoch, reports| {
+            let delivered: u32 = reports.iter().map(|r| r.delivered).sum();
+            println!(
+                "epoch {epoch}: {} shard reports, {delivered} delivered",
+                reports.len()
+            );
+            if epoch == SWAP_AT_EPOCH {
+                println!("  hot-swapping SVM + DQN checkpoints through the registry...");
+                match hot_swap(&registry_cb, &rl_cb) {
+                    Ok(version) => println!("  installed model bundle v{version}"),
+                    Err(e) => swap_failed = Some(e),
+                }
+            }
+            ingest_epoch(&service_cb, &scenario_cb, epoch + 1);
+        })?;
+    }
+    if let Some(e) = swap_failed {
+        return Err(e);
+    }
+    println!("\nafter phase 1:\n{}", service.metrics().render());
+
+    // Snapshot/restore cycle: serialize, tear the service down, rebuild.
+    println!("snapshotting the service and killing it...");
+    let snapshot = service.snapshot()?;
+    let metrics_before = service.metrics();
+    println!("  snapshot is {} bytes", snapshot.len());
+    Arc::try_unwrap(service)
+        .map_err(|_| ServeError::Shard {
+            shard: 0,
+            message: "service still referenced at shutdown".to_owned(),
+        })?
+        .shutdown();
+
+    println!("restoring from the snapshot...");
+    let service = Arc::new(DispatchService::restore(
+        Arc::clone(&scenario),
+        config,
+        Arc::clone(&clock) as Arc<dyn Clock>,
+        Arc::clone(&registry),
+        &snapshot,
+    )?);
+    assert_eq!(
+        service.metrics(),
+        metrics_before,
+        "restored metrics must equal the snapshotted ones"
+    );
+    println!("  restored; metrics identical to the snapshot point");
+
+    // Phase 2: keep serving from where the snapshot left off.
+    {
+        let service_cb = Arc::clone(&service);
+        let scenario_cb = Arc::clone(&scenario);
+        scheduler.run(&service, clock.as_ref(), PHASE2_EPOCHS, |i, reports| {
+            let epoch = PHASE1_EPOCHS + i;
+            let delivered: u32 = reports.iter().map(|r| r.delivered).sum();
+            println!(
+                "epoch {epoch}: {} shard reports, {delivered} delivered",
+                reports.len()
+            );
+            if i + 1 < PHASE2_EPOCHS {
+                ingest_epoch(&service_cb, &scenario_cb, epoch + 1);
+            }
+        })?;
+    }
+
+    let metrics = service.metrics();
+    println!(
+        "\nfinal report after {} epochs:\n{}",
+        metrics.epochs_completed,
+        metrics.render()
+    );
+    assert!(
+        metrics.epochs_completed >= 10,
+        "the demo must drive at least 10 epochs"
+    );
+    assert_eq!(metrics.model_swaps, 1, "the hot-swap must have happened");
+    Arc::try_unwrap(service)
+        .map_err(|_| ServeError::Shard {
+            shard: 0,
+            message: "service still referenced at shutdown".to_owned(),
+        })?
+        .shutdown();
+    println!("serve demo complete");
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Events the streaming ingestion front accepts.
+
+use mobirescue_roadnet::graph::SegmentId;
+use mobirescue_sim::RequestSpec;
+
+/// One ingested event. Every event carries the index of the city shard it
+/// belongs to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A rescue request (someone trapped on a segment).
+    Request {
+        /// Target shard.
+        shard: usize,
+        /// The request: appearance second and segment.
+        spec: RequestSpec,
+    },
+    /// A weather advisory for an upcoming hour (rainfall intensity).
+    Weather {
+        /// Target shard.
+        shard: usize,
+        /// Scenario hour the advisory covers.
+        hour: u32,
+        /// Forecast rainfall, millimeters.
+        rain_mm: f64,
+    },
+    /// A road-damage report: a segment observed flooded (or cleared).
+    RoadDamage {
+        /// Target shard.
+        shard: usize,
+        /// The reported segment.
+        segment: SegmentId,
+        /// Scenario hour of the observation.
+        hour: u32,
+        /// `true` = flooded, `false` = cleared.
+        flooded: bool,
+    },
+}
+
+impl Event {
+    /// The shard the event targets.
+    pub fn shard(&self) -> usize {
+        match *self {
+            Event::Request { shard, .. }
+            | Event::Weather { shard, .. }
+            | Event::RoadDamage { shard, .. } => shard,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_extraction() {
+        let r = Event::Request {
+            shard: 3,
+            spec: RequestSpec {
+                appear_s: 0,
+                segment: SegmentId(0),
+            },
+        };
+        let w = Event::Weather {
+            shard: 1,
+            hour: 5,
+            rain_mm: 12.0,
+        };
+        let d = Event::RoadDamage {
+            shard: 0,
+            segment: SegmentId(9),
+            hour: 2,
+            flooded: true,
+        };
+        assert_eq!(r.shard(), 3);
+        assert_eq!(w.shard(), 1);
+        assert_eq!(d.shard(), 0);
+    }
+}

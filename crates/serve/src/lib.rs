@@ -1,0 +1,51 @@
+//! `mobirescue-serve`: an online dispatch service runtime over the
+//! MobiRescue reproduction.
+//!
+//! The paper's dispatcher is evaluated in batch simulation; this crate
+//! hosts the same dispatcher as a long-running service the way a real
+//! emergency-operations deployment would run it:
+//!
+//! * **Streaming ingestion** ([`Event`], [`BoundedQueue`]) — rescue
+//!   requests, weather updates and road-damage advisories arrive from
+//!   producer threads into bounded queues with an explicit shed policy
+//!   ([`ShedPolicy`]) and accepted/shed counters, so overload is a
+//!   measured decision instead of unbounded memory growth.
+//! * **Epoch scheduler** ([`EpochScheduler`]) — runs the dispatch tick on
+//!   the paper's 5-minute period against a pluggable [`Clock`]
+//!   ([`WallClock`] for deployment, [`SimClock`] for accelerated and
+//!   deterministic runs), measuring per-epoch dispatcher latency and
+//!   feeding it back into the simulation as order delay exactly as
+//!   `mobirescue_sim::engine` models dispatch latency.
+//! * **Model hot-swap** ([`ModelRegistry`]) — SVM + DQN checkpoints load
+//!   through the existing persistence formats and swap in atomically via
+//!   `Arc` between epochs, without pausing ingestion.
+//! * **Snapshot recovery** ([`DispatchService::snapshot`],
+//!   [`DispatchService::restore`]) — the full service state (each shard's
+//!   world, pending queues, counters) serializes at epoch boundaries so a
+//!   killed service resumes mid-disaster.
+//! * **Sharded runner** ([`DispatchService`]) — hosts independent city
+//!   shards on worker threads and aggregates a [`MetricsSnapshot`]
+//!   (queue depths, epoch-latency histogram, served/shed totals).
+//!
+//! Built entirely on `std` (`std::thread`, `std::sync::mpsc`).
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod error;
+pub mod event;
+pub mod metrics;
+pub mod queue;
+pub mod registry;
+pub mod scheduler;
+pub mod service;
+mod shard;
+
+pub use clock::{Clock, SimClock, WallClock};
+pub use error::ServeError;
+pub use event::Event;
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardMetrics, LATENCY_BOUNDS_MS};
+pub use queue::{BoundedQueue, ShedPolicy};
+pub use registry::{ModelBundle, ModelRegistry};
+pub use scheduler::EpochScheduler;
+pub use service::{DispatchService, ServeConfig};

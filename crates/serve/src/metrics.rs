@@ -1,0 +1,267 @@
+//! Service observability: the epoch-latency histogram and the aggregated
+//! [`MetricsSnapshot`].
+
+use std::fmt::Write as _;
+
+/// Upper bucket bounds of the latency histogram, milliseconds. Values
+/// above the last bound land in a final overflow bucket.
+pub const LATENCY_BOUNDS_MS: [u64; 10] = [1, 2, 5, 10, 25, 50, 100, 250, 1_000, 5_000];
+
+/// A fixed-bucket histogram of per-epoch dispatcher compute latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; LATENCY_BOUNDS_MS.len() + 1],
+    count: u64,
+    total_ms: u64,
+    max_ms: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; LATENCY_BOUNDS_MS.len() + 1],
+            count: 0,
+            total_ms: 0,
+            max_ms: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, ms: u64) {
+        let bucket = LATENCY_BOUNDS_MS
+            .iter()
+            .position(|&b| ms <= b)
+            .unwrap_or(LATENCY_BOUNDS_MS.len());
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.total_ms += ms;
+        self.max_ms = self.max_ms.max(ms);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency, milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ms as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded latency, milliseconds.
+    pub fn max_ms(&self) -> u64 {
+        self.max_ms
+    }
+
+    /// Per-bucket counts (one extra overflow bucket at the end).
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// One-line text form (`count total max c0 c1 ...`), for snapshots.
+    pub(crate) fn to_line(&self) -> String {
+        let mut out = format!("{} {} {}", self.count, self.total_ms, self.max_ms);
+        for c in self.counts {
+            let _ = write!(out, " {c}");
+        }
+        out
+    }
+
+    /// Parses [`LatencyHistogram::to_line`] output.
+    pub(crate) fn from_line(line: &str) -> Option<Self> {
+        let mut h = Self::new();
+        let mut it = line.split_whitespace();
+        h.count = it.next()?.parse().ok()?;
+        h.total_ms = it.next()?.parse().ok()?;
+        h.max_ms = it.next()?.parse().ok()?;
+        for c in h.counts.iter_mut() {
+            *c = it.next()?.parse().ok()?;
+        }
+        it.next().is_none().then_some(h)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-shard counters inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardMetrics {
+    /// Epochs this shard has completed.
+    pub epochs: u32,
+    /// Requests sitting in the shard's ingest queue right now.
+    pub queue_depth: usize,
+    /// Requests injected into the shard's world so far.
+    pub injected: u64,
+    /// Injected events the engine rejected (e.g. unknown segment).
+    pub rejected: u64,
+    /// Requests currently waiting for pickup.
+    pub waiting: usize,
+    /// Requests picked up so far.
+    pub picked_up: usize,
+    /// Requests delivered to a hospital so far.
+    pub delivered: usize,
+    /// Model bundle version the shard's dispatcher was built from.
+    pub model_version: u64,
+}
+
+/// A point-in-time aggregate of the whole service, assembled without
+/// stopping any shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Epochs the service has driven (all shards advance together).
+    pub epochs_completed: u32,
+    /// Request events admitted across all shard queues.
+    pub requests_accepted: u64,
+    /// Request events shed across all shard queues.
+    pub requests_shed: u64,
+    /// Weather/road-damage advisories admitted.
+    pub advisories_accepted: u64,
+    /// Weather/road-damage advisories shed.
+    pub advisories_shed: u64,
+    /// Advisories drained and validated against the scenario.
+    pub advisories_applied: u64,
+    /// Advisories dropped at validation (unknown segment / hour).
+    pub advisories_invalid: u64,
+    /// Current model bundle version in the registry.
+    pub model_version: u64,
+    /// Hot-swaps performed since the registry was created.
+    pub model_swaps: u64,
+    /// Distribution of per-epoch dispatcher compute latency.
+    pub epoch_latency: LatencyHistogram,
+    /// One entry per hosted shard.
+    pub shards: Vec<ShardMetrics>,
+}
+
+impl MetricsSnapshot {
+    /// Total requests picked up across shards.
+    pub fn total_picked_up(&self) -> usize {
+        self.shards.iter().map(|s| s.picked_up).sum()
+    }
+
+    /// Total requests delivered across shards.
+    pub fn total_delivered(&self) -> usize {
+        self.shards.iter().map(|s| s.delivered).sum()
+    }
+
+    /// Total requests still waiting across shards.
+    pub fn total_waiting(&self) -> usize {
+        self.shards.iter().map(|s| s.waiting).sum()
+    }
+
+    /// Human-readable multi-line report (the serve binary's output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "epoch {:>4} | model v{} ({} swaps) | ingest ok {} shed {} | advisories ok {} shed {} applied {} invalid {}",
+            self.epochs_completed,
+            self.model_version,
+            self.model_swaps,
+            self.requests_accepted,
+            self.requests_shed,
+            self.advisories_accepted,
+            self.advisories_shed,
+            self.advisories_applied,
+            self.advisories_invalid,
+        );
+        let _ = writeln!(
+            out,
+            "  latency: {} samples, mean {:.2} ms, max {} ms",
+            self.epoch_latency.count(),
+            self.epoch_latency.mean_ms(),
+            self.epoch_latency.max_ms(),
+        );
+        for (i, s) in self.shards.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  shard {i}: epoch {} queue {} injected {} (rejected {}) waiting {} picked-up {} delivered {}",
+                s.epochs,
+                s.queue_depth,
+                s.injected,
+                s.rejected,
+                s.waiting,
+                s.picked_up,
+                s.delivered,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = LatencyHistogram::new();
+        for ms in [0, 1, 3, 9, 10_000] {
+            h.record(ms);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max_ms(), 10_000);
+        assert!((h.mean_ms() - 2_002.6).abs() < 1e-9);
+        // 0 and 1 → bucket 0 (≤1); 3 → ≤5; 9 → ≤10; 10_000 → overflow.
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.buckets()[2], 1);
+        assert_eq!(h.buckets()[3], 1);
+        assert_eq!(h.buckets()[LATENCY_BOUNDS_MS.len()], 1);
+    }
+
+    #[test]
+    fn histogram_line_round_trips() {
+        let mut h = LatencyHistogram::new();
+        for ms in [2, 7, 450] {
+            h.record(ms);
+        }
+        let back = LatencyHistogram::from_line(&h.to_line()).expect("parses");
+        assert_eq!(back, h);
+        assert!(LatencyHistogram::from_line("1 2").is_none());
+        assert!(LatencyHistogram::from_line("not numbers at all").is_none());
+    }
+
+    #[test]
+    fn snapshot_totals_and_render() {
+        let m = MetricsSnapshot {
+            epochs_completed: 3,
+            requests_accepted: 10,
+            requests_shed: 2,
+            advisories_accepted: 4,
+            advisories_shed: 0,
+            advisories_applied: 3,
+            advisories_invalid: 1,
+            model_version: 2,
+            model_swaps: 1,
+            epoch_latency: LatencyHistogram::new(),
+            shards: vec![
+                ShardMetrics {
+                    picked_up: 3,
+                    delivered: 2,
+                    waiting: 1,
+                    ..Default::default()
+                },
+                ShardMetrics {
+                    picked_up: 4,
+                    delivered: 4,
+                    waiting: 0,
+                    ..Default::default()
+                },
+            ],
+        };
+        assert_eq!(m.total_picked_up(), 7);
+        assert_eq!(m.total_delivered(), 6);
+        assert_eq!(m.total_waiting(), 1);
+        let text = m.render();
+        assert!(text.contains("model v2"));
+        assert!(text.contains("shard 1"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Bounded ingestion queues with an explicit load-shedding policy.
+//!
+//! A disaster-time dispatch service is exactly the workload that gets
+//! bursts far above its drain rate (the paper's request stream peaks with
+//! the flood). Rather than let memory grow unboundedly or block producers,
+//! each queue has a hard capacity and a declared [`ShedPolicy`]; every
+//! accepted and every shed event is counted, and both counters are
+//! surfaced in the service's metrics snapshot.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What to drop when a bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Reject the incoming event (favor already-queued work).
+    DropNewest,
+    /// Evict the oldest queued event to admit the new one (favor fresh
+    /// information — the right default for weather advisories).
+    DropOldest,
+}
+
+/// A thread-safe bounded queue with shed accounting.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    capacity: usize,
+    policy: ShedPolicy,
+    accepted: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize, policy: ShedPolicy) -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            policy,
+            accepted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        // A producer panicking mid-push cannot corrupt a VecDeque in a way
+        // that matters here; keep serving rather than poisoning the whole
+        // ingestion front.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Offers one event. Returns `true` if it was admitted, `false` if it
+    /// was shed (under [`ShedPolicy::DropOldest`] the *new* event is
+    /// admitted and the eviction is what counts as shed).
+    pub fn push(&self, item: T) -> bool {
+        let mut q = self.lock();
+        if q.len() < self.capacity {
+            q.push_back(item);
+            self.accepted.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        match self.policy {
+            ShedPolicy::DropNewest => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            ShedPolicy::DropOldest => {
+                q.pop_front();
+                q.push_back(item);
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                self.accepted.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+        }
+    }
+
+    /// Takes every queued event, oldest first.
+    pub fn drain(&self) -> Vec<T> {
+        self.lock().drain(..).collect()
+    }
+
+    /// Events currently queued.
+    pub fn depth(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Total events admitted since creation.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Total events shed since creation.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the counters (snapshot restore).
+    pub(crate) fn set_counters(&self, accepted: u64, shed: u64) {
+        self.accepted.store(accepted, Ordering::Relaxed);
+        self.shed.store(shed, Ordering::Relaxed);
+    }
+}
+
+impl<T: Clone> BoundedQueue<T> {
+    /// Copies the queued events without disturbing them (snapshotting).
+    pub fn peek_all(&self) -> Vec<T> {
+        self.lock().iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn drop_newest_rejects_overflow() {
+        let q = BoundedQueue::new(2, ShedPolicy::DropNewest);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert!(!q.push(3));
+        assert_eq!(q.drain(), vec![1, 2]);
+        assert_eq!(q.accepted(), 2);
+        assert_eq!(q.shed(), 1);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn drop_oldest_evicts_head() {
+        let q = BoundedQueue::new(2, ShedPolicy::DropOldest);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert!(q.push(3));
+        assert_eq!(q.peek_all(), vec![2, 3]);
+        assert_eq!(q.accepted(), 3);
+        assert_eq!(q.shed(), 1);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let q = BoundedQueue::new(0, ShedPolicy::DropNewest);
+        assert!(q.push(9));
+        assert!(!q.push(10));
+    }
+
+    #[test]
+    fn concurrent_pushes_account_for_everything() {
+        let q = Arc::new(BoundedQueue::new(64, ShedPolicy::DropNewest));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        let _ = q.push(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("producer thread panicked");
+        }
+        assert_eq!(q.accepted() + q.shed(), 400);
+        assert_eq!(q.depth() as u64, q.accepted());
+        assert_eq!(q.depth(), 64);
+    }
+}

@@ -1,0 +1,191 @@
+//! The model registry: versioned, atomically hot-swappable bundles.
+//!
+//! A bundle pairs the SVM request predictor (Section IV-B) with the RL
+//! scoring network's weights (Section IV-C). The registry hands out
+//! `Arc<ModelBundle>` clones — readers (shard dispatchers mid-epoch) keep
+//! whatever bundle they started with while a writer installs a newer one,
+//! so ingestion and dispatch never pause for a swap. Shards notice the new
+//! version at the next epoch boundary and rebuild their dispatcher from
+//! it, which is exactly when a dispatch policy may change consistently.
+//!
+//! Checkpoints load through the existing persistence formats:
+//! [`mobirescue_core::predictor::RequestPredictor::from_text`] (which
+//! wraps `mobirescue_svm::persist`) and [`mobirescue_rl::persist`].
+
+use crate::error::ServeError;
+use mobirescue_core::predictor::RequestPredictor;
+use mobirescue_rl::nn::Mlp;
+use mobirescue_rl::persist::mlp_from_text;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One deployable set of models.
+#[derive(Debug, Clone)]
+pub struct ModelBundle {
+    /// Monotonically increasing version, assigned by the registry.
+    pub version: u64,
+    /// The SVM request predictor (`None` ablates prediction).
+    pub predictor: Option<RequestPredictor>,
+    /// The RL scoring network's weights (`None` → shards fall back to a
+    /// freshly initialized policy).
+    pub policy: Option<Mlp>,
+}
+
+/// Atomic holder of the current [`ModelBundle`].
+#[derive(Debug)]
+pub struct ModelRegistry {
+    current: RwLock<Arc<ModelBundle>>,
+    swaps: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// A registry whose initial bundle (version 1) holds the given models.
+    pub fn new(predictor: Option<RequestPredictor>, policy: Option<Mlp>) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(ModelBundle {
+                version: 1,
+                predictor,
+                policy,
+            })),
+            swaps: AtomicU64::new(0),
+        }
+    }
+
+    fn read(&self) -> Arc<ModelBundle> {
+        Arc::clone(
+            &self
+                .current
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    /// The bundle currently served.
+    pub fn current(&self) -> Arc<ModelBundle> {
+        self.read()
+    }
+
+    /// Atomically installs a new bundle; returns its version.
+    pub fn install(&self, predictor: Option<RequestPredictor>, policy: Option<Mlp>) -> u64 {
+        let mut slot = self
+            .current
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let version = slot.version + 1;
+        *slot = Arc::new(ModelBundle {
+            version,
+            predictor,
+            policy,
+        });
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        version
+    }
+
+    /// Parses checkpoint texts and installs them as a new bundle. `None`
+    /// keeps that slot empty (not the previous model — a bundle is
+    /// installed whole, so a swap is never half of one checkpoint and half
+    /// of another).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadModel`] without swapping when either text
+    /// fails to parse.
+    pub fn install_from_text(
+        &self,
+        predictor_text: Option<&str>,
+        policy_text: Option<&str>,
+    ) -> Result<u64, ServeError> {
+        let predictor = predictor_text
+            .map(|t| {
+                RequestPredictor::from_text(t)
+                    .map_err(|e| ServeError::BadModel(format!("predictor: {e}")))
+            })
+            .transpose()?;
+        let policy = policy_text
+            .map(|t| mlp_from_text(t).map_err(|e| ServeError::BadModel(format!("policy: {e}"))))
+            .transpose()?;
+        Ok(self.install(predictor, policy))
+    }
+
+    /// Reads checkpoint files and installs them as a new bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when a file cannot be read and
+    /// [`ServeError::BadModel`] when its contents fail to parse; the
+    /// current bundle stays in place either way.
+    pub fn install_from_files(
+        &self,
+        predictor_path: Option<&Path>,
+        policy_path: Option<&Path>,
+    ) -> Result<u64, ServeError> {
+        let read = |p: &Path| {
+            std::fs::read_to_string(p).map_err(|e| ServeError::Io(format!("{}: {e}", p.display())))
+        };
+        let predictor_text = predictor_path.map(read).transpose()?;
+        let policy_text = policy_path.map(read).transpose()?;
+        self.install_from_text(predictor_text.as_deref(), policy_text.as_deref())
+    }
+
+    /// Hot-swaps performed since creation.
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobirescue_rl::persist::mlp_to_text;
+
+    #[test]
+    fn swap_is_versioned_and_readers_keep_old_bundles() {
+        let reg = ModelRegistry::new(None, None);
+        let held = reg.current();
+        assert_eq!(held.version, 1);
+        let v2 = reg.install(None, Some(Mlp::new(&[6, 4, 1], 3)));
+        assert_eq!(v2, 2);
+        assert_eq!(reg.swaps(), 1);
+        // The old Arc is untouched; the new read sees the swap.
+        assert_eq!(held.version, 1);
+        assert!(held.policy.is_none());
+        assert!(reg.current().policy.is_some());
+    }
+
+    #[test]
+    fn text_install_round_trips_weights() {
+        let reg = ModelRegistry::new(None, None);
+        let net = Mlp::new(&[6, 8, 1], 7);
+        let v = reg
+            .install_from_text(None, Some(&mlp_to_text(&net)))
+            .expect("valid checkpoint");
+        assert_eq!(v, 2);
+        let loaded = reg.current().policy.clone().expect("policy installed");
+        let x = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+        assert_eq!(loaded.predict(&x), net.predict(&x));
+    }
+
+    #[test]
+    fn bad_checkpoints_leave_the_bundle_alone() {
+        let reg = ModelRegistry::new(None, Some(Mlp::new(&[2, 1], 0)));
+        let err = reg.install_from_text(None, Some("garbage")).unwrap_err();
+        assert!(matches!(err, ServeError::BadModel(_)));
+        let err = reg
+            .install_from_text(Some("not a predictor"), None)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::BadModel(_)));
+        assert_eq!(reg.current().version, 1);
+        assert!(reg.current().policy.is_some());
+        assert_eq!(reg.swaps(), 0);
+    }
+
+    #[test]
+    fn missing_files_are_io_errors() {
+        let reg = ModelRegistry::new(None, None);
+        let err = reg
+            .install_from_files(None, Some(Path::new("/nonexistent/policy.txt")))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Io(_)));
+    }
+}

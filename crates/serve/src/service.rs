@@ -1,0 +1,643 @@
+//! The dispatch service: sharded runner, ingestion front, epoch barrier,
+//! snapshot/restore.
+
+use crate::clock::Clock;
+use crate::error::ServeError;
+use crate::event::Event;
+use crate::metrics::{LatencyHistogram, MetricsSnapshot, ShardMetrics};
+use crate::queue::{BoundedQueue, ShedPolicy};
+use crate::registry::ModelRegistry;
+use crate::shard::{spawn_shard, ShardCmd, ShardReply, ShardSpec, ShardStatus};
+use mobirescue_core::rl_dispatch::RlDispatchConfig;
+use mobirescue_core::scenario::Scenario;
+use mobirescue_roadnet::graph::SegmentId;
+use mobirescue_sim::{EpochReport, RequestSpec, SimConfig, World};
+use std::fmt::Write as _;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Configuration of a [`DispatchService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Independent city shards hosted on the thread pool.
+    pub num_shards: usize,
+    /// Capacity of each shard's request ingest queue.
+    pub request_queue_capacity: usize,
+    /// Capacity of the shared weather/road-damage advisory queue.
+    pub advisory_queue_capacity: usize,
+    /// Shed policy for request queues (default: reject the newcomer —
+    /// already-accepted rescues are not silently forgotten).
+    pub request_shed: ShedPolicy,
+    /// Shed policy for advisories (default: evict the oldest — fresh
+    /// observations supersede stale ones).
+    pub advisory_shed: ShedPolicy,
+    /// Per-shard simulation settings (the dispatch period is the paper's
+    /// 5-minute tick).
+    pub sim: SimConfig,
+    /// Dispatcher settings shared by all shards.
+    pub rl: RlDispatchConfig,
+}
+
+impl ServeConfig {
+    /// A service over `sim` with one shard and moderate queue bounds.
+    pub fn new(sim: SimConfig) -> Self {
+        Self {
+            num_shards: 1,
+            request_queue_capacity: 1_024,
+            advisory_queue_capacity: 256,
+            request_shed: ShedPolicy::DropNewest,
+            advisory_shed: ShedPolicy::DropOldest,
+            sim,
+            rl: RlDispatchConfig::default(),
+        }
+    }
+}
+
+/// Mutable service-level accounting, behind one lock.
+struct ServiceState {
+    epochs_completed: u32,
+    histogram: LatencyHistogram,
+    advisories_applied: u64,
+    advisories_invalid: u64,
+    shard_metrics: Vec<ShardMetrics>,
+    last_swap_error: Option<(usize, String)>,
+}
+
+struct ShardHandle {
+    tx: Sender<ShardCmd>,
+    // Only the epoch driver receives replies, but the service is shared
+    // across threads (`Arc`), so the non-`Sync` receiver sits in a Mutex.
+    rx: Mutex<Receiver<ShardReply>>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A running sharded dispatch service.
+///
+/// Producers call [`DispatchService::ingest`] from any thread at any time;
+/// an epoch driver (usually [`crate::EpochScheduler`]) calls
+/// [`DispatchService::run_epoch`] every dispatch period. Snapshots taken
+/// at epoch boundaries restore into a service that continues
+/// step-for-step identically.
+pub struct DispatchService {
+    config: ServeConfig,
+    scenario: Arc<Scenario>,
+    registry: Arc<ModelRegistry>,
+    request_queues: Vec<Arc<BoundedQueue<RequestSpec>>>,
+    advisories: Arc<BoundedQueue<Event>>,
+    shards: Vec<ShardHandle>,
+    state: Mutex<ServiceState>,
+}
+
+impl DispatchService {
+    /// Starts the service: validates the configuration, spawns one worker
+    /// thread per shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for zero shards and
+    /// [`ServeError::World`] when the simulation configuration cannot host
+    /// a world over `scenario`.
+    pub fn start(
+        scenario: Arc<Scenario>,
+        config: ServeConfig,
+        clock: Arc<dyn Clock>,
+        registry: Arc<ModelRegistry>,
+    ) -> Result<Self, ServeError> {
+        if config.num_shards == 0 {
+            return Err(ServeError::BadConfig("need at least one shard"));
+        }
+        // Validate once on the caller's thread so workers cannot fail
+        // construction.
+        World::new(&scenario.city, &scenario.conditions, &config.sim)?;
+        let request_queues: Vec<_> = (0..config.num_shards)
+            .map(|_| {
+                Arc::new(BoundedQueue::new(
+                    config.request_queue_capacity,
+                    config.request_shed,
+                ))
+            })
+            .collect();
+        let advisories = Arc::new(BoundedQueue::new(
+            config.advisory_queue_capacity,
+            config.advisory_shed,
+        ));
+        let shards = (0..config.num_shards)
+            .map(|i| {
+                let (cmd_tx, cmd_rx) = channel();
+                let (reply_tx, reply_rx) = channel();
+                let spec = ShardSpec {
+                    scenario: Arc::clone(&scenario),
+                    registry: Arc::clone(&registry),
+                    clock: Arc::clone(&clock),
+                    sim: config.sim.clone(),
+                    rl: config.rl.clone(),
+                };
+                let join = spawn_shard(i, spec, cmd_rx, reply_tx);
+                ShardHandle {
+                    tx: cmd_tx,
+                    rx: Mutex::new(reply_rx),
+                    join: Some(join),
+                }
+            })
+            .collect();
+        let state = ServiceState {
+            epochs_completed: 0,
+            histogram: LatencyHistogram::new(),
+            advisories_applied: 0,
+            advisories_invalid: 0,
+            shard_metrics: vec![ShardMetrics::default(); config.num_shards],
+            last_swap_error: None,
+        };
+        Ok(Self {
+            config,
+            scenario,
+            registry,
+            request_queues,
+            advisories,
+            shards,
+            state: Mutex::new(state),
+        })
+    }
+
+    fn state(&self) -> MutexGuard<'_, ServiceState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Offers one event to the ingestion front. Returns `Ok(true)` if it
+    /// was admitted, `Ok(false)` if the bounded queue shed it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownShard`] for an out-of-range shard and
+    /// [`ServeError::World`] for a request on a segment the city does not
+    /// have — malformed events are rejected at the door, not queued.
+    pub fn ingest(&self, event: Event) -> Result<bool, ServeError> {
+        let shard = event.shard();
+        if shard >= self.config.num_shards {
+            return Err(ServeError::UnknownShard {
+                shard,
+                num_shards: self.config.num_shards,
+            });
+        }
+        match event {
+            Event::Request { spec, .. } => {
+                if spec.segment.index() >= self.scenario.city.network.num_segments() {
+                    return Err(ServeError::World(
+                        mobirescue_sim::WorldError::UnknownSegment(spec.segment),
+                    ));
+                }
+                Ok(self.request_queues[shard].push(spec))
+            }
+            other => Ok(self.advisories.push(other)),
+        }
+    }
+
+    /// Validates drained advisories against the scenario. Weather and
+    /// road-damage reports do not mutate the world — hourly conditions are
+    /// the scenario's precomputed ground truth (the paper's G̃ per hour) —
+    /// but every advisory is checked and counted, and invalid ones
+    /// (unknown segment, out-of-window hour) are dropped loudly in the
+    /// metrics rather than silently.
+    fn apply_advisories(&self, drained: Vec<Event>) -> (u64, u64) {
+        let hours = self.scenario.conditions.hours();
+        let num_segments = self.scenario.city.network.num_segments();
+        let mut applied = 0;
+        let mut invalid = 0;
+        for event in drained {
+            let ok = match event {
+                Event::Weather { hour, rain_mm, .. } => {
+                    hour < hours && rain_mm.is_finite() && rain_mm >= 0.0
+                }
+                Event::RoadDamage { segment, hour, .. } => {
+                    hour < hours && segment.index() < num_segments
+                }
+                Event::Request { .. } => false, // never queued here
+            };
+            if ok {
+                applied += 1;
+            } else {
+                invalid += 1;
+            }
+        }
+        (applied, invalid)
+    }
+
+    fn shard_error(&self, shard: usize, message: impl Into<String>) -> ServeError {
+        ServeError::Shard {
+            shard,
+            message: message.into(),
+        }
+    }
+
+    fn recv_reply(&self, shard: usize) -> Result<ShardReply, ServeError> {
+        self.shards[shard]
+            .rx
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .recv()
+            .map_err(|_| self.shard_error(shard, "worker thread died"))
+    }
+
+    fn to_metrics(&self, shard: usize, st: &ShardStatus) -> ShardMetrics {
+        ShardMetrics {
+            epochs: st.epochs,
+            queue_depth: self.request_queues[shard].depth(),
+            injected: st.injected,
+            rejected: st.rejected,
+            waiting: st.waiting,
+            picked_up: st.picked_up,
+            delivered: st.delivered,
+            model_version: st.model_version,
+        }
+    }
+
+    /// Runs one dispatch epoch on every shard (the barrier): drains each
+    /// shard's request queue into its world, advances all shards one
+    /// dispatch period in parallel, and collects their reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Shard`] when a worker has died or cannot
+    /// build any dispatcher.
+    pub fn run_epoch(&self) -> Result<Vec<EpochReport>, ServeError> {
+        let (applied, invalid) = self.apply_advisories(self.advisories.drain());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let requests = self.request_queues[i].drain();
+            shard
+                .tx
+                .send(ShardCmd::RunEpoch { requests })
+                .map_err(|_| self.shard_error(i, "worker thread gone"))?;
+        }
+        let mut reports = Vec::with_capacity(self.shards.len());
+        let mut statuses = Vec::with_capacity(self.shards.len());
+        let mut first_error = None;
+        for i in 0..self.shards.len() {
+            match self.recv_reply(i) {
+                Ok(ShardReply::Epoch(Ok(st))) => statuses.push((i, st)),
+                Ok(ShardReply::Epoch(Err(message))) => {
+                    first_error.get_or_insert(self.shard_error(i, message));
+                }
+                Ok(_) => {
+                    first_error.get_or_insert(self.shard_error(i, "out-of-protocol reply"));
+                }
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        let mut state = self.state();
+        for (i, st) in statuses {
+            state.histogram.record(st.compute_ms);
+            state.shard_metrics[i] = self.to_metrics(i, &st);
+            if let Some(message) = st.swap_error {
+                state.last_swap_error = Some((i, message));
+            }
+            if let Some(report) = st.report {
+                reports.push(report);
+            }
+        }
+        state.epochs_completed += 1;
+        state.advisories_applied += applied;
+        state.advisories_invalid += invalid;
+        Ok(reports)
+    }
+
+    /// The most recent failed model hot-swap, if any: the shard index and
+    /// the reason. A failed swap is not fatal — the shard keeps serving
+    /// with its previous dispatcher — but operators should see it.
+    pub fn last_swap_error(&self) -> Option<(usize, String)> {
+        self.state().last_swap_error.clone()
+    }
+
+    /// Assembles a point-in-time metrics snapshot without stopping any
+    /// shard.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let state = self.state();
+        let mut shards = state.shard_metrics.clone();
+        for (i, m) in shards.iter_mut().enumerate() {
+            m.queue_depth = self.request_queues[i].depth();
+        }
+        MetricsSnapshot {
+            epochs_completed: state.epochs_completed,
+            requests_accepted: self.request_queues.iter().map(|q| q.accepted()).sum(),
+            requests_shed: self.request_queues.iter().map(|q| q.shed()).sum(),
+            advisories_accepted: self.advisories.accepted(),
+            advisories_shed: self.advisories.shed(),
+            advisories_applied: state.advisories_applied,
+            advisories_invalid: state.advisories_invalid,
+            model_version: self.registry.current().version,
+            model_swaps: self.registry.swaps(),
+            epoch_latency: state.histogram.clone(),
+            shards,
+        }
+    }
+
+    /// Serializes the whole service — every shard's world, the pending
+    /// queue contents, and the service counters — to a versioned text
+    /// blob. Take it at an epoch boundary (between [`run_epoch`] calls);
+    /// a service restored from it continues identically.
+    ///
+    /// [`run_epoch`]: DispatchService::run_epoch
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Shard`] when a worker cannot serialize.
+    pub fn snapshot(&self) -> Result<String, ServeError> {
+        let mut out = String::from("mrserve 1\n");
+        {
+            let state = self.state();
+            let _ = writeln!(out, "epochs {}", state.epochs_completed);
+            let _ = writeln!(
+                out,
+                "advisories {} {} {} {}",
+                state.advisories_applied,
+                state.advisories_invalid,
+                self.advisories.accepted(),
+                self.advisories.shed()
+            );
+            let _ = writeln!(out, "hist {}", state.histogram.to_line());
+        }
+        for (i, q) in self.request_queues.iter().enumerate() {
+            let _ = writeln!(out, "rqueue {i} {} {}", q.accepted(), q.shed());
+            for spec in q.peek_all() {
+                let _ = writeln!(out, "queued {i} {} {}", spec.appear_s, spec.segment.0);
+            }
+        }
+        for event in self.advisories.peek_all() {
+            match event {
+                Event::Weather {
+                    shard,
+                    hour,
+                    rain_mm,
+                } => {
+                    let _ = writeln!(out, "adv w {shard} {hour} {rain_mm:?}");
+                }
+                Event::RoadDamage {
+                    shard,
+                    segment,
+                    hour,
+                    flooded,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "adv d {shard} {} {hour} {}",
+                        segment.0,
+                        u8::from(flooded)
+                    );
+                }
+                Event::Request { .. } => {}
+            }
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard
+                .tx
+                .send(ShardCmd::Snapshot)
+                .map_err(|_| self.shard_error(i, "worker thread gone"))?;
+            match self.recv_reply(i)? {
+                ShardReply::Snapshot(Ok(text)) => {
+                    let _ = writeln!(out, "shard {i} {}", text.lines().count());
+                    out.push_str(&text);
+                }
+                ShardReply::Snapshot(Err(message)) => {
+                    return Err(self.shard_error(i, message));
+                }
+                _ => return Err(self.shard_error(i, "out-of-protocol reply")),
+            }
+        }
+        out.push_str("end\n");
+        Ok(out)
+    }
+
+    /// Rebuilds a service from a snapshot over the *same* scenario. The
+    /// restored service's [`DispatchService::metrics`] equals the
+    /// snapshotted one's, and subsequent epochs evolve identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadSnapshot`] on malformed input (including a
+    /// shard count that does not match `config`), plus anything
+    /// [`DispatchService::start`] can return.
+    pub fn restore(
+        scenario: Arc<Scenario>,
+        config: ServeConfig,
+        clock: Arc<dyn Clock>,
+        registry: Arc<ModelRegistry>,
+        text: &str,
+    ) -> Result<Self, ServeError> {
+        let bad = |why: &str| ServeError::BadSnapshot(why.to_owned());
+        let svc = Self::start(scenario, config, clock, registry)?;
+        let mut lines = text.lines();
+        if lines.next() != Some("mrserve 1") {
+            return Err(bad("missing `mrserve 1` header"));
+        }
+        let mut epochs = 0u32;
+        let mut adv_counts = (0u64, 0u64, 0u64, 0u64);
+        let mut histogram = LatencyHistogram::new();
+        let mut rqueue_counters = vec![(0u64, 0u64); svc.config.num_shards];
+        let mut restored_shards = vec![false; svc.config.num_shards];
+        let mut shard_metrics = vec![ShardMetrics::default(); svc.config.num_shards];
+        let mut saw_end = false;
+        while let Some(line) = lines.next() {
+            let mut p = line.split_whitespace();
+            let Some(tag) = p.next() else { continue };
+            match tag {
+                "epochs" => {
+                    epochs = p
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("bad epochs line"))?;
+                }
+                "advisories" => {
+                    let mut next = || p.next().and_then(|t| t.parse::<u64>().ok());
+                    adv_counts = (
+                        next().ok_or_else(|| bad("bad advisories line"))?,
+                        next().ok_or_else(|| bad("bad advisories line"))?,
+                        next().ok_or_else(|| bad("bad advisories line"))?,
+                        next().ok_or_else(|| bad("bad advisories line"))?,
+                    );
+                }
+                "hist" => {
+                    let rest = line.strip_prefix("hist ").unwrap_or("");
+                    histogram =
+                        LatencyHistogram::from_line(rest).ok_or_else(|| bad("bad hist line"))?;
+                }
+                "rqueue" => {
+                    let i: usize = p
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("bad rqueue index"))?;
+                    if i >= svc.config.num_shards {
+                        return Err(bad("rqueue index out of range"));
+                    }
+                    let accepted = p
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("bad rqueue accepted"))?;
+                    let shed = p
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("bad rqueue shed"))?;
+                    rqueue_counters[i] = (accepted, shed);
+                }
+                "queued" => {
+                    let i: usize = p
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("bad queued shard"))?;
+                    if i >= svc.config.num_shards {
+                        return Err(bad("queued shard out of range"));
+                    }
+                    let appear_s = p
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("bad queued appear_s"))?;
+                    let segment = p
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .map(SegmentId)
+                        .ok_or_else(|| bad("bad queued segment"))?;
+                    svc.request_queues[i].push(RequestSpec { appear_s, segment });
+                }
+                "adv" => match p.next() {
+                    Some("w") => {
+                        let shard = p
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| bad("bad adv shard"))?;
+                        let hour = p
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| bad("bad adv hour"))?;
+                        let rain_mm = p
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| bad("bad adv rain"))?;
+                        svc.advisories.push(Event::Weather {
+                            shard,
+                            hour,
+                            rain_mm,
+                        });
+                    }
+                    Some("d") => {
+                        let shard = p
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| bad("bad adv shard"))?;
+                        let segment = p
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .map(SegmentId)
+                            .ok_or_else(|| bad("bad adv segment"))?;
+                        let hour = p
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| bad("bad adv hour"))?;
+                        let flooded = match p.next() {
+                            Some("1") => true,
+                            Some("0") => false,
+                            _ => return Err(bad("bad adv flooded flag")),
+                        };
+                        svc.advisories.push(Event::RoadDamage {
+                            shard,
+                            segment,
+                            hour,
+                            flooded,
+                        });
+                    }
+                    _ => return Err(bad("unknown advisory kind")),
+                },
+                "shard" => {
+                    let i: usize = p
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("bad shard index"))?;
+                    if i >= svc.config.num_shards {
+                        return Err(bad("shard index out of range"));
+                    }
+                    let num_lines: usize = p
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("bad shard line count"))?;
+                    let mut body = String::new();
+                    for _ in 0..num_lines {
+                        let l = lines.next().ok_or_else(|| bad("truncated shard body"))?;
+                        body.push_str(l);
+                        body.push('\n');
+                    }
+                    svc.shards[i]
+                        .tx
+                        .send(ShardCmd::Restore(body))
+                        .map_err(|_| svc.shard_error(i, "worker thread gone"))?;
+                    match svc.recv_reply(i)? {
+                        ShardReply::Restored(Ok(st)) => {
+                            shard_metrics[i] = svc.to_metrics(i, &st);
+                            restored_shards[i] = true;
+                        }
+                        ShardReply::Restored(Err(message)) => {
+                            return Err(svc.shard_error(i, message));
+                        }
+                        _ => return Err(svc.shard_error(i, "out-of-protocol reply")),
+                    }
+                }
+                "end" => {
+                    saw_end = true;
+                    break;
+                }
+                other => return Err(bad(&format!("unknown record `{other}`"))),
+            }
+        }
+        if !saw_end {
+            return Err(bad("truncated snapshot (missing `end`)"));
+        }
+        if !restored_shards.iter().all(|&r| r) {
+            return Err(bad("snapshot does not cover every configured shard"));
+        }
+        for (i, q) in svc.request_queues.iter().enumerate() {
+            let (accepted, shed) = rqueue_counters[i];
+            q.set_counters(accepted, shed);
+        }
+        svc.advisories.set_counters(adv_counts.2, adv_counts.3);
+        {
+            let mut state = svc.state();
+            state.epochs_completed = epochs;
+            state.advisories_applied = adv_counts.0;
+            state.advisories_invalid = adv_counts.1;
+            state.histogram = histogram;
+            state.shard_metrics = shard_metrics;
+        }
+        Ok(svc)
+    }
+
+    fn stop_workers(&mut self) {
+        for shard in &mut self.shards {
+            let _ = shard.tx.send(ShardCmd::Shutdown);
+        }
+        for shard in &mut self.shards {
+            if let Some(join) = shard.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+
+    /// Stops every worker and waits for them to exit.
+    pub fn shutdown(mut self) {
+        self.stop_workers();
+    }
+}
+
+impl Drop for DispatchService {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}

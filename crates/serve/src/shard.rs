@@ -1,0 +1,292 @@
+//! The shard worker: one OS thread owning one [`World`] and its
+//! dispatcher.
+//!
+//! Shards are independent cities (the paper dispatches one metropolitan
+//! area; a deployment hosts several). Each worker receives commands over a
+//! channel, which doubles as the epoch barrier: the service sends
+//! `RunEpoch` to every shard and then waits for every status reply, so
+//! shards advance epochs in lockstep while ingestion keeps running on
+//! producer threads.
+//!
+//! The worker measures its dispatcher's per-epoch compute time through the
+//! service [`Clock`] and feeds the *previous* epoch's measurement into the
+//! next [`World::run_epoch`] as extra order latency — real compute time
+//! delays order application exactly as `sim::engine` models dispatch
+//! latency (the paper's Figure 13 penalty). On a [`crate::SimClock`] the
+//! measurement is exactly zero, which is what makes service runs
+//! reproducible in tests.
+
+use crate::clock::Clock;
+use crate::registry::{ModelBundle, ModelRegistry};
+use mobirescue_core::predictor::RequestPredictor;
+use mobirescue_core::rl_dispatch::{MobiRescueDispatcher, RlDispatchConfig, FEATURE_DIM};
+use mobirescue_core::scenario::Scenario;
+use mobirescue_rl::qscore::{QScore, QScoreConfig};
+use mobirescue_sim::dispatcher::{DispatchState, Dispatcher};
+use mobirescue_sim::{DispatchPlan, EpochReport, RequestSpec, SimConfig, World};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Commands the service sends to a shard worker.
+pub(crate) enum ShardCmd {
+    /// Inject the drained requests, run one dispatch epoch, reply with
+    /// [`ShardReply::Status`].
+    RunEpoch {
+        /// Requests drained from the shard's ingest queue.
+        requests: Vec<RequestSpec>,
+    },
+    /// Reply with the shard's serialized state.
+    Snapshot,
+    /// Replace the shard's state with a parsed snapshot.
+    Restore(String),
+    /// Exit the worker thread.
+    Shutdown,
+}
+
+/// Point-in-time shard counters reported back to the service.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardStatus {
+    pub epochs: u32,
+    pub injected: u64,
+    pub rejected: u64,
+    pub waiting: usize,
+    pub picked_up: usize,
+    pub delivered: usize,
+    pub model_version: u64,
+    /// Dispatcher compute time measured during the last epoch, ms.
+    pub compute_ms: u64,
+    /// The epoch just completed (`None` after a restore).
+    pub report: Option<EpochReport>,
+    /// A model hot-swap that failed this epoch (the shard keeps serving
+    /// with its previous dispatcher).
+    pub swap_error: Option<String>,
+}
+
+/// Worker replies.
+pub(crate) enum ShardReply {
+    Epoch(Result<Box<ShardStatus>, String>),
+    Snapshot(Result<String, String>),
+    Restored(Result<Box<ShardStatus>, String>),
+}
+
+/// Everything a worker needs to run.
+pub(crate) struct ShardSpec {
+    pub scenario: Arc<Scenario>,
+    pub registry: Arc<ModelRegistry>,
+    pub clock: Arc<dyn Clock>,
+    pub sim: SimConfig,
+    pub rl: RlDispatchConfig,
+}
+
+/// Wraps the real dispatcher to measure its compute time through the
+/// service clock.
+struct TimedDispatcher<'d, 'a> {
+    inner: &'d mut MobiRescueDispatcher<'a>,
+    clock: &'d dyn Clock,
+    spent_ms: u64,
+}
+
+impl Dispatcher for TimedDispatcher<'_, '_> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn compute_latency_s(&self, state: &DispatchState<'_>) -> f64 {
+        self.inner.compute_latency_s(state)
+    }
+
+    fn dispatch(&mut self, state: &DispatchState<'_>) -> DispatchPlan {
+        let t0 = self.clock.now_ms();
+        let plan = self.inner.dispatch(state);
+        self.spent_ms += self.clock.now_ms().saturating_sub(t0);
+        plan
+    }
+}
+
+/// Builds a frozen-greedy dispatcher from a model bundle.
+fn build_dispatcher<'a>(
+    scenario: &'a Scenario,
+    rl: &RlDispatchConfig,
+    bundle: &ModelBundle,
+) -> Result<MobiRescueDispatcher<'a>, String> {
+    let mut qcfg = QScoreConfig::new(FEATURE_DIM);
+    qcfg.hidden = rl.hidden.clone();
+    qcfg.lr = rl.lr;
+    qcfg.gamma = rl.discount;
+    qcfg.seed = rl.seed;
+    let policy = match &bundle.policy {
+        Some(net) => {
+            if net.input_dim() != FEATURE_DIM || net.output_dim() != 1 {
+                return Err(format!(
+                    "policy network is {}→{}, dispatcher needs {FEATURE_DIM}→1",
+                    net.input_dim(),
+                    net.output_dim()
+                ));
+            }
+            QScore::from_mlp(qcfg, net.clone())
+        }
+        None => QScore::new(qcfg),
+    };
+    let predictor: Option<RequestPredictor> = bundle.predictor.clone();
+    let mut d = MobiRescueDispatcher::try_with_policy(scenario, predictor, rl.clone(), policy)?;
+    // Serving is frozen greedy evaluation; training happens offline and
+    // arrives through the registry.
+    d.set_training(false);
+    Ok(d)
+}
+
+/// Spawns the worker thread for one shard.
+pub(crate) fn spawn_shard(
+    index: usize,
+    spec: ShardSpec,
+    rx: Receiver<ShardCmd>,
+    tx: Sender<ShardReply>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("mobirescue-shard-{index}"))
+        .spawn(move || run_shard(spec, &rx, &tx))
+        .expect("spawning a shard thread never fails on this platform")
+}
+
+fn run_shard(spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender<ShardReply>) {
+    let scenario = &spec.scenario;
+    // The service validated this exact construction before spawning.
+    let mut world = World::new(&scenario.city, &scenario.conditions, &spec.sim)
+        .expect("service validated the world configuration");
+    let mut bundle = spec.registry.current();
+    let mut dispatcher = build_dispatcher(scenario, &spec.rl, &bundle).ok();
+    let mut injected: u64 = 0;
+    let mut rejected: u64 = 0;
+    let mut carry_ms: u64 = 0;
+
+    let status = |world: &World<'_>,
+                  injected: u64,
+                  rejected: u64,
+                  version: u64,
+                  compute_ms: u64,
+                  report: Option<EpochReport>,
+                  swap_error: Option<String>| {
+        Box::new(ShardStatus {
+            epochs: world.epoch_index(),
+            injected,
+            rejected,
+            waiting: world.num_waiting(),
+            picked_up: world.num_picked_up(),
+            delivered: world.num_delivered(),
+            model_version: version,
+            compute_ms,
+            report,
+            swap_error,
+        })
+    };
+
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            ShardCmd::RunEpoch { requests } => {
+                // Hot-swap check at the epoch boundary only: mid-epoch the
+                // dispatcher stays whatever the epoch started with.
+                let mut swap_error = None;
+                let current = spec.registry.current();
+                if current.version != bundle.version || dispatcher.is_none() {
+                    match build_dispatcher(scenario, &spec.rl, &current) {
+                        Ok(d) => {
+                            dispatcher = Some(d);
+                            bundle = current;
+                        }
+                        Err(e) => swap_error = Some(e),
+                    }
+                }
+                let Some(dispatcher) = dispatcher.as_mut() else {
+                    let message =
+                        swap_error.unwrap_or_else(|| "no dispatcher could be built".to_owned());
+                    if tx.send(ShardReply::Epoch(Err(message))).is_err() {
+                        return;
+                    }
+                    continue;
+                };
+                for r in requests {
+                    match world.inject_request(r) {
+                        Ok(_) => injected += 1,
+                        Err(_) => rejected += 1,
+                    }
+                }
+                let mut timed = TimedDispatcher {
+                    inner: dispatcher,
+                    clock: &*spec.clock,
+                    spent_ms: 0,
+                };
+                let report = world.run_epoch(&mut timed, carry_ms as f64 / 1_000.0);
+                let compute_ms = timed.spent_ms;
+                carry_ms = compute_ms;
+                let st = status(
+                    &world,
+                    injected,
+                    rejected,
+                    bundle.version,
+                    compute_ms,
+                    Some(report),
+                    swap_error,
+                );
+                if tx.send(ShardReply::Epoch(Ok(st))).is_err() {
+                    return;
+                }
+            }
+            ShardCmd::Snapshot => {
+                let mut text = format!(
+                    "shardstate {injected} {rejected} {carry_ms} {}\n",
+                    bundle.version
+                );
+                text.push_str(&world.snapshot_text());
+                if tx.send(ShardReply::Snapshot(Ok(text))).is_err() {
+                    return;
+                }
+            }
+            ShardCmd::Restore(text) => {
+                let reply = match parse_shard_snapshot(scenario, &text) {
+                    Ok((w, inj, rej, carry, version)) => {
+                        world = w;
+                        injected = inj;
+                        rejected = rej;
+                        carry_ms = carry;
+                        // The dispatcher rebuilds from the registry at the
+                        // next epoch; until then report the version the
+                        // snapshot ran with.
+                        Ok(status(
+                            &world, injected, rejected, version, carry_ms, None, None,
+                        ))
+                    }
+                    Err(e) => Err(e),
+                };
+                if tx.send(ShardReply::Restored(reply)).is_err() {
+                    return;
+                }
+            }
+            ShardCmd::Shutdown => return,
+        }
+    }
+}
+
+type ParsedShard<'a> = (World<'a>, u64, u64, u64, u64);
+
+fn parse_shard_snapshot<'a>(scenario: &'a Scenario, text: &str) -> Result<ParsedShard<'a>, String> {
+    let (first, rest) = text
+        .split_once('\n')
+        .ok_or_else(|| "empty shard snapshot".to_owned())?;
+    let mut p = first.split_whitespace();
+    if p.next() != Some("shardstate") {
+        return Err("missing shardstate line".to_owned());
+    }
+    let mut next_u64 = |what: &str| -> Result<u64, String> {
+        p.next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("bad {what} in shardstate"))
+    };
+    let injected = next_u64("injected")?;
+    let rejected = next_u64("rejected")?;
+    let carry_ms = next_u64("carry latency")?;
+    let version = next_u64("model version")?;
+    let world = World::restore_text(&scenario.city, &scenario.conditions, rest)
+        .map_err(|e| e.to_string())?;
+    Ok((world, injected, rejected, carry_ms, version))
+}

@@ -75,9 +75,7 @@ impl Dispatcher for NearestRequestDispatcher {
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| !claimed[*i])
-                .filter(|(_, r)| {
-                    sp.travel_time_s(state.net.segment(r.segment).to).is_some()
-                })
+                .filter(|(_, r)| sp.travel_time_s(state.net.segment(r.segment).to).is_some())
                 .min_by_key(|(_, r)| r.appear_s);
             if let Some((i, r)) = target {
                 claimed[i] = true;
@@ -109,8 +107,16 @@ mod tests {
             })
             .collect();
         let waiting = vec![
-            RequestView { id: RequestId(0), segment: SegmentId(10), appear_s: 5 },
-            RequestView { id: RequestId(1), segment: SegmentId(20), appear_s: 1 },
+            RequestView {
+                id: RequestId(0),
+                segment: SegmentId(10),
+                appear_s: 5,
+            },
+            RequestView {
+                id: RequestId(1),
+                segment: SegmentId(20),
+                appear_s: 1,
+            },
         ];
         let state = DispatchState {
             now_s: 100,
@@ -143,8 +149,11 @@ mod tests {
             delivering: true,
             standby: false,
         }];
-        let waiting =
-            vec![RequestView { id: RequestId(0), segment: SegmentId(0), appear_s: 0 }];
+        let waiting = vec![RequestView {
+            id: RequestId(0),
+            segment: SegmentId(0),
+            appear_s: 0,
+        }];
         let state = DispatchState {
             now_s: 0,
             hour: 0,

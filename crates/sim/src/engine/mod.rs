@@ -1,0 +1,786 @@
+//! The discrete-time rescue simulation engine.
+//!
+//! Replaces the paper's SUMO/Flow stack at the granularity its metrics are
+//! defined on: teams drive shortest routes over the hour-by-hour damaged
+//! network, pick up requests on the segments they traverse (the paper's
+//! reward counts requests "encountered by driving to their destination"),
+//! deliver to the nearest hospital when full or done, and receive new
+//! orders every dispatch period — delayed by the dispatcher's computation
+//! latency, exactly what Figure 13's timeliness metric penalizes.
+//!
+//! The engine is a stateful [`World`] that advances one second at a time
+//! and accepts requests injected *while running* — the shape a long-lived
+//! dispatch service needs (see the `mobirescue-serve` crate). The
+//! original batch entry point [`run`] is a thin wrapper: schedule every
+//! request up front, step to the end, collect the [`SimOutcome`].
+
+use crate::dispatcher::{DispatchState, Dispatcher};
+use crate::types::{
+    DispatchPlan, Order, RequestId, RequestOutcome, RequestSpec, RequestView, SimConfig, TeamId,
+    TeamView,
+};
+use mobirescue_mobility::flow::HourlyConditions;
+use mobirescue_roadnet::damage::NetworkCondition;
+use mobirescue_roadnet::generator::City;
+use mobirescue_roadnet::graph::{LandmarkId, SegmentId};
+use mobirescue_roadnet::routing::{Router, TravelCost};
+use std::collections::{HashMap, VecDeque};
+
+mod snapshot;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mission {
+    Standby,
+    ToSegment(SegmentId),
+    ToHospital,
+    ToBase,
+}
+
+#[derive(Debug)]
+struct Team {
+    location: LandmarkId,
+    route: VecDeque<SegmentId>,
+    seg_remaining_s: f64,
+    stall_s: f64,
+    onboard: Vec<RequestId>,
+    mission: Mission,
+    order_start_s: u32,
+}
+
+impl Team {
+    fn standby(&self) -> bool {
+        matches!(self.mission, Mission::Standby)
+    }
+
+    fn serving(&self) -> bool {
+        matches!(self.mission, Mission::ToSegment(_) | Mission::ToHospital)
+    }
+}
+
+/// Why a [`World`] could not be built or an event could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorldError {
+    /// `num_teams`, `capacity` or `dispatch_period_s` is zero.
+    DegenerateConfig(&'static str),
+    /// The city has no hospitals.
+    NoHospitals,
+    /// A request references a segment outside the network.
+    UnknownSegment(SegmentId),
+    /// The simulated window extends past the scenario's hourly conditions.
+    WindowExceedsConditions,
+    /// A snapshot failed to parse.
+    BadSnapshot(String),
+}
+
+impl std::fmt::Display for WorldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorldError::DegenerateConfig(what) => write!(f, "degenerate config: {what}"),
+            WorldError::NoHospitals => write!(f, "city must have hospitals"),
+            WorldError::UnknownSegment(s) => write!(f, "unknown segment {}", s.0),
+            WorldError::WindowExceedsConditions => {
+                write!(f, "simulation window exceeds scenario conditions")
+            }
+            WorldError::BadSnapshot(why) => write!(f, "bad snapshot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WorldError {}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Name of the dispatcher that produced this run.
+    pub dispatcher: String,
+    /// The configuration used.
+    pub config: SimConfig,
+    /// Final state of every injected request.
+    pub requests: Vec<RequestOutcome>,
+    /// `(second, serving team count)` sampled at every dispatch tick
+    /// (Figure 14's series).
+    pub serving_per_tick: Vec<(u32, usize)>,
+    /// Requests picked up per team per simulated hour (Figures 9–10).
+    pub team_served: Vec<Vec<u32>>,
+    /// Number of dispatcher invocations.
+    pub dispatch_rounds: u32,
+    /// Orders that could not be routed on the damaged network.
+    pub unroutable_orders: u32,
+    /// Sampled `(second, per-team landmark)` rows when
+    /// [`SimConfig::sample_positions_every_s`] is set — the paper's RL
+    /// training-data stream of team positions.
+    pub position_samples: Vec<(u32, Vec<LandmarkId>)>,
+}
+
+/// Summary of one dispatch epoch advanced by [`World::run_epoch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochReport {
+    /// Index of the completed epoch (0-based).
+    pub epoch: u32,
+    /// Simulation second at the start of the epoch.
+    pub start_s: u32,
+    /// Requests waiting when the epoch's dispatch tick ran.
+    pub waiting_at_tick: usize,
+    /// Teams serving when the epoch's dispatch tick ran.
+    pub serving_at_tick: usize,
+    /// Requests picked up during the epoch.
+    pub picked_up: u32,
+    /// Requests delivered to a hospital during the epoch.
+    pub delivered: u32,
+}
+
+/// A running simulation: the damaged city, the teams, the open requests.
+///
+/// Advance it with [`World::step`] (one second) or [`World::run_epoch`]
+/// (one dispatch period); feed it requests up front
+/// ([`World::schedule_requests`]) or while running
+/// ([`World::inject_request`]).
+pub struct World<'a> {
+    city: &'a City,
+    conditions: &'a HourlyConditions,
+    config: SimConfig,
+    router: Router<'a>,
+    /// Reverse-segment lookup: requests on a one-way pair are reachable
+    /// from either direction.
+    reverse: HashMap<SegmentId, SegmentId>,
+    /// Scheduled, not-yet-appeared requests, sorted by `appear_s`.
+    specs: Vec<(RequestId, RequestSpec)>,
+    next_spec: usize,
+    outcomes: Vec<RequestOutcome>,
+    waiting_by_segment: HashMap<SegmentId, Vec<RequestId>>,
+    teams: Vec<Team>,
+    serving_per_tick: Vec<(u32, usize)>,
+    position_samples: Vec<(u32, Vec<LandmarkId>)>,
+    team_served: Vec<Vec<u32>>,
+    pending_plans: VecDeque<(u32, DispatchPlan)>,
+    dispatch_rounds: u32,
+    unroutable_orders: u32,
+    now: u32,
+    waiting_at_last_tick: usize,
+}
+
+impl<'a> World<'a> {
+    /// Builds an empty world (no requests yet) over `city`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WorldError`] when the configuration is degenerate, the
+    /// city has no hospitals, or the simulated window extends past the
+    /// scenario's hourly conditions.
+    pub fn new(
+        city: &'a City,
+        conditions: &'a HourlyConditions,
+        config: &SimConfig,
+    ) -> Result<Self, WorldError> {
+        if config.num_teams == 0 {
+            return Err(WorldError::DegenerateConfig("need at least one team"));
+        }
+        if config.capacity == 0 {
+            return Err(WorldError::DegenerateConfig("capacity must be positive"));
+        }
+        if config.dispatch_period_s == 0 {
+            return Err(WorldError::DegenerateConfig(
+                "dispatch period must be positive",
+            ));
+        }
+        if city.hospitals.is_empty() {
+            return Err(WorldError::NoHospitals);
+        }
+        if config.start_hour + config.duration_hours > conditions.hours() {
+            return Err(WorldError::WindowExceedsConditions);
+        }
+        let net = &city.network;
+        let mut reverse: HashMap<SegmentId, SegmentId> = HashMap::new();
+        {
+            let mut by_ends: HashMap<(LandmarkId, LandmarkId), SegmentId> = HashMap::new();
+            for seg in net.segments() {
+                by_ends.insert((seg.from, seg.to), seg.id);
+            }
+            for seg in net.segments() {
+                if let Some(&r) = by_ends.get(&(seg.to, seg.from)) {
+                    reverse.insert(seg.id, r);
+                }
+            }
+        }
+
+        // Teams start distributed round-robin over the hospitals.
+        let teams: Vec<Team> = (0..config.num_teams)
+            .map(|i| Team {
+                location: city.hospitals[i % city.hospitals.len()],
+                route: VecDeque::new(),
+                seg_remaining_s: 0.0,
+                stall_s: 0.0,
+                onboard: Vec::new(),
+                mission: Mission::Standby,
+                order_start_s: 0,
+            })
+            .collect();
+        let team_served = vec![vec![0u32; config.duration_hours as usize]; config.num_teams];
+        Ok(Self {
+            city,
+            conditions,
+            config: config.clone(),
+            router: Router::new(net),
+            reverse,
+            specs: Vec::new(),
+            next_spec: 0,
+            outcomes: Vec::new(),
+            waiting_by_segment: HashMap::new(),
+            teams,
+            serving_per_tick: Vec::new(),
+            position_samples: Vec::new(),
+            team_served,
+            pending_plans: VecDeque::new(),
+            dispatch_rounds: 0,
+            unroutable_orders: 0,
+            now: 0,
+            waiting_at_last_tick: 0,
+        })
+    }
+
+    /// Schedules a batch of requests before the world starts (ids are
+    /// assigned in slice order, matching the batch [`run`] semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorldError::UnknownSegment`] when a request references a
+    /// segment outside the network; no request is scheduled in that case.
+    pub fn schedule_requests(&mut self, requests: &[RequestSpec]) -> Result<(), WorldError> {
+        for r in requests {
+            if r.segment.index() >= self.city.network.num_segments() {
+                return Err(WorldError::UnknownSegment(r.segment));
+            }
+        }
+        for &spec in requests {
+            let id = RequestId(self.outcomes.len() as u32);
+            self.outcomes.push(RequestOutcome {
+                id,
+                spec,
+                picked_up_s: None,
+                delivered_s: None,
+                team: None,
+                driving_delay_s: None,
+            });
+            self.specs.push((id, spec));
+        }
+        // Stable sort keeps id order within one appearance second.
+        self.specs[self.next_spec..].sort_by_key(|(_, s)| s.appear_s);
+        Ok(())
+    }
+
+    /// Injects one request into the running world (the service ingestion
+    /// path). A spec whose `appear_s` is already in the past appears at
+    /// the next step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorldError::UnknownSegment`] for an out-of-range segment
+    /// — the event is dropped, the world unharmed.
+    pub fn inject_request(&mut self, spec: RequestSpec) -> Result<RequestId, WorldError> {
+        if spec.segment.index() >= self.city.network.num_segments() {
+            return Err(WorldError::UnknownSegment(spec.segment));
+        }
+        let id = RequestId(self.outcomes.len() as u32);
+        self.outcomes.push(RequestOutcome {
+            id,
+            spec,
+            picked_up_s: None,
+            delivered_s: None,
+            team: None,
+            driving_delay_s: None,
+        });
+        // Insert in appearance order among the not-yet-appeared.
+        let tail = &mut self.specs[self.next_spec..];
+        let offset = tail.partition_point(|(_, s)| s.appear_s <= spec.appear_s);
+        self.specs.insert(self.next_spec + offset, (id, spec));
+        Ok(id)
+    }
+
+    /// The current simulation second.
+    pub fn now_s(&self) -> u32 {
+        self.now
+    }
+
+    /// The configured end of the simulated window, seconds.
+    pub fn end_s(&self) -> u32 {
+        self.config.duration_s()
+    }
+
+    /// Index of the epoch the next step belongs to.
+    pub fn epoch_index(&self) -> u32 {
+        self.now / self.config.dispatch_period_s
+    }
+
+    /// Requests currently waiting for pickup.
+    pub fn num_waiting(&self) -> usize {
+        self.waiting_by_segment.values().map(Vec::len).sum()
+    }
+
+    /// Requests picked up so far.
+    pub fn num_picked_up(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.picked_up_s.is_some())
+            .count()
+    }
+
+    /// Requests delivered to a hospital so far.
+    pub fn num_delivered(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.delivered_s.is_some())
+            .count()
+    }
+
+    /// All request outcomes so far (final only after the world ends).
+    pub fn outcomes(&self) -> &[RequestOutcome] {
+        &self.outcomes
+    }
+
+    /// Advances one second. `extra_latency_s` is added to the
+    /// dispatcher's *modeled* latency if this step runs a dispatch tick —
+    /// the serve runtime feeds the measured wall-clock computation time
+    /// of the dispatcher back in here, so real compute latency delays
+    /// order application exactly as the paper's Figure 13 penalizes.
+    pub fn step(&mut self, dispatcher: &mut dyn Dispatcher, extra_latency_s: f64) {
+        let now = self.now;
+        let hour = (self.config.start_hour + now / 3_600).min(self.conditions.hours() - 1);
+        let cond = self.conditions.at(hour);
+        let net = &self.city.network;
+
+        // 1. Inject appearing requests.
+        while self.next_spec < self.specs.len() && self.specs[self.next_spec].1.appear_s <= now {
+            let (id, spec) = self.specs[self.next_spec];
+            self.waiting_by_segment
+                .entry(spec.segment)
+                .or_default()
+                .push(id);
+            self.next_spec += 1;
+        }
+
+        // 1b. Sample team positions (Section IV-C4 training data).
+        if let Some(every) = self.config.sample_positions_every_s {
+            if every > 0 && now % every == 0 {
+                self.position_samples
+                    .push((now, self.teams.iter().map(|t| t.location).collect()));
+            }
+        }
+
+        // 2. Dispatch tick.
+        if now % self.config.dispatch_period_s == 0 {
+            self.serving_per_tick
+                .push((now, self.teams.iter().filter(|t| t.serving()).count()));
+            let views: Vec<TeamView> = self
+                .teams
+                .iter()
+                .enumerate()
+                .map(|(i, t)| TeamView {
+                    id: TeamId(i as u32),
+                    location: t.location,
+                    onboard: t.onboard.len(),
+                    delivering: t.mission == Mission::ToHospital,
+                    standby: t.standby(),
+                })
+                .collect();
+            let mut waiting: Vec<RequestView> = self
+                .waiting_by_segment
+                .iter()
+                .flat_map(|(&segment, ids)| ids.iter().map(move |&id| (segment, id)))
+                .map(|(segment, id)| RequestView {
+                    id,
+                    segment,
+                    appear_s: self.outcomes[id.index()].spec.appear_s,
+                })
+                .collect();
+            waiting.sort_by_key(|r| r.id);
+            self.waiting_at_last_tick = waiting.len();
+            let state = DispatchState {
+                now_s: now,
+                hour,
+                teams: &views,
+                waiting: &waiting,
+                net,
+                condition: cond,
+                hospitals: &self.city.hospitals,
+                depot: self.city.depot,
+            };
+            let latency = dispatcher.compute_latency_s(&state).max(0.0) + extra_latency_s.max(0.0);
+            let plan = dispatcher.dispatch(&state);
+            self.pending_plans
+                .push_back((now + latency.ceil() as u32, plan));
+            self.dispatch_rounds += 1;
+        }
+
+        // 3. Apply plans whose computation has finished.
+        while self.pending_plans.front().is_some_and(|(t, _)| *t <= now) {
+            let (_, plan) = self.pending_plans.pop_front().expect("checked non-empty");
+            for (i, order) in plan.orders.iter().enumerate().take(self.teams.len()) {
+                let Some(order) = order else { continue };
+                let team = &mut self.teams[i];
+                if team.mission == Mission::ToHospital || team.onboard.len() >= self.config.capacity
+                {
+                    continue; // committed to unloading
+                }
+                match order {
+                    Order::GoToSegment(seg) => {
+                        if !set_route_to_segment(team, &self.router, cond, *seg) {
+                            self.unroutable_orders += 1;
+                        } else {
+                            team.mission = Mission::ToSegment(*seg);
+                            team.order_start_s = now;
+                        }
+                    }
+                    Order::ReturnToBase => {
+                        if team.onboard.is_empty()
+                            && set_route_to_landmark(team, &self.router, cond, self.city.depot)
+                        {
+                            team.mission = Mission::ToBase;
+                            team.order_start_s = now;
+                        }
+                    }
+                }
+            }
+        }
+
+        // 4. Move teams.
+        let hour_idx = (now / 3_600) as usize;
+        for served_row in &mut self.team_served {
+            if served_row.len() <= hour_idx {
+                // A service running past the configured window keeps
+                // counting; the batch path never grows here.
+                served_row.resize(hour_idx + 1, 0);
+            }
+        }
+        for (ti, team) in self.teams.iter_mut().enumerate() {
+            if team.stall_s > 0.0 {
+                team.stall_s -= 1.0;
+                continue;
+            }
+            // A team ordered to a hospital it is already at unloads on the
+            // spot.
+            if team.route.is_empty() && team.mission == Mission::ToHospital {
+                for id in team.onboard.drain(..) {
+                    self.outcomes[id.index()].delivered_s = Some(now);
+                }
+                team.mission = Mission::Standby;
+            }
+            let Some(&current) = team.route.front() else {
+                continue;
+            };
+            if team.seg_remaining_s <= 0.0 {
+                // Entering the segment now.
+                match cond.travel_time_s(net.segment(current)) {
+                    Some(t) => team.seg_remaining_s = t,
+                    None => {
+                        // Flooded since routing: replan toward the mission.
+                        if !replan(team, &self.router, cond, self.city) {
+                            abort_mission(team, &self.router, cond, self.city);
+                        }
+                        continue;
+                    }
+                }
+            }
+            team.seg_remaining_s -= 1.0;
+            if team.seg_remaining_s > 0.0 {
+                continue;
+            }
+            // Arrived at the end of `current`.
+            team.route.pop_front();
+            team.location = net.segment(current).to;
+            pickup_on(
+                current,
+                &self.reverse,
+                team,
+                ti,
+                now,
+                &self.config,
+                &mut self.waiting_by_segment,
+                &mut self.outcomes,
+                &mut self.team_served[ti][hour_idx..hour_idx + 1],
+            );
+            if team.onboard.len() >= self.config.capacity {
+                team.route.clear();
+            }
+            if team.route.is_empty() {
+                // Mission endpoint reached (or truncated by a full load).
+                match team.mission {
+                    Mission::ToSegment(target) => {
+                        // Serve the assigned segment even if it could not
+                        // be traversed (e.g. the segment itself is flooded)
+                        // — but only from one of its endpoints; a route
+                        // truncated at the water's edge does not reach the
+                        // trapped person.
+                        let tgt = net.segment(target);
+                        if team.location == tgt.from || team.location == tgt.to {
+                            pickup_on(
+                                target,
+                                &self.reverse,
+                                team,
+                                ti,
+                                now,
+                                &self.config,
+                                &mut self.waiting_by_segment,
+                                &mut self.outcomes,
+                                &mut self.team_served[ti][hour_idx..hour_idx + 1],
+                            );
+                        }
+                        if team.onboard.is_empty() {
+                            team.mission = Mission::Standby;
+                        } else {
+                            head_to_hospital(team, &self.router, cond, self.city, now);
+                        }
+                    }
+                    Mission::ToHospital => {
+                        for id in team.onboard.drain(..) {
+                            self.outcomes[id.index()].delivered_s = Some(now);
+                        }
+                        team.mission = Mission::Standby;
+                    }
+                    Mission::ToBase | Mission::Standby => {
+                        team.mission = Mission::Standby;
+                    }
+                }
+            }
+        }
+        self.now = now + 1;
+    }
+
+    /// Advances one full dispatch epoch (`dispatch_period_s` seconds) and
+    /// reports what happened. See [`World::step`] for `extra_latency_s`.
+    pub fn run_epoch(
+        &mut self,
+        dispatcher: &mut dyn Dispatcher,
+        extra_latency_s: f64,
+    ) -> EpochReport {
+        let epoch = self.epoch_index();
+        let start_s = self.now;
+        let picked_before = self.num_picked_up();
+        let delivered_before = self.num_delivered();
+        let end = (epoch + 1) * self.config.dispatch_period_s;
+        let mut first = true;
+        while self.now < end {
+            self.step(dispatcher, if first { extra_latency_s } else { 0.0 });
+            first = false;
+        }
+        let &(tick_s, serving_at_tick) = self.serving_per_tick.last().unwrap_or(&(start_s, 0));
+        debug_assert_eq!(tick_s, start_s);
+        EpochReport {
+            epoch,
+            start_s,
+            waiting_at_tick: self.waiting_at_last_tick,
+            serving_at_tick,
+            picked_up: (self.num_picked_up() - picked_before) as u32,
+            delivered: (self.num_delivered() - delivered_before) as u32,
+        }
+    }
+
+    /// Consumes the world into the batch outcome shape.
+    pub fn into_outcome(self, dispatcher_name: &str) -> SimOutcome {
+        SimOutcome {
+            dispatcher: dispatcher_name.to_owned(),
+            config: self.config,
+            requests: self.outcomes,
+            serving_per_tick: self.serving_per_tick,
+            team_served: self.team_served,
+            dispatch_rounds: self.dispatch_rounds,
+            unroutable_orders: self.unroutable_orders,
+            position_samples: self.position_samples,
+        }
+    }
+}
+
+/// Runs one simulation of `dispatcher` on `city` with the given request
+/// schedule.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (no teams, zero capacity), the
+/// city has no hospitals, a request references an unknown segment, or the
+/// simulated window extends past the scenario's hourly conditions.
+pub fn run(
+    city: &City,
+    conditions: &HourlyConditions,
+    requests: &[RequestSpec],
+    dispatcher: &mut dyn Dispatcher,
+    config: &SimConfig,
+) -> SimOutcome {
+    let mut world = World::new(city, conditions, config).unwrap_or_else(|e| panic!("{e}"));
+    world
+        .schedule_requests(requests)
+        .unwrap_or_else(|e| panic!("{e}"));
+    let end = config.duration_s();
+    while world.now_s() < end {
+        world.step(dispatcher, 0.0);
+    }
+    world.into_outcome(dispatcher.name())
+}
+
+/// Picks up waiting requests on `seg` (and its reverse twin) into `team`,
+/// recording outcomes. `served_slot` is the team's counter for the current
+/// hour.
+#[allow(clippy::too_many_arguments)]
+fn pickup_on(
+    seg: SegmentId,
+    reverse: &HashMap<SegmentId, SegmentId>,
+    team: &mut Team,
+    team_index: usize,
+    now: u32,
+    config: &SimConfig,
+    waiting_by_segment: &mut HashMap<SegmentId, Vec<RequestId>>,
+    outcomes: &mut [RequestOutcome],
+    served_slot: &mut [u32],
+) {
+    let mut segs = vec![seg];
+    if let Some(&r) = reverse.get(&seg) {
+        segs.push(r);
+    }
+    for s in segs {
+        let Some(queue) = waiting_by_segment.get_mut(&s) else {
+            continue;
+        };
+        while !queue.is_empty() && team.onboard.len() < config.capacity {
+            let id = queue.remove(0);
+            let out = &mut outcomes[id.index()];
+            out.picked_up_s = Some(now);
+            out.team = Some(TeamId(team_index as u32));
+            // Driving delay counts from whichever came later: the team's
+            // order or the request's appearance — a pre-positioned team
+            // was not yet "driving to" a request that did not exist.
+            let start = team.order_start_s.max(out.spec.appear_s);
+            out.driving_delay_s = Some(now.saturating_sub(start) as f64);
+            team.onboard.push(id);
+            team.stall_s += config.pickup_service_s as f64;
+            served_slot[0] += 1;
+        }
+        if queue.is_empty() {
+            waiting_by_segment.remove(&s);
+        }
+    }
+}
+
+/// Where rerouting starts and which in-progress segment must be kept: a
+/// team midway along a segment finishes it first and replans from its end;
+/// an idle team replans from its location.
+fn reroute_start(team: &Team, router: &Router<'_>) -> (LandmarkId, VecDeque<SegmentId>) {
+    if team.seg_remaining_s > 0.0 {
+        if let Some(&cur) = team.route.front() {
+            let mut prefix = VecDeque::new();
+            prefix.push_back(cur);
+            return (router.network().segment(cur).to, prefix);
+        }
+    }
+    (team.location, VecDeque::new())
+}
+
+/// Routes `team` to traverse `seg` (or only to `seg.from` when the segment
+/// itself is flooded — the assigned pickup still happens on arrival).
+///
+/// When the target is unreachable on the damaged network, the team instead
+/// drives the *pre-disaster* shortest route as far as the first blockage —
+/// modelling a damage-unaware dispatcher's vehicles discovering the flood
+/// en route. Returns `false` only when the team cannot move toward the
+/// target at all.
+fn set_route_to_segment(
+    team: &mut Team,
+    router: &Router<'_>,
+    cond: &NetworkCondition,
+    seg: SegmentId,
+) -> bool {
+    let net = router.network();
+    let target_from = net.segment(seg).from;
+    let (start, mut route) = reroute_start(team, router);
+    if let Some(path) = router.shortest_path(cond, start, target_from) {
+        route.extend(path.segments);
+        if cond.is_operable(seg) {
+            route.push_back(seg);
+        }
+        team.route = route;
+        return true;
+    }
+    // Unreachable on G̃: drive the intact-network route up to the water's
+    // edge.
+    let Some(path) =
+        router.shortest_path(&mobirescue_roadnet::routing::FreeFlow, start, target_from)
+    else {
+        return false;
+    };
+    let mut drove_anywhere = false;
+    for sid in path.segments {
+        if !cond.is_operable(sid) {
+            break;
+        }
+        route.push_back(sid);
+        drove_anywhere = true;
+    }
+    if !drove_anywhere {
+        return false;
+    }
+    team.route = route;
+    true
+}
+
+/// Routes `team` to a landmark. Returns `false` when unreachable.
+fn set_route_to_landmark(
+    team: &mut Team,
+    router: &Router<'_>,
+    cond: &NetworkCondition,
+    to: LandmarkId,
+) -> bool {
+    let (start, mut route) = reroute_start(team, router);
+    let Some(path) = router.shortest_path(cond, start, to) else {
+        return false;
+    };
+    route.extend(path.segments);
+    team.route = route;
+    true
+}
+
+/// Replans the current mission from the team's location. Returns `false`
+/// when the mission target is unreachable.
+fn replan(team: &mut Team, router: &Router<'_>, cond: &NetworkCondition, city: &City) -> bool {
+    team.seg_remaining_s = 0.0;
+    team.route.clear();
+    match team.mission {
+        Mission::ToSegment(seg) => set_route_to_segment(team, router, cond, seg),
+        Mission::ToHospital => router
+            .nearest_target(cond, team.location, &city.hospitals)
+            .is_some_and(|(i, _)| set_route_to_landmark(team, router, cond, city.hospitals[i])),
+        Mission::ToBase => set_route_to_landmark(team, router, cond, city.depot),
+        Mission::Standby => true,
+    }
+}
+
+/// Abandons the mission: loaded teams try any hospital, empty teams stand
+/// by.
+fn abort_mission(team: &mut Team, router: &Router<'_>, cond: &NetworkCondition, city: &City) {
+    team.route.clear();
+    team.seg_remaining_s = 0.0;
+    if !team.onboard.is_empty() {
+        if let Some((i, _)) = router.nearest_target(cond, team.location, &city.hospitals) {
+            if set_route_to_landmark(team, router, cond, city.hospitals[i]) {
+                team.mission = Mission::ToHospital;
+                return;
+            }
+        }
+    }
+    team.mission = Mission::Standby;
+}
+
+/// Sends a loaded team to the nearest reachable hospital.
+fn head_to_hospital(
+    team: &mut Team,
+    router: &Router<'_>,
+    cond: &NetworkCondition,
+    city: &City,
+    now: u32,
+) {
+    team.seg_remaining_s = 0.0;
+    if let Some((i, _)) = router.nearest_target(cond, team.location, &city.hospitals) {
+        if set_route_to_landmark(team, router, cond, city.hospitals[i]) {
+            team.mission = Mission::ToHospital;
+            team.order_start_s = now;
+            return;
+        }
+    }
+    team.mission = Mission::Standby;
+}

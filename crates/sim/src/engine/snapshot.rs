@@ -1,0 +1,482 @@
+//! World-state snapshot/restore in the workspace's dependency-free text
+//! style (`svm::persist`, `rl::persist`).
+//!
+//! A snapshot taken at an epoch boundary captures everything the engine
+//! needs to resume mid-disaster: the clock, every request outcome so far,
+//! the per-segment waiting queues (in pickup order), each team's mission,
+//! route and load, the not-yet-applied dispatch plans, and the metric
+//! accumulators. Restoring onto the *same* city and conditions yields a
+//! [`World`](super::World) that continues the run step-for-step
+//! identically — the recovery path of the `mobirescue-serve` runtime.
+//!
+//! The format is line-oriented, versioned (`mrworld 1` header), and emits
+//! floats with `{:?}` (shortest round-tripping representation), so
+//! snapshot → restore → snapshot is byte-stable.
+
+use super::{Mission, Team, World, WorldError};
+use crate::types::{DispatchPlan, Order, RequestId, RequestOutcome, RequestSpec, SimConfig};
+use mobirescue_mobility::flow::HourlyConditions;
+use mobirescue_roadnet::generator::City;
+use mobirescue_roadnet::graph::{LandmarkId, SegmentId};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+fn bad(why: impl Into<String>) -> WorldError {
+    WorldError::BadSnapshot(why.into())
+}
+
+fn opt_u32(v: Option<u32>) -> String {
+    v.map_or_else(|| "-".into(), |x| x.to_string())
+}
+
+fn opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".into(), |x| format!("{x:?}"))
+}
+
+fn parse_opt_u32(tok: &str) -> Result<Option<u32>, WorldError> {
+    if tok == "-" {
+        Ok(None)
+    } else {
+        u32::from_str(tok)
+            .map(Some)
+            .map_err(|_| bad(format!("bad u32 `{tok}`")))
+    }
+}
+
+fn parse_opt_f64(tok: &str) -> Result<Option<f64>, WorldError> {
+    if tok == "-" {
+        Ok(None)
+    } else {
+        f64::from_str(tok)
+            .map(Some)
+            .map_err(|_| bad(format!("bad f64 `{tok}`")))
+    }
+}
+
+fn parse<T: FromStr>(tok: Option<&str>, what: &str) -> Result<T, WorldError> {
+    tok.ok_or_else(|| bad(format!("missing {what}")))?
+        .parse()
+        .map_err(|_| bad(format!("bad {what}")))
+}
+
+fn mission_token(m: Mission) -> String {
+    match m {
+        Mission::Standby => "s".into(),
+        Mission::ToSegment(seg) => format!("g{}", seg.0),
+        Mission::ToHospital => "h".into(),
+        Mission::ToBase => "b".into(),
+    }
+}
+
+fn parse_mission(tok: &str) -> Result<Mission, WorldError> {
+    match tok {
+        "s" => Ok(Mission::Standby),
+        "h" => Ok(Mission::ToHospital),
+        "b" => Ok(Mission::ToBase),
+        _ => tok
+            .strip_prefix('g')
+            .and_then(|n| u32::from_str(n).ok())
+            .map(|n| Mission::ToSegment(SegmentId(n)))
+            .ok_or_else(|| bad(format!("bad mission `{tok}`"))),
+    }
+}
+
+fn order_token(o: Option<Order>) -> String {
+    match o {
+        None => "-".into(),
+        Some(Order::GoToSegment(seg)) => format!("g{}", seg.0),
+        Some(Order::ReturnToBase) => "b".into(),
+    }
+}
+
+fn parse_order(tok: &str) -> Result<Option<Order>, WorldError> {
+    match tok {
+        "-" => Ok(None),
+        "b" => Ok(Some(Order::ReturnToBase)),
+        _ => tok
+            .strip_prefix('g')
+            .and_then(|n| u32::from_str(n).ok())
+            .map(|n| Some(Order::GoToSegment(SegmentId(n))))
+            .ok_or_else(|| bad(format!("bad order `{tok}`"))),
+    }
+}
+
+impl World<'_> {
+    /// Serializes the full world state to the versioned text format.
+    pub fn snapshot_text(&self) -> String {
+        let mut out = String::from("mrworld 1\n");
+        let c = &self.config;
+        let _ = writeln!(
+            out,
+            "config {} {} {} {} {} {} {} {}",
+            c.num_teams,
+            c.capacity,
+            c.dispatch_period_s,
+            c.pickup_service_s,
+            c.start_hour,
+            c.duration_hours,
+            c.timely_threshold_s,
+            c.sample_positions_every_s
+                .map_or_else(|| "-".into(), |v| v.to_string()),
+        );
+        let _ = writeln!(
+            out,
+            "clock {} {} {} {} {}",
+            self.now,
+            self.next_spec,
+            self.dispatch_rounds,
+            self.unroutable_orders,
+            self.waiting_at_last_tick
+        );
+        for (id, spec) in &self.specs {
+            let _ = writeln!(out, "spec {} {} {}", id.0, spec.appear_s, spec.segment.0);
+        }
+        for o in &self.outcomes {
+            let _ = writeln!(
+                out,
+                "outcome {} {} {} {} {} {} {}",
+                o.id.0,
+                o.spec.appear_s,
+                o.spec.segment.0,
+                opt_u32(o.picked_up_s),
+                opt_u32(o.delivered_s),
+                o.team.map_or_else(|| "-".into(), |t| t.0.to_string()),
+                opt_f64(o.driving_delay_s),
+            );
+        }
+        // Sorted by segment for byte stability (queue order within a
+        // segment is pickup order and is preserved as-is).
+        let mut waiting: Vec<_> = self.waiting_by_segment.iter().collect();
+        waiting.sort_by_key(|(seg, _)| seg.0);
+        for (seg, ids) in waiting {
+            let _ = write!(out, "wait {}", seg.0);
+            for id in ids {
+                let _ = write!(out, " {}", id.0);
+            }
+            out.push('\n');
+        }
+        for t in &self.teams {
+            let _ = write!(
+                out,
+                "team {} {:?} {:?} {} {} route",
+                t.location.0,
+                t.seg_remaining_s,
+                t.stall_s,
+                t.order_start_s,
+                mission_token(t.mission),
+            );
+            for seg in &t.route {
+                let _ = write!(out, " {}", seg.0);
+            }
+            let _ = write!(out, " onboard");
+            for id in &t.onboard {
+                let _ = write!(out, " {}", id.0);
+            }
+            out.push('\n');
+        }
+        for (apply_at, plan) in &self.pending_plans {
+            let _ = write!(out, "plan {}", apply_at);
+            for &o in &plan.orders {
+                let _ = write!(out, " {}", order_token(o));
+            }
+            out.push('\n');
+        }
+        for &(s, n) in &self.serving_per_tick {
+            let _ = writeln!(out, "tick {s} {n}");
+        }
+        for (ti, row) in self.team_served.iter().enumerate() {
+            let _ = write!(out, "served {ti}");
+            for v in row {
+                let _ = write!(out, " {v}");
+            }
+            out.push('\n');
+        }
+        for (s, positions) in &self.position_samples {
+            let _ = write!(out, "possample {s}");
+            for p in positions {
+                let _ = write!(out, " {}", p.0);
+            }
+            out.push('\n');
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Rebuilds a world from a snapshot over the *same* city and
+    /// conditions it was taken from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorldError::BadSnapshot`] on any malformed or truncated
+    /// input, and the usual construction errors when the embedded config
+    /// does not fit `city`/`conditions`.
+    pub fn restore_text<'a>(
+        city: &'a City,
+        conditions: &'a HourlyConditions,
+        text: &str,
+    ) -> Result<World<'a>, WorldError> {
+        let mut lines = text.lines();
+        if lines.next() != Some("mrworld 1") {
+            return Err(bad("missing `mrworld 1` header"));
+        }
+        let config_line = lines.next().ok_or_else(|| bad("missing config line"))?;
+        let mut p = config_line.split_whitespace();
+        if p.next() != Some("config") {
+            return Err(bad("missing config line"));
+        }
+        let config = SimConfig {
+            num_teams: parse(p.next(), "num_teams")?,
+            capacity: parse(p.next(), "capacity")?,
+            dispatch_period_s: parse(p.next(), "dispatch_period_s")?,
+            pickup_service_s: parse(p.next(), "pickup_service_s")?,
+            start_hour: parse(p.next(), "start_hour")?,
+            duration_hours: parse(p.next(), "duration_hours")?,
+            timely_threshold_s: parse(p.next(), "timely_threshold_s")?,
+            sample_positions_every_s: parse_opt_u32(
+                p.next()
+                    .ok_or_else(|| bad("missing sample_positions_every_s"))?,
+            )?,
+        };
+        let mut world = World::new(city, conditions, &config)?;
+        let clock_line = lines.next().ok_or_else(|| bad("missing clock line"))?;
+        let mut p = clock_line.split_whitespace();
+        if p.next() != Some("clock") {
+            return Err(bad("missing clock line"));
+        }
+        world.now = parse(p.next(), "now")?;
+        world.next_spec = parse(p.next(), "next_spec")?;
+        world.dispatch_rounds = parse(p.next(), "dispatch_rounds")?;
+        world.unroutable_orders = parse(p.next(), "unroutable_orders")?;
+        world.waiting_at_last_tick = parse(p.next(), "waiting_at_last_tick")?;
+
+        // Restored collections replace the fresh ones wholesale.
+        world.teams.clear();
+        world.team_served.clear();
+        let num_segments = city.network.num_segments();
+        let mut saw_end = false;
+        for line in lines {
+            let mut p = line.split_whitespace();
+            let Some(tag) = p.next() else { continue };
+            match tag {
+                "spec" => {
+                    let id = RequestId(parse(p.next(), "spec id")?);
+                    let appear_s = parse(p.next(), "spec appear_s")?;
+                    let segment = SegmentId(parse(p.next(), "spec segment")?);
+                    if segment.index() >= num_segments {
+                        return Err(WorldError::UnknownSegment(segment));
+                    }
+                    world.specs.push((id, RequestSpec { appear_s, segment }));
+                }
+                "outcome" => {
+                    let id = RequestId(parse(p.next(), "outcome id")?);
+                    let appear_s = parse(p.next(), "outcome appear_s")?;
+                    let segment = SegmentId(parse(p.next(), "outcome segment")?);
+                    let picked_up_s =
+                        parse_opt_u32(p.next().ok_or_else(|| bad("missing picked_up"))?)?;
+                    let delivered_s =
+                        parse_opt_u32(p.next().ok_or_else(|| bad("missing delivered"))?)?;
+                    let team = parse_opt_u32(p.next().ok_or_else(|| bad("missing team"))?)?
+                        .map(crate::types::TeamId);
+                    let driving_delay_s =
+                        parse_opt_f64(p.next().ok_or_else(|| bad("missing delay"))?)?;
+                    world.outcomes.push(RequestOutcome {
+                        id,
+                        spec: RequestSpec { appear_s, segment },
+                        picked_up_s,
+                        delivered_s,
+                        team,
+                        driving_delay_s,
+                    });
+                }
+                "wait" => {
+                    let seg = SegmentId(parse(p.next(), "wait segment")?);
+                    if seg.index() >= num_segments {
+                        return Err(WorldError::UnknownSegment(seg));
+                    }
+                    let ids: Vec<RequestId> = p
+                        .map(|tok| {
+                            u32::from_str(tok)
+                                .map(RequestId)
+                                .map_err(|_| bad(format!("bad wait id `{tok}`")))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    world.waiting_by_segment.insert(seg, ids);
+                }
+                "team" => {
+                    let location = LandmarkId(parse(p.next(), "team location")?);
+                    let seg_remaining_s: f64 = parse(p.next(), "team seg_remaining")?;
+                    let stall_s: f64 = parse(p.next(), "team stall")?;
+                    let order_start_s = parse(p.next(), "team order_start")?;
+                    let mission =
+                        parse_mission(p.next().ok_or_else(|| bad("missing team mission"))?)?;
+                    if p.next() != Some("route") {
+                        return Err(bad("missing team route marker"));
+                    }
+                    let mut route = VecDeque::new();
+                    let mut onboard = Vec::new();
+                    let mut in_route = true;
+                    for tok in p {
+                        if tok == "onboard" {
+                            in_route = false;
+                        } else if in_route {
+                            route.push_back(SegmentId(parse(Some(tok), "route segment")?));
+                        } else {
+                            onboard.push(RequestId(parse(Some(tok), "onboard id")?));
+                        }
+                    }
+                    if in_route {
+                        return Err(bad("missing team onboard marker"));
+                    }
+                    world.teams.push(Team {
+                        location,
+                        route,
+                        seg_remaining_s,
+                        stall_s,
+                        onboard,
+                        mission,
+                        order_start_s,
+                    });
+                }
+                "plan" => {
+                    let apply_at = parse(p.next(), "plan apply_at")?;
+                    let orders: Vec<Option<Order>> =
+                        p.map(parse_order).collect::<Result<_, _>>()?;
+                    world
+                        .pending_plans
+                        .push_back((apply_at, DispatchPlan { orders }));
+                }
+                "tick" => {
+                    let s = parse(p.next(), "tick second")?;
+                    let n = parse(p.next(), "tick count")?;
+                    world.serving_per_tick.push((s, n));
+                }
+                "served" => {
+                    let _ti: usize = parse(p.next(), "served team index")?;
+                    let row: Vec<u32> = p
+                        .map(|tok| parse(Some(tok), "served count"))
+                        .collect::<Result<_, _>>()?;
+                    world.team_served.push(row);
+                }
+                "possample" => {
+                    let s = parse(p.next(), "possample second")?;
+                    let positions: Vec<LandmarkId> = p
+                        .map(|tok| parse(Some(tok), "possample landmark").map(LandmarkId))
+                        .collect::<Result<_, _>>()?;
+                    world.position_samples.push((s, positions));
+                }
+                "end" => {
+                    saw_end = true;
+                    break;
+                }
+                other => return Err(bad(format!("unknown record `{other}`"))),
+            }
+        }
+        if !saw_end {
+            return Err(bad("truncated snapshot (missing `end`)"));
+        }
+        if world.teams.len() != config.num_teams {
+            return Err(bad(format!(
+                "snapshot has {} teams, config says {}",
+                world.teams.len(),
+                config.num_teams
+            )));
+        }
+        if world.next_spec > world.specs.len() {
+            return Err(bad("next_spec beyond scheduled specs"));
+        }
+        Ok(world)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatcher::NearestRequestDispatcher;
+    use crate::engine::World;
+    use mobirescue_disaster::hurricane::Hurricane;
+    use mobirescue_disaster::scenario::DisasterScenario;
+    use mobirescue_roadnet::generator::CityConfig;
+
+    fn fixture() -> (City, HourlyConditions) {
+        let city = CityConfig::small().build(5);
+        let disaster = DisasterScenario::new(&city, Hurricane::florence(), 5);
+        let conditions = HourlyConditions::compute(&city.network, &disaster);
+        (city, conditions)
+    }
+
+    fn sample_requests(city: &City) -> Vec<RequestSpec> {
+        let n = city.network.num_segments() as u32;
+        (0..14)
+            .map(|i| RequestSpec {
+                appear_s: i * 173,
+                segment: SegmentId((i * 37) % n),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_round_trips_byte_stable() {
+        let (city, conditions) = fixture();
+        let config = SimConfig::small(0);
+        let mut world = World::new(&city, &conditions, &config).unwrap();
+        world.schedule_requests(&sample_requests(&city)).unwrap();
+        let mut d = NearestRequestDispatcher;
+        for _ in 0..3 {
+            world.run_epoch(&mut d, 0.0);
+        }
+        let snap = world.snapshot_text();
+        let restored = World::restore_text(&city, &conditions, &snap).unwrap();
+        assert_eq!(
+            restored.snapshot_text(),
+            snap,
+            "snapshot → restore → snapshot"
+        );
+    }
+
+    #[test]
+    fn restored_world_continues_identically() {
+        let (city, conditions) = fixture();
+        let config = SimConfig::small(0);
+        let mut world = World::new(&city, &conditions, &config).unwrap();
+        world.schedule_requests(&sample_requests(&city)).unwrap();
+        let mut d = NearestRequestDispatcher;
+        for _ in 0..2 {
+            world.run_epoch(&mut d, 0.0);
+        }
+        let snap = world.snapshot_text();
+        let mut restored = World::restore_text(&city, &conditions, &snap).unwrap();
+
+        // The dispatcher is stateless, so original and restored evolve in
+        // lockstep from the boundary.
+        let mut d2 = NearestRequestDispatcher;
+        for _ in 0..4 {
+            world.run_epoch(&mut d, 0.0);
+            restored.run_epoch(&mut d2, 0.0);
+        }
+        assert_eq!(world.snapshot_text(), restored.snapshot_text());
+    }
+
+    #[test]
+    fn rejects_malformed_snapshots() {
+        let (city, conditions) = fixture();
+        let reject = |text: &str| {
+            assert!(
+                World::restore_text(&city, &conditions, text).is_err(),
+                "snapshot should be rejected: {text:?}"
+            );
+        };
+        reject("");
+        reject("nope\n");
+        reject("mrworld 1\n");
+        reject("mrworld 1\nconfig 1 1 300 60 0 4 1800 -\n"); // no clock
+        reject("mrworld 1\nconfig 1 1 300 60 0 4 1800 -\nclock 0 0 0 0 0\n"); // no end
+        reject("mrworld 1\nconfig 1 1 300 60 0 4 1800 -\nclock 0 0 0 0 0\nbogus record\nend\n");
+        // Wrong team count vs config.
+        reject("mrworld 1\nconfig 2 5 300 60 0 4 1800 -\nclock 0 0 0 0 0\nend\n");
+        // Unknown segment in a spec.
+        reject(
+            "mrworld 1\nconfig 1 5 300 60 0 4 1800 -\nclock 0 0 0 0 0\nspec 0 0 999999\nteam 0 0.0 0.0 0 s route onboard\nend\n",
+        );
+    }
+}

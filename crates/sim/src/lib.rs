@@ -13,7 +13,9 @@
 //! * [`types`] — configuration, requests, orders, views, outcomes;
 //! * [`dispatcher`] — the [`dispatcher::Dispatcher`] trait all evaluated
 //!   methods implement, plus a naive nearest-request baseline;
-//! * [`engine`] — the second-resolution simulation loop;
+//! * [`engine`] — the second-resolution simulation loop, as a steppable
+//!   [`engine::World`] with epoch-boundary snapshot/restore (the batch
+//!   [`run`] wraps it);
 //! * [`metrics`] — one extraction helper per evaluation figure.
 
 #![warn(missing_docs)]
@@ -24,7 +26,7 @@ pub mod metrics;
 pub mod types;
 
 pub use dispatcher::{DispatchState, Dispatcher, NearestRequestDispatcher};
-pub use engine::{run, SimOutcome};
+pub use engine::{run, EpochReport, SimOutcome, World, WorldError};
 pub use types::{
     DispatchPlan, Order, RequestId, RequestOutcome, RequestSpec, RequestView, SimConfig, TeamId,
     TeamView,

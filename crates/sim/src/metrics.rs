@@ -7,7 +7,10 @@ use mobirescue_mobility::stats::Cdf;
 impl SimOutcome {
     /// Total requests picked up.
     pub fn total_served(&self) -> usize {
-        self.requests.iter().filter(|r| r.picked_up_s.is_some()).count()
+        self.requests
+            .iter()
+            .filter(|r| r.picked_up_s.is_some())
+            .count()
     }
 
     /// Total requests picked up within the timeliness bound.
@@ -83,7 +86,12 @@ impl SimOutcome {
 
     /// Figure 12: CDF of driving delays (seconds) over all served requests.
     pub fn driving_delay_cdf(&self) -> Cdf {
-        Cdf::new(self.requests.iter().filter_map(|r| r.driving_delay_s).collect())
+        Cdf::new(
+            self.requests
+                .iter()
+                .filter_map(|r| r.driving_delay_s)
+                .collect(),
+        )
     }
 
     /// Figure 13: CDF of rescue timeliness (seconds) over all served
@@ -140,7 +148,10 @@ mod tests {
     fn outcome() -> SimOutcome {
         let mk = |id: u32, appear: u32, picked: Option<u32>, delay: Option<f64>| RequestOutcome {
             id: RequestId(id),
-            spec: RequestSpec { appear_s: appear, segment: SegmentId(0) },
+            spec: RequestSpec {
+                appear_s: appear,
+                segment: SegmentId(0),
+            },
             picked_up_s: picked,
             delivered_s: picked.map(|p| p + 600),
             team: picked.map(|_| TeamId(0)),
@@ -150,9 +161,9 @@ mod tests {
             dispatcher: "test".into(),
             config: SimConfig::small(0),
             requests: vec![
-                mk(0, 0, Some(600), Some(500.0)),     // timely, hour 0
-                mk(1, 0, Some(4_000), Some(3_800.0)), // late, hour 1
-                mk(2, 100, None, None),               // unserved
+                mk(0, 0, Some(600), Some(500.0)),       // timely, hour 0
+                mk(1, 0, Some(4_000), Some(3_800.0)),   // late, hour 1
+                mk(2, 100, None, None),                 // unserved
                 mk(3, 3_700, Some(3_900), Some(100.0)), // timely, hour 1
             ],
             serving_per_tick: vec![(0, 2), (300, 4), (3_600, 6)],

@@ -92,7 +92,11 @@ impl SimConfig {
 
     /// A small configuration for tests.
     pub fn small(start_hour: u32) -> Self {
-        Self { num_teams: 6, duration_hours: 4, ..Self::paper(start_hour) }
+        Self {
+            num_teams: 6,
+            duration_hours: 4,
+            ..Self::paper(start_hour)
+        }
     }
 
     /// Total simulated seconds.
@@ -121,7 +125,9 @@ pub struct DispatchPlan {
 impl DispatchPlan {
     /// A plan of `n` empty orders.
     pub fn none(n: usize) -> Self {
-        Self { orders: vec![None; n] }
+        Self {
+            orders: vec![None; n],
+        }
     }
 }
 
@@ -173,7 +179,8 @@ impl RequestOutcome {
     /// Waiting time from appearance to pickup (the paper's *timeliness of
     /// rescuing*, which includes dispatch computation delay).
     pub fn timeliness_s(&self) -> Option<u32> {
-        self.picked_up_s.map(|p| p.saturating_sub(self.spec.appear_s))
+        self.picked_up_s
+            .map(|p| p.saturating_sub(self.spec.appear_s))
     }
 
     /// Whether the request was picked up within `threshold_s` of appearing.
@@ -196,7 +203,10 @@ mod tests {
     fn outcome_timeliness() {
         let out = RequestOutcome {
             id: RequestId(0),
-            spec: RequestSpec { appear_s: 100, segment: SegmentId(0) },
+            spec: RequestSpec {
+                appear_s: 100,
+                segment: SegmentId(0),
+            },
             picked_up_s: Some(400),
             delivered_s: None,
             team: Some(TeamId(1)),
@@ -205,7 +215,10 @@ mod tests {
         assert_eq!(out.timeliness_s(), Some(300));
         assert!(out.timely_served(300));
         assert!(!out.timely_served(299));
-        let unserved = RequestOutcome { picked_up_s: None, ..out };
+        let unserved = RequestOutcome {
+            picked_up_s: None,
+            ..out
+        };
         assert_eq!(unserved.timeliness_s(), None);
         assert!(!unserved.timely_served(10_000));
     }

@@ -31,7 +31,13 @@ fn serves_requests_before_the_disaster() {
     let (city, conds) = setup();
     let config = SimConfig::small(24); // day 1: pristine network
     let requests = spread_requests(&city, 20, 2 * 3_600);
-    let outcome = run(&city, &conds, &requests, &mut NearestRequestDispatcher, &config);
+    let outcome = run(
+        &city,
+        &conds,
+        &requests,
+        &mut NearestRequestDispatcher,
+        &config,
+    );
     assert!(
         outcome.total_served() >= 18,
         "only {}/20 served on a pristine network",
@@ -46,7 +52,13 @@ fn outcome_invariants_hold() {
     let (city, conds) = setup();
     let config = SimConfig::small(24);
     let requests = spread_requests(&city, 25, 3 * 3_600);
-    let outcome = run(&city, &conds, &requests, &mut NearestRequestDispatcher, &config);
+    let outcome = run(
+        &city,
+        &conds,
+        &requests,
+        &mut NearestRequestDispatcher,
+        &config,
+    );
     for r in &outcome.requests {
         if let Some(p) = r.picked_up_s {
             assert!(p >= r.spec.appear_s, "{} picked up before appearing", r.id);
@@ -68,8 +80,12 @@ fn outcome_invariants_hold() {
     assert_eq!(by_counter as usize, outcome.total_served());
     // Every picked-up request is eventually delivered (the run is long
     // enough) or still on board at the end — never duplicated.
-    let served_ids: Vec<_> =
-        outcome.requests.iter().filter(|r| r.picked_up_s.is_some()).map(|r| r.id).collect();
+    let served_ids: Vec<_> = outcome
+        .requests
+        .iter()
+        .filter(|r| r.picked_up_s.is_some())
+        .map(|r| r.id)
+        .collect();
     let unique: std::collections::HashSet<_> = served_ids.iter().collect();
     assert_eq!(unique.len(), served_ids.len());
 }
@@ -79,8 +95,20 @@ fn deterministic_across_runs() {
     let (city, conds) = setup();
     let config = SimConfig::small(24);
     let requests = spread_requests(&city, 15, 2 * 3_600);
-    let a = run(&city, &conds, &requests, &mut NearestRequestDispatcher, &config);
-    let b = run(&city, &conds, &requests, &mut NearestRequestDispatcher, &config);
+    let a = run(
+        &city,
+        &conds,
+        &requests,
+        &mut NearestRequestDispatcher,
+        &config,
+    );
+    let b = run(
+        &city,
+        &conds,
+        &requests,
+        &mut NearestRequestDispatcher,
+        &config,
+    );
     assert_eq!(a.requests, b.requests);
     assert_eq!(a.serving_per_tick, b.serving_per_tick);
 }
@@ -107,7 +135,13 @@ fn dispatch_latency_hurts_timeliness() {
     let (city, conds) = setup();
     let config = SimConfig::small(24);
     let requests = spread_requests(&city, 20, 2 * 3_600);
-    let fast = run(&city, &conds, &requests, &mut NearestRequestDispatcher, &config);
+    let fast = run(
+        &city,
+        &conds,
+        &requests,
+        &mut NearestRequestDispatcher,
+        &config,
+    );
     let slow = run(
         &city,
         &conds,
@@ -161,11 +195,24 @@ fn teams_respect_capacity() {
     // Many requests on one segment: a single team of capacity 2 must make
     // several hospital round-trips.
     let seg = SegmentId(40);
-    let requests: Vec<RequestSpec> =
-        (0..6).map(|_| RequestSpec { appear_s: 10, segment: seg }).collect();
-    let outcome = run(&city, &conds, &requests, &mut NearestRequestDispatcher, &config);
-    let mut pickups: Vec<u32> =
-        outcome.requests.iter().filter_map(|r| r.picked_up_s).collect();
+    let requests: Vec<RequestSpec> = (0..6)
+        .map(|_| RequestSpec {
+            appear_s: 10,
+            segment: seg,
+        })
+        .collect();
+    let outcome = run(
+        &city,
+        &conds,
+        &requests,
+        &mut NearestRequestDispatcher,
+        &config,
+    );
+    let mut pickups: Vec<u32> = outcome
+        .requests
+        .iter()
+        .filter_map(|r| r.picked_up_s)
+        .collect();
     pickups.sort_unstable();
     assert!(pickups.len() >= 4, "only {} pickups", pickups.len());
     // At most 2 pickups can share (approximately) the same pass; the third
@@ -183,8 +230,13 @@ fn serving_team_counts_are_bounded() {
     let (city, conds) = setup();
     let config = SimConfig::small(24);
     let requests = spread_requests(&city, 40, 3 * 3_600);
-    let outcome: SimOutcome =
-        run(&city, &conds, &requests, &mut NearestRequestDispatcher, &config);
+    let outcome: SimOutcome = run(
+        &city,
+        &conds,
+        &requests,
+        &mut NearestRequestDispatcher,
+        &config,
+    );
     for &(_, n) in outcome.serving_teams_per_slot() {
         assert!(n <= config.num_teams);
     }
@@ -197,7 +249,13 @@ fn position_sampling_records_training_data() {
     config.duration_hours = 2;
     config.sample_positions_every_s = Some(60);
     let requests = spread_requests(&city, 10, 3_600);
-    let outcome = run(&city, &conds, &requests, &mut NearestRequestDispatcher, &config);
+    let outcome = run(
+        &city,
+        &conds,
+        &requests,
+        &mut NearestRequestDispatcher,
+        &config,
+    );
     // One sample per minute for two hours.
     assert_eq!(outcome.position_samples.len(), 120);
     for (t, row) in &outcome.position_samples {
@@ -206,10 +264,7 @@ fn position_sampling_records_training_data() {
     }
     // Teams actually move between some samples.
     let first = &outcome.position_samples[0].1;
-    let moved = outcome
-        .position_samples
-        .iter()
-        .any(|(_, row)| row != first);
+    let moved = outcome.position_samples.iter().any(|(_, row)| row != first);
     assert!(moved, "no team ever moved");
 }
 

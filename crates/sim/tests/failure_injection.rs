@@ -39,7 +39,10 @@ fn engine_survives_progressive_damage() {
     let conditions = degrading_conditions(&city, 6);
     let num_segments = city.network.num_segments() as u32;
     let requests: Vec<RequestSpec> = (0..30)
-        .map(|i| RequestSpec { appear_s: i * 550, segment: SegmentId((i * 29) % num_segments) })
+        .map(|i| RequestSpec {
+            appear_s: i * 550,
+            segment: SegmentId((i * 29) % num_segments),
+        })
         .collect();
     let mut config = SimConfig::small(0);
     config.duration_hours = 6;
@@ -52,7 +55,10 @@ fn engine_survives_progressive_damage() {
     );
     // No panics, invariants hold, and the early (pristine) phase serves
     // some requests while the late (severed) phase cannot serve them all.
-    assert!(outcome.total_served() > 0, "nothing served before the damage");
+    assert!(
+        outcome.total_served() > 0,
+        "nothing served before the damage"
+    );
     assert!(
         outcome.total_served() < requests.len(),
         "progressive damage should strand some requests"
@@ -119,7 +125,10 @@ fn recovery_restores_service() {
     ]);
     let num_segments = city.network.num_segments() as u32;
     let requests: Vec<RequestSpec> = (0..10)
-        .map(|i| RequestSpec { appear_s: 60 + i * 120, segment: SegmentId((i * 31) % num_segments) })
+        .map(|i| RequestSpec {
+            appear_s: 60 + i * 120,
+            segment: SegmentId((i * 31) % num_segments),
+        })
         .collect();
     let mut config = SimConfig::small(0);
     config.duration_hours = 5;

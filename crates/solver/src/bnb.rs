@@ -39,10 +39,16 @@ impl CoverProblem {
     fn validate(&self) {
         let n = self.costs.len();
         assert!(n > 0, "need at least one variable");
-        assert!(self.costs.iter().all(|&c| c >= 0.0), "costs must be non-negative");
+        assert!(
+            self.costs.iter().all(|&c| c >= 0.0),
+            "costs must be non-negative"
+        );
         for (row, b) in &self.constraints {
             assert_eq!(row.len(), n, "constraint row has wrong width");
-            assert!(row.iter().all(|&a| a >= 0.0), "coefficients must be non-negative");
+            assert!(
+                row.iter().all(|&a| a >= 0.0),
+                "coefficients must be non-negative"
+            );
             assert!(*b >= 0.0, "requirements must be non-negative");
         }
     }
@@ -76,7 +82,9 @@ impl CoverProblem {
         // DFS over variables in cost order with a simple admissible bound.
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
-            self.costs[a].partial_cmp(&self.costs[b]).expect("costs are never NaN")
+            self.costs[a]
+                .partial_cmp(&self.costs[b])
+                .expect("costs are never NaN")
         });
         let mut state = Dfs {
             problem: self,
@@ -115,7 +123,11 @@ impl CoverProblem {
                 if gain <= 1e-12 {
                     continue;
                 }
-                let ratio = if self.costs[j] <= 1e-12 { f64::MAX } else { gain / self.costs[j] };
+                let ratio = if self.costs[j] <= 1e-12 {
+                    f64::MAX
+                } else {
+                    gain / self.costs[j]
+                };
                 if best.is_none_or(|(r, _)| ratio > r) {
                     best = Some((ratio, j));
                 }
@@ -192,10 +204,7 @@ mod tests {
         // both beats two cheap partial ones... or not — B&B decides.
         let p = CoverProblem {
             costs: vec![3.0, 2.0, 2.5],
-            constraints: vec![
-                (vec![1.0, 1.0, 0.0], 1.0),
-                (vec![1.0, 0.0, 1.0], 1.0),
-            ],
+            constraints: vec![(vec![1.0, 1.0, 0.0], 1.0), (vec![1.0, 0.0, 1.0], 1.0)],
         };
         let sol = p.solve().unwrap();
         assert_eq!(sol.cost, 3.0, "variable 0 alone covers everything");
@@ -213,7 +222,10 @@ mod tests {
 
     #[test]
     fn empty_constraints_select_nothing() {
-        let p = CoverProblem { costs: vec![1.0, 1.0], constraints: vec![] };
+        let p = CoverProblem {
+            costs: vec![1.0, 1.0],
+            constraints: vec![],
+        };
         let sol = p.solve().unwrap();
         assert_eq!(sol.cost, 0.0);
         assert!(sol.selected.iter().all(|&s| !s));
@@ -247,8 +259,10 @@ mod tests {
                             >= *b - 1e-9
                     });
                     if ok {
-                        let cost: f64 =
-                            (0..n).filter(|&j| mask & (1 << j) != 0).map(|j| p.costs[j]).sum();
+                        let cost: f64 = (0..n)
+                            .filter(|&j| mask & (1 << j) != 0)
+                            .map(|j| p.costs[j])
+                            .sum();
                         best = best.min(cost);
                     }
                 }
@@ -262,7 +276,10 @@ mod tests {
                         sol.cost
                     );
                 }
-                None => assert!(exhaustive.is_infinite(), "trial {trial}: bnb said infeasible"),
+                None => assert!(
+                    exhaustive.is_infinite(),
+                    "trial {trial}: bnb said infeasible"
+                ),
             }
         }
     }
@@ -281,7 +298,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "wrong width")]
     fn malformed_constraint_rejected() {
-        let p = CoverProblem { costs: vec![1.0, 2.0], constraints: vec![(vec![1.0], 1.0)] };
+        let p = CoverProblem {
+            costs: vec![1.0, 2.0],
+            constraints: vec![(vec![1.0], 1.0)],
+        };
         let _ = p.solve();
     }
 }

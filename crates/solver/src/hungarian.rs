@@ -28,7 +28,11 @@ impl CostMatrix {
     /// Panics if either dimension is zero.
     pub fn new(rows: usize, cols: usize, fill: f64) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        Self { rows, cols, data: vec![fill; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![fill; rows * cols],
+        }
     }
 
     /// Builds a matrix from a function of `(row, col)`.
@@ -110,7 +114,10 @@ pub fn min_cost_assignment(cost: &CostMatrix) -> Assignment {
                 row_to_col[*r] = Some(col);
             }
         }
-        return Assignment { row_to_col, total_cost: sol.total_cost };
+        return Assignment {
+            row_to_col,
+            total_cost: sol.total_cost,
+        };
     }
     let n = cost.rows();
     let m = cost.cols();
@@ -177,7 +184,10 @@ pub fn min_cost_assignment(cost: &CostMatrix) -> Assignment {
             }
         }
     }
-    Assignment { row_to_col, total_cost }
+    Assignment {
+        row_to_col,
+        total_cost,
+    }
 }
 
 #[cfg(test)]
@@ -195,7 +205,8 @@ mod tests {
             let mut out = Vec::new();
             for p in perms(n - 1) {
                 for i in 0..n {
-                    let mut q: Vec<usize> = p.iter().map(|&x| if x >= i { x + 1 } else { x }).collect();
+                    let mut q: Vec<usize> =
+                        p.iter().map(|&x| if x >= i { x + 1 } else { x }).collect();
                     q.push(i);
                     out.push(q);
                 }
@@ -205,7 +216,10 @@ mod tests {
         perms(cost.rows())
             .into_iter()
             .map(|perm| {
-                perm.iter().enumerate().map(|(r, &c)| cost.get(r, c)).sum::<f64>()
+                perm.iter()
+                    .enumerate()
+                    .map(|(r, &c)| cost.get(r, c))
+                    .sum::<f64>()
             })
             .fold(f64::INFINITY, f64::min)
     }
@@ -229,7 +243,10 @@ mod tests {
             let cost = CostMatrix::from_fn(n, n, |_, _| rng.random_range(0.0..100.0));
             let fast = min_cost_assignment(&cost).total_cost;
             let brute = brute_force(&cost);
-            assert!((fast - brute).abs() < 1e-9, "trial {trial}: {fast} vs {brute}");
+            assert!(
+                (fast - brute).abs() < 1e-9,
+                "trial {trial}: {fast} vs {brute}"
+            );
         }
     }
 

@@ -100,10 +100,7 @@ fn hungarian_handles_negative_costs() {
     });
     let sol = min_cost_assignment(&cost);
     assert_eq!(sol.total_cost, -14.0, "diagonal is optimal");
-    assert_eq!(
-        sol.row_to_col,
-        vec![Some(0), Some(1), Some(2)]
-    );
+    assert_eq!(sol.row_to_col, vec![Some(0), Some(1), Some(2)]);
 }
 
 #[test]

@@ -32,7 +32,11 @@ impl Kernel {
     ///
     /// Panics if `x` and `y` differ in length.
     pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
-        assert_eq!(x.len(), y.len(), "kernel arguments must have equal dimension");
+        assert_eq!(
+            x.len(),
+            y.len(),
+            "kernel arguments must have equal dimension"
+        );
         match *self {
             Kernel::Linear => dot(x, y),
             Kernel::Rbf { gamma } => {
@@ -70,7 +74,10 @@ mod tests {
 
     #[test]
     fn polynomial_matches_formula() {
-        let k = Kernel::Polynomial { degree: 2, coef0: 1.0 };
+        let k = Kernel::Polynomial {
+            degree: 2,
+            coef0: 1.0,
+        };
         // (1*2 + 1)^2 = 9
         assert_eq!(k.eval(&[1.0], &[2.0]), 9.0);
     }
@@ -82,7 +89,10 @@ mod tests {
         for k in [
             Kernel::Linear,
             Kernel::Rbf { gamma: 0.7 },
-            Kernel::Polynomial { degree: 3, coef0: 0.5 },
+            Kernel::Polynomial {
+                degree: 3,
+                coef0: 0.5,
+            },
         ] {
             assert!((k.eval(&x, &y) - k.eval(&y, &x)).abs() < 1e-12);
         }

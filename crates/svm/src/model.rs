@@ -35,7 +35,12 @@ impl SvmModel {
             coefficients.len(),
             "one coefficient per support vector"
         );
-        Self { kernel, support_vectors, coefficients, bias }
+        Self {
+            kernel,
+            support_vectors,
+            coefficients,
+            bias,
+        }
     }
 
     /// Number of support vectors retained.

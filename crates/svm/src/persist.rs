@@ -112,7 +112,9 @@ pub fn model_from_text(text: &str) -> Result<SvmModel, ParseModelError> {
         if line.trim().is_empty() {
             continue;
         }
-        let rest = line.strip_prefix("sv ").ok_or(ParseModelError::BadSupportVector)?;
+        let rest = line
+            .strip_prefix("sv ")
+            .ok_or(ParseModelError::BadSupportVector)?;
         let values: Vec<f64> = rest
             .split_whitespace()
             .map(f64::from_str)
@@ -130,7 +132,12 @@ pub fn model_from_text(text: &str) -> Result<SvmModel, ParseModelError> {
         coefficients.push(values[0]);
         support_vectors.push(sv);
     }
-    Ok(SvmModel::from_parts(kernel, support_vectors, coefficients, bias))
+    Ok(SvmModel::from_parts(
+        kernel,
+        support_vectors,
+        coefficients,
+        bias,
+    ))
 }
 
 #[cfg(test)]
@@ -165,7 +172,10 @@ mod tests {
         for kernel in [
             Kernel::Linear,
             Kernel::Rbf { gamma: 1.25 },
-            Kernel::Polynomial { degree: 3, coef0: 0.5 },
+            Kernel::Polynomial {
+                degree: 3,
+                coef0: 0.5,
+            },
         ] {
             let model = SvmModel::from_parts(kernel, vec![vec![1.0, -2.0]], vec![0.8], -0.3);
             let back = model_from_text(&model_to_text(&model)).expect("parses");
@@ -181,9 +191,18 @@ mod tests {
     fn rejects_malformed_text() {
         assert_eq!(model_from_text(""), Err(ParseModelError::BadHeader));
         assert_eq!(model_from_text("nope\n"), Err(ParseModelError::BadHeader));
-        assert_eq!(model_from_text("svm warp 1\n"), Err(ParseModelError::BadKernel));
-        assert_eq!(model_from_text("svm rbf x\n"), Err(ParseModelError::BadKernel));
-        assert_eq!(model_from_text("svm linear\n"), Err(ParseModelError::BadBias));
+        assert_eq!(
+            model_from_text("svm warp 1\n"),
+            Err(ParseModelError::BadKernel)
+        );
+        assert_eq!(
+            model_from_text("svm rbf x\n"),
+            Err(ParseModelError::BadKernel)
+        );
+        assert_eq!(
+            model_from_text("svm linear\n"),
+            Err(ParseModelError::BadBias)
+        );
         assert_eq!(
             model_from_text("svm linear\nbias 0.0\nxx 1 2\n"),
             Err(ParseModelError::BadSupportVector)

@@ -22,7 +22,10 @@ impl StandardScaler {
     pub fn fit(rows: &[Vec<f64>]) -> Self {
         assert!(!rows.is_empty(), "cannot fit a scaler to zero rows");
         let dim = rows[0].len();
-        assert!(rows.iter().all(|r| r.len() == dim), "rows differ in dimension");
+        assert!(
+            rows.iter().all(|r| r.len() == dim),
+            "rows differ in dimension"
+        );
         let n = rows.len() as f64;
         let mut means = vec![0.0; dim];
         for r in rows {
@@ -54,7 +57,10 @@ impl StandardScaler {
     pub fn from_parts(means: Vec<f64>, stds: Vec<f64>) -> Self {
         assert_eq!(means.len(), stds.len(), "means/stds length mismatch");
         assert!(!means.is_empty(), "scaler must have at least one feature");
-        assert!(stds.iter().all(|&s| s > 0.0), "standard deviations must be positive");
+        assert!(
+            stds.iter().all(|&s| s > 0.0),
+            "standard deviations must be positive"
+        );
         Self { means, stds }
     }
 

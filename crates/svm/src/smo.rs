@@ -28,7 +28,13 @@ pub struct SmoConfig {
 
 impl Default for SmoConfig {
     fn default() -> Self {
-        Self { c: 1.0, tolerance: 1e-3, max_passes: 5, max_iterations: 200, seed: 0 }
+        Self {
+            c: 1.0,
+            tolerance: 1e-3,
+            max_passes: 5,
+            max_iterations: 200,
+            seed: 0,
+        }
     }
 }
 
@@ -41,7 +47,10 @@ impl Default for SmoConfig {
 pub fn train(xs: &[Vec<f64>], ys: &[f64], kernel: Kernel, config: &SmoConfig) -> SvmModel {
     assert!(!xs.is_empty(), "cannot train on zero examples");
     assert_eq!(xs.len(), ys.len(), "one label per example");
-    assert!(ys.iter().all(|&y| y == 1.0 || y == -1.0), "labels must be ±1");
+    assert!(
+        ys.iter().all(|&y| y == 1.0 || y == -1.0),
+        "labels must be ±1"
+    );
     assert!(config.c > 0.0, "C must be positive");
     let n = xs.len();
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x736d_6f00);
@@ -81,9 +90,15 @@ pub fn train(xs: &[Vec<f64>], ys: &[f64], kernel: Kernel, config: &SmoConfig) ->
             let e_j = f(&alpha, b, j, &k) - ys[j];
             let (a_i_old, a_j_old) = (alpha[i], alpha[j]);
             let (lo, hi) = if ys[i] != ys[j] {
-                ((a_j_old - a_i_old).max(0.0), (config.c + a_j_old - a_i_old).min(config.c))
+                (
+                    (a_j_old - a_i_old).max(0.0),
+                    (config.c + a_j_old - a_i_old).min(config.c),
+                )
             } else {
-                ((a_i_old + a_j_old - config.c).max(0.0), (a_i_old + a_j_old).min(config.c))
+                (
+                    (a_i_old + a_j_old - config.c).max(0.0),
+                    (a_i_old + a_j_old).min(config.c),
+                )
             };
             if (hi - lo).abs() < 1e-12 {
                 continue;
@@ -100,10 +115,12 @@ pub fn train(xs: &[Vec<f64>], ys: &[f64], kernel: Kernel, config: &SmoConfig) ->
             let a_i = a_i_old + ys[i] * ys[j] * (a_j_old - a_j);
             alpha[i] = a_i;
             alpha[j] = a_j;
-            let b1 = b - e_i
+            let b1 = b
+                - e_i
                 - ys[i] * (a_i - a_i_old) * k[i * n + i]
                 - ys[j] * (a_j - a_j_old) * k[i * n + j];
-            let b2 = b - e_j
+            let b2 = b
+                - e_j
                 - ys[i] * (a_i - a_i_old) * k[i * n + j]
                 - ys[j] * (a_j - a_j_old) * k[j * n + j];
             b = if 0.0 < a_i && a_i < config.c {
@@ -156,7 +173,10 @@ mod tests {
         }
         let model = train(&xs, &ys, Kernel::Linear, &SmoConfig::default());
         assert_eq!(accuracy(&model, &xs, &ys), 1.0);
-        assert!(model.num_support_vectors() < xs.len(), "not all points are SVs");
+        assert!(
+            model.num_support_vectors() < xs.len(),
+            "not all points are SVs"
+        );
     }
 
     #[test]
@@ -191,19 +211,36 @@ mod tests {
         // Flip two labels.
         ys[0] = -1.0;
         ys[1] = 1.0;
-        let model = train(&xs, &ys, Kernel::Rbf { gamma: 0.5 }, &SmoConfig { c: 1.0, ..SmoConfig::default() });
+        let model = train(
+            &xs,
+            &ys,
+            Kernel::Rbf { gamma: 0.5 },
+            &SmoConfig {
+                c: 1.0,
+                ..SmoConfig::default()
+            },
+        );
         assert!(accuracy(&model, &xs, &ys) > 0.9);
     }
 
     #[test]
     fn deterministic_in_seed() {
-        let xs: Vec<Vec<f64>> =
-            (0..20).map(|i| vec![(i % 5) as f64, (i / 5) as f64]).collect();
-        let ys: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
-        let cfg = SmoConfig { seed: 3, ..SmoConfig::default() };
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
+            .collect();
+        let ys: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let cfg = SmoConfig {
+            seed: 3,
+            ..SmoConfig::default()
+        };
         let a = train(&xs, &ys, Kernel::Rbf { gamma: 0.8 }, &cfg);
         let b = train(&xs, &ys, Kernel::Rbf { gamma: 0.8 }, &cfg);
-        assert_eq!(a.decision_function(&[2.0, 2.0]), b.decision_function(&[2.0, 2.0]));
+        assert_eq!(
+            a.decision_function(&[2.0, 2.0]),
+            b.decision_function(&[2.0, 2.0])
+        );
     }
 
     #[test]

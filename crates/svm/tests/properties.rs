@@ -73,4 +73,29 @@ proptest! {
             prop_assert!((acc - expect).abs() < 1e-12);
         }
     }
+
+    /// Persisting a trained model is byte-stable: save → load → save
+    /// produces the identical text, so checkpoints can be compared and
+    /// deduplicated by content (the serving hot-swap path relies on this).
+    #[test]
+    fn persist_save_load_save_is_byte_stable(
+        seed in 0u64..50,
+        gamma in 0.05f64..2.0,
+        offsets in prop::collection::vec(-0.8f64..0.8, 8..24),
+        linear in any::<bool>(),
+    ) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (i, off) in offsets.iter().enumerate() {
+            let label = if i % 2 == 0 { 1.0 } else { -1.0 };
+            xs.push(vec![2.0 * label + off, 2.0 * label - off, *off]);
+            ys.push(label);
+        }
+        let kernel = if linear { Kernel::Linear } else { Kernel::Rbf { gamma } };
+        let cfg = SmoConfig { seed, ..SmoConfig::default() };
+        let model = train(&xs, &ys, kernel, &cfg);
+        let text = mobirescue_svm::model_to_text(&model);
+        let reloaded = mobirescue_svm::model_from_text(&text).expect("own output parses");
+        prop_assert_eq!(mobirescue_svm::model_to_text(&reloaded), text);
+    }
 }

@@ -54,7 +54,11 @@ fn main() {
             .city
             .regions
             .region_ids()
-            .map(|r| analysis.flow.region_daily_avg(&scenario.city.regions, r, day))
+            .map(|r| {
+                analysis
+                    .flow
+                    .region_daily_avg(&scenario.city.regions, r, day)
+            })
             .sum::<f64>()
             / scenario.city.regions.num_regions() as f64;
         println!(
@@ -68,7 +72,16 @@ fn main() {
 
     println!("\n-- Figure 4: rescued people per region --");
     for r in scenario.city.regions.region_ids() {
-        let marker = if r == scenario.city.downtown_region() { " (downtown)" } else { "" };
-        println!("  {}: {}{}", r, analysis.rescued_per_region[r.index()], marker);
+        let marker = if r == scenario.city.downtown_region() {
+            " (downtown)"
+        } else {
+            ""
+        };
+        println!(
+            "  {}: {}{}",
+            r,
+            analysis.rescued_per_region[r.index()],
+            marker
+        );
     }
 }

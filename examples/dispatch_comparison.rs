@@ -36,8 +36,16 @@ fn main() {
             m.name,
             m.outcome.total_served(),
             m.outcome.total_timely_served(),
-            if delay.is_empty() { f64::NAN } else { delay.quantile(0.5) },
-            if timeliness.is_empty() { f64::NAN } else { timeliness.quantile(0.5) },
+            if delay.is_empty() {
+                f64::NAN
+            } else {
+                delay.quantile(0.5)
+            },
+            if timeliness.is_empty() {
+                f64::NAN
+            } else {
+                timeliness.quantile(0.5)
+            },
             serving.iter().sum::<f64>() / serving.len().max(1) as f64,
         );
     }
@@ -53,7 +61,15 @@ fn main() {
     println!(
         "offline training: {} episodes on Hurricane Michael, reward {:.1} → {:.1}",
         cmp.training.episodes.len(),
-        cmp.training.episodes.first().map(|e| e.reward).unwrap_or(0.0),
-        cmp.training.episodes.last().map(|e| e.reward).unwrap_or(0.0),
+        cmp.training
+            .episodes
+            .first()
+            .map(|e| e.reward)
+            .unwrap_or(0.0),
+        cmp.training
+            .episodes
+            .last()
+            .map(|e| e.reward)
+            .unwrap_or(0.0),
     );
 }

@@ -40,8 +40,7 @@ fn main() {
         let flooded = scenario.flood().flooded_fraction(hour);
         let condition = scenario.network_condition(&city.network, hour);
         let operable = condition.operable_count() as f64 / total_segments as f64;
-        let scc = largest_component_size(&city.network, &condition) as f64
-            / total_landmarks as f64;
+        let scc = largest_component_size(&city.network, &condition) as f64 / total_landmarks as f64;
         println!(
             "{:>8} {:>10.2} {:>12.2} {:>11.1}% {:>11.1}% {:>13.1}%",
             scenario.hurricane().day_label(day),

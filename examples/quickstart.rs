@@ -91,6 +91,9 @@ fn main() {
     );
     let cdf = outcome.timeliness_cdf();
     if !cdf.is_empty() {
-        println!("median rescue timeliness: {:.1} min", cdf.quantile(0.5) / 60.0);
+        println!(
+            "median rescue timeliness: {:.1} min",
+            cdf.quantile(0.5) / 60.0
+        );
     }
 }

@@ -21,7 +21,11 @@ fn main() {
         .filter_map(|a| a.parse().ok())
         .next_back()
         .unwrap_or(11);
-    let base = if medium { ScenarioConfig::medium() } else { ScenarioConfig::small() };
+    let base = if medium {
+        ScenarioConfig::medium()
+    } else {
+        ScenarioConfig::small()
+    };
     let michael = base.clone().michael().build(seed);
     let florence = base.florence().build(seed);
 

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repo verification: the tier-1 gate (ROADMAP.md) plus formatting.
+#
+#   scripts/verify.sh          # tier-1 + cargo fmt --check
+#   scripts/verify.sh --full   # additionally run the whole workspace's tests
+#
+# Exits non-zero on the first failure.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" == "--full" ]]; then
+    echo "==> full: cargo test --workspace --release -q"
+    cargo test --workspace --release -q
+fi
+
+echo "verify: OK"

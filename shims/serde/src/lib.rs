@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry is unreachable in this build environment, and nothing in
+//! the workspace actually drives a serde serializer — every on-disk format
+//! is hand-rolled text (`svm::persist`, `rl::persist`, the serve crate's
+//! snapshots). This crate keeps the `#[derive(Serialize, Deserialize)]`
+//! annotations across the workspace compiling (they remain useful
+//! documentation of which types are wire-safe) by re-exporting no-op
+//! derive macros under the expected names.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

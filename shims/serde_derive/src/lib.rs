@@ -1,0 +1,24 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//!
+//! The workspace derives serde traits on its data types for downstream
+//! consumers, but no code path in the repo invokes a serde serializer (all
+//! persistence is hand-rolled text — see `svm::persist`, `rl::persist` and
+//! `serve::snapshot`). With no registry access the real `serde_derive`
+//! cannot be built, so these derives accept the same syntax (including
+//! `#[serde(...)]` helper attributes) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attrs; expands to
+/// nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attrs; expands to
+/// nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

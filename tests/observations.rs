@@ -18,7 +18,11 @@ fn observation1_factors_track_impact_severity() {
     // flow; altitude correlates positively.
     let (scenario, analysis) = analyzed();
     let t = analysis.table1(&scenario).expect("correlations defined");
-    assert!(t.precipitation < 0.0, "precipitation {:+.3}", t.precipitation);
+    assert!(
+        t.precipitation < 0.0,
+        "precipitation {:+.3}",
+        t.precipitation
+    );
     assert!(t.wind < 0.0, "wind {:+.3}", t.wind);
     assert!(t.altitude > 0.0, "altitude {:+.3}", t.altitude);
 }
@@ -54,9 +58,18 @@ fn observation2_flow_collapses_then_partially_recovers() {
     let before = (city_avg(tl.disaster_start_day - 4) + city_avg(tl.disaster_start_day - 3)) / 2.0;
     let during = city_avg(tl.peak_hour() / 24);
     let after = (city_avg(tl.disaster_end_day + 2) + city_avg(tl.disaster_end_day + 3)) / 2.0;
-    assert!(during < before * 0.4, "no collapse: before {before:.2}, during {during:.2}");
-    assert!(after > during, "no recovery: during {during:.2}, after {after:.2}");
-    assert!(after < before, "recovery should stay below baseline (Figure 5)");
+    assert!(
+        during < before * 0.4,
+        "no collapse: before {before:.2}, during {during:.2}"
+    );
+    assert!(
+        after > during,
+        "no recovery: during {during:.2}, after {after:.2}"
+    );
+    assert!(
+        after < before,
+        "recovery should stay below baseline (Figure 5)"
+    );
 }
 
 #[test]
