@@ -16,6 +16,7 @@ use mobirescue_core::timeseries::TimeSeriesPredictor;
 use mobirescue_core::training::busiest_request_day;
 use mobirescue_mobility::map_match::MapMatcher;
 use mobirescue_roadnet::graph::{LandmarkId, SegmentId};
+use mobirescue_roadnet::planner::RoutePlanner;
 use mobirescue_sim::dispatcher::{DispatchState, Dispatcher};
 use mobirescue_sim::types::{RequestId, RequestView, TeamId, TeamView};
 use std::hint::black_box;
@@ -56,7 +57,7 @@ fn fixture(num_teams: usize, num_requests: usize) -> Fixture {
     }
 }
 
-fn state<'a>(f: &'a Fixture) -> DispatchState<'a> {
+fn state<'a>(f: &'a Fixture, planner: &'a RoutePlanner<'a>) -> DispatchState<'a> {
     DispatchState {
         now_s: 0,
         hour: f.hour,
@@ -64,6 +65,7 @@ fn state<'a>(f: &'a Fixture) -> DispatchState<'a> {
         waiting: &f.waiting,
         net: &f.scenario.city.network,
         condition: f.scenario.conditions.at(f.hour),
+        planner,
         hospitals: &f.scenario.city.hospitals,
         depot: f.scenario.city.depot,
     }
@@ -74,17 +76,18 @@ fn bench_dispatch_round(c: &mut Criterion) {
     group.sample_size(10);
     for &(teams, requests) in &[(20usize, 20usize), (60, 60)] {
         let f = fixture(teams, requests);
+        let planner = RoutePlanner::new(&f.scenario.city.network);
         let predictor = RequestPredictor::train_on(&f.scenario, &PredictorConfig::default());
         let mut mr =
             MobiRescueDispatcher::new(&f.scenario, Some(predictor), RlDispatchConfig::default());
         mr.set_training(false);
         group.bench_function(BenchmarkId::new("mobirescue_rl", teams), |b| {
-            b.iter(|| black_box(mr.dispatch(&state(&f))))
+            b.iter(|| black_box(mr.dispatch(&state(&f, &planner))))
         });
 
         let mut schedule = ScheduleDispatcher::default();
         group.bench_function(BenchmarkId::new("schedule_ip", teams), |b| {
-            b.iter(|| black_box(schedule.dispatch(&state(&f))))
+            b.iter(|| black_box(schedule.dispatch(&state(&f, &planner))))
         });
 
         let matcher = MapMatcher::new(&f.scenario.city.network);
@@ -93,7 +96,7 @@ fn bench_dispatch_round(c: &mut Criterion) {
         let ts = TimeSeriesPredictor::fit(&f.scenario.city.network, &matcher, &rescues, day, 3);
         let mut rescue = RescueDispatcher::new(ts);
         group.bench_function(BenchmarkId::new("rescue_ip", teams), |b| {
-            b.iter(|| black_box(rescue.dispatch(&state(&f))))
+            b.iter(|| black_box(rescue.dispatch(&state(&f, &planner))))
         });
     }
     group.finish();

@@ -8,6 +8,9 @@
 use mobirescue_bench::ExperimentScale;
 use mobirescue_core::experiment::{run_comparison, Comparison};
 
+/// A named invariant checked against every seed's comparison.
+type Check = (&'static str, fn(&Comparison) -> bool);
+
 fn main() {
     let mut scale = ExperimentScale::Small;
     let mut seeds = 5u64;
@@ -29,7 +32,7 @@ fn main() {
         }
     }
 
-    let checks: Vec<(&str, fn(&Comparison) -> bool)> = vec![
+    let checks: Vec<Check> = vec![
         ("timely served: MR > Rescue", |c| {
             c.method("MobiRescue").outcome.total_timely_served()
                 > c.method("Rescue").outcome.total_timely_served()

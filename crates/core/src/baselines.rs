@@ -16,8 +16,8 @@
 //! Figure 14 while MobiRescue's tracks demand.
 
 use crate::timeseries::TimeSeriesPredictor;
-use mobirescue_roadnet::graph::SegmentId;
-use mobirescue_roadnet::routing::{FreeFlow, Router};
+use mobirescue_roadnet::graph::{LandmarkId, SegmentId};
+use mobirescue_roadnet::pool;
 use mobirescue_sim::dispatcher::{DispatchState, Dispatcher};
 use mobirescue_sim::types::{DispatchPlan, Order, TeamView};
 use mobirescue_solver::hungarian::{min_cost_assignment, CostMatrix, FORBIDDEN};
@@ -64,13 +64,24 @@ fn assign(
     if teams.is_empty() || targets.is_empty() {
         return vec![None; teams.len()];
     }
-    let router = Router::new(state.net);
+    // One SSSP per distinct team location, fanned across cores and shared
+    // through the epoch cache — previously every team ran its own full
+    // Dijkstra per round, and damage-unaware rounds kept re-deriving the
+    // free-flow tree that never changes.
+    if damage_aware {
+        state.prewarm_team_routes(teams);
+    } else {
+        let sources: Vec<LandmarkId> = teams.iter().map(|t| t.location).collect();
+        state
+            .planner
+            .prewarm_free_flow(&sources, pool::available_threads());
+    }
     let mut cost = CostMatrix::new(teams.len(), targets.len(), FORBIDDEN);
     for (r, team) in teams.iter().enumerate() {
         let sp = if damage_aware {
-            router.shortest_paths_from(state.condition, team.location)
+            state.planner.paths_from(state.condition, team.location)
         } else {
-            router.shortest_paths_from(&FreeFlow, team.location)
+            state.planner.free_flow_paths_from(team.location)
         };
         for (c, &(seg, penalty)) in targets.iter().enumerate() {
             let to = state.net.segment(seg).from;

@@ -127,6 +127,11 @@ impl FloodField {
         self.bbox
     }
 
+    /// Edge length of one raster cell, meters.
+    pub fn cell_size_m(&self) -> f64 {
+        self.cell_m
+    }
+
     fn cell_index(&self, p: GeoPoint) -> usize {
         let (e, n) = p.local_xy_m(self.bbox.south_west);
         let (width_m, height_m) = {

@@ -12,8 +12,9 @@ use crate::trips::Trip;
 use mobirescue_disaster::scenario::DisasterScenario;
 use mobirescue_roadnet::damage::NetworkCondition;
 use mobirescue_roadnet::graph::{RoadNetwork, SegmentId};
+use mobirescue_roadnet::planner::RoutePlanner;
+use mobirescue_roadnet::pool;
 use mobirescue_roadnet::regions::{RegionId, RegionPartition};
-use mobirescue_roadnet::routing::Router;
 use serde::{Deserialize, Serialize};
 
 /// Per-hour network conditions (G̃ at every hour), precomputed once.
@@ -82,45 +83,32 @@ impl FlowField {
     /// Unroutable trips (origin or destination cut off by flooding) are
     /// dropped.
     ///
-    /// Routing is embarrassingly parallel (one Dijkstra per trip), so the
-    /// work is spread over the available cores; results are deterministic
-    /// because per-thread partial counts are merged by addition.
+    /// Trips are grouped by departure hour so each hour's damage condition
+    /// is materialized into a flat cost snapshot exactly once (see
+    /// [`RoutePlanner`]); within an hour the point queries fan out over
+    /// the available cores. Results are deterministic: routes come back in
+    /// input order and counts are merged by addition.
     pub fn from_trips(net: &RoadNetwork, trips: &[Trip], conditions: &HourlyConditions) -> Self {
         let hours = conditions.hours();
-        let num_segments = net.num_segments();
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .clamp(1, 16);
-        let chunk = trips.len().div_ceil(threads.max(1)).max(1);
-        let partials: Vec<Vec<u32>> = std::thread::scope(|scope| {
-            trips
-                .chunks(chunk)
-                .map(|slice| {
-                    scope.spawn(move || {
-                        let router = Router::new(net);
-                        let mut counts = vec![0u32; num_segments * hours as usize];
-                        for trip in slice {
-                            let hour = trip.depart_hour().min(hours - 1);
-                            let cond = conditions.at(hour);
-                            if let Some(route) = router.shortest_path(cond, trip.from, trip.to) {
-                                for sid in route.segments {
-                                    counts[sid.index() * hours as usize + hour as usize] += 1;
-                                }
-                            }
-                        }
-                        counts
-                    })
-                })
-                .collect::<Vec<_>>()
-                .into_iter()
-                .map(|h| h.join().expect("routing threads never panic"))
-                .collect()
-        });
-        let mut field = Self::zeros(num_segments, hours);
-        for partial in partials {
-            for (acc, x) in field.counts.iter_mut().zip(partial) {
-                *acc += x;
+        let planner = RoutePlanner::new(net);
+        let threads = pool::available_threads().clamp(1, 16);
+        let mut by_hour: Vec<Vec<&Trip>> = vec![Vec::new(); hours as usize];
+        for trip in trips {
+            by_hour[trip.depart_hour().min(hours - 1) as usize].push(trip);
+        }
+        let mut field = Self::zeros(net.num_segments(), hours);
+        for (hour, hour_trips) in by_hour.iter().enumerate() {
+            if hour_trips.is_empty() {
+                continue;
+            }
+            let cond = conditions.at(hour as u32);
+            let routes = pool::parallel_map(threads, hour_trips, |_, trip| {
+                planner.route(cond, trip.from, trip.to)
+            });
+            for route in routes.into_iter().flatten() {
+                for sid in route.segments {
+                    field.counts[sid.index() * hours as usize + hour] += 1;
+                }
             }
         }
         field
@@ -204,6 +192,7 @@ mod tests {
     use crate::person::PersonId;
     use mobirescue_disaster::hurricane::Hurricane;
     use mobirescue_roadnet::generator::CityConfig;
+    use mobirescue_roadnet::routing::Router;
 
     fn setup() -> (
         mobirescue_roadnet::generator::City,

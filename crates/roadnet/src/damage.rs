@@ -9,6 +9,21 @@
 use crate::graph::{RoadNetwork, RoadSegment, SegmentId};
 use crate::routing::TravelCost;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Generation reserved for the static free-flow cost model (never assigned
+/// to a [`NetworkCondition`]).
+pub(crate) const FREE_FLOW_GENERATION: u64 = 0;
+
+/// Process-wide generation counter. Every [`NetworkCondition`] value with
+/// distinct contents carries a distinct generation: a fresh one is drawn at
+/// construction and after every mutation, so cached cost snapshots keyed by
+/// generation (see [`crate::planner::RoutePlanner`]) can never be stale.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(FREE_FLOW_GENERATION + 1);
+
+fn fresh_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Condition of a single road segment under the current disaster state.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -48,9 +63,21 @@ impl Default for SegmentCondition {
 /// cond.block(ab);
 /// assert!(Router::new(&net).shortest_path(&cond, a, b).is_none());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NetworkCondition {
     conditions: Vec<SegmentCondition>,
+    /// Cache-invalidation tag: process-unique for these contents. A clone
+    /// shares its source's generation (same contents, same cached costs);
+    /// every mutation draws a fresh one.
+    generation: u64,
+}
+
+impl PartialEq for NetworkCondition {
+    fn eq(&self, other: &Self) -> bool {
+        // The generation is a cache tag, not part of the condition's value:
+        // two independently built but identical conditions are equal.
+        self.conditions == other.conditions
+    }
 }
 
 impl NetworkCondition {
@@ -58,7 +85,17 @@ impl NetworkCondition {
     pub fn pristine(net: &RoadNetwork) -> Self {
         Self {
             conditions: vec![SegmentCondition::default(); net.num_segments()],
+            generation: fresh_generation(),
         }
+    }
+
+    /// The condition's cost generation: a process-unique tag shared only by
+    /// clones with identical contents. [`crate::planner::RoutePlanner`]
+    /// keys its per-epoch cost snapshots and shortest-path cache on this,
+    /// so any damage event (block/unblock/slowdown) automatically
+    /// invalidates every cached route derived from the old state.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of segments tracked.
@@ -87,6 +124,7 @@ impl NetworkCondition {
     /// Panics if `seg` is out of range.
     pub fn block(&mut self, seg: SegmentId) {
         self.conditions[seg.index()].operable = false;
+        self.generation = fresh_generation();
     }
 
     /// Restores `seg` to passable (keeping its speed factor).
@@ -96,6 +134,7 @@ impl NetworkCondition {
     /// Panics if `seg` is out of range.
     pub fn unblock(&mut self, seg: SegmentId) {
         self.conditions[seg.index()].operable = true;
+        self.generation = fresh_generation();
     }
 
     /// Sets the speed multiplier of `seg`.
@@ -109,6 +148,7 @@ impl NetworkCondition {
             "speed factor must be in (0, 1], got {factor}"
         );
         self.conditions[seg.index()].speed_factor = factor;
+        self.generation = fresh_generation();
     }
 
     /// Whether `seg` is passable.
@@ -205,6 +245,31 @@ mod tests {
         let (net, fwd) = line();
         let mut cond = NetworkCondition::pristine(&net);
         cond.set_speed_factor(fwd[0], 0.0);
+    }
+
+    #[test]
+    fn generation_tracks_every_mutation() {
+        let (net, fwd) = line();
+        let mut a = NetworkCondition::pristine(&net);
+        let b = NetworkCondition::pristine(&net);
+        // Distinct values never share a generation, even when equal.
+        assert_eq!(a, b);
+        assert_ne!(a.generation(), b.generation());
+        // A clone shares contents and generation until either mutates.
+        let c = a.clone();
+        assert_eq!(c.generation(), a.generation());
+        let before = a.generation();
+        a.block(fwd[0]);
+        assert_ne!(a.generation(), before);
+        assert_eq!(c.generation(), before);
+        let blocked = a.generation();
+        a.unblock(fwd[0]);
+        assert_ne!(a.generation(), blocked);
+        let unblocked = a.generation();
+        a.set_speed_factor(fwd[0], 0.5);
+        assert_ne!(a.generation(), unblocked);
+        // Equality ignores the tag: a is back to operable but slowed.
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -17,7 +17,12 @@
 //! * [`connectivity`] — reachability and strongly connected components of
 //!   the damaged network;
 //! * [`generator`] — a procedural Charlotte-like city (grid + arterials +
-//!   downtown, hospitals, depot) replacing the OSM import.
+//!   downtown, hospitals, depot) replacing the OSM import;
+//! * [`csr`], [`planner`], [`pool`] — the routing acceleration layer:
+//!   frozen CSR adjacency, epoch-scoped cost snapshots, a shared
+//!   shortest-path cache keyed by damage generation, and a std-only
+//!   scoped thread pool for per-team SSSP fan-out. Results are
+//!   bit-identical to [`routing::Router`] by construction.
 //!
 //! # Examples
 //!
@@ -35,17 +40,22 @@
 #![warn(missing_docs)]
 
 pub mod connectivity;
+pub mod csr;
 pub mod damage;
 pub mod generator;
 pub mod geo;
 pub mod graph;
+pub mod planner;
+pub mod pool;
 pub mod regions;
 pub mod routing;
 
 pub use connectivity::{largest_component_size, reachable_from, strongly_connected_components};
+pub use csr::{CostSnapshot, CsrGraph};
 pub use damage::{NetworkCondition, SegmentCondition};
 pub use generator::{City, CityConfig};
 pub use geo::{BoundingBox, GeoPoint};
 pub use graph::{Landmark, LandmarkId, RoadClass, RoadNetwork, RoadSegment, SegmentId};
+pub use planner::{PlannerStats, RoutePlanner};
 pub use regions::{RegionId, RegionPartition};
 pub use routing::{FreeFlow, Route, Router, ShortestPaths, TravelCost};

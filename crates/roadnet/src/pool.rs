@@ -1,0 +1,117 @@
+//! Std-only scoped thread pool for fanning independent routing work
+//! across cores.
+//!
+//! The workspace vendors its few dependencies as std-only shims, so this
+//! follows the same spirit: no rayon, just [`std::thread::scope`] over a
+//! channel work queue. [`parallel_map`] is shaped for the per-epoch
+//! dispatch pattern — a batch of independent single-source shortest-path
+//! runs (one per rescue team) whose results must come back **in input
+//! order** so downstream dispatch stays deterministic regardless of
+//! thread count.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Number of worker threads worth spawning on this machine.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, using up to `threads` scoped workers, and
+/// returns the results in input order.
+///
+/// Every index is queued up front and the sender dropped before workers
+/// start, so `recv` under the queue lock never blocks: it either pops the
+/// next index or observes the closed channel and exits. Results land in
+/// their input slot, so the output is identical to the sequential
+/// `items.iter().map(..)` no matter how the items interleave across
+/// threads. `threads <= 1` (or a batch of one) runs inline with zero
+/// spawn overhead.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let (tx, rx) = mpsc::channel();
+    for i in 0..items.len() {
+        tx.send(i).expect("receiver is alive");
+    }
+    drop(tx);
+    let queue = Mutex::new(rx);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("queue lock poisoned").recv();
+                let Ok(i) = next else { break };
+                let r = f(i, &items[i]);
+                *slots[i].lock().expect("slot lock poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock poisoned")
+                .expect("every queued index was processed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(8, &items, |i, &x| {
+            assert_eq!(i, x);
+            x * x
+        });
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_sequential_for_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(2654435761)).collect();
+        for threads in [0, 1, 2, 3, 7, 64] {
+            let out = parallel_map(threads, &items, |_, &x| x.wrapping_mul(2654435761));
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..256).collect();
+        let out = parallel_map(4, &items, |_, &x| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), items.len());
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u8> = Vec::new();
+        assert!(parallel_map(4, &none, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(4, &[9u8], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

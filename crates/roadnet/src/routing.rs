@@ -51,10 +51,13 @@ pub struct Route {
     pub length_m: f64,
 }
 
+/// Min-heap entry shared by the naive Dijkstra here and the CSR variant in
+/// [`crate::csr`] — identical ordering (cost, then node id) is part of the
+/// exact-equivalence contract between the two implementations.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct HeapEntry {
-    cost: f64,
-    node: u32,
+pub(crate) struct HeapEntry {
+    pub(crate) cost: f64,
+    pub(crate) node: u32,
 }
 
 impl Eq for HeapEntry {}
@@ -85,6 +88,20 @@ pub struct ShortestPaths {
 }
 
 impl ShortestPaths {
+    /// Assembles a result from raw Dijkstra output (the CSR routing path in
+    /// [`crate::csr`] produces the same representation).
+    pub(crate) fn from_parts(
+        source: LandmarkId,
+        dist: Vec<f64>,
+        prev_seg: Vec<Option<SegmentId>>,
+    ) -> Self {
+        Self {
+            source,
+            dist,
+            prev_seg,
+        }
+    }
+
     /// The source landmark of this run.
     pub fn source(&self) -> LandmarkId {
         self.source
@@ -104,6 +121,13 @@ impl ShortestPaths {
 
     /// Reconstructs the route from the source to `to`, or `None` when
     /// unreachable.
+    ///
+    /// Every call walks the predecessor chain once — O(route length) — to
+    /// assemble the segment list, the landmark list, and `length_m` in a
+    /// single pass; there is no cheaper way to produce the segments, and
+    /// `length_m` rides along for free. Callers that only need the travel
+    /// time must use [`ShortestPaths::travel_time_s`] (O(1)) instead of
+    /// reconstructing a route.
     pub fn route_to(&self, net: &RoadNetwork, to: LandmarkId) -> Option<Route> {
         if !self.dist[to.index()].is_finite() {
             return None;
@@ -396,6 +420,35 @@ mod tests {
                 assert!(direct <= via + 1e-9, "d({to}) {direct} > via {mid} {via}");
             }
         }
+    }
+
+    #[test]
+    fn point_query_early_exit_stops_at_goal() {
+        use std::cell::Cell;
+        // Counts edge-cost evaluations: one per relaxation attempt, so a
+        // run that settles fewer nodes evaluates strictly fewer edges.
+        struct Counting<'a>(&'a Cell<usize>);
+        impl TravelCost for Counting<'_> {
+            fn travel_time_s(&self, seg: &RoadSegment) -> Option<f64> {
+                self.0.set(self.0.get() + 1);
+                Some(seg.free_flow_time_s())
+            }
+        }
+        let (net, ids) = grid3();
+        let router = Router::new(&net);
+        let calls = Cell::new(0);
+        router.shortest_paths_from(&Counting(&calls), ids[0]);
+        let full = calls.get();
+        assert_eq!(full, net.num_segments(), "full tree relaxes every edge");
+        calls.set(0);
+        // Goal adjacent to the source: the query must stop after settling
+        // the goal, far short of exhausting the graph.
+        router.shortest_path(&Counting(&calls), ids[0], ids[1]);
+        let early = calls.get();
+        assert!(
+            early < full / 2,
+            "early exit evaluated {early} of {full} edges"
+        );
     }
 
     #[test]

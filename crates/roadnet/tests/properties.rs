@@ -3,9 +3,28 @@
 use mobirescue_roadnet::damage::NetworkCondition;
 use mobirescue_roadnet::generator::CityConfig;
 use mobirescue_roadnet::geo::GeoPoint;
-use mobirescue_roadnet::graph::{LandmarkId, SegmentId};
+use mobirescue_roadnet::graph::{LandmarkId, RoadNetwork, SegmentId};
 use mobirescue_roadnet::routing::{FreeFlow, Router};
+use mobirescue_roadnet::{CsrGraph, RoutePlanner};
 use proptest::prelude::*;
+
+/// Applies a reproducible random damage pattern: `blocked` segments are cut
+/// and `slowed` segments run at a reduced speed factor.
+fn damaged_condition(
+    net: &RoadNetwork,
+    blocked: &[u32],
+    slowed: &[(u32, f64)],
+) -> NetworkCondition {
+    let num_segs = net.num_segments() as u32;
+    let mut cond = NetworkCondition::pristine(net);
+    for &s in blocked {
+        cond.block(SegmentId(s % num_segs));
+    }
+    for &(s, f) in slowed {
+        cond.set_speed_factor(SegmentId(s % num_segs), f);
+    }
+    cond
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -105,6 +124,131 @@ proptest! {
                     prop_assert!(cond.is_operable(sid), "route uses blocked {sid}");
                 }
             }
+        }
+    }
+
+    /// The CSR full-tree Dijkstra is *bit-identical* to the naive adjacency
+    /// Dijkstra on arbitrary networks under arbitrary damage — the exact
+    /// equivalence contract of the acceleration layer. Distances are
+    /// compared with `==`, not a tolerance.
+    #[test]
+    fn csr_tree_bit_identical_to_naive(
+        seed in 0u64..100,
+        source in 0u32..10_000,
+        blocked in prop::collection::vec(0u32..10_000, 0..40),
+        slowed in prop::collection::vec((0u32..10_000, 0.05f64..1.0), 0..20),
+    ) {
+        let city = CityConfig::small().build(seed);
+        let net = &city.network;
+        let cond = damaged_condition(net, &blocked, &slowed);
+        let from = LandmarkId(source % net.num_landmarks() as u32);
+        let naive = Router::new(net).shortest_paths_from(&cond, from);
+        let csr = CsrGraph::build(net);
+        let fast = csr.shortest_paths(&csr.snapshot_condition(net, &cond), from);
+        prop_assert_eq!(naive.travel_times(), fast.travel_times());
+        for lm in net.landmark_ids() {
+            prop_assert_eq!(naive.route_to(net, lm), fast.route_to(net, lm));
+        }
+    }
+
+    /// Planner point queries (early-exit Dijkstra or cached tree) and
+    /// nearest-target queries (multi-target early exit) return exactly what
+    /// the naive router returns, before and after the cache is populated.
+    #[test]
+    fn planner_queries_match_naive_router(
+        seed in 0u64..100,
+        source in 0u32..10_000,
+        to in 0u32..10_000,
+        targets in prop::collection::vec(0u32..10_000, 0..12),
+        blocked in prop::collection::vec(0u32..10_000, 0..40),
+    ) {
+        let city = CityConfig::small().build(seed);
+        let net = &city.network;
+        let n = net.num_landmarks() as u32;
+        let cond = damaged_condition(net, &blocked, &[]);
+        let from = LandmarkId(source % n);
+        let to = LandmarkId(to % n);
+        let targets: Vec<LandmarkId> =
+            targets.into_iter().map(|t| LandmarkId(t % n)).collect();
+        let router = Router::new(net);
+        let planner = RoutePlanner::new(net);
+        // Cold pass: early-exit point / multi-target queries, no cached tree.
+        prop_assert_eq!(
+            planner.route(&cond, from, to),
+            router.shortest_path(&cond, from, to)
+        );
+        prop_assert_eq!(
+            planner.nearest_target(&cond, from, &targets),
+            router.nearest_target(&cond, from, &targets)
+        );
+        // Warm pass: the same queries served from the cached full tree.
+        planner.prewarm(&cond, &[from], 2);
+        prop_assert_eq!(
+            planner.route(&cond, from, to),
+            router.shortest_path(&cond, from, to)
+        );
+        prop_assert_eq!(
+            planner.nearest_target(&cond, from, &targets),
+            router.nearest_target(&cond, from, &targets)
+        );
+    }
+
+    /// Mutating the condition (a generation bump) invalidates the cache and
+    /// every post-bump answer matches a fresh naive run on the mutated
+    /// network — stale trees can never leak across damage events.
+    #[test]
+    fn generation_bump_keeps_cache_coherent(
+        seed in 0u64..100,
+        source in 0u32..10_000,
+        first in prop::collection::vec(0u32..10_000, 0..25),
+        second in prop::collection::vec(0u32..10_000, 1..25),
+    ) {
+        let city = CityConfig::small().build(seed);
+        let net = &city.network;
+        let num_segs = net.num_segments() as u32;
+        let from = LandmarkId(source % net.num_landmarks() as u32);
+        let router = Router::new(net);
+        let planner = RoutePlanner::new(net);
+        let mut cond = damaged_condition(net, &first, &[]);
+        let before = planner.paths_from(&cond, from);
+        prop_assert_eq!(
+            router.shortest_paths_from(&cond, from).travel_times(),
+            before.travel_times()
+        );
+        for &s in &second {
+            cond.block(SegmentId(s % num_segs));
+        }
+        let after = planner.paths_from(&cond, from);
+        prop_assert_eq!(
+            router.shortest_paths_from(&cond, from).travel_times(),
+            after.travel_times()
+        );
+    }
+
+    /// Parallel prewarm over any thread count yields the same cached trees
+    /// as sequential routing — the fan-out changes wall-clock only, never
+    /// results.
+    #[test]
+    fn parallel_prewarm_matches_sequential(
+        seed in 0u64..100,
+        sources in prop::collection::vec(0u32..10_000, 1..16),
+        threads in 1usize..8,
+        blocked in prop::collection::vec(0u32..10_000, 0..30),
+    ) {
+        let city = CityConfig::small().build(seed);
+        let net = &city.network;
+        let n = net.num_landmarks() as u32;
+        let cond = damaged_condition(net, &blocked, &[]);
+        let sources: Vec<LandmarkId> =
+            sources.into_iter().map(|s| LandmarkId(s % n)).collect();
+        let planner = RoutePlanner::new(net);
+        planner.prewarm(&cond, &sources, threads);
+        let router = Router::new(net);
+        for &from in &sources {
+            prop_assert_eq!(
+                router.shortest_paths_from(&cond, from).travel_times(),
+                planner.paths_from(&cond, from).travel_times()
+            );
         }
     }
 }

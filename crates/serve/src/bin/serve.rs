@@ -81,7 +81,7 @@ fn ingest_epoch(service: &Arc<DispatchService>, scenario: &Arc<Scenario>, epoch:
                         shard,
                         segment: SegmentId((epoch * 97 + shard as u32) % 500),
                         hour,
-                        flooded: epoch % 2 == 0,
+                        flooded: epoch.is_multiple_of(2),
                     })
                     .expect("in-range shard");
                 accepted

@@ -111,6 +111,10 @@ pub struct ShardMetrics {
     pub delivered: usize,
     /// Model bundle version the shard's dispatcher was built from.
     pub model_version: u64,
+    /// Shortest-path-tree cache hits in the shard's route planner.
+    pub routing_hits: u64,
+    /// Shortest-path-tree cache misses (trees actually computed).
+    pub routing_misses: u64,
 }
 
 /// A point-in-time aggregate of the whole service, assembled without
@@ -183,7 +187,7 @@ impl MetricsSnapshot {
         for (i, s) in self.shards.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "  shard {i}: epoch {} queue {} injected {} (rejected {}) waiting {} picked-up {} delivered {}",
+                "  shard {i}: epoch {} queue {} injected {} (rejected {}) waiting {} picked-up {} delivered {} route-cache {}h/{}m",
                 s.epochs,
                 s.queue_depth,
                 s.injected,
@@ -191,6 +195,8 @@ impl MetricsSnapshot {
                 s.waiting,
                 s.picked_up,
                 s.delivered,
+                s.routing_hits,
+                s.routing_misses,
             );
         }
         out

@@ -256,6 +256,8 @@ impl DispatchService {
             picked_up: st.picked_up,
             delivered: st.delivered,
             model_version: st.model_version,
+            routing_hits: st.routing.hits,
+            routing_misses: st.routing.misses,
         }
     }
 

@@ -22,6 +22,7 @@ use mobirescue_core::predictor::RequestPredictor;
 use mobirescue_core::rl_dispatch::{MobiRescueDispatcher, RlDispatchConfig, FEATURE_DIM};
 use mobirescue_core::scenario::Scenario;
 use mobirescue_rl::qscore::{QScore, QScoreConfig};
+use mobirescue_roadnet::planner::PlannerStats;
 use mobirescue_sim::dispatcher::{DispatchState, Dispatcher};
 use mobirescue_sim::{DispatchPlan, EpochReport, RequestSpec, SimConfig, World};
 use std::sync::mpsc::{Receiver, Sender};
@@ -56,6 +57,9 @@ pub(crate) struct ShardStatus {
     pub model_version: u64,
     /// Dispatcher compute time measured during the last epoch, ms.
     pub compute_ms: u64,
+    /// Cumulative routing-cache counters of the shard's world (carried
+    /// across snapshot/restore).
+    pub routing: PlannerStats,
     /// The epoch just completed (`None` after a restore).
     pub report: Option<EpochReport>,
     /// A model hot-swap that failed this epoch (the shard keeps serving
@@ -159,12 +163,24 @@ fn run_shard(spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender<ShardReply>) 
     let mut injected: u64 = 0;
     let mut rejected: u64 = 0;
     let mut carry_ms: u64 = 0;
+    // A restored world starts with a fresh planner; its pre-snapshot
+    // counters are carried in this base so totals survive restores.
+    let mut routing_base = PlannerStats::default();
+
+    let routing_total = |world: &World<'_>, base: PlannerStats| {
+        let now = world.routing_stats();
+        PlannerStats {
+            hits: base.hits + now.hits,
+            misses: base.misses + now.misses,
+        }
+    };
 
     let status = |world: &World<'_>,
                   injected: u64,
                   rejected: u64,
                   version: u64,
                   compute_ms: u64,
+                  routing: PlannerStats,
                   report: Option<EpochReport>,
                   swap_error: Option<String>| {
         Box::new(ShardStatus {
@@ -176,6 +192,7 @@ fn run_shard(spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender<ShardReply>) 
             delivered: world.num_delivered(),
             model_version: version,
             compute_ms,
+            routing,
             report,
             swap_error,
         })
@@ -225,6 +242,7 @@ fn run_shard(spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender<ShardReply>) 
                     rejected,
                     bundle.version,
                     compute_ms,
+                    routing_total(&world, routing_base),
                     Some(report),
                     swap_error,
                 );
@@ -233,9 +251,10 @@ fn run_shard(spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender<ShardReply>) 
                 }
             }
             ShardCmd::Snapshot => {
+                let routing = routing_total(&world, routing_base);
                 let mut text = format!(
-                    "shardstate {injected} {rejected} {carry_ms} {}\n",
-                    bundle.version
+                    "shardstate {injected} {rejected} {carry_ms} {} {} {}\n",
+                    bundle.version, routing.hits, routing.misses
                 );
                 text.push_str(&world.snapshot_text());
                 if tx.send(ShardReply::Snapshot(Ok(text))).is_err() {
@@ -244,16 +263,24 @@ fn run_shard(spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender<ShardReply>) 
             }
             ShardCmd::Restore(text) => {
                 let reply = match parse_shard_snapshot(scenario, &text) {
-                    Ok((w, inj, rej, carry, version)) => {
+                    Ok((w, inj, rej, carry, version, routing)) => {
                         world = w;
                         injected = inj;
                         rejected = rej;
                         carry_ms = carry;
+                        routing_base = routing;
                         // The dispatcher rebuilds from the registry at the
                         // next epoch; until then report the version the
                         // snapshot ran with.
                         Ok(status(
-                            &world, injected, rejected, version, carry_ms, None, None,
+                            &world,
+                            injected,
+                            rejected,
+                            version,
+                            carry_ms,
+                            routing_total(&world, routing_base),
+                            None,
+                            None,
                         ))
                     }
                     Err(e) => Err(e),
@@ -267,7 +294,7 @@ fn run_shard(spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender<ShardReply>) 
     }
 }
 
-type ParsedShard<'a> = (World<'a>, u64, u64, u64, u64);
+type ParsedShard<'a> = (World<'a>, u64, u64, u64, u64, PlannerStats);
 
 fn parse_shard_snapshot<'a>(scenario: &'a Scenario, text: &str) -> Result<ParsedShard<'a>, String> {
     let (first, rest) = text
@@ -286,7 +313,11 @@ fn parse_shard_snapshot<'a>(scenario: &'a Scenario, text: &str) -> Result<Parsed
     let rejected = next_u64("rejected")?;
     let carry_ms = next_u64("carry latency")?;
     let version = next_u64("model version")?;
+    let routing = PlannerStats {
+        hits: next_u64("routing hits")?,
+        misses: next_u64("routing misses")?,
+    };
     let world = World::restore_text(&scenario.city, &scenario.conditions, rest)
         .map_err(|e| e.to_string())?;
-    Ok((world, injected, rejected, carry_ms, version))
+    Ok((world, injected, rejected, carry_ms, version, routing))
 }

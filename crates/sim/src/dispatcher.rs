@@ -9,7 +9,8 @@
 use crate::types::{DispatchPlan, Order, RequestView, TeamView};
 use mobirescue_roadnet::damage::NetworkCondition;
 use mobirescue_roadnet::graph::{LandmarkId, RoadNetwork};
-use mobirescue_roadnet::routing::Router;
+use mobirescue_roadnet::planner::RoutePlanner;
+use mobirescue_roadnet::pool;
 
 /// Everything a dispatcher can see at a dispatch tick.
 #[derive(Debug)]
@@ -26,10 +27,28 @@ pub struct DispatchState<'a> {
     pub net: &'a RoadNetwork,
     /// Current condition of the network (G̃ now).
     pub condition: &'a NetworkCondition,
+    /// Shared per-epoch route planner over `net` — dispatchers route
+    /// through this instead of running their own Dijkstras, so
+    /// shortest-path trees are computed once per (team location, damage
+    /// generation) and shared by every consumer in the epoch.
+    pub planner: &'a RoutePlanner<'a>,
     /// Hospital landmarks.
     pub hospitals: &'a [LandmarkId],
     /// The dispatching center.
     pub depot: LandmarkId,
+}
+
+impl DispatchState<'_> {
+    /// Computes (and caches) the damaged-network shortest-path trees of
+    /// every free team, fanning the misses across the machine's cores.
+    /// Dispatchers that route per team call this once up front; each
+    /// per-team query afterwards is a cache hit. Results are identical to
+    /// sequential routing (see [`mobirescue_roadnet::pool`]).
+    pub fn prewarm_team_routes(&self, teams: &[&TeamView]) {
+        let sources: Vec<LandmarkId> = teams.iter().map(|t| t.location).collect();
+        self.planner
+            .prewarm(self.condition, &sources, pool::available_threads());
+    }
 }
 
 /// A rescue-team dispatching policy.
@@ -62,14 +81,16 @@ impl Dispatcher for NearestRequestDispatcher {
 
     fn dispatch(&mut self, state: &DispatchState<'_>) -> DispatchPlan {
         let mut plan = DispatchPlan::none(state.teams.len());
-        let router = Router::new(state.net);
         let mut claimed = vec![false; state.waiting.len()];
-        for team in state.teams {
-            if team.delivering || team.onboard > 0 {
-                continue;
-            }
+        let free: Vec<&TeamView> = state
+            .teams
+            .iter()
+            .filter(|t| !t.delivering && t.onboard == 0)
+            .collect();
+        state.prewarm_team_routes(&free);
+        for team in free {
             // Oldest unclaimed request reachable from this team.
-            let sp = router.shortest_paths_from(state.condition, team.location);
+            let sp = state.planner.paths_from(state.condition, team.location);
             let target = state
                 .waiting
                 .iter()
@@ -118,6 +139,7 @@ mod tests {
                 appear_s: 1,
             },
         ];
+        let planner = RoutePlanner::new(&city.network);
         let state = DispatchState {
             now_s: 100,
             hour: 0,
@@ -125,6 +147,7 @@ mod tests {
             waiting: &waiting,
             net: &city.network,
             condition: &cond,
+            planner: &planner,
             hospitals: &city.hospitals,
             depot: city.depot,
         };
@@ -154,6 +177,7 @@ mod tests {
             segment: SegmentId(0),
             appear_s: 0,
         }];
+        let planner = RoutePlanner::new(&city.network);
         let state = DispatchState {
             now_s: 0,
             hour: 0,
@@ -161,6 +185,7 @@ mod tests {
             waiting: &waiting,
             net: &city.network,
             condition: &cond,
+            planner: &planner,
             hospitals: &city.hospitals,
             depot: city.depot,
         };

@@ -23,7 +23,8 @@ use mobirescue_mobility::flow::HourlyConditions;
 use mobirescue_roadnet::damage::NetworkCondition;
 use mobirescue_roadnet::generator::City;
 use mobirescue_roadnet::graph::{LandmarkId, SegmentId};
-use mobirescue_roadnet::routing::{Router, TravelCost};
+use mobirescue_roadnet::planner::RoutePlanner;
+use mobirescue_roadnet::routing::TravelCost;
 use std::collections::{HashMap, VecDeque};
 
 mod snapshot;
@@ -139,7 +140,7 @@ pub struct World<'a> {
     city: &'a City,
     conditions: &'a HourlyConditions,
     config: SimConfig,
-    router: Router<'a>,
+    planner: RoutePlanner<'a>,
     /// Reverse-segment lookup: requests on a one-way pair are reachable
     /// from either direction.
     reverse: HashMap<SegmentId, SegmentId>,
@@ -220,7 +221,7 @@ impl<'a> World<'a> {
             city,
             conditions,
             config: config.clone(),
-            router: Router::new(net),
+            planner: RoutePlanner::new(net),
             reverse,
             specs: Vec::new(),
             next_spec: 0,
@@ -337,6 +338,13 @@ impl<'a> World<'a> {
         &self.outcomes
     }
 
+    /// Cumulative hit/miss counters of the world's shared route planner
+    /// (see [`mobirescue_roadnet::planner::RoutePlanner`]) — surfaced so
+    /// the serve runtime can report routing-cache effectiveness.
+    pub fn routing_stats(&self) -> mobirescue_roadnet::planner::PlannerStats {
+        self.planner.stats()
+    }
+
     /// Advances one second. `extra_latency_s` is added to the
     /// dispatcher's *modeled* latency if this step runs a dispatch tick —
     /// the serve runtime feeds the measured wall-clock computation time
@@ -360,14 +368,14 @@ impl<'a> World<'a> {
 
         // 1b. Sample team positions (Section IV-C4 training data).
         if let Some(every) = self.config.sample_positions_every_s {
-            if every > 0 && now % every == 0 {
+            if every > 0 && now.is_multiple_of(every) {
                 self.position_samples
                     .push((now, self.teams.iter().map(|t| t.location).collect()));
             }
         }
 
         // 2. Dispatch tick.
-        if now % self.config.dispatch_period_s == 0 {
+        if now.is_multiple_of(self.config.dispatch_period_s) {
             self.serving_per_tick
                 .push((now, self.teams.iter().filter(|t| t.serving()).count()));
             let views: Vec<TeamView> = self
@@ -401,6 +409,7 @@ impl<'a> World<'a> {
                 waiting: &waiting,
                 net,
                 condition: cond,
+                planner: &self.planner,
                 hospitals: &self.city.hospitals,
                 depot: self.city.depot,
             };
@@ -423,7 +432,7 @@ impl<'a> World<'a> {
                 }
                 match order {
                     Order::GoToSegment(seg) => {
-                        if !set_route_to_segment(team, &self.router, cond, *seg) {
+                        if !set_route_to_segment(team, &self.planner, cond, *seg) {
                             self.unroutable_orders += 1;
                         } else {
                             team.mission = Mission::ToSegment(*seg);
@@ -432,7 +441,7 @@ impl<'a> World<'a> {
                     }
                     Order::ReturnToBase => {
                         if team.onboard.is_empty()
-                            && set_route_to_landmark(team, &self.router, cond, self.city.depot)
+                            && set_route_to_landmark(team, &self.planner, cond, self.city.depot)
                         {
                             team.mission = Mission::ToBase;
                             team.order_start_s = now;
@@ -473,8 +482,8 @@ impl<'a> World<'a> {
                     Some(t) => team.seg_remaining_s = t,
                     None => {
                         // Flooded since routing: replan toward the mission.
-                        if !replan(team, &self.router, cond, self.city) {
-                            abort_mission(team, &self.router, cond, self.city);
+                        if !replan(team, &self.planner, cond, self.city) {
+                            abort_mission(team, &self.planner, cond, self.city);
                         }
                         continue;
                     }
@@ -527,7 +536,7 @@ impl<'a> World<'a> {
                         if team.onboard.is_empty() {
                             team.mission = Mission::Standby;
                         } else {
-                            head_to_hospital(team, &self.router, cond, self.city, now);
+                            head_to_hospital(team, &self.planner, cond, self.city, now);
                         }
                     }
                     Mission::ToHospital => {
@@ -661,12 +670,12 @@ fn pickup_on(
 /// Where rerouting starts and which in-progress segment must be kept: a
 /// team midway along a segment finishes it first and replans from its end;
 /// an idle team replans from its location.
-fn reroute_start(team: &Team, router: &Router<'_>) -> (LandmarkId, VecDeque<SegmentId>) {
+fn reroute_start(team: &Team, planner: &RoutePlanner<'_>) -> (LandmarkId, VecDeque<SegmentId>) {
     if team.seg_remaining_s > 0.0 {
         if let Some(&cur) = team.route.front() {
             let mut prefix = VecDeque::new();
             prefix.push_back(cur);
-            return (router.network().segment(cur).to, prefix);
+            return (planner.network().segment(cur).to, prefix);
         }
     }
     (team.location, VecDeque::new())
@@ -682,14 +691,14 @@ fn reroute_start(team: &Team, router: &Router<'_>) -> (LandmarkId, VecDeque<Segm
 /// target at all.
 fn set_route_to_segment(
     team: &mut Team,
-    router: &Router<'_>,
+    planner: &RoutePlanner<'_>,
     cond: &NetworkCondition,
     seg: SegmentId,
 ) -> bool {
-    let net = router.network();
+    let net = planner.network();
     let target_from = net.segment(seg).from;
-    let (start, mut route) = reroute_start(team, router);
-    if let Some(path) = router.shortest_path(cond, start, target_from) {
+    let (start, mut route) = reroute_start(team, planner);
+    if let Some(path) = planner.route(cond, start, target_from) {
         route.extend(path.segments);
         if cond.is_operable(seg) {
             route.push_back(seg);
@@ -699,9 +708,7 @@ fn set_route_to_segment(
     }
     // Unreachable on G̃: drive the intact-network route up to the water's
     // edge.
-    let Some(path) =
-        router.shortest_path(&mobirescue_roadnet::routing::FreeFlow, start, target_from)
-    else {
+    let Some(path) = planner.free_flow_route(start, target_from) else {
         return false;
     };
     let mut drove_anywhere = false;
@@ -722,12 +729,12 @@ fn set_route_to_segment(
 /// Routes `team` to a landmark. Returns `false` when unreachable.
 fn set_route_to_landmark(
     team: &mut Team,
-    router: &Router<'_>,
+    planner: &RoutePlanner<'_>,
     cond: &NetworkCondition,
     to: LandmarkId,
 ) -> bool {
-    let (start, mut route) = reroute_start(team, router);
-    let Some(path) = router.shortest_path(cond, start, to) else {
+    let (start, mut route) = reroute_start(team, planner);
+    let Some(path) = planner.route(cond, start, to) else {
         return false;
     };
     route.extend(path.segments);
@@ -737,27 +744,37 @@ fn set_route_to_landmark(
 
 /// Replans the current mission from the team's location. Returns `false`
 /// when the mission target is unreachable.
-fn replan(team: &mut Team, router: &Router<'_>, cond: &NetworkCondition, city: &City) -> bool {
+fn replan(
+    team: &mut Team,
+    planner: &RoutePlanner<'_>,
+    cond: &NetworkCondition,
+    city: &City,
+) -> bool {
     team.seg_remaining_s = 0.0;
     team.route.clear();
     match team.mission {
-        Mission::ToSegment(seg) => set_route_to_segment(team, router, cond, seg),
-        Mission::ToHospital => router
+        Mission::ToSegment(seg) => set_route_to_segment(team, planner, cond, seg),
+        Mission::ToHospital => planner
             .nearest_target(cond, team.location, &city.hospitals)
-            .is_some_and(|(i, _)| set_route_to_landmark(team, router, cond, city.hospitals[i])),
-        Mission::ToBase => set_route_to_landmark(team, router, cond, city.depot),
+            .is_some_and(|(i, _)| set_route_to_landmark(team, planner, cond, city.hospitals[i])),
+        Mission::ToBase => set_route_to_landmark(team, planner, cond, city.depot),
         Mission::Standby => true,
     }
 }
 
 /// Abandons the mission: loaded teams try any hospital, empty teams stand
 /// by.
-fn abort_mission(team: &mut Team, router: &Router<'_>, cond: &NetworkCondition, city: &City) {
+fn abort_mission(
+    team: &mut Team,
+    planner: &RoutePlanner<'_>,
+    cond: &NetworkCondition,
+    city: &City,
+) {
     team.route.clear();
     team.seg_remaining_s = 0.0;
     if !team.onboard.is_empty() {
-        if let Some((i, _)) = router.nearest_target(cond, team.location, &city.hospitals) {
-            if set_route_to_landmark(team, router, cond, city.hospitals[i]) {
+        if let Some((i, _)) = planner.nearest_target(cond, team.location, &city.hospitals) {
+            if set_route_to_landmark(team, planner, cond, city.hospitals[i]) {
                 team.mission = Mission::ToHospital;
                 return;
             }
@@ -769,14 +786,14 @@ fn abort_mission(team: &mut Team, router: &Router<'_>, cond: &NetworkCondition, 
 /// Sends a loaded team to the nearest reachable hospital.
 fn head_to_hospital(
     team: &mut Team,
-    router: &Router<'_>,
+    planner: &RoutePlanner<'_>,
     cond: &NetworkCondition,
     city: &City,
     now: u32,
 ) {
     team.seg_remaining_s = 0.0;
-    if let Some((i, _)) = router.nearest_target(cond, team.location, &city.hospitals) {
-        if set_route_to_landmark(team, router, cond, city.hospitals[i]) {
+    if let Some((i, _)) = planner.nearest_target(cond, team.location, &city.hospitals) {
+        if set_route_to_landmark(team, planner, cond, city.hospitals[i]) {
             team.mission = Mission::ToHospital;
             team.order_start_s = now;
             return;

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the per-epoch routing benchmark on the medium charlotte-like
+# scenario and writes the machine-readable result to BENCH_routing.json.
+#
+#   scripts/bench_routing.sh            # writes BENCH_routing.json
+#   scripts/bench_routing.sh /tmp/x.json
+#
+# The benchmark itself asserts that every accelerated variant produces
+# results identical to the naive Dijkstra path before reporting timings.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_routing.json}"
+
+echo "==> cargo build --release -p mobirescue-bench --bin bench_routing"
+cargo build --release -p mobirescue-bench --bin bench_routing
+
+echo "==> running routing benchmark"
+./target/release/bench_routing | tee "$out"
+
+echo "bench_routing: wrote $out"
