@@ -1,0 +1,83 @@
+//! Seed-sweep chaos check: the dispatch service under deterministic fault
+//! schedules, one line of invariant results per seed.
+//!
+//! ```text
+//! cargo run -p mobirescue-bench --release --bin chaos -- \
+//!     [--seeds N] [--base-seed S] [--epochs E] [--shards K]
+//! ```
+//!
+//! Sweeps N seeded fault plans through `mobirescue_serve::chaos::run_chaos`
+//! (drop/delay/duplicate/corrupt ingestion, shard stalls and crashes,
+//! failed hot-swaps), then runs the crash-replay masking check. Exits
+//! non-zero if any seed breaks an invariant — pipe the output into
+//! `robustness_serve.txt` via `scripts/chaos.sh`.
+
+use mobirescue_serve::chaos::{crash_replay_divergence, run_chaos, ChaosOptions};
+
+fn main() {
+    let mut seeds = 10u64;
+    let mut base_seed = 1u64;
+    let mut epochs = 6u32;
+    let mut shards = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => seeds = args.next().and_then(|v| v.parse().ok()).unwrap_or(10),
+            "--base-seed" => base_seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            "--epochs" => epochs = args.next().and_then(|v| v.parse().ok()).unwrap_or(6),
+            "--shards" => shards = args.next().and_then(|v| v.parse().ok()).unwrap_or(2),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "chaos sweep: {seeds} seeds from {base_seed}, {epochs} epochs x {shards} shards per run"
+    );
+    let mut failures = 0u64;
+    for seed in base_seed..base_seed + seeds {
+        let opts = ChaosOptions::seeded(seed, epochs, shards);
+        match run_chaos(seed, &opts) {
+            Ok(outcome) => {
+                println!("{}", outcome.summary());
+                if !outcome.ok() {
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                println!("seed {seed:>4}: service error: {e} -> FAIL");
+                failures += 1;
+            }
+        }
+    }
+
+    print!("crash-replay masking (crashes at (0,0), (2,1), (4,0)): ");
+    match crash_replay_divergence(
+        &[(0, 0), (2, 1.min(shards - 1)), (4, 0)],
+        epochs.max(5),
+        shards,
+    ) {
+        Ok(divergences) if divergences.is_empty() => {
+            println!("bit-identical to the unfaulted reference -> OK");
+        }
+        Ok(divergences) => {
+            println!("DIVERGED -> FAIL");
+            for d in &divergences {
+                println!("  {d}");
+            }
+            failures += 1;
+        }
+        Err(e) => {
+            println!("service error: {e} -> FAIL");
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        println!("chaos sweep: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("chaos sweep: all invariants held");
+}

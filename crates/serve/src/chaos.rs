@@ -1,0 +1,447 @@
+//! The chaos harness: runs a full [`DispatchService`] under a seeded
+//! fault schedule and checks the graceful-degradation invariants.
+//!
+//! Shared by the `tests/chaos.rs` suite in the workspace facade and the
+//! `chaos` binary in `mobirescue-bench`, so a failing seed from a sweep
+//! reproduces byte-for-byte as a test. Everything runs on a
+//! [`SimClock`], so a run is a pure function of `(fault plan, options)`.
+//!
+//! Invariants checked after every run (violations are returned as
+//! strings, one per broken invariant, rather than panicking — the caller
+//! decides whether to assert or report):
+//!
+//! 1. **No epoch skipped silently** — the service completes exactly the
+//!    requested number of epochs and every epoch yields one report per
+//!    shard, faults or not.
+//! 2. **Metrics conservation** — admitted + shed equals offered, minus
+//!    events the injector dropped/corrupted/still holds in flight, plus
+//!    duplicates; and everything admitted is either injected into a
+//!    world, rejected by it, or still queued.
+//! 3. **Degradation is honest** — `degraded_epochs` is positive iff a
+//!    degrading fault (stall past the deadline, failed swap) actually
+//!    fired, and never exceeds the number fired.
+//! 4. **Crashes never outlive recovery** — every fired crash maps to
+//!    exactly one shard restart.
+//! 5. **Snapshot integrity** — the final snapshot restores to an equal
+//!    service when written cleanly, and is *rejected with a typed error*
+//!    when the injector corrupted the write.
+
+use crate::clock::{Clock, SimClock};
+use crate::error::ServeError;
+use crate::event::Event;
+use crate::fault::{FaultCounters, FaultInjector, FaultPlan, FaultPlanConfig, ScheduledFaults};
+use crate::metrics::MetricsSnapshot;
+use crate::registry::ModelRegistry;
+use crate::scheduler::EpochScheduler;
+use crate::service::{DispatchService, RetryPolicy, ServeConfig};
+use mobirescue_core::rl_dispatch::FEATURE_DIM;
+use mobirescue_core::scenario::{Scenario, ScenarioConfig};
+use mobirescue_rl::nn::Mlp;
+use mobirescue_roadnet::graph::SegmentId;
+use mobirescue_sim::{RequestSpec, SimConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// What a chaos run should look like, beyond the fault plan itself.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Dispatch epochs to drive.
+    pub epochs: u32,
+    /// City shards to host.
+    pub num_shards: usize,
+    /// Request offers per shard per epoch.
+    pub requests_per_epoch: usize,
+    /// Request queue capacity (small enough to exercise shedding).
+    pub queue_capacity: usize,
+    /// Per-epoch dispatch compute budget, ms (keep it below the plan's
+    /// stall so every stall trips the fallback).
+    pub deadline_ms: u64,
+    /// The fault schedule to execute.
+    pub plan: FaultPlan,
+}
+
+impl ChaosOptions {
+    /// The standard sweep configuration: the full fault mix drawn from
+    /// `seed`, small queues, a deadline every stall overshoots.
+    pub fn seeded(seed: u64, epochs: u32, num_shards: usize) -> Self {
+        let cfg = FaultPlanConfig::chaos(epochs, num_shards);
+        Self {
+            epochs,
+            num_shards,
+            requests_per_epoch: 6,
+            queue_capacity: 4,
+            deadline_ms: 10,
+            plan: FaultPlan::generate(seed, &cfg),
+        }
+    }
+}
+
+/// Everything a chaos run produced, for reporting and assertions.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// The seed the run was labeled with.
+    pub seed: u64,
+    /// What the plan had scheduled.
+    pub scheduled: ScheduledFaults,
+    /// What actually fired.
+    pub counters: FaultCounters,
+    /// Final service metrics.
+    pub metrics: MetricsSnapshot,
+    /// Shard workers restarted from a checkpoint.
+    pub restarts: u64,
+    /// Scheduler epochs that finished past their deadline.
+    pub overruns: u64,
+    /// Broken invariants (empty on a clean run).
+    pub violations: Vec<String>,
+}
+
+impl ChaosOutcome {
+    /// Whether every invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// A one-line report for sweep output.
+    pub fn summary(&self) -> String {
+        let mut line = format!(
+            "seed {:>4}: epochs {} degraded {} | fired: drop {} delay {}({} released) dup {} \
+             corrupt {} stall {} crash {} swapfail {} snapcorrupt {} | restarts {} retries {} \
+             shed {} -> {}",
+            self.seed,
+            self.metrics.epochs_completed,
+            self.metrics.degraded_epochs,
+            self.counters.drops,
+            self.counters.delays,
+            self.counters.delays_released,
+            self.counters.duplicates,
+            self.counters.corrupts,
+            self.counters.stalls,
+            self.counters.crashes,
+            self.counters.swap_fails,
+            self.counters.snapshot_corruptions,
+            self.restarts,
+            self.metrics.ingest_retries,
+            self.metrics.requests_shed,
+            if self.ok() { "OK" } else { "FAIL" },
+        );
+        for v in &self.violations {
+            let _ = write!(line, "\n  violation: {v}");
+        }
+        line
+    }
+}
+
+/// The standard small two-shard scenario every serve test runs on.
+pub fn chaos_scenario() -> Scenario {
+    ScenarioConfig::small().florence().build(11)
+}
+
+fn request_events(epoch: u32, num_shards: usize, per_shard: usize, segments: u32) -> Vec<Event> {
+    let mut events = Vec::with_capacity(num_shards * per_shard);
+    for shard in 0..num_shards {
+        for i in 0..per_shard {
+            let mix = epoch as usize * 53 + i * 17 + shard * 29;
+            events.push(Event::Request {
+                shard,
+                spec: RequestSpec {
+                    appear_s: epoch * 300 + (i as u32 * 37) % 300,
+                    segment: SegmentId((mix as u32) % segments),
+                },
+            });
+        }
+    }
+    events
+}
+
+/// Runs the full service under `opts` and checks every invariant.
+///
+/// # Errors
+///
+/// Returns the first *unexpected* service error — errors the plan itself
+/// provokes (corrupt events rejected at ingestion, corrupted snapshots
+/// rejected at restore) are part of the contract and checked, not
+/// propagated.
+pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> Result<ChaosOutcome, ServeError> {
+    let scenario = Arc::new(chaos_scenario());
+    let injector = Arc::new(FaultInjector::new(opts.plan.clone()));
+    let scheduled = injector.scheduled();
+    let mut config = ServeConfig::new(SimConfig::small(6));
+    config.num_shards = opts.num_shards;
+    config.request_queue_capacity = opts.queue_capacity;
+    config.faults = Some(Arc::clone(&injector));
+    config.epoch_deadline_ms = Some(opts.deadline_ms);
+    config.auto_recover = true;
+    let clock: Arc<SimClock> = Arc::new(SimClock::new());
+    let registry = Arc::new(ModelRegistry::new(None, None));
+    let service = DispatchService::start(
+        Arc::clone(&scenario),
+        config,
+        Arc::clone(&clock) as Arc<dyn Clock>,
+        Arc::clone(&registry),
+    )?;
+    let segments = scenario.city.network.num_segments() as u32;
+    let retry = RetryPolicy::default();
+    let mut violations = Vec::new();
+
+    // Offers are counted locally too, so the injector's bookkeeping is
+    // cross-checked against an independent tally.
+    let mut offered = 0u64;
+    let mut rejected_corrupt = 0u64;
+    let mut ingest = |service: &DispatchService, epoch: u32| {
+        for event in request_events(epoch, opts.num_shards, opts.requests_per_epoch, segments) {
+            offered += 1;
+            match service.ingest_with_retry(event, &retry) {
+                Ok(_) => {}
+                Err(ServeError::World(_)) => rejected_corrupt += 1,
+                Err(e) => violations.push(format!("unexpected ingest error: {e}")),
+            }
+        }
+        // A couple of advisories per epoch keep the advisory path hot
+        // (one valid, one invalid — both bypass fault injection).
+        let _ = service.ingest(Event::Weather {
+            shard: epoch as usize % opts.num_shards,
+            hour: epoch % 4,
+            rain_mm: 1.5 + f64::from(epoch),
+        });
+        let _ = service.ingest(Event::RoadDamage {
+            shard: 0,
+            segment: SegmentId(u32::MAX),
+            hour: 0,
+            flooded: true,
+        });
+    };
+
+    let mut scheduler = EpochScheduler::for_service(&service)?;
+    let mut short_epochs = Vec::new();
+    ingest(&service, 0);
+    scheduler.run(&service, clock.as_ref(), opts.epochs, |e, reports| {
+        if reports.len() != opts.num_shards {
+            short_epochs.push(format!(
+                "epoch {e} produced {} reports for {} shards",
+                reports.len(),
+                opts.num_shards
+            ));
+        }
+        if e == opts.epochs / 2 {
+            // Exercise the hot-swap path mid-run with a valid policy.
+            registry.install(None, Some(Mlp::new(&[FEATURE_DIM, 8, 1], 5)));
+        }
+        if e + 1 < opts.epochs {
+            ingest(&service, e + 1);
+        }
+    })?;
+    violations.extend(short_epochs);
+
+    let metrics = service.metrics();
+    let counters = injector.counters();
+    let restarts = service.shard_restarts();
+
+    // Invariant 1: no epoch skipped silently.
+    if metrics.epochs_completed != opts.epochs {
+        violations.push(format!(
+            "completed {} epochs, expected {}",
+            metrics.epochs_completed, opts.epochs
+        ));
+    }
+    for (i, s) in metrics.shards.iter().enumerate() {
+        if s.epochs != opts.epochs {
+            violations.push(format!(
+                "shard {i} at epoch {}, expected {}",
+                s.epochs, opts.epochs
+            ));
+        }
+    }
+
+    // Invariant 2: conservation. Every offer the injector saw either
+    // produced queue pushes (admitted or shed) or is accounted for as
+    // dropped, corrupted, or delayed-in-flight; duplicates and released
+    // delays add pushes.
+    // Every retry re-offers through the injector, so the injector's offer
+    // count is the harness's events plus the service's retry count.
+    if counters.offers != offered + metrics.ingest_retries {
+        violations.push(format!(
+            "injector saw {} offers, harness made {} (+{} retries)",
+            counters.offers, offered, metrics.ingest_retries
+        ));
+    }
+    if rejected_corrupt != counters.corrupts {
+        violations.push(format!(
+            "{} typed corrupt rejections for {} corrupt faults",
+            rejected_corrupt, counters.corrupts
+        ));
+    }
+    let pushes_expected = counters.offers - counters.drops - counters.corrupts - counters.delays
+        + counters.duplicates
+        + counters.delays_released;
+    let pushes = metrics.requests_accepted + metrics.requests_shed;
+    if pushes != pushes_expected {
+        violations.push(format!(
+            "accepted {} + shed {} = {pushes}, conservation expects {pushes_expected}",
+            metrics.requests_accepted, metrics.requests_shed
+        ));
+    }
+    let consumed: u64 = metrics
+        .shards
+        .iter()
+        .map(|s| s.injected + s.rejected + s.queue_depth as u64)
+        .sum();
+    if metrics.requests_accepted != consumed {
+        violations.push(format!(
+            "accepted {} but shards account for {consumed} (injected + rejected + queued)",
+            metrics.requests_accepted
+        ));
+    }
+
+    // Invariant 3: degradation is honest.
+    let degrading = counters.degrading();
+    if (metrics.degraded_epochs > 0) != (degrading > 0) {
+        violations.push(format!(
+            "degraded_epochs {} with {degrading} degrading faults fired",
+            metrics.degraded_epochs
+        ));
+    }
+    if metrics.degraded_epochs > degrading {
+        violations.push(format!(
+            "degraded_epochs {} exceeds degrading faults fired {degrading}",
+            metrics.degraded_epochs
+        ));
+    }
+    let shard_degraded: u64 = metrics.shards.iter().map(|s| s.degraded).sum();
+    if shard_degraded != degrading {
+        violations.push(format!(
+            "shards report {shard_degraded} degraded epochs, {degrading} degrading faults fired"
+        ));
+    }
+
+    // Invariant 4: every crash was recovered, nothing else restarted.
+    if restarts != counters.crashes {
+        violations.push(format!(
+            "{restarts} restarts for {} crashes",
+            counters.crashes
+        ));
+    }
+
+    // Invariant 5: snapshot integrity. A clean write restores to an equal
+    // service; a corrupted write is rejected with a typed error.
+    let snapshot = service.snapshot()?;
+    let wrote_corrupted = injector.counters().snapshot_corruptions > counters.snapshot_corruptions;
+    let restored = DispatchService::restore(
+        Arc::clone(&scenario),
+        service.config().clone(),
+        Arc::new(SimClock::new()) as Arc<dyn Clock>,
+        Arc::clone(&registry),
+        &snapshot,
+    );
+    match restored {
+        Ok(restored) => {
+            if wrote_corrupted {
+                violations.push("corrupted snapshot restored without error".to_owned());
+            } else if restored.metrics() != metrics {
+                violations.push("restored metrics differ from the live service".to_owned());
+            }
+            restored.shutdown();
+        }
+        Err(ServeError::BadSnapshot(_)) if wrote_corrupted => {}
+        Err(e) => violations.push(format!("snapshot restore failed unexpectedly: {e}")),
+    }
+
+    let counters = injector.counters();
+    let overruns = scheduler.overruns();
+    service.shutdown();
+    Ok(ChaosOutcome {
+        seed,
+        scheduled,
+        counters,
+        metrics,
+        restarts,
+        overruns,
+        violations,
+    })
+}
+
+/// The replay-masking check: a service whose shards crash (and recover
+/// from checkpoints) must end **bit-identical** — snapshot text equality —
+/// to an unfaulted twin fed the same event stream, because each crash's
+/// faults are consumed when they fire and the replayed epoch runs clean.
+///
+/// Returns the list of divergences (empty when the runs converged).
+///
+/// # Errors
+///
+/// Returns the first service error from either run.
+pub fn crash_replay_divergence(
+    crashes: &[(u32, usize)],
+    epochs: u32,
+    num_shards: usize,
+) -> Result<Vec<String>, ServeError> {
+    let scenario = Arc::new(chaos_scenario());
+    let mut plan = FaultPlan::empty();
+    for &(epoch, shard) in crashes {
+        plan = plan.with_crash(epoch, shard);
+    }
+    let injector = Arc::new(FaultInjector::new(plan));
+    let run =
+        |faults: Option<Arc<FaultInjector>>| -> Result<(String, MetricsSnapshot, u64), ServeError> {
+            let mut config = ServeConfig::new(SimConfig::small(6));
+            config.num_shards = num_shards;
+            config.request_queue_capacity = 8;
+            config.epoch_deadline_ms = Some(10);
+            config.auto_recover = faults.is_some();
+            config.faults = faults;
+            let clock: Arc<SimClock> = Arc::new(SimClock::new());
+            let registry = Arc::new(ModelRegistry::new(None, None));
+            let service = DispatchService::start(
+                Arc::clone(&scenario),
+                config,
+                Arc::clone(&clock) as Arc<dyn Clock>,
+                registry,
+            )?;
+            let segments = scenario.city.network.num_segments() as u32;
+            let mut scheduler = EpochScheduler::for_service(&service)?;
+            for event in request_events(0, num_shards, 4, segments) {
+                service.ingest(event)?;
+            }
+            scheduler.run(&service, clock.as_ref(), epochs, |e, _| {
+                if e + 1 < epochs {
+                    for event in request_events(e + 1, num_shards, 4, segments) {
+                        let _ = service.ingest(event);
+                    }
+                }
+            })?;
+            let snapshot = service.snapshot()?;
+            let metrics = service.metrics();
+            let restarts = service.shard_restarts();
+            service.shutdown();
+            Ok((snapshot, metrics, restarts))
+        };
+    let (faulted_snap, faulted_metrics, restarts) = run(Some(Arc::clone(&injector)))?;
+    let (clean_snap, clean_metrics, _) = run(None)?;
+    let mut divergences = Vec::new();
+    let crashes_fired = injector.counters().crashes;
+    if crashes_fired != crashes.len() as u64 {
+        divergences.push(format!(
+            "{crashes_fired} crashes fired, {} scheduled",
+            crashes.len()
+        ));
+    }
+    if restarts != crashes_fired {
+        divergences.push(format!("{restarts} restarts for {crashes_fired} crashes"));
+    }
+    if faulted_metrics != clean_metrics {
+        divergences
+            .push("metrics diverged between crashed+recovered and unfaulted runs".to_owned());
+    }
+    if faulted_snap != clean_snap {
+        let at = faulted_snap
+            .bytes()
+            .zip(clean_snap.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| faulted_snap.len().min(clean_snap.len()));
+        divergences.push(format!(
+            "snapshot texts diverge at byte {at} (faulted {} bytes, clean {} bytes)",
+            faulted_snap.len(),
+            clean_snap.len()
+        ));
+    }
+    Ok(divergences)
+}

@@ -1,0 +1,571 @@
+//! Deterministic fault injection for the dispatch service.
+//!
+//! A disaster-time dispatcher must keep producing plans while its own
+//! infrastructure degrades: ingestion links drop and reorder events,
+//! worker processes die mid-epoch, model pushes fail, checkpoints get
+//! truncated on a failing disk. This module makes those conditions a
+//! *first-class, reproducible test input*: a [`FaultPlan`] is a seeded,
+//! inspectable schedule of faults, and a [`FaultInjector`] applies it —
+//! each fault exactly once — at the hook points threaded through
+//! [`crate::DispatchService`] and its shard workers.
+//!
+//! Determinism is the whole point. The plan is fully decided up front from
+//! a seed (via the vendored `rand` shim), every fault is consumed
+//! one-shot, and the service runs on a [`crate::SimClock`] in tests — so a
+//! chaos run is a pure function of `(scenario seed, fault seed)` and every
+//! failure reproduces exactly. Consuming faults one-shot is also what
+//! makes crash recovery testable: when a crashed shard's epoch is replayed
+//! after restore, the crash (already consumed) does not re-fire, so the
+//! replay is the *masked* — unfaulted — execution of the same epoch.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fault applied to one rescue request offered to
+/// [`crate::DispatchService::ingest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestFault {
+    /// The event is lost: not queued, reported as not admitted.
+    Drop,
+    /// The event is deferred by this many epochs before reaching its
+    /// shard's queue (network delay / out-of-order delivery).
+    Delay(u32),
+    /// The event is enqueued twice (at-least-once delivery upstream).
+    Duplicate,
+    /// The event's payload is damaged in flight; the service's validation
+    /// must reject it with a typed error.
+    Corrupt,
+}
+
+/// A fault applied to one shard worker at one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFault {
+    /// The dispatcher stalls for this many clock milliseconds mid-epoch
+    /// (GC pause, page fault storm) — with a configured epoch deadline
+    /// this trips the fallback to the heuristic dispatcher.
+    Stall(u64),
+    /// The worker thread dies mid-epoch without replying; the service must
+    /// restart it from the last boundary checkpoint and replay.
+    Crash,
+}
+
+/// How a snapshot text is damaged on write (failing disk / torn write).
+/// The embedded position is reduced modulo the snapshot length when
+/// applied, so plans stay valid for any snapshot size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotCorruption {
+    /// The text is cut short at a plan-chosen byte offset.
+    Truncate(u64),
+    /// One byte at a plan-chosen offset has a bit flipped.
+    BitFlip(u64),
+}
+
+/// Probabilities and horizons from which a seeded [`FaultPlan`] is drawn.
+#[derive(Debug, Clone)]
+pub struct FaultPlanConfig {
+    /// Epochs the schedule covers (shard faults are drawn per epoch).
+    pub epochs: u32,
+    /// Shards the schedule covers.
+    pub num_shards: usize,
+    /// Request offers covered by ingestion-fault decisions; offers beyond
+    /// the horizon pass through clean.
+    pub ingest_horizon: usize,
+    /// Per-offer probability of [`IngestFault::Drop`].
+    pub p_drop: f64,
+    /// Per-offer probability of [`IngestFault::Delay`].
+    pub p_delay: f64,
+    /// Per-offer probability of [`IngestFault::Duplicate`].
+    pub p_duplicate: f64,
+    /// Per-offer probability of [`IngestFault::Corrupt`].
+    pub p_corrupt: f64,
+    /// Largest delay, epochs (delays are drawn uniformly in `1..=max`).
+    pub max_delay_epochs: u32,
+    /// Per-(epoch, shard) probability of [`ShardFault::Stall`].
+    pub p_stall: f64,
+    /// Per-(epoch, shard) probability of [`ShardFault::Crash`].
+    pub p_crash: f64,
+    /// Per-(epoch, shard) probability of an injected registry-swap
+    /// failure.
+    pub p_swap_fail: f64,
+    /// Stall magnitude, clock milliseconds (choose it above the service's
+    /// epoch deadline to guarantee the fallback trips).
+    pub stall_ms: u64,
+    /// How many [`crate::DispatchService::snapshot`] calls get corrupted
+    /// on write.
+    pub snapshot_corruptions: u32,
+}
+
+impl FaultPlanConfig {
+    /// The standard chaos mix: every fault kind armed with moderate
+    /// probability.
+    pub fn chaos(epochs: u32, num_shards: usize) -> Self {
+        Self {
+            epochs,
+            num_shards,
+            ingest_horizon: 256,
+            p_drop: 0.08,
+            p_delay: 0.08,
+            p_duplicate: 0.06,
+            p_corrupt: 0.05,
+            max_delay_epochs: 2,
+            p_stall: 0.10,
+            p_crash: 0.08,
+            p_swap_fail: 0.06,
+            stall_ms: 50,
+            snapshot_corruptions: 0,
+        }
+    }
+
+    /// No faults at all — the control arm of a chaos comparison.
+    pub fn quiet(epochs: u32, num_shards: usize) -> Self {
+        Self {
+            epochs,
+            num_shards,
+            ingest_horizon: 0,
+            p_drop: 0.0,
+            p_delay: 0.0,
+            p_duplicate: 0.0,
+            p_corrupt: 0.0,
+            max_delay_epochs: 1,
+            p_stall: 0.0,
+            p_crash: 0.0,
+            p_swap_fail: 0.0,
+            stall_ms: 0,
+            snapshot_corruptions: 0,
+        }
+    }
+}
+
+/// What a plan has scheduled, by kind — inspectable before the run so
+/// tests can assert "faults fired" against "faults were planned".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScheduledFaults {
+    /// Ingestion offers with a fault decision.
+    pub ingest: usize,
+    /// Scheduled stalls.
+    pub stalls: usize,
+    /// Scheduled crashes.
+    pub crashes: usize,
+    /// Scheduled registry-swap failures.
+    pub swap_fails: usize,
+    /// Scheduled snapshot corruptions.
+    pub snapshot_corruptions: usize,
+}
+
+impl ScheduledFaults {
+    /// Whether anything is scheduled at all.
+    pub fn any(&self) -> bool {
+        self.ingest + self.stalls + self.crashes + self.swap_fails + self.snapshot_corruptions > 0
+    }
+}
+
+/// A deterministic, inspectable schedule of faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    ingest: Vec<Option<IngestFault>>,
+    shard: BTreeMap<(u32, usize), ShardFault>,
+    swap_fail: BTreeSet<(u32, usize)>,
+    snapshot: Vec<SnapshotCorruption>,
+}
+
+impl FaultPlan {
+    /// A plan with nothing scheduled (compose with the builder methods).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Draws a full schedule from `seed` under `cfg`. The same
+    /// `(seed, cfg)` always yields the same plan.
+    pub fn generate(seed: u64, cfg: &FaultPlanConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6d72_6663_6861_6f73); // "mrfchaos"
+        let ingest = (0..cfg.ingest_horizon)
+            .map(|_| {
+                let roll: f64 = rng.random();
+                let mut acc = cfg.p_drop;
+                if roll < acc {
+                    return Some(IngestFault::Drop);
+                }
+                acc += cfg.p_delay;
+                if roll < acc {
+                    let d = rng.random_range(1..=cfg.max_delay_epochs.max(1));
+                    return Some(IngestFault::Delay(d));
+                }
+                acc += cfg.p_duplicate;
+                if roll < acc {
+                    return Some(IngestFault::Duplicate);
+                }
+                acc += cfg.p_corrupt;
+                if roll < acc {
+                    return Some(IngestFault::Corrupt);
+                }
+                None
+            })
+            .collect();
+        let mut shard = BTreeMap::new();
+        let mut swap_fail = BTreeSet::new();
+        for epoch in 0..cfg.epochs {
+            for s in 0..cfg.num_shards {
+                let roll: f64 = rng.random();
+                if roll < cfg.p_crash {
+                    shard.insert((epoch, s), ShardFault::Crash);
+                } else if roll < cfg.p_crash + cfg.p_stall {
+                    shard.insert((epoch, s), ShardFault::Stall(cfg.stall_ms));
+                }
+                if rng.random_bool(cfg.p_swap_fail) {
+                    swap_fail.insert((epoch, s));
+                }
+            }
+        }
+        let snapshot = (0..cfg.snapshot_corruptions)
+            .map(|_| {
+                if rng.random::<bool>() {
+                    SnapshotCorruption::Truncate(rng.random::<u64>())
+                } else {
+                    SnapshotCorruption::BitFlip(rng.random::<u64>())
+                }
+            })
+            .collect();
+        Self {
+            ingest,
+            shard,
+            swap_fail,
+            snapshot,
+        }
+    }
+
+    /// Schedules `fault` for the `offer_index`-th request offer.
+    pub fn with_ingest_fault(mut self, offer_index: usize, fault: IngestFault) -> Self {
+        if self.ingest.len() <= offer_index {
+            self.ingest.resize(offer_index + 1, None);
+        }
+        self.ingest[offer_index] = Some(fault);
+        self
+    }
+
+    /// Schedules a crash of `shard` at `epoch`.
+    pub fn with_crash(mut self, epoch: u32, shard: usize) -> Self {
+        self.shard.insert((epoch, shard), ShardFault::Crash);
+        self
+    }
+
+    /// Schedules an `ms`-millisecond stall of `shard` at `epoch`.
+    pub fn with_stall(mut self, epoch: u32, shard: usize, ms: u64) -> Self {
+        self.shard.insert((epoch, shard), ShardFault::Stall(ms));
+        self
+    }
+
+    /// Schedules a registry-swap failure for `shard` at `epoch`.
+    pub fn with_swap_failure(mut self, epoch: u32, shard: usize) -> Self {
+        self.swap_fail.insert((epoch, shard));
+        self
+    }
+
+    /// Schedules a corruption of the next not-yet-corrupted snapshot
+    /// write.
+    pub fn with_snapshot_corruption(mut self, corruption: SnapshotCorruption) -> Self {
+        self.snapshot.push(corruption);
+        self
+    }
+
+    /// What the plan has scheduled, by kind.
+    pub fn scheduled(&self) -> ScheduledFaults {
+        ScheduledFaults {
+            ingest: self.ingest.iter().filter(|f| f.is_some()).count(),
+            stalls: self
+                .shard
+                .values()
+                .filter(|f| matches!(f, ShardFault::Stall(_)))
+                .count(),
+            crashes: self
+                .shard
+                .values()
+                .filter(|f| matches!(f, ShardFault::Crash))
+                .count(),
+            swap_fails: self.swap_fail.len(),
+            snapshot_corruptions: self.snapshot.len(),
+        }
+    }
+}
+
+/// Cumulative counts of faults that actually *fired* during a run.
+///
+/// `delays_released` is incremented by the service when a deferred event
+/// finally reaches its queue; `delays - delays_released` is therefore the
+/// number of delayed events still in flight — the "retried/delayed
+/// in-flight" term of the chaos harness's conservation invariant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Request offers inspected by the injector (including retries).
+    pub offers: u64,
+    /// Offers dropped.
+    pub drops: u64,
+    /// Offers deferred.
+    pub delays: u64,
+    /// Deferred events released into their queue so far.
+    pub delays_released: u64,
+    /// Offers duplicated.
+    pub duplicates: u64,
+    /// Offers corrupted.
+    pub corrupts: u64,
+    /// Shard stalls fired.
+    pub stalls: u64,
+    /// Shard crashes fired.
+    pub crashes: u64,
+    /// Registry-swap failures fired.
+    pub swap_fails: u64,
+    /// Snapshot writes corrupted.
+    pub snapshot_corruptions: u64,
+}
+
+impl FaultCounters {
+    /// Faults that degrade an epoch when they fire (stall past the
+    /// deadline, or a failed swap).
+    pub fn degrading(&self) -> u64 {
+        self.stalls + self.swap_fails
+    }
+
+    /// Whether any fault fired at all.
+    pub fn any(&self) -> bool {
+        self.drops
+            + self.delays
+            + self.duplicates
+            + self.corrupts
+            + self.stalls
+            + self.crashes
+            + self.swap_fails
+            + self.snapshot_corruptions
+            > 0
+    }
+}
+
+/// Applies a [`FaultPlan`] at the service's hook points, each fault
+/// exactly once, with cumulative fired-fault counters.
+#[derive(Debug)]
+pub struct FaultInjector {
+    ingest: Vec<Option<IngestFault>>,
+    shard: Mutex<BTreeMap<(u32, usize), ShardFault>>,
+    swap_fail: Mutex<BTreeSet<(u32, usize)>>,
+    snapshot: Mutex<VecDeque<SnapshotCorruption>>,
+    scheduled: ScheduledFaults,
+    offer_idx: AtomicUsize,
+    c_offers: AtomicU64,
+    c_drops: AtomicU64,
+    c_delays: AtomicU64,
+    c_delays_released: AtomicU64,
+    c_duplicates: AtomicU64,
+    c_corrupts: AtomicU64,
+    c_stalls: AtomicU64,
+    c_crashes: AtomicU64,
+    c_swap_fails: AtomicU64,
+    c_snapshot_corruptions: AtomicU64,
+}
+
+impl FaultInjector {
+    /// An injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let scheduled = plan.scheduled();
+        Self {
+            ingest: plan.ingest,
+            shard: Mutex::new(plan.shard),
+            swap_fail: Mutex::new(plan.swap_fail),
+            snapshot: Mutex::new(plan.snapshot.into()),
+            scheduled,
+            offer_idx: AtomicUsize::new(0),
+            c_offers: AtomicU64::new(0),
+            c_drops: AtomicU64::new(0),
+            c_delays: AtomicU64::new(0),
+            c_delays_released: AtomicU64::new(0),
+            c_duplicates: AtomicU64::new(0),
+            c_corrupts: AtomicU64::new(0),
+            c_stalls: AtomicU64::new(0),
+            c_crashes: AtomicU64::new(0),
+            c_swap_fails: AtomicU64::new(0),
+            c_snapshot_corruptions: AtomicU64::new(0),
+        }
+    }
+
+    /// An injector executing the schedule drawn from `(seed, cfg)`.
+    pub fn from_seed(seed: u64, cfg: &FaultPlanConfig) -> Self {
+        Self::new(FaultPlan::generate(seed, cfg))
+    }
+
+    /// What the underlying plan scheduled (fixed at construction).
+    pub fn scheduled(&self) -> ScheduledFaults {
+        self.scheduled
+    }
+
+    fn lock<'m, T>(m: &'m Mutex<T>) -> std::sync::MutexGuard<'m, T> {
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The fault (if any) for the next request offer. Counts the offer and
+    /// the fired fault.
+    pub fn next_ingest_fault(&self) -> Option<IngestFault> {
+        let idx = self.offer_idx.fetch_add(1, Ordering::Relaxed);
+        self.c_offers.fetch_add(1, Ordering::Relaxed);
+        let fault = self.ingest.get(idx).copied().flatten();
+        match fault {
+            Some(IngestFault::Drop) => {
+                self.c_drops.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(IngestFault::Delay(_)) => {
+                self.c_delays.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(IngestFault::Duplicate) => {
+                self.c_duplicates.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(IngestFault::Corrupt) => {
+                self.c_corrupts.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {}
+        }
+        fault
+    }
+
+    /// Notes that a deferred event reached its queue.
+    pub(crate) fn note_delay_released(&self) {
+        self.c_delays_released.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes (consumes) the shard fault scheduled for `(epoch, shard)`, if
+    /// any. One-shot: a crashed epoch's replay sees no fault.
+    pub fn take_shard_fault(&self, epoch: u32, shard: usize) -> Option<ShardFault> {
+        let fault = Self::lock(&self.shard).remove(&(epoch, shard));
+        match fault {
+            Some(ShardFault::Stall(_)) => {
+                self.c_stalls.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(ShardFault::Crash) => {
+                self.c_crashes.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {}
+        }
+        fault
+    }
+
+    /// Takes (consumes) the registry-swap failure scheduled for
+    /// `(epoch, shard)`, if any.
+    pub fn take_swap_failure(&self, epoch: u32, shard: usize) -> bool {
+        let fired = Self::lock(&self.swap_fail).remove(&(epoch, shard));
+        if fired {
+            self.c_swap_fails.fetch_add(1, Ordering::Relaxed);
+        }
+        fired
+    }
+
+    /// Damages `text` according to the next scheduled snapshot corruption,
+    /// or returns it untouched when none is scheduled.
+    pub fn corrupt_snapshot(&self, text: String) -> String {
+        let Some(c) = Self::lock(&self.snapshot).pop_front() else {
+            return text;
+        };
+        self.c_snapshot_corruptions.fetch_add(1, Ordering::Relaxed);
+        apply_corruption(text, c)
+    }
+
+    /// The faults fired so far.
+    pub fn counters(&self) -> FaultCounters {
+        FaultCounters {
+            offers: self.c_offers.load(Ordering::Relaxed),
+            drops: self.c_drops.load(Ordering::Relaxed),
+            delays: self.c_delays.load(Ordering::Relaxed),
+            delays_released: self.c_delays_released.load(Ordering::Relaxed),
+            duplicates: self.c_duplicates.load(Ordering::Relaxed),
+            corrupts: self.c_corrupts.load(Ordering::Relaxed),
+            stalls: self.c_stalls.load(Ordering::Relaxed),
+            crashes: self.c_crashes.load(Ordering::Relaxed),
+            swap_fails: self.c_swap_fails.load(Ordering::Relaxed),
+            snapshot_corruptions: self.c_snapshot_corruptions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Applies one corruption to a snapshot text. Snapshot formats are pure
+/// ASCII, so byte surgery stays valid UTF-8; `from_utf8_lossy` guards the
+/// general case anyway.
+fn apply_corruption(text: String, c: SnapshotCorruption) -> String {
+    let mut bytes = text.into_bytes();
+    if bytes.is_empty() {
+        return String::new();
+    }
+    match c {
+        SnapshotCorruption::Truncate(at) => {
+            // Keep at least one byte, lose at least one.
+            let keep = 1 + (at as usize) % bytes.len().max(2).saturating_sub(1);
+            bytes.truncate(keep.min(bytes.len() - 1));
+        }
+        SnapshotCorruption::BitFlip(at) => {
+            let i = (at as usize) % bytes.len();
+            bytes[i] ^= 0x10;
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_inspectable() {
+        let cfg = FaultPlanConfig::chaos(8, 2);
+        let a = FaultPlan::generate(42, &cfg);
+        let b = FaultPlan::generate(42, &cfg);
+        assert_eq!(a.scheduled(), b.scheduled());
+        assert_eq!(a.ingest, b.ingest);
+        assert_eq!(a.shard, b.shard);
+        let c = FaultPlan::generate(43, &cfg);
+        assert_ne!(
+            (a.ingest.clone(), a.shard.clone(), a.swap_fail.clone()),
+            (c.ingest.clone(), c.shard.clone(), c.swap_fail.clone()),
+            "different seeds draw different schedules"
+        );
+        let quiet = FaultPlan::generate(42, &FaultPlanConfig::quiet(8, 2));
+        assert!(!quiet.scheduled().any());
+    }
+
+    #[test]
+    fn injector_consumes_faults_one_shot() {
+        let plan = FaultPlan::empty()
+            .with_crash(3, 0)
+            .with_stall(4, 1, 500)
+            .with_swap_failure(2, 0)
+            .with_ingest_fault(1, IngestFault::Drop);
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.next_ingest_fault(), None);
+        assert_eq!(inj.next_ingest_fault(), Some(IngestFault::Drop));
+        assert_eq!(inj.next_ingest_fault(), None, "beyond the horizon");
+        assert_eq!(inj.take_shard_fault(3, 0), Some(ShardFault::Crash));
+        assert_eq!(inj.take_shard_fault(3, 0), None, "crash fires once");
+        assert_eq!(inj.take_shard_fault(4, 1), Some(ShardFault::Stall(500)));
+        assert!(inj.take_swap_failure(2, 0));
+        assert!(!inj.take_swap_failure(2, 0), "swap failure fires once");
+        let c = inj.counters();
+        assert_eq!(c.offers, 3);
+        assert_eq!(c.drops, 1);
+        assert_eq!(c.crashes, 1);
+        assert_eq!(c.stalls, 1);
+        assert_eq!(c.swap_fails, 1);
+        assert!(c.any());
+    }
+
+    #[test]
+    fn snapshot_corruption_damages_text() {
+        let plan = FaultPlan::empty()
+            .with_snapshot_corruption(SnapshotCorruption::BitFlip(7))
+            .with_snapshot_corruption(SnapshotCorruption::Truncate(5));
+        let inj = FaultInjector::new(plan);
+        let original = "mrserve 1\nepochs 3\nend\nsum 0123456789abcdef\n".to_owned();
+        let flipped = inj.corrupt_snapshot(original.clone());
+        assert_ne!(flipped, original);
+        assert_eq!(flipped.len(), original.len());
+        let truncated = inj.corrupt_snapshot(original.clone());
+        assert!(truncated.len() < original.len());
+        // Plan exhausted: further writes pass through untouched.
+        assert_eq!(inj.corrupt_snapshot(original.clone()), original);
+        assert_eq!(inj.counters().snapshot_corruptions, 2);
+    }
+}

@@ -26,14 +26,24 @@
 //! * **Sharded runner** ([`DispatchService`]) — hosts independent city
 //!   shards on worker threads and aggregates a [`MetricsSnapshot`]
 //!   (queue depths, epoch-latency histogram, served/shed totals).
+//! * **Fault injection & graceful degradation** ([`FaultPlan`],
+//!   [`FaultInjector`], [`chaos`]) — a seeded, deterministic fault
+//!   schedule (drop/delay/duplicate/corrupt ingestion, stall/crash a
+//!   shard, fail a hot-swap, corrupt a snapshot write) threaded through
+//!   the service, paired with the recovery it demands: bounded ingestion
+//!   retry, per-epoch dispatch deadline with fallback to the heuristic
+//!   dispatcher (`degraded_epochs`), crash-restart from the last boundary
+//!   checkpoint, and checksum-validated snapshots.
 //!
 //! Built entirely on `std` (`std::thread`, `std::sync::mpsc`).
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod clock;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod metrics;
 pub mod queue;
 pub mod registry;
@@ -41,11 +51,16 @@ pub mod scheduler;
 pub mod service;
 mod shard;
 
+pub use chaos::{run_chaos, ChaosOptions, ChaosOutcome};
 pub use clock::{Clock, SimClock, WallClock};
 pub use error::ServeError;
 pub use event::Event;
+pub use fault::{
+    FaultCounters, FaultInjector, FaultPlan, FaultPlanConfig, IngestFault, ScheduledFaults,
+    ShardFault, SnapshotCorruption,
+};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardMetrics, LATENCY_BOUNDS_MS};
 pub use queue::{BoundedQueue, ShedPolicy};
 pub use registry::{ModelBundle, ModelRegistry};
 pub use scheduler::EpochScheduler;
-pub use service::{DispatchService, ServeConfig};
+pub use service::{DispatchService, RetryPolicy, ServeConfig};

@@ -115,6 +115,9 @@ pub struct ShardMetrics {
     pub routing_hits: u64,
     /// Shortest-path-tree cache misses (trees actually computed).
     pub routing_misses: u64,
+    /// Epochs this shard served on the heuristic fallback instead of the
+    /// DQN policy (deadline blown or model unavailable).
+    pub degraded: u64,
 }
 
 /// A point-in-time aggregate of the whole service, assembled without
@@ -135,6 +138,12 @@ pub struct MetricsSnapshot {
     pub advisories_applied: u64,
     /// Advisories dropped at validation (unknown segment / hour).
     pub advisories_invalid: u64,
+    /// Epochs in which at least one shard fell back to the heuristic
+    /// dispatcher (deadline blown or registry swap failed).
+    pub degraded_epochs: u64,
+    /// Ingestion re-offers performed by
+    /// [`crate::DispatchService::ingest_with_retry`] after a shed.
+    pub ingest_retries: u64,
     /// Current model bundle version in the registry.
     pub model_version: u64,
     /// Hot-swaps performed since the registry was created.
@@ -179,15 +188,17 @@ impl MetricsSnapshot {
         );
         let _ = writeln!(
             out,
-            "  latency: {} samples, mean {:.2} ms, max {} ms",
+            "  latency: {} samples, mean {:.2} ms, max {} ms | degraded epochs {} | ingest retries {}",
             self.epoch_latency.count(),
             self.epoch_latency.mean_ms(),
             self.epoch_latency.max_ms(),
+            self.degraded_epochs,
+            self.ingest_retries,
         );
         for (i, s) in self.shards.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "  shard {i}: epoch {} queue {} injected {} (rejected {}) waiting {} picked-up {} delivered {} route-cache {}h/{}m",
+                "  shard {i}: epoch {} queue {} injected {} (rejected {}) waiting {} picked-up {} delivered {} route-cache {}h/{}m degraded {}",
                 s.epochs,
                 s.queue_depth,
                 s.injected,
@@ -197,6 +208,7 @@ impl MetricsSnapshot {
                 s.delivered,
                 s.routing_hits,
                 s.routing_misses,
+                s.degraded,
             );
         }
         out
@@ -245,6 +257,8 @@ mod tests {
             advisories_shed: 0,
             advisories_applied: 3,
             advisories_invalid: 1,
+            degraded_epochs: 1,
+            ingest_retries: 2,
             model_version: 2,
             model_swaps: 1,
             epoch_latency: LatencyHistogram::new(),
@@ -269,5 +283,7 @@ mod tests {
         let text = m.render();
         assert!(text.contains("model v2"));
         assert!(text.contains("shard 1"));
+        assert!(text.contains("degraded epochs 1"));
+        assert!(text.contains("ingest retries 2"));
     }
 }

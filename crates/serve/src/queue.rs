@@ -147,6 +147,70 @@ mod tests {
         assert!(!q.push(10));
     }
 
+    /// Exercises one policy at the capacity boundaries: fill to `cap`
+    /// exactly, then overflow by one, checking depth and both counters at
+    /// every step.
+    fn boundary_case(cap: usize, policy: ShedPolicy) {
+        let effective = cap.max(1);
+        let q = BoundedQueue::new(cap, policy);
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.drain(), Vec::<usize>::new(), "empty queue drains empty");
+
+        // Up to capacity every offer is admitted, whatever the policy.
+        for i in 0..effective {
+            assert!(q.push(i), "push {i} under capacity {effective} shed");
+            assert_eq!(q.depth(), i + 1);
+        }
+        assert_eq!(q.accepted() as usize, effective);
+        assert_eq!(q.shed(), 0, "no shedding below capacity");
+
+        // The cap+1'th offer is the policy decision; depth never exceeds
+        // capacity and exactly one event is counted shed.
+        let admitted = q.push(effective);
+        assert_eq!(admitted, policy == ShedPolicy::DropOldest);
+        assert_eq!(q.depth(), effective);
+        assert_eq!(q.shed(), 1);
+        match policy {
+            ShedPolicy::DropNewest => {
+                assert_eq!(q.accepted() as usize, effective);
+                assert_eq!(q.peek_all().first(), Some(&0), "head kept");
+            }
+            ShedPolicy::DropOldest => {
+                assert_eq!(q.accepted() as usize, effective + 1);
+                let head = if effective == 1 { effective } else { 1 };
+                assert_eq!(q.peek_all().first(), Some(&head), "head evicted");
+            }
+        }
+
+        // Conservation: with nothing drained yet, queued = admitted −
+        // evicted (under DropOldest a single overflow offer counts in both
+        // `accepted` and `shed`; under DropNewest in exactly one).
+        let evicted = match policy {
+            ShedPolicy::DropNewest => 0,
+            ShedPolicy::DropOldest => q.shed(),
+        };
+        assert_eq!(q.accepted() - evicted, q.depth() as u64);
+        assert_eq!(q.drain().len(), effective);
+    }
+
+    #[test]
+    fn shed_policies_at_capacity_boundaries() {
+        for cap in [0, 1, 4, 5] {
+            boundary_case(cap, ShedPolicy::DropNewest);
+            boundary_case(cap, ShedPolicy::DropOldest);
+        }
+    }
+
+    #[test]
+    fn counters_survive_restore_overwrite() {
+        let q = BoundedQueue::<u32>::new(2, ShedPolicy::DropNewest);
+        let _ = q.push(1);
+        q.set_counters(40, 7);
+        assert_eq!(q.accepted(), 40);
+        assert_eq!(q.shed(), 7);
+        assert_eq!(q.depth(), 1, "restore overwrites counters, not contents");
+    }
+
     #[test]
     fn concurrent_pushes_account_for_everything() {
         let q = Arc::new(BoundedQueue::new(64, ShedPolicy::DropNewest));

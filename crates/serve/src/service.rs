@@ -1,18 +1,24 @@
 //! The dispatch service: sharded runner, ingestion front, epoch barrier,
-//! snapshot/restore.
+//! snapshot/restore, and the recovery machinery exercised by the chaos
+//! harness (bounded ingestion retry, delayed-event release, shard
+//! crash-restart from the last boundary checkpoint).
 
 use crate::clock::Clock;
 use crate::error::ServeError;
 use crate::event::Event;
+use crate::fault::IngestFault;
 use crate::metrics::{LatencyHistogram, MetricsSnapshot, ShardMetrics};
 use crate::queue::{BoundedQueue, ShedPolicy};
 use crate::registry::ModelRegistry;
 use crate::shard::{spawn_shard, ShardCmd, ShardReply, ShardSpec, ShardStatus};
+use crate::FaultInjector;
 use mobirescue_core::rl_dispatch::RlDispatchConfig;
 use mobirescue_core::scenario::Scenario;
 use mobirescue_roadnet::graph::SegmentId;
+use mobirescue_sim::{open_snapshot, seal_snapshot};
 use mobirescue_sim::{EpochReport, RequestSpec, SimConfig, World};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -37,6 +43,18 @@ pub struct ServeConfig {
     pub sim: SimConfig,
     /// Dispatcher settings shared by all shards.
     pub rl: RlDispatchConfig,
+    /// Deterministic fault schedule for chaos testing (`None` in
+    /// production: every hook is a no-op).
+    pub faults: Option<Arc<FaultInjector>>,
+    /// Per-epoch dispatch compute budget, ms. A shard whose primary
+    /// dispatcher exceeds it discards the late plan and replans with the
+    /// heuristic fallback (a degraded epoch). `None` disables the
+    /// deadline.
+    pub epoch_deadline_ms: Option<u64>,
+    /// Restart a dead shard worker from its last boundary checkpoint and
+    /// replay the epoch's drained events, instead of failing the epoch.
+    /// Costs one shard snapshot per epoch.
+    pub auto_recover: bool,
 }
 
 impl ServeConfig {
@@ -50,8 +68,42 @@ impl ServeConfig {
             advisory_shed: ShedPolicy::DropOldest,
             sim,
             rl: RlDispatchConfig::default(),
+            faults: None,
+            epoch_deadline_ms: None,
+            auto_recover: false,
         }
     }
+}
+
+/// Bounded retry for [`DispatchService::ingest_with_retry`]: when the
+/// queue sheds the event, back off on the service clock and re-offer.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Re-offers after the first attempt.
+    pub max_retries: u32,
+    /// First backoff, ms (scaled by `backoff_multiplier` per retry).
+    pub base_backoff_ms: u64,
+    /// Multiplier applied to the backoff after every retry.
+    pub backoff_multiplier: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_backoff_ms: 10,
+            backoff_multiplier: 2,
+        }
+    }
+}
+
+/// A request deferred in flight by an injected [`IngestFault::Delay`],
+/// waiting for its release epoch.
+#[derive(Debug, Clone)]
+struct DelayedRequest {
+    release_epoch: u32,
+    shard: usize,
+    spec: RequestSpec,
 }
 
 /// Mutable service-level accounting, behind one lock.
@@ -60,15 +112,14 @@ struct ServiceState {
     histogram: LatencyHistogram,
     advisories_applied: u64,
     advisories_invalid: u64,
+    degraded_epochs: u64,
     shard_metrics: Vec<ShardMetrics>,
     last_swap_error: Option<(usize, String)>,
 }
 
 struct ShardHandle {
     tx: Sender<ShardCmd>,
-    // Only the epoch driver receives replies, but the service is shared
-    // across threads (`Arc`), so the non-`Sync` receiver sits in a Mutex.
-    rx: Mutex<Receiver<ShardReply>>,
+    rx: Receiver<ShardReply>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -83,9 +134,18 @@ pub struct DispatchService {
     config: ServeConfig,
     scenario: Arc<Scenario>,
     registry: Arc<ModelRegistry>,
+    clock: Arc<dyn Clock>,
     request_queues: Vec<Arc<BoundedQueue<RequestSpec>>>,
     advisories: Arc<BoundedQueue<Event>>,
-    shards: Vec<ShardHandle>,
+    // Each handle sits in its own Mutex so a dead worker can be replaced
+    // through `&self` during crash recovery (and because the non-`Sync`
+    // receiver must not be shared bare across the `Arc`).
+    shards: Vec<Mutex<ShardHandle>>,
+    delayed: Mutex<Vec<DelayedRequest>>,
+    // Last boundary checkpoint per shard (auto-recover only).
+    checkpoints: Mutex<Vec<Option<String>>>,
+    retries: AtomicU64,
+    restarts: AtomicU64,
     state: Mutex<ServiceState>,
 }
 
@@ -122,23 +182,24 @@ impl DispatchService {
             config.advisory_queue_capacity,
             config.advisory_shed,
         ));
+        let make_spec = |scenario: &Arc<Scenario>| ShardSpec {
+            scenario: Arc::clone(scenario),
+            registry: Arc::clone(&registry),
+            clock: Arc::clone(&clock),
+            sim: config.sim.clone(),
+            rl: config.rl.clone(),
+            faults: config.faults.clone(),
+        };
         let shards = (0..config.num_shards)
             .map(|i| {
                 let (cmd_tx, cmd_rx) = channel();
                 let (reply_tx, reply_rx) = channel();
-                let spec = ShardSpec {
-                    scenario: Arc::clone(&scenario),
-                    registry: Arc::clone(&registry),
-                    clock: Arc::clone(&clock),
-                    sim: config.sim.clone(),
-                    rl: config.rl.clone(),
-                };
-                let join = spawn_shard(i, spec, cmd_rx, reply_tx);
-                ShardHandle {
+                let join = spawn_shard(i, make_spec(&scenario), cmd_rx, reply_tx);
+                Mutex::new(ShardHandle {
                     tx: cmd_tx,
-                    rx: Mutex::new(reply_rx),
+                    rx: reply_rx,
                     join: Some(join),
-                }
+                })
             })
             .collect();
         let state = ServiceState {
@@ -146,24 +207,44 @@ impl DispatchService {
             histogram: LatencyHistogram::new(),
             advisories_applied: 0,
             advisories_invalid: 0,
+            degraded_epochs: 0,
             shard_metrics: vec![ShardMetrics::default(); config.num_shards],
             last_swap_error: None,
         };
+        let checkpoints = vec![None; config.num_shards];
         Ok(Self {
             config,
             scenario,
             registry,
+            clock,
             request_queues,
             advisories,
             shards,
+            delayed: Mutex::new(Vec::new()),
+            checkpoints: Mutex::new(checkpoints),
+            retries: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
             state: Mutex::new(state),
         })
     }
 
     fn state(&self) -> MutexGuard<'_, ServiceState> {
-        self.state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        lock(&self.state)
+    }
+
+    fn shard(&self, i: usize) -> MutexGuard<'_, ShardHandle> {
+        lock(&self.shards[i])
+    }
+
+    fn shard_spec(&self) -> ShardSpec {
+        ShardSpec {
+            scenario: Arc::clone(&self.scenario),
+            registry: Arc::clone(&self.registry),
+            clock: Arc::clone(&self.clock),
+            sim: self.config.sim.clone(),
+            rl: self.config.rl.clone(),
+            faults: self.config.faults.clone(),
+        }
     }
 
     /// The service configuration.
@@ -171,8 +252,31 @@ impl DispatchService {
         &self.config
     }
 
+    /// How many dead shard workers were restarted from a checkpoint. An
+    /// operational counter, deliberately *not* part of
+    /// [`MetricsSnapshot`] nor the snapshot text: a recovered run must
+    /// converge to the exact state of an unfaulted one.
+    pub fn shard_restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    fn validate_request(&self, spec: &RequestSpec) -> Result<(), ServeError> {
+        if spec.segment.index() >= self.scenario.city.network.num_segments() {
+            return Err(ServeError::World(
+                mobirescue_sim::WorldError::UnknownSegment(spec.segment),
+            ));
+        }
+        Ok(())
+    }
+
     /// Offers one event to the ingestion front. Returns `Ok(true)` if it
     /// was admitted, `Ok(false)` if the bounded queue shed it.
+    ///
+    /// When a [`FaultInjector`] is configured, each *request* offer passes
+    /// through it: the event may be dropped (`Ok(false)`), deferred to a
+    /// later epoch (`Ok(true)` — it is in flight, not lost), enqueued
+    /// twice, or corrupted in flight (rejected by validation with a typed
+    /// error, like any malformed event). Advisories bypass injection.
     ///
     /// # Errors
     ///
@@ -189,15 +293,87 @@ impl DispatchService {
         }
         match event {
             Event::Request { spec, .. } => {
-                if spec.segment.index() >= self.scenario.city.network.num_segments() {
-                    return Err(ServeError::World(
-                        mobirescue_sim::WorldError::UnknownSegment(spec.segment),
-                    ));
+                self.validate_request(&spec)?;
+                let Some(injector) = &self.config.faults else {
+                    return Ok(self.request_queues[shard].push(spec));
+                };
+                match injector.next_ingest_fault() {
+                    None => Ok(self.request_queues[shard].push(spec)),
+                    Some(IngestFault::Drop) => Ok(false),
+                    Some(IngestFault::Delay(epochs)) => {
+                        let release_epoch = self.state().epochs_completed + epochs.max(1);
+                        lock(&self.delayed).push(DelayedRequest {
+                            release_epoch,
+                            shard,
+                            spec,
+                        });
+                        Ok(true)
+                    }
+                    Some(IngestFault::Duplicate) => {
+                        let q = &self.request_queues[shard];
+                        let first = q.push(spec);
+                        let _ = q.push(spec);
+                        Ok(first)
+                    }
+                    Some(IngestFault::Corrupt) => {
+                        // The payload is damaged in flight; validation
+                        // rejects it exactly like any malformed event.
+                        Err(ServeError::World(
+                            mobirescue_sim::WorldError::UnknownSegment(SegmentId(u32::MAX)),
+                        ))
+                    }
                 }
-                Ok(self.request_queues[shard].push(spec))
             }
             other => Ok(self.advisories.push(other)),
         }
+    }
+
+    /// [`DispatchService::ingest`] with bounded retry: when the queue
+    /// sheds the offer, back off on the service clock and re-offer, up to
+    /// `retry.max_retries` times. Each re-offer is a fresh ingestion (it
+    /// passes through fault injection again). Errors are permanent —
+    /// malformed events are not retried.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`DispatchService::ingest`] returns.
+    pub fn ingest_with_retry(&self, event: Event, retry: &RetryPolicy) -> Result<bool, ServeError> {
+        let mut backoff_ms = retry.base_backoff_ms;
+        let mut attempts = 0;
+        loop {
+            if self.ingest(event)? {
+                return Ok(true);
+            }
+            if attempts >= retry.max_retries {
+                return Ok(false);
+            }
+            attempts += 1;
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            self.clock.sleep_ms(backoff_ms);
+            backoff_ms = backoff_ms.saturating_mul(retry.backoff_multiplier.max(1));
+        }
+    }
+
+    /// Moves injection-delayed requests whose release epoch has arrived
+    /// into their shard queues (in arrival order).
+    fn release_due_delayed(&self) {
+        let epoch = self.state().epochs_completed;
+        let mut delayed = lock(&self.delayed);
+        if delayed.is_empty() {
+            return;
+        }
+        let mut pending = Vec::with_capacity(delayed.len());
+        for d in delayed.drain(..) {
+            if d.release_epoch <= epoch {
+                self.request_queues[d.shard].push(d.spec);
+                if let Some(injector) = &self.config.faults {
+                    injector.note_delay_released();
+                }
+            } else {
+                pending.push(d);
+            }
+        }
+        *delayed = pending;
     }
 
     /// Validates drained advisories against the scenario. Weather and
@@ -238,10 +414,8 @@ impl DispatchService {
     }
 
     fn recv_reply(&self, shard: usize) -> Result<ShardReply, ServeError> {
-        self.shards[shard]
+        self.shard(shard)
             .rx
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .recv()
             .map_err(|_| self.shard_error(shard, "worker thread died"))
     }
@@ -258,38 +432,130 @@ impl DispatchService {
             model_version: st.model_version,
             routing_hits: st.routing.hits,
             routing_misses: st.routing.misses,
+            degraded: st.degraded,
         }
     }
 
-    /// Runs one dispatch epoch on every shard (the barrier): drains each
-    /// shard's request queue into its world, advances all shards one
-    /// dispatch period in parallel, and collects their reports.
+    /// Restarts shard `i`'s worker, restores it from the last boundary
+    /// checkpoint (a missing checkpoint means the shard had completed no
+    /// epoch — a fresh world *is* its last good state), and replays the
+    /// epoch with the already-drained `requests`. The crashed epoch's
+    /// faults were consumed when they fired, so the replay runs unfaulted.
+    fn recover_shard(
+        &self,
+        i: usize,
+        requests: &[RequestSpec],
+        budget_ms: Option<u64>,
+    ) -> Result<Box<ShardStatus>, ServeError> {
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut h = self.shard(i);
+            if let Some(join) = h.join.take() {
+                let _ = join.join();
+            }
+            let (cmd_tx, cmd_rx) = channel();
+            let (reply_tx, reply_rx) = channel();
+            h.join = Some(spawn_shard(i, self.shard_spec(), cmd_rx, reply_tx));
+            h.tx = cmd_tx;
+            h.rx = reply_rx;
+        }
+        let checkpoint = lock(&self.checkpoints)[i].clone();
+        if let Some(text) = checkpoint {
+            self.shard(i)
+                .tx
+                .send(ShardCmd::Restore(text))
+                .map_err(|_| self.shard_error(i, "restarted worker gone"))?;
+            match self.recv_reply(i)? {
+                ShardReply::Restored(Ok(_)) => {}
+                ShardReply::Restored(Err(message)) => {
+                    return Err(self.shard_error(i, message));
+                }
+                _ => return Err(self.shard_error(i, "out-of-protocol reply")),
+            }
+        }
+        self.shard(i)
+            .tx
+            .send(ShardCmd::RunEpoch {
+                requests: requests.to_vec(),
+                budget_ms,
+            })
+            .map_err(|_| self.shard_error(i, "restarted worker gone"))?;
+        match self.recv_reply(i)? {
+            ShardReply::Epoch(Ok(st)) => Ok(st),
+            ShardReply::Epoch(Err(message)) => Err(self.shard_error(i, message)),
+            _ => Err(self.shard_error(i, "out-of-protocol reply")),
+        }
+    }
+
+    /// Takes a post-epoch checkpoint of every shard for crash recovery.
+    fn checkpoint_shards(&self) -> Result<(), ServeError> {
+        for i in 0..self.shards.len() {
+            self.shard(i)
+                .tx
+                .send(ShardCmd::Snapshot)
+                .map_err(|_| self.shard_error(i, "worker thread gone"))?;
+            match self.recv_reply(i)? {
+                ShardReply::Snapshot(Ok(text)) => {
+                    lock(&self.checkpoints)[i] = Some(text);
+                }
+                ShardReply::Snapshot(Err(message)) => {
+                    return Err(self.shard_error(i, message));
+                }
+                _ => return Err(self.shard_error(i, "out-of-protocol reply")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one dispatch epoch on every shard (the barrier): releases due
+    /// delayed events, drains each shard's request queue into its world,
+    /// advances all shards one dispatch period in parallel, and collects
+    /// their reports. With `auto_recover`, a shard whose worker died is
+    /// restarted from its last boundary checkpoint and the epoch is
+    /// replayed with the same drained batch — no epoch is skipped.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::Shard`] when a worker has died or cannot
-    /// build any dispatcher.
+    /// Returns [`ServeError::Shard`] when a worker has died (and
+    /// `auto_recover` is off or recovery itself failed).
     pub fn run_epoch(&self) -> Result<Vec<EpochReport>, ServeError> {
+        self.release_due_delayed();
         let (applied, invalid) = self.apply_advisories(self.advisories.drain());
-        for (i, shard) in self.shards.iter().enumerate() {
-            let requests = self.request_queues[i].drain();
-            shard
-                .tx
-                .send(ShardCmd::RunEpoch { requests })
-                .map_err(|_| self.shard_error(i, "worker thread gone"))?;
+        let budget_ms = self.config.epoch_deadline_ms;
+        let drained: Vec<Vec<RequestSpec>> =
+            self.request_queues.iter().map(|q| q.drain()).collect();
+        let mut send_failed = vec![false; self.shards.len()];
+        for (i, requests) in drained.iter().enumerate() {
+            let sent = self.shard(i).tx.send(ShardCmd::RunEpoch {
+                requests: requests.clone(),
+                budget_ms,
+            });
+            if sent.is_err() {
+                if !self.config.auto_recover {
+                    return Err(self.shard_error(i, "worker thread gone"));
+                }
+                send_failed[i] = true;
+            }
         }
-        let mut reports = Vec::with_capacity(self.shards.len());
         let mut statuses = Vec::with_capacity(self.shards.len());
         let mut first_error = None;
-        for i in 0..self.shards.len() {
-            match self.recv_reply(i) {
-                Ok(ShardReply::Epoch(Ok(st))) => statuses.push((i, st)),
-                Ok(ShardReply::Epoch(Err(message))) => {
-                    first_error.get_or_insert(self.shard_error(i, message));
+        for (i, requests) in drained.iter().enumerate() {
+            let outcome = if send_failed[i] {
+                Err(self.shard_error(i, "worker thread gone"))
+            } else {
+                match self.recv_reply(i) {
+                    Ok(ShardReply::Epoch(Ok(st))) => Ok(st),
+                    Ok(ShardReply::Epoch(Err(message))) => Err(self.shard_error(i, message)),
+                    Ok(_) => Err(self.shard_error(i, "out-of-protocol reply")),
+                    Err(e) => Err(e),
                 }
-                Ok(_) => {
-                    first_error.get_or_insert(self.shard_error(i, "out-of-protocol reply"));
-                }
+            };
+            let outcome = match outcome {
+                Err(_) if self.config.auto_recover => self.recover_shard(i, requests, budget_ms),
+                other => other,
+            };
+            match outcome {
+                Ok(st) => statuses.push((i, st)),
                 Err(e) => {
                     first_error.get_or_insert(e);
                 }
@@ -298,26 +564,38 @@ impl DispatchService {
         if let Some(e) = first_error {
             return Err(e);
         }
-        let mut state = self.state();
-        for (i, st) in statuses {
-            state.histogram.record(st.compute_ms);
-            state.shard_metrics[i] = self.to_metrics(i, &st);
-            if let Some(message) = st.swap_error {
-                state.last_swap_error = Some((i, message));
+        let mut reports = Vec::with_capacity(statuses.len());
+        {
+            let mut state = self.state();
+            let mut any_degraded = false;
+            for (i, st) in statuses {
+                state.histogram.record(st.compute_ms);
+                state.shard_metrics[i] = self.to_metrics(i, &st);
+                any_degraded |= st.degraded_now;
+                if let Some(message) = st.swap_error {
+                    state.last_swap_error = Some((i, message));
+                }
+                if let Some(report) = st.report {
+                    reports.push(report);
+                }
             }
-            if let Some(report) = st.report {
-                reports.push(report);
+            state.epochs_completed += 1;
+            state.advisories_applied += applied;
+            state.advisories_invalid += invalid;
+            if any_degraded {
+                state.degraded_epochs += 1;
             }
         }
-        state.epochs_completed += 1;
-        state.advisories_applied += applied;
-        state.advisories_invalid += invalid;
+        if self.config.auto_recover {
+            self.checkpoint_shards()?;
+        }
         Ok(reports)
     }
 
     /// The most recent failed model hot-swap, if any: the shard index and
     /// the reason. A failed swap is not fatal — the shard keeps serving
-    /// with its previous dispatcher — but operators should see it.
+    /// with its previous dispatcher, or degraded on the heuristic fallback
+    /// when none exists — but operators should see it.
     pub fn last_swap_error(&self) -> Option<(usize, String)> {
         self.state().last_swap_error.clone()
     }
@@ -338,6 +616,8 @@ impl DispatchService {
             advisories_shed: self.advisories.shed(),
             advisories_applied: state.advisories_applied,
             advisories_invalid: state.advisories_invalid,
+            degraded_epochs: state.degraded_epochs,
+            ingest_retries: self.retries.load(Ordering::Relaxed),
             model_version: self.registry.current().version,
             model_swaps: self.registry.swaps(),
             epoch_latency: state.histogram.clone(),
@@ -347,8 +627,13 @@ impl DispatchService {
 
     /// Serializes the whole service — every shard's world, the pending
     /// queue contents, and the service counters — to a versioned text
-    /// blob. Take it at an epoch boundary (between [`run_epoch`] calls);
-    /// a service restored from it continues identically.
+    /// blob sealed with an FNV-1a checksum trailer. Take it at an epoch
+    /// boundary (between [`run_epoch`] calls); a service restored from it
+    /// continues identically.
+    ///
+    /// With a [`FaultInjector`] configured, a scheduled snapshot
+    /// corruption damages the returned text (a torn or bit-rotted write);
+    /// [`DispatchService::restore`] must then reject it.
     ///
     /// [`run_epoch`]: DispatchService::run_epoch
     ///
@@ -369,6 +654,12 @@ impl DispatchService {
                 self.advisories.shed()
             );
             let _ = writeln!(out, "hist {}", state.histogram.to_line());
+            let _ = writeln!(
+                out,
+                "resil {} {}",
+                state.degraded_epochs,
+                self.retries.load(Ordering::Relaxed)
+            );
         }
         for (i, q) in self.request_queues.iter().enumerate() {
             let _ = writeln!(out, "rqueue {i} {} {}", q.accepted(), q.shed());
@@ -401,8 +692,15 @@ impl DispatchService {
                 Event::Request { .. } => {}
             }
         }
-        for (i, shard) in self.shards.iter().enumerate() {
-            shard
+        for d in lock(&self.delayed).iter() {
+            let _ = writeln!(
+                out,
+                "dlay {} {} {} {}",
+                d.release_epoch, d.shard, d.spec.appear_s, d.spec.segment.0
+            );
+        }
+        for i in 0..self.shards.len() {
+            self.shard(i)
                 .tx
                 .send(ShardCmd::Snapshot)
                 .map_err(|_| self.shard_error(i, "worker thread gone"))?;
@@ -418,7 +716,11 @@ impl DispatchService {
             }
         }
         out.push_str("end\n");
-        Ok(out)
+        let sealed = seal_snapshot(out);
+        Ok(match &self.config.faults {
+            Some(injector) => injector.corrupt_snapshot(sealed),
+            None => sealed,
+        })
     }
 
     /// Rebuilds a service from a snapshot over the *same* scenario. The
@@ -427,8 +729,9 @@ impl DispatchService {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::BadSnapshot`] on malformed input (including a
-    /// shard count that does not match `config`), plus anything
+    /// Returns [`ServeError::BadSnapshot`] on malformed input — including
+    /// a failed checksum (truncated or bit-flipped text) and a shard count
+    /// that does not match `config` — plus anything
     /// [`DispatchService::start`] can return.
     pub fn restore(
         scenario: Arc<Scenario>,
@@ -438,6 +741,7 @@ impl DispatchService {
         text: &str,
     ) -> Result<Self, ServeError> {
         let bad = |why: &str| ServeError::BadSnapshot(why.to_owned());
+        let text = open_snapshot(text).map_err(ServeError::BadSnapshot)?;
         let svc = Self::start(scenario, config, clock, registry)?;
         let mut lines = text.lines();
         if lines.next() != Some("mrserve 1") {
@@ -445,6 +749,7 @@ impl DispatchService {
         }
         let mut epochs = 0u32;
         let mut adv_counts = (0u64, 0u64, 0u64, 0u64);
+        let mut resil = (0u64, 0u64);
         let mut histogram = LatencyHistogram::new();
         let mut rqueue_counters = vec![(0u64, 0u64); svc.config.num_shards];
         let mut restored_shards = vec![false; svc.config.num_shards];
@@ -473,6 +778,13 @@ impl DispatchService {
                     let rest = line.strip_prefix("hist ").unwrap_or("");
                     histogram =
                         LatencyHistogram::from_line(rest).ok_or_else(|| bad("bad hist line"))?;
+                }
+                "resil" => {
+                    let mut next = || p.next().and_then(|t| t.parse::<u64>().ok());
+                    resil = (
+                        next().ok_or_else(|| bad("bad resil line"))?,
+                        next().ok_or_else(|| bad("bad resil line"))?,
+                    );
                 }
                 "rqueue" => {
                     let i: usize = p
@@ -559,6 +871,33 @@ impl DispatchService {
                     }
                     _ => return Err(bad("unknown advisory kind")),
                 },
+                "dlay" => {
+                    let release_epoch = p
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("bad dlay release epoch"))?;
+                    let shard: usize = p
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("bad dlay shard"))?;
+                    if shard >= svc.config.num_shards {
+                        return Err(bad("dlay shard out of range"));
+                    }
+                    let appear_s = p
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("bad dlay appear_s"))?;
+                    let segment = p
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .map(SegmentId)
+                        .ok_or_else(|| bad("bad dlay segment"))?;
+                    lock(&svc.delayed).push(DelayedRequest {
+                        release_epoch,
+                        shard,
+                        spec: RequestSpec { appear_s, segment },
+                    });
+                }
                 "shard" => {
                     let i: usize = p
                         .next()
@@ -577,7 +916,7 @@ impl DispatchService {
                         body.push_str(l);
                         body.push('\n');
                     }
-                    svc.shards[i]
+                    svc.shard(i)
                         .tx
                         .send(ShardCmd::Restore(body))
                         .map_err(|_| svc.shard_error(i, "worker thread gone"))?;
@@ -610,23 +949,37 @@ impl DispatchService {
             q.set_counters(accepted, shed);
         }
         svc.advisories.set_counters(adv_counts.2, adv_counts.3);
+        svc.retries.store(resil.1, Ordering::Relaxed);
         {
             let mut state = svc.state();
             state.epochs_completed = epochs;
             state.advisories_applied = adv_counts.0;
             state.advisories_invalid = adv_counts.1;
+            state.degraded_epochs = resil.0;
             state.histogram = histogram;
             state.shard_metrics = shard_metrics;
+        }
+        // Seed recovery checkpoints with the restored state, so a crash
+        // before the first post-restore boundary does not roll back to a
+        // fresh world.
+        if svc.config.auto_recover {
+            svc.checkpoint_shards()?;
         }
         Ok(svc)
     }
 
     fn stop_workers(&mut self) {
         for shard in &mut self.shards {
-            let _ = shard.tx.send(ShardCmd::Shutdown);
+            let h = shard
+                .get_mut()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let _ = h.tx.send(ShardCmd::Shutdown);
         }
         for shard in &mut self.shards {
-            if let Some(join) = shard.join.take() {
+            let h = shard
+                .get_mut()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(join) = h.join.take() {
                 let _ = join.join();
             }
         }
@@ -642,4 +995,8 @@ impl Drop for DispatchService {
     fn drop(&mut self) {
         self.stop_workers();
     }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }

@@ -15,8 +15,26 @@
 //! latency (the paper's Figure 13 penalty). On a [`crate::SimClock`] the
 //! measurement is exactly zero, which is what makes service runs
 //! reproducible in tests.
+//!
+//! # Graceful degradation
+//!
+//! A shard never skips an epoch silently. When the DQN dispatcher is
+//! unavailable or too slow it falls back to the paper's nearest-request
+//! heuristic for that epoch and counts it as *degraded*:
+//!
+//! * the per-epoch compute budget (`RunEpoch::budget_ms`) is exceeded —
+//!   the plan computed late is discarded and the heuristic replans, via
+//!   [`World::run_epoch_with_deadline`];
+//! * a registry hot-swap fails and no previously-built dispatcher exists
+//!   (or a [`crate::FaultInjector`] injected a swap failure);
+//!
+//! The budget is checked against the *shard's own* measured dispatch time,
+//! not an absolute clock instant: shards share one service clock, so an
+//! injected stall on one shard must not leak into its neighbours'
+//! deadline decisions.
 
 use crate::clock::Clock;
+use crate::fault::{FaultInjector, ShardFault};
 use crate::registry::{ModelBundle, ModelRegistry};
 use mobirescue_core::predictor::RequestPredictor;
 use mobirescue_core::rl_dispatch::{MobiRescueDispatcher, RlDispatchConfig, FEATURE_DIM};
@@ -24,7 +42,10 @@ use mobirescue_core::scenario::Scenario;
 use mobirescue_rl::qscore::{QScore, QScoreConfig};
 use mobirescue_roadnet::planner::PlannerStats;
 use mobirescue_sim::dispatcher::{DispatchState, Dispatcher};
-use mobirescue_sim::{DispatchPlan, EpochReport, RequestSpec, SimConfig, World};
+use mobirescue_sim::{
+    DispatchPlan, EpochReport, NearestRequestDispatcher, RequestSpec, SimConfig, World,
+};
+use std::cell::Cell;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -32,10 +53,14 @@ use std::thread::JoinHandle;
 /// Commands the service sends to a shard worker.
 pub(crate) enum ShardCmd {
     /// Inject the drained requests, run one dispatch epoch, reply with
-    /// [`ShardReply::Status`].
+    /// [`ShardReply::Epoch`].
     RunEpoch {
         /// Requests drained from the shard's ingest queue.
         requests: Vec<RequestSpec>,
+        /// Per-epoch dispatch compute budget, ms. When the primary
+        /// dispatcher's measured compute exceeds it, its plan is discarded
+        /// and the heuristic fallback replans (a degraded epoch).
+        budget_ms: Option<u64>,
     },
     /// Reply with the shard's serialized state.
     Snapshot,
@@ -60,10 +85,15 @@ pub(crate) struct ShardStatus {
     /// Cumulative routing-cache counters of the shard's world (carried
     /// across snapshot/restore).
     pub routing: PlannerStats,
+    /// Epochs served by the heuristic fallback instead of the DQN policy
+    /// (cumulative, carried across snapshot/restore).
+    pub degraded: u64,
+    /// Whether the epoch just completed was degraded.
+    pub degraded_now: bool,
     /// The epoch just completed (`None` after a restore).
     pub report: Option<EpochReport>,
-    /// A model hot-swap that failed this epoch (the shard keeps serving
-    /// with its previous dispatcher).
+    /// A model hot-swap that failed this epoch (the shard keeps serving —
+    /// with its previous dispatcher, or degraded on the fallback).
     pub swap_error: Option<String>,
 }
 
@@ -81,17 +111,23 @@ pub(crate) struct ShardSpec {
     pub clock: Arc<dyn Clock>,
     pub sim: SimConfig,
     pub rl: RlDispatchConfig,
+    /// Fault schedule shared with the service (chaos testing only).
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 /// Wraps the real dispatcher to measure its compute time through the
-/// service clock.
-struct TimedDispatcher<'d, 'a> {
-    inner: &'d mut MobiRescueDispatcher<'a>,
+/// service clock. The measurement accumulates into a shared [`Cell`] so
+/// the epoch-budget check can read it while the wrapper is mutably
+/// borrowed by the running epoch.
+struct TimedDispatcher<'d> {
+    inner: &'d mut dyn Dispatcher,
     clock: &'d dyn Clock,
-    spent_ms: u64,
+    spent_ms: &'d Cell<u64>,
+    /// Injected stall applied once, at the first dispatch call.
+    stall_ms: u64,
 }
 
-impl Dispatcher for TimedDispatcher<'_, '_> {
+impl Dispatcher for TimedDispatcher<'_> {
     fn name(&self) -> &str {
         self.inner.name()
     }
@@ -103,7 +139,14 @@ impl Dispatcher for TimedDispatcher<'_, '_> {
     fn dispatch(&mut self, state: &DispatchState<'_>) -> DispatchPlan {
         let t0 = self.clock.now_ms();
         let plan = self.inner.dispatch(state);
-        self.spent_ms += self.clock.now_ms().saturating_sub(t0);
+        let elapsed = self.clock.now_ms().saturating_sub(t0);
+        // An injected stall is accounted directly rather than slept on the
+        // clock: shards share the service clock, so sleeping would leak
+        // one shard's stall into its neighbours' concurrently measured
+        // epochs (and make SimClock runs nondeterministic).
+        self.spent_ms
+            .set(self.spent_ms.get() + elapsed + self.stall_ms);
+        self.stall_ms = 0;
         plan
     }
 }
@@ -149,20 +192,22 @@ pub(crate) fn spawn_shard(
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("mobirescue-shard-{index}"))
-        .spawn(move || run_shard(spec, &rx, &tx))
+        .spawn(move || run_shard(index, spec, &rx, &tx))
         .expect("spawning a shard thread never fails on this platform")
 }
 
-fn run_shard(spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender<ShardReply>) {
+fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender<ShardReply>) {
     let scenario = &spec.scenario;
     // The service validated this exact construction before spawning.
     let mut world = World::new(&scenario.city, &scenario.conditions, &spec.sim)
         .expect("service validated the world configuration");
     let mut bundle = spec.registry.current();
     let mut dispatcher = build_dispatcher(scenario, &spec.rl, &bundle).ok();
+    let mut fallback = NearestRequestDispatcher;
     let mut injected: u64 = 0;
     let mut rejected: u64 = 0;
     let mut carry_ms: u64 = 0;
+    let mut degraded: u64 = 0;
     // A restored world starts with a fresh planner; its pre-snapshot
     // counters are carried in this base so totals survive restores.
     let mut routing_base = PlannerStats::default();
@@ -181,6 +226,8 @@ fn run_shard(spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender<ShardReply>) 
                   version: u64,
                   compute_ms: u64,
                   routing: PlannerStats,
+                  degraded: u64,
+                  degraded_now: bool,
                   report: Option<EpochReport>,
                   swap_error: Option<String>| {
         Box::new(ShardStatus {
@@ -193,6 +240,8 @@ fn run_shard(spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender<ShardReply>) 
             model_version: version,
             compute_ms,
             routing,
+            degraded,
+            degraded_now,
             report,
             swap_error,
         })
@@ -200,60 +249,121 @@ fn run_shard(spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender<ShardReply>) 
 
     while let Ok(cmd) = rx.recv() {
         match cmd {
-            ShardCmd::RunEpoch { requests } => {
+            ShardCmd::RunEpoch {
+                requests,
+                budget_ms,
+            } => {
+                let epoch = world.epoch_index();
+                let faults = spec.faults.as_deref();
+                // An injected crash kills the worker mid-epoch without a
+                // reply — the service sees exactly what a real thread
+                // death looks like: a dead channel. The fault was consumed
+                // above, so the post-restore replay of this epoch runs it
+                // unfaulted (replay masking).
+                let stall_ms = match faults.and_then(|f| f.take_shard_fault(epoch, index)) {
+                    Some(ShardFault::Crash) => return,
+                    Some(ShardFault::Stall(ms)) => ms,
+                    None => 0,
+                };
                 // Hot-swap check at the epoch boundary only: mid-epoch the
-                // dispatcher stays whatever the epoch started with.
+                // dispatcher stays whatever the epoch started with. An
+                // injected swap failure simulates the registry being
+                // unreachable: no swap happens and this epoch is served
+                // degraded on the fallback.
                 let mut swap_error = None;
-                let current = spec.registry.current();
-                if current.version != bundle.version || dispatcher.is_none() {
-                    match build_dispatcher(scenario, &spec.rl, &current) {
-                        Ok(d) => {
-                            dispatcher = Some(d);
-                            bundle = current;
+                let mut force_fallback = false;
+                if faults.is_some_and(|f| f.take_swap_failure(epoch, index)) {
+                    swap_error = Some("injected registry swap failure".to_owned());
+                    force_fallback = true;
+                } else {
+                    let current = spec.registry.current();
+                    if current.version != bundle.version || dispatcher.is_none() {
+                        match build_dispatcher(scenario, &spec.rl, &current) {
+                            Ok(d) => {
+                                dispatcher = Some(d);
+                                bundle = current;
+                            }
+                            Err(e) => swap_error = Some(e),
                         }
-                        Err(e) => swap_error = Some(e),
                     }
                 }
-                let Some(dispatcher) = dispatcher.as_mut() else {
-                    let message =
-                        swap_error.unwrap_or_else(|| "no dispatcher could be built".to_owned());
-                    if tx.send(ShardReply::Epoch(Err(message))).is_err() {
-                        return;
-                    }
-                    continue;
-                };
                 for r in requests {
                     match world.inject_request(r) {
                         Ok(_) => injected += 1,
                         Err(_) => rejected += 1,
                     }
                 }
-                let mut timed = TimedDispatcher {
-                    inner: dispatcher,
-                    clock: &*spec.clock,
-                    spent_ms: 0,
+                let spent_ms = Cell::new(0u64);
+                let carry_s = carry_ms as f64 / 1_000.0;
+                let degraded_now = match dispatcher.as_mut() {
+                    Some(d) if !force_fallback => {
+                        let mut timed = TimedDispatcher {
+                            inner: d,
+                            clock: &*spec.clock,
+                            spent_ms: &spent_ms,
+                            stall_ms,
+                        };
+                        let mut over = || budget_ms.is_some_and(|budget| spent_ms.get() > budget);
+                        let (report, late) = world.run_epoch_with_deadline(
+                            &mut timed,
+                            &mut fallback,
+                            carry_s,
+                            &mut over,
+                        );
+                        let st = status(
+                            &world,
+                            injected,
+                            rejected,
+                            bundle.version,
+                            spent_ms.get(),
+                            routing_total(&world, routing_base),
+                            degraded + u64::from(late),
+                            late,
+                            Some(report),
+                            swap_error,
+                        );
+                        if tx.send(ShardReply::Epoch(Ok(st))).is_err() {
+                            return;
+                        }
+                        late
+                    }
+                    _ => {
+                        // The DQN policy is unavailable (failed swap with
+                        // no usable predecessor, or an injected registry
+                        // failure): serve the epoch on the heuristic
+                        // rather than skip it.
+                        let mut timed = TimedDispatcher {
+                            inner: &mut fallback,
+                            clock: &*spec.clock,
+                            spent_ms: &spent_ms,
+                            stall_ms,
+                        };
+                        let report = world.run_epoch(&mut timed, carry_s);
+                        let st = status(
+                            &world,
+                            injected,
+                            rejected,
+                            bundle.version,
+                            spent_ms.get(),
+                            routing_total(&world, routing_base),
+                            degraded + 1,
+                            true,
+                            Some(report),
+                            swap_error.or_else(|| Some("no dispatcher could be built".to_owned())),
+                        );
+                        if tx.send(ShardReply::Epoch(Ok(st))).is_err() {
+                            return;
+                        }
+                        true
+                    }
                 };
-                let report = world.run_epoch(&mut timed, carry_ms as f64 / 1_000.0);
-                let compute_ms = timed.spent_ms;
-                carry_ms = compute_ms;
-                let st = status(
-                    &world,
-                    injected,
-                    rejected,
-                    bundle.version,
-                    compute_ms,
-                    routing_total(&world, routing_base),
-                    Some(report),
-                    swap_error,
-                );
-                if tx.send(ShardReply::Epoch(Ok(st))).is_err() {
-                    return;
-                }
+                degraded += u64::from(degraded_now);
+                carry_ms = spent_ms.get();
             }
             ShardCmd::Snapshot => {
                 let routing = routing_total(&world, routing_base);
                 let mut text = format!(
-                    "shardstate {injected} {rejected} {carry_ms} {} {} {}\n",
+                    "shardstate {injected} {rejected} {carry_ms} {} {} {} {degraded}\n",
                     bundle.version, routing.hits, routing.misses
                 );
                 text.push_str(&world.snapshot_text());
@@ -263,12 +373,13 @@ fn run_shard(spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender<ShardReply>) 
             }
             ShardCmd::Restore(text) => {
                 let reply = match parse_shard_snapshot(scenario, &text) {
-                    Ok((w, inj, rej, carry, version, routing)) => {
-                        world = w;
-                        injected = inj;
-                        rejected = rej;
-                        carry_ms = carry;
-                        routing_base = routing;
+                    Ok(parsed) => {
+                        world = parsed.world;
+                        injected = parsed.injected;
+                        rejected = parsed.rejected;
+                        carry_ms = parsed.carry_ms;
+                        degraded = parsed.degraded;
+                        routing_base = parsed.routing;
                         // The dispatcher rebuilds from the registry at the
                         // next epoch; until then report the version the
                         // snapshot ran with.
@@ -276,9 +387,11 @@ fn run_shard(spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender<ShardReply>) 
                             &world,
                             injected,
                             rejected,
-                            version,
+                            parsed.version,
                             carry_ms,
                             routing_total(&world, routing_base),
+                            degraded,
+                            false,
                             None,
                             None,
                         ))
@@ -294,7 +407,15 @@ fn run_shard(spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender<ShardReply>) 
     }
 }
 
-type ParsedShard<'a> = (World<'a>, u64, u64, u64, u64, PlannerStats);
+struct ParsedShard<'a> {
+    world: World<'a>,
+    injected: u64,
+    rejected: u64,
+    carry_ms: u64,
+    version: u64,
+    routing: PlannerStats,
+    degraded: u64,
+}
 
 fn parse_shard_snapshot<'a>(scenario: &'a Scenario, text: &str) -> Result<ParsedShard<'a>, String> {
     let (first, rest) = text
@@ -317,7 +438,16 @@ fn parse_shard_snapshot<'a>(scenario: &'a Scenario, text: &str) -> Result<Parsed
         hits: next_u64("routing hits")?,
         misses: next_u64("routing misses")?,
     };
+    let degraded = next_u64("degraded epochs")?;
     let world = World::restore_text(&scenario.city, &scenario.conditions, rest)
         .map_err(|e| e.to_string())?;
-    Ok((world, injected, rejected, carry_ms, version, routing))
+    Ok(ParsedShard {
+        world,
+        injected,
+        rejected,
+        carry_ms,
+        version,
+        routing,
+        degraded,
+    })
 }

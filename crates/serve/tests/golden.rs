@@ -1,0 +1,146 @@
+//! Golden-file test pinning the `mrserve 1` snapshot text format.
+//!
+//! The checked-in fixture is the byte-exact snapshot of a small
+//! deterministic service run. Any change to the wire format — a new
+//! record, a reordered field, a float formatting change — shows up as an
+//! explicit diff against `tests/golden/mrserve_v1.txt` instead of a
+//! silent break for operators holding older snapshots on disk.
+//!
+//! To bless an *intentional* format change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p mobirescue-serve --test golden
+//! ```
+//!
+//! and commit the updated fixture together with the format change and a
+//! version-number bump rationale.
+
+use mobirescue_core::scenario::ScenarioConfig;
+use mobirescue_roadnet::graph::SegmentId;
+use mobirescue_serve::{Clock, DispatchService, Event, ModelRegistry, ServeConfig, SimClock};
+use mobirescue_sim::{RequestSpec, SimConfig};
+use std::sync::Arc;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/mrserve_v1.txt");
+
+/// The fixed run the fixture pins: 2 shards, queue capacity 4, two epochs
+/// with three requests per shard per epoch, one weather advisory, one
+/// road-damage advisory, and one request left delayed in the queue.
+fn golden_snapshot() -> String {
+    let scenario = Arc::new(ScenarioConfig::small().florence().build(11));
+    let mut config = ServeConfig::new(SimConfig::small(6));
+    config.num_shards = 2;
+    config.request_queue_capacity = 4;
+    let clock = Arc::new(SimClock::new());
+    let registry = Arc::new(ModelRegistry::new(None, None));
+    let service = DispatchService::start(
+        Arc::clone(&scenario),
+        config,
+        clock as Arc<dyn Clock>,
+        registry,
+    )
+    .expect("service starts");
+
+    let num_segments = scenario.city.network.num_segments() as u32;
+    for epoch in 0..2u32 {
+        for shard in 0..2usize {
+            for i in 0..3u32 {
+                let spec = RequestSpec {
+                    appear_s: epoch * 300 + i * 40,
+                    segment: SegmentId((epoch * 53 + i * 17 + shard as u32 * 29) % num_segments),
+                };
+                service
+                    .ingest(Event::Request { shard, spec })
+                    .expect("valid request");
+            }
+        }
+        service
+            .ingest(Event::Weather {
+                shard: 0,
+                hour: epoch,
+                rain_mm: 8.0,
+            })
+            .expect("valid advisory");
+        service
+            .ingest(Event::RoadDamage {
+                shard: 1,
+                segment: SegmentId(3),
+                hour: epoch + 1,
+                flooded: true,
+            })
+            .expect("valid advisory");
+        service.run_epoch().expect("epoch runs");
+    }
+    // Leave work pending in the queues so the fixture covers queued-event
+    // records too.
+    let spec = RequestSpec {
+        appear_s: 700,
+        segment: SegmentId(5),
+    };
+    service
+        .ingest(Event::Request { shard: 1, spec })
+        .expect("valid request");
+
+    let snapshot = service.snapshot().expect("snapshot serializes");
+    service.shutdown();
+    snapshot
+}
+
+#[test]
+fn mrserve_v1_format_matches_golden_fixture() {
+    let generated = golden_snapshot();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &generated).expect("fixture written");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("tests/golden/mrserve_v1.txt exists; run with UPDATE_GOLDEN=1 to create it");
+    if generated != golden {
+        let mismatch = generated
+            .lines()
+            .zip(golden.lines())
+            .enumerate()
+            .find(|(_, (g, f))| g != f);
+        let context = match mismatch {
+            Some((i, (g, f))) => {
+                format!(
+                    "first difference at line {}:\n  generated: {g}\n  fixture:   {f}",
+                    i + 1
+                )
+            }
+            None => format!(
+                "one snapshot is a prefix of the other ({} vs {} bytes)",
+                generated.len(),
+                golden.len()
+            ),
+        };
+        panic!(
+            "`mrserve 1` snapshot format drifted from the golden fixture.\n{context}\n\
+             If the change is intentional, bless it with:\n  \
+             UPDATE_GOLDEN=1 cargo test -p mobirescue-serve --test golden\n\
+             and explain the format change in the commit."
+        );
+    }
+}
+
+#[test]
+fn golden_fixture_still_restores() {
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("tests/golden/mrserve_v1.txt exists; run with UPDATE_GOLDEN=1 to create it");
+    let scenario = Arc::new(ScenarioConfig::small().florence().build(11));
+    let mut config = ServeConfig::new(SimConfig::small(6));
+    config.num_shards = 2;
+    config.request_queue_capacity = 4;
+    let restored = DispatchService::restore(
+        scenario,
+        config,
+        Arc::new(SimClock::new()) as Arc<dyn Clock>,
+        Arc::new(ModelRegistry::new(None, None)),
+        &golden,
+    )
+    .expect("the pinned format restores");
+    let m = restored.metrics();
+    assert_eq!(m.epochs_completed, 2);
+    assert_eq!(m.requests_accepted, 13);
+    restored.shutdown();
+}

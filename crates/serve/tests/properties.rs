@@ -1,0 +1,138 @@
+//! Property tests for the `mrserve 1` snapshot format: restore of any
+//! truncated or bit-flipped snapshot must return a typed
+//! [`ServeError::BadSnapshot`] — never panic, never silently succeed.
+//!
+//! The checksum trailer is verified before a single record is parsed, so
+//! every corrupted case fails fast without spawning shard workers.
+
+use mobirescue_core::scenario::{Scenario, ScenarioConfig};
+use mobirescue_roadnet::graph::SegmentId;
+use mobirescue_serve::{
+    Clock, DispatchService, Event, ModelRegistry, ServeConfig, ServeError, SimClock,
+};
+use mobirescue_sim::{RequestSpec, SimConfig};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+struct Fixture {
+    scenario: Arc<Scenario>,
+    snapshot: String,
+}
+
+fn config() -> ServeConfig {
+    let mut config = ServeConfig::new(SimConfig::small(6));
+    config.num_shards = 2;
+    config.request_queue_capacity = 4;
+    config
+}
+
+/// A two-epoch service snapshot with queued requests, advisories, and
+/// epoch history — every record kind the `mrserve 1` format emits.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let scenario = Arc::new(ScenarioConfig::small().florence().build(11));
+        let clock = Arc::new(SimClock::new());
+        let registry = Arc::new(ModelRegistry::new(None, None));
+        let service = DispatchService::start(
+            Arc::clone(&scenario),
+            config(),
+            clock as Arc<dyn Clock>,
+            registry,
+        )
+        .expect("service starts");
+        let num_segments = scenario.city.network.num_segments() as u32;
+        for epoch in 0..2u32 {
+            for shard in 0..2usize {
+                for i in 0..3u32 {
+                    let spec = RequestSpec {
+                        appear_s: epoch * 300 + i * 40,
+                        segment: SegmentId(
+                            (epoch * 53 + i * 17 + shard as u32 * 29) % num_segments,
+                        ),
+                    };
+                    service
+                        .ingest(Event::Request { shard, spec })
+                        .expect("valid request");
+                }
+            }
+            service
+                .ingest(Event::Weather {
+                    shard: 0,
+                    hour: epoch,
+                    rain_mm: 8.0,
+                })
+                .expect("valid advisory");
+            service.run_epoch().expect("epoch runs");
+        }
+        let snapshot = service.snapshot().expect("snapshot serializes");
+        service.shutdown();
+        Fixture { scenario, snapshot }
+    })
+}
+
+fn restore(text: &str) -> Result<DispatchService, ServeError> {
+    let f = fixture();
+    DispatchService::restore(
+        Arc::clone(&f.scenario),
+        config(),
+        Arc::new(SimClock::new()) as Arc<dyn Clock>,
+        Arc::new(ModelRegistry::new(None, None)),
+        text,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any strict truncation is rejected with the typed snapshot error.
+    #[test]
+    fn truncated_snapshot_never_restores(cut in 0usize..8192) {
+        let f = fixture();
+        let cut = cut % f.snapshot.len();
+        let mut truncated = f.snapshot.clone();
+        truncated.truncate(cut);
+        match restore(&truncated) {
+            Err(ServeError::BadSnapshot(_)) => {}
+            Err(other) => {
+                prop_assert!(false, "truncation to {cut} bytes: wrong error {other}");
+            }
+            Ok(service) => {
+                service.shutdown();
+                prop_assert!(false, "truncation to {cut} bytes was accepted");
+            }
+        }
+    }
+
+    /// Any single bit-flip is rejected with the typed snapshot error.
+    #[test]
+    fn bit_flipped_snapshot_never_restores(pos in 0usize..8192, bit in 0u32..8) {
+        let f = fixture();
+        let pos = pos % f.snapshot.len();
+        let mut bytes = f.snapshot.clone().into_bytes();
+        bytes[pos] ^= 1u8 << bit;
+        let corrupt = String::from_utf8_lossy(&bytes).into_owned();
+        match restore(&corrupt) {
+            Err(ServeError::BadSnapshot(_)) => {}
+            Err(other) => {
+                prop_assert!(false, "flip of bit {bit} at byte {pos}: wrong error {other}");
+            }
+            Ok(service) => {
+                service.shutdown();
+                prop_assert!(false, "flip of bit {bit} at byte {pos} was accepted");
+            }
+        }
+    }
+
+    /// Arbitrary text never panics the restore path.
+    #[test]
+    fn arbitrary_text_never_panics(bytes in prop::collection::vec(9u8..127, 0..300)) {
+        let text = String::from_utf8(bytes).expect("ASCII bytes");
+        if let Ok(service) = restore(&text) {
+            // Only a full re-seal of a valid body could get here; treat it
+            // as a failure for anything that is not the fixture itself.
+            service.shutdown();
+            prop_assert!(false, "arbitrary text restored: {text:?}");
+        }
+    }
+}

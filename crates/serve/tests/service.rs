@@ -9,7 +9,8 @@ use mobirescue_rl::nn::Mlp;
 use mobirescue_rl::persist::mlp_to_text;
 use mobirescue_roadnet::graph::SegmentId;
 use mobirescue_serve::{
-    Clock, DispatchService, EpochScheduler, Event, ModelRegistry, ServeConfig, ServeError, SimClock,
+    Clock, DispatchService, EpochScheduler, Event, ModelRegistry, RetryPolicy, ServeConfig,
+    ServeError, SimClock,
 };
 use mobirescue_sim::{RequestSpec, SimConfig};
 use std::sync::Arc;
@@ -132,6 +133,102 @@ fn ingestion_rejects_malformed_events_and_sheds_overflow() {
     assert_eq!(m.advisories_applied, 1);
     assert_eq!(m.advisories_invalid, 1);
     assert_eq!(m.epochs_completed, 1);
+}
+
+#[test]
+fn retry_exhaustion_accounts_every_offer() {
+    let scenario = test_scenario();
+    let clock = Arc::new(SimClock::new());
+    let registry = Arc::new(ModelRegistry::new(None, None));
+    let service = start_service(&scenario, &clock, &registry);
+
+    // Fill shard 0 to capacity (4), then offer one more with retry. No
+    // consumer drains between attempts, so every attempt sheds and the
+    // offer is eventually given up.
+    for spec in requests_for(&scenario, 0, 0, 4) {
+        assert!(service.ingest(Event::Request { shard: 0, spec }).unwrap());
+    }
+    let extra = requests_for(&scenario, 0, 1, 1).remove(0);
+    let retry = RetryPolicy::default();
+    let t0 = clock.now_ms();
+    let admitted = service
+        .ingest_with_retry(
+            Event::Request {
+                shard: 0,
+                spec: extra,
+            },
+            &retry,
+        )
+        .expect("valid event");
+    assert!(!admitted, "a full queue with no drain must exhaust retries");
+
+    let m = service.metrics();
+    assert_eq!(m.ingest_retries, u64::from(retry.max_retries));
+    // The initial offer plus each retry is a fresh shed: 1 + max_retries.
+    assert_eq!(m.requests_shed, 1 + u64::from(retry.max_retries));
+    assert_eq!(m.requests_accepted, 4);
+    assert_eq!(m.shards[0].queue_depth, 4, "queue untouched by retries");
+    // Backoff really waited on the clock: 10 + 20 + 40 ms for 3 retries.
+    assert_eq!(clock.now_ms() - t0, 70);
+
+    // Permanent errors are not retried and not counted as retries.
+    let bad = RequestSpec {
+        appear_s: 0,
+        segment: SegmentId(u32::MAX),
+    };
+    assert!(service
+        .ingest_with_retry(
+            Event::Request {
+                shard: 0,
+                spec: bad
+            },
+            &retry
+        )
+        .is_err());
+    assert_eq!(
+        service.metrics().ingest_retries,
+        u64::from(retry.max_retries)
+    );
+}
+
+#[test]
+fn route_planner_counters_survive_restore_exactly() {
+    let scenario = test_scenario();
+    let clock = Arc::new(SimClock::new());
+    let registry = Arc::new(ModelRegistry::new(None, None));
+    let service = start_service(&scenario, &clock, &registry);
+
+    // Enough dispatch work that every shard's planner both misses (first
+    // route to a segment in an epoch) and hits (repeat routes).
+    for epoch in 0..3 {
+        ingest_all(&service, &scenario, epoch, 3);
+        service.run_epoch().expect("epoch runs");
+    }
+    let before = service.metrics();
+    for (i, shard) in before.shards.iter().enumerate() {
+        assert!(
+            shard.routing_hits + shard.routing_misses > 0,
+            "shard {i} planner never consulted; the test would be vacuous"
+        );
+    }
+
+    let snapshot = service.snapshot().expect("snapshot serializes");
+    let restored = DispatchService::restore(
+        Arc::clone(&scenario),
+        test_config(),
+        Arc::clone(&clock) as Arc<dyn Clock>,
+        Arc::clone(&registry),
+        &snapshot,
+    )
+    .expect("snapshot restores");
+    let after = restored.metrics();
+    for (b, a) in before.shards.iter().zip(&after.shards) {
+        assert_eq!(b.routing_hits, a.routing_hits, "hit counter drifted");
+        assert_eq!(b.routing_misses, a.routing_misses, "miss counter drifted");
+    }
+
+    service.shutdown();
+    restored.shutdown();
 }
 
 #[test]

@@ -29,6 +29,8 @@ use std::collections::{HashMap, VecDeque};
 
 mod snapshot;
 
+pub use snapshot::{fnv1a_64, open_snapshot, seal_snapshot};
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mission {
     Standby,
@@ -581,6 +583,58 @@ impl<'a> World<'a> {
             picked_up: (self.num_picked_up() - picked_before) as u32,
             delivered: (self.num_delivered() - delivered_before) as u32,
         }
+    }
+
+    /// Like [`World::run_epoch`], but deadline-aware: after `primary`
+    /// computes the epoch's plan, `over_deadline` is consulted; if it
+    /// reports the dispatch deadline blown, the primary's plan is
+    /// discarded and `fallback` plans the epoch instead. Returns the
+    /// epoch report plus whether the fallback was used.
+    ///
+    /// The serve runtime drives `over_deadline` from its service clock
+    /// (wall time in deployment, simulated time in tests), which is how a
+    /// stalled or overly slow policy degrades to a cheap heuristic instead
+    /// of delaying the whole epoch barrier. When `over_deadline` never
+    /// fires, the epoch is bit-identical to a plain [`World::run_epoch`]
+    /// call.
+    pub fn run_epoch_with_deadline(
+        &mut self,
+        primary: &mut dyn Dispatcher,
+        fallback: &mut dyn Dispatcher,
+        extra_latency_s: f64,
+        over_deadline: &mut dyn FnMut() -> bool,
+    ) -> (EpochReport, bool) {
+        struct DeadlineGate<'d> {
+            primary: &'d mut dyn Dispatcher,
+            fallback: &'d mut dyn Dispatcher,
+            over_deadline: &'d mut dyn FnMut() -> bool,
+            degraded: bool,
+        }
+        impl Dispatcher for DeadlineGate<'_> {
+            fn name(&self) -> &str {
+                self.primary.name()
+            }
+            fn compute_latency_s(&self, state: &DispatchState<'_>) -> f64 {
+                self.primary.compute_latency_s(state)
+            }
+            fn dispatch(&mut self, state: &DispatchState<'_>) -> DispatchPlan {
+                let plan = self.primary.dispatch(state);
+                if (self.over_deadline)() {
+                    self.degraded = true;
+                    self.fallback.dispatch(state)
+                } else {
+                    plan
+                }
+            }
+        }
+        let mut gate = DeadlineGate {
+            primary,
+            fallback,
+            over_deadline,
+            degraded: false,
+        };
+        let report = self.run_epoch(&mut gate, extra_latency_s);
+        (report, gate.degraded)
     }
 
     /// Consumes the world into the batch outcome shape.

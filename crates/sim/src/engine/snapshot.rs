@@ -26,6 +26,53 @@ fn bad(why: impl Into<String>) -> WorldError {
     WorldError::BadSnapshot(why.into())
 }
 
+/// FNV-1a 64-bit hash of `text` — the workspace's snapshot integrity
+/// checksum. Dependency-free and byte-stable across platforms.
+pub fn fnv1a_64(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Appends the integrity trailer (`sum <16-hex-digits>`) to a snapshot
+/// body. Every versioned snapshot format in the workspace (`mrworld 1`,
+/// `mrserve 1`) is sealed this way on write.
+pub fn seal_snapshot(mut body: String) -> String {
+    let sum = fnv1a_64(&body);
+    let _ = writeln!(body, "sum {sum:016x}");
+    body
+}
+
+/// Verifies and strips the integrity trailer, returning the body it
+/// covers.
+///
+/// # Errors
+///
+/// Returns a description when the trailer is missing, malformed, or does
+/// not match the body — the caller maps it into its typed snapshot error.
+/// Any truncation or bit-flip of a sealed snapshot lands here: either the
+/// body no longer hashes to the recorded sum, or the trailer itself is
+/// damaged.
+pub fn open_snapshot(text: &str) -> Result<&str, String> {
+    let missing = || "missing checksum trailer".to_owned();
+    let rest = text.strip_suffix('\n').ok_or_else(missing)?;
+    let (head, last) = rest.rsplit_once('\n').ok_or_else(missing)?;
+    let hex = last.strip_prefix("sum ").ok_or_else(missing)?;
+    let expect =
+        u64::from_str_radix(hex, 16).map_err(|_| format!("bad checksum trailer `{last}`"))?;
+    let body = &text[..head.len() + 1];
+    let got = fnv1a_64(body);
+    if got != expect {
+        return Err(format!(
+            "checksum mismatch: trailer says {expect:016x}, content hashes to {got:016x}"
+        ));
+    }
+    Ok(body)
+}
+
 fn opt_u32(v: Option<u32>) -> String {
     v.map_or_else(|| "-".into(), |x| x.to_string())
 }
@@ -200,7 +247,7 @@ impl World<'_> {
             out.push('\n');
         }
         out.push_str("end\n");
-        out
+        seal_snapshot(out)
     }
 
     /// Rebuilds a world from a snapshot over the *same* city and
@@ -216,6 +263,9 @@ impl World<'_> {
         conditions: &'a HourlyConditions,
         text: &str,
     ) -> Result<World<'a>, WorldError> {
+        // Integrity first: a snapshot that fails its checksum is rejected
+        // before a single record is interpreted.
+        let text = open_snapshot(text).map_err(bad)?;
         let mut lines = text.lines();
         if lines.next() != Some("mrworld 1") {
             return Err(bad("missing `mrworld 1` header"));
@@ -466,17 +516,58 @@ mod tests {
                 "snapshot should be rejected: {text:?}"
             );
         };
+        // No/damaged checksum trailer (including the empty and headerless
+        // inputs, which cannot carry a valid trailer at all).
         reject("");
         reject("nope\n");
         reject("mrworld 1\n");
-        reject("mrworld 1\nconfig 1 1 300 60 0 4 1800 -\n"); // no clock
-        reject("mrworld 1\nconfig 1 1 300 60 0 4 1800 -\nclock 0 0 0 0 0\n"); // no end
-        reject("mrworld 1\nconfig 1 1 300 60 0 4 1800 -\nclock 0 0 0 0 0\nbogus record\nend\n");
+        reject("mrworld 1\nend\nsum zzzz\n");
+        reject("mrworld 1\nend\nsum 0000000000000000\n"); // wrong sum
+                                                          // Semantically malformed but correctly sealed bodies: the
+                                                          // checksum passes, the record validation still rejects.
+        let sealed = |body: &str| seal_snapshot(body.to_owned());
+        reject(&sealed("mrworld 1\n"));
+        reject(&sealed("mrworld 1\nconfig 1 1 300 60 0 4 1800 -\n")); // no clock
+        reject(&sealed(
+            "mrworld 1\nconfig 1 1 300 60 0 4 1800 -\nclock 0 0 0 0 0\n",
+        )); // no end
+        reject(&sealed(
+            "mrworld 1\nconfig 1 1 300 60 0 4 1800 -\nclock 0 0 0 0 0\nbogus record\nend\n",
+        ));
         // Wrong team count vs config.
-        reject("mrworld 1\nconfig 2 5 300 60 0 4 1800 -\nclock 0 0 0 0 0\nend\n");
+        reject(&sealed(
+            "mrworld 1\nconfig 2 5 300 60 0 4 1800 -\nclock 0 0 0 0 0\nend\n",
+        ));
         // Unknown segment in a spec.
-        reject(
+        reject(&sealed(
             "mrworld 1\nconfig 1 5 300 60 0 4 1800 -\nclock 0 0 0 0 0\nspec 0 0 999999\nteam 0 0.0 0.0 0 s route onboard\nend\n",
+        ));
+    }
+
+    #[test]
+    fn checksum_trailer_seals_and_opens() {
+        let sealed = seal_snapshot("mrworld 1\nend\n".to_owned());
+        assert!(sealed.ends_with('\n'));
+        assert_eq!(
+            open_snapshot(&sealed).expect("valid seal"),
+            "mrworld 1\nend\n"
         );
+        // Flipping any single byte of the sealed text breaks verification.
+        for i in 0..sealed.len() {
+            let mut bytes = sealed.clone().into_bytes();
+            bytes[i] ^= 0x01;
+            let corrupt = String::from_utf8_lossy(&bytes).into_owned();
+            assert!(
+                open_snapshot(&corrupt).is_err(),
+                "flip at byte {i} accepted"
+            );
+        }
+        // Any truncation breaks it too.
+        for i in 0..sealed.len() {
+            assert!(
+                open_snapshot(&sealed[..i]).is_err(),
+                "truncation at {i} accepted"
+            );
+        }
     }
 }

@@ -26,7 +26,9 @@ pub mod metrics;
 pub mod types;
 
 pub use dispatcher::{DispatchState, Dispatcher, NearestRequestDispatcher};
-pub use engine::{run, EpochReport, SimOutcome, World, WorldError};
+pub use engine::{
+    fnv1a_64, open_snapshot, run, seal_snapshot, EpochReport, SimOutcome, World, WorldError,
+};
 pub use types::{
     DispatchPlan, Order, RequestId, RequestOutcome, RequestSpec, RequestView, SimConfig, TeamId,
     TeamView,

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Chaos seed sweep: run the dispatch service under N seeded fault plans
+# and record one line of invariant results per seed.
+#
+#   scripts/chaos.sh [SEEDS] [BASE_SEED]
+#
+# Defaults: 20 seeds starting at 1, 6 epochs x 2 shards per run. Output
+# goes to robustness_serve.txt (and stdout); the script exits non-zero
+# if any seed breaks an invariant.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${1:-20}"
+BASE_SEED="${2:-1}"
+OUT="robustness_serve.txt"
+
+cargo build --release -q -p mobirescue-bench --bin chaos
+cargo run --release -q -p mobirescue-bench --bin chaos -- \
+    --seeds "$SEEDS" --base-seed "$BASE_SEED" | tee "$OUT"
+
+echo "wrote $OUT"

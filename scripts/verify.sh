@@ -21,6 +21,9 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> chaos suite (fixed seed set, tests/chaos.rs)"
+cargo test -q --test chaos
+
 if [[ "${1:-}" == "--full" ]]; then
     echo "==> full: cargo test --workspace --release -q"
     cargo test --workspace --release -q
