@@ -238,6 +238,12 @@ fn main() {
     println!("    \"cached_single_thread\": {:.2},", naive_s / cached1_s);
     println!("    \"cached_parallel\": {:.2}", naive_s / cachedn_s);
     println!("  }},");
+    // The checksum is the naive variant's folded travel-time sum: pure
+    // arithmetic over the seeded scenario in a fixed order, so it is
+    // machine-independent. `scripts/check_bench.sh` compares it against
+    // the committed baseline — a mismatch means routing *results*
+    // changed, not just timings.
+    println!("  \"checksum\": {naive_sum:.4},");
     println!("  \"results_identical\": true");
     println!("}}");
 }

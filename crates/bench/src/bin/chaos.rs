@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run -p mobirescue-bench --release --bin chaos -- \
-//!     [--seeds N] [--base-seed S] [--epochs E] [--shards K]
+//!     [--seeds N] [--base-seed S] [--epochs E] [--shards K] \
+//!     [--metrics-out FILE]
 //! ```
 //!
 //! Sweeps N seeded fault plans through `mobirescue_serve::chaos::run_chaos`
@@ -19,6 +20,7 @@ fn main() {
     let mut base_seed = 1u64;
     let mut epochs = 6u32;
     let mut shards = 2usize;
+    let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -26,6 +28,7 @@ fn main() {
             "--base-seed" => base_seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(1),
             "--epochs" => epochs = args.next().and_then(|v| v.parse().ok()).unwrap_or(6),
             "--shards" => shards = args.next().and_then(|v| v.parse().ok()).unwrap_or(2),
+            "--metrics-out" => metrics_out = args.next().map(std::path::PathBuf::from),
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
@@ -37,6 +40,7 @@ fn main() {
         "chaos sweep: {seeds} seeds from {base_seed}, {epochs} epochs x {shards} shards per run"
     );
     let mut failures = 0u64;
+    let mut last_obs = None;
     for seed in base_seed..base_seed + seeds {
         let opts = ChaosOptions::seeded(seed, epochs, shards);
         match run_chaos(seed, &opts) {
@@ -45,6 +49,7 @@ fn main() {
                 if !outcome.ok() {
                     failures += 1;
                 }
+                last_obs = Some(outcome.obs);
             }
             Err(e) => {
                 println!("seed {seed:>4}: service error: {e} -> FAIL");
@@ -72,6 +77,21 @@ fn main() {
         Err(e) => {
             println!("service error: {e} -> FAIL");
             failures += 1;
+        }
+    }
+
+    // Each chaos run owns a private registry (twins must stay
+    // comparable), so the dump covers the last completed seed.
+    if let Some(path) = &metrics_out {
+        match &last_obs {
+            Some(obs) => match std::fs::write(path, obs.to_text()) {
+                Ok(()) => println!("wrote mrobs 1 metrics dump to {}", path.display()),
+                Err(e) => {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    failures += 1;
+                }
+            },
+            None => eprintln!("no completed seed; nothing to dump"),
         }
     }
 

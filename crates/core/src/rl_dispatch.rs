@@ -21,11 +21,13 @@ use crate::predictor::RequestPredictor;
 use crate::scenario::Scenario;
 use crate::zones::{ZoneId, ZoneMap};
 use mobirescue_mobility::map_match::MapMatcher;
+use mobirescue_obs::PhaseTimer;
 use mobirescue_rl::qscore::{PairTransition, QScore, QScoreConfig};
 use mobirescue_roadnet::geo::GeoPoint;
 use mobirescue_roadnet::graph::SegmentId;
 use mobirescue_sim::dispatcher::{DispatchState, Dispatcher};
 use mobirescue_sim::types::{DispatchPlan, Order, RequestId};
+use std::cell::Cell;
 use std::collections::HashSet;
 
 /// Dimension of one `(team, zone)` feature vector — the input width any
@@ -135,6 +137,8 @@ pub struct MobiRescueDispatcher<'a> {
     cached_pred: Vec<f64>,
     prev: Option<PrevRound>,
     observed: usize,
+    phase_timer: PhaseTimer,
+    predict_ms: Cell<u64>,
     /// Cumulative Equation-5 reward (diagnostics / training curves).
     pub episode_reward: f64,
 }
@@ -184,8 +188,23 @@ impl<'a> MobiRescueDispatcher<'a> {
             cached_pred: Vec::new(),
             prev: None,
             observed: 0,
+            phase_timer: PhaseTimer::disabled(),
+            predict_ms: Cell::new(0),
             episode_reward: 0.0,
         }
+    }
+
+    /// Installs the clock SVM-prediction time is measured on; without one
+    /// (the default) measurement is skipped entirely.
+    pub fn set_time_source(&mut self, timer: PhaseTimer) {
+        self.phase_timer = timer;
+    }
+
+    /// Milliseconds spent inside `predict_distribution` since the last
+    /// call (reset on read). Cache hits cost ~0; the hourly cache miss is
+    /// the SVM inference the serve runtime reports as the predict phase.
+    pub fn take_predict_ms(&self) -> u64 {
+        self.predict_ms.replace(0)
     }
 
     /// Switches between training (ε-greedy + online updates) and frozen
@@ -274,8 +293,11 @@ impl<'a> MobiRescueDispatcher<'a> {
         let n = state.net.num_segments();
         if let Some(pred) = &self.predictor {
             if self.cached_pred_hour != Some(state.hour) {
+                let t0 = self.phase_timer.now_ms();
                 self.cached_pred =
                     pred.predict_distribution(self.scenario, &self.matcher, state.hour);
+                self.predict_ms
+                    .set(self.predict_ms.get() + self.phase_timer.elapsed_since(t0));
                 self.cached_pred_hour = Some(state.hour);
             }
         } else {

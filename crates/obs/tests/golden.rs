@@ -1,0 +1,102 @@
+//! Golden-file tests pinning the `mrobs 1` snapshot text and the
+//! Prometheus exposition rendering.
+//!
+//! The fixtures are the byte-exact renderings of a small deterministic
+//! registry. Any change to either format — a new line kind, reordered
+//! fields, different bucket encoding — shows up as an explicit diff
+//! instead of silently breaking operators parsing dumps from
+//! `serve --metrics-out` / `--metrics-prom`.
+//!
+//! To bless an *intentional* format change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p mobirescue-obs --test golden
+//! ```
+//!
+//! and commit the updated fixtures together with the format change and a
+//! version-number bump rationale.
+
+use mobirescue_obs::{ObsSnapshot, Registry};
+
+const TEXT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/mrobs_v1.txt");
+const PROM_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/mrobs_v1.prom");
+
+/// The fixed registry the fixtures pin: counters, gauges and histograms
+/// covering the edge buckets (zero, one, a power of two, its neighbours,
+/// and `u64::MAX`).
+fn golden_registry() -> ObsSnapshot {
+    let reg = Registry::new();
+    reg.counter("serve.ingest_retries").add(7);
+    reg.counter("serve.shard_restarts");
+    reg.gauge("serve.shard0.queue_depth").set(3);
+    reg.gauge("serve.shard1.queue_depth").set(-1);
+    let h = reg.histogram("epoch.dispatch_ms");
+    for v in [0, 1, 2, 1023, 1024, 1025, u64::MAX] {
+        h.record(v);
+    }
+    reg.histogram("epoch.routing_ms").record(12);
+    reg.snapshot()
+}
+
+fn check(path: &str, generated: &str, what: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, generated).expect("fixture written");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden fixture exists; run with UPDATE_GOLDEN=1 to create it");
+    if generated != golden {
+        let mismatch = generated
+            .lines()
+            .zip(golden.lines())
+            .enumerate()
+            .find(|(_, (g, f))| g != f);
+        let context = match mismatch {
+            Some((i, (g, f))) => format!(
+                "first difference at line {}:\n  generated: {g}\n  fixture:   {f}",
+                i + 1
+            ),
+            None => format!(
+                "one rendering is a prefix of the other ({} vs {} bytes)",
+                generated.len(),
+                golden.len()
+            ),
+        };
+        panic!(
+            "{what} drifted from the golden fixture.\n{context}\n\
+             If the change is intentional, bless it with:\n  \
+             UPDATE_GOLDEN=1 cargo test -p mobirescue-obs --test golden\n\
+             and explain the format change in the commit."
+        );
+    }
+}
+
+#[test]
+fn mrobs_v1_text_matches_golden_fixture() {
+    check(
+        TEXT_PATH,
+        &golden_registry().to_text(),
+        "`mrobs 1` snapshot text",
+    );
+}
+
+#[test]
+fn prometheus_exposition_matches_golden_fixture() {
+    check(
+        PROM_PATH,
+        &golden_registry().to_prometheus(),
+        "Prometheus exposition text",
+    );
+}
+
+#[test]
+fn golden_fixture_still_parses() {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return;
+    }
+    let golden = std::fs::read_to_string(TEXT_PATH)
+        .expect("golden fixture exists; run with UPDATE_GOLDEN=1 to create it");
+    let parsed = ObsSnapshot::parse(&golden).expect("the pinned format parses");
+    assert_eq!(parsed, golden_registry());
+    assert_eq!(parsed.to_text(), golden, "parse → render round-trips");
+}

@@ -62,6 +62,7 @@ pub struct RoutePlanner<'a> {
     cache: Mutex<Cache>,
     hits: AtomicU64,
     misses: AtomicU64,
+    prewarmed: AtomicU64,
 }
 
 impl std::fmt::Debug for RoutePlanner<'_> {
@@ -90,6 +91,7 @@ impl<'a> RoutePlanner<'a> {
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            prewarmed: AtomicU64::new(0),
         }
     }
 
@@ -109,6 +111,35 @@ impl<'a> RoutePlanner<'a> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Trees computed by prewarm calls (cumulative). Not part of
+    /// [`PlannerStats`] — that struct's shape is persisted in the serve
+    /// snapshot wire format and must stay fixed.
+    pub fn prewarmed(&self) -> u64 {
+        self.prewarmed.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the planner's counters into an observability registry
+    /// under `prefix` (e.g. `routing`): `{prefix}.cache_hits` /
+    /// `{prefix}.cache_misses` / `{prefix}.prewarmed_trees` counters
+    /// (mirrored — the planner's atomics stay the source of truth) and a
+    /// `{prefix}.cached_trees` gauge. Call at any publication point; the
+    /// values are cumulative so re-publishing just refreshes them.
+    pub fn publish(&self, registry: &mobirescue_obs::Registry, prefix: &str) {
+        let stats = self.stats();
+        registry
+            .counter(&format!("{prefix}.cache_hits"))
+            .set(stats.hits);
+        registry
+            .counter(&format!("{prefix}.cache_misses"))
+            .set(stats.misses);
+        registry
+            .counter(&format!("{prefix}.prewarmed_trees"))
+            .set(self.prewarmed());
+        registry
+            .gauge(&format!("{prefix}.cached_trees"))
+            .set(self.cached_trees() as i64);
     }
 
     /// Number of shortest-path trees currently cached (all generations).
@@ -274,6 +305,8 @@ impl<'a> RoutePlanner<'a> {
             .fetch_add((sources.len() - missing.len()) as u64, Ordering::Relaxed);
         self.misses
             .fetch_add(missing.len() as u64, Ordering::Relaxed);
+        self.prewarmed
+            .fetch_add(missing.len() as u64, Ordering::Relaxed);
         if missing.is_empty() {
             return;
         }
@@ -413,6 +446,26 @@ mod tests {
         // Re-prewarming the same sources computes nothing new.
         planner.prewarm(&cond, &sources, 4);
         assert_eq!(planner.stats().misses, 10);
+    }
+
+    #[test]
+    fn publish_mirrors_counters_into_registry() {
+        let (net, ids) = grid5();
+        let planner = RoutePlanner::new(&net);
+        let cond = NetworkCondition::pristine(&net);
+        planner.prewarm(&cond, &ids[..4], 2);
+        planner.paths_from(&cond, ids[0]);
+        assert_eq!(planner.prewarmed(), 4);
+        let reg = mobirescue_obs::Registry::new();
+        planner.publish(&reg, "routing");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["routing.cache_hits"], 1);
+        assert_eq!(snap.counters["routing.cache_misses"], 4);
+        assert_eq!(snap.counters["routing.prewarmed_trees"], 4);
+        assert_eq!(snap.gauges["routing.cached_trees"], 4);
+        // Re-publishing refreshes rather than double counts.
+        planner.publish(&reg, "routing");
+        assert_eq!(reg.snapshot().counters["routing.cache_hits"], 1);
     }
 
     #[test]

@@ -119,7 +119,41 @@ fn hot_swap(registry: &ModelRegistry, rl: &RlDispatchConfig) -> Result<u64, Serv
     registry.install_from_files(Some(&predictor_path), Some(&policy_path))
 }
 
+/// `--metrics-out FILE` (versioned `mrobs 1` text) and `--metrics-prom
+/// FILE` (Prometheus exposition text) dump the observability registry at
+/// exit.
+struct Args {
+    metrics_out: Option<std::path::PathBuf>,
+    metrics_prom: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Args, ServeError> {
+    let mut parsed = Args {
+        metrics_out: None,
+        metrics_prom: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut path = |flag: &str| {
+            args.next()
+                .map(std::path::PathBuf::from)
+                .ok_or_else(|| ServeError::Io(format!("{flag} needs a file path")))
+        };
+        match arg.as_str() {
+            "--metrics-out" => parsed.metrics_out = Some(path("--metrics-out")?),
+            "--metrics-prom" => parsed.metrics_prom = Some(path("--metrics-prom")?),
+            other => {
+                return Err(ServeError::Io(format!(
+                    "unknown argument {other:?} (expected --metrics-out FILE or --metrics-prom FILE)"
+                )));
+            }
+        }
+    }
+    Ok(parsed)
+}
+
 fn main() -> Result<(), ServeError> {
+    let args = parse_args()?;
     println!("building the charlotte-like Florence scenario (seed {SEED})...");
     let scenario = Arc::new(ScenarioConfig::charlotte_like().florence().build(SEED));
     let hours = scenario.conditions.hours();
@@ -190,6 +224,11 @@ fn main() -> Result<(), ServeError> {
     println!("snapshotting the service and killing it...");
     let snapshot = service.snapshot()?;
     let metrics_before = service.metrics();
+    // Keep the run's telemetry in one place across the restore: the dead
+    // service's registry is handed to its successor (safe exactly because
+    // the predecessor is shut down — restore overwrites the counters from
+    // the snapshot, and the phase histograms keep accumulating).
+    let obs_registry = Arc::clone(service.obs());
     println!("  snapshot is {} bytes", snapshot.len());
     Arc::try_unwrap(service)
         .map_err(|_| ServeError::Shard {
@@ -199,9 +238,13 @@ fn main() -> Result<(), ServeError> {
         .shutdown();
 
     println!("restoring from the snapshot...");
+    let restore_config = ServeConfig {
+        obs: Some(obs_registry),
+        ..config
+    };
     let service = Arc::new(DispatchService::restore(
         Arc::clone(&scenario),
-        config,
+        restore_config,
         Arc::clone(&clock) as Arc<dyn Clock>,
         Arc::clone(&registry),
         &snapshot,
@@ -241,6 +284,20 @@ fn main() -> Result<(), ServeError> {
         "the demo must drive at least 10 epochs"
     );
     assert_eq!(metrics.model_swaps, 1, "the hot-swap must have happened");
+
+    // Dump the observability registry: per-phase epoch histograms, every
+    // MetricsSnapshot counter mirrored under `serve.*`, routing gauges.
+    let obs = service.obs_snapshot();
+    println!("\nobservability summary:\n{}", obs.render_summary());
+    println!("recent events:\n{}", service.obs().events().render());
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, obs.to_text()).map_err(|e| ServeError::Io(e.to_string()))?;
+        println!("wrote mrobs 1 metrics dump to {}", path.display());
+    }
+    if let Some(path) = &args.metrics_prom {
+        std::fs::write(path, obs.to_prometheus()).map_err(|e| ServeError::Io(e.to_string()))?;
+        println!("wrote Prometheus exposition to {}", path.display());
+    }
     Arc::try_unwrap(service)
         .map_err(|_| ServeError::Shard {
             shard: 0,

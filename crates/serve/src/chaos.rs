@@ -36,6 +36,7 @@ use crate::scheduler::EpochScheduler;
 use crate::service::{DispatchService, RetryPolicy, ServeConfig};
 use mobirescue_core::rl_dispatch::FEATURE_DIM;
 use mobirescue_core::scenario::{Scenario, ScenarioConfig};
+use mobirescue_obs::ObsSnapshot;
 use mobirescue_rl::nn::Mlp;
 use mobirescue_roadnet::graph::SegmentId;
 use mobirescue_sim::{RequestSpec, SimConfig};
@@ -91,6 +92,11 @@ pub struct ChaosOutcome {
     pub restarts: u64,
     /// Scheduler epochs that finished past their deadline.
     pub overruns: u64,
+    /// The service's observability registry at the end of the run
+    /// (per-phase epoch histograms, `serve.*` counters, routing gauges).
+    /// Diagnostic output only — never part of any invariant: each run
+    /// owns a private registry, so twins stay comparable.
+    pub obs: ObsSnapshot,
     /// Broken invariants (empty on a clean run).
     pub violations: Vec<String>,
 }
@@ -347,6 +353,7 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> Result<ChaosOutcome, ServeEr
 
     let counters = injector.counters();
     let overruns = scheduler.overruns();
+    let obs = service.obs_snapshot();
     service.shutdown();
     Ok(ChaosOutcome {
         seed,
@@ -355,6 +362,7 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> Result<ChaosOutcome, ServeEr
         metrics,
         restarts,
         overruns,
+        obs,
         violations,
     })
 }

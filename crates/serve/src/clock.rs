@@ -82,6 +82,20 @@ impl Clock for SimClock {
     }
 }
 
+/// Adapts a service [`Clock`] to the observability [`TimeSource`] so that
+/// every span the service records measures on the same clock the scheduler
+/// runs on. Under [`SimClock`] all span durations are exactly zero, which
+/// keeps instrumented runs bit-identical to uninstrumented ones.
+///
+/// [`TimeSource`]: mobirescue_obs::TimeSource
+pub struct ClockTimeSource(pub std::sync::Arc<dyn Clock>);
+
+impl mobirescue_obs::TimeSource for ClockTimeSource {
+    fn now_ms(&self) -> u64 {
+        self.0.now_ms()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

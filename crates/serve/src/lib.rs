@@ -52,7 +52,7 @@ pub mod service;
 mod shard;
 
 pub use chaos::{run_chaos, ChaosOptions, ChaosOutcome};
-pub use clock::{Clock, SimClock, WallClock};
+pub use clock::{Clock, ClockTimeSource, SimClock, WallClock};
 pub use error::ServeError;
 pub use event::Event;
 pub use fault::{
@@ -60,6 +60,7 @@ pub use fault::{
     ShardFault, SnapshotCorruption,
 };
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardMetrics, LATENCY_BOUNDS_MS};
+pub use mobirescue_obs as obs;
 pub use queue::{BoundedQueue, ShedPolicy};
 pub use registry::{ModelBundle, ModelRegistry};
 pub use scheduler::EpochScheduler;

@@ -3,7 +3,7 @@
 //! harness (bounded ingestion retry, delayed-event release, shard
 //! crash-restart from the last boundary checkpoint).
 
-use crate::clock::Clock;
+use crate::clock::{Clock, ClockTimeSource};
 use crate::error::ServeError;
 use crate::event::Event;
 use crate::fault::IngestFault;
@@ -14,11 +14,11 @@ use crate::shard::{spawn_shard, ShardCmd, ShardReply, ShardSpec, ShardStatus};
 use crate::FaultInjector;
 use mobirescue_core::rl_dispatch::RlDispatchConfig;
 use mobirescue_core::scenario::Scenario;
+use mobirescue_obs::{Counter, Histogram, Level, ObsSnapshot, Registry};
 use mobirescue_roadnet::graph::SegmentId;
 use mobirescue_sim::{open_snapshot, seal_snapshot};
 use mobirescue_sim::{EpochReport, RequestSpec, SimConfig, World};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -55,6 +55,13 @@ pub struct ServeConfig {
     /// replay the epoch's drained events, instead of failing the epoch.
     /// Costs one shard snapshot per epoch.
     pub auto_recover: bool,
+    /// Observability registry the service publishes into. `None` (the
+    /// default) gives the service a private registry, reachable through
+    /// [`DispatchService::obs`]. Supplying a registry is for embedding the
+    /// service in a host that scrapes one place — never share it with a
+    /// *live* second service: counters are get-or-create by name, and
+    /// [`DispatchService::restore`] overwrites them from the snapshot.
+    pub obs: Option<Arc<Registry>>,
 }
 
 impl ServeConfig {
@@ -71,6 +78,7 @@ impl ServeConfig {
             faults: None,
             epoch_deadline_ms: None,
             auto_recover: false,
+            obs: None,
         }
     }
 }
@@ -106,13 +114,12 @@ struct DelayedRequest {
     spec: RequestSpec,
 }
 
-/// Mutable service-level accounting, behind one lock.
+/// Mutable service-level accounting, behind one lock. Monotonic counters
+/// live in the obs [`Registry`] instead; this holds only what the epoch
+/// logic reads back.
 struct ServiceState {
     epochs_completed: u32,
     histogram: LatencyHistogram,
-    advisories_applied: u64,
-    advisories_invalid: u64,
-    degraded_epochs: u64,
     shard_metrics: Vec<ShardMetrics>,
     last_swap_error: Option<(usize, String)>,
 }
@@ -144,8 +151,14 @@ pub struct DispatchService {
     delayed: Mutex<Vec<DelayedRequest>>,
     // Last boundary checkpoint per shard (auto-recover only).
     checkpoints: Mutex<Vec<Option<String>>>,
-    retries: AtomicU64,
-    restarts: AtomicU64,
+    obs: Arc<Registry>,
+    // Registry-backed counters, handles fetched once at start.
+    retries: Counter,
+    restarts: Counter,
+    advisories_applied: Counter,
+    advisories_invalid: Counter,
+    degraded_epochs: Counter,
+    snapshot_hist: Histogram,
     state: Mutex<ServiceState>,
 }
 
@@ -182,6 +195,7 @@ impl DispatchService {
             config.advisory_queue_capacity,
             config.advisory_shed,
         ));
+        let obs = config.obs.clone().unwrap_or_default();
         let make_spec = |scenario: &Arc<Scenario>| ShardSpec {
             scenario: Arc::clone(scenario),
             registry: Arc::clone(&registry),
@@ -189,6 +203,7 @@ impl DispatchService {
             sim: config.sim.clone(),
             rl: config.rl.clone(),
             faults: config.faults.clone(),
+            obs: Arc::clone(&obs),
         };
         let shards = (0..config.num_shards)
             .map(|i| {
@@ -205,13 +220,16 @@ impl DispatchService {
         let state = ServiceState {
             epochs_completed: 0,
             histogram: LatencyHistogram::new(),
-            advisories_applied: 0,
-            advisories_invalid: 0,
-            degraded_epochs: 0,
             shard_metrics: vec![ShardMetrics::default(); config.num_shards],
             last_swap_error: None,
         };
         let checkpoints = vec![None; config.num_shards];
+        let retries = obs.counter("serve.ingest_retries");
+        let restarts = obs.counter("serve.shard_restarts");
+        let advisories_applied = obs.counter("serve.advisories_applied");
+        let advisories_invalid = obs.counter("serve.advisories_invalid");
+        let degraded_epochs = obs.counter("serve.degraded_epochs");
+        let snapshot_hist = obs.histogram("epoch.snapshot_ms");
         Ok(Self {
             config,
             scenario,
@@ -222,8 +240,13 @@ impl DispatchService {
             shards,
             delayed: Mutex::new(Vec::new()),
             checkpoints: Mutex::new(checkpoints),
-            retries: AtomicU64::new(0),
-            restarts: AtomicU64::new(0),
+            obs,
+            retries,
+            restarts,
+            advisories_applied,
+            advisories_invalid,
+            degraded_epochs,
+            snapshot_hist,
             state: Mutex::new(state),
         })
     }
@@ -244,6 +267,7 @@ impl DispatchService {
             sim: self.config.sim.clone(),
             rl: self.config.rl.clone(),
             faults: self.config.faults.clone(),
+            obs: Arc::clone(&self.obs),
         }
     }
 
@@ -252,12 +276,21 @@ impl DispatchService {
         &self.config
     }
 
+    /// The observability registry the service (and its shard workers)
+    /// publish into: `serve.*` counters, per-epoch phase histograms
+    /// (`epoch.ingest_ms`, `epoch.predict_ms`, `epoch.dispatch_ms`,
+    /// `epoch.routing_ms`, `epoch.snapshot_ms`), per-shard `routing.*`
+    /// cache gauges, and the structured event ring.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs
+    }
+
     /// How many dead shard workers were restarted from a checkpoint. An
     /// operational counter, deliberately *not* part of
     /// [`MetricsSnapshot`] nor the snapshot text: a recovered run must
     /// converge to the exact state of an unfaulted one.
     pub fn shard_restarts(&self) -> u64 {
-        self.restarts.load(Ordering::Relaxed)
+        self.restarts.value()
     }
 
     fn validate_request(&self, spec: &RequestSpec) -> Result<(), ServeError> {
@@ -348,7 +381,7 @@ impl DispatchService {
                 return Ok(false);
             }
             attempts += 1;
-            self.retries.fetch_add(1, Ordering::Relaxed);
+            self.retries.inc();
             self.clock.sleep_ms(backoff_ms);
             backoff_ms = backoff_ms.saturating_mul(retry.backoff_multiplier.max(1));
         }
@@ -447,7 +480,13 @@ impl DispatchService {
         requests: &[RequestSpec],
         budget_ms: Option<u64>,
     ) -> Result<Box<ShardStatus>, ServeError> {
-        self.restarts.fetch_add(1, Ordering::Relaxed);
+        self.restarts.inc();
+        self.obs.events().log(
+            Level::Error,
+            self.state().epochs_completed,
+            Some(i),
+            "shard worker died; restarting from last boundary checkpoint",
+        );
         {
             let mut h = self.shard(i);
             if let Some(join) = h.join.take() {
@@ -489,6 +528,8 @@ impl DispatchService {
 
     /// Takes a post-epoch checkpoint of every shard for crash recovery.
     fn checkpoint_shards(&self) -> Result<(), ServeError> {
+        let ts = ClockTimeSource(Arc::clone(&self.clock));
+        let _span = self.snapshot_hist.time(&ts);
         for i in 0..self.shards.len() {
             self.shard(i)
                 .tx
@@ -565,6 +606,8 @@ impl DispatchService {
             return Err(e);
         }
         let mut reports = Vec::with_capacity(statuses.len());
+        let mut events: Vec<(Level, Option<usize>, String)> = Vec::new();
+        let epoch;
         {
             let mut state = self.state();
             let mut any_degraded = false;
@@ -572,20 +615,39 @@ impl DispatchService {
                 state.histogram.record(st.compute_ms);
                 state.shard_metrics[i] = self.to_metrics(i, &st);
                 any_degraded |= st.degraded_now;
+                if st.degraded_now {
+                    events.push((
+                        Level::Warn,
+                        Some(i),
+                        "epoch served degraded on the heuristic fallback".to_owned(),
+                    ));
+                }
                 if let Some(message) = st.swap_error {
+                    events.push((
+                        Level::Warn,
+                        Some(i),
+                        format!("model swap failed: {message}"),
+                    ));
                     state.last_swap_error = Some((i, message));
                 }
                 if let Some(report) = st.report {
                     reports.push(report);
                 }
             }
+            epoch = state.epochs_completed;
             state.epochs_completed += 1;
-            state.advisories_applied += applied;
-            state.advisories_invalid += invalid;
+            self.advisories_applied.add(applied);
+            self.advisories_invalid.add(invalid);
             if any_degraded {
-                state.degraded_epochs += 1;
+                self.degraded_epochs.inc();
             }
         }
+        for (level, shard, message) in events {
+            self.obs.events().log(level, epoch, shard, message);
+        }
+        self.obs
+            .events()
+            .log(Level::Info, epoch, None, format!("epoch {epoch} complete"));
         if self.config.auto_recover {
             self.checkpoint_shards()?;
         }
@@ -614,15 +676,53 @@ impl DispatchService {
             requests_shed: self.request_queues.iter().map(|q| q.shed()).sum(),
             advisories_accepted: self.advisories.accepted(),
             advisories_shed: self.advisories.shed(),
-            advisories_applied: state.advisories_applied,
-            advisories_invalid: state.advisories_invalid,
-            degraded_epochs: state.degraded_epochs,
-            ingest_retries: self.retries.load(Ordering::Relaxed),
+            advisories_applied: self.advisories_applied.value(),
+            advisories_invalid: self.advisories_invalid.value(),
+            degraded_epochs: self.degraded_epochs.value(),
+            ingest_retries: self.retries.value(),
             model_version: self.registry.current().version,
             model_swaps: self.registry.swaps(),
             epoch_latency: state.histogram.clone(),
             shards,
         }
+    }
+
+    /// Mirrors the full [`MetricsSnapshot`] view into the registry and
+    /// captures it. The returned snapshot therefore carries *everything*:
+    /// the registry-native phase histograms, counters and events that
+    /// accumulate live, plus `serve.*` mirrors of the queue, model and
+    /// per-shard counters that have other sources of truth.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        let m = self.metrics();
+        let o = &self.obs;
+        o.counter("serve.epochs_completed")
+            .set(u64::from(m.epochs_completed));
+        o.counter("serve.requests_accepted")
+            .set(m.requests_accepted);
+        o.counter("serve.requests_shed").set(m.requests_shed);
+        o.counter("serve.advisories_accepted")
+            .set(m.advisories_accepted);
+        o.counter("serve.advisories_shed").set(m.advisories_shed);
+        o.gauge("serve.model_version").set(m.model_version as i64);
+        o.counter("serve.model_swaps").set(m.model_swaps);
+        for (i, s) in m.shards.iter().enumerate() {
+            let p = format!("serve.shard{i}");
+            o.counter(&format!("{p}.epochs")).set(u64::from(s.epochs));
+            o.gauge(&format!("{p}.queue_depth"))
+                .set(s.queue_depth as i64);
+            o.counter(&format!("{p}.injected")).set(s.injected);
+            o.counter(&format!("{p}.rejected")).set(s.rejected);
+            o.gauge(&format!("{p}.waiting")).set(s.waiting as i64);
+            o.counter(&format!("{p}.picked_up")).set(s.picked_up as u64);
+            o.counter(&format!("{p}.delivered")).set(s.delivered as u64);
+            o.gauge(&format!("{p}.model_version"))
+                .set(s.model_version as i64);
+            o.counter(&format!("{p}.routing_hits")).set(s.routing_hits);
+            o.counter(&format!("{p}.routing_misses"))
+                .set(s.routing_misses);
+            o.counter(&format!("{p}.degraded_epochs")).set(s.degraded);
+        }
+        o.snapshot()
     }
 
     /// Serializes the whole service — every shard's world, the pending
@@ -641,6 +741,8 @@ impl DispatchService {
     ///
     /// Returns [`ServeError::Shard`] when a worker cannot serialize.
     pub fn snapshot(&self) -> Result<String, ServeError> {
+        let ts = ClockTimeSource(Arc::clone(&self.clock));
+        let _span = self.snapshot_hist.time(&ts);
         let mut out = String::from("mrserve 1\n");
         {
             let state = self.state();
@@ -648,8 +750,8 @@ impl DispatchService {
             let _ = writeln!(
                 out,
                 "advisories {} {} {} {}",
-                state.advisories_applied,
-                state.advisories_invalid,
+                self.advisories_applied.value(),
+                self.advisories_invalid.value(),
                 self.advisories.accepted(),
                 self.advisories.shed()
             );
@@ -657,8 +759,8 @@ impl DispatchService {
             let _ = writeln!(
                 out,
                 "resil {} {}",
-                state.degraded_epochs,
-                self.retries.load(Ordering::Relaxed)
+                self.degraded_epochs.value(),
+                self.retries.value()
             );
         }
         for (i, q) in self.request_queues.iter().enumerate() {
@@ -949,13 +1051,16 @@ impl DispatchService {
             q.set_counters(accepted, shed);
         }
         svc.advisories.set_counters(adv_counts.2, adv_counts.3);
-        svc.retries.store(resil.1, Ordering::Relaxed);
+        // Registry-backed counters are *set*, not added: a restored
+        // service continues from the snapshot's totals exactly once, even
+        // when the caller handed `start` a pre-populated registry.
+        svc.retries.set(resil.1);
+        svc.advisories_applied.set(adv_counts.0);
+        svc.advisories_invalid.set(adv_counts.1);
+        svc.degraded_epochs.set(resil.0);
         {
             let mut state = svc.state();
             state.epochs_completed = epochs;
-            state.advisories_applied = adv_counts.0;
-            state.advisories_invalid = adv_counts.1;
-            state.degraded_epochs = resil.0;
             state.histogram = histogram;
             state.shard_metrics = shard_metrics;
         }

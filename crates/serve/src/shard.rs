@@ -33,12 +33,13 @@
 //! injected stall on one shard must not leak into its neighbours'
 //! deadline decisions.
 
-use crate::clock::Clock;
+use crate::clock::{Clock, ClockTimeSource};
 use crate::fault::{FaultInjector, ShardFault};
 use crate::registry::{ModelBundle, ModelRegistry};
 use mobirescue_core::predictor::RequestPredictor;
 use mobirescue_core::rl_dispatch::{MobiRescueDispatcher, RlDispatchConfig, FEATURE_DIM};
 use mobirescue_core::scenario::Scenario;
+use mobirescue_obs::{PhaseTimer, Registry, TimeSource};
 use mobirescue_rl::qscore::{QScore, QScoreConfig};
 use mobirescue_roadnet::planner::PlannerStats;
 use mobirescue_sim::dispatcher::{DispatchState, Dispatcher};
@@ -113,6 +114,9 @@ pub(crate) struct ShardSpec {
     pub rl: RlDispatchConfig,
     /// Fault schedule shared with the service (chaos testing only).
     pub faults: Option<Arc<FaultInjector>>,
+    /// Service observability registry: workers record the per-epoch phase
+    /// histograms and publish their routing-cache gauges into it.
+    pub obs: Arc<Registry>,
 }
 
 /// Wraps the real dispatcher to measure its compute time through the
@@ -198,11 +202,26 @@ pub(crate) fn spawn_shard(
 
 fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender<ShardReply>) {
     let scenario = &spec.scenario;
+    // Phase spans measure on the *service* clock, like everything else the
+    // worker times: under a SimClock every span is exactly zero, so
+    // instrumented runs stay bit-identical to uninstrumented ones.
+    let time_source: Arc<dyn TimeSource> = Arc::new(ClockTimeSource(Arc::clone(&spec.clock)));
+    let phase_timer = PhaseTimer::new(Arc::clone(&time_source));
+    let obs = Arc::clone(&spec.obs);
+    let h_ingest = obs.histogram("epoch.ingest_ms");
+    let h_predict = obs.histogram("epoch.predict_ms");
+    let h_dispatch = obs.histogram("epoch.dispatch_ms");
+    let h_routing = obs.histogram("epoch.routing_ms");
+    let routing_prefix = format!("routing.shard{index}");
     // The service validated this exact construction before spawning.
     let mut world = World::new(&scenario.city, &scenario.conditions, &spec.sim)
         .expect("service validated the world configuration");
+    world.set_time_source(phase_timer.clone());
     let mut bundle = spec.registry.current();
     let mut dispatcher = build_dispatcher(scenario, &spec.rl, &bundle).ok();
+    if let Some(d) = dispatcher.as_mut() {
+        d.set_time_source(phase_timer.clone());
+    }
     let mut fallback = NearestRequestDispatcher;
     let mut injected: u64 = 0;
     let mut rejected: u64 = 0;
@@ -279,7 +298,8 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
                     let current = spec.registry.current();
                     if current.version != bundle.version || dispatcher.is_none() {
                         match build_dispatcher(scenario, &spec.rl, &current) {
-                            Ok(d) => {
+                            Ok(mut d) => {
+                                d.set_time_source(phase_timer.clone());
                                 dispatcher = Some(d);
                                 bundle = current;
                             }
@@ -287,29 +307,40 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
                         }
                     }
                 }
-                for r in requests {
-                    match world.inject_request(r) {
-                        Ok(_) => injected += 1,
-                        Err(_) => rejected += 1,
+                {
+                    let ingest_span = h_ingest.time(time_source.as_ref());
+                    for r in requests {
+                        match world.inject_request(r) {
+                            Ok(_) => injected += 1,
+                            Err(_) => rejected += 1,
+                        }
                     }
+                    drop(ingest_span);
                 }
                 let spent_ms = Cell::new(0u64);
                 let carry_s = carry_ms as f64 / 1_000.0;
                 let degraded_now = match dispatcher.as_mut() {
                     Some(d) if !force_fallback => {
-                        let mut timed = TimedDispatcher {
-                            inner: d,
-                            clock: &*spec.clock,
-                            spent_ms: &spent_ms,
-                            stall_ms,
+                        let (report, late) = {
+                            let mut timed = TimedDispatcher {
+                                inner: d,
+                                clock: &*spec.clock,
+                                spent_ms: &spent_ms,
+                                stall_ms,
+                            };
+                            let mut over =
+                                || budget_ms.is_some_and(|budget| spent_ms.get() > budget);
+                            world.run_epoch_with_deadline(
+                                &mut timed,
+                                &mut fallback,
+                                carry_s,
+                                &mut over,
+                            )
                         };
-                        let mut over = || budget_ms.is_some_and(|budget| spent_ms.get() > budget);
-                        let (report, late) = world.run_epoch_with_deadline(
-                            &mut timed,
-                            &mut fallback,
-                            carry_s,
-                            &mut over,
-                        );
+                        h_predict.record(d.take_predict_ms());
+                        h_dispatch.record(spent_ms.get());
+                        h_routing.record(world.take_phases().routing_ms);
+                        world.publish_routing(&obs, &routing_prefix);
                         let st = status(
                             &world,
                             injected,
@@ -332,13 +363,19 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
                         // no usable predecessor, or an injected registry
                         // failure): serve the epoch on the heuristic
                         // rather than skip it.
-                        let mut timed = TimedDispatcher {
-                            inner: &mut fallback,
-                            clock: &*spec.clock,
-                            spent_ms: &spent_ms,
-                            stall_ms,
+                        let report = {
+                            let mut timed = TimedDispatcher {
+                                inner: &mut fallback,
+                                clock: &*spec.clock,
+                                spent_ms: &spent_ms,
+                                stall_ms,
+                            };
+                            world.run_epoch(&mut timed, carry_s)
                         };
-                        let report = world.run_epoch(&mut timed, carry_s);
+                        h_predict.record(0);
+                        h_dispatch.record(spent_ms.get());
+                        h_routing.record(world.take_phases().routing_ms);
+                        world.publish_routing(&obs, &routing_prefix);
                         let st = status(
                             &world,
                             injected,
@@ -375,6 +412,7 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
                 let reply = match parse_shard_snapshot(scenario, &text) {
                     Ok(parsed) => {
                         world = parsed.world;
+                        world.set_time_source(phase_timer.clone());
                         injected = parsed.injected;
                         rejected = parsed.rejected;
                         carry_ms = parsed.carry_ms;

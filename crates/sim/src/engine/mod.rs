@@ -20,6 +20,7 @@ use crate::types::{
     TeamView,
 };
 use mobirescue_mobility::flow::HourlyConditions;
+use mobirescue_obs::PhaseTimer;
 use mobirescue_roadnet::damage::NetworkCondition;
 use mobirescue_roadnet::generator::City;
 use mobirescue_roadnet::graph::{LandmarkId, SegmentId};
@@ -132,6 +133,24 @@ pub struct EpochReport {
     pub delivered: u32,
 }
 
+/// Milliseconds the world spent in each phase of its steps since the
+/// phase accumulator was last drained with [`World::take_phases`].
+///
+/// Measured on the [`PhaseTimer`] installed by [`World::set_time_source`];
+/// all zero when no time source is installed (the default) or when the
+/// source is simulated time that does not advance during computation —
+/// which is exactly what keeps instrumented deterministic runs
+/// bit-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorldPhases {
+    /// Injecting appearing requests into the waiting queues.
+    pub ingest_ms: u64,
+    /// Dispatch ticks: building views and running the dispatcher.
+    pub dispatch_ms: u64,
+    /// Applying plans and moving teams: route planning, replans, pickups.
+    pub routing_ms: u64,
+}
+
 /// A running simulation: the damaged city, the teams, the open requests.
 ///
 /// Advance it with [`World::step`] (one second) or [`World::run_epoch`]
@@ -160,6 +179,8 @@ pub struct World<'a> {
     unroutable_orders: u32,
     now: u32,
     waiting_at_last_tick: usize,
+    phase_timer: PhaseTimer,
+    phases: WorldPhases,
 }
 
 impl<'a> World<'a> {
@@ -238,7 +259,29 @@ impl<'a> World<'a> {
             unroutable_orders: 0,
             now: 0,
             waiting_at_last_tick: 0,
+            phase_timer: PhaseTimer::disabled(),
+            phases: WorldPhases::default(),
         })
+    }
+
+    /// Installs the clock phase breakdowns are measured on. Pass a wall
+    /// clock for profiling, a simulated clock for deterministic tests, or
+    /// leave uninstalled (the default) for zero measurement overhead.
+    pub fn set_time_source(&mut self, timer: PhaseTimer) {
+        self.phase_timer = timer;
+    }
+
+    /// Drains the per-phase millisecond accumulators (resets them to
+    /// zero). Call once per epoch to get an epoch-scoped breakdown.
+    pub fn take_phases(&mut self) -> WorldPhases {
+        std::mem::take(&mut self.phases)
+    }
+
+    /// Publishes the shared route planner's cache counters into an
+    /// observability registry under `prefix` (see
+    /// [`mobirescue_roadnet::planner::RoutePlanner::publish`]).
+    pub fn publish_routing(&self, registry: &mobirescue_obs::Registry, prefix: &str) {
+        self.planner.publish(registry, prefix);
     }
 
     /// Schedules a batch of requests before the world starts (ids are
@@ -359,6 +402,7 @@ impl<'a> World<'a> {
         let net = &self.city.network;
 
         // 1. Inject appearing requests.
+        let t_ingest = self.phase_timer.now_ms();
         while self.next_spec < self.specs.len() && self.specs[self.next_spec].1.appear_s <= now {
             let (id, spec) = self.specs[self.next_spec];
             self.waiting_by_segment
@@ -367,6 +411,7 @@ impl<'a> World<'a> {
                 .push(id);
             self.next_spec += 1;
         }
+        self.phases.ingest_ms += self.phase_timer.elapsed_since(t_ingest);
 
         // 1b. Sample team positions (Section IV-C4 training data).
         if let Some(every) = self.config.sample_positions_every_s {
@@ -377,6 +422,7 @@ impl<'a> World<'a> {
         }
 
         // 2. Dispatch tick.
+        let t_dispatch = self.phase_timer.now_ms();
         if now.is_multiple_of(self.config.dispatch_period_s) {
             self.serving_per_tick
                 .push((now, self.teams.iter().filter(|t| t.serving()).count()));
@@ -421,8 +467,10 @@ impl<'a> World<'a> {
                 .push_back((now + latency.ceil() as u32, plan));
             self.dispatch_rounds += 1;
         }
+        self.phases.dispatch_ms += self.phase_timer.elapsed_since(t_dispatch);
 
         // 3. Apply plans whose computation has finished.
+        let t_routing = self.phase_timer.now_ms();
         while self.pending_plans.front().is_some_and(|(t, _)| *t <= now) {
             let (_, plan) = self.pending_plans.pop_front().expect("checked non-empty");
             for (i, order) in plan.orders.iter().enumerate().take(self.teams.len()) {
@@ -553,6 +601,7 @@ impl<'a> World<'a> {
                 }
             }
         }
+        self.phases.routing_ms += self.phase_timer.elapsed_since(t_routing);
         self.now = now + 1;
     }
 

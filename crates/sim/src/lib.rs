@@ -28,6 +28,7 @@ pub mod types;
 pub use dispatcher::{DispatchState, Dispatcher, NearestRequestDispatcher};
 pub use engine::{
     fnv1a_64, open_snapshot, run, seal_snapshot, EpochReport, SimOutcome, World, WorldError,
+    WorldPhases,
 };
 pub use types::{
     DispatchPlan, Order, RequestId, RequestOutcome, RequestSpec, RequestView, SimConfig, TeamId,

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Bench-regression gate: re-runs the per-epoch routing benchmark and
+# compares it against the committed baseline BENCH_routing.json.
+#
+#   scripts/check_bench.sh              # gate against BENCH_routing.json
+#   MAX_SLOWDOWN_PCT=40 scripts/check_bench.sh   # loosen the timing gate
+#
+# Fails (non-zero exit) when either:
+#   * the `checksum` differs from the baseline — the routing *results*
+#     changed, which is never acceptable from a perf-only change; or
+#   * `cached_single_thread` per-epoch time regressed more than
+#     MAX_SLOWDOWN_PCT percent (default 25) against the baseline. The
+#     single-thread figure is gated because it is the least
+#     machine-dependent of the timings, and the gate takes the best of
+#     BENCH_RUNS (default 3) full benchmark runs — the minimum is far
+#     more stable against scheduler noise than any single run.
+#
+# To re-bless the baseline after an intentional routing change:
+#
+#   scripts/bench_routing.sh            # rewrites BENCH_routing.json
+#
+# and commit the new baseline together with the change and a rationale
+# (in particular, explain any checksum change — it means different
+# routes or distances, not just different timings).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="BENCH_routing.json"
+MAX_SLOWDOWN_PCT="${MAX_SLOWDOWN_PCT:-25}"
+BENCH_RUNS="${BENCH_RUNS:-3}"
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "check_bench: no baseline $BASELINE; run scripts/bench_routing.sh first" >&2
+    exit 1
+fi
+
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+
+echo "==> cargo build --release -p mobirescue-bench --bin bench_routing"
+cargo build --release -q -p mobirescue-bench --bin bench_routing
+
+# Extract `"key": value` scalars from the flat JSON the benchmark emits.
+field() { # field FILE KEY
+    sed -n "s/^.*\"$2\": \([0-9.]*\).*$/\1/p" "$1" | head -n 1
+}
+
+new_checksum=""
+new_ms=""
+for run in $(seq 1 "$BENCH_RUNS"); do
+    echo "==> running routing benchmark ($run/$BENCH_RUNS)"
+    ./target/release/bench_routing > "$fresh"
+    run_checksum="$(field "$fresh" checksum)"
+    run_ms="$(field "$fresh" cached_single_thread)"
+    if [[ -n "$new_checksum" && "$run_checksum" != "$new_checksum" ]]; then
+        echo "FAIL: checksum not even stable across runs ($run_checksum vs $new_checksum)" >&2
+        exit 1
+    fi
+    new_checksum="$run_checksum"
+    if [[ -z "$new_ms" ]] || awk -v a="$run_ms" -v b="$new_ms" 'BEGIN { exit !(a < b) }'; then
+        new_ms="$run_ms"
+    fi
+done
+
+base_checksum="$(field "$BASELINE" checksum)"
+base_ms="$(field "$BASELINE" cached_single_thread)"
+
+if [[ -z "$base_checksum" || -z "$base_ms" ]]; then
+    echo "check_bench: baseline $BASELINE is missing checksum/cached_single_thread;" >&2
+    echo "             re-bless it with scripts/bench_routing.sh" >&2
+    exit 1
+fi
+
+failures=0
+
+echo "checksum: baseline $base_checksum, fresh $new_checksum"
+if [[ "$new_checksum" != "$base_checksum" ]]; then
+    echo "FAIL: routing checksum changed — results differ from the baseline" >&2
+    failures=$((failures + 1))
+fi
+
+echo "cached_single_thread per-epoch ms: baseline $base_ms, fresh $new_ms (gate: +${MAX_SLOWDOWN_PCT}%)"
+if ! awk -v new="$new_ms" -v base="$base_ms" -v pct="$MAX_SLOWDOWN_PCT" \
+        'BEGIN { exit !(new <= base * (1 + pct / 100)) }'; then
+    echo "FAIL: cached_single_thread regressed more than ${MAX_SLOWDOWN_PCT}% vs baseline" >&2
+    failures=$((failures + 1))
+fi
+
+if [[ "$failures" -gt 0 ]]; then
+    echo "check_bench: $failures failure(s)" >&2
+    exit 1
+fi
+echo "check_bench: OK"

@@ -1,32 +1,52 @@
 #!/usr/bin/env bash
-# Repo verification: the tier-1 gate (ROADMAP.md) plus formatting.
+# Repo verification: the tier-1 gate (ROADMAP.md) plus formatting and
+# lints, with a per-step PASS/FAIL summary.
 #
-#   scripts/verify.sh          # tier-1 + cargo fmt --check
+#   scripts/verify.sh          # tier-1 + fmt + clippy + pinned chaos suite
 #   scripts/verify.sh --full   # additionally run the whole workspace's tests
 #
-# Exits non-zero on the first failure.
+# Every step runs even when an earlier one fails, so one invocation
+# reports everything that is broken; the script exits non-zero if any
+# step failed.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+steps=()
+results=()
+failures=0
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+run_step() { # run_step NAME CMD...
+    local name="$1"
+    shift
+    echo "==> $name: $*"
+    local result=PASS
+    if ! "$@"; then
+        result=FAIL
+        failures=$((failures + 1))
+    fi
+    steps+=("$name")
+    results+=("$result")
+}
 
-echo "==> tier-1: cargo build --release"
-cargo build --release
-
-echo "==> tier-1: cargo test -q"
-cargo test -q
-
-echo "==> chaos suite (fixed seed set, tests/chaos.rs)"
-cargo test -q --test chaos
+run_step "fmt" cargo fmt --check
+run_step "clippy" cargo clippy --workspace --all-targets -- -D warnings
+run_step "tier-1 build" cargo build --release
+run_step "tier-1 tests" cargo test -q
+run_step "chaos suite" cargo test -q --test chaos
 
 if [[ "${1:-}" == "--full" ]]; then
-    echo "==> full: cargo test --workspace --release -q"
-    cargo test --workspace --release -q
+    run_step "full workspace tests" cargo test --workspace --release -q
 fi
 
+echo
+echo "verify summary:"
+for i in "${!steps[@]}"; do
+    printf '  %-22s %s\n' "${steps[$i]}" "${results[$i]}"
+done
+
+if [[ "$failures" -gt 0 ]]; then
+    echo "verify: $failures step(s) FAILED"
+    exit 1
+fi
 echo "verify: OK"
