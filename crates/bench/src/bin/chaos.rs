@@ -9,11 +9,15 @@
 //!
 //! Sweeps N seeded fault plans through `mobirescue_serve::chaos::run_chaos`
 //! (drop/delay/duplicate/corrupt ingestion, shard stalls and crashes,
-//! failed hot-swaps), then runs the crash-replay masking check. Exits
+//! failed hot-swaps), then runs the crash-replay masking check and the
+//! poisoned-checkpoint rollout sweep (NaN weights, wrong dims, and a
+//! reward-tanking policy against the guarded promotion pipeline). Exits
 //! non-zero if any seed breaks an invariant — pipe the output into
 //! `robustness_serve.txt` via `scripts/chaos.sh`.
 
-use mobirescue_serve::chaos::{crash_replay_divergence, run_chaos, ChaosOptions};
+use mobirescue_serve::chaos::{
+    crash_replay_divergence, rollout_chaos_divergence, run_chaos, ChaosOptions, RolloutChaosOptions,
+};
 
 fn main() {
     let mut seeds = 10u64;
@@ -77,6 +81,27 @@ fn main() {
         Err(e) => {
             println!("service error: {e} -> FAIL");
             failures += 1;
+        }
+    }
+
+    println!("rollout chaos (poisoned checkpoints vs the guarded pipeline):");
+    for seed in base_seed..base_seed + seeds.min(5) {
+        let opts = RolloutChaosOptions::standard(shards);
+        match rollout_chaos_divergence(seed, &opts) {
+            Ok(divergences) if divergences.is_empty() => {
+                println!("  seed {seed:>4}: poisoned twin bit-identical to clean run -> OK");
+            }
+            Ok(divergences) => {
+                println!("  seed {seed:>4}: VIOLATED -> FAIL");
+                for d in &divergences {
+                    println!("    {d}");
+                }
+                failures += 1;
+            }
+            Err(e) => {
+                println!("  seed {seed:>4}: service error: {e} -> FAIL");
+                failures += 1;
+            }
         }
     }
 

@@ -7,11 +7,15 @@
 //!    Hurricane Florence, on the paper's 5-minute dispatch period;
 //! 2. streams rescue requests and weather/road-damage advisories into the
 //!    bounded ingest queues from producer threads;
-//! 3. hot-swaps a freshly trained SVM predictor + DQN policy checkpoint
-//!    through the model registry mid-run, via the on-disk persistence
-//!    formats, without pausing ingestion;
-//! 4. snapshots the whole service at an epoch boundary, tears it down,
-//!    restores it from the snapshot text, and keeps going;
+//! 3. rolls out a freshly trained SVM predictor + DQN policy checkpoint
+//!    mid-run through the guarded promotion pipeline — the first delivery
+//!    is poisoned (NaN weights) by the fault injector and dies at the
+//!    admission probe with a typed error; the clean retry is admitted and
+//!    staged through shadow evaluation and a canary shard before
+//!    fleet-wide promotion, all without pausing ingestion;
+//! 4. snapshots the whole service at an epoch boundary — with the canary
+//!    stage still in flight — tears it down, restores it from the
+//!    snapshot text, and finishes the promotion on the restored service;
 //! 5. prints periodic metrics and a final report, exiting 0 on success.
 
 use mobirescue_core::predictor::{PredictorConfig, RequestPredictor};
@@ -21,7 +25,8 @@ use mobirescue_rl::nn::Mlp;
 use mobirescue_rl::persist::mlp_to_text;
 use mobirescue_roadnet::graph::SegmentId;
 use mobirescue_serve::{
-    Clock, DispatchService, EpochScheduler, Event, ModelRegistry, ServeConfig, ServeError, SimClock,
+    CheckpointPoison, Clock, DispatchService, EpochScheduler, Event, FaultInjector, FaultPlan,
+    ModelRegistry, RolloutConfig, RolloutError, ServeConfig, ServeError, SimClock,
 };
 use mobirescue_sim::{RequestSpec, SimConfig};
 use std::sync::Arc;
@@ -95,9 +100,10 @@ fn ingest_epoch(service: &Arc<DispatchService>, scenario: &Arc<Scenario>, epoch:
     println!("  ingested {total} requests for epoch {epoch}");
 }
 
-/// Trains a fresh SVM predictor + DQN policy, persists both through the
-/// on-disk checkpoint formats, and installs them via the registry.
-fn hot_swap(registry: &ModelRegistry, rl: &RlDispatchConfig) -> Result<u64, ServeError> {
+/// Trains a fresh SVM predictor + DQN policy and round-trips both through
+/// the on-disk checkpoint formats, returning the texts a deployment would
+/// hand to [`DispatchService::submit_rollout`].
+fn train_candidate(rl: &RlDispatchConfig) -> Result<(String, String), ServeError> {
     // The paper trains on the *previous* disaster (Michael) before serving
     // the live one; a small scenario keeps the demo quick — the factor
     // vector has fixed dimensions, so the model transfers.
@@ -116,7 +122,11 @@ fn hot_swap(registry: &ModelRegistry, rl: &RlDispatchConfig) -> Result<u64, Serv
         .map_err(|e| ServeError::Io(e.to_string()))?;
     std::fs::write(&policy_path, mlp_to_text(&policy))
         .map_err(|e| ServeError::Io(e.to_string()))?;
-    registry.install_from_files(Some(&predictor_path), Some(&policy_path))
+    let predictor_text =
+        std::fs::read_to_string(&predictor_path).map_err(|e| ServeError::Io(e.to_string()))?;
+    let policy_text =
+        std::fs::read_to_string(&policy_path).map_err(|e| ServeError::Io(e.to_string()))?;
+    Ok((predictor_text, policy_text))
 }
 
 /// `--metrics-out FILE` (versioned `mrobs 1` text) and `--metrics-prom
@@ -170,10 +180,29 @@ fn main() -> Result<(), ServeError> {
         ..SimConfig::paper(start_hour)
     };
     let rl = RlDispatchConfig::default();
+    // The fault injector will poison the first checkpoint delivery with
+    // NaN weights: the rollout admission probe must reject it, typed, and
+    // the clean retry goes through the staged pipeline. Slacks are wide
+    // open so a demo-sized candidate promotes — gate *strictness* is the
+    // chaos suite's job; the demo shows the stages.
+    let injector = Arc::new(FaultInjector::new(
+        FaultPlan::empty().with_poisoned_checkpoint(CheckpointPoison::NanWeights),
+    ));
     let config = ServeConfig {
         num_shards: NUM_SHARDS,
         sim: sim.clone(),
         rl: rl.clone(),
+        faults: Some(Arc::clone(&injector)),
+        rollout: RolloutConfig {
+            shadow_epochs: 2,
+            shadow_slack: 1e9,
+            canary_epochs: 2,
+            canary_shards: 1,
+            canary_slack: 1e9,
+            watch_epochs: 2,
+            watch_slack: 1e9,
+            ..RolloutConfig::default()
+        },
         ..ServeConfig::new(sim)
     };
     let clock: Arc<SimClock> = Arc::new(SimClock::new());
@@ -190,14 +219,15 @@ fn main() -> Result<(), ServeError> {
         Arc::clone(&registry),
     )?);
 
-    // Phase 1: epochs 0..PHASE1_EPOCHS with a mid-run model hot-swap.
+    // Phase 1: epochs 0..PHASE1_EPOCHS with a mid-run guarded rollout.
+    // The first delivery of the trained checkpoint is poisoned in transit;
+    // admission rejects it and the retry enters the pipeline.
     ingest_epoch(&service, &scenario, 0);
     let mut scheduler = EpochScheduler::for_service(&service)?;
     let mut swap_failed = None;
     {
         let service_cb = Arc::clone(&service);
         let scenario_cb = Arc::clone(&scenario);
-        let registry_cb = Arc::clone(&registry);
         let rl_cb = rl.clone();
         scheduler.run(&service, clock.as_ref(), PHASE1_EPOCHS, |epoch, reports| {
             let delivered: u32 = reports.iter().map(|r| r.delivered).sum();
@@ -206,11 +236,42 @@ fn main() -> Result<(), ServeError> {
                 reports.len()
             );
             if epoch == SWAP_AT_EPOCH {
-                println!("  hot-swapping SVM + DQN checkpoints through the registry...");
-                match hot_swap(&registry_cb, &rl_cb) {
-                    Ok(version) => println!("  installed model bundle v{version}"),
+                println!("  submitting freshly trained SVM + DQN checkpoints for rollout...");
+                match train_candidate(&rl_cb) {
+                    Ok((predictor_text, policy_text)) => {
+                        match service_cb.submit_rollout(Some(&predictor_text), Some(&policy_text)) {
+                            Err(ServeError::Rollout(RolloutError::Probe { artifact, message })) => {
+                                println!(
+                                    "  checkpoint delivery was corrupted in transit; admission \
+                                     rejected the {artifact} artifact: {message}"
+                                );
+                                println!("  re-fetching the checkpoint and resubmitting...");
+                                match service_cb
+                                    .submit_rollout(Some(&predictor_text), Some(&policy_text))
+                                {
+                                    Ok(Some(status)) => println!(
+                                        "  candidate v{} admitted, entering {} stage",
+                                        status.version, status.stage
+                                    ),
+                                    Ok(None) => println!("  candidate promoted immediately"),
+                                    Err(e) => swap_failed = Some(e),
+                                }
+                            }
+                            Ok(_) => {
+                                swap_failed = Some(ServeError::Io(
+                                    "poisoned checkpoint passed admission".to_owned(),
+                                ))
+                            }
+                            Err(e) => swap_failed = Some(e),
+                        }
+                    }
                     Err(e) => swap_failed = Some(e),
                 }
+            } else if let Some(status) = service_cb.rollout_status() {
+                println!(
+                    "  rollout v{}: {} stage, {} epochs in",
+                    status.version, status.stage, status.epochs_done
+                );
             }
             ingest_epoch(&service_cb, &scenario_cb, epoch + 1);
         })?;
@@ -219,6 +280,13 @@ fn main() -> Result<(), ServeError> {
         return Err(e);
     }
     println!("\nafter phase 1:\n{}", service.metrics().render());
+    let status = service
+        .rollout_status()
+        .expect("the canary stage straddles the snapshot boundary");
+    println!(
+        "rollout v{} still in flight ({} stage) — it must survive the restore",
+        status.version, status.stage
+    );
 
     // Snapshot/restore cycle: serialize, tear the service down, rebuild.
     println!("snapshotting the service and killing it...");
@@ -267,6 +335,12 @@ fn main() -> Result<(), ServeError> {
                 "epoch {epoch}: {} shard reports, {delivered} delivered",
                 reports.len()
             );
+            if let Some(status) = service_cb.rollout_status() {
+                println!(
+                    "  rollout v{}: {} stage, {} epochs in",
+                    status.version, status.stage, status.epochs_done
+                );
+            }
             if i + 1 < PHASE2_EPOCHS {
                 ingest_epoch(&service_cb, &scenario_cb, epoch + 1);
             }
@@ -284,6 +358,27 @@ fn main() -> Result<(), ServeError> {
         "the demo must drive at least 10 epochs"
     );
     assert_eq!(metrics.model_swaps, 1, "the hot-swap must have happened");
+    assert_eq!(
+        metrics.model_version, 2,
+        "the candidate promoted fleet-wide"
+    );
+    assert!(
+        service.rollout_status().is_none(),
+        "the pipeline must have completed"
+    );
+    let rollouts = service.rollout_counters();
+    assert_eq!(rollouts.rejected, 1, "the poisoned delivery was rejected");
+    assert_eq!(rollouts.admitted, 1, "the clean retry was admitted");
+    assert_eq!(rollouts.rolled_back, 0, "nothing regressed");
+    assert_eq!(
+        injector.counters().poisoned_checkpoints,
+        1,
+        "the scheduled poison fired"
+    );
+    println!(
+        "rollout pipeline: {} rejected (poisoned), {} admitted, {} rolled back",
+        rollouts.rejected, rollouts.admitted, rollouts.rolled_back
+    );
 
     // Dump the observability registry: per-phase epoch histograms, every
     // MetricsSnapshot counter mirrored under `serve.*`, routing gauges.

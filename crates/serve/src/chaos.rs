@@ -25,21 +25,35 @@
 //! 5. **Snapshot integrity** — the final snapshot restores to an equal
 //!    service when written cleanly, and is *rejected with a typed error*
 //!    when the injector corrupted the write.
+//! 6. **Swap-failure attribution** — every injected registry failure is
+//!    counted under its typed cause ([`crate::SwapError::Injected`]), and
+//!    no build or rollout failure claims one.
+//!
+//! [`rollout_chaos_divergence`] adds the poisoned-checkpoint invariants:
+//! an inadmissible or shadow-stage candidate never serves a primary
+//! dispatch, every injected regression is caught with the registry still
+//! pinned to the prior version, and a poisoned run ends bit-identical to
+//! a twin that never saw the poison.
 
 use crate::clock::{Clock, SimClock};
 use crate::error::ServeError;
 use crate::event::Event;
-use crate::fault::{FaultCounters, FaultInjector, FaultPlan, FaultPlanConfig, ScheduledFaults};
+use crate::fault::{
+    CheckpointPoison, FaultCounters, FaultInjector, FaultPlan, FaultPlanConfig, ScheduledFaults,
+};
 use crate::metrics::MetricsSnapshot;
 use crate::registry::ModelRegistry;
+use crate::rollout::{RolloutConfig, RolloutError};
 use crate::scheduler::EpochScheduler;
 use crate::service::{DispatchService, RetryPolicy, ServeConfig};
 use mobirescue_core::rl_dispatch::FEATURE_DIM;
 use mobirescue_core::scenario::{Scenario, ScenarioConfig};
 use mobirescue_obs::ObsSnapshot;
 use mobirescue_rl::nn::Mlp;
+use mobirescue_rl::persist::mlp_to_text;
 use mobirescue_roadnet::graph::SegmentId;
 use mobirescue_sim::{RequestSpec, SimConfig};
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -111,8 +125,8 @@ impl ChaosOutcome {
     pub fn summary(&self) -> String {
         let mut line = format!(
             "seed {:>4}: epochs {} degraded {} | fired: drop {} delay {}({} released) dup {} \
-             corrupt {} stall {} crash {} swapfail {} snapcorrupt {} | restarts {} retries {} \
-             shed {} -> {}",
+             corrupt {} stall {} crash {} swapfail {} snapcorrupt {} poison {} | restarts {} \
+             retries {} shed {} -> {}",
             self.seed,
             self.metrics.epochs_completed,
             self.metrics.degraded_epochs,
@@ -125,6 +139,7 @@ impl ChaosOutcome {
             self.counters.crashes,
             self.counters.swap_fails,
             self.counters.snapshot_corruptions,
+            self.counters.poisoned_checkpoints,
             self.restarts,
             self.metrics.ingest_retries,
             self.metrics.requests_shed,
@@ -229,8 +244,19 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> Result<ChaosOutcome, ServeEr
             ));
         }
         if e == opts.epochs / 2 {
-            // Exercise the hot-swap path mid-run with a valid policy.
-            registry.install(None, Some(Mlp::new(&[FEATURE_DIM, 8, 1], 5)));
+            // Exercise the hot-swap path mid-run with a valid policy —
+            // through the guarded rollout pipeline, like a deployment
+            // would. With the pipeline's default gates the candidate is
+            // usually still in flight at the end of the run, which drags
+            // the rollout state through the snapshot-integrity check.
+            let policy = mlp_to_text(&Mlp::new(&[FEATURE_DIM, 8, 1], 5));
+            match service.submit_rollout(None, Some(&policy)) {
+                Ok(_) => {}
+                // A scheduled checkpoint poison replaced the candidate in
+                // flight; the typed admission rejection *is* the contract.
+                Err(ServeError::Rollout(_)) if scheduled.poisoned_checkpoints > 0 => {}
+                Err(e) => short_epochs.push(format!("guarded rollout submission failed: {e}")),
+            }
         }
         if e + 1 < opts.epochs {
             ingest(&service, e + 1);
@@ -324,6 +350,23 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> Result<ChaosOutcome, ServeEr
         violations.push(format!(
             "{restarts} restarts for {} crashes",
             counters.crashes
+        ));
+    }
+
+    // Invariant 6: swap-failure attribution. Every injected registry
+    // failure is counted under its typed cause, and neither a bundle
+    // build nor a rollout candidate failed in a run that schedules only
+    // healthy checkpoints.
+    if metrics.swap_failures_injected != counters.swap_fails
+        || metrics.swap_failures_build != 0
+        || metrics.swap_failures_rollout != 0
+    {
+        violations.push(format!(
+            "swap failures attributed {}i/{}b/{}r, injector fired {}",
+            metrics.swap_failures_injected,
+            metrics.swap_failures_build,
+            metrics.swap_failures_rollout,
+            counters.swap_fails
         ));
     }
 
@@ -449,6 +492,272 @@ pub fn crash_replay_divergence(
             "snapshot texts diverge at byte {at} (faulted {} bytes, clean {} bytes)",
             faulted_snap.len(),
             clean_snap.len()
+        ));
+    }
+    Ok(divergences)
+}
+
+/// What a poisoned-checkpoint chaos run should look like.
+#[derive(Debug, Clone)]
+pub struct RolloutChaosOptions {
+    /// Dispatch epochs to drive (leave room after `good_at` for the good
+    /// candidate's full shadow → canary → watch pipeline).
+    pub epochs: u32,
+    /// City shards to host.
+    pub num_shards: usize,
+    /// Request offers per shard per epoch.
+    pub requests_per_epoch: usize,
+    /// Poisoned checkpoints delivered (one per submission) before the good
+    /// candidate. Structural poisons must be rejected at admission; a
+    /// reward-tanking poison must be admitted and then killed by the
+    /// shadow gate.
+    pub poisons: Vec<CheckpointPoison>,
+    /// Epoch after which the genuine candidate is submitted (every poison
+    /// must have been consumed and resolved by then).
+    pub good_at: u32,
+}
+
+impl RolloutChaosOptions {
+    /// The standard sweep configuration: one poison of each kind, then a
+    /// good candidate with enough epochs left to fully promote.
+    pub fn standard(num_shards: usize) -> Self {
+        Self {
+            epochs: 18,
+            num_shards,
+            // Light enough that free teams exist at every dispatch tick:
+            // the shadow gate can only separate a reward tank from the
+            // incumbent when there is work a free team *could* take.
+            requests_per_epoch: 3,
+            poisons: vec![
+                CheckpointPoison::NanWeights,
+                CheckpointPoison::WrongDims,
+                CheckpointPoison::RewardTank,
+            ],
+            good_at: 8,
+        }
+    }
+}
+
+/// The poisoned-checkpoint invariants, checked as a twin experiment:
+///
+/// * an **inadmissible** candidate (NaN weights, wrong dims) is rejected
+///   with a typed error and never reaches the registry;
+/// * an admitted but **reward-tanking** candidate never serves a primary
+///   dispatch (it dies in shadow), and its rejection leaves the registry
+///   pinned to the *exact* prior bundle (`Arc` identity);
+/// * a run that saw every poison ends **bit-identical** — snapshot text
+///   and metrics — to a twin run that never saw any poison, because every
+///   guard fired before dispatch could be affected.
+///
+/// The incumbent starts from the same weights the good candidate carries,
+/// so the good candidate's shadow replay ties the incumbent exactly and
+/// passes the gate deterministically, while the reward tank — which
+/// refuses every dispatch — falls strictly short.
+///
+/// Returns the list of divergences/violations (empty on a clean run).
+///
+/// # Errors
+///
+/// Returns the first *unexpected* service error from either run (typed
+/// admission rejections are the contract, not errors).
+pub fn rollout_chaos_divergence(
+    seed: u64,
+    opts: &RolloutChaosOptions,
+) -> Result<Vec<String>, ServeError> {
+    let scenario = Arc::new(chaos_scenario());
+    // The incumbent (and the good candidate, which carries the same
+    // weights) must be a *competent* dispatcher, not a random init: the
+    // shadow gate can only separate a reward tank from the incumbent if
+    // the incumbent reliably out-picks a policy that recalls every team.
+    // Hand-set weights score candidate zones by live requests and
+    // remaining demand, penalise distance, and pin the standby feature
+    // strongly negative; the seed contributes a small perturbation on
+    // top so the sweep still covers distinct policies.
+    let mut good_net = Mlp::new(&[FEATURE_DIM, 1], seed ^ 0x600d);
+    let base = [-2.0, 1.0, 3.0, 0.0, 0.0, -1_000.0, 0.0];
+    good_net.visit_params_mut(|i, w, _| {
+        *w = base[i] + 0.05 * *w;
+    });
+    let good_text = mlp_to_text(&good_net);
+    let segments = scenario.city.network.num_segments() as u32;
+    // Canary and watch slacks are wide open: in this harness those stages
+    // only need to *pass* for the good candidate (the tank must die in
+    // shadow, and the dedicated watch tests cover post-promotion
+    // regression); the shadow gate is the one under test.
+    let rollout_cfg = RolloutConfig {
+        shadow_epochs: 4,
+        shadow_slack: 0.0,
+        canary_epochs: 2,
+        canary_shards: 1,
+        canary_slack: 1e9,
+        watch_epochs: 2,
+        watch_slack: 1e9,
+        probe_bound: 1e6,
+    };
+    struct RunEnd {
+        snapshot: String,
+        metrics: MetricsSnapshot,
+        swaps: u64,
+        rollbacks: u64,
+        final_version: u64,
+        violations: Vec<String>,
+    }
+    let run = |poisons: &[CheckpointPoison]| -> Result<RunEnd, ServeError> {
+        let mut plan = FaultPlan::empty();
+        for &kind in poisons {
+            plan = plan.with_poisoned_checkpoint(kind);
+        }
+        let injector = Arc::new(FaultInjector::new(plan));
+        let mut config = ServeConfig::new(SimConfig::small(6));
+        config.num_shards = opts.num_shards;
+        config.request_queue_capacity = 8;
+        config.faults = Some(Arc::clone(&injector));
+        config.rollout = rollout_cfg.clone();
+        let clock: Arc<SimClock> = Arc::new(SimClock::new());
+        let registry = Arc::new(ModelRegistry::new(None, Some(good_net.clone())));
+        let v1 = registry.current();
+        let service = DispatchService::start(
+            Arc::clone(&scenario),
+            config,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            Arc::clone(&registry),
+        )?;
+        let mut violations = Vec::new();
+        let mut pending: VecDeque<CheckpointPoison> = poisons.iter().copied().collect();
+        let mut scheduler = EpochScheduler::for_service(&service)?;
+        for event in request_events(0, opts.num_shards, opts.requests_per_epoch, segments) {
+            service.ingest(event)?;
+        }
+        scheduler.run(&service, clock.as_ref(), opts.epochs, |e, _| {
+            // One submission at a time: poisoned deliveries first, the
+            // genuine candidate at `good_at`. Every submission sends the
+            // *good* text — the injector swaps the poison in transit.
+            if e < opts.good_at && service.rollout_status().is_none() {
+                if let Some(kind) = pending.pop_front() {
+                    let outcome = service.submit_rollout(None, Some(&good_text));
+                    match (kind, outcome) {
+                        (CheckpointPoison::RewardTank, Ok(_)) => {}
+                        (
+                            CheckpointPoison::NanWeights | CheckpointPoison::WrongDims,
+                            Err(ServeError::Rollout(RolloutError::Probe { .. })),
+                        ) => {}
+                        (kind, outcome) => violations.push(format!(
+                            "epoch {e}: poisoned submission ({kind:?}) resolved as {outcome:?}"
+                        )),
+                    }
+                }
+            } else if e == opts.good_at {
+                if let Err(err) = service.submit_rollout(None, Some(&good_text)) {
+                    violations.push(format!("epoch {e}: good candidate rejected: {err}"));
+                }
+            }
+            // While poisons are being delivered and screened, nothing may
+            // serve but the exact original bundle: the registry still
+            // holds the v1 Arc and every shard dispatches at version 1.
+            if e < opts.good_at {
+                if !Arc::ptr_eq(&registry.current(), &v1) {
+                    violations.push(format!("epoch {e}: registry moved off the v1 bundle"));
+                }
+                for (i, s) in service.metrics().shards.iter().enumerate() {
+                    if s.model_version != 1 {
+                        violations.push(format!(
+                            "epoch {e}: shard {i} served model v{} during poison screening",
+                            s.model_version
+                        ));
+                    }
+                }
+            }
+            if e + 1 < opts.epochs {
+                for event in
+                    request_events(e + 1, opts.num_shards, opts.requests_per_epoch, segments)
+                {
+                    let _ = service.ingest(event);
+                }
+            }
+        })?;
+        if !pending.is_empty() {
+            violations.push(format!(
+                "{} poisons never submitted (good_at too early)",
+                pending.len()
+            ));
+        }
+        let tanks = poisons
+            .iter()
+            .filter(|p| matches!(p, CheckpointPoison::RewardTank))
+            .count() as u64;
+        let structural = poisons.len() as u64 - tanks;
+        let counters = service.rollout_counters();
+        if counters.rejected != structural {
+            violations.push(format!(
+                "{} admission rejections for {structural} structural poisons",
+                counters.rejected
+            ));
+        }
+        if counters.admitted != tanks + 1 {
+            violations.push(format!(
+                "{} admissions for {tanks} reward tanks plus the good candidate",
+                counters.admitted
+            ));
+        }
+        if counters.rolled_back != tanks {
+            violations.push(format!(
+                "{} rollbacks for {tanks} reward tanks",
+                counters.rolled_back
+            ));
+        }
+        if injector.counters().poisoned_checkpoints != poisons.len() as u64 {
+            violations.push(format!(
+                "{} poisons fired, {} scheduled",
+                injector.counters().poisoned_checkpoints,
+                poisons.len()
+            ));
+        }
+        if service.rollout_status().is_some() {
+            violations.push("rollout still in flight at end of run".to_owned());
+        }
+        let snapshot = service.snapshot()?;
+        let metrics = service.metrics();
+        let end = RunEnd {
+            snapshot,
+            metrics,
+            swaps: registry.swaps(),
+            rollbacks: registry.rollbacks(),
+            final_version: registry.current().version,
+            violations,
+        };
+        service.shutdown();
+        Ok(end)
+    };
+    let mut faulted = run(&opts.poisons)?;
+    let clean = run(&[])?;
+    let mut divergences = std::mem::take(&mut faulted.violations);
+    for v in &clean.violations {
+        divergences.push(format!("clean twin: {v}"));
+    }
+    // The good candidate promoted exactly once in both runs; no poison
+    // ever made it far enough to need a registry-level rollback.
+    for (name, end) in [("faulted", &faulted), ("clean", &clean)] {
+        if end.swaps != 1 || end.rollbacks != 0 || end.final_version != 2 {
+            divergences.push(format!(
+                "{name} run ended at v{} with {} swaps, {} rollbacks (expected v2, 1, 0)",
+                end.final_version, end.swaps, end.rollbacks
+            ));
+        }
+    }
+    if faulted.metrics != clean.metrics {
+        divergences.push("metrics diverged between poisoned and clean runs".to_owned());
+    }
+    if faulted.snapshot != clean.snapshot {
+        let at = faulted
+            .snapshot
+            .bytes()
+            .zip(clean.snapshot.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| faulted.snapshot.len().min(clean.snapshot.len()));
+        divergences.push(format!(
+            "snapshot texts diverge at byte {at} (poisoned {} bytes, clean {} bytes)",
+            faulted.snapshot.len(),
+            clean.snapshot.len()
         ));
     }
     Ok(divergences)

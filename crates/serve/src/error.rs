@@ -7,6 +7,7 @@
 //! surfaces as a [`ServeError`] instead, so a long-running dispatcher
 //! keeps serving through malformed input.
 
+use crate::rollout::RolloutError;
 use mobirescue_sim::WorldError;
 
 /// Why a service operation failed.
@@ -32,6 +33,9 @@ pub enum ServeError {
     BadSnapshot(String),
     /// A model checkpoint failed to load.
     BadModel(String),
+    /// The rollout pipeline rejected a candidate bundle (admission
+    /// failure or a rollout already in flight).
+    Rollout(RolloutError),
     /// Reading or writing a checkpoint/snapshot file failed.
     Io(String),
     /// The configuration cannot host a service (e.g. zero shards).
@@ -50,6 +54,7 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::BadSnapshot(why) => write!(f, "bad service snapshot: {why}"),
             ServeError::BadModel(why) => write!(f, "bad model checkpoint: {why}"),
+            ServeError::Rollout(e) => write!(f, "rollout rejected: {e}"),
             ServeError::Io(why) => write!(f, "i/o error: {why}"),
             ServeError::BadConfig(what) => write!(f, "bad service config: {what}"),
         }
@@ -86,5 +91,8 @@ mod tests {
         assert!(ServeError::BadConfig("zero shards")
             .to_string()
             .contains("zero shards"));
+        assert!(ServeError::Rollout(RolloutError::InFlight)
+            .to_string()
+            .contains("in flight"));
     }
 }

@@ -18,6 +18,9 @@
 //! after restore, the crash (already consumed) does not re-fire, so the
 //! replay is the *masked* — unfaulted — execution of the same epoch.
 
+use mobirescue_core::rl_dispatch::FEATURE_DIM;
+use mobirescue_rl::nn::Mlp;
+use mobirescue_rl::persist::mlp_to_text;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -50,6 +53,21 @@ pub enum ShardFault {
     /// The worker thread dies mid-epoch without replying; the service must
     /// restart it from the last boundary checkpoint and replay.
     Crash,
+}
+
+/// How a submitted checkpoint is poisoned before it reaches the rollout
+/// pipeline's admission gate (a corrupted training job, a bad export, or
+/// an adversarially regressed policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointPoison {
+    /// The policy parses but carries a NaN weight — admission must reject.
+    NanWeights,
+    /// The policy's input layer disagrees with `FEATURE_DIM` — admission
+    /// must reject.
+    WrongDims,
+    /// A structurally valid policy that pins every team on stand-by,
+    /// tanking the paper reward — only the shadow gate can catch it.
+    RewardTank,
 }
 
 /// How a snapshot text is damaged on write (failing disk / torn write).
@@ -96,6 +114,9 @@ pub struct FaultPlanConfig {
     /// How many [`crate::DispatchService::snapshot`] calls get corrupted
     /// on write.
     pub snapshot_corruptions: u32,
+    /// How many rollout submissions get their policy checkpoint replaced
+    /// with a poisoned one (kinds cycle NaN → wrong-dims → reward-tank).
+    pub poisoned_checkpoints: u32,
 }
 
 impl FaultPlanConfig {
@@ -116,6 +137,7 @@ impl FaultPlanConfig {
             p_swap_fail: 0.06,
             stall_ms: 50,
             snapshot_corruptions: 0,
+            poisoned_checkpoints: 0,
         }
     }
 
@@ -135,6 +157,7 @@ impl FaultPlanConfig {
             p_swap_fail: 0.0,
             stall_ms: 0,
             snapshot_corruptions: 0,
+            poisoned_checkpoints: 0,
         }
     }
 }
@@ -153,12 +176,20 @@ pub struct ScheduledFaults {
     pub swap_fails: usize,
     /// Scheduled snapshot corruptions.
     pub snapshot_corruptions: usize,
+    /// Scheduled checkpoint poisonings.
+    pub poisoned_checkpoints: usize,
 }
 
 impl ScheduledFaults {
     /// Whether anything is scheduled at all.
     pub fn any(&self) -> bool {
-        self.ingest + self.stalls + self.crashes + self.swap_fails + self.snapshot_corruptions > 0
+        self.ingest
+            + self.stalls
+            + self.crashes
+            + self.swap_fails
+            + self.snapshot_corruptions
+            + self.poisoned_checkpoints
+            > 0
     }
 }
 
@@ -169,6 +200,7 @@ pub struct FaultPlan {
     shard: BTreeMap<(u32, usize), ShardFault>,
     swap_fail: BTreeSet<(u32, usize)>,
     snapshot: Vec<SnapshotCorruption>,
+    poison: Vec<CheckpointPoison>,
 }
 
 impl FaultPlan {
@@ -228,11 +260,21 @@ impl FaultPlan {
                 }
             })
             .collect();
+        // Drawn after every other kind so enabling poisons never perturbs
+        // a seed's existing schedule.
+        let poison = (0..cfg.poisoned_checkpoints)
+            .map(|i| match i % 3 {
+                0 => CheckpointPoison::NanWeights,
+                1 => CheckpointPoison::WrongDims,
+                _ => CheckpointPoison::RewardTank,
+            })
+            .collect();
         Self {
             ingest,
             shard,
             swap_fail,
             snapshot,
+            poison,
         }
     }
 
@@ -270,6 +312,13 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules the next rollout submission's policy checkpoint to be
+    /// replaced with a poisoned one of the given kind.
+    pub fn with_poisoned_checkpoint(mut self, kind: CheckpointPoison) -> Self {
+        self.poison.push(kind);
+        self
+    }
+
     /// What the plan has scheduled, by kind.
     pub fn scheduled(&self) -> ScheduledFaults {
         ScheduledFaults {
@@ -286,6 +335,7 @@ impl FaultPlan {
                 .count(),
             swap_fails: self.swap_fail.len(),
             snapshot_corruptions: self.snapshot.len(),
+            poisoned_checkpoints: self.poison.len(),
         }
     }
 }
@@ -318,6 +368,8 @@ pub struct FaultCounters {
     pub swap_fails: u64,
     /// Snapshot writes corrupted.
     pub snapshot_corruptions: u64,
+    /// Rollout submissions whose checkpoint was poisoned.
+    pub poisoned_checkpoints: u64,
 }
 
 impl FaultCounters {
@@ -337,6 +389,7 @@ impl FaultCounters {
             + self.crashes
             + self.swap_fails
             + self.snapshot_corruptions
+            + self.poisoned_checkpoints
             > 0
     }
 }
@@ -349,6 +402,7 @@ pub struct FaultInjector {
     shard: Mutex<BTreeMap<(u32, usize), ShardFault>>,
     swap_fail: Mutex<BTreeSet<(u32, usize)>>,
     snapshot: Mutex<VecDeque<SnapshotCorruption>>,
+    poison: Mutex<VecDeque<CheckpointPoison>>,
     scheduled: ScheduledFaults,
     offer_idx: AtomicUsize,
     c_offers: AtomicU64,
@@ -361,6 +415,7 @@ pub struct FaultInjector {
     c_crashes: AtomicU64,
     c_swap_fails: AtomicU64,
     c_snapshot_corruptions: AtomicU64,
+    c_poisoned_checkpoints: AtomicU64,
 }
 
 impl FaultInjector {
@@ -372,6 +427,7 @@ impl FaultInjector {
             shard: Mutex::new(plan.shard),
             swap_fail: Mutex::new(plan.swap_fail),
             snapshot: Mutex::new(plan.snapshot.into()),
+            poison: Mutex::new(plan.poison.into()),
             scheduled,
             offer_idx: AtomicUsize::new(0),
             c_offers: AtomicU64::new(0),
@@ -384,6 +440,7 @@ impl FaultInjector {
             c_crashes: AtomicU64::new(0),
             c_swap_fails: AtomicU64::new(0),
             c_snapshot_corruptions: AtomicU64::new(0),
+            c_poisoned_checkpoints: AtomicU64::new(0),
         }
     }
 
@@ -466,6 +523,17 @@ impl FaultInjector {
         apply_corruption(text, c)
     }
 
+    /// Replaces a rollout submission's policy checkpoint text with the
+    /// next scheduled poison (consumed one-shot), or passes the text
+    /// through untouched when none is scheduled.
+    pub fn poison_checkpoint(&self, policy_text: Option<String>) -> Option<String> {
+        let Some(kind) = Self::lock(&self.poison).pop_front() else {
+            return policy_text;
+        };
+        self.c_poisoned_checkpoints.fetch_add(1, Ordering::Relaxed);
+        Some(poisoned_policy_text(kind))
+    }
+
     /// The faults fired so far.
     pub fn counters(&self) -> FaultCounters {
         FaultCounters {
@@ -479,8 +547,40 @@ impl FaultInjector {
             crashes: self.c_crashes.load(Ordering::Relaxed),
             swap_fails: self.c_swap_fails.load(Ordering::Relaxed),
             snapshot_corruptions: self.c_snapshot_corruptions.load(Ordering::Relaxed),
+            poisoned_checkpoints: self.c_poisoned_checkpoints.load(Ordering::Relaxed),
         }
     }
+}
+
+/// The checkpoint text a poisoning of `kind` substitutes for the submitted
+/// policy. Deterministic per kind.
+pub fn poisoned_policy_text(kind: CheckpointPoison) -> String {
+    match kind {
+        CheckpointPoison::NanWeights => {
+            let mut net = Mlp::new(&[FEATURE_DIM, 4, 1], 0x6e616e);
+            net.visit_params_mut(|i, w, _| {
+                if i == 5 {
+                    *w = f64::NAN;
+                }
+            });
+            mlp_to_text(&net)
+        }
+        CheckpointPoison::WrongDims => mlp_to_text(&Mlp::new(&[FEATURE_DIM + 1, 4, 1], 0x646d73)),
+        CheckpointPoison::RewardTank => reward_tank_policy_text(),
+    }
+}
+
+/// A structurally valid policy that passes every admission check yet tanks
+/// the paper reward: a single linear layer whose only non-zero weight
+/// (1000, well under the probe bound) sits on the stand-by feature flag, so
+/// standing by always out-scores every rescue candidate and no team is
+/// ever dispatched.
+pub fn reward_tank_policy_text() -> String {
+    let mut net = Mlp::new(&[FEATURE_DIM, 1], 0);
+    net.visit_params_mut(|i, w, _| {
+        *w = if i == FEATURE_DIM - 1 { 1_000.0 } else { 0.0 };
+    });
+    mlp_to_text(&net)
 }
 
 /// Applies one corruption to a snapshot text. Snapshot formats are pure
@@ -550,6 +650,66 @@ mod tests {
         assert_eq!(c.stalls, 1);
         assert_eq!(c.swap_fails, 1);
         assert!(c.any());
+    }
+
+    #[test]
+    fn poisoned_checkpoints_consume_one_shot_and_build_what_they_claim() {
+        use mobirescue_rl::persist::mlp_from_text;
+        let plan = FaultPlan::empty()
+            .with_poisoned_checkpoint(CheckpointPoison::NanWeights)
+            .with_poisoned_checkpoint(CheckpointPoison::WrongDims)
+            .with_poisoned_checkpoint(CheckpointPoison::RewardTank);
+        assert_eq!(plan.scheduled().poisoned_checkpoints, 3);
+        let inj = FaultInjector::new(plan);
+
+        let nan = inj.poison_checkpoint(Some("good".into())).expect("text");
+        let net = mlp_from_text(&nan).expect("NaN poison still parses");
+        assert!(net.first_non_finite_param().is_some());
+
+        let wrong = inj.poison_checkpoint(None).expect("poison ignores None");
+        let net = mlp_from_text(&wrong).expect("parses");
+        assert_eq!(net.input_dim(), FEATURE_DIM + 1);
+
+        let tank = inj.poison_checkpoint(Some("good".into())).expect("text");
+        let net = mlp_from_text(&tank).expect("parses");
+        assert_eq!((net.input_dim(), net.output_dim()), (FEATURE_DIM, 1));
+        assert!(net.first_non_finite_param().is_none());
+        // Stand-by (flag set) out-scores any zone candidate (flag clear).
+        let mut standby = [0.0; FEATURE_DIM];
+        standby[FEATURE_DIM - 1] = 1.0;
+        let mut zone = [0.9; FEATURE_DIM];
+        zone[FEATURE_DIM - 1] = 0.0;
+        assert!(net.predict(&standby)[0] > net.predict(&zone)[0] + 100.0);
+
+        // Exhausted: submissions pass through untouched.
+        assert_eq!(
+            inj.poison_checkpoint(Some("good".into())).as_deref(),
+            Some("good")
+        );
+        assert_eq!(inj.counters().poisoned_checkpoints, 3);
+    }
+
+    #[test]
+    fn generated_poisons_cycle_and_leave_seeded_plans_untouched() {
+        let base_cfg = FaultPlanConfig::chaos(6, 2);
+        let with_poison = FaultPlanConfig {
+            poisoned_checkpoints: 4,
+            ..base_cfg.clone()
+        };
+        let a = FaultPlan::generate(7, &base_cfg);
+        let b = FaultPlan::generate(7, &with_poison);
+        assert_eq!(a.ingest, b.ingest, "poisons must not perturb other draws");
+        assert_eq!(a.shard, b.shard);
+        assert_eq!(a.swap_fail, b.swap_fail);
+        assert_eq!(
+            b.poison,
+            vec![
+                CheckpointPoison::NanWeights,
+                CheckpointPoison::WrongDims,
+                CheckpointPoison::RewardTank,
+                CheckpointPoison::NanWeights,
+            ]
+        );
     }
 
     #[test]

@@ -29,11 +29,19 @@
 //! * **Fault injection & graceful degradation** ([`FaultPlan`],
 //!   [`FaultInjector`], [`chaos`]) — a seeded, deterministic fault
 //!   schedule (drop/delay/duplicate/corrupt ingestion, stall/crash a
-//!   shard, fail a hot-swap, corrupt a snapshot write) threaded through
-//!   the service, paired with the recovery it demands: bounded ingestion
-//!   retry, per-epoch dispatch deadline with fallback to the heuristic
-//!   dispatcher (`degraded_epochs`), crash-restart from the last boundary
-//!   checkpoint, and checksum-validated snapshots.
+//!   shard, fail a hot-swap, poison a checkpoint, corrupt a snapshot
+//!   write) threaded through the service, paired with the recovery it
+//!   demands: bounded ingestion retry, per-epoch dispatch deadline with
+//!   fallback to the heuristic dispatcher (`degraded_epochs`),
+//!   crash-restart from the last boundary checkpoint, and
+//!   checksum-validated snapshots.
+//! * **Guarded model rollout** ([`rollout`],
+//!   [`DispatchService::submit_rollout`]) — hot-swapped checkpoints pass
+//!   an admission probe (finite weights, matching shapes, sane outputs on
+//!   a deterministic probe batch), then shadow-score K epochs against the
+//!   incumbent, then serve a canary shard subset, before fleet-wide
+//!   promotion; any gate failure or post-promotion regression atomically
+//!   rolls back to the pinned previous version.
 //!
 //! Built entirely on `std` (`std::thread`, `std::sync::mpsc`).
 
@@ -47,21 +55,28 @@ pub mod fault;
 pub mod metrics;
 pub mod queue;
 pub mod registry;
+pub mod rollout;
 pub mod scheduler;
 pub mod service;
 mod shard;
 
-pub use chaos::{run_chaos, ChaosOptions, ChaosOutcome};
+pub use chaos::{
+    rollout_chaos_divergence, run_chaos, ChaosOptions, ChaosOutcome, RolloutChaosOptions,
+};
 pub use clock::{Clock, ClockTimeSource, SimClock, WallClock};
 pub use error::ServeError;
 pub use event::Event;
 pub use fault::{
-    FaultCounters, FaultInjector, FaultPlan, FaultPlanConfig, IngestFault, ScheduledFaults,
-    ShardFault, SnapshotCorruption,
+    poisoned_policy_text, reward_tank_policy_text, CheckpointPoison, FaultCounters, FaultInjector,
+    FaultPlan, FaultPlanConfig, IngestFault, ScheduledFaults, ShardFault, SnapshotCorruption,
 };
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardMetrics, LATENCY_BOUNDS_MS};
 pub use mobirescue_obs as obs;
 pub use queue::{BoundedQueue, ShedPolicy};
 pub use registry::{ModelBundle, ModelRegistry};
+pub use rollout::{
+    Artifact, RolloutConfig, RolloutCounters, RolloutError, RolloutStage, RolloutStatus,
+};
 pub use scheduler::EpochScheduler;
 pub use service::{DispatchService, RetryPolicy, ServeConfig};
+pub use shard::SwapError;

@@ -144,6 +144,15 @@ pub struct MetricsSnapshot {
     /// Ingestion re-offers performed by
     /// [`crate::DispatchService::ingest_with_retry`] after a shed.
     pub ingest_retries: u64,
+    /// Model swaps that failed because a fault injector simulated the
+    /// registry being unreachable.
+    pub swap_failures_injected: u64,
+    /// Model swaps that failed because the installed bundle could not
+    /// build a dispatcher (parse/shape failure).
+    pub swap_failures_build: u64,
+    /// Rollout canary candidates that failed to build on a shard (each is
+    /// a canary gate failure).
+    pub swap_failures_rollout: u64,
     /// Current model bundle version in the registry.
     pub model_version: u64,
     /// Hot-swaps performed since the registry was created.
@@ -188,12 +197,15 @@ impl MetricsSnapshot {
         );
         let _ = writeln!(
             out,
-            "  latency: {} samples, mean {:.2} ms, max {} ms | degraded epochs {} | ingest retries {}",
+            "  latency: {} samples, mean {:.2} ms, max {} ms | degraded epochs {} | ingest retries {} | swap failures {}i/{}b/{}r",
             self.epoch_latency.count(),
             self.epoch_latency.mean_ms(),
             self.epoch_latency.max_ms(),
             self.degraded_epochs,
             self.ingest_retries,
+            self.swap_failures_injected,
+            self.swap_failures_build,
+            self.swap_failures_rollout,
         );
         for (i, s) in self.shards.iter().enumerate() {
             let _ = writeln!(
@@ -259,6 +271,9 @@ mod tests {
             advisories_invalid: 1,
             degraded_epochs: 1,
             ingest_retries: 2,
+            swap_failures_injected: 1,
+            swap_failures_build: 0,
+            swap_failures_rollout: 2,
             model_version: 2,
             model_swaps: 1,
             epoch_latency: LatencyHistogram::new(),
@@ -285,5 +300,6 @@ mod tests {
         assert!(text.contains("shard 1"));
         assert!(text.contains("degraded epochs 1"));
         assert!(text.contains("ingest retries 2"));
+        assert!(text.contains("swap failures 1i/0b/2r"));
     }
 }

@@ -37,6 +37,7 @@ pub struct ModelBundle {
 pub struct ModelRegistry {
     current: RwLock<Arc<ModelBundle>>,
     swaps: AtomicU64,
+    rollbacks: AtomicU64,
 }
 
 impl ModelRegistry {
@@ -49,6 +50,7 @@ impl ModelRegistry {
                 policy,
             })),
             swaps: AtomicU64::new(0),
+            rollbacks: AtomicU64::new(0),
         }
     }
 
@@ -82,6 +84,24 @@ impl ModelRegistry {
         version
     }
 
+    /// Atomically restores a previously pinned bundle *exactly* — the same
+    /// `Arc`, same version, bit-identical models. Used by the rollout
+    /// pipeline's auto-rollback; counted separately from [`Self::swaps`]
+    /// (a rollback undoes a promotion, it is not a new deployment).
+    pub fn restore_bundle(&self, bundle: Arc<ModelBundle>) {
+        let mut slot = self
+            .current
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *slot = bundle;
+        self.rollbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rollbacks performed since creation.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks.load(Ordering::Relaxed)
+    }
+
     /// Parses checkpoint texts and installs them as a new bundle. `None`
     /// keeps that slot empty (not the previous model — a bundle is
     /// installed whole, so a swap is never half of one checkpoint and half
@@ -99,11 +119,14 @@ impl ModelRegistry {
         let predictor = predictor_text
             .map(|t| {
                 RequestPredictor::from_text(t)
-                    .map_err(|e| ServeError::BadModel(format!("predictor: {e}")))
+                    .map_err(|e| ServeError::BadModel(format!("svm predictor checkpoint: {e}")))
             })
             .transpose()?;
         let policy = policy_text
-            .map(|t| mlp_from_text(t).map_err(|e| ServeError::BadModel(format!("policy: {e}"))))
+            .map(|t| {
+                mlp_from_text(t)
+                    .map_err(|e| ServeError::BadModel(format!("dqn policy checkpoint: {e}")))
+            })
             .transpose()?;
         Ok(self.install(predictor, policy))
     }
@@ -178,6 +201,42 @@ mod tests {
         assert_eq!(reg.current().version, 1);
         assert!(reg.current().policy.is_some());
         assert_eq!(reg.swaps(), 0);
+    }
+
+    #[test]
+    fn bad_checkpoint_errors_name_the_artifact() {
+        let reg = ModelRegistry::new(None, None);
+        let ServeError::BadModel(msg) = reg.install_from_text(None, Some("garbage")).unwrap_err()
+        else {
+            panic!("expected BadModel");
+        };
+        assert!(
+            msg.starts_with("dqn policy checkpoint: ") && msg.contains("header"),
+            "{msg}"
+        );
+        let ServeError::BadModel(msg) = reg
+            .install_from_text(Some("not a predictor"), None)
+            .unwrap_err()
+        else {
+            panic!("expected BadModel");
+        };
+        assert!(
+            msg.starts_with("svm predictor checkpoint: ") && msg.contains("predictor header"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn restore_bundle_is_exact_and_counted() {
+        let reg = ModelRegistry::new(None, Some(Mlp::new(&[6, 4, 1], 9)));
+        let pinned = reg.current();
+        reg.install(None, Some(Mlp::new(&[6, 8, 1], 10)));
+        assert_eq!(reg.current().version, 2);
+        reg.restore_bundle(Arc::clone(&pinned));
+        assert!(Arc::ptr_eq(&reg.current(), &pinned));
+        assert_eq!(reg.current().version, 1);
+        assert_eq!(reg.swaps(), 1, "rollback is not a swap");
+        assert_eq!(reg.rollbacks(), 1);
     }
 
     #[test]

@@ -9,15 +9,24 @@ use crate::event::Event;
 use crate::fault::IngestFault;
 use crate::metrics::{LatencyHistogram, MetricsSnapshot, ShardMetrics};
 use crate::queue::{BoundedQueue, ShedPolicy};
-use crate::registry::ModelRegistry;
-use crate::shard::{spawn_shard, ShardCmd, ShardReply, ShardSpec, ShardStatus};
+use crate::registry::{ModelBundle, ModelRegistry};
+use crate::rollout::{
+    self, CandidateBundle, RolloutConfig, RolloutCounters, RolloutError, RolloutInFlight,
+    RolloutStatus,
+};
+use crate::shard::{
+    spawn_shard, RolloutDirective, ShardCmd, ShardReply, ShardSpec, ShardStatus, SwapError,
+};
 use crate::FaultInjector;
+use mobirescue_core::predictor::RequestPredictor;
 use mobirescue_core::rl_dispatch::RlDispatchConfig;
 use mobirescue_core::scenario::Scenario;
 use mobirescue_obs::{Counter, Histogram, Level, ObsSnapshot, Registry};
+use mobirescue_rl::persist::{mlp_from_text, mlp_to_text};
 use mobirescue_roadnet::graph::SegmentId;
 use mobirescue_sim::{open_snapshot, seal_snapshot};
 use mobirescue_sim::{EpochReport, RequestSpec, SimConfig, World};
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -62,6 +71,9 @@ pub struct ServeConfig {
     /// *live* second service: counters are get-or-create by name, and
     /// [`DispatchService::restore`] overwrites them from the snapshot.
     pub obs: Option<Arc<Registry>>,
+    /// Gate parameters for [`DispatchService::submit_rollout`]'s guarded
+    /// promotion pipeline (admission → shadow → canary → watch).
+    pub rollout: RolloutConfig,
 }
 
 impl ServeConfig {
@@ -79,6 +91,7 @@ impl ServeConfig {
             epoch_deadline_ms: None,
             auto_recover: false,
             obs: None,
+            rollout: RolloutConfig::default(),
         }
     }
 }
@@ -121,7 +134,12 @@ struct ServiceState {
     epochs_completed: u32,
     histogram: LatencyHistogram,
     shard_metrics: Vec<ShardMetrics>,
-    last_swap_error: Option<(usize, String)>,
+    last_swap_error: Option<(usize, SwapError)>,
+    /// The rollout pipeline's in-flight candidate, if any.
+    rollout: Option<RolloutInFlight>,
+    /// Recent per-epoch fleet rewards (capped at `rollout.watch_epochs`);
+    /// their mean is the baseline a post-promotion watch compares against.
+    recent_rewards: VecDeque<f64>,
 }
 
 struct ShardHandle {
@@ -158,6 +176,12 @@ pub struct DispatchService {
     advisories_applied: Counter,
     advisories_invalid: Counter,
     degraded_epochs: Counter,
+    swap_fail_injected: Counter,
+    swap_fail_build: Counter,
+    swap_fail_rollout: Counter,
+    rollouts_admitted: Counter,
+    rollouts_rejected: Counter,
+    rollouts_rolled_back: Counter,
     snapshot_hist: Histogram,
     state: Mutex<ServiceState>,
 }
@@ -222,6 +246,8 @@ impl DispatchService {
             histogram: LatencyHistogram::new(),
             shard_metrics: vec![ShardMetrics::default(); config.num_shards],
             last_swap_error: None,
+            rollout: None,
+            recent_rewards: VecDeque::new(),
         };
         let checkpoints = vec![None; config.num_shards];
         let retries = obs.counter("serve.ingest_retries");
@@ -229,6 +255,12 @@ impl DispatchService {
         let advisories_applied = obs.counter("serve.advisories_applied");
         let advisories_invalid = obs.counter("serve.advisories_invalid");
         let degraded_epochs = obs.counter("serve.degraded_epochs");
+        let swap_fail_injected = obs.counter("serve.swap_failures_injected");
+        let swap_fail_build = obs.counter("serve.swap_failures_build");
+        let swap_fail_rollout = obs.counter("serve.swap_failures_rollout");
+        let rollouts_admitted = obs.counter("serve.rollouts_admitted");
+        let rollouts_rejected = obs.counter("serve.rollouts_rejected");
+        let rollouts_rolled_back = obs.counter("serve.rollouts_rolled_back");
         let snapshot_hist = obs.histogram("epoch.snapshot_ms");
         Ok(Self {
             config,
@@ -246,6 +278,12 @@ impl DispatchService {
             advisories_applied,
             advisories_invalid,
             degraded_epochs,
+            swap_fail_injected,
+            swap_fail_build,
+            swap_fail_rollout,
+            rollouts_admitted,
+            rollouts_rejected,
+            rollouts_rolled_back,
             snapshot_hist,
             state: Mutex::new(state),
         })
@@ -291,6 +329,357 @@ impl DispatchService {
     /// converge to the exact state of an unfaulted one.
     pub fn shard_restarts(&self) -> u64 {
         self.restarts.value()
+    }
+
+    /// Submits a candidate checkpoint bundle to the guarded rollout
+    /// pipeline instead of installing it directly into the registry.
+    ///
+    /// The candidate is structurally validated at once ([`rollout::admit`]:
+    /// parse, finite weights, `FEATURE_DIM`-compatible shapes, sane probe
+    /// outputs); an admitted candidate then advances one pipeline stage per
+    /// [`DispatchService::run_epoch`] — shadow scoring, canary shards,
+    /// fleet-wide promotion, post-promotion watch — and any gate failure
+    /// rolls it back without ever (further) touching dispatch. Returns the
+    /// in-flight status, or `None` when the configured gates are all empty
+    /// and the candidate was promoted immediately.
+    ///
+    /// With a [`FaultInjector`] configured, a scheduled checkpoint poison
+    /// replaces the submitted policy text (a corrupted artifact store);
+    /// admission must then reject it, or — for an adversarially plausible
+    /// poison — the shadow/watch gates must catch it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Rollout`] with a typed [`RolloutError`]: a
+    /// rollout already in flight, an empty candidate, or an admission
+    /// failure naming the offending artifact.
+    pub fn submit_rollout(
+        &self,
+        predictor_text: Option<&str>,
+        policy_text: Option<&str>,
+    ) -> Result<Option<RolloutStatus>, ServeError> {
+        let mut state = self.state();
+        let epoch = state.epochs_completed;
+        if state.rollout.is_some() {
+            self.rollouts_rejected.inc();
+            return Err(ServeError::Rollout(RolloutError::InFlight));
+        }
+        // The poison hook models a corrupted artifact store: what admission
+        // sees is what the store delivered, not what the trainer submitted.
+        let policy_text = match &self.config.faults {
+            Some(injector) => injector.poison_checkpoint(policy_text.map(str::to_owned)),
+            None => policy_text.map(str::to_owned),
+        };
+        let admitted = rollout::admit(
+            predictor_text,
+            policy_text.as_deref(),
+            self.config.rollout.probe_bound,
+        );
+        let (predictor, policy) = match admitted {
+            Ok(models) => models,
+            Err(e) => {
+                self.rollouts_rejected.inc();
+                self.obs.events().log(
+                    Level::Warn,
+                    epoch,
+                    None,
+                    format!("rollout candidate rejected at admission: {e}"),
+                );
+                return Err(ServeError::Rollout(e));
+            }
+        };
+        self.rollouts_admitted.inc();
+        let version = self.registry.current().version + 1;
+        let candidate = CandidateBundle {
+            bundle: Arc::new(ModelBundle {
+                version,
+                predictor,
+                policy,
+            }),
+            predictor_text: predictor_text.map(normalize_text),
+            policy_text: policy_text.as_deref().map(normalize_text),
+        };
+        let cfg = &self.config.rollout;
+        let mut events: Vec<(Level, Option<usize>, String)> = Vec::new();
+        let inflight = if cfg.shadow_epochs > 0 {
+            events.push((
+                Level::Info,
+                None,
+                format!("rollout v{version}: admitted, entering shadow evaluation"),
+            ));
+            Some(RolloutInFlight::Shadow {
+                done: 0,
+                cand_total: 0.0,
+                inc_total: 0.0,
+                candidate,
+            })
+        } else if cfg.canary_epochs > 0 && cfg.canary_shards > 0 {
+            events.push((
+                Level::Info,
+                None,
+                format!("rollout v{version}: admitted, entering canary stage"),
+            ));
+            Some(RolloutInFlight::Canary {
+                done: 0,
+                canary_total: 0.0,
+                control_total: 0.0,
+                failures: 0,
+                candidate,
+            })
+        } else {
+            self.promote(&mut state, &candidate, &mut events)
+        };
+        let status = inflight.as_ref().map(RolloutInFlight::status);
+        state.rollout = inflight;
+        drop(state);
+        for (level, shard, message) in events {
+            self.obs.events().log(level, epoch, shard, message);
+        }
+        Ok(status)
+    }
+
+    /// The in-flight rollout's stage, epochs completed within it, and the
+    /// candidate's (tentative) version; `None` when nothing is in flight.
+    pub fn rollout_status(&self) -> Option<RolloutStatus> {
+        self.state().rollout.as_ref().map(RolloutInFlight::status)
+    }
+
+    /// Lifetime rollout counters: admitted, rejected, rolled back.
+    /// Operational counters (like [`DispatchService::shard_restarts`]),
+    /// deliberately not part of the snapshot text.
+    pub fn rollout_counters(&self) -> RolloutCounters {
+        RolloutCounters {
+            admitted: self.rollouts_admitted.value(),
+            rejected: self.rollouts_rejected.value(),
+            rolled_back: self.rollouts_rolled_back.value(),
+        }
+    }
+
+    /// Installs the candidate fleet-wide, pinning the previous bundle for
+    /// the watch window's rollback (when a watch window is configured).
+    fn promote(
+        &self,
+        state: &mut ServiceState,
+        candidate: &CandidateBundle,
+        events: &mut Vec<(Level, Option<usize>, String)>,
+    ) -> Option<RolloutInFlight> {
+        let prior = self.registry.current();
+        let version = self.registry.install(
+            candidate.bundle.predictor.clone(),
+            candidate.bundle.policy.clone(),
+        );
+        events.push((
+            Level::Info,
+            None,
+            format!("rollout v{version}: promoted fleet-wide"),
+        ));
+        let cfg = &self.config.rollout;
+        if cfg.watch_epochs == 0 {
+            return None;
+        }
+        let baseline = if state.recent_rewards.is_empty() {
+            None
+        } else {
+            Some(state.recent_rewards.iter().sum::<f64>() / state.recent_rewards.len() as f64)
+        };
+        Some(RolloutInFlight::Watch {
+            done: 0,
+            total: 0.0,
+            baseline,
+            prior,
+        })
+    }
+
+    /// Advances the rollout state machine by one completed epoch. Runs
+    /// under the state lock, after the epoch's shard statuses have been
+    /// folded into the accumulators passed here.
+    #[allow(clippy::too_many_arguments)] // a fold over one epoch's statuses
+    fn advance_rollout(
+        &self,
+        state: &mut ServiceState,
+        fleet_reward: f64,
+        shadow_cand: f64,
+        shadow_error: Option<(usize, String)>,
+        canary_reward: f64,
+        canary_n: u32,
+        control_reward: f64,
+        control_n: u32,
+        canary_failures: u64,
+        events: &mut Vec<(Level, Option<usize>, String)>,
+    ) {
+        let cfg = &self.config.rollout;
+        let next = match state.rollout.take() {
+            None => None,
+            Some(RolloutInFlight::Shadow {
+                mut done,
+                mut cand_total,
+                mut inc_total,
+                candidate,
+            }) => {
+                let version = candidate.bundle.version;
+                if let Some((shard, e)) = shadow_error {
+                    self.rollouts_rolled_back.inc();
+                    events.push((
+                        Level::Warn,
+                        Some(shard),
+                        format!(
+                            "rollout v{version}: shadow evaluation failed, candidate dropped: {e}"
+                        ),
+                    ));
+                    None
+                } else {
+                    done += 1;
+                    cand_total += shadow_cand;
+                    inc_total += fleet_reward;
+                    if done < cfg.shadow_epochs {
+                        Some(RolloutInFlight::Shadow {
+                            done,
+                            cand_total,
+                            inc_total,
+                            candidate,
+                        })
+                    } else if cand_total + cfg.shadow_slack >= inc_total {
+                        events.push((
+                            Level::Info,
+                            None,
+                            format!(
+                                "rollout v{version}: shadow gate passed \
+                                 (candidate {cand_total:.3} vs incumbent {inc_total:.3})"
+                            ),
+                        ));
+                        if cfg.canary_epochs > 0 && cfg.canary_shards > 0 {
+                            Some(RolloutInFlight::Canary {
+                                done: 0,
+                                canary_total: 0.0,
+                                control_total: 0.0,
+                                failures: 0,
+                                candidate,
+                            })
+                        } else {
+                            self.promote(state, &candidate, events)
+                        }
+                    } else {
+                        self.rollouts_rolled_back.inc();
+                        events.push((
+                            Level::Warn,
+                            None,
+                            format!(
+                                "rollout v{version}: shadow gate failed \
+                                 (candidate {cand_total:.3} vs incumbent {inc_total:.3}), \
+                                 candidate dropped"
+                            ),
+                        ));
+                        None
+                    }
+                }
+            }
+            Some(RolloutInFlight::Canary {
+                mut done,
+                mut canary_total,
+                mut control_total,
+                mut failures,
+                candidate,
+            }) => {
+                let version = candidate.bundle.version;
+                done += 1;
+                canary_total += canary_reward;
+                control_total += control_reward;
+                failures += canary_failures;
+                if done < cfg.canary_epochs {
+                    Some(RolloutInFlight::Canary {
+                        done,
+                        canary_total,
+                        control_total,
+                        failures,
+                        candidate,
+                    })
+                } else {
+                    let canary_mean = canary_total / f64::from(canary_n.max(1) * done);
+                    let control_mean = if control_n == 0 {
+                        0.0
+                    } else {
+                        control_total / f64::from(control_n * done)
+                    };
+                    let healthy = failures == 0
+                        && (control_n == 0 || canary_mean + cfg.canary_slack >= control_mean);
+                    if healthy {
+                        events.push((
+                            Level::Info,
+                            None,
+                            format!(
+                                "rollout v{version}: canary gate passed \
+                                 (canary {canary_mean:.3} vs control {control_mean:.3})"
+                            ),
+                        ));
+                        self.promote(state, &candidate, events)
+                    } else {
+                        self.rollouts_rolled_back.inc();
+                        events.push((
+                            Level::Warn,
+                            None,
+                            format!(
+                                "rollout v{version}: canary gate failed ({failures} build \
+                                 failures, canary {canary_mean:.3} vs control \
+                                 {control_mean:.3}), candidate dropped"
+                            ),
+                        ));
+                        None
+                    }
+                }
+            }
+            Some(RolloutInFlight::Watch {
+                mut done,
+                mut total,
+                baseline,
+                prior,
+            }) => {
+                let version = prior.version + 1;
+                done += 1;
+                total += fleet_reward;
+                if done < cfg.watch_epochs {
+                    Some(RolloutInFlight::Watch {
+                        done,
+                        total,
+                        baseline,
+                        prior,
+                    })
+                } else {
+                    let mean = total / f64::from(done);
+                    match baseline {
+                        Some(b) if mean + cfg.watch_slack < b => {
+                            let prior_version = prior.version;
+                            self.registry.restore_bundle(prior);
+                            self.rollouts_rolled_back.inc();
+                            events.push((
+                                Level::Warn,
+                                None,
+                                format!(
+                                    "rollout v{version}: post-promotion regression (fleet \
+                                     reward {mean:.3} vs baseline {b:.3}), rolled back to \
+                                     v{prior_version}"
+                                ),
+                            ));
+                        }
+                        _ => {
+                            events.push((
+                                Level::Info,
+                                None,
+                                format!(
+                                    "rollout v{version}: watch window clean, promotion confirmed"
+                                ),
+                            ));
+                        }
+                    }
+                    None
+                }
+            }
+        };
+        state.rollout = next;
+        state.recent_rewards.push_back(fleet_reward);
+        let cap = cfg.watch_epochs.max(1) as usize;
+        while state.recent_rewards.len() > cap {
+            state.recent_rewards.pop_front();
+        }
     }
 
     fn validate_request(&self, spec: &RequestSpec) -> Result<(), ServeError> {
@@ -479,6 +868,7 @@ impl DispatchService {
         i: usize,
         requests: &[RequestSpec],
         budget_ms: Option<u64>,
+        rollout: Option<RolloutDirective>,
     ) -> Result<Box<ShardStatus>, ServeError> {
         self.restarts.inc();
         self.obs.events().log(
@@ -517,6 +907,7 @@ impl DispatchService {
             .send(ShardCmd::RunEpoch {
                 requests: requests.to_vec(),
                 budget_ms,
+                rollout,
             })
             .map_err(|_| self.shard_error(i, "restarted worker gone"))?;
         match self.recv_reply(i)? {
@@ -563,6 +954,24 @@ impl DispatchService {
         self.release_due_delayed();
         let (applied, invalid) = self.apply_advisories(self.advisories.drain());
         let budget_ms = self.config.epoch_deadline_ms;
+        // In-flight rollout → a per-shard directive: shadow candidates are
+        // scored on every shard; canary candidates serve only the shards
+        // below `canary_shards` (the rest are controls).
+        let stage_directive = match &self.state().rollout {
+            Some(RolloutInFlight::Shadow { candidate, .. }) => {
+                Some(RolloutDirective::Shadow(Arc::clone(&candidate.bundle)))
+            }
+            Some(RolloutInFlight::Canary { candidate, .. }) => {
+                Some(RolloutDirective::Canary(Arc::clone(&candidate.bundle)))
+            }
+            _ => None,
+        };
+        let canary_shards = self.config.rollout.canary_shards;
+        let directive = |i: usize| match &stage_directive {
+            Some(RolloutDirective::Shadow(_)) => stage_directive.clone(),
+            Some(RolloutDirective::Canary(_)) if i < canary_shards => stage_directive.clone(),
+            _ => None,
+        };
         let drained: Vec<Vec<RequestSpec>> =
             self.request_queues.iter().map(|q| q.drain()).collect();
         let mut send_failed = vec![false; self.shards.len()];
@@ -570,6 +979,7 @@ impl DispatchService {
             let sent = self.shard(i).tx.send(ShardCmd::RunEpoch {
                 requests: requests.clone(),
                 budget_ms,
+                rollout: directive(i),
             });
             if sent.is_err() {
                 if !self.config.auto_recover {
@@ -592,7 +1002,9 @@ impl DispatchService {
                 }
             };
             let outcome = match outcome {
-                Err(_) if self.config.auto_recover => self.recover_shard(i, requests, budget_ms),
+                Err(_) if self.config.auto_recover => {
+                    self.recover_shard(i, requests, budget_ms, directive(i))
+                }
                 other => other,
             };
             match outcome {
@@ -611,10 +1023,35 @@ impl DispatchService {
         {
             let mut state = self.state();
             let mut any_degraded = false;
+            let mut fleet_reward = 0.0;
+            let mut shadow_cand = 0.0;
+            let mut shadow_error: Option<(usize, String)> = None;
+            let (mut canary_reward, mut canary_n) = (0.0, 0u32);
+            let (mut control_reward, mut control_n) = (0.0, 0u32);
+            let mut canary_failures = 0u64;
+            let canary_stage = matches!(&stage_directive, Some(RolloutDirective::Canary(_)));
             for (i, st) in statuses {
                 state.histogram.record(st.compute_ms);
                 state.shard_metrics[i] = self.to_metrics(i, &st);
                 any_degraded |= st.degraded_now;
+                fleet_reward += st.reward;
+                if let Some(sh) = &st.shadow {
+                    shadow_cand += sh.candidate_reward;
+                    if let Some(e) = &sh.error {
+                        if shadow_error.is_none() {
+                            shadow_error = Some((i, e.clone()));
+                        }
+                    }
+                }
+                if canary_stage {
+                    if i < canary_shards {
+                        canary_reward += st.reward;
+                        canary_n += 1;
+                    } else {
+                        control_reward += st.reward;
+                        control_n += 1;
+                    }
+                }
                 if st.degraded_now {
                     events.push((
                         Level::Warn,
@@ -622,18 +1059,34 @@ impl DispatchService {
                         "epoch served degraded on the heuristic fallback".to_owned(),
                     ));
                 }
-                if let Some(message) = st.swap_error {
-                    events.push((
-                        Level::Warn,
-                        Some(i),
-                        format!("model swap failed: {message}"),
-                    ));
-                    state.last_swap_error = Some((i, message));
+                if let Some(err) = st.swap_error {
+                    match &err {
+                        SwapError::Injected => self.swap_fail_injected.inc(),
+                        SwapError::Build(_) => self.swap_fail_build.inc(),
+                        SwapError::Rollout(_) => {
+                            self.swap_fail_rollout.inc();
+                            canary_failures += 1;
+                        }
+                    }
+                    events.push((Level::Warn, Some(i), format!("model swap failed: {err}")));
+                    state.last_swap_error = Some((i, err));
                 }
                 if let Some(report) = st.report {
                     reports.push(report);
                 }
             }
+            self.advance_rollout(
+                &mut state,
+                fleet_reward,
+                shadow_cand,
+                shadow_error,
+                canary_reward,
+                canary_n,
+                control_reward,
+                control_n,
+                canary_failures,
+                &mut events,
+            );
             epoch = state.epochs_completed;
             state.epochs_completed += 1;
             self.advisories_applied.add(applied);
@@ -655,10 +1108,12 @@ impl DispatchService {
     }
 
     /// The most recent failed model hot-swap, if any: the shard index and
-    /// the reason. A failed swap is not fatal — the shard keeps serving
-    /// with its previous dispatcher, or degraded on the heuristic fallback
-    /// when none exists — but operators should see it.
-    pub fn last_swap_error(&self) -> Option<(usize, String)> {
+    /// the typed reason (injected fault, bundle build failure, or a
+    /// rollout candidate rejected on a canary shard). A failed swap is not
+    /// fatal — the shard keeps serving with its previous dispatcher, or
+    /// degraded on the heuristic fallback when none exists — but operators
+    /// should see it.
+    pub fn last_swap_error(&self) -> Option<(usize, SwapError)> {
         self.state().last_swap_error.clone()
     }
 
@@ -680,6 +1135,9 @@ impl DispatchService {
             advisories_invalid: self.advisories_invalid.value(),
             degraded_epochs: self.degraded_epochs.value(),
             ingest_retries: self.retries.value(),
+            swap_failures_injected: self.swap_fail_injected.value(),
+            swap_failures_build: self.swap_fail_build.value(),
+            swap_failures_rollout: self.swap_fail_rollout.value(),
             model_version: self.registry.current().version,
             model_swaps: self.registry.swaps(),
             epoch_latency: state.histogram.clone(),
@@ -758,10 +1216,75 @@ impl DispatchService {
             let _ = writeln!(out, "hist {}", state.histogram.to_line());
             let _ = writeln!(
                 out,
-                "resil {} {}",
+                "resil {} {} {} {} {}",
                 self.degraded_epochs.value(),
-                self.retries.value()
+                self.retries.value(),
+                self.swap_fail_injected.value(),
+                self.swap_fail_build.value(),
+                self.swap_fail_rollout.value()
             );
+            if !state.recent_rewards.is_empty() {
+                out.push_str("rrew");
+                for r in &state.recent_rewards {
+                    let _ = write!(out, " {r:?}");
+                }
+                out.push('\n');
+            }
+            // In-flight rollout state: the stage accumulators plus the
+            // checkpoint texts needed to rebuild the candidate (or, during
+            // a watch window, the pinned prior bundle) bit-identically.
+            match &state.rollout {
+                None => {}
+                Some(RolloutInFlight::Shadow {
+                    done,
+                    cand_total,
+                    inc_total,
+                    candidate,
+                }) => {
+                    let _ = writeln!(
+                        out,
+                        "rollout shadow {done} {cand_total:?} {inc_total:?} {}",
+                        candidate.bundle.version
+                    );
+                    write_candidate_texts(&mut out, candidate);
+                }
+                Some(RolloutInFlight::Canary {
+                    done,
+                    canary_total,
+                    control_total,
+                    failures,
+                    candidate,
+                }) => {
+                    let _ = writeln!(
+                        out,
+                        "rollout canary {done} {canary_total:?} {control_total:?} {failures} {}",
+                        candidate.bundle.version
+                    );
+                    write_candidate_texts(&mut out, candidate);
+                }
+                Some(RolloutInFlight::Watch {
+                    done,
+                    total,
+                    baseline,
+                    prior,
+                }) => {
+                    let baseline_text = match baseline {
+                        Some(b) => format!("{b:?}"),
+                        None => "-".to_owned(),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "rollout watch {done} {total:?} {baseline_text} {}",
+                        prior.version
+                    );
+                    if let Some(p) = &prior.predictor {
+                        write_text_block(&mut out, "rtext ppred", &p.to_text());
+                    }
+                    if let Some(net) = &prior.policy {
+                        write_text_block(&mut out, "rtext ppol", &mlp_to_text(net));
+                    }
+                }
+            }
         }
         for (i, q) in self.request_queues.iter().enumerate() {
             let _ = writeln!(out, "rqueue {i} {} {}", q.accepted(), q.shed());
@@ -852,6 +1375,10 @@ impl DispatchService {
         let mut epochs = 0u32;
         let mut adv_counts = (0u64, 0u64, 0u64, 0u64);
         let mut resil = (0u64, 0u64);
+        let mut swap_causes = (0u64, 0u64, 0u64);
+        let mut recent_rewards: VecDeque<f64> = VecDeque::new();
+        let mut pending_rollout: Option<PendingRollout> = None;
+        let mut rtexts = RolloutTexts::default();
         let mut histogram = LatencyHistogram::new();
         let mut rqueue_counters = vec![(0u64, 0u64); svc.config.num_shards];
         let mut restored_shards = vec![false; svc.config.num_shards];
@@ -887,6 +1414,55 @@ impl DispatchService {
                         next().ok_or_else(|| bad("bad resil line"))?,
                         next().ok_or_else(|| bad("bad resil line"))?,
                     );
+                    // Pre-rollout snapshots carry two fields; the extended
+                    // format appends the three swap-cause counters.
+                    let extra: Vec<u64> = {
+                        let mut v = Vec::new();
+                        for t in p.by_ref() {
+                            v.push(t.parse().map_err(|_| bad("bad resil line"))?);
+                        }
+                        v
+                    };
+                    swap_causes = match extra[..] {
+                        [] => (0, 0, 0),
+                        [i, b, r] => (i, b, r),
+                        _ => return Err(bad("bad resil line")),
+                    };
+                }
+                "rrew" => {
+                    for t in p.by_ref() {
+                        recent_rewards.push_back(t.parse().map_err(|_| bad("bad rrew value"))?);
+                    }
+                }
+                "rollout" => {
+                    if pending_rollout.is_some() {
+                        return Err(bad("duplicate rollout record"));
+                    }
+                    pending_rollout =
+                        Some(PendingRollout::parse(&mut p).ok_or_else(|| bad("bad rollout line"))?);
+                }
+                "rtext" => {
+                    let kind = p.next().ok_or_else(|| bad("bad rtext kind"))?;
+                    let num_lines: usize = p
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("bad rtext line count"))?;
+                    let mut body = String::new();
+                    for _ in 0..num_lines {
+                        let l = lines.next().ok_or_else(|| bad("truncated rtext body"))?;
+                        body.push_str(l);
+                        body.push('\n');
+                    }
+                    let slot = match kind {
+                        "cpred" => &mut rtexts.cpred,
+                        "cpol" => &mut rtexts.cpol,
+                        "ppred" => &mut rtexts.ppred,
+                        "ppol" => &mut rtexts.ppol,
+                        _ => return Err(bad("unknown rtext kind")),
+                    };
+                    if slot.replace(body).is_some() {
+                        return Err(bad("duplicate rtext record"));
+                    }
                 }
                 "rqueue" => {
                     let i: usize = p
@@ -1046,6 +1622,49 @@ impl DispatchService {
         if !restored_shards.iter().all(|&r| r) {
             return Err(bad("snapshot does not cover every configured shard"));
         }
+        // Reassemble the in-flight rollout. Candidates re-enter through
+        // the admission gate — a snapshot is no excuse for serving a
+        // checkpoint that would not be admitted today — while a watch
+        // stage's pinned prior rebuilds verbatim from its persisted texts
+        // (`{:?}` float formatting round-trips weights bit-exactly).
+        let restored_rollout = match pending_rollout {
+            None => None,
+            Some(PendingRollout::Shadow {
+                done,
+                cand_total,
+                inc_total,
+                version,
+            }) => Some(RolloutInFlight::Shadow {
+                done,
+                cand_total,
+                inc_total,
+                candidate: rtexts.candidate(version, &svc.config.rollout)?,
+            }),
+            Some(PendingRollout::Canary {
+                done,
+                canary_total,
+                control_total,
+                failures,
+                version,
+            }) => Some(RolloutInFlight::Canary {
+                done,
+                canary_total,
+                control_total,
+                failures,
+                candidate: rtexts.candidate(version, &svc.config.rollout)?,
+            }),
+            Some(PendingRollout::Watch {
+                done,
+                total,
+                baseline,
+                prior_version,
+            }) => Some(RolloutInFlight::Watch {
+                done,
+                total,
+                baseline,
+                prior: rtexts.prior(prior_version)?,
+            }),
+        };
         for (i, q) in svc.request_queues.iter().enumerate() {
             let (accepted, shed) = rqueue_counters[i];
             q.set_counters(accepted, shed);
@@ -1058,11 +1677,16 @@ impl DispatchService {
         svc.advisories_applied.set(adv_counts.0);
         svc.advisories_invalid.set(adv_counts.1);
         svc.degraded_epochs.set(resil.0);
+        svc.swap_fail_injected.set(swap_causes.0);
+        svc.swap_fail_build.set(swap_causes.1);
+        svc.swap_fail_rollout.set(swap_causes.2);
         {
             let mut state = svc.state();
             state.epochs_completed = epochs;
             state.histogram = histogram;
             state.shard_metrics = shard_metrics;
+            state.rollout = restored_rollout;
+            state.recent_rewards = recent_rewards;
         }
         // Seed recovery checkpoints with the restored state, so a crash
         // before the first post-restore boundary does not roll back to a
@@ -1104,4 +1728,145 @@ impl Drop for DispatchService {
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Normalizes a checkpoint text to exactly one `\n` per line (so snapshot
+/// line counting is exact regardless of the submitter's trailing newline).
+fn normalize_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 1);
+    for l in text.lines() {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes one `{tag} {line_count}` header plus the text body.
+fn write_text_block(out: &mut String, tag: &str, text: &str) {
+    let _ = writeln!(out, "{tag} {}", text.lines().count());
+    for l in text.lines() {
+        out.push_str(l);
+        out.push('\n');
+    }
+}
+
+fn write_candidate_texts(out: &mut String, candidate: &CandidateBundle) {
+    if let Some(t) = &candidate.predictor_text {
+        write_text_block(out, "rtext cpred", t);
+    }
+    if let Some(t) = &candidate.policy_text {
+        write_text_block(out, "rtext cpol", t);
+    }
+}
+
+/// A `rollout` snapshot record, parsed but not yet joined with its `rtext`
+/// bodies (which follow later in the snapshot).
+enum PendingRollout {
+    Shadow {
+        done: u32,
+        cand_total: f64,
+        inc_total: f64,
+        version: u64,
+    },
+    Canary {
+        done: u32,
+        canary_total: f64,
+        control_total: f64,
+        failures: u64,
+        version: u64,
+    },
+    Watch {
+        done: u32,
+        total: f64,
+        baseline: Option<f64>,
+        prior_version: u64,
+    },
+}
+
+impl PendingRollout {
+    fn parse(p: &mut std::str::SplitWhitespace<'_>) -> Option<Self> {
+        let stage = p.next()?;
+        let parsed = match stage {
+            "shadow" => PendingRollout::Shadow {
+                done: p.next()?.parse().ok()?,
+                cand_total: p.next()?.parse().ok()?,
+                inc_total: p.next()?.parse().ok()?,
+                version: p.next()?.parse().ok()?,
+            },
+            "canary" => PendingRollout::Canary {
+                done: p.next()?.parse().ok()?,
+                canary_total: p.next()?.parse().ok()?,
+                control_total: p.next()?.parse().ok()?,
+                failures: p.next()?.parse().ok()?,
+                version: p.next()?.parse().ok()?,
+            },
+            "watch" => PendingRollout::Watch {
+                done: p.next()?.parse().ok()?,
+                total: p.next()?.parse().ok()?,
+                baseline: match p.next()? {
+                    "-" => None,
+                    t => Some(t.parse().ok()?),
+                },
+                prior_version: p.next()?.parse().ok()?,
+            },
+            _ => return None,
+        };
+        p.next().is_none().then_some(parsed)
+    }
+}
+
+/// The `rtext` checkpoint bodies collected while parsing a snapshot.
+#[derive(Default)]
+struct RolloutTexts {
+    cpred: Option<String>,
+    cpol: Option<String>,
+    ppred: Option<String>,
+    ppol: Option<String>,
+}
+
+impl RolloutTexts {
+    /// Rebuilds a shadow/canary candidate through the admission gate.
+    fn candidate(self, version: u64, cfg: &RolloutConfig) -> Result<CandidateBundle, ServeError> {
+        let (predictor, policy) =
+            rollout::admit(self.cpred.as_deref(), self.cpol.as_deref(), cfg.probe_bound).map_err(
+                |e| {
+                    ServeError::BadSnapshot(format!(
+                        "rollout candidate in snapshot failed admission: {e}"
+                    ))
+                },
+            )?;
+        Ok(CandidateBundle {
+            bundle: Arc::new(ModelBundle {
+                version,
+                predictor,
+                policy,
+            }),
+            predictor_text: self.cpred,
+            policy_text: self.cpol,
+        })
+    }
+
+    /// Rebuilds a watch stage's pinned prior bundle verbatim.
+    fn prior(self, prior_version: u64) -> Result<Arc<ModelBundle>, ServeError> {
+        let bad = |what: &str, e: String| {
+            ServeError::BadSnapshot(format!("rollout prior {what} in snapshot: {e}"))
+        };
+        let predictor = self
+            .ppred
+            .as_deref()
+            .map(RequestPredictor::from_text)
+            .transpose()
+            .map_err(|e| bad("predictor", e))?;
+        let policy = self
+            .ppol
+            .as_deref()
+            .map(mlp_from_text)
+            .transpose()
+            .map_err(|e| bad("policy", e.to_string()))?;
+        Ok(Arc::new(ModelBundle {
+            version: prior_version,
+            predictor,
+            policy,
+        }))
+    }
 }

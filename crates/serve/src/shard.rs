@@ -51,6 +51,51 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// Why a shard's model hot-swap did not take effect this epoch. Typed so
+/// the service can attribute degradation causes precisely (chaos counters
+/// compare injected faults against observed swap failures by kind).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwapError {
+    /// A fault injector simulated the registry being unreachable.
+    Injected,
+    /// The current bundle failed to build a dispatcher (parse or shape
+    /// failure in a directly-installed checkpoint).
+    Build(String),
+    /// A rollout canary directive's candidate failed to build on this
+    /// shard — the service counts it as a canary gate failure.
+    Rollout(String),
+}
+
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapError::Injected => write!(f, "injected registry swap failure"),
+            SwapError::Build(m) => write!(f, "{m}"),
+            SwapError::Rollout(m) => write!(f, "rollout candidate rejected: {m}"),
+        }
+    }
+}
+
+/// Per-epoch rollout instruction from the service's promotion pipeline.
+#[derive(Clone)]
+pub(crate) enum RolloutDirective {
+    /// Score the candidate side-by-side on a twin of this epoch; the
+    /// incumbent keeps serving the primary dispatch.
+    Shadow(Arc<ModelBundle>),
+    /// Serve this epoch with the candidate (canary shards only).
+    Canary(Arc<ModelBundle>),
+}
+
+/// Outcome of one shadow evaluation epoch.
+#[derive(Debug, Clone)]
+pub(crate) struct ShadowReport {
+    /// The paper reward the candidate earned on the twin epoch.
+    pub candidate_reward: f64,
+    /// Why the candidate could not be evaluated (build/restore failure) —
+    /// an immediate rollout gate failure.
+    pub error: Option<String>,
+}
+
 /// Commands the service sends to a shard worker.
 pub(crate) enum ShardCmd {
     /// Inject the drained requests, run one dispatch epoch, reply with
@@ -62,6 +107,8 @@ pub(crate) enum ShardCmd {
         /// dispatcher's measured compute exceeds it, its plan is discarded
         /// and the heuristic fallback replans (a degraded epoch).
         budget_ms: Option<u64>,
+        /// In-flight rollout instruction for this epoch, if any.
+        rollout: Option<RolloutDirective>,
     },
     /// Reply with the shard's serialized state.
     Snapshot,
@@ -95,7 +142,11 @@ pub(crate) struct ShardStatus {
     pub report: Option<EpochReport>,
     /// A model hot-swap that failed this epoch (the shard keeps serving —
     /// with its previous dispatcher, or degraded on the fallback).
-    pub swap_error: Option<String>,
+    pub swap_error: Option<SwapError>,
+    /// Paper reward of the epoch just served (0 after a restore).
+    pub reward: f64,
+    /// Shadow evaluation result, when a shadow directive was attached.
+    pub shadow: Option<ShadowReport>,
 }
 
 /// Worker replies.
@@ -239,6 +290,7 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
         }
     };
 
+    #[allow(clippy::too_many_arguments)] // a plain projection of worker state
     let status = |world: &World<'_>,
                   injected: u64,
                   rejected: u64,
@@ -248,7 +300,9 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
                   degraded: u64,
                   degraded_now: bool,
                   report: Option<EpochReport>,
-                  swap_error: Option<String>| {
+                  swap_error: Option<SwapError>,
+                  reward: f64,
+                  shadow: Option<ShadowReport>| {
         Box::new(ShardStatus {
             epochs: world.epoch_index(),
             injected,
@@ -263,6 +317,8 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
             degraded_now,
             report,
             swap_error,
+            reward,
+            shadow,
         })
     };
 
@@ -271,6 +327,7 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
             ShardCmd::RunEpoch {
                 requests,
                 budget_ms,
+                rollout,
             } => {
                 let epoch = world.epoch_index();
                 let faults = spec.faults.as_deref();
@@ -288,25 +345,61 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
                 // dispatcher stays whatever the epoch started with. An
                 // injected swap failure simulates the registry being
                 // unreachable: no swap happens and this epoch is served
-                // degraded on the fallback.
-                let mut swap_error = None;
+                // degraded on the fallback. A canary directive overrides
+                // the registry — the shard serves the candidate bundle —
+                // while a shadow directive leaves the incumbent path
+                // untouched and only pins the twin inputs below.
+                let mut swap_error: Option<SwapError> = None;
                 let mut force_fallback = false;
-                if faults.is_some_and(|f| f.take_swap_failure(epoch, index)) {
-                    swap_error = Some("injected registry swap failure".to_owned());
-                    force_fallback = true;
-                } else {
-                    let current = spec.registry.current();
-                    if current.version != bundle.version || dispatcher.is_none() {
-                        match build_dispatcher(scenario, &spec.rl, &current) {
-                            Ok(mut d) => {
-                                d.set_time_source(phase_timer.clone());
-                                dispatcher = Some(d);
-                                bundle = current;
+                let mut shadow_cand: Option<Arc<ModelBundle>> = None;
+                match &rollout {
+                    Some(RolloutDirective::Canary(cand)) => {
+                        if faults.is_some_and(|f| f.take_swap_failure(epoch, index)) {
+                            swap_error = Some(SwapError::Injected);
+                            force_fallback = true;
+                        } else if !Arc::ptr_eq(&bundle, cand) || dispatcher.is_none() {
+                            match build_dispatcher(scenario, &spec.rl, cand) {
+                                Ok(mut d) => {
+                                    d.set_time_source(phase_timer.clone());
+                                    dispatcher = Some(d);
+                                    bundle = Arc::clone(cand);
+                                }
+                                Err(e) => swap_error = Some(SwapError::Rollout(e)),
                             }
-                            Err(e) => swap_error = Some(e),
+                        }
+                    }
+                    directive => {
+                        if let Some(RolloutDirective::Shadow(cand)) = directive {
+                            shadow_cand = Some(Arc::clone(cand));
+                        }
+                        if faults.is_some_and(|f| f.take_swap_failure(epoch, index)) {
+                            swap_error = Some(SwapError::Injected);
+                            force_fallback = true;
+                        } else {
+                            let current = spec.registry.current();
+                            // Compare by Arc identity, not version: a
+                            // rolled-back canary leaves the shard holding
+                            // a stale bundle whose *tentative* version can
+                            // collide with the next genuine install.
+                            if !Arc::ptr_eq(&current, &bundle) || dispatcher.is_none() {
+                                match build_dispatcher(scenario, &spec.rl, &current) {
+                                    Ok(mut d) => {
+                                        d.set_time_source(phase_timer.clone());
+                                        dispatcher = Some(d);
+                                        bundle = current;
+                                    }
+                                    Err(e) => swap_error = Some(SwapError::Build(e)),
+                                }
+                            }
                         }
                     }
                 }
+                // Pin the shadow twin's inputs before they are consumed:
+                // the candidate must replay exactly this epoch — same
+                // world, same requests, same carry latency.
+                let shadow_ctx = shadow_cand
+                    .as_ref()
+                    .map(|_| (world.snapshot_text(), requests.clone()));
                 {
                     let ingest_span = h_ingest.time(time_source.as_ref());
                     for r in requests {
@@ -319,7 +412,7 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
                 }
                 let spent_ms = Cell::new(0u64);
                 let carry_s = carry_ms as f64 / 1_000.0;
-                let degraded_now = match dispatcher.as_mut() {
+                let (report, degraded_now) = match dispatcher.as_mut() {
                     Some(d) if !force_fallback => {
                         let (report, late) = {
                             let mut timed = TimedDispatcher {
@@ -338,25 +431,7 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
                             )
                         };
                         h_predict.record(d.take_predict_ms());
-                        h_dispatch.record(spent_ms.get());
-                        h_routing.record(world.take_phases().routing_ms);
-                        world.publish_routing(&obs, &routing_prefix);
-                        let st = status(
-                            &world,
-                            injected,
-                            rejected,
-                            bundle.version,
-                            spent_ms.get(),
-                            routing_total(&world, routing_base),
-                            degraded + u64::from(late),
-                            late,
-                            Some(report),
-                            swap_error,
-                        );
-                        if tx.send(ShardReply::Epoch(Ok(st))).is_err() {
-                            return;
-                        }
-                        late
+                        (report, late)
                     }
                     _ => {
                         // The DQN policy is unavailable (failed swap with
@@ -373,27 +448,41 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
                             world.run_epoch(&mut timed, carry_s)
                         };
                         h_predict.record(0);
-                        h_dispatch.record(spent_ms.get());
-                        h_routing.record(world.take_phases().routing_ms);
-                        world.publish_routing(&obs, &routing_prefix);
-                        let st = status(
-                            &world,
-                            injected,
-                            rejected,
-                            bundle.version,
-                            spent_ms.get(),
-                            routing_total(&world, routing_base),
-                            degraded + 1,
-                            true,
-                            Some(report),
-                            swap_error.or_else(|| Some("no dispatcher could be built".to_owned())),
-                        );
-                        if tx.send(ShardReply::Epoch(Ok(st))).is_err() {
-                            return;
+                        if swap_error.is_none() {
+                            swap_error =
+                                Some(SwapError::Build("no dispatcher could be built".to_owned()));
                         }
-                        true
+                        (report, true)
                     }
                 };
+                h_dispatch.record(spent_ms.get());
+                h_routing.record(world.take_phases().routing_ms);
+                world.publish_routing(&obs, &routing_prefix);
+                let reward = crate::rollout::epoch_reward(&spec.rl, &spec.sim, &report);
+                let shadow = shadow_ctx.as_ref().zip(shadow_cand.as_ref()).map(
+                    |((pre_text, reqs), cand)| {
+                        evaluate_shadow(
+                            scenario, &spec.rl, &spec.sim, cand, pre_text, reqs, carry_s,
+                        )
+                    },
+                );
+                let st = status(
+                    &world,
+                    injected,
+                    rejected,
+                    bundle.version,
+                    spent_ms.get(),
+                    routing_total(&world, routing_base),
+                    degraded + u64::from(degraded_now),
+                    degraded_now,
+                    Some(report),
+                    swap_error,
+                    reward,
+                    shadow,
+                );
+                if tx.send(ShardReply::Epoch(Ok(st))).is_err() {
+                    return;
+                }
                 degraded += u64::from(degraded_now);
                 carry_ms = spent_ms.get();
             }
@@ -432,6 +521,8 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
                             false,
                             None,
                             None,
+                            0.0,
+                            None,
                         ))
                     }
                     Err(e) => Err(e),
@@ -442,6 +533,52 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
             }
             ShardCmd::Shutdown => return,
         }
+    }
+}
+
+/// Runs the candidate on a twin of the epoch the shard just served: the
+/// twin world is restored from the pre-ingest snapshot, receives the same
+/// requests, and runs one plain epoch under the candidate's dispatcher.
+/// Nothing the twin does touches the primary world, the routing planner,
+/// the obs registry, or the clock — shadow evaluation is invisible to
+/// dispatch and to snapshots, so SimClock runs stay bit-identical whether
+/// or not a shadow rollout is in flight at the time.
+fn evaluate_shadow(
+    scenario: &Scenario,
+    rl: &RlDispatchConfig,
+    sim: &SimConfig,
+    candidate: &ModelBundle,
+    pre_epoch_text: &str,
+    requests: &[RequestSpec],
+    carry_s: f64,
+) -> ShadowReport {
+    let mut d = match build_dispatcher(scenario, rl, candidate) {
+        Ok(d) => d,
+        Err(e) => {
+            return ShadowReport {
+                candidate_reward: 0.0,
+                error: Some(e),
+            }
+        }
+    };
+    let mut twin = match World::restore_text(&scenario.city, &scenario.conditions, pre_epoch_text) {
+        Ok(w) => w,
+        Err(e) => {
+            return ShadowReport {
+                candidate_reward: 0.0,
+                error: Some(e.to_string()),
+            }
+        }
+    };
+    for r in requests {
+        // The primary already decided admission for these; a twin-side
+        // rejection would only repeat the same queue-capacity outcome.
+        let _ = twin.inject_request(*r);
+    }
+    let report = twin.run_epoch(&mut d, carry_s);
+    ShadowReport {
+        candidate_reward: crate::rollout::epoch_reward(rl, sim, &report),
+        error: None,
     }
 }
 

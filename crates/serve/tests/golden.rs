@@ -123,6 +123,40 @@ fn mrserve_v1_format_matches_golden_fixture() {
     }
 }
 
+/// Snapshots written before the guarded-rollout work carry a two-field
+/// `resil` record and no `rrew`/`rollout`/`rtext` lines. Operators holding
+/// one of those on disk must still restore cleanly, with rollout state
+/// defaulting to "nothing in flight".
+#[test]
+fn pre_rollout_snapshot_still_restores() {
+    let frozen = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/mrserve_v1_pre_rollout.txt"
+    ))
+    .expect("frozen pre-rollout fixture is checked in");
+    assert!(
+        frozen.contains("resil 0 0\n") && !frozen.contains("rollout"),
+        "fixture must stay in the pre-rollout format; never re-bless it"
+    );
+    let scenario = Arc::new(ScenarioConfig::small().florence().build(11));
+    let mut config = ServeConfig::new(SimConfig::small(6));
+    config.num_shards = 2;
+    config.request_queue_capacity = 4;
+    let restored = DispatchService::restore(
+        scenario,
+        config,
+        Arc::new(SimClock::new()) as Arc<dyn Clock>,
+        Arc::new(ModelRegistry::new(None, None)),
+        &frozen,
+    )
+    .expect("legacy snapshots restore");
+    let m = restored.metrics();
+    assert_eq!(m.epochs_completed, 2);
+    assert_eq!(m.requests_accepted, 13);
+    assert!(restored.rollout_status().is_none(), "no rollout in flight");
+    restored.shutdown();
+}
+
 #[test]
 fn golden_fixture_still_restores() {
     let golden = std::fs::read_to_string(GOLDEN_PATH)

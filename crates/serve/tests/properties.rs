@@ -1,14 +1,20 @@
-//! Property tests for the `mrserve 1` snapshot format: restore of any
+//! Property tests for the `mrserve 1` snapshot format — restore of any
 //! truncated or bit-flipped snapshot must return a typed
-//! [`ServeError::BadSnapshot`] — never panic, never silently succeed.
+//! [`ServeError::BadSnapshot`], never panic, never silently succeed —
+//! and for rollout admission, which must reject any candidate policy
+//! with mismatched layer shapes or a non-finite weight anywhere.
 //!
 //! The checksum trailer is verified before a single record is parsed, so
 //! every corrupted case fails fast without spawning shard workers.
 
+use mobirescue_core::rl_dispatch::FEATURE_DIM;
 use mobirescue_core::scenario::{Scenario, ScenarioConfig};
+use mobirescue_rl::nn::Mlp;
+use mobirescue_rl::persist::mlp_to_text;
 use mobirescue_roadnet::graph::SegmentId;
+use mobirescue_serve::rollout::admit;
 use mobirescue_serve::{
-    Clock, DispatchService, Event, ModelRegistry, ServeConfig, ServeError, SimClock,
+    Clock, DispatchService, Event, ModelRegistry, RolloutError, ServeConfig, ServeError, SimClock,
 };
 use mobirescue_sim::{RequestSpec, SimConfig};
 use proptest::prelude::*;
@@ -133,6 +139,61 @@ proptest! {
             // as a failure for anything that is not the fixture itself.
             service.shutdown();
             prop_assert!(false, "arbitrary text restored: {text:?}");
+        }
+    }
+
+    /// Admission rejects any policy whose layer shapes disagree with the
+    /// dispatcher's feature contract, on either end of the network.
+    #[test]
+    fn admission_rejects_any_shape_mismatch(
+        in_extra in 0usize..4,
+        out_extra in 0usize..4,
+        hidden in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        // Skew at least one end away from the FEATURE_DIM → 1 contract.
+        let (in_extra, out_extra) = if in_extra == 0 && out_extra == 0 {
+            (1, 0)
+        } else {
+            (in_extra, out_extra)
+        };
+        let net = Mlp::new(&[FEATURE_DIM + in_extra, hidden, 1 + out_extra], seed);
+        match admit(None, Some(&mlp_to_text(&net)), 1e6) {
+            Err(RolloutError::Probe { message, .. }) => {
+                prop_assert!(message.contains("dispatcher needs"), "{message}");
+            }
+            Err(other) => prop_assert!(false, "wrong rejection: {other}"),
+            Ok(_) => prop_assert!(false, "shape mismatch admitted"),
+        }
+    }
+
+    /// Admission rejects any bundle carrying a non-finite weight, wherever
+    /// it hides in the parameter vector.
+    #[test]
+    fn admission_rejects_any_non_finite_weight(
+        idx in 0usize..10_000,
+        inf in 0u8..3,
+        hidden in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let mut net = Mlp::new(&[FEATURE_DIM, hidden, 1], seed);
+        let poison = match inf {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+        let target = idx % net.num_params();
+        net.visit_params_mut(|i, w, _| {
+            if i == target {
+                *w = poison;
+            }
+        });
+        match admit(None, Some(&mlp_to_text(&net)), 1e6) {
+            Err(RolloutError::Probe { message, .. }) => {
+                prop_assert!(message.contains("not finite"), "{message}");
+            }
+            Err(other) => prop_assert!(false, "wrong rejection: {other}"),
+            Ok(_) => prop_assert!(false, "non-finite weight at {target} admitted"),
         }
     }
 }

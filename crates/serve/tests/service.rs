@@ -10,7 +10,7 @@ use mobirescue_rl::persist::mlp_to_text;
 use mobirescue_roadnet::graph::SegmentId;
 use mobirescue_serve::{
     Clock, DispatchService, EpochScheduler, Event, ModelRegistry, RetryPolicy, ServeConfig,
-    ServeError, SimClock,
+    ServeError, SimClock, SwapError,
 };
 use mobirescue_sim::{RequestSpec, SimConfig};
 use std::sync::Arc;
@@ -352,7 +352,12 @@ fn hot_swap_applies_at_the_next_epoch_without_stopping_ingestion() {
         "shards keep the old bundle"
     );
     let (_, why) = service.last_swap_error().expect("swap failure surfaced");
-    assert!(why.contains("dispatcher needs"), "unexpected reason: {why}");
+    match &why {
+        SwapError::Build(msg) => {
+            assert!(msg.contains("dispatcher needs"), "unexpected reason: {msg}")
+        }
+        other => panic!("expected a build failure, got {other}"),
+    }
 }
 
 #[test]

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Chaos seed sweep: run the dispatch service under N seeded fault plans
-# and record one line of invariant results per seed.
+# and record one line of invariant results per seed, then sweep poisoned
+# checkpoints (NaN weights, wrong dims, reward tank) through the guarded
+# rollout pipeline.
 #
 #   scripts/chaos.sh [SEEDS] [BASE_SEED]
 #

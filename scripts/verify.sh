@@ -34,6 +34,7 @@ run_step "clippy" cargo clippy --workspace --all-targets -- -D warnings
 run_step "tier-1 build" cargo build --release
 run_step "tier-1 tests" cargo test -q
 run_step "chaos suite" cargo test -q --test chaos
+run_step "rollout chaos suite" cargo test -q --test rollout_chaos
 
 if [[ "${1:-}" == "--full" ]]; then
     run_step "full workspace tests" cargo test --workspace --release -q
