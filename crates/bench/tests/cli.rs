@@ -1,0 +1,56 @@
+//! Pins the loadgen binary's command-line contract: typos and missing
+//! required flags fail loudly with usage, they never fall through to a
+//! default run against the wrong target.
+
+use std::process::Command;
+
+#[test]
+fn unknown_flag_prints_usage_and_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .args(["--addr", "127.0.0.1:9", "--no-such-flag"])
+        .output()
+        .expect("loadgen runs");
+    assert_eq!(out.status.code(), Some(2), "unknown flag must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown argument \"--no-such-flag\""),
+        "stderr names the bad flag: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage: loadgen"),
+        "stderr shows usage: {stderr}"
+    );
+}
+
+#[test]
+fn missing_addr_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .output()
+        .expect("loadgen runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--addr HOST:PORT is required"), "{stderr}");
+}
+
+#[test]
+fn bad_profile_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .args(["--addr", "127.0.0.1:9", "--profile", "closed"])
+        .output()
+        .expect("loadgen runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown profile"), "{stderr}");
+}
+
+#[test]
+fn help_prints_usage_to_stdout_and_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .arg("--help")
+        .output()
+        .expect("loadgen runs");
+    assert!(out.status.success(), "--help exits 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage: loadgen"), "{stdout}");
+    assert!(stdout.contains("--profile NAME"), "{stdout}");
+}

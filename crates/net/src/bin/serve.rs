@@ -1,7 +1,8 @@
-//! The `serve` binary: drives the online dispatch service on the
-//! charlotte-like scenario in accelerated (simulated-clock) time.
+//! The `serve` binary: the online dispatch service, in two modes.
 //!
-//! The run demonstrates every serving feature end to end:
+//! **Demo mode** (default) drives the service on the charlotte-like
+//! scenario in accelerated (simulated-clock) time, demonstrating every
+//! serving feature end to end:
 //!
 //! 1. starts a two-shard service over the charlotte-like city under
 //!    Hurricane Florence, on the paper's 5-minute dispatch period;
@@ -17,18 +18,26 @@
 //!    stage still in flight — tears it down, restores it from the
 //!    snapshot text, and finishes the promotion on the restored service;
 //! 5. prints periodic metrics and a final report, exiting 0 on success.
+//!
+//! **Listen mode** (`--listen ADDR`) serves the `mrnet 1` TCP front door
+//! on a wall clock: requests arrive over sockets (e.g. from the `loadgen`
+//! bin in `mobirescue-bench`), dispatch epochs tick at `--period-ms`, and
+//! overload surfaces to clients as NACK frames. Exits 0 after `--epochs`
+//! epochs with a graceful drain.
 
 use mobirescue_core::predictor::{PredictorConfig, RequestPredictor};
 use mobirescue_core::rl_dispatch::{RlDispatchConfig, FEATURE_DIM};
 use mobirescue_core::scenario::{Scenario, ScenarioConfig};
+use mobirescue_net::{NetConfig, NetServer};
 use mobirescue_rl::nn::Mlp;
 use mobirescue_rl::persist::mlp_to_text;
 use mobirescue_roadnet::graph::SegmentId;
 use mobirescue_serve::{
     CheckpointPoison, Clock, DispatchService, EpochScheduler, Event, FaultInjector, FaultPlan,
-    ModelRegistry, RolloutConfig, RolloutError, ServeConfig, ServeError, SimClock,
+    ModelRegistry, RolloutConfig, RolloutError, ServeConfig, ServeError, SimClock, WallClock,
 };
 use mobirescue_sim::{RequestSpec, SimConfig};
+use std::io::Write as _;
 use std::sync::Arc;
 
 const SEED: u64 = 20180914; // Florence's landfall date.
@@ -36,6 +45,261 @@ const NUM_SHARDS: usize = 2;
 const PHASE1_EPOCHS: u32 = 7;
 const PHASE2_EPOCHS: u32 = 5;
 const SWAP_AT_EPOCH: u32 = 3;
+
+fn usage() -> String {
+    "usage: serve [--listen ADDR] [OPTIONS]
+
+Modes:
+  (default)            run the accelerated end-to-end serving demo
+  --listen ADDR        serve the mrnet 1 TCP front door on ADDR
+                       (e.g. 127.0.0.1:0 to pick an ephemeral port)
+
+Listen-mode options:
+  --scenario NAME      world to serve: small | medium | charlotte (default: small)
+  --shards N           city shards (default: 2)
+  --epochs N           dispatch epochs before draining (default: 60)
+  --period-ms MS       wall-clock milliseconds per dispatch epoch (default: 100)
+  --queue-capacity N   per-shard request queue capacity (default: 1024)
+  --quiet              suppress per-epoch output
+
+Common options:
+  --metrics-out FILE   write the mrobs 1 metrics dump at exit
+  --metrics-prom FILE  write Prometheus exposition text at exit
+  --help               print this message and exit"
+        .to_owned()
+}
+
+struct Args {
+    listen: Option<String>,
+    scenario: String,
+    shards: usize,
+    epochs: u32,
+    period_ms: u64,
+    queue_capacity: usize,
+    quiet: bool,
+    metrics_out: Option<std::path::PathBuf>,
+    metrics_prom: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        listen: None,
+        scenario: "small".to_owned(),
+        shards: NUM_SHARDS,
+        epochs: 60,
+        period_ms: 100,
+        queue_capacity: 1_024,
+        quiet: false,
+        metrics_out: None,
+        metrics_prom: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => parsed.listen = Some(value(&mut args, "--listen")?),
+            "--scenario" => {
+                let name = value(&mut args, "--scenario")?;
+                if !["small", "medium", "charlotte"].contains(&name.as_str()) {
+                    return Err(format!(
+                        "unknown scenario {name:?} (expected small, medium, or charlotte)"
+                    ));
+                }
+                parsed.scenario = name;
+            }
+            "--shards" => {
+                parsed.shards = value(&mut args, "--shards")?
+                    .parse()
+                    .map_err(|_| "--shards needs a positive integer".to_owned())?;
+            }
+            "--epochs" => {
+                parsed.epochs = value(&mut args, "--epochs")?
+                    .parse()
+                    .map_err(|_| "--epochs needs a positive integer".to_owned())?;
+            }
+            "--period-ms" => {
+                parsed.period_ms = value(&mut args, "--period-ms")?
+                    .parse()
+                    .map_err(|_| "--period-ms needs a positive integer".to_owned())?;
+            }
+            "--queue-capacity" => {
+                parsed.queue_capacity = value(&mut args, "--queue-capacity")?
+                    .parse()
+                    .map_err(|_| "--queue-capacity needs a positive integer".to_owned())?;
+            }
+            "--quiet" => parsed.quiet = true,
+            "--metrics-out" => {
+                parsed.metrics_out = Some(value(&mut args, "--metrics-out")?.into());
+            }
+            "--metrics-prom" => {
+                parsed.metrics_prom = Some(value(&mut args, "--metrics-prom")?.into());
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("serve: {message}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    let result = match args.listen.clone() {
+        Some(addr) => run_listen(&args, &addr),
+        None => run_demo(&args),
+    };
+    if let Err(e) = result {
+        eprintln!("serve: {e:?}");
+        std::process::exit(1);
+    }
+}
+
+fn dump_metrics(args: &Args, obs: &mobirescue_obs::ObsSnapshot) -> Result<(), ServeError> {
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, obs.to_text()).map_err(|e| ServeError::Io(e.to_string()))?;
+        println!("wrote mrobs 1 metrics dump to {}", path.display());
+    }
+    if let Some(path) = &args.metrics_prom {
+        std::fs::write(path, obs.to_prometheus()).map_err(|e| ServeError::Io(e.to_string()))?;
+        println!("wrote Prometheus exposition to {}", path.display());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Listen mode: the TCP front door on a wall clock.
+// ---------------------------------------------------------------------
+
+fn run_listen(args: &Args, addr: &str) -> Result<(), ServeError> {
+    let scenario = Arc::new(match args.scenario.as_str() {
+        "medium" => ScenarioConfig::medium().florence().build(SEED),
+        "charlotte" => ScenarioConfig::charlotte_like().florence().build(SEED),
+        _ => ScenarioConfig::small().florence().build(SEED),
+    });
+    let hours = scenario.conditions.hours();
+    // Size the simulated window to cover every epoch (the dispatch period
+    // is simulated seconds; the wall-clock pacing below is independent).
+    let base = if args.scenario == "small" {
+        SimConfig::small(0)
+    } else {
+        SimConfig::paper(0)
+    };
+    let needed_hours = (args.epochs * base.dispatch_period_s).div_ceil(3_600) + 1;
+    let sim = SimConfig {
+        duration_hours: needed_hours.min(hours),
+        ..base
+    };
+    let max_epochs = sim.duration_hours * 3_600 / sim.dispatch_period_s;
+    let epochs = args.epochs.min(max_epochs);
+    if epochs < args.epochs && !args.quiet {
+        println!(
+            "note: scenario covers {} epochs, clamping --epochs {}",
+            max_epochs, args.epochs
+        );
+    }
+    let mut config = ServeConfig::new(sim);
+    config.num_shards = args.shards.max(1);
+    config.request_queue_capacity = args.queue_capacity.max(1);
+    let clock: Arc<WallClock> = Arc::new(WallClock::new());
+    let registry = Arc::new(ModelRegistry::new(None, None));
+    let service = Arc::new(DispatchService::start(
+        Arc::clone(&scenario),
+        config,
+        Arc::clone(&clock) as Arc<dyn Clock>,
+        registry,
+    )?);
+    let mut server = NetServer::start(
+        Arc::clone(&service),
+        Arc::clone(&clock) as Arc<dyn Clock>,
+        NetConfig::new(addr),
+    )
+    .map_err(|e| ServeError::Io(e.to_string()))?;
+
+    // The line load generators and scripts wait for — flush immediately.
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush().ok();
+    if !args.quiet {
+        println!(
+            "serving {} ({} segments, {} shards), {} epochs at {} ms/epoch",
+            args.scenario,
+            scenario.city.network.num_segments(),
+            args.shards,
+            epochs,
+            args.period_ms
+        );
+    }
+
+    let start_ms = clock.now_ms();
+    for epoch in 0..epochs {
+        let target = start_ms + (u64::from(epoch) + 1) * args.period_ms;
+        let now = clock.now_ms();
+        if target > now {
+            clock.sleep_ms(target - now);
+        }
+        server.epoch_started();
+        let reports = service.run_epoch()?;
+        server.epoch_finished();
+        if !args.quiet && (epoch + 1) % 10 == 0 {
+            let report = server.report();
+            println!(
+                "epoch {}: {} shard reports | acked {} shed-nacked {} i2d p99 {} ms",
+                epoch + 1,
+                reports.len(),
+                report.requests_acked,
+                report.sheds_nacked,
+                report.i2d_p99
+            );
+        }
+    }
+
+    // Drain: NACK stragglers, close every connection, then stop shards.
+    server.shutdown();
+    let report = server.report();
+    drop(server);
+    println!(
+        "drained after {} epochs: {} frames decoded, {} acked, {} shed-nacked, \
+         {} rejected, i2d p50/p99/p999 = {}/{}/{} ms over {} requests",
+        epochs,
+        report.frames_decoded,
+        report.requests_acked,
+        report.sheds_nacked,
+        report.requests_rejected,
+        report.i2d_p50,
+        report.i2d_p99,
+        report.i2d_p999,
+        report.i2d_count
+    );
+    if !args.quiet {
+        println!("\n{}", service.metrics().render());
+        println!(
+            "observability summary:\n{}",
+            service.obs_snapshot().render_summary()
+        );
+    }
+    dump_metrics(args, &service.obs_snapshot())?;
+    Arc::try_unwrap(service)
+        .map_err(|_| ServeError::Shard {
+            shard: 0,
+            message: "service still referenced at shutdown".to_owned(),
+        })?
+        .shutdown();
+    println!("serve: clean shutdown");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Demo mode: the accelerated end-to-end feature tour.
+// ---------------------------------------------------------------------
 
 /// A deterministic synthetic request stream for one shard and epoch,
 /// mimicking the repo's test idiom (mined rescue records need the full
@@ -129,41 +393,7 @@ fn train_candidate(rl: &RlDispatchConfig) -> Result<(String, String), ServeError
     Ok((predictor_text, policy_text))
 }
 
-/// `--metrics-out FILE` (versioned `mrobs 1` text) and `--metrics-prom
-/// FILE` (Prometheus exposition text) dump the observability registry at
-/// exit.
-struct Args {
-    metrics_out: Option<std::path::PathBuf>,
-    metrics_prom: Option<std::path::PathBuf>,
-}
-
-fn parse_args() -> Result<Args, ServeError> {
-    let mut parsed = Args {
-        metrics_out: None,
-        metrics_prom: None,
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let mut path = |flag: &str| {
-            args.next()
-                .map(std::path::PathBuf::from)
-                .ok_or_else(|| ServeError::Io(format!("{flag} needs a file path")))
-        };
-        match arg.as_str() {
-            "--metrics-out" => parsed.metrics_out = Some(path("--metrics-out")?),
-            "--metrics-prom" => parsed.metrics_prom = Some(path("--metrics-prom")?),
-            other => {
-                return Err(ServeError::Io(format!(
-                    "unknown argument {other:?} (expected --metrics-out FILE or --metrics-prom FILE)"
-                )));
-            }
-        }
-    }
-    Ok(parsed)
-}
-
-fn main() -> Result<(), ServeError> {
-    let args = parse_args()?;
+fn run_demo(args: &Args) -> Result<(), ServeError> {
     println!("building the charlotte-like Florence scenario (seed {SEED})...");
     let scenario = Arc::new(ScenarioConfig::charlotte_like().florence().build(SEED));
     let hours = scenario.conditions.hours();
@@ -385,14 +615,7 @@ fn main() -> Result<(), ServeError> {
     let obs = service.obs_snapshot();
     println!("\nobservability summary:\n{}", obs.render_summary());
     println!("recent events:\n{}", service.obs().events().render());
-    if let Some(path) = &args.metrics_out {
-        std::fs::write(path, obs.to_text()).map_err(|e| ServeError::Io(e.to_string()))?;
-        println!("wrote mrobs 1 metrics dump to {}", path.display());
-    }
-    if let Some(path) = &args.metrics_prom {
-        std::fs::write(path, obs.to_prometheus()).map_err(|e| ServeError::Io(e.to_string()))?;
-        println!("wrote Prometheus exposition to {}", path.display());
-    }
+    dump_metrics(args, &obs)?;
     Arc::try_unwrap(service)
         .map_err(|_| ServeError::Shard {
             shard: 0,

@@ -1,0 +1,179 @@
+//! A blocking `mrnet 1` client: the load generator's and chaos
+//! harness's side of the wire. Raw byte access ([`NetClient::send_raw`])
+//! is deliberate — the chaos harness uses it to tear writes, abandon
+//! frames mid-byte, and trickle headers.
+
+use crate::error::NetError;
+use crate::wire::{Frame, MetricsReport, HELLO, HELLO_BUSY, HELLO_OK};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One handshaken connection to a [`crate::NetServer`].
+pub struct NetClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl NetClient {
+    /// Connects and performs the `mrnet 1` handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Busy`] when the server is at its connection cap,
+    /// [`NetError::Handshake`] on a version mismatch, [`NetError::Io`]
+    /// on transport failure.
+    pub fn connect(addr: SocketAddr) -> Result<Self, NetError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.write_all(HELLO.as_bytes())?;
+        let mut line = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            match stream.read(&mut byte) {
+                Ok(0) => {
+                    // A refused connection may close before its `busy`
+                    // line is readable.
+                    return Err(NetError::Busy);
+                }
+                Ok(_) => {
+                    line.push(byte[0]);
+                    if byte[0] == b'\n' {
+                        break;
+                    }
+                    if line.len() > 32 {
+                        return Err(NetError::Handshake(
+                            String::from_utf8_lossy(&line).into_owned(),
+                        ));
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let reply = String::from_utf8_lossy(&line).into_owned();
+        match reply.as_str() {
+            HELLO_OK => Ok(Self {
+                stream,
+                buf: Vec::new(),
+            }),
+            HELLO_BUSY => Err(NetError::Busy),
+            _ => Err(NetError::Handshake(reply)),
+        }
+    }
+
+    /// Encodes and sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] on transport failure.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+        self.stream.write_all(&frame.encode())?;
+        Ok(())
+    }
+
+    /// Writes raw bytes — for chaos clients sending deliberately broken
+    /// traffic (partial frames, torn writes, trickled headers).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] on transport failure.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), NetError> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Blocks until one complete frame arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::ConnectionClosed`] on EOF mid-frame,
+    /// [`NetError::Decode`] on a protocol violation, [`NetError::Io`] on
+    /// transport failure.
+    pub fn recv(&mut self) -> Result<Frame, NetError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match Frame::decode(&self.buf) {
+                Ok((frame, used)) => {
+                    self.buf.drain(..used);
+                    return Ok(frame);
+                }
+                Err(e) if e.is_truncated() => {}
+                Err(e) => return Err(e.into()),
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(NetError::ConnectionClosed),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Sends one request and blocks for its Ack/Nack.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::send`] / [`NetClient::recv`].
+    pub fn request(
+        &mut self,
+        id: u64,
+        shard: u32,
+        appear_s: u32,
+        segment: u32,
+    ) -> Result<Frame, NetError> {
+        self.send(&Frame::Request {
+            id,
+            shard,
+            appear_s,
+            segment,
+        })?;
+        self.recv()
+    }
+
+    /// Pulls the server's counters.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::send`] / [`NetClient::recv`]; also
+    /// [`NetError::Decode`] if the reply is not a Metrics frame.
+    pub fn pull_metrics(&mut self) -> Result<MetricsReport, NetError> {
+        self.send(&Frame::MetricsPull)?;
+        match self.recv()? {
+            Frame::Metrics(report) => Ok(report),
+            other => Err(NetError::Handshake(format!(
+                "expected Metrics reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// A second handle on the same connection (e.g. a dedicated reader
+    /// thread while this handle keeps writing). The receive buffer is
+    /// *not* shared: split reading and writing between the two handles,
+    /// don't read on both.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when the socket cannot be duplicated.
+    pub fn try_clone(&self) -> Result<NetClient, NetError> {
+        Ok(NetClient {
+            stream: self.stream.try_clone()?,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Half-closes the write side, signalling EOF to the server while
+    /// replies can still drain.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] on transport failure.
+    pub fn shutdown_write(&mut self) -> Result<(), NetError> {
+        self.stream.shutdown(std::net::Shutdown::Write)?;
+        Ok(())
+    }
+}

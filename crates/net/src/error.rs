@@ -1,0 +1,45 @@
+//! Typed errors for the front door's client and listener.
+
+use crate::wire::DecodeError;
+use std::fmt;
+
+/// A front-door failure: transport, handshake, or framing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A socket operation failed.
+    Io(String),
+    /// The peer spoke the wrong handshake (carries what it said).
+    Handshake(String),
+    /// The server refused the connection with `mrnet 1 busy`.
+    Busy,
+    /// A frame failed to decode.
+    Decode(DecodeError),
+    /// The connection closed before a complete reply arrived.
+    ConnectionClosed,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Handshake(got) => write!(f, "bad handshake: {got:?}"),
+            NetError::Busy => write!(f, "server at connection capacity"),
+            NetError::Decode(e) => write!(f, "frame decode failed: {e}"),
+            NetError::ConnectionClosed => write!(f, "connection closed mid-reply"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.to_string())
+    }
+}
+
+impl From<DecodeError> for NetError {
+    fn from(e: DecodeError) -> Self {
+        NetError::Decode(e)
+    }
+}

@@ -1,0 +1,586 @@
+//! The `mrnet 1` wire protocol: a versioned, length-prefixed,
+//! checksummed binary framing for rescue-request ingestion over TCP.
+//!
+//! # Handshake
+//!
+//! A connection opens with one ASCII line each way, mirroring the
+//! versioned text headers of the `mrworld 1`/`mrserve 1`/`mrobs 1`
+//! formats:
+//!
+//! ```text
+//! client → server:  mrnet 1\n
+//! server → client:  mrnet 1 ok\n      (or `mrnet 1 busy\n` + close)
+//! ```
+//!
+//! A server that does not speak the client's version closes the
+//! connection; a client seeing anything but `ok` must not send frames.
+//!
+//! # Frame grammar
+//!
+//! After the handshake the stream is a sequence of binary frames:
+//!
+//! ```text
+//! frame   = kind:u8  len:u32le  payload[len]  sum:u64le
+//! sum     = FNV-1a-64 over (kind ‖ len ‖ payload)
+//! ```
+//!
+//! | kind | frame       | payload (little-endian)                        |
+//! |------|-------------|------------------------------------------------|
+//! | 1    | Request     | `id:u64 shard:u32 appear_s:u32 segment:u32`    |
+//! | 2    | Ack         | `id:u64`                                       |
+//! | 3    | Nack        | `id:u64 reason:u8`                             |
+//! | 4    | MetricsPull | (empty)                                        |
+//! | 5    | Metrics     | nine `u64` server counters (see [`MetricsReport`]) |
+//!
+//! Every frame kind has a fixed payload length, so `len` is redundant —
+//! and that redundancy is the point: a length that disagrees with the
+//! kind is rejected *before* the checksum is even read, and a corrupted
+//! length can never make the decoder wait on gigabytes. The checksum is
+//! the same FNV-1a-64 the snapshot formats seal with
+//! ([`mobirescue_sim::fnv1a_64_bytes`]).
+//!
+//! # Decoding
+//!
+//! [`Frame::decode`] doubles as an incremental parser for a read loop:
+//! [`DecodeError::Truncated`] means "the buffer holds a frame prefix,
+//! read more bytes", while every other error is a hard protocol
+//! violation that names the offending field.
+
+use mobirescue_sim::fnv1a_64_bytes;
+use std::fmt;
+
+/// The client's opening handshake line.
+pub const HELLO: &str = "mrnet 1\n";
+/// The server's accepting handshake reply.
+pub const HELLO_OK: &str = "mrnet 1 ok\n";
+/// The server's over-capacity handshake reply (connection closes after).
+pub const HELLO_BUSY: &str = "mrnet 1 busy\n";
+
+/// Upper bound on `len` accepted by the decoder. The largest real
+/// payload is the 72-byte Metrics frame; anything claiming more is a
+/// corrupt or hostile length field.
+pub const MAX_PAYLOAD: u32 = 128;
+
+/// Frame header size: kind byte + length word.
+const HEADER_LEN: usize = 5;
+/// Trailing checksum size.
+const SUM_LEN: usize = 8;
+
+/// Why a [`Frame::Nack`] refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NackReason {
+    /// The bounded ingest queue shed the request (overload).
+    Shed,
+    /// The request named a shard the service does not host.
+    UnknownShard,
+    /// The request named a road segment the city does not have.
+    UnknownSegment,
+    /// The server is draining for shutdown and admits nothing new.
+    Draining,
+    /// An internal service error; the request was not admitted.
+    Internal,
+}
+
+impl NackReason {
+    /// The wire byte for this reason.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            NackReason::Shed => 0,
+            NackReason::UnknownShard => 1,
+            NackReason::UnknownSegment => 2,
+            NackReason::Draining => 3,
+            NackReason::Internal => 4,
+        }
+    }
+
+    /// Parses a wire byte.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(NackReason::Shed),
+            1 => Some(NackReason::UnknownShard),
+            2 => Some(NackReason::UnknownSegment),
+            3 => Some(NackReason::Draining),
+            4 => Some(NackReason::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// The nine server counters a Metrics frame carries, in wire order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// Frames the server decoded successfully.
+    pub frames_decoded: u64,
+    /// Requests admitted and acknowledged.
+    pub requests_acked: u64,
+    /// Requests NACKed because the queue shed them.
+    pub sheds_nacked: u64,
+    /// Requests NACKed as invalid (unknown shard/segment) or while
+    /// draining.
+    pub requests_rejected: u64,
+    /// Connections accepted since start.
+    pub connections_accepted: u64,
+    /// Observations in the ingest-to-dispatch latency histogram.
+    pub i2d_count: u64,
+    /// Ingest-to-dispatch latency p50, milliseconds.
+    pub i2d_p50: u64,
+    /// Ingest-to-dispatch latency p99, milliseconds.
+    pub i2d_p99: u64,
+    /// Ingest-to-dispatch latency p99.9, milliseconds.
+    pub i2d_p999: u64,
+}
+
+impl MetricsReport {
+    fn to_wire(self) -> [u64; 9] {
+        [
+            self.frames_decoded,
+            self.requests_acked,
+            self.sheds_nacked,
+            self.requests_rejected,
+            self.connections_accepted,
+            self.i2d_count,
+            self.i2d_p50,
+            self.i2d_p99,
+            self.i2d_p999,
+        ]
+    }
+
+    fn from_wire(w: [u64; 9]) -> Self {
+        Self {
+            frames_decoded: w[0],
+            requests_acked: w[1],
+            sheds_nacked: w[2],
+            requests_rejected: w[3],
+            connections_accepted: w[4],
+            i2d_count: w[5],
+            i2d_p50: w[6],
+            i2d_p99: w[7],
+            i2d_p999: w[8],
+        }
+    }
+}
+
+/// One `mrnet 1` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frame {
+    /// A rescue request offered for ingestion (client → server).
+    Request {
+        /// Client-chosen correlation id, echoed in the Ack/Nack.
+        id: u64,
+        /// Target city shard.
+        shard: u32,
+        /// Seconds after simulation start at which the request appears.
+        appear_s: u32,
+        /// Road segment the trapped person is on.
+        segment: u32,
+    },
+    /// The request with this id was admitted (server → client).
+    Ack {
+        /// Correlation id of the admitted request.
+        id: u64,
+    },
+    /// The request with this id was refused (server → client).
+    Nack {
+        /// Correlation id of the refused request.
+        id: u64,
+        /// Why it was refused.
+        reason: NackReason,
+    },
+    /// Ask the server for its counters (client → server).
+    MetricsPull,
+    /// The server's counters (server → client).
+    Metrics(MetricsReport),
+}
+
+/// A typed decode failure naming the offending field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ends inside `field`: a complete frame needs `needed`
+    /// bytes from the field's start but only `got` are present. In a
+    /// streaming read loop this means "read more"; on a closed
+    /// connection it means the peer hung up mid-frame.
+    Truncated {
+        /// The field the buffer ends inside.
+        field: &'static str,
+        /// Bytes the field (and the rest of the frame) needs.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The kind byte is not a known frame kind.
+    BadKind(u8),
+    /// The length field exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// Always `"len"`.
+        field: &'static str,
+        /// The claimed payload length.
+        got: u32,
+        /// The accepted maximum.
+        max: u32,
+    },
+    /// The length field disagrees with the frame kind's fixed payload
+    /// size.
+    PayloadLen {
+        /// The frame kind whose payload is mis-sized.
+        frame: &'static str,
+        /// The payload size the kind requires.
+        expected: usize,
+        /// The size the length field claimed.
+        got: usize,
+    },
+    /// The FNV-1a checksum does not match the received bytes.
+    ChecksumMismatch {
+        /// Checksum computed over the received bytes.
+        expected: u64,
+        /// Checksum the frame carried.
+        got: u64,
+    },
+    /// A Nack frame carried an unknown reason byte.
+    BadReason(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DecodeError::Truncated { field, needed, got } => {
+                write!(f, "truncated in `{field}`: need {needed} bytes, got {got}")
+            }
+            DecodeError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            DecodeError::Oversized { field, got, max } => {
+                write!(f, "`{field}` claims {got} bytes, max {max}")
+            }
+            DecodeError::PayloadLen {
+                frame,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{frame} payload must be {expected} bytes, length field says {got}"
+            ),
+            DecodeError::ChecksumMismatch { expected, got } => {
+                write!(
+                    f,
+                    "checksum mismatch: computed {expected:#018x}, frame carries {got:#018x}"
+                )
+            }
+            DecodeError::BadReason(r) => write!(f, "unknown nack reason {r}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl DecodeError {
+    /// Whether this error means "the buffer holds an incomplete frame —
+    /// read more bytes" rather than a protocol violation.
+    pub fn is_truncated(&self) -> bool {
+        matches!(self, DecodeError::Truncated { .. })
+    }
+}
+
+impl Frame {
+    fn kind_byte(&self) -> u8 {
+        match self {
+            Frame::Request { .. } => 1,
+            Frame::Ack { .. } => 2,
+            Frame::Nack { .. } => 3,
+            Frame::MetricsPull => 4,
+            Frame::Metrics(_) => 5,
+        }
+    }
+
+    /// The fixed payload size for a kind byte, or `None` for an unknown
+    /// kind.
+    fn payload_len_for(kind: u8) -> Option<(&'static str, usize)> {
+        match kind {
+            1 => Some(("Request", 20)),
+            2 => Some(("Ack", 8)),
+            3 => Some(("Nack", 9)),
+            4 => Some(("MetricsPull", 0)),
+            5 => Some(("Metrics", 72)),
+            _ => None,
+        }
+    }
+
+    /// Encodes the frame: header, payload, trailing checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(72);
+        match *self {
+            Frame::Request {
+                id,
+                shard,
+                appear_s,
+                segment,
+            } => {
+                payload.extend_from_slice(&id.to_le_bytes());
+                payload.extend_from_slice(&shard.to_le_bytes());
+                payload.extend_from_slice(&appear_s.to_le_bytes());
+                payload.extend_from_slice(&segment.to_le_bytes());
+            }
+            Frame::Ack { id } => payload.extend_from_slice(&id.to_le_bytes()),
+            Frame::Nack { id, reason } => {
+                payload.extend_from_slice(&id.to_le_bytes());
+                payload.push(reason.as_u8());
+            }
+            Frame::MetricsPull => {}
+            Frame::Metrics(report) => {
+                for word in report.to_wire() {
+                    payload.extend_from_slice(&word.to_le_bytes());
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + SUM_LEN);
+        out.push(self.kind_byte());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        let sum = fnv1a_64_bytes(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Decodes one frame from the front of `buf`, returning the frame
+    /// and how many bytes it consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] when `buf` holds an incomplete frame
+    /// (read more and retry); any other variant is a protocol violation
+    /// naming the offending field.
+    pub fn decode(buf: &[u8]) -> Result<(Frame, usize), DecodeError> {
+        let Some(&kind) = buf.first() else {
+            return Err(DecodeError::Truncated {
+                field: "kind",
+                needed: 1,
+                got: 0,
+            });
+        };
+        let Some((frame_name, expected_len)) = Self::payload_len_for(kind) else {
+            return Err(DecodeError::BadKind(kind));
+        };
+        if buf.len() < HEADER_LEN {
+            return Err(DecodeError::Truncated {
+                field: "len",
+                needed: HEADER_LEN,
+                got: buf.len(),
+            });
+        }
+        let len = u32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]);
+        if len > MAX_PAYLOAD {
+            return Err(DecodeError::Oversized {
+                field: "len",
+                got: len,
+                max: MAX_PAYLOAD,
+            });
+        }
+        if len as usize != expected_len {
+            return Err(DecodeError::PayloadLen {
+                frame: frame_name,
+                expected: expected_len,
+                got: len as usize,
+            });
+        }
+        let total = HEADER_LEN + expected_len + SUM_LEN;
+        if buf.len() < total {
+            let field = if buf.len() < HEADER_LEN + expected_len {
+                "payload"
+            } else {
+                "sum"
+            };
+            return Err(DecodeError::Truncated {
+                field,
+                needed: total,
+                got: buf.len(),
+            });
+        }
+        let body = &buf[..HEADER_LEN + expected_len];
+        let computed = fnv1a_64_bytes(body);
+        let carried = u64::from_le_bytes(
+            buf[HEADER_LEN + expected_len..total]
+                .try_into()
+                .expect("sum slice is 8 bytes"),
+        );
+        if computed != carried {
+            return Err(DecodeError::ChecksumMismatch {
+                expected: computed,
+                got: carried,
+            });
+        }
+        let p = &buf[HEADER_LEN..HEADER_LEN + expected_len];
+        let frame = match kind {
+            1 => Frame::Request {
+                id: u64_at(p, 0),
+                shard: u32_at(p, 8),
+                appear_s: u32_at(p, 12),
+                segment: u32_at(p, 16),
+            },
+            2 => Frame::Ack { id: u64_at(p, 0) },
+            3 => Frame::Nack {
+                id: u64_at(p, 0),
+                reason: NackReason::from_u8(p[8]).ok_or(DecodeError::BadReason(p[8]))?,
+            },
+            4 => Frame::MetricsPull,
+            5 => {
+                let mut words = [0u64; 9];
+                for (i, word) in words.iter_mut().enumerate() {
+                    *word = u64_at(p, i * 8);
+                }
+                Frame::Metrics(MetricsReport::from_wire(words))
+            }
+            _ => unreachable!("kind validated above"),
+        };
+        Ok((frame, total))
+    }
+}
+
+fn u64_at(p: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(p[at..at + 8].try_into().expect("8-byte slice"))
+}
+
+fn u32_at(p: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(p[at..at + 4].try_into().expect("4-byte slice"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Request {
+                id: 7,
+                shard: 1,
+                appear_s: 300,
+                segment: 42,
+            },
+            Frame::Ack { id: u64::MAX },
+            Frame::Nack {
+                id: 9,
+                reason: NackReason::Shed,
+            },
+            Frame::Nack {
+                id: 10,
+                reason: NackReason::Draining,
+            },
+            Frame::MetricsPull,
+            Frame::Metrics(MetricsReport {
+                frames_decoded: 100,
+                requests_acked: 90,
+                sheds_nacked: 7,
+                requests_rejected: 3,
+                connections_accepted: 2,
+                i2d_count: 90,
+                i2d_p50: 12,
+                i2d_p99: 80,
+                i2d_p999: 200,
+            }),
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for frame in sample_frames() {
+            let bytes = frame.encode();
+            let (back, used) = Frame::decode(&bytes).expect("decodes");
+            assert_eq!(back, frame);
+            assert_eq!(used, bytes.len());
+            // Decoding with trailing bytes consumes only the frame.
+            let mut extended = bytes.clone();
+            extended.extend_from_slice(&[0xAA; 3]);
+            let (back, used) = Frame::decode(&extended).expect("decodes with trailer");
+            assert_eq!(back, frame);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_typed_truncated() {
+        for frame in sample_frames() {
+            let bytes = frame.encode();
+            for cut in 0..bytes.len() {
+                let err = Frame::decode(&bytes[..cut]).expect_err("prefix cannot decode");
+                assert!(
+                    err.is_truncated(),
+                    "cut at {cut}/{} gave {err:?}",
+                    bytes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_rejected_with_typed_errors() {
+        let bytes = Frame::Ack { id: 3 }.encode();
+        // Unknown kind.
+        let mut bad = bytes.clone();
+        bad[0] = 99;
+        assert!(matches!(Frame::decode(&bad), Err(DecodeError::BadKind(99))));
+        // Hostile length field.
+        let mut bad = bytes.clone();
+        bad[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bad),
+            Err(DecodeError::Oversized { field: "len", .. })
+        ));
+        // Length that disagrees with the kind.
+        let mut bad = bytes.clone();
+        bad[1..5].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bad),
+            Err(DecodeError::PayloadLen {
+                frame: "Ack",
+                expected: 8,
+                got: 9,
+            })
+        ));
+        // Flipped payload bit.
+        let mut bad = bytes.clone();
+        bad[HEADER_LEN] ^= 0x01;
+        assert!(matches!(
+            Frame::decode(&bad),
+            Err(DecodeError::ChecksumMismatch { .. })
+        ));
+        // Unknown nack reason (re-sealed so only the reason is at fault).
+        let mut nack = Frame::Nack {
+            id: 1,
+            reason: NackReason::Shed,
+        }
+        .encode();
+        let body_end = nack.len() - SUM_LEN;
+        nack[body_end - 1] = 250;
+        let sum = fnv1a_64_bytes(&nack[..body_end]);
+        nack[body_end..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&nack),
+            Err(DecodeError::BadReason(250))
+        ));
+    }
+
+    #[test]
+    fn nack_reasons_round_trip() {
+        for reason in [
+            NackReason::Shed,
+            NackReason::UnknownShard,
+            NackReason::UnknownSegment,
+            NackReason::Draining,
+            NackReason::Internal,
+        ] {
+            assert_eq!(NackReason::from_u8(reason.as_u8()), Some(reason));
+        }
+        assert_eq!(NackReason::from_u8(5), None);
+    }
+
+    #[test]
+    fn decode_errors_display_the_field() {
+        let e = DecodeError::Truncated {
+            field: "payload",
+            needed: 33,
+            got: 7,
+        };
+        assert!(e.to_string().contains("payload"));
+        let e = DecodeError::ChecksumMismatch {
+            expected: 1,
+            got: 2,
+        };
+        assert!(e.to_string().contains("checksum mismatch"));
+    }
+}

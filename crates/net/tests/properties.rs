@@ -1,0 +1,125 @@
+//! Property tests for the `mrnet 1` wire codec: every frame round-trips
+//! byte-exactly, every strict truncation is reported as the typed
+//! "read more" error, and any single bit-flip anywhere in a frame is
+//! rejected — the FNV-1a seal covers the kind and length bytes too, so
+//! there is no flippable bit the decoder trusts.
+
+use mobirescue_net::{Frame, MetricsReport, NackReason};
+use proptest::prelude::*;
+
+fn reason(byte: u8) -> NackReason {
+    NackReason::from_u8(byte % 5).expect("reasons 0..=4 are valid")
+}
+
+/// One frame of every kind, driven by the proptest-drawn scalars.
+fn sample_frame(kind: u8, a: u64, b: u64) -> Frame {
+    match kind % 5 {
+        0 => Frame::Request {
+            id: a,
+            shard: b as u32,
+            appear_s: (b >> 32) as u32,
+            segment: (a >> 32) as u32,
+        },
+        1 => Frame::Ack { id: a },
+        2 => Frame::Nack {
+            id: a,
+            reason: reason(b as u8),
+        },
+        3 => Frame::MetricsPull,
+        _ => Frame::Metrics(MetricsReport {
+            frames_decoded: a.wrapping_mul(3),
+            requests_acked: b,
+            sheds_nacked: a ^ b,
+            requests_rejected: a.wrapping_add(b),
+            connections_accepted: a,
+            i2d_count: b.wrapping_mul(5),
+            i2d_p50: a >> 7,
+            i2d_p99: b >> 3,
+            i2d_p999: a.rotate_left(13),
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// encode → decode is the identity, and `used` is exactly the
+    /// encoding's length even with trailing bytes in the buffer.
+    #[test]
+    fn every_frame_round_trips(kind in 0u8..5, a in any::<u64>(), b in any::<u64>(), trail in 0usize..16) {
+        let frame = sample_frame(kind, a, b);
+        let mut bytes = frame.encode();
+        let frame_len = bytes.len();
+        bytes.extend(std::iter::repeat_n(0xAAu8, trail));
+        let (decoded, used) = Frame::decode(&bytes).expect("well-formed frame decodes");
+        prop_assert_eq!(&decoded, &frame);
+        prop_assert_eq!(used, frame_len);
+    }
+
+    /// Every strict prefix of a frame is `Truncated` — the streaming
+    /// "read more" signal — never a hard protocol error, never a decode.
+    #[test]
+    fn every_truncation_is_typed(kind in 0u8..5, a in any::<u64>(), b in any::<u64>(), cut in 0usize..128) {
+        let bytes = sample_frame(kind, a, b).encode();
+        let cut = cut % bytes.len();
+        match Frame::decode(&bytes[..cut]) {
+            Err(e) => prop_assert!(
+                e.is_truncated(),
+                "prefix of {cut}/{} bytes gave non-truncation error {e}",
+                bytes.len()
+            ),
+            Ok((frame, _)) => prop_assert!(
+                false,
+                "prefix of {cut}/{} bytes decoded as {frame:?}",
+                bytes.len()
+            ),
+        }
+    }
+
+    /// Flipping any single bit anywhere in a sealed frame is rejected:
+    /// the checksum covers the kind and length header as well as the
+    /// payload, and the trailer bytes are the checksum itself.
+    #[test]
+    fn any_single_bit_flip_is_rejected(
+        kind in 0u8..5,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        pos in 0usize..128,
+        bit in 0u32..8,
+    ) {
+        let mut bytes = sample_frame(kind, a, b).encode();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1u8 << bit;
+        match Frame::decode(&bytes) {
+            Err(_) => {}
+            Ok((frame, _)) => prop_assert!(
+                false,
+                "flip of bit {bit} at byte {pos}/{} decoded as {frame:?}",
+                bytes.len()
+            ),
+        }
+    }
+
+    /// A bit-flip confined to the *payload* is always the checksum that
+    /// catches it — the header still parses, so the typed error must be
+    /// `ChecksumMismatch`, proving the seal (not a length accident) is
+    /// what rejects payload corruption.
+    #[test]
+    fn payload_corruption_is_caught_by_the_seal(
+        a in any::<u64>(),
+        b in any::<u64>(),
+        pos in 0usize..20,
+        bit in 0u32..8,
+    ) {
+        let frame = sample_frame(0, a, b); // Request: 20-byte payload
+        let mut bytes = frame.encode();
+        bytes[5 + pos] ^= 1u8 << bit;
+        match Frame::decode(&bytes) {
+            Err(mobirescue_net::DecodeError::ChecksumMismatch { .. }) => {}
+            other => prop_assert!(
+                false,
+                "payload flip of bit {bit} at offset {pos} gave {other:?}"
+            ),
+        }
+    }
+}

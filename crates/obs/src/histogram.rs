@@ -154,6 +154,11 @@ impl HistogramSnapshot {
         self.quantile(0.99)
     }
 
+    /// 99.9th percentile — the tail the serving SLOs gate on.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// The sparse one-line text form used by `mrobs 1`:
     /// `<count> <sum> <max> [<bucket>:<count> ...]` — only non-empty
     /// buckets are listed.
@@ -232,7 +237,37 @@ mod tests {
         // p95 → rank 10 → the max's bucket, clamped to max.
         assert_eq!(s.p95(), 60_000);
         assert_eq!(s.p99(), 60_000);
+        assert_eq!(s.p999(), 60_000);
         assert_eq!(s.quantile(0.01), 0);
+    }
+
+    #[test]
+    fn p999_separates_from_p99_at_bucket_boundaries() {
+        // 998 fast observations and 2 slow ones: the slow tail is 0.2% of
+        // the population, so p99 must stay in the fast bucket while p999
+        // (rank 999 of 1000) lands in the slow one.
+        let h = Histogram::new();
+        for _ in 0..998 {
+            h.record(1);
+        }
+        h.record(5_000);
+        h.record(6_000);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1_000);
+        assert_eq!(s.p99(), 1);
+        // Rank 999 falls in bucket 13 (4096..=8191), clamped to max.
+        assert_eq!(s.p999(), 6_000);
+        // Exactly at a bucket edge: a lone max at 2^k lives in bucket k+1
+        // whose upper bound exceeds it, so the clamp to max applies.
+        let h = Histogram::new();
+        for _ in 0..999 {
+            h.record(0);
+        }
+        h.record(1 << 12);
+        let s = h.snapshot();
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.p999(), 0, "rank 999 of 1000 is still the zero bucket");
+        assert_eq!(s.quantile(1.0), 1 << 12);
     }
 
     #[test]
@@ -261,7 +296,10 @@ mod tests {
     #[test]
     fn empty_snapshot_is_all_zero() {
         let s = HistogramSnapshot::empty();
-        assert_eq!((s.count(), s.p50(), s.p99(), s.max), (0, 0, 0, 0));
+        assert_eq!(
+            (s.count(), s.p50(), s.p99(), s.p999(), s.max),
+            (0, 0, 0, 0, 0)
+        );
         assert_eq!(s.mean(), 0.0);
     }
 }

@@ -156,7 +156,7 @@ impl ObsSnapshot {
     }
 
     /// A human-oriented table: one line per metric, histograms with
-    /// count/mean/p50/p95/p99/max. For operators, not machines.
+    /// count/mean/p50/p95/p99/p999/max. For operators, not machines.
     pub fn render_summary(&self) -> String {
         let mut out = String::new();
         for (name, value) in &self.counters {
@@ -168,12 +168,13 @@ impl ObsSnapshot {
         for (name, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "{name:<40} n={} mean={:.1} p50={} p95={} p99={} max={}",
+                "{name:<40} n={} mean={:.1} p50={} p95={} p99={} p999={} max={}",
                 h.count(),
                 h.mean(),
                 h.p50(),
                 h.p95(),
                 h.p99(),
+                h.p999(),
                 h.max
             );
         }
@@ -257,6 +258,7 @@ mod tests {
     fn summary_mentions_quantiles() {
         let s = sample().render_summary();
         assert!(s.contains("p95="), "{s}");
+        assert!(s.contains("p999="), "{s}");
         assert!(s.contains("serve.requests_accepted"), "{s}");
     }
 }

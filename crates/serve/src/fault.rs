@@ -55,6 +55,26 @@ pub enum ShardFault {
     Crash,
 }
 
+/// A fault applied by a misbehaving client to one frame offered over the
+/// TCP front door (`mobirescue-net`). The serve crate owns the schedule —
+/// like every other fault kind — and the network chaos harness applies it
+/// at the socket, so a front-door chaos run stays a pure function of its
+/// fault seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnFault {
+    /// The client writes part of a frame and disconnects. The listener
+    /// must treat the torso as a rejected frame, never as a request.
+    MidFrameDisconnect,
+    /// The frame arrives split across two writes with a pause in between
+    /// (a torn write). The listener must reassemble it and respond
+    /// normally — torn delivery is not data loss.
+    TornWrite,
+    /// The client trickles a partial frame header and then stalls
+    /// (slow-loris). The listener's frame deadline must close the
+    /// connection instead of pinning a handler thread forever.
+    SlowLoris,
+}
+
 /// How a submitted checkpoint is poisoned before it reaches the rollout
 /// pipeline's admission gate (a corrupted training job, a bad export, or
 /// an adversarially regressed policy).
@@ -117,6 +137,15 @@ pub struct FaultPlanConfig {
     /// How many rollout submissions get their policy checkpoint replaced
     /// with a poisoned one (kinds cycle NaN → wrong-dims → reward-tank).
     pub poisoned_checkpoints: u32,
+    /// Frame offers over the TCP front door covered by connection-fault
+    /// decisions; offers beyond the horizon are sent clean.
+    pub conn_horizon: usize,
+    /// Per-frame probability of [`ConnFault::MidFrameDisconnect`].
+    pub p_conn_disconnect: f64,
+    /// Per-frame probability of [`ConnFault::TornWrite`].
+    pub p_conn_torn: f64,
+    /// Per-frame probability of [`ConnFault::SlowLoris`].
+    pub p_conn_slowloris: f64,
 }
 
 impl FaultPlanConfig {
@@ -138,6 +167,23 @@ impl FaultPlanConfig {
             stall_ms: 50,
             snapshot_corruptions: 0,
             poisoned_checkpoints: 0,
+            conn_horizon: 0,
+            p_conn_disconnect: 0.0,
+            p_conn_torn: 0.0,
+            p_conn_slowloris: 0.0,
+        }
+    }
+
+    /// The front-door chaos mix: connection faults armed on top of the
+    /// standard [`FaultPlanConfig::chaos`] schedule. The network chaos
+    /// harness uses this; in-process chaos keeps `conn_horizon == 0`.
+    pub fn net_chaos(epochs: u32, num_shards: usize) -> Self {
+        Self {
+            conn_horizon: 192,
+            p_conn_disconnect: 0.08,
+            p_conn_torn: 0.10,
+            p_conn_slowloris: 0.05,
+            ..Self::chaos(epochs, num_shards)
         }
     }
 
@@ -158,6 +204,10 @@ impl FaultPlanConfig {
             stall_ms: 0,
             snapshot_corruptions: 0,
             poisoned_checkpoints: 0,
+            conn_horizon: 0,
+            p_conn_disconnect: 0.0,
+            p_conn_torn: 0.0,
+            p_conn_slowloris: 0.0,
         }
     }
 }
@@ -178,6 +228,8 @@ pub struct ScheduledFaults {
     pub snapshot_corruptions: usize,
     /// Scheduled checkpoint poisonings.
     pub poisoned_checkpoints: usize,
+    /// Front-door frame offers with a connection-fault decision.
+    pub conn: usize,
 }
 
 impl ScheduledFaults {
@@ -189,6 +241,7 @@ impl ScheduledFaults {
             + self.swap_fails
             + self.snapshot_corruptions
             + self.poisoned_checkpoints
+            + self.conn
             > 0
     }
 }
@@ -201,6 +254,7 @@ pub struct FaultPlan {
     swap_fail: BTreeSet<(u32, usize)>,
     snapshot: Vec<SnapshotCorruption>,
     poison: Vec<CheckpointPoison>,
+    conn: Vec<Option<ConnFault>>,
 }
 
 impl FaultPlan {
@@ -269,12 +323,33 @@ impl FaultPlan {
                 _ => CheckpointPoison::RewardTank,
             })
             .collect();
+        // Connection faults draw last for the same reason: arming the
+        // front door must leave a seed's in-process schedule untouched.
+        let conn = (0..cfg.conn_horizon)
+            .map(|_| {
+                let roll: f64 = rng.random();
+                let mut acc = cfg.p_conn_disconnect;
+                if roll < acc {
+                    return Some(ConnFault::MidFrameDisconnect);
+                }
+                acc += cfg.p_conn_torn;
+                if roll < acc {
+                    return Some(ConnFault::TornWrite);
+                }
+                acc += cfg.p_conn_slowloris;
+                if roll < acc {
+                    return Some(ConnFault::SlowLoris);
+                }
+                None
+            })
+            .collect();
         Self {
             ingest,
             shard,
             swap_fail,
             snapshot,
             poison,
+            conn,
         }
     }
 
@@ -319,6 +394,16 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules `fault` for the `offer_index`-th frame sent over the
+    /// front door.
+    pub fn with_conn_fault(mut self, offer_index: usize, fault: ConnFault) -> Self {
+        if self.conn.len() <= offer_index {
+            self.conn.resize(offer_index + 1, None);
+        }
+        self.conn[offer_index] = Some(fault);
+        self
+    }
+
     /// What the plan has scheduled, by kind.
     pub fn scheduled(&self) -> ScheduledFaults {
         ScheduledFaults {
@@ -336,6 +421,7 @@ impl FaultPlan {
             swap_fails: self.swap_fail.len(),
             snapshot_corruptions: self.snapshot.len(),
             poisoned_checkpoints: self.poison.len(),
+            conn: self.conn.iter().filter(|f| f.is_some()).count(),
         }
     }
 }
@@ -370,6 +456,12 @@ pub struct FaultCounters {
     pub snapshot_corruptions: u64,
     /// Rollout submissions whose checkpoint was poisoned.
     pub poisoned_checkpoints: u64,
+    /// Mid-frame disconnects fired at the front door.
+    pub conn_disconnects: u64,
+    /// Torn writes fired at the front door.
+    pub conn_torn_writes: u64,
+    /// Slow-loris stalls fired at the front door.
+    pub conn_slow_loris: u64,
 }
 
 impl FaultCounters {
@@ -390,6 +482,9 @@ impl FaultCounters {
             + self.swap_fails
             + self.snapshot_corruptions
             + self.poisoned_checkpoints
+            + self.conn_disconnects
+            + self.conn_torn_writes
+            + self.conn_slow_loris
             > 0
     }
 }
@@ -403,8 +498,10 @@ pub struct FaultInjector {
     swap_fail: Mutex<BTreeSet<(u32, usize)>>,
     snapshot: Mutex<VecDeque<SnapshotCorruption>>,
     poison: Mutex<VecDeque<CheckpointPoison>>,
+    conn: Vec<Option<ConnFault>>,
     scheduled: ScheduledFaults,
     offer_idx: AtomicUsize,
+    conn_offer_idx: AtomicUsize,
     c_offers: AtomicU64,
     c_drops: AtomicU64,
     c_delays: AtomicU64,
@@ -416,6 +513,9 @@ pub struct FaultInjector {
     c_swap_fails: AtomicU64,
     c_snapshot_corruptions: AtomicU64,
     c_poisoned_checkpoints: AtomicU64,
+    c_conn_disconnects: AtomicU64,
+    c_conn_torn_writes: AtomicU64,
+    c_conn_slow_loris: AtomicU64,
 }
 
 impl FaultInjector {
@@ -428,8 +528,10 @@ impl FaultInjector {
             swap_fail: Mutex::new(plan.swap_fail),
             snapshot: Mutex::new(plan.snapshot.into()),
             poison: Mutex::new(plan.poison.into()),
+            conn: plan.conn,
             scheduled,
             offer_idx: AtomicUsize::new(0),
+            conn_offer_idx: AtomicUsize::new(0),
             c_offers: AtomicU64::new(0),
             c_drops: AtomicU64::new(0),
             c_delays: AtomicU64::new(0),
@@ -441,6 +543,9 @@ impl FaultInjector {
             c_swap_fails: AtomicU64::new(0),
             c_snapshot_corruptions: AtomicU64::new(0),
             c_poisoned_checkpoints: AtomicU64::new(0),
+            c_conn_disconnects: AtomicU64::new(0),
+            c_conn_torn_writes: AtomicU64::new(0),
+            c_conn_slow_loris: AtomicU64::new(0),
         }
     }
 
@@ -476,6 +581,28 @@ impl FaultInjector {
             }
             Some(IngestFault::Corrupt) => {
                 self.c_corrupts.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {}
+        }
+        fault
+    }
+
+    /// The fault (if any) for the next frame offered over the front door.
+    /// Consumes the offer index and counts the fired fault. Connection
+    /// offers advance independently of ingest offers: the front-door
+    /// harness perturbs the wire without shifting the in-process schedule.
+    pub fn next_conn_fault(&self) -> Option<ConnFault> {
+        let idx = self.conn_offer_idx.fetch_add(1, Ordering::Relaxed);
+        let fault = self.conn.get(idx).copied().flatten();
+        match fault {
+            Some(ConnFault::MidFrameDisconnect) => {
+                self.c_conn_disconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(ConnFault::TornWrite) => {
+                self.c_conn_torn_writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(ConnFault::SlowLoris) => {
+                self.c_conn_slow_loris.fetch_add(1, Ordering::Relaxed);
             }
             None => {}
         }
@@ -548,6 +675,9 @@ impl FaultInjector {
             swap_fails: self.c_swap_fails.load(Ordering::Relaxed),
             snapshot_corruptions: self.c_snapshot_corruptions.load(Ordering::Relaxed),
             poisoned_checkpoints: self.c_poisoned_checkpoints.load(Ordering::Relaxed),
+            conn_disconnects: self.c_conn_disconnects.load(Ordering::Relaxed),
+            conn_torn_writes: self.c_conn_torn_writes.load(Ordering::Relaxed),
+            conn_slow_loris: self.c_conn_slow_loris.load(Ordering::Relaxed),
         }
     }
 }
@@ -710,6 +840,48 @@ mod tests {
                 CheckpointPoison::NanWeights,
             ]
         );
+    }
+
+    #[test]
+    fn conn_faults_consume_one_shot_with_their_own_index() {
+        let plan = FaultPlan::empty()
+            .with_conn_fault(1, ConnFault::TornWrite)
+            .with_conn_fault(2, ConnFault::MidFrameDisconnect)
+            .with_conn_fault(3, ConnFault::SlowLoris)
+            .with_ingest_fault(0, IngestFault::Drop);
+        assert_eq!(plan.scheduled().conn, 3);
+        assert!(plan.scheduled().any());
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.next_conn_fault(), None);
+        assert_eq!(inj.next_conn_fault(), Some(ConnFault::TornWrite));
+        assert_eq!(inj.next_conn_fault(), Some(ConnFault::MidFrameDisconnect));
+        assert_eq!(inj.next_conn_fault(), Some(ConnFault::SlowLoris));
+        assert_eq!(inj.next_conn_fault(), None, "beyond the horizon");
+        // The conn index did not consume the ingest schedule.
+        assert_eq!(inj.next_ingest_fault(), Some(IngestFault::Drop));
+        let c = inj.counters();
+        assert_eq!(c.conn_disconnects, 1);
+        assert_eq!(c.conn_torn_writes, 1);
+        assert_eq!(c.conn_slow_loris, 1);
+        assert!(c.any());
+    }
+
+    #[test]
+    fn conn_draws_leave_seeded_plans_untouched() {
+        // Arming the front door must not perturb the in-process schedule a
+        // seed already draws — conn faults are drawn after everything else.
+        let base_cfg = FaultPlanConfig::chaos(6, 2);
+        let with_conn = FaultPlanConfig::net_chaos(6, 2);
+        let a = FaultPlan::generate(7, &base_cfg);
+        let b = FaultPlan::generate(7, &with_conn);
+        assert_eq!(a.ingest, b.ingest, "conn draws must not perturb ingest");
+        assert_eq!(a.shard, b.shard);
+        assert_eq!(a.swap_fail, b.swap_fail);
+        assert_eq!(a.scheduled().conn, 0);
+        assert!(b.scheduled().conn > 0, "net chaos schedules conn faults");
+        // And the conn schedule itself is deterministic per seed.
+        let c = FaultPlan::generate(7, &with_conn);
+        assert_eq!(b.conn, c.conn);
     }
 
     #[test]

@@ -67,8 +67,9 @@ pub use clock::{Clock, ClockTimeSource, SimClock, WallClock};
 pub use error::ServeError;
 pub use event::Event;
 pub use fault::{
-    poisoned_policy_text, reward_tank_policy_text, CheckpointPoison, FaultCounters, FaultInjector,
-    FaultPlan, FaultPlanConfig, IngestFault, ScheduledFaults, ShardFault, SnapshotCorruption,
+    poisoned_policy_text, reward_tank_policy_text, CheckpointPoison, ConnFault, FaultCounters,
+    FaultInjector, FaultPlan, FaultPlanConfig, IngestFault, ScheduledFaults, ShardFault,
+    SnapshotCorruption,
 };
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardMetrics, LATENCY_BOUNDS_MS};
 pub use mobirescue_obs as obs;

@@ -30,7 +30,7 @@ use std::collections::{HashMap, VecDeque};
 
 mod snapshot;
 
-pub use snapshot::{fnv1a_64, open_snapshot, seal_snapshot};
+pub use snapshot::{fnv1a_64, fnv1a_64_bytes, open_snapshot, seal_snapshot};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mission {

@@ -29,8 +29,15 @@ fn bad(why: impl Into<String>) -> WorldError {
 /// FNV-1a 64-bit hash of `text` — the workspace's snapshot integrity
 /// checksum. Dependency-free and byte-stable across platforms.
 pub fn fnv1a_64(text: &str) -> u64 {
+    fnv1a_64_bytes(text.as_bytes())
+}
+
+/// FNV-1a 64-bit over raw bytes — the binary-payload variant of
+/// [`fnv1a_64`], used by the `mrnet 1` wire frames where the checksummed
+/// content is not UTF-8 text.
+pub fn fnv1a_64_bytes(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in text.bytes() {
+    for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }

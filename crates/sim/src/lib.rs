@@ -27,8 +27,8 @@ pub mod types;
 
 pub use dispatcher::{DispatchState, Dispatcher, NearestRequestDispatcher};
 pub use engine::{
-    fnv1a_64, open_snapshot, run, seal_snapshot, EpochReport, SimOutcome, World, WorldError,
-    WorldPhases,
+    fnv1a_64, fnv1a_64_bytes, open_snapshot, run, seal_snapshot, EpochReport, SimOutcome, World,
+    WorldError, WorldPhases,
 };
 pub use types::{
     DispatchPlan, Order, RequestId, RequestOutcome, RequestSpec, RequestView, SimConfig, TeamId,

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Bench-regression gate: re-runs the per-epoch routing benchmark and
-# compares it against the committed baseline BENCH_routing.json.
+# Bench-regression gate: re-runs the per-epoch routing benchmark and the
+# TCP serving load test, comparing both against their committed
+# baselines (BENCH_routing.json, BENCH_serve.json).
 #
-#   scripts/check_bench.sh              # gate against BENCH_routing.json
+#   scripts/check_bench.sh              # gate against both baselines
 #   MAX_SLOWDOWN_PCT=40 scripts/check_bench.sh   # loosen the timing gate
+#   SERVE_GATE=0 scripts/check_bench.sh          # routing gate only
 #
-# Fails (non-zero exit) when either:
+# The routing gate fails (non-zero exit) when either:
 #   * the `checksum` differs from the baseline — the routing *results*
 #     changed, which is never acceptable from a perf-only change; or
 #   * `cached_single_thread` per-epoch time regressed more than
@@ -15,9 +17,21 @@
 #     BENCH_RUNS (default 3) full benchmark runs — the minimum is far
 #     more stable against scheduler noise than any single run.
 #
-# To re-bless the baseline after an intentional routing change:
+# The serving gate boots `serve --listen` on an ephemeral port, replays
+# the mined request stream through `loadgen` at the baseline's nominal
+# rate, and fails when either:
+#   * the client-observed p99 request→ACK latency exceeds the SLO the
+#     baseline itself declares in `p99_slo_ms` (override with
+#     SERVE_P99_SLO_MS); or
+#   * the shed rate exceeds the baseline's `max_shed_pct` ceiling
+#     (override with SERVE_MAX_SHED_PCT); or
+#   * either process exits non-zero — a hung drain is a failure, not a
+#     timeout to shrug at.
+#
+# To re-bless the baselines after an intentional change:
 #
 #   scripts/bench_routing.sh            # rewrites BENCH_routing.json
+#   scripts/loadgen_smoke.sh --bless    # rewrites BENCH_serve.json
 #
 # and commit the new baseline together with the change and a rationale
 # (in particular, explain any checksum change — it means different
@@ -85,6 +99,86 @@ if ! awk -v new="$new_ms" -v base="$base_ms" -v pct="$MAX_SLOWDOWN_PCT" \
         'BEGIN { exit !(new <= base * (1 + pct / 100)) }'; then
     echo "FAIL: cached_single_thread regressed more than ${MAX_SLOWDOWN_PCT}% vs baseline" >&2
     failures=$((failures + 1))
+fi
+
+# ---------------------------------------------------------------------
+# Serving SLO gate: serve --listen + loadgen against BENCH_serve.json.
+# ---------------------------------------------------------------------
+
+SERVE_BASELINE="BENCH_serve.json"
+if [[ "${SERVE_GATE:-1}" != "0" ]]; then
+    if [[ ! -f "$SERVE_BASELINE" ]]; then
+        echo "check_bench: no baseline $SERVE_BASELINE; run scripts/loadgen_smoke.sh --bless" >&2
+        exit 1
+    fi
+    slo_ms="${SERVE_P99_SLO_MS:-$(field "$SERVE_BASELINE" p99_slo_ms)}"
+    max_shed="${SERVE_MAX_SHED_PCT:-$(field "$SERVE_BASELINE" max_shed_pct)}"
+    rate="$(field "$SERVE_BASELINE" target_rps)"
+    duration="$(field "$SERVE_BASELINE" duration_ms)"
+    if [[ -z "$slo_ms" || -z "$max_shed" || -z "$rate" || -z "$duration" ]]; then
+        echo "check_bench: $SERVE_BASELINE is missing p99_slo_ms/max_shed_pct/target_rps/duration_ms;" >&2
+        echo "             re-bless it with scripts/loadgen_smoke.sh --bless" >&2
+        exit 1
+    fi
+
+    echo "==> cargo build --release -p mobirescue-net --bin serve -p mobirescue-bench --bin loadgen"
+    cargo build --release -q -p mobirescue-net --bin serve -p mobirescue-bench --bin loadgen
+
+    serve_log="$(mktemp)"
+    fresh_serve="$(mktemp)"
+    trap 'rm -f "$fresh" "$serve_log" "$fresh_serve"' EXIT
+    echo "==> serve --listen 127.0.0.1:0 (small scenario)"
+    ./target/release/serve --listen 127.0.0.1:0 --epochs 250 --period-ms 100 --quiet \
+        > "$serve_log" 2>&1 &
+    serve_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^listening on //p' "$serve_log")"
+        [[ -n "$addr" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$addr" ]]; then
+        echo "FAIL: serve never printed its listen address" >&2
+        cat "$serve_log" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+
+    echo "==> loadgen --addr $addr --rate $rate --duration-ms $duration"
+    if ! ./target/release/loadgen --addr "$addr" --rate "$rate" \
+            --duration-ms "$duration" --quiet > "$fresh_serve"; then
+        echo "FAIL: loadgen exited non-zero" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    if ! wait "$serve_pid"; then
+        echo "FAIL: serve exited non-zero" >&2
+        cat "$serve_log" >&2
+        exit 1
+    fi
+
+    p99="$(field "$fresh_serve" rtt_p99_ms)"
+    shed="$(field "$fresh_serve" shed_rate_pct)"
+    sent="$(field "$fresh_serve" sent)"
+    lost="$(field "$fresh_serve" lost)"
+    echo "serve: sent $sent, lost $lost, p99 ${p99}ms (SLO ${slo_ms}ms), shed ${shed}% (cap ${max_shed}%)"
+    if [[ -z "$p99" || -z "$shed" ]]; then
+        echo "FAIL: loadgen report is missing rtt_p99_ms/shed_rate_pct" >&2
+        failures=$((failures + 1))
+    else
+        if ! awk -v v="$p99" -v cap="$slo_ms" 'BEGIN { exit !(v <= cap) }'; then
+            echo "FAIL: p99 request latency ${p99}ms exceeds the ${slo_ms}ms SLO" >&2
+            failures=$((failures + 1))
+        fi
+        if ! awk -v v="$shed" -v cap="$max_shed" 'BEGIN { exit !(v <= cap) }'; then
+            echo "FAIL: shed rate ${shed}% exceeds the ${max_shed}% ceiling" >&2
+            failures=$((failures + 1))
+        fi
+        if [[ "$lost" != "0" ]]; then
+            echo "FAIL: $lost request(s) were never answered" >&2
+            failures=$((failures + 1))
+        fi
+    fi
 fi
 
 if [[ "$failures" -gt 0 ]]; then

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Loadgen smoke: boots `serve --listen` on an ephemeral port, replays a
+# ramp-profile load through `loadgen`, and asserts the report is sane —
+# every request accounted for, nothing lost, both processes exiting 0.
+# This is the CI proof that the TCP front door actually serves traffic,
+# independent of the SLO numbers the bench gate enforces.
+#
+#   scripts/loadgen_smoke.sh            # ramp-profile smoke run
+#   scripts/loadgen_smoke.sh --bless    # regenerate BENCH_serve.json
+#
+# --bless runs the open-loop baseline shape (the one check_bench.sh
+# replays) and rewrites BENCH_serve.json; commit the new baseline with a
+# rationale.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BLESS=0
+if [[ "${1:-}" == "--bless" ]]; then
+    BLESS=1
+fi
+
+echo "==> cargo build --release -p mobirescue-net --bin serve -p mobirescue-bench --bin loadgen"
+cargo build --release -q -p mobirescue-net --bin serve -p mobirescue-bench --bin loadgen
+
+serve_log="$(mktemp)"
+report="$(mktemp)"
+trap 'rm -f "$serve_log" "$report"' EXIT
+
+echo "==> serve --listen 127.0.0.1:0 (small scenario)"
+./target/release/serve --listen 127.0.0.1:0 --epochs 250 --period-ms 100 --quiet \
+    > "$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$serve_log")"
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+    echo "loadgen_smoke: serve never printed its listen address" >&2
+    cat "$serve_log" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+
+if [[ "$BLESS" == "1" ]]; then
+    echo "==> loadgen (open profile, blessing BENCH_serve.json)"
+    ./target/release/loadgen --addr "$addr" --profile open --rate 200 \
+        --duration-ms 5000 --slo-ms 250 --max-shed-pct 5 \
+        --out BENCH_serve.json --quiet > "$report"
+else
+    echo "==> loadgen (ramp profile)"
+    ./target/release/loadgen --addr "$addr" --profile ramp --rate 150 \
+        --duration-ms 3000 --quiet > "$report"
+fi
+wait "$serve_pid" || {
+    echo "loadgen_smoke: serve exited non-zero" >&2
+    cat "$serve_log" >&2
+    exit 1
+}
+
+field() { # field KEY
+    sed -n "s/^.*\"$1\": \([0-9.]*\).*$/\1/p" "$report" | head -n 1
+}
+
+sent="$(field sent)"
+acked="$(field acked)"
+nacked_shed="$(field nacked_shed)"
+nacked_invalid="$(field nacked_invalid)"
+lost="$(field lost)"
+echo "report: sent $sent, acked $acked, shed $nacked_shed, invalid $nacked_invalid, lost $lost"
+
+failures=0
+if [[ -z "$sent" || "$sent" -eq 0 ]]; then
+    echo "FAIL: no requests were sent" >&2
+    failures=$((failures + 1))
+fi
+if [[ "$lost" != "0" ]]; then
+    echo "FAIL: $lost request(s) were never answered" >&2
+    failures=$((failures + 1))
+fi
+if [[ "$((acked + nacked_shed + nacked_invalid + lost))" != "$sent" ]]; then
+    echo "FAIL: replies don't account for every send" >&2
+    failures=$((failures + 1))
+fi
+if [[ "$nacked_invalid" != "0" ]]; then
+    echo "FAIL: the mined stream produced $nacked_invalid invalid request(s)" >&2
+    failures=$((failures + 1))
+fi
+
+if [[ "$failures" -gt 0 ]]; then
+    echo "loadgen_smoke: $failures failure(s)" >&2
+    exit 1
+fi
+if [[ "$BLESS" == "1" ]]; then
+    echo "loadgen_smoke: blessed BENCH_serve.json"
+fi
+echo "loadgen_smoke: OK"

@@ -35,6 +35,8 @@ run_step "tier-1 build" cargo build --release
 run_step "tier-1 tests" cargo test -q
 run_step "chaos suite" cargo test -q --test chaos
 run_step "rollout chaos suite" cargo test -q --test rollout_chaos
+run_step "net chaos suite" cargo test -q --test net_chaos
+run_step "net crate tests" cargo test -q -p mobirescue-net
 
 if [[ "${1:-}" == "--full" ]]; then
     run_step "full workspace tests" cargo test --workspace --release -q

@@ -2,9 +2,10 @@
 //!
 //! The build environment has no YAML parser crate, so this validates the
 //! subset of YAML that workflow files actually use: indentation-scoped
-//! mappings with no tabs. It pins the structure CI depends on — both jobs
-//! exist, run the gate scripts, and cache `target/` keyed on `Cargo.lock` —
-//! so an edit that breaks the pipeline fails locally, not on the runner.
+//! mappings with no tabs. It pins the structure CI depends on — all three
+//! jobs exist, run the gate scripts, and cache `target/` keyed on
+//! `Cargo.lock` — so an edit that breaks the pipeline fails locally, not
+//! on the runner.
 
 use std::path::Path;
 
@@ -73,20 +74,20 @@ fn workflow_triggers_on_push_and_pull_request() {
 }
 
 #[test]
-fn both_jobs_run_their_gate_scripts_on_a_runner() {
+fn all_jobs_run_their_gate_scripts_on_a_runner() {
     let text = workflow();
     assert!(has_key_at(&text, 0, "jobs"), "missing top-level jobs:");
-    for job in ["verify", "bench-smoke"] {
+    for job in ["verify", "bench-smoke", "loadgen-smoke"] {
         assert!(has_key_at(&text, 2, job), "missing job {job}");
     }
     assert_eq!(
         text.matches("runs-on:").count(),
-        2,
+        3,
         "every job needs a runs-on"
     );
     assert_eq!(
         text.matches("uses: actions/checkout@").count(),
-        2,
+        3,
         "every job checks out the repo"
     );
     assert!(
@@ -97,24 +98,28 @@ fn both_jobs_run_their_gate_scripts_on_a_runner() {
         text.contains("scripts/check_bench.sh"),
         "bench-smoke job must run scripts/check_bench.sh"
     );
+    assert!(
+        text.contains("run: scripts/loadgen_smoke.sh"),
+        "loadgen-smoke job must run scripts/loadgen_smoke.sh"
+    );
 }
 
 #[test]
-fn both_jobs_cache_target_keyed_on_the_lockfile() {
+fn all_jobs_cache_target_keyed_on_the_lockfile() {
     let text = workflow();
     assert_eq!(
         text.matches("uses: actions/cache@").count(),
-        2,
+        3,
         "every job caches the build"
     );
     assert_eq!(
         text.matches("hashFiles('Cargo.lock')").count(),
-        2,
+        3,
         "cache keys must invalidate when Cargo.lock changes"
     );
     // `target` appears in each job's cached-path block.
     assert!(
-        text.lines().filter(|l| l.trim() == "target").count() >= 2,
-        "both caches must include target/"
+        text.lines().filter(|l| l.trim() == "target").count() >= 3,
+        "every cache must include target/"
     );
 }
