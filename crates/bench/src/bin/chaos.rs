@@ -9,14 +9,17 @@
 //!
 //! Sweeps N seeded fault plans through `mobirescue_serve::chaos::run_chaos`
 //! (drop/delay/duplicate/corrupt ingestion, shard stalls and crashes,
-//! failed hot-swaps), then runs the crash-replay masking check and the
+//! failed hot-swaps), then runs the crash-replay masking check, the
 //! poisoned-checkpoint rollout sweep (NaN weights, wrong dims, and a
-//! reward-tanking policy against the guarded promotion pipeline). Exits
-//! non-zero if any seed breaks an invariant — pipe the output into
+//! reward-tanking policy against the guarded promotion pipeline), and the
+//! trainer fault sweep (transition drops, stale-candidate floods, and
+//! boundary crashes against the online training loop). Exits non-zero if
+//! any seed breaks an invariant — pipe the output into
 //! `robustness_serve.txt` via `scripts/chaos.sh`.
 
 use mobirescue_serve::chaos::{
-    crash_replay_divergence, rollout_chaos_divergence, run_chaos, ChaosOptions, RolloutChaosOptions,
+    crash_replay_divergence, rollout_chaos_divergence, run_chaos, trainer_chaos_divergence,
+    ChaosOptions, RolloutChaosOptions, TrainerChaosOptions,
 };
 
 fn main() {
@@ -90,6 +93,29 @@ fn main() {
         match rollout_chaos_divergence(seed, &opts) {
             Ok(divergences) if divergences.is_empty() => {
                 println!("  seed {seed:>4}: poisoned twin bit-identical to clean run -> OK");
+            }
+            Ok(divergences) => {
+                println!("  seed {seed:>4}: VIOLATED -> FAIL");
+                for d in &divergences {
+                    println!("    {d}");
+                }
+                failures += 1;
+            }
+            Err(e) => {
+                println!("  seed {seed:>4}: service error: {e} -> FAIL");
+                failures += 1;
+            }
+        }
+    }
+
+    println!("trainer chaos (drops, stale floods, boundary crashes vs the learning loop):");
+    for seed in base_seed..base_seed + seeds.min(5) {
+        let opts = TrainerChaosOptions::standard(shards);
+        match trainer_chaos_divergence(seed, &opts) {
+            Ok(divergences) if divergences.is_empty() => {
+                println!(
+                    "  seed {seed:>4}: conservation held, floods blocked, crash twin bit-identical -> OK"
+                );
             }
             Ok(divergences) => {
                 println!("  seed {seed:>4}: VIOLATED -> FAIL");

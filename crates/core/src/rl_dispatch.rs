@@ -129,6 +129,11 @@ pub struct MobiRescueDispatcher<'a> {
     predictor: Option<RequestPredictor>,
     policy: QScore,
     training: bool,
+    /// Emit `(features, reward, next_candidates)` transitions into
+    /// [`MobiRescueDispatcher::take_tapped_transitions`] without touching
+    /// the policy — the serve-layer trainer's feed from frozen dispatchers.
+    tap: bool,
+    tapped: Vec<PairTransition>,
     /// Zone anchors' positions (`None` for empty zones).
     anchor_pos: Vec<Option<GeoPoint>>,
     /// Normalization scale for distances (city diameter, meters).
@@ -182,6 +187,8 @@ impl<'a> MobiRescueDispatcher<'a> {
             predictor,
             policy,
             training: true,
+            tap: false,
+            tapped: Vec::new(),
             anchor_pos,
             diameter_m,
             cached_pred_hour: None,
@@ -216,6 +223,29 @@ impl<'a> MobiRescueDispatcher<'a> {
     /// Whether online training is active.
     pub fn is_training(&self) -> bool {
         self.training
+    }
+
+    /// Turns the transition tap on or off. While on, every round's online
+    /// Equation-5 transitions are buffered for
+    /// [`MobiRescueDispatcher::take_tapped_transitions`] — *without*
+    /// changing action selection or the policy, so a frozen dispatcher
+    /// behaves bit-identically to an untapped one.
+    pub fn set_transition_tap(&mut self, tap: bool) {
+        self.tap = tap;
+        if !tap {
+            self.tapped.clear();
+        }
+    }
+
+    /// Whether the transition tap is on.
+    pub fn is_tapping(&self) -> bool {
+        self.tap
+    }
+
+    /// Drains the transitions buffered since the last call (insertion
+    /// order: round by round, team by team).
+    pub fn take_tapped_transitions(&mut self) -> Vec<PairTransition> {
+        std::mem::take(&mut self.tapped)
     }
 
     /// The zone map in use.
@@ -285,6 +315,7 @@ impl<'a> MobiRescueDispatcher<'a> {
         self.prev = None;
         self.cached_pred_hour = None;
         self.episode_reward = 0.0;
+        self.tapped.clear();
     }
 
     /// Per-segment demand: live waiting requests plus weighted SVM
@@ -407,7 +438,7 @@ impl Dispatcher for MobiRescueDispatcher<'_> {
         let now_waiting: HashSet<RequestId> = state.waiting.iter().map(|r| r.id).collect();
 
         // Online Equation-5 reward for the previous round.
-        if self.training {
+        if self.training || self.tap {
             if let Some(prev) = self.prev.take() {
                 let served = prev
                     .waiting_ids
@@ -451,16 +482,23 @@ impl Dispatcher for MobiRescueDispatcher<'_> {
                         next_candidates.truncate(MAX_STORED_CANDIDATES - 1);
                         next_candidates.push(standby);
                     }
-                    self.observed += 1;
                     let t = PairTransition {
                         features: d.features,
                         reward,
                         next_candidates,
                     };
-                    if self.observed.is_multiple_of(self.config.learn_every) {
-                        let _ = self.policy.observe(t);
-                    } else {
-                        self.policy.store(t);
+                    if self.training {
+                        if self.tap {
+                            self.tapped.push(t.clone());
+                        }
+                        self.observed += 1;
+                        if self.observed.is_multiple_of(self.config.learn_every) {
+                            let _ = self.policy.observe(t);
+                        } else {
+                            self.policy.store(t);
+                        }
+                    } else if self.tap {
+                        self.tapped.push(t);
                     }
                 }
             }
@@ -509,7 +547,7 @@ impl Dispatcher for MobiRescueDispatcher<'_> {
             decisions.push(decision);
         }
 
-        if self.training {
+        if self.training || self.tap {
             self.prev = Some(PrevRound {
                 decisions,
                 waiting_ids: now_waiting,
@@ -656,6 +694,53 @@ mod tests {
             d.policy().q(&go),
             d.policy().q(&stay)
         );
+    }
+
+    #[test]
+    fn tap_on_a_frozen_dispatcher_yields_transitions_without_changing_dispatch() {
+        let scenario = florence();
+        let requests: Vec<RequestSpec> = (0..12)
+            .map(|i| RequestSpec {
+                appear_s: i * 200,
+                segment: SegmentId(i * 9),
+            })
+            .collect();
+        let cfg = SimConfig::small(24);
+        let run = |tap: bool| {
+            let mut d = MobiRescueDispatcher::new(
+                &scenario,
+                None,
+                RlDispatchConfig {
+                    seed: 3,
+                    ..Default::default()
+                },
+            );
+            d.set_training(false);
+            d.set_transition_tap(tap);
+            let outcome = mobirescue_sim::run(
+                &scenario.city,
+                &scenario.conditions,
+                &requests,
+                &mut d,
+                &cfg,
+            );
+            let transitions = d.take_tapped_transitions();
+            (outcome, transitions, d.policy().learn_steps())
+        };
+        let (tapped_outcome, transitions, learned) = run(true);
+        let (clean_outcome, none, _) = run(false);
+        assert_eq!(
+            tapped_outcome.requests, clean_outcome.requests,
+            "the tap must not perturb dispatch"
+        );
+        assert!(!transitions.is_empty(), "tap captured nothing");
+        assert!(none.is_empty(), "untapped run must capture nothing");
+        assert_eq!(learned, 0, "a frozen dispatcher must never learn");
+        for t in &transitions {
+            assert_eq!(t.features.len(), FEATURE_DIM);
+            assert!(t.reward.is_finite());
+            assert!(t.next_candidates.iter().all(|c| c.len() == FEATURE_DIM));
+        }
     }
 
     #[test]

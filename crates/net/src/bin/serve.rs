@@ -24,6 +24,15 @@
 //! bin in `mobirescue-bench`), dispatch epochs tick at `--period-ms`, and
 //! overload surfaces to clients as NACK frames. Exits 0 after `--epochs`
 //! epochs with a graceful drain.
+//!
+//! **Train mode** (`--train`) closes the learning loop on an accelerated
+//! simulated clock: the shards tap their dispatch transitions into the
+//! background DQN trainer, the trainer periodically emits candidate
+//! checkpoints into the guarded rollout pipeline, the service snapshots
+//! and restores mid-run with the trainer's replay buffer and optimizer
+//! state intact, and the run exits 0 only if at least one self-trained
+//! candidate was submitted, the transition-conservation invariant held,
+//! and the `train.*` metrics are live.
 
 use mobirescue_core::predictor::{PredictorConfig, RequestPredictor};
 use mobirescue_core::rl_dispatch::{RlDispatchConfig, FEATURE_DIM};
@@ -34,7 +43,8 @@ use mobirescue_rl::persist::mlp_to_text;
 use mobirescue_roadnet::graph::SegmentId;
 use mobirescue_serve::{
     CheckpointPoison, Clock, DispatchService, EpochScheduler, Event, FaultInjector, FaultPlan,
-    ModelRegistry, RolloutConfig, RolloutError, ServeConfig, ServeError, SimClock, WallClock,
+    ModelRegistry, RolloutConfig, RolloutError, ServeConfig, ServeError, SimClock, TrainerConfig,
+    WallClock,
 };
 use mobirescue_sim::{RequestSpec, SimConfig};
 use std::io::Write as _;
@@ -53,12 +63,16 @@ Modes:
   (default)            run the accelerated end-to-end serving demo
   --listen ADDR        serve the mrnet 1 TCP front door on ADDR
                        (e.g. 127.0.0.1:0 to pick an ephemeral port)
+  --train              run the accelerated online-training demo: shards
+                       feed the background DQN trainer, whose candidates
+                       enter the guarded rollout pipeline
 
-Listen-mode options:
+Listen/train-mode options:
   --scenario NAME      world to serve: small | medium | charlotte (default: small)
   --shards N           city shards (default: 2)
   --epochs N           dispatch epochs before draining (default: 60)
-  --period-ms MS       wall-clock milliseconds per dispatch epoch (default: 100)
+  --period-ms MS       wall-clock milliseconds per dispatch epoch
+                       (default: 100; listen mode only)
   --queue-capacity N   per-shard request queue capacity (default: 1024)
   --quiet              suppress per-epoch output
 
@@ -71,6 +85,7 @@ Common options:
 
 struct Args {
     listen: Option<String>,
+    train: bool,
     scenario: String,
     shards: usize,
     epochs: u32,
@@ -84,6 +99,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut parsed = Args {
         listen: None,
+        train: false,
         scenario: "small".to_owned(),
         shards: NUM_SHARDS,
         epochs: 60,
@@ -100,6 +116,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--listen" => parsed.listen = Some(value(&mut args, "--listen")?),
+            "--train" => parsed.train = true,
             "--scenario" => {
                 let name = value(&mut args, "--scenario")?;
                 if !["small", "medium", "charlotte"].contains(&name.as_str()) {
@@ -154,8 +171,16 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.listen.is_some() && args.train {
+        eprintln!(
+            "serve: --listen and --train are mutually exclusive\n\n{}",
+            usage()
+        );
+        std::process::exit(2);
+    }
     let result = match args.listen.clone() {
         Some(addr) => run_listen(&args, &addr),
+        None if args.train => run_train(&args),
         None => run_demo(&args),
     };
     if let Err(e) = result {
@@ -623,5 +648,195 @@ fn run_demo(args: &Args) -> Result<(), ServeError> {
         })?
         .shutdown();
     println!("serve demo complete");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Train mode: the online learning loop, accelerated.
+// ---------------------------------------------------------------------
+
+fn run_train(args: &Args) -> Result<(), ServeError> {
+    let scenario = Arc::new(match args.scenario.as_str() {
+        "medium" => ScenarioConfig::medium().florence().build(SEED),
+        "charlotte" => ScenarioConfig::charlotte_like().florence().build(SEED),
+        _ => ScenarioConfig::small().florence().build(SEED),
+    });
+    let hours = scenario.conditions.hours();
+    let base = if args.scenario == "small" {
+        SimConfig::small(0)
+    } else {
+        SimConfig::paper(0)
+    };
+    let needed_hours = (args.epochs * base.dispatch_period_s).div_ceil(3_600) + 1;
+    let sim = SimConfig {
+        duration_hours: needed_hours.min(hours),
+        ..base
+    };
+    let max_epochs = sim.duration_hours * 3_600 / sim.dispatch_period_s;
+    let epochs = args.epochs.min(max_epochs).max(2);
+    if epochs < args.epochs && !args.quiet {
+        println!(
+            "note: scenario covers {} epochs, clamping --epochs {}",
+            max_epochs, args.epochs
+        );
+    }
+    let shards = args.shards.max(1);
+    let mut config = ServeConfig::new(sim);
+    config.num_shards = shards;
+    config.request_queue_capacity = args.queue_capacity.max(1);
+    // The shadow gate is strict (slack 0): a self-trained candidate only
+    // promotes once it actually out-scores the incumbent on the shadow
+    // window — early candidates die there, which is the gate working.
+    // Canary/watch slacks stay wide so the run demonstrates stage flow
+    // rather than flapping on small-scenario reward noise.
+    config.rollout = RolloutConfig {
+        shadow_epochs: 2,
+        shadow_slack: 0.0,
+        canary_epochs: 2,
+        canary_shards: 1,
+        canary_slack: 1e9,
+        watch_epochs: 2,
+        watch_slack: 1e9,
+        ..RolloutConfig::default()
+    };
+    config.trainer = Some(TrainerConfig {
+        min_replay: 16,
+        batch_size: 8,
+        steps_per_epoch: 4,
+        candidate_every: 6,
+        hidden: vec![16],
+        seed: SEED,
+        ..TrainerConfig::default()
+    });
+    let clock: Arc<SimClock> = Arc::new(SimClock::new());
+    let registry = Arc::new(ModelRegistry::new(None, None));
+
+    println!(
+        "training online over {} ({} segments, {shards} shards), {epochs} epochs, simulated clock",
+        args.scenario,
+        scenario.city.network.num_segments()
+    );
+    let service = Arc::new(DispatchService::start(
+        Arc::clone(&scenario),
+        config.clone(),
+        Arc::clone(&clock) as Arc<dyn Clock>,
+        Arc::clone(&registry),
+    )?);
+
+    let ingest = |service: &DispatchService, epoch: u32| {
+        for shard in 0..shards {
+            for spec in epoch_requests(&scenario, shard, epoch) {
+                let _ = service.ingest(Event::Request { shard, spec });
+            }
+        }
+    };
+    let progress = |service: &DispatchService, epoch: u32| {
+        if args.quiet || !(epoch + 1).is_multiple_of(5) {
+            return;
+        }
+        let status = service.trainer_status().expect("trainer configured");
+        println!(
+            "epoch {}: trainer {} steps, replay {}, {} candidates; registry v{}",
+            epoch + 1,
+            status.steps,
+            status.replay_len,
+            status.candidates,
+            registry.current().version
+        );
+    };
+
+    // Phase 1, then a snapshot/restore cycle that must carry the trainer's
+    // replay buffer, optimizer moments and cadence, then phase 2.
+    let phase1 = epochs / 2;
+    ingest(&service, 0);
+    let mut scheduler = EpochScheduler::for_service(&service)?;
+    {
+        let service_cb = Arc::clone(&service);
+        scheduler.run(&service, clock.as_ref(), phase1, |epoch, _| {
+            progress(&service_cb, epoch);
+            ingest(&service_cb, epoch + 1);
+        })?;
+    }
+    let snapshot = service.snapshot()?;
+    let status_before = service.trainer_status().expect("trainer configured");
+    let obs_registry = Arc::clone(service.obs());
+    if !args.quiet {
+        println!(
+            "snapshotting at epoch {phase1} ({} bytes, trainer at {} steps) and restoring...",
+            snapshot.len(),
+            status_before.steps
+        );
+    }
+    Arc::try_unwrap(service)
+        .map_err(|_| ServeError::Shard {
+            shard: 0,
+            message: "service still referenced at shutdown".to_owned(),
+        })?
+        .shutdown();
+    let restore_config = ServeConfig {
+        obs: Some(obs_registry),
+        ..config
+    };
+    let service = Arc::new(DispatchService::restore(
+        Arc::clone(&scenario),
+        restore_config,
+        Arc::clone(&clock) as Arc<dyn Clock>,
+        Arc::clone(&registry),
+        &snapshot,
+    )?);
+    assert_eq!(
+        service.trainer_status().expect("trainer configured"),
+        status_before,
+        "trainer state must survive the snapshot/restore cycle"
+    );
+    {
+        let service_cb = Arc::clone(&service);
+        scheduler.run(&service, clock.as_ref(), epochs - phase1, |i, _| {
+            let epoch = phase1 + i;
+            progress(&service_cb, epoch);
+            if i + 1 < epochs - phase1 {
+                ingest(&service_cb, epoch + 1);
+            }
+        })?;
+    }
+
+    let status = service.trainer_status().expect("trainer configured");
+    let obs = service.obs();
+    let submitted = obs.counter("train.candidates_submitted").value();
+    let offered = obs.counter("train.transitions_offered").value();
+    let accepted = obs.counter("train.transitions_accepted").value();
+    let shed = obs.counter("train.transitions_shed").value();
+    println!(
+        "\ntrainer after {epochs} epochs: {} steps over {} transitions \
+         ({accepted} accepted, {shed} shed), {} candidates emitted, \
+         {submitted} submitted to rollout; registry at v{} after {} swaps",
+        status.steps,
+        offered,
+        status.candidates,
+        registry.current().version,
+        registry.swaps()
+    );
+    assert!(status.steps > 0, "the trainer must have learned");
+    assert!(
+        submitted >= 1,
+        "at least one self-trained candidate must reach the rollout gate"
+    );
+    assert_eq!(
+        offered,
+        accepted + shed,
+        "transition conservation must hold"
+    );
+    assert!(
+        obs.counter("train.steps").value() > 0,
+        "train.* metrics must be live"
+    );
+    dump_metrics(args, &service.obs_snapshot())?;
+    Arc::try_unwrap(service)
+        .map_err(|_| ServeError::Shard {
+            shard: 0,
+            message: "service still referenced at shutdown".to_owned(),
+        })?
+        .shutdown();
+    println!("serve train demo complete");
     Ok(())
 }

@@ -62,6 +62,82 @@ impl Adam {
             *w -= lr * mhat / (vhat.sqrt() + eps);
         });
     }
+
+    /// Serializes the optimizer as one line of text:
+    /// `adam <lr> <beta1> <beta2> <eps> <t> <n> m... v...`, floats in
+    /// `{:?}` form so the round-trip is bit-exact (a restored optimizer
+    /// continues training identically to one that was never serialized).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "adam {:?} {:?} {:?} {:?} {} {}",
+            self.lr,
+            self.beta1,
+            self.beta2,
+            self.eps,
+            self.t,
+            self.m.len()
+        );
+        for x in self.m.iter().chain(self.v.iter()) {
+            let _ = write!(out, " {x:?}");
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Parses [`Adam::to_text`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed field.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let line = text.trim_end_matches('\n');
+        let mut it = line.split_whitespace();
+        if it.next() != Some("adam") {
+            return Err("bad adam header".to_owned());
+        }
+        let mut float = |name: &str| -> Result<f64, String> {
+            it.next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("bad adam {name}"))
+        };
+        let lr = float("lr")?;
+        let beta1 = float("beta1")?;
+        let beta2 = float("beta2")?;
+        let eps = float("eps")?;
+        let t: u64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or("bad adam step count")?;
+        let n: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or("bad adam moment count")?;
+        let mut moments = Vec::with_capacity(2 * n);
+        for _ in 0..2 * n {
+            moments.push(
+                it.next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("missing adam moment")?,
+            );
+        }
+        if it.next().is_some() {
+            return Err("trailing fields in adam text".to_owned());
+        }
+        if !lr.is_finite() || lr <= 0.0 {
+            return Err("adam learning rate must be positive".to_owned());
+        }
+        let v = moments.split_off(n);
+        Ok(Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t,
+            m: moments,
+            v,
+        })
+    }
 }
 
 /// Plain SGD, useful as an ablation against Adam.
@@ -143,6 +219,54 @@ mod tests {
     fn non_positive_lr_rejected() {
         let net = Mlp::new(&[1, 1], 0);
         let _ = Adam::new(&net, 0.0);
+    }
+
+    #[test]
+    fn adam_text_round_trips_and_resumes_identically() {
+        // Train a few steps, serialize, keep training both the original and
+        // the restored copy: they must stay bit-identical.
+        let mut net = Mlp::new(&[2, 4, 1], 7);
+        let mut adam = Adam::new(&net, 0.01);
+        let batch = [([0.1, -0.4], 0.3), ([0.9, 0.2], -1.1)];
+        let pass = |net: &mut Mlp, adam: &mut Adam| {
+            net.zero_grad();
+            for &(x, t) in &batch {
+                let cache = net.forward(&x);
+                let d = cache.output()[0] - t;
+                net.backward(&cache, &[d]);
+            }
+            adam.step(net, batch.len());
+        };
+        for _ in 0..5 {
+            pass(&mut net, &mut adam);
+        }
+        let text = adam.to_text();
+        let mut restored = Adam::from_text(&text).expect("parses");
+        assert_eq!(restored, adam);
+        assert_eq!(restored.to_text(), text, "serialization is stable");
+        let mut net2 = net.clone();
+        for _ in 0..5 {
+            pass(&mut net, &mut adam);
+            pass(&mut net2, &mut restored);
+        }
+        assert_eq!(restored, adam, "restored optimizer diverged");
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        net.visit_params_mut(|_, w, _| a.push(*w));
+        net2.visit_params_mut(|_, w, _| b.push(*w));
+        assert_eq!(a, b, "networks diverged after restore");
+    }
+
+    #[test]
+    fn adam_text_rejects_malformed() {
+        assert!(Adam::from_text("").is_err());
+        assert!(Adam::from_text("sgd 0.1").is_err());
+        assert!(Adam::from_text("adam 0.1 0.9 0.999 1e-8 3 2 0.0 0.0 0.0").is_err());
+        assert!(Adam::from_text("adam nope 0.9 0.999 1e-8 0 0").is_err());
+        assert!(Adam::from_text("adam -0.1 0.9 0.999 1e-8 0 0").is_err());
+        let net = Mlp::new(&[1, 1], 0);
+        let adam = Adam::new(&net, 0.01);
+        let trailing = format!("{} 9.9", adam.to_text().trim_end());
+        assert!(Adam::from_text(&trailing).is_err());
     }
 
     #[test]

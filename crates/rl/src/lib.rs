@@ -30,4 +30,4 @@ pub use nn::{ForwardCache, Mlp};
 pub use persist::{mlp_from_text, mlp_to_text, ParseNetworkError};
 pub use qscore::{PairTransition, QScore, QScoreConfig};
 pub use reinforce::{Reinforce, ReinforceConfig};
-pub use replay::{ReplayBuffer, Transition};
+pub use replay::{pair_from_line, pair_to_line, PairReplay, ReplayBuffer, Transition};

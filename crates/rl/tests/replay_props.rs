@@ -1,0 +1,105 @@
+//! Property tests for the replay buffers backing the online trainer:
+//! FIFO-exact bounded eviction, in-bounds reproducible sampling, and a
+//! text round-trip that leaves a restored ring indistinguishable from a
+//! twin that was never snapshotted.
+
+use mobirescue_rl::{PairReplay, PairTransition};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A transition tagged with its push index, so eviction order is
+/// observable through the reward field.
+fn tagged(i: usize, salt: u64) -> PairTransition {
+    let x = (i as f64) + (salt as f64) * 1e-6;
+    PairTransition {
+        features: vec![x, -x, x * 0.5],
+        reward: i as f64,
+        next_candidates: if i.is_multiple_of(3) {
+            Vec::new()
+        } else {
+            vec![vec![x, 1.0], vec![0.25, x]]
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The ring holds exactly the last `capacity` pushes, no matter how
+    /// many arrive: everything older is evicted, everything newer kept.
+    #[test]
+    fn eviction_is_fifo_exact(capacity in 1usize..32, pushes in 0usize..96, salt in 0u64..1000) {
+        let mut ring = PairReplay::new(capacity);
+        for i in 0..pushes {
+            ring.push(tagged(i, salt));
+        }
+        prop_assert_eq!(ring.len(), pushes.min(capacity));
+        let mut kept: Vec<usize> = ring.items().iter().map(|t| t.reward as usize).collect();
+        kept.sort_unstable();
+        let expected: Vec<usize> = (pushes.saturating_sub(capacity)..pushes).collect();
+        prop_assert_eq!(kept, expected, "the survivors must be exactly the newest pushes");
+    }
+
+    /// Sampling only ever returns stored transitions, and the same seed
+    /// reproduces the same draw sequence through the vendored rand shim.
+    #[test]
+    fn sampling_is_in_bounds_and_seed_reproducible(
+        capacity in 1usize..32,
+        pushes in 1usize..96,
+        k in 1usize..64,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut ring = PairReplay::new(capacity);
+        for i in 0..pushes {
+            ring.push(tagged(i, seed));
+        }
+        let stored_lo = pushes.saturating_sub(capacity) as f64;
+        let stored_hi = (pushes - 1) as f64;
+        let mut a = StdRng::seed_from_u64(seed);
+        let sample: Vec<f64> = ring.sample(&mut a, k).iter().map(|t| t.reward).collect();
+        prop_assert_eq!(sample.len(), k);
+        for r in &sample {
+            prop_assert!(
+                (stored_lo..=stored_hi).contains(r),
+                "sampled a transition ({r}) that is not in the ring"
+            );
+        }
+        let mut b = StdRng::seed_from_u64(seed);
+        let again: Vec<f64> = ring.sample(&mut b, k).iter().map(|t| t.reward).collect();
+        prop_assert_eq!(sample, again, "same seed must reproduce the sample");
+    }
+
+    /// Round-tripping through the snapshot text and pushing more
+    /// transitions afterwards is indistinguishable from a twin ring that
+    /// was never serialized: same contents, same cursor, same future
+    /// evictions, same samples.
+    #[test]
+    fn push_after_restore_equals_never_snapshotted_twin(
+        capacity in 1usize..24,
+        before in 0usize..48,
+        after in 0usize..48,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut twin = PairReplay::new(capacity);
+        for i in 0..before {
+            twin.push(tagged(i, seed));
+        }
+        let mut restored = PairReplay::from_text(&twin.to_text()).expect("round-trip parses");
+        prop_assert_eq!(&restored, &twin, "restore must be exact");
+        for i in before..before + after {
+            twin.push(tagged(i, seed));
+            restored.push(tagged(i, seed));
+        }
+        prop_assert_eq!(&restored, &twin, "divergence after post-restore pushes");
+        prop_assert_eq!(restored.cursor(), twin.cursor());
+        prop_assert_eq!(restored.to_text(), twin.to_text());
+        if !twin.is_empty() {
+            let mut ra = StdRng::seed_from_u64(seed ^ 0xabc);
+            let mut rb = StdRng::seed_from_u64(seed ^ 0xabc);
+            let sa: Vec<f64> = twin.sample(&mut ra, 16).iter().map(|t| t.reward).collect();
+            let sb: Vec<f64> = restored.sample(&mut rb, 16).iter().map(|t| t.reward).collect();
+            prop_assert_eq!(sa, sb, "restored ring must sample like its twin");
+        }
+    }
+}

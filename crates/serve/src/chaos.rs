@@ -34,18 +34,26 @@
 //! dispatch, every injected regression is caught with the registry still
 //! pinned to the prior version, and a poisoned run ends bit-identical to
 //! a twin that never saw the poison.
+//!
+//! [`trainer_chaos_divergence`] covers the online training loop
+//! ([`crate::trainer`]): transition conservation under injected drops and
+//! floods, stale-candidate floods never reaching a primary dispatch, and
+//! a trainer that crashes at epoch boundaries recovering bit-identically
+//! to an unfaulted twin.
 
 use crate::clock::{Clock, SimClock};
 use crate::error::ServeError;
 use crate::event::Event;
 use crate::fault::{
     CheckpointPoison, FaultCounters, FaultInjector, FaultPlan, FaultPlanConfig, ScheduledFaults,
+    TrainerFault,
 };
 use crate::metrics::MetricsSnapshot;
 use crate::registry::ModelRegistry;
 use crate::rollout::{RolloutConfig, RolloutError};
 use crate::scheduler::EpochScheduler;
 use crate::service::{DispatchService, RetryPolicy, ServeConfig};
+use crate::trainer::TrainerConfig;
 use mobirescue_core::rl_dispatch::FEATURE_DIM;
 use mobirescue_core::scenario::{Scenario, ScenarioConfig};
 use mobirescue_obs::ObsSnapshot;
@@ -756,6 +764,263 @@ pub fn rollout_chaos_divergence(
             .unwrap_or_else(|| faulted.snapshot.len().min(clean.snapshot.len()));
         divergences.push(format!(
             "snapshot texts diverge at byte {at} (poisoned {} bytes, clean {} bytes)",
+            faulted.snapshot.len(),
+            clean.snapshot.len()
+        ));
+    }
+    Ok(divergences)
+}
+
+/// What a trainer chaos run should look like.
+#[derive(Debug, Clone)]
+pub struct TrainerChaosOptions {
+    /// Dispatch epochs to drive.
+    pub epochs: u32,
+    /// City shards to host.
+    pub num_shards: usize,
+    /// Request offers per shard per epoch. Keep it light enough that free
+    /// teams exist at every tick — the shadow gate can only separate a
+    /// stale reward tank from the incumbent when there is work a free
+    /// team *could* take.
+    pub requests_per_epoch: usize,
+}
+
+impl TrainerChaosOptions {
+    /// The standard sweep configuration.
+    pub fn standard(num_shards: usize) -> Self {
+        Self {
+            epochs: 14,
+            num_shards,
+            requests_per_epoch: 3,
+        }
+    }
+}
+
+/// The online-training-loop invariants, checked as two arms:
+///
+/// **Arm A (floods + transition drops, no crashes):**
+/// * **Transition conservation** — `train.transitions_offered` equals
+///   accepted + shed even while injected drops destroy tapped transitions
+///   upstream (a dropped transition is never *offered*), and the trainer's
+///   own counters agree with the registry's.
+/// * **No unguarded serve** — candidate emission is disabled, so every
+///   rollout submission in the run is an injected stale, reward-tanking
+///   candidate; the gates must keep the registry at v1, zero swaps, and
+///   every shard serving v1 at every epoch.
+/// * The trainer keeps learning through the faults.
+///
+/// **Arm B (boundary crashes):** a run whose trainer crashes at epoch
+/// boundaries (respawning from its per-boundary checkpoint) must end
+/// **bit-identical** — service snapshot text, metrics, trainer status and
+/// policy checkpoint — to an unfaulted twin fed the same event stream.
+///
+/// Returns the list of violations/divergences (empty on a clean run).
+///
+/// # Errors
+///
+/// Returns the first service error from any run.
+pub fn trainer_chaos_divergence(
+    seed: u64,
+    opts: &TrainerChaosOptions,
+) -> Result<Vec<String>, ServeError> {
+    let scenario = Arc::new(chaos_scenario());
+    let segments = scenario.city.network.num_segments() as u32;
+    // Competent incumbent (same construction as the rollout harness): the
+    // shadow gate can only kill a reward-tanking flood candidate when the
+    // incumbent reliably out-picks it.
+    let mut incumbent = Mlp::new(&[FEATURE_DIM, 1], seed ^ 0x600d);
+    let base = [-2.0, 1.0, 3.0, 0.0, 0.0, -1_000.0, 0.0];
+    incumbent.visit_params_mut(|i, w, _| {
+        *w = base[i] + 0.05 * *w;
+    });
+    let rollout_cfg = RolloutConfig {
+        shadow_epochs: 4,
+        shadow_slack: 0.0,
+        canary_epochs: 2,
+        canary_shards: 1,
+        canary_slack: 1e9,
+        watch_epochs: 2,
+        watch_slack: 1e9,
+        probe_bound: 1e6,
+    };
+    let trainer_cfg = |candidate_every: u32| TrainerConfig {
+        min_replay: 8,
+        batch_size: 4,
+        steps_per_epoch: 2,
+        candidate_every,
+        hidden: vec![8],
+        seed,
+        ..TrainerConfig::default()
+    };
+    struct RunEnd {
+        snapshot: String,
+        metrics: MetricsSnapshot,
+        status: crate::trainer::TrainerStatus,
+        policy_text: String,
+        swaps: u64,
+        final_version: u64,
+        fired: FaultCounters,
+        offered: u64,
+        accepted: u64,
+        shed: u64,
+        submitted: u64,
+        admitted: u64,
+        rejected: u64,
+        violations: Vec<String>,
+    }
+    let run =
+        |plan: FaultPlan, candidate_every: u32, check_pinned: bool| -> Result<RunEnd, ServeError> {
+            let injector = Arc::new(FaultInjector::new(plan));
+            let mut config = ServeConfig::new(SimConfig::small(6));
+            config.num_shards = opts.num_shards;
+            config.request_queue_capacity = 8;
+            config.rollout = rollout_cfg.clone();
+            config.trainer = Some(trainer_cfg(candidate_every));
+            config.faults = Some(Arc::clone(&injector));
+            let clock: Arc<SimClock> = Arc::new(SimClock::new());
+            let registry = Arc::new(ModelRegistry::new(None, Some(incumbent.clone())));
+            let service = DispatchService::start(
+                Arc::clone(&scenario),
+                config,
+                Arc::clone(&clock) as Arc<dyn Clock>,
+                Arc::clone(&registry),
+            )?;
+            let mut violations = Vec::new();
+            let mut scheduler = EpochScheduler::for_service(&service)?;
+            for event in request_events(0, opts.num_shards, opts.requests_per_epoch, segments) {
+                service.ingest(event)?;
+            }
+            scheduler.run(&service, clock.as_ref(), opts.epochs, |e, _| {
+                if check_pinned {
+                    // With emission disabled, every submission this run ever
+                    // makes is an injected stale candidate — primary dispatch
+                    // must stay pinned to v1 on every shard at every epoch.
+                    for (i, s) in service.metrics().shards.iter().enumerate() {
+                        if s.model_version != 1 {
+                            violations.push(format!(
+                            "epoch {e}: shard {i} served model v{} under a stale-candidate flood",
+                            s.model_version
+                        ));
+                        }
+                    }
+                }
+                if e + 1 < opts.epochs {
+                    for event in
+                        request_events(e + 1, opts.num_shards, opts.requests_per_epoch, segments)
+                    {
+                        let _ = service.ingest(event);
+                    }
+                }
+            })?;
+            let o = service.obs();
+            let end = RunEnd {
+                snapshot: service.snapshot()?,
+                metrics: service.metrics(),
+                status: service.trainer_status().expect("trainer configured"),
+                policy_text: service.trainer_policy_text().expect("trainer configured"),
+                swaps: registry.swaps(),
+                final_version: registry.current().version,
+                fired: injector.counters(),
+                offered: o.counter("train.transitions_offered").value(),
+                accepted: o.counter("train.transitions_accepted").value(),
+                shed: o.counter("train.transitions_shed").value(),
+                submitted: o.counter("train.candidates_submitted").value(),
+                admitted: o.counter("train.candidates_admitted").value(),
+                rejected: o.counter("train.candidates_rejected").value(),
+                violations,
+            };
+            service.shutdown();
+            Ok(end)
+        };
+
+    // Arm A: seeded floods and transition drops, with one of each forced
+    // so every seed exercises both kinds.
+    let flood_drop_cfg = FaultPlanConfig {
+        trainer_horizon: opts.epochs,
+        p_trainer_flood: 0.20,
+        p_trainer_drop: 0.25,
+        trainer_flood_len: 2,
+        ..FaultPlanConfig::quiet(opts.epochs, opts.num_shards)
+    };
+    let plan_a = FaultPlan::generate(seed, &flood_drop_cfg)
+        .with_trainer_fault(2, TrainerFault::StaleCandidateFlood(2))
+        .with_trainer_fault(3, TrainerFault::TransitionDrop);
+    let a = run(plan_a, 0, true)?;
+    let mut divergences = a.violations;
+    if a.fired.trainer_floods == 0 || a.fired.trainer_drops == 0 {
+        divergences.push(format!(
+            "arm A fired {} floods / {} drops, expected at least one of each",
+            a.fired.trainer_floods, a.fired.trainer_drops
+        ));
+    }
+    if a.offered != a.accepted + a.shed {
+        divergences.push(format!(
+            "transition conservation broken: offered {} != accepted {} + shed {}",
+            a.offered, a.accepted, a.shed
+        ));
+    }
+    if a.accepted != a.status.accepted || a.shed != a.status.shed || a.offered != a.status.offered {
+        divergences.push(format!(
+            "registry counters ({}/{}/{}) disagree with trainer status ({}/{}/{})",
+            a.offered, a.accepted, a.shed, a.status.offered, a.status.accepted, a.status.shed
+        ));
+    }
+    if a.offered == 0 {
+        divergences.push("no transitions ever offered — the tap is dead".to_owned());
+    }
+    if a.status.steps == 0 {
+        divergences.push("trainer never learned under flood/drop faults".to_owned());
+    }
+    if a.submitted == 0 || a.submitted != a.admitted + a.rejected {
+        divergences.push(format!(
+            "candidate accounting broken: submitted {} admitted {} rejected {}",
+            a.submitted, a.admitted, a.rejected
+        ));
+    }
+    if a.swaps != 0 || a.final_version != 1 {
+        divergences.push(format!(
+            "stale-candidate flood reached the registry: v{} after {} swaps",
+            a.final_version, a.swaps
+        ));
+    }
+
+    // Arm B: seeded boundary crashes (one forced) against an unfaulted
+    // twin — recovery must be bit-identical.
+    let crash_cfg = FaultPlanConfig {
+        trainer_horizon: opts.epochs,
+        p_trainer_crash: 0.20,
+        ..FaultPlanConfig::quiet(opts.epochs, opts.num_shards)
+    };
+    let plan_b = FaultPlan::generate(seed, &crash_cfg).with_trainer_fault(1, TrainerFault::Crash);
+    let faulted = run(plan_b, 5, false)?;
+    let clean = run(FaultPlan::empty(), 5, false)?;
+    for v in clean.violations {
+        divergences.push(format!("clean twin: {v}"));
+    }
+    if faulted.fired.trainer_crashes == 0 {
+        divergences.push("arm B fired no trainer crashes".to_owned());
+    }
+    if faulted.status != clean.status {
+        divergences.push(format!(
+            "trainer status diverged after crash recovery: {:?} vs {:?}",
+            faulted.status, clean.status
+        ));
+    }
+    if faulted.policy_text != clean.policy_text {
+        divergences.push("trainer policy checkpoint diverged after crash recovery".to_owned());
+    }
+    if faulted.metrics != clean.metrics {
+        divergences.push("metrics diverged between crashed and unfaulted trainer runs".to_owned());
+    }
+    if faulted.snapshot != clean.snapshot {
+        let at = faulted
+            .snapshot
+            .bytes()
+            .zip(clean.snapshot.bytes())
+            .position(|(x, y)| x != y)
+            .unwrap_or_else(|| faulted.snapshot.len().min(clean.snapshot.len()));
+        divergences.push(format!(
+            "snapshot texts diverge at byte {at} (crashed {} bytes, clean {} bytes)",
             faulted.snapshot.len(),
             clean.snapshot.len()
         ));

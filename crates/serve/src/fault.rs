@@ -75,6 +75,25 @@ pub enum ConnFault {
     SlowLoris,
 }
 
+/// A fault applied to the online trainer (`crate::trainer`) at one epoch
+/// boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainerFault {
+    /// The trainer dies at the boundary; the service must respawn it from
+    /// its last boundary checkpoint, and the recovered run must stay
+    /// bit-identical to an unfaulted twin (checkpoints are taken every
+    /// boundary, so a boundary crash loses nothing).
+    Crash,
+    /// A wedged trainer replays an old queue: a burst of this many stale,
+    /// reward-tanking candidates floods the rollout pipeline. The gates
+    /// must keep every one of them away from primary dispatch.
+    StaleCandidateFlood(u32),
+    /// This epoch's tapped transitions are lost in transit before reaching
+    /// the trainer queue — they never count as offered, so transition
+    /// conservation (`offered == accepted + shed`) must still hold.
+    TransitionDrop,
+}
+
 /// How a submitted checkpoint is poisoned before it reaches the rollout
 /// pipeline's admission gate (a corrupted training job, a bad export, or
 /// an adversarially regressed policy).
@@ -146,6 +165,17 @@ pub struct FaultPlanConfig {
     pub p_conn_torn: f64,
     /// Per-frame probability of [`ConnFault::SlowLoris`].
     pub p_conn_slowloris: f64,
+    /// Epochs covered by trainer-fault decisions (one draw per epoch;
+    /// epochs beyond the horizon pass through clean).
+    pub trainer_horizon: u32,
+    /// Per-epoch probability of [`TrainerFault::Crash`].
+    pub p_trainer_crash: f64,
+    /// Per-epoch probability of [`TrainerFault::StaleCandidateFlood`].
+    pub p_trainer_flood: f64,
+    /// Per-epoch probability of [`TrainerFault::TransitionDrop`].
+    pub p_trainer_drop: f64,
+    /// Candidates per [`TrainerFault::StaleCandidateFlood`] burst.
+    pub trainer_flood_len: u32,
 }
 
 impl FaultPlanConfig {
@@ -171,6 +201,11 @@ impl FaultPlanConfig {
             p_conn_disconnect: 0.0,
             p_conn_torn: 0.0,
             p_conn_slowloris: 0.0,
+            trainer_horizon: 0,
+            p_trainer_crash: 0.0,
+            p_trainer_flood: 0.0,
+            p_trainer_drop: 0.0,
+            trainer_flood_len: 3,
         }
     }
 
@@ -184,6 +219,22 @@ impl FaultPlanConfig {
             p_conn_torn: 0.10,
             p_conn_slowloris: 0.05,
             ..Self::chaos(epochs, num_shards)
+        }
+    }
+
+    /// The trainer chaos mix: *only* trainer faults armed. Shard faults
+    /// stay off on purpose — a shard crash rebuilds its dispatcher (losing
+    /// the in-flight transition tap), so trainer-loop invariants are
+    /// verified against an otherwise-healthy fleet, and shard recovery has
+    /// its own suite.
+    pub fn trainer_chaos(epochs: u32, num_shards: usize) -> Self {
+        Self {
+            trainer_horizon: epochs,
+            p_trainer_crash: 0.15,
+            p_trainer_flood: 0.10,
+            p_trainer_drop: 0.15,
+            trainer_flood_len: 3,
+            ..Self::quiet(epochs, num_shards)
         }
     }
 
@@ -208,6 +259,11 @@ impl FaultPlanConfig {
             p_conn_disconnect: 0.0,
             p_conn_torn: 0.0,
             p_conn_slowloris: 0.0,
+            trainer_horizon: 0,
+            p_trainer_crash: 0.0,
+            p_trainer_flood: 0.0,
+            p_trainer_drop: 0.0,
+            trainer_flood_len: 0,
         }
     }
 }
@@ -230,6 +286,8 @@ pub struct ScheduledFaults {
     pub poisoned_checkpoints: usize,
     /// Front-door frame offers with a connection-fault decision.
     pub conn: usize,
+    /// Scheduled trainer faults.
+    pub trainer: usize,
 }
 
 impl ScheduledFaults {
@@ -242,6 +300,7 @@ impl ScheduledFaults {
             + self.snapshot_corruptions
             + self.poisoned_checkpoints
             + self.conn
+            + self.trainer
             > 0
     }
 }
@@ -255,6 +314,7 @@ pub struct FaultPlan {
     snapshot: Vec<SnapshotCorruption>,
     poison: Vec<CheckpointPoison>,
     conn: Vec<Option<ConnFault>>,
+    trainer: BTreeMap<u32, TrainerFault>,
 }
 
 impl FaultPlan {
@@ -343,6 +403,29 @@ impl FaultPlan {
                 None
             })
             .collect();
+        // Trainer faults draw after conn for the same reason again: arming
+        // the trainer must leave every earlier schedule for a seed intact.
+        let mut trainer = BTreeMap::new();
+        for epoch in 0..cfg.trainer_horizon {
+            let roll: f64 = rng.random();
+            let mut acc = cfg.p_trainer_crash;
+            if roll < acc {
+                trainer.insert(epoch, TrainerFault::Crash);
+                continue;
+            }
+            acc += cfg.p_trainer_flood;
+            if roll < acc {
+                trainer.insert(
+                    epoch,
+                    TrainerFault::StaleCandidateFlood(cfg.trainer_flood_len.max(1)),
+                );
+                continue;
+            }
+            acc += cfg.p_trainer_drop;
+            if roll < acc {
+                trainer.insert(epoch, TrainerFault::TransitionDrop);
+            }
+        }
         Self {
             ingest,
             shard,
@@ -350,6 +433,7 @@ impl FaultPlan {
             snapshot,
             poison,
             conn,
+            trainer,
         }
     }
 
@@ -404,6 +488,12 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules `fault` for the trainer at `epoch`.
+    pub fn with_trainer_fault(mut self, epoch: u32, fault: TrainerFault) -> Self {
+        self.trainer.insert(epoch, fault);
+        self
+    }
+
     /// What the plan has scheduled, by kind.
     pub fn scheduled(&self) -> ScheduledFaults {
         ScheduledFaults {
@@ -422,6 +512,7 @@ impl FaultPlan {
             snapshot_corruptions: self.snapshot.len(),
             poisoned_checkpoints: self.poison.len(),
             conn: self.conn.iter().filter(|f| f.is_some()).count(),
+            trainer: self.trainer.len(),
         }
     }
 }
@@ -462,6 +553,12 @@ pub struct FaultCounters {
     pub conn_torn_writes: u64,
     /// Slow-loris stalls fired at the front door.
     pub conn_slow_loris: u64,
+    /// Trainer crashes fired.
+    pub trainer_crashes: u64,
+    /// Stale-candidate floods fired.
+    pub trainer_floods: u64,
+    /// Transition drops fired.
+    pub trainer_drops: u64,
 }
 
 impl FaultCounters {
@@ -485,6 +582,9 @@ impl FaultCounters {
             + self.conn_disconnects
             + self.conn_torn_writes
             + self.conn_slow_loris
+            + self.trainer_crashes
+            + self.trainer_floods
+            + self.trainer_drops
             > 0
     }
 }
@@ -499,6 +599,7 @@ pub struct FaultInjector {
     snapshot: Mutex<VecDeque<SnapshotCorruption>>,
     poison: Mutex<VecDeque<CheckpointPoison>>,
     conn: Vec<Option<ConnFault>>,
+    trainer: Mutex<BTreeMap<u32, TrainerFault>>,
     scheduled: ScheduledFaults,
     offer_idx: AtomicUsize,
     conn_offer_idx: AtomicUsize,
@@ -516,6 +617,9 @@ pub struct FaultInjector {
     c_conn_disconnects: AtomicU64,
     c_conn_torn_writes: AtomicU64,
     c_conn_slow_loris: AtomicU64,
+    c_trainer_crashes: AtomicU64,
+    c_trainer_floods: AtomicU64,
+    c_trainer_drops: AtomicU64,
 }
 
 impl FaultInjector {
@@ -529,6 +633,7 @@ impl FaultInjector {
             snapshot: Mutex::new(plan.snapshot.into()),
             poison: Mutex::new(plan.poison.into()),
             conn: plan.conn,
+            trainer: Mutex::new(plan.trainer),
             scheduled,
             offer_idx: AtomicUsize::new(0),
             conn_offer_idx: AtomicUsize::new(0),
@@ -546,6 +651,9 @@ impl FaultInjector {
             c_conn_disconnects: AtomicU64::new(0),
             c_conn_torn_writes: AtomicU64::new(0),
             c_conn_slow_loris: AtomicU64::new(0),
+            c_trainer_crashes: AtomicU64::new(0),
+            c_trainer_floods: AtomicU64::new(0),
+            c_trainer_drops: AtomicU64::new(0),
         }
     }
 
@@ -630,6 +738,25 @@ impl FaultInjector {
         fault
     }
 
+    /// Takes (consumes) the trainer fault scheduled for `epoch`, if any.
+    /// One-shot, like every other fault kind.
+    pub fn take_trainer_fault(&self, epoch: u32) -> Option<TrainerFault> {
+        let fault = Self::lock(&self.trainer).remove(&epoch);
+        match fault {
+            Some(TrainerFault::Crash) => {
+                self.c_trainer_crashes.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(TrainerFault::StaleCandidateFlood(_)) => {
+                self.c_trainer_floods.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(TrainerFault::TransitionDrop) => {
+                self.c_trainer_drops.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {}
+        }
+        fault
+    }
+
     /// Takes (consumes) the registry-swap failure scheduled for
     /// `(epoch, shard)`, if any.
     pub fn take_swap_failure(&self, epoch: u32, shard: usize) -> bool {
@@ -678,6 +805,9 @@ impl FaultInjector {
             conn_disconnects: self.c_conn_disconnects.load(Ordering::Relaxed),
             conn_torn_writes: self.c_conn_torn_writes.load(Ordering::Relaxed),
             conn_slow_loris: self.c_conn_slow_loris.load(Ordering::Relaxed),
+            trainer_crashes: self.c_trainer_crashes.load(Ordering::Relaxed),
+            trainer_floods: self.c_trainer_floods.load(Ordering::Relaxed),
+            trainer_drops: self.c_trainer_drops.load(Ordering::Relaxed),
         }
     }
 }
@@ -882,6 +1012,72 @@ mod tests {
         // And the conn schedule itself is deterministic per seed.
         let c = FaultPlan::generate(7, &with_conn);
         assert_eq!(b.conn, c.conn);
+    }
+
+    #[test]
+    fn trainer_faults_consume_one_shot() {
+        let plan = FaultPlan::empty()
+            .with_trainer_fault(1, TrainerFault::Crash)
+            .with_trainer_fault(2, TrainerFault::StaleCandidateFlood(4))
+            .with_trainer_fault(3, TrainerFault::TransitionDrop);
+        assert_eq!(plan.scheduled().trainer, 3);
+        assert!(plan.scheduled().any());
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.take_trainer_fault(0), None);
+        assert_eq!(inj.take_trainer_fault(1), Some(TrainerFault::Crash));
+        assert_eq!(inj.take_trainer_fault(1), None, "crash fires once");
+        assert_eq!(
+            inj.take_trainer_fault(2),
+            Some(TrainerFault::StaleCandidateFlood(4))
+        );
+        assert_eq!(
+            inj.take_trainer_fault(3),
+            Some(TrainerFault::TransitionDrop)
+        );
+        let c = inj.counters();
+        assert_eq!(c.trainer_crashes, 1);
+        assert_eq!(c.trainer_floods, 1);
+        assert_eq!(c.trainer_drops, 1);
+        assert!(c.any());
+    }
+
+    #[test]
+    fn trainer_draws_leave_seeded_plans_untouched() {
+        // Arming the trainer must not perturb anything a seed already
+        // draws — trainer faults are drawn after every other kind.
+        let base_cfg = FaultPlanConfig::net_chaos(6, 2);
+        let with_trainer = FaultPlanConfig {
+            trainer_horizon: 6,
+            p_trainer_crash: 0.3,
+            p_trainer_flood: 0.3,
+            p_trainer_drop: 0.3,
+            ..base_cfg.clone()
+        };
+        let a = FaultPlan::generate(7, &base_cfg);
+        let b = FaultPlan::generate(7, &with_trainer);
+        assert_eq!(a.ingest, b.ingest, "trainer draws must not perturb ingest");
+        assert_eq!(a.shard, b.shard);
+        assert_eq!(a.swap_fail, b.swap_fail);
+        assert_eq!(a.conn, b.conn, "trainer draws must not perturb conn");
+        assert_eq!(a.scheduled().trainer, 0);
+        assert!(b.scheduled().trainer > 0, "horizon 6 at p=0.9 draws faults");
+        // And the trainer schedule itself is deterministic per seed.
+        let c = FaultPlan::generate(7, &with_trainer);
+        assert_eq!(b.trainer, c.trainer);
+        // The dedicated mix schedules only trainer faults.
+        let solo = FaultPlan::generate(7, &FaultPlanConfig::trainer_chaos(8, 2));
+        let sched = solo.scheduled();
+        assert_eq!(
+            (
+                sched.ingest,
+                sched.stalls,
+                sched.crashes,
+                sched.swap_fails,
+                sched.conn
+            ),
+            (0, 0, 0, 0, 0),
+            "trainer chaos arms no other fault kind"
+        );
     }
 
     #[test]

@@ -42,6 +42,14 @@
 //!   incumbent, then serve a canary shard subset, before fleet-wide
 //!   promotion; any gate failure or post-promotion regression atomically
 //!   rolls back to the pinned previous version.
+//! * **Online training loop** ([`trainer`], [`TrainerConfig`]) — shards
+//!   tap the transitions their frozen dispatchers would have learned
+//!   from into a bounded, shed-counting stream; a background DQN trainer
+//!   replays them through seeded mini-batch updates and periodically
+//!   emits candidate checkpoints into the rollout pipeline, so the
+//!   service improves itself without ever serving an unguarded model.
+//!   Deterministic on a [`SimClock`], snapshot/restore-exact, and pinned
+//!   by its own chaos suite ([`TrainerFault`]).
 //!
 //! Built entirely on `std` (`std::thread`, `std::sync::mpsc`).
 
@@ -59,9 +67,11 @@ pub mod rollout;
 pub mod scheduler;
 pub mod service;
 mod shard;
+pub mod trainer;
 
 pub use chaos::{
-    rollout_chaos_divergence, run_chaos, ChaosOptions, ChaosOutcome, RolloutChaosOptions,
+    rollout_chaos_divergence, run_chaos, trainer_chaos_divergence, ChaosOptions, ChaosOutcome,
+    RolloutChaosOptions, TrainerChaosOptions,
 };
 pub use clock::{Clock, ClockTimeSource, SimClock, WallClock};
 pub use error::ServeError;
@@ -69,7 +79,7 @@ pub use event::Event;
 pub use fault::{
     poisoned_policy_text, reward_tank_policy_text, CheckpointPoison, ConnFault, FaultCounters,
     FaultInjector, FaultPlan, FaultPlanConfig, IngestFault, ScheduledFaults, ShardFault,
-    SnapshotCorruption,
+    SnapshotCorruption, TrainerFault,
 };
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardMetrics, LATENCY_BOUNDS_MS};
 pub use mobirescue_obs as obs;
@@ -81,3 +91,4 @@ pub use rollout::{
 pub use scheduler::EpochScheduler;
 pub use service::{DispatchService, RetryPolicy, ServeConfig};
 pub use shard::SwapError;
+pub use trainer::{TrainerConfig, TrainerStatus};

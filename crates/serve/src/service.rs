@@ -6,7 +6,7 @@
 use crate::clock::{Clock, ClockTimeSource};
 use crate::error::ServeError;
 use crate::event::Event;
-use crate::fault::IngestFault;
+use crate::fault::{reward_tank_policy_text, IngestFault, TrainerFault};
 use crate::metrics::{LatencyHistogram, MetricsSnapshot, ShardMetrics};
 use crate::queue::{BoundedQueue, ShedPolicy};
 use crate::registry::{ModelBundle, ModelRegistry};
@@ -17,12 +17,14 @@ use crate::rollout::{
 use crate::shard::{
     spawn_shard, RolloutDirective, ShardCmd, ShardReply, ShardSpec, ShardStatus, SwapError,
 };
+use crate::trainer::{Trainer, TrainerConfig, TrainerObs, TrainerStatus};
 use crate::FaultInjector;
 use mobirescue_core::predictor::RequestPredictor;
 use mobirescue_core::rl_dispatch::RlDispatchConfig;
 use mobirescue_core::scenario::Scenario;
-use mobirescue_obs::{Counter, Histogram, Level, ObsSnapshot, Registry};
+use mobirescue_obs::{Counter, Histogram, Level, ObsSnapshot, Registry, TimeSource};
 use mobirescue_rl::persist::{mlp_from_text, mlp_to_text};
+use mobirescue_rl::PairTransition;
 use mobirescue_roadnet::graph::SegmentId;
 use mobirescue_sim::{open_snapshot, seal_snapshot};
 use mobirescue_sim::{EpochReport, RequestSpec, SimConfig, World};
@@ -74,6 +76,11 @@ pub struct ServeConfig {
     /// Gate parameters for [`DispatchService::submit_rollout`]'s guarded
     /// promotion pipeline (admission → shadow → canary → watch).
     pub rollout: RolloutConfig,
+    /// Online training loop. `Some` makes every shard tap its dispatch
+    /// transitions into a background trainer whose candidate checkpoints
+    /// feed [`DispatchService::submit_rollout`]; `None` (the default)
+    /// disables training entirely.
+    pub trainer: Option<TrainerConfig>,
 }
 
 impl ServeConfig {
@@ -92,6 +99,7 @@ impl ServeConfig {
             auto_recover: false,
             obs: None,
             rollout: RolloutConfig::default(),
+            trainer: None,
         }
     }
 }
@@ -148,6 +156,15 @@ struct ShardHandle {
     join: Option<JoinHandle<()>>,
 }
 
+/// The online trainer plus its last epoch-boundary checkpoint. The
+/// checkpoint is refreshed after every trainer tick, so an injected
+/// trainer crash at a boundary respawns into exactly the state an
+/// unfaulted trainer would hold.
+struct TrainerSlot {
+    trainer: Trainer,
+    checkpoint: String,
+}
+
 /// A running sharded dispatch service.
 ///
 /// Producers call [`DispatchService::ingest`] from any thread at any time;
@@ -182,7 +199,14 @@ pub struct DispatchService {
     rollouts_admitted: Counter,
     rollouts_rejected: Counter,
     rollouts_rolled_back: Counter,
+    candidates_submitted: Counter,
+    candidates_admitted: Counter,
+    candidates_rejected: Counter,
     snapshot_hist: Histogram,
+    // The online trainer (populated iff `config.trainer` is set), stepped
+    // synchronously at each epoch boundary.
+    trainer: Mutex<Option<TrainerSlot>>,
+    trainer_obs: Option<TrainerObs>,
     state: Mutex<ServiceState>,
 }
 
@@ -228,6 +252,7 @@ impl DispatchService {
             rl: config.rl.clone(),
             faults: config.faults.clone(),
             obs: Arc::clone(&obs),
+            tap_transitions: config.trainer.is_some(),
         };
         let shards = (0..config.num_shards)
             .map(|i| {
@@ -261,7 +286,22 @@ impl DispatchService {
         let rollouts_admitted = obs.counter("serve.rollouts_admitted");
         let rollouts_rejected = obs.counter("serve.rollouts_rejected");
         let rollouts_rolled_back = obs.counter("serve.rollouts_rolled_back");
+        let candidates_submitted = obs.counter("train.candidates_submitted");
+        let candidates_admitted = obs.counter("train.candidates_admitted");
+        let candidates_rejected = obs.counter("train.candidates_rejected");
         let snapshot_hist = obs.histogram("epoch.snapshot_ms");
+        let trainer = config.trainer.clone().map(|cfg| {
+            let trainer = Trainer::new(cfg);
+            let checkpoint = trainer.snapshot_text();
+            TrainerSlot {
+                trainer,
+                checkpoint,
+            }
+        });
+        let trainer_obs = config.trainer.is_some().then(|| {
+            let time: Arc<dyn TimeSource> = Arc::new(ClockTimeSource(Arc::clone(&clock)));
+            TrainerObs::new(&obs, time)
+        });
         Ok(Self {
             config,
             scenario,
@@ -284,7 +324,12 @@ impl DispatchService {
             rollouts_admitted,
             rollouts_rejected,
             rollouts_rolled_back,
+            candidates_submitted,
+            candidates_admitted,
+            candidates_rejected,
             snapshot_hist,
+            trainer: Mutex::new(trainer),
+            trainer_obs,
             state: Mutex::new(state),
         })
     }
@@ -306,6 +351,7 @@ impl DispatchService {
             rl: self.config.rl.clone(),
             faults: self.config.faults.clone(),
             obs: Arc::clone(&self.obs),
+            tap_transitions: self.config.trainer.is_some(),
         }
     }
 
@@ -453,6 +499,22 @@ impl DispatchService {
             rejected: self.rollouts_rejected.value(),
             rolled_back: self.rollouts_rolled_back.value(),
         }
+    }
+
+    /// The online trainer's progress counters, or `None` when the service
+    /// was configured without a trainer.
+    pub fn trainer_status(&self) -> Option<TrainerStatus> {
+        lock(&self.trainer).as_ref().map(|s| s.trainer.status())
+    }
+
+    /// The trainer's current online-network checkpoint text (exactly what
+    /// its next candidate emission would submit), or `None` without a
+    /// trainer. Byte-stable across snapshot/restore and, on a
+    /// [`crate::SimClock`], across same-seeded runs.
+    pub fn trainer_policy_text(&self) -> Option<String> {
+        lock(&self.trainer)
+            .as_ref()
+            .map(|s| s.trainer.policy_text())
     }
 
     /// Installs the candidate fleet-wide, pinning the previous bundle for
@@ -1019,6 +1081,9 @@ impl DispatchService {
         }
         let mut reports = Vec::with_capacity(statuses.len());
         let mut events: Vec<(Level, Option<usize>, String)> = Vec::new();
+        // Tapped transitions, collected in shard-index order so the
+        // trainer's input stream is deterministic.
+        let mut trainer_feed: Vec<PairTransition> = Vec::new();
         let epoch;
         {
             let mut state = self.state();
@@ -1074,6 +1139,7 @@ impl DispatchService {
                 if let Some(report) = st.report {
                     reports.push(report);
                 }
+                trainer_feed.extend(st.transitions);
             }
             self.advance_rollout(
                 &mut state,
@@ -1098,6 +1164,7 @@ impl DispatchService {
         for (level, shard, message) in events {
             self.obs.events().log(level, epoch, shard, message);
         }
+        self.run_trainer_phase(epoch, trainer_feed);
         self.obs
             .events()
             .log(Level::Info, epoch, None, format!("epoch {epoch} complete"));
@@ -1105,6 +1172,122 @@ impl DispatchService {
             self.checkpoint_shards()?;
         }
         Ok(reports)
+    }
+
+    /// The trainer's slice of the epoch boundary: apply any scheduled
+    /// trainer fault, offer the epoch's tapped transitions into the
+    /// bounded queue, run the learning steps, refresh the crash-recovery
+    /// checkpoint, and route an emitted candidate into the rollout
+    /// pipeline. A no-op when no trainer is configured.
+    fn run_trainer_phase(&self, epoch: u32, mut transitions: Vec<PairTransition>) {
+        let Some(obs) = &self.trainer_obs else { return };
+        let fault = self
+            .config
+            .faults
+            .as_ref()
+            .and_then(|f| f.take_trainer_fault(epoch));
+        let mut flood = 0u32;
+        match fault {
+            None => {}
+            Some(TrainerFault::TransitionDrop) => {
+                // Lost in transit, upstream of the trainer queue: these
+                // never count as offered, so conservation still holds.
+                let n = transitions.len();
+                transitions.clear();
+                self.obs.events().log(
+                    Level::Warn,
+                    epoch,
+                    None,
+                    format!("trainer fault: {n} tapped transitions lost in transit"),
+                );
+            }
+            Some(TrainerFault::StaleCandidateFlood(n)) => flood = n,
+            Some(TrainerFault::Crash) => {
+                let mut slot = lock(&self.trainer);
+                if let Some(s) = slot.as_mut() {
+                    let cfg = self
+                        .config
+                        .trainer
+                        .clone()
+                        .expect("trainer slot implies config");
+                    match Trainer::restore(cfg, &s.checkpoint) {
+                        Ok(trainer) => {
+                            s.trainer = trainer;
+                            self.obs.events().log(
+                                Level::Error,
+                                epoch,
+                                None,
+                                "trainer crashed; respawned from last boundary checkpoint",
+                            );
+                        }
+                        Err(e) => {
+                            // Unreachable with self-written checkpoints;
+                            // keep the live trainer rather than panicking.
+                            self.obs.events().log(
+                                Level::Error,
+                                epoch,
+                                None,
+                                format!("trainer crash recovery failed, kept live state: {e}"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let candidate = {
+            let mut slot = lock(&self.trainer);
+            let Some(s) = slot.as_mut() else { return };
+            s.trainer.offer(transitions, obs);
+            let candidate = s.trainer.epoch_tick(obs);
+            s.checkpoint = s.trainer.snapshot_text();
+            candidate
+        };
+        // Submission happens outside the trainer lock: `submit_rollout`
+        // takes the state lock, and it never touches the trainer.
+        if let Some(text) = candidate {
+            self.candidates_submitted.inc();
+            match self.submit_rollout(None, Some(&text)) {
+                Ok(_) => {
+                    self.candidates_admitted.inc();
+                    self.obs.events().log(
+                        Level::Info,
+                        epoch,
+                        None,
+                        "trainer candidate submitted to the rollout pipeline",
+                    );
+                }
+                Err(e) => {
+                    // A rollout already in flight (or a rejected artifact)
+                    // discards the candidate deterministically; the next
+                    // cadence tick emits a fresher one anyway.
+                    self.candidates_rejected.inc();
+                    self.obs.events().log(
+                        Level::Warn,
+                        epoch,
+                        None,
+                        format!("trainer candidate discarded: {e}"),
+                    );
+                }
+            }
+        }
+        for _ in 0..flood {
+            // A wedged trainer replaying stale state: structurally valid,
+            // reward-tanking candidates. Every one must die at a gate.
+            self.candidates_submitted.inc();
+            let stale = reward_tank_policy_text();
+            match self.submit_rollout(None, Some(&stale)) {
+                Ok(_) => self.candidates_admitted.inc(),
+                Err(_) => self.candidates_rejected.inc(),
+            }
+        }
+        if flood > 0 {
+            self.obs.events().log(
+                Level::Warn,
+                epoch,
+                None,
+                format!("trainer fault: flood of {flood} stale candidates submitted"),
+            );
+        }
     }
 
     /// The most recent failed model hot-swap, if any: the shard index and
@@ -1286,6 +1469,13 @@ impl DispatchService {
                 }
             }
         }
+        // Trainer state rides along as one counted text block; snapshots
+        // taken before the trainer existed simply lack the record, and
+        // restore treats its absence as training-from-scratch (or
+        // disabled, when the config carries no trainer).
+        if let Some(slot) = lock(&self.trainer).as_ref() {
+            write_text_block(&mut out, "tstate", &slot.trainer.snapshot_text());
+        }
         for (i, q) in self.request_queues.iter().enumerate() {
             let _ = writeln!(out, "rqueue {i} {} {}", q.accepted(), q.shed());
             for spec in q.peek_all() {
@@ -1381,6 +1571,7 @@ impl DispatchService {
         let mut rtexts = RolloutTexts::default();
         let mut histogram = LatencyHistogram::new();
         let mut rqueue_counters = vec![(0u64, 0u64); svc.config.num_shards];
+        let mut trainer_text: Option<String> = None;
         let mut restored_shards = vec![false; svc.config.num_shards];
         let mut shard_metrics = vec![ShardMetrics::default(); svc.config.num_shards];
         let mut saw_end = false;
@@ -1462,6 +1653,21 @@ impl DispatchService {
                     };
                     if slot.replace(body).is_some() {
                         return Err(bad("duplicate rtext record"));
+                    }
+                }
+                "tstate" => {
+                    let num_lines: usize = p
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("bad tstate line count"))?;
+                    let mut body = String::new();
+                    for _ in 0..num_lines {
+                        let l = lines.next().ok_or_else(|| bad("truncated tstate body"))?;
+                        body.push_str(l);
+                        body.push('\n');
+                    }
+                    if trainer_text.replace(body).is_some() {
+                        return Err(bad("duplicate tstate record"));
                     }
                 }
                 "rqueue" => {
@@ -1665,6 +1871,20 @@ impl DispatchService {
                 prior: rtexts.prior(prior_version)?,
             }),
         };
+        // A trainer record only matters when the restored service trains:
+        // the snapshot carries state, the config carries topology. With
+        // training disabled the record is skipped, and a snapshot without
+        // one (taken before the trainer existed, or with training off)
+        // restores into a trainer-configured service training from scratch.
+        if let (Some(text), Some(cfg)) = (&trainer_text, svc.config.trainer.clone()) {
+            let trainer = Trainer::restore(cfg, text)
+                .map_err(|e| ServeError::BadSnapshot(format!("trainer state in snapshot: {e}")))?;
+            let checkpoint = trainer.snapshot_text();
+            *lock(&svc.trainer) = Some(TrainerSlot {
+                trainer,
+                checkpoint,
+            });
+        }
         for (i, q) in svc.request_queues.iter().enumerate() {
             let (accepted, shed) = rqueue_counters[i];
             q.set_counters(accepted, shed);

@@ -40,7 +40,7 @@ use mobirescue_core::predictor::RequestPredictor;
 use mobirescue_core::rl_dispatch::{MobiRescueDispatcher, RlDispatchConfig, FEATURE_DIM};
 use mobirescue_core::scenario::Scenario;
 use mobirescue_obs::{PhaseTimer, Registry, TimeSource};
-use mobirescue_rl::qscore::{QScore, QScoreConfig};
+use mobirescue_rl::qscore::{PairTransition, QScore, QScoreConfig};
 use mobirescue_roadnet::planner::PlannerStats;
 use mobirescue_sim::dispatcher::{DispatchState, Dispatcher};
 use mobirescue_sim::{
@@ -147,6 +147,10 @@ pub(crate) struct ShardStatus {
     pub reward: f64,
     /// Shadow evaluation result, when a shadow directive was attached.
     pub shadow: Option<ShadowReport>,
+    /// Transitions tapped from the primary dispatcher this epoch (empty
+    /// unless the spec enables the tap; dropped on degraded epochs, where
+    /// the heuristic's plan — not the tapped decisions — drove the world).
+    pub transitions: Vec<PairTransition>,
 }
 
 /// Worker replies.
@@ -168,6 +172,10 @@ pub(crate) struct ShardSpec {
     /// Service observability registry: workers record the per-epoch phase
     /// histograms and publish their routing-cache gauges into it.
     pub obs: Arc<Registry>,
+    /// Tap the primary dispatcher's transitions for the online trainer.
+    /// The tap never changes action selection, so enabling it leaves
+    /// dispatch bit-identical.
+    pub tap_transitions: bool,
 }
 
 /// Wraps the real dispatcher to measure its compute time through the
@@ -272,6 +280,7 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
     let mut dispatcher = build_dispatcher(scenario, &spec.rl, &bundle).ok();
     if let Some(d) = dispatcher.as_mut() {
         d.set_time_source(phase_timer.clone());
+        d.set_transition_tap(spec.tap_transitions);
     }
     let mut fallback = NearestRequestDispatcher;
     let mut injected: u64 = 0;
@@ -302,7 +311,8 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
                   report: Option<EpochReport>,
                   swap_error: Option<SwapError>,
                   reward: f64,
-                  shadow: Option<ShadowReport>| {
+                  shadow: Option<ShadowReport>,
+                  transitions: Vec<PairTransition>| {
         Box::new(ShardStatus {
             epochs: world.epoch_index(),
             injected,
@@ -319,6 +329,7 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
             swap_error,
             reward,
             shadow,
+            transitions,
         })
     };
 
@@ -361,6 +372,7 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
                             match build_dispatcher(scenario, &spec.rl, cand) {
                                 Ok(mut d) => {
                                     d.set_time_source(phase_timer.clone());
+                                    d.set_transition_tap(spec.tap_transitions);
                                     dispatcher = Some(d);
                                     bundle = Arc::clone(cand);
                                 }
@@ -385,6 +397,7 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
                                 match build_dispatcher(scenario, &spec.rl, &current) {
                                     Ok(mut d) => {
                                         d.set_time_source(phase_timer.clone());
+                                        d.set_transition_tap(spec.tap_transitions);
                                         dispatcher = Some(d);
                                         bundle = current;
                                     }
@@ -459,6 +472,22 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
                 h_routing.record(world.take_phases().routing_ms);
                 world.publish_routing(&obs, &routing_prefix);
                 let reward = crate::rollout::epoch_reward(&spec.rl, &spec.sim, &report);
+                // Drain the tap every epoch (even when the transitions are
+                // then discarded) so stale decisions never leak into a
+                // later epoch's batch. On a degraded epoch the heuristic's
+                // plan drove the world, so the tapped decisions' rewards
+                // would be misattributed — drop them.
+                let transitions = match dispatcher.as_mut() {
+                    Some(d) => {
+                        let tapped = d.take_tapped_transitions();
+                        if degraded_now {
+                            Vec::new()
+                        } else {
+                            tapped
+                        }
+                    }
+                    None => Vec::new(),
+                };
                 let shadow = shadow_ctx.as_ref().zip(shadow_cand.as_ref()).map(
                     |((pre_text, reqs), cand)| {
                         evaluate_shadow(
@@ -479,6 +508,7 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
                     swap_error,
                     reward,
                     shadow,
+                    transitions,
                 );
                 if tx.send(ShardReply::Epoch(Ok(st))).is_err() {
                     return;
@@ -523,6 +553,7 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
                             None,
                             0.0,
                             None,
+                            Vec::new(),
                         ))
                     }
                     Err(e) => Err(e),

@@ -17,20 +17,40 @@
 
 use mobirescue_core::scenario::ScenarioConfig;
 use mobirescue_roadnet::graph::SegmentId;
-use mobirescue_serve::{Clock, DispatchService, Event, ModelRegistry, ServeConfig, SimClock};
+use mobirescue_serve::{
+    Clock, DispatchService, Event, ModelRegistry, ServeConfig, SimClock, TrainerConfig,
+};
 use mobirescue_sim::{RequestSpec, SimConfig};
 use std::sync::Arc;
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/mrserve_v1.txt");
 
+/// The trainer the fixture run enables, so the snapshot pins the
+/// `tstate` record: small and deterministic, with candidate emission off
+/// (a rollout in flight is `rollout`/`rtext`'s job, already pinned).
+fn golden_trainer() -> TrainerConfig {
+    TrainerConfig {
+        min_replay: 4,
+        batch_size: 2,
+        steps_per_epoch: 1,
+        candidate_every: 0,
+        hidden: vec![4],
+        seed: 11,
+        ..TrainerConfig::default()
+    }
+}
+
 /// The fixed run the fixture pins: 2 shards, queue capacity 4, two epochs
 /// with three requests per shard per epoch, one weather advisory, one
-/// road-damage advisory, and one request left delayed in the queue.
+/// road-damage advisory, one request left delayed in the queue, and the
+/// online trainer ticking (its replay buffer, optimizer state and
+/// counters land in the `tstate` record).
 fn golden_snapshot() -> String {
     let scenario = Arc::new(ScenarioConfig::small().florence().build(11));
     let mut config = ServeConfig::new(SimConfig::small(6));
     config.num_shards = 2;
     config.request_queue_capacity = 4;
+    config.trainer = Some(golden_trainer());
     let clock = Arc::new(SimClock::new());
     let registry = Arc::new(ModelRegistry::new(None, None));
     let service = DispatchService::start(
@@ -165,6 +185,7 @@ fn golden_fixture_still_restores() {
     let mut config = ServeConfig::new(SimConfig::small(6));
     config.num_shards = 2;
     config.request_queue_capacity = 4;
+    config.trainer = Some(golden_trainer());
     let restored = DispatchService::restore(
         scenario,
         config,
@@ -176,5 +197,64 @@ fn golden_fixture_still_restores() {
     let m = restored.metrics();
     assert_eq!(m.epochs_completed, 2);
     assert_eq!(m.requests_accepted, 13);
+    let status = restored
+        .trainer_status()
+        .expect("the tstate record restores the trainer");
+    assert_eq!(status.epochs, 2, "trainer cadence survives the round-trip");
+    restored.shutdown();
+}
+
+/// Snapshots written before the online training loop carry no `tstate`
+/// record. Operators holding one of those on disk must still restore
+/// cleanly — with training disabled the snapshot is simply complete, and
+/// with training enabled the trainer starts fresh from the configured
+/// seed rather than failing the restore.
+#[test]
+fn pre_trainer_snapshot_still_restores() {
+    let frozen = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/mrserve_v1_pre_trainer.txt"
+    ))
+    .expect("frozen pre-trainer fixture is checked in");
+    assert!(
+        !frozen.contains("\ntstate "),
+        "fixture must stay in the pre-trainer format; never re-bless it"
+    );
+    let scenario = Arc::new(ScenarioConfig::small().florence().build(11));
+    let mut config = ServeConfig::new(SimConfig::small(6));
+    config.num_shards = 2;
+    config.request_queue_capacity = 4;
+
+    // Training disabled: the legacy snapshot restores as-is.
+    let restored = DispatchService::restore(
+        Arc::clone(&scenario),
+        config.clone(),
+        Arc::new(SimClock::new()) as Arc<dyn Clock>,
+        Arc::new(ModelRegistry::new(None, None)),
+        &frozen,
+    )
+    .expect("legacy snapshots restore with training disabled");
+    let m = restored.metrics();
+    assert_eq!(m.epochs_completed, 2);
+    assert_eq!(m.requests_accepted, 13);
+    assert!(restored.trainer_status().is_none(), "no trainer configured");
+    restored.shutdown();
+
+    // Training enabled: no `tstate` record means a fresh trainer, not a
+    // failed restore.
+    config.trainer = Some(golden_trainer());
+    let restored = DispatchService::restore(
+        scenario,
+        config,
+        Arc::new(SimClock::new()) as Arc<dyn Clock>,
+        Arc::new(ModelRegistry::new(None, None)),
+        &frozen,
+    )
+    .expect("legacy snapshots restore with training enabled");
+    let status = restored
+        .trainer_status()
+        .expect("a configured trainer exists even without a tstate record");
+    assert_eq!(status.steps, 0, "the trainer starts fresh");
+    assert_eq!(status.epochs, 0, "no training history is invented");
     restored.shutdown();
 }

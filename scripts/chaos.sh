@@ -2,7 +2,9 @@
 # Chaos seed sweep: run the dispatch service under N seeded fault plans
 # and record one line of invariant results per seed, then sweep poisoned
 # checkpoints (NaN weights, wrong dims, reward tank) through the guarded
-# rollout pipeline.
+# rollout pipeline, then sweep trainer faults (transition drops,
+# stale-candidate floods, boundary crashes) through the online training
+# loop.
 #
 #   scripts/chaos.sh [SEEDS] [BASE_SEED]
 #

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Train smoke: runs `serve --train` — the accelerated online-learning
+# loop — and asserts the loop actually closed: at least one self-trained
+# candidate was submitted to the guarded rollout pipeline, and the
+# train.* metrics are live in the exported dump. The binary itself
+# asserts transition conservation and that trainer state survives its
+# mid-run snapshot/restore; this script is the CI proof those asserts
+# ran.
+#
+#   scripts/train_smoke.sh [EPOCHS]     # default: 24 epochs
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+EPOCHS="${1:-24}"
+
+echo "==> cargo build --release -p mobirescue-net --bin serve"
+cargo build --release -q -p mobirescue-net --bin serve
+
+metrics="$(mktemp)"
+out="$(mktemp)"
+trap 'rm -f "$metrics" "$out"' EXIT
+
+echo "==> serve --train --epochs $EPOCHS"
+./target/release/serve --train --epochs "$EPOCHS" --metrics-out "$metrics" | tee "$out"
+
+failures=0
+if ! grep -q "serve train demo complete" "$out"; then
+    echo "FAIL: the train run did not complete" >&2
+    failures=$((failures + 1))
+fi
+
+metric() { # metric NAME -> value of `c NAME <v>` in the mrobs dump
+    sed -n "s/^c $1 \([0-9]*\)$/\1/p" "$metrics" | head -n 1
+}
+
+submitted="$(metric train.candidates_submitted)"
+steps="$(metric train.steps)"
+offered="$(metric train.transitions_offered)"
+echo "metrics: train.steps $steps, transitions offered $offered, candidates submitted $submitted"
+if [[ -z "$submitted" || "$submitted" -eq 0 ]]; then
+    echo "FAIL: no self-trained candidate reached the rollout gate" >&2
+    failures=$((failures + 1))
+fi
+if [[ -z "$steps" || "$steps" -eq 0 ]]; then
+    echo "FAIL: train.steps is zero — the trainer never learned" >&2
+    failures=$((failures + 1))
+fi
+if [[ -z "$offered" || "$offered" -eq 0 ]]; then
+    echo "FAIL: no transitions were ever tapped into the trainer" >&2
+    failures=$((failures + 1))
+fi
+
+if [[ "$failures" -gt 0 ]]; then
+    echo "train_smoke: $failures failure(s)" >&2
+    exit 1
+fi
+echo "train_smoke: OK"

@@ -35,6 +35,7 @@ run_step "tier-1 build" cargo build --release
 run_step "tier-1 tests" cargo test -q
 run_step "chaos suite" cargo test -q --test chaos
 run_step "rollout chaos suite" cargo test -q --test rollout_chaos
+run_step "trainer chaos suite" cargo test -q --test trainer_chaos
 run_step "net chaos suite" cargo test -q --test net_chaos
 run_step "net crate tests" cargo test -q -p mobirescue-net
 

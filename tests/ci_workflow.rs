@@ -2,7 +2,7 @@
 //!
 //! The build environment has no YAML parser crate, so this validates the
 //! subset of YAML that workflow files actually use: indentation-scoped
-//! mappings with no tabs. It pins the structure CI depends on — all three
+//! mappings with no tabs. It pins the structure CI depends on — all four
 //! jobs exist, run the gate scripts, and cache `target/` keyed on
 //! `Cargo.lock` — so an edit that breaks the pipeline fails locally, not
 //! on the runner.
@@ -77,17 +77,17 @@ fn workflow_triggers_on_push_and_pull_request() {
 fn all_jobs_run_their_gate_scripts_on_a_runner() {
     let text = workflow();
     assert!(has_key_at(&text, 0, "jobs"), "missing top-level jobs:");
-    for job in ["verify", "bench-smoke", "loadgen-smoke"] {
+    for job in ["verify", "bench-smoke", "loadgen-smoke", "train-smoke"] {
         assert!(has_key_at(&text, 2, job), "missing job {job}");
     }
     assert_eq!(
         text.matches("runs-on:").count(),
-        3,
+        4,
         "every job needs a runs-on"
     );
     assert_eq!(
         text.matches("uses: actions/checkout@").count(),
-        3,
+        4,
         "every job checks out the repo"
     );
     assert!(
@@ -102,6 +102,10 @@ fn all_jobs_run_their_gate_scripts_on_a_runner() {
         text.contains("run: scripts/loadgen_smoke.sh"),
         "loadgen-smoke job must run scripts/loadgen_smoke.sh"
     );
+    assert!(
+        text.contains("run: scripts/train_smoke.sh"),
+        "train-smoke job must run scripts/train_smoke.sh"
+    );
 }
 
 #[test]
@@ -109,17 +113,17 @@ fn all_jobs_cache_target_keyed_on_the_lockfile() {
     let text = workflow();
     assert_eq!(
         text.matches("uses: actions/cache@").count(),
-        3,
+        4,
         "every job caches the build"
     );
     assert_eq!(
         text.matches("hashFiles('Cargo.lock')").count(),
-        3,
+        4,
         "cache keys must invalidate when Cargo.lock changes"
     );
     // `target` appears in each job's cached-path block.
     assert!(
-        text.lines().filter(|l| l.trim() == "target").count() >= 3,
+        text.lines().filter(|l| l.trim() == "target").count() >= 4,
         "every cache must include target/"
     );
 }
