@@ -25,7 +25,7 @@ fn bench_engine(c: &mut Criterion) {
                 &scenario.city,
                 &scenario.conditions,
                 &requests,
-                &mut NearestRequestDispatcher,
+                &mut NearestRequestDispatcher::default(),
                 &SimConfig::small(24),
             ))
         })
@@ -38,7 +38,7 @@ fn bench_engine(c: &mut Criterion) {
                 &scenario.city,
                 &scenario.conditions,
                 &requests,
-                &mut NearestRequestDispatcher,
+                &mut NearestRequestDispatcher::default(),
                 &paper_hour,
             ))
         })

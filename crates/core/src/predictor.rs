@@ -309,6 +309,11 @@ impl RequestPredictor {
     /// road segment `ñ_e`, from everyone's latest known position at `hour`
     /// (falling back to home anchors per Section IV-C5's extension when a
     /// person has no recent ping).
+    ///
+    /// Inference is batched: all factor rows are standardized into one flat
+    /// buffer and scored with a single [`SvmModel::decision_batch`] call,
+    /// then only the positives pay for map matching. Per-row math matches
+    /// the scalar [`RequestPredictor::predict`] path bit-for-bit.
     pub fn predict_distribution(
         &self,
         scenario: &Scenario,
@@ -317,12 +322,19 @@ impl RequestPredictor {
     ) -> Vec<f64> {
         let net = &scenario.city.network;
         let mut out = vec![0.0; net.num_segments()];
-        for (person, position) in people_positions_at(scenario, hour) {
-            let _ = person;
-            let factors = scenario.disaster.factors_at(position, hour);
-            if self.predict(&factors) {
-                let seg = matcher.nearest_segment(net, position);
-                out[seg.index()] += 1.0;
+        let positions = people_positions_at(scenario, hour);
+        let dim = self.scaler.dim();
+        let mut scaled = Vec::with_capacity(positions.len() * dim);
+        for (_, position) in &positions {
+            let factors = scenario.disaster.factors_at(*position, hour);
+            self.scaler
+                .transform_append(&factors.as_array(), &mut scaled);
+        }
+        let mut decisions = Vec::new();
+        self.model.decision_batch(&scaled, dim, &mut decisions);
+        for ((_, position), &d) in positions.iter().zip(&decisions) {
+            if d > self.threshold {
+                out[matcher.nearest_segment(net, *position).index()] += 1.0;
             }
         }
         out
@@ -585,6 +597,22 @@ mod tests {
             peak_total > calm_total,
             "predicted demand should spike during the storm: calm {calm_total}, peak {peak_total}"
         );
+    }
+
+    #[test]
+    fn batched_distribution_matches_scalar_predictions() {
+        let (scenario, predictor) = train_small();
+        let matcher = MapMatcher::new(&scenario.city.network);
+        let hour = scenario.hurricane().timeline.peak_hour();
+        let batched = predictor.predict_distribution(&scenario, &matcher, hour);
+        let mut scalar = vec![0.0; scenario.city.network.num_segments()];
+        for (_, pos) in people_positions_at(&scenario, hour) {
+            let factors = scenario.disaster.factors_at(pos, hour);
+            if predictor.predict(&factors) {
+                scalar[matcher.nearest_segment(&scenario.city.network, pos).index()] += 1.0;
+            }
+        }
+        assert_eq!(batched, scalar, "batched SVM path must be bit-identical");
     }
 
     #[test]

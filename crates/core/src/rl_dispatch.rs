@@ -140,6 +140,14 @@ pub struct MobiRescueDispatcher<'a> {
     diameter_m: f64,
     cached_pred_hour: Option<u32>,
     cached_pred: Vec<f64>,
+    /// Per-round scratch (per-segment demand/live tallies and the candidate
+    /// feature/action lists), reused across every dispatch round so the
+    /// epoch loop allocates nothing proportional to world size after the
+    /// first tick.
+    demand: Vec<f64>,
+    live: Vec<f64>,
+    cand_feats: Vec<Vec<f64>>,
+    cand_actions: Vec<Option<ZoneId>>,
     prev: Option<PrevRound>,
     observed: usize,
     phase_timer: PhaseTimer,
@@ -193,6 +201,10 @@ impl<'a> MobiRescueDispatcher<'a> {
             diameter_m,
             cached_pred_hour: None,
             cached_pred: Vec::new(),
+            demand: Vec::new(),
+            live: Vec::new(),
+            cand_feats: Vec::new(),
+            cand_actions: Vec::new(),
             prev: None,
             observed: 0,
             phase_timer: PhaseTimer::disabled(),
@@ -318,9 +330,11 @@ impl<'a> MobiRescueDispatcher<'a> {
         self.tapped.clear();
     }
 
-    /// Per-segment demand: live waiting requests plus weighted SVM
-    /// prediction, cached per hour.
-    fn segment_demand(&mut self, state: &DispatchState<'_>) -> Vec<f64> {
+    /// Refreshes the per-segment scratch tallies for this round:
+    /// `self.demand` (live waiting requests plus weighted SVM prediction,
+    /// the prediction cached per hour) and `self.live` (waiting requests
+    /// only). Buffers are reused across rounds.
+    fn refresh_demand(&mut self, state: &DispatchState<'_>) {
         let n = state.net.num_segments();
         if let Some(pred) = &self.predictor {
             if self.cached_pred_hour != Some(state.hour) {
@@ -331,22 +345,29 @@ impl<'a> MobiRescueDispatcher<'a> {
                     .set(self.predict_ms.get() + self.phase_timer.elapsed_since(t0));
                 self.cached_pred_hour = Some(state.hour);
             }
-        } else {
-            self.cached_pred = vec![0.0; n];
+        } else if self.cached_pred.len() != n {
+            self.cached_pred.clear();
+            self.cached_pred.resize(n, 0.0);
         }
-        let mut demand = vec![0.0; n];
+        self.demand.clear();
+        self.demand.resize(n, 0.0);
         for (i, &p) in self.cached_pred.iter().enumerate() {
-            demand[i] = p * self.config.predicted_weight;
+            self.demand[i] = p * self.config.predicted_weight;
         }
+        self.live.clear();
+        self.live.resize(n, 0.0);
         for r in state.waiting {
-            demand[r.segment.index()] += 1.0;
+            self.demand[r.segment.index()] += 1.0;
+            self.live[r.segment.index()] += 1.0;
         }
-        demand
     }
 
     /// Candidate `(team, action)` features: one entry per non-empty zone
     /// plus the final stand-by candidate. Returns `(features, action)`
-    /// pairs where `action = Some(zone)` or `None` for stand-by.
+    /// pairs where `action = Some(zone)` or `None` for stand-by. The decide
+    /// loop uses [`fill_candidates`] with reused buffers instead; this
+    /// owned variant serves the reward path, whose candidate sets outlive
+    /// the round inside stored transitions.
     fn candidates(
         &self,
         team_pos: GeoPoint,
@@ -354,24 +375,18 @@ impl<'a> MobiRescueDispatcher<'a> {
         remaining: &[f64],
         live_zone: &[f64],
     ) -> (Vec<Vec<f64>>, Vec<Option<ZoneId>>) {
-        let squash = |d: f64| d / (d + 3.0);
-        let total: f64 = remaining.iter().sum();
         let mut feats = Vec::with_capacity(self.zones.num_zones() + 1);
         let mut actions = Vec::with_capacity(self.zones.num_zones() + 1);
-        for (z, pos) in self.anchor_pos.iter().enumerate() {
-            let Some(pos) = pos else { continue };
-            feats.push(vec![
-                team_pos.distance_m(*pos) / self.diameter_m,
-                squash(remaining[z]),
-                squash(live_zone[z]),
-                squash(total),
-                onboard_frac,
-                0.0,
-            ]);
-            actions.push(Some(ZoneId(z as u16)));
-        }
-        feats.push(vec![0.0, 0.0, 0.0, squash(total), onboard_frac, 1.0]);
-        actions.push(None);
+        fill_candidates(
+            &self.anchor_pos,
+            self.diameter_m,
+            team_pos,
+            onboard_frac,
+            remaining,
+            live_zone,
+            &mut feats,
+            &mut actions,
+        );
         (feats, actions)
     }
 
@@ -414,6 +429,55 @@ impl<'a> MobiRescueDispatcher<'a> {
     }
 }
 
+/// Writes one team's candidate `(team, action)` feature set into
+/// caller-owned buffers, recycling the inner feature-vector allocations
+/// from the previous call — every dispatch round scores candidates for
+/// every free team, so the per-candidate `Vec` churn was a measurable
+/// fraction of the frozen-policy dispatch tick.
+#[allow(clippy::too_many_arguments)]
+fn fill_candidates(
+    anchor_pos: &[Option<GeoPoint>],
+    diameter_m: f64,
+    team_pos: GeoPoint,
+    onboard_frac: f64,
+    remaining: &[f64],
+    live_zone: &[f64],
+    feats: &mut Vec<Vec<f64>>,
+    actions: &mut Vec<Option<ZoneId>>,
+) {
+    let squash = |d: f64| d / (d + 3.0);
+    let total: f64 = remaining.iter().sum();
+    actions.clear();
+    let mut used = 0;
+    let mut slot = |feats: &mut Vec<Vec<f64>>, row: [f64; FEATURE_DIM]| {
+        if used < feats.len() {
+            feats[used].clear();
+            feats[used].extend_from_slice(&row);
+        } else {
+            feats.push(row.to_vec());
+        }
+        used += 1;
+    };
+    for (z, pos) in anchor_pos.iter().enumerate() {
+        let Some(pos) = pos else { continue };
+        slot(
+            feats,
+            [
+                team_pos.distance_m(*pos) / diameter_m,
+                squash(remaining[z]),
+                squash(live_zone[z]),
+                squash(total),
+                onboard_frac,
+                0.0,
+            ],
+        );
+        actions.push(Some(ZoneId(z as u16)));
+    }
+    slot(feats, [0.0, 0.0, 0.0, squash(total), onboard_frac, 1.0]);
+    actions.push(None);
+    feats.truncate(used);
+}
+
 impl Dispatcher for MobiRescueDispatcher<'_> {
     fn name(&self) -> &str {
         if self.predictor.is_some() {
@@ -428,14 +492,16 @@ impl Dispatcher for MobiRescueDispatcher<'_> {
     }
 
     fn dispatch(&mut self, state: &DispatchState<'_>) -> DispatchPlan {
-        let demand = self.segment_demand(state);
-        let mut live = vec![0.0; state.net.num_segments()];
-        for r in state.waiting {
-            live[r.segment.index()] += 1.0;
-        }
-        let mut remaining = self.zones.aggregate_demand(&demand);
-        let live_zone = self.zones.aggregate_demand(&live);
-        let now_waiting: HashSet<RequestId> = state.waiting.iter().map(|r| r.id).collect();
+        self.refresh_demand(state);
+        let mut remaining = self.zones.aggregate_demand(&self.demand);
+        let live_zone = self.zones.aggregate_demand(&self.live);
+        // The waiting-id set only feeds the reward path; a frozen, untapped
+        // dispatcher skips building it (HashSet::new is allocation-free).
+        let now_waiting: HashSet<RequestId> = if self.training || self.tap {
+            state.waiting.iter().map(|r| r.id).collect()
+        } else {
+            HashSet::new()
+        };
 
         // Online Equation-5 reward for the previous round.
         if self.training || self.tap {
@@ -504,7 +570,9 @@ impl Dispatcher for MobiRescueDispatcher<'_> {
             }
         }
 
-        // Decide this round.
+        // Decide this round. Decisions (with their cloned feature vectors)
+        // are only recorded when the reward path will consume them.
+        let record = self.training || self.tap;
         let mut plan = DispatchPlan::none(state.teams.len());
         let mut decisions = Vec::new();
         for team in state.teams {
@@ -513,7 +581,18 @@ impl Dispatcher for MobiRescueDispatcher<'_> {
             }
             let pos = state.net.landmark(team.location).position;
             let onboard_frac = team.onboard as f64 / self.config.capacity as f64;
-            let (feats, actions) = self.candidates(pos, onboard_frac, &remaining, &live_zone);
+            let mut feats = std::mem::take(&mut self.cand_feats);
+            let mut actions = std::mem::take(&mut self.cand_actions);
+            fill_candidates(
+                &self.anchor_pos,
+                self.diameter_m,
+                pos,
+                onboard_frac,
+                &remaining,
+                &live_zone,
+                &mut feats,
+                &mut actions,
+            );
             let idx = if self.training {
                 self.policy.act(&feats)
             } else {
@@ -521,19 +600,28 @@ impl Dispatcher for MobiRescueDispatcher<'_> {
             };
             let mut decision = Decision {
                 team_index: team.id.index(),
-                features: feats[idx].clone(),
+                features: if record {
+                    feats[idx].clone()
+                } else {
+                    Vec::new()
+                },
                 covered: 0.0,
                 delay_s: 0.0,
                 serving: false,
             };
-            match actions[idx] {
+            let action = actions[idx];
+            self.cand_feats = feats;
+            self.cand_actions = actions;
+            match action {
                 None => {
                     if !team.standby {
                         plan.orders[team.id.index()] = Some(Order::ReturnToBase);
                     }
                 }
                 Some(zone) => {
-                    if let Some(seg) = self.target_segment_in(zone, pos, &live, &demand, state) {
+                    if let Some(seg) =
+                        self.target_segment_in(zone, pos, &self.live, &self.demand, state)
+                    {
                         plan.orders[team.id.index()] = Some(Order::GoToSegment(seg));
                         let target = state.net.segment_midpoint(seg);
                         let cap = self.config.capacity as f64;
@@ -544,10 +632,12 @@ impl Dispatcher for MobiRescueDispatcher<'_> {
                     }
                 }
             }
-            decisions.push(decision);
+            if record {
+                decisions.push(decision);
+            }
         }
 
-        if self.training || self.tap {
+        if record {
             self.prev = Some(PrevRound {
                 decisions,
                 waiting_ids: now_waiting,
@@ -757,7 +847,7 @@ mod tests {
             &scenario.city,
             &scenario.conditions,
             &requests,
-            &mut NearestRequestDispatcher,
+            &mut NearestRequestDispatcher::default(),
             &cfg,
         );
         assert!(naive.total_served() > 5);

@@ -18,22 +18,53 @@ use mobirescue_roadnet::regions::{RegionId, RegionPartition};
 use serde::{Deserialize, Serialize};
 
 /// Per-hour network conditions (G̃ at every hour), precomputed once.
+///
+/// Conditions may cover only a *window* of the scenario (see
+/// [`HourlyConditions::compute_window`]): at metro scale a full 30-day
+/// horizon over 100k+ segments costs gigabytes, while serving and
+/// benchmarking only ever touch the hours around the storm.
 #[derive(Debug, Clone)]
 pub struct HourlyConditions {
     conditions: Vec<NetworkCondition>,
+    /// First absolute scenario hour covered (0 for full-horizon builds).
+    first_hour: u32,
 }
 
 impl HourlyConditions {
     /// Precomputes the condition of `net` for every hour of `scenario`.
     pub fn compute(net: &RoadNetwork, scenario: &DisasterScenario) -> Self {
-        let conditions = (0..scenario.total_hours())
-            .map(|h| scenario.network_condition(net, h))
-            .collect();
-        Self { conditions }
+        Self::compute_window(net, scenario, 0..scenario.total_hours())
+    }
+
+    /// Precomputes conditions for the absolute-hour window
+    /// `window.start..window.end` only. `at` remains indexed by *absolute*
+    /// scenario hour; hours outside the window panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is empty or extends past the scenario.
+    pub fn compute_window(
+        net: &RoadNetwork,
+        scenario: &DisasterScenario,
+        window: std::ops::Range<u32>,
+    ) -> Self {
+        assert!(!window.is_empty(), "condition window must be non-empty");
+        assert!(
+            window.end <= scenario.total_hours(),
+            "window {window:?} extends past the {}-hour scenario",
+            scenario.total_hours()
+        );
+        let first_hour = window.start;
+        let conditions = window.map(|h| scenario.network_condition(net, h)).collect();
+        Self {
+            conditions,
+            first_hour,
+        }
     }
 
     /// Builds from explicit per-hour conditions (synthetic damage schedules
-    /// for tests and failure-injection studies).
+    /// for tests and failure-injection studies), covering hours
+    /// `0..conditions.len()`.
     ///
     /// # Panics
     ///
@@ -43,21 +74,35 @@ impl HourlyConditions {
             !conditions.is_empty(),
             "need at least one hour of conditions"
         );
-        Self { conditions }
+        Self {
+            conditions,
+            first_hour: 0,
+        }
     }
 
-    /// Number of hours covered.
+    /// First absolute hour covered (0 for full-horizon builds).
+    pub fn first_hour(&self) -> u32 {
+        self.first_hour
+    }
+
+    /// One past the last absolute hour covered. Full-horizon builds cover
+    /// `0..hours()`, windowed builds `first_hour()..hours()`.
     pub fn hours(&self) -> u32 {
-        self.conditions.len() as u32
+        self.first_hour + self.conditions.len() as u32
     }
 
-    /// The condition at `hour`.
+    /// The condition at absolute scenario `hour`.
     ///
     /// # Panics
     ///
-    /// Panics if `hour` is out of range.
+    /// Panics if `hour` is outside the covered window.
     pub fn at(&self, hour: u32) -> &NetworkCondition {
-        &self.conditions[hour as usize]
+        assert!(
+            hour >= self.first_hour,
+            "hour {hour} precedes the covered window starting at {}",
+            self.first_hour
+        );
+        &self.conditions[(hour - self.first_hour) as usize]
     }
 }
 

@@ -72,6 +72,16 @@ impl PopulationConfig {
             ..Self::charlotte_like()
         }
     }
+
+    /// Metro-scale population: two million residents. Populations this
+    /// size are generated through [`crate::stream`] (chunked, per-resident
+    /// seeded) rather than materialized wholesale.
+    pub fn metro() -> Self {
+        Self {
+            num_people: 2_000_000,
+            ..Self::charlotte_like()
+        }
+    }
 }
 
 /// Generator-internal truth about one trapped-and-rescued person, exposed
@@ -98,6 +108,11 @@ pub struct GenerationOutput {
     pub dataset: MobilityDataset,
     /// True trapped/rescue events, for validation only.
     pub true_rescues: Vec<TrueRescue>,
+    /// Residents the generating configuration describes. Equal to
+    /// `dataset.num_people()` for fully materialized runs; larger when the
+    /// dataset is a deterministic sample of a streamed metro-scale
+    /// population (see [`crate::stream::generate_streamed`]).
+    pub total_residents: usize,
 }
 
 /// An anchor timeline: the position a person occupies from each minute on.
@@ -142,9 +157,6 @@ pub fn generate(
     );
     assert!(!city.hospitals.is_empty(), "city must have hospitals");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x6d6f_6269_6c69_7479);
-    let total_minutes = scenario.total_hours() * 60;
-    let total_days = scenario.total_hours() / 24;
-
     let people = sample_people(city, config, &mut rng);
     let hospital_pos: Vec<GeoPoint> = city
         .hospitals
@@ -156,6 +168,44 @@ pub fn generate(
     let mut true_rescues = Vec::new();
 
     for person in &people {
+        simulate_person(
+            person,
+            city,
+            scenario,
+            config,
+            &hospital_pos,
+            &mut rng,
+            &mut pings,
+            &mut true_rescues,
+        );
+    }
+
+    GenerationOutput {
+        dataset: MobilityDataset { people, pings },
+        true_rescues,
+        total_residents: config.num_people,
+    }
+}
+
+/// Simulates one person's full-scenario behaviour — trips, sheltering,
+/// trapping, rescue — appending their GPS pings and any true-rescue event.
+/// Factored out of [`generate`] verbatim so the streaming generator
+/// ([`crate::stream`]) can drive it with per-resident RNGs; the RNG call
+/// sequence is exactly the original's.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_person(
+    person: &Person,
+    city: &City,
+    scenario: &DisasterScenario,
+    config: &PopulationConfig,
+    hospital_pos: &[GeoPoint],
+    rng: &mut StdRng,
+    pings: &mut Vec<GpsPing>,
+    true_rescues: &mut Vec<TrueRescue>,
+) {
+    let total_minutes = scenario.total_hours() * 60;
+    let total_days = scenario.total_hours() / 24;
+    {
         let mut timeline = AnchorTimeline::default();
         timeline.push(0, person.home);
         let mut trapped: Option<u32> = None;
@@ -186,7 +236,7 @@ pub fn generate(
                             let trapped_minute = minute + rng.random_range(0..50);
                             let rescue_minute =
                                 (trapped_minute + rng.random_range(90..700)).min(total_minutes - 1);
-                            let (h_idx, _) = nearest_hospital(&hospital_pos, pos);
+                            let (h_idx, _) = nearest_hospital(hospital_pos, pos);
                             timeline.push(rescue_minute, hospital_pos[h_idx]);
                             let leave = rescue_minute + rng.random_range(240..620);
                             if leave < total_minutes {
@@ -262,7 +312,7 @@ pub fn generate(
             }
             if rng.random_bool(config.errands_per_day.clamp(0.0, 1.0)) {
                 let start = home_again + rng.random_range(20..120);
-                let target = random_landmark_pos(city, &mut rng);
+                let target = random_landmark_pos(city, rng);
                 let travel = est_travel_minutes(person.home, target);
                 let stay = rng.random_range(25..90);
                 let end = start + travel + stay + travel;
@@ -292,11 +342,6 @@ pub fn generate(
             t += rng.random_range(config.ping_interval_min..=config.ping_interval_max);
         }
     }
-
-    GenerationOutput {
-        dataset: MobilityDataset { people, pings },
-        true_rescues,
-    }
 }
 
 /// Straight-line travel estimate at 8 m/s average urban speed, minutes.
@@ -324,46 +369,63 @@ fn random_landmark_pos(city: &City, rng: &mut StdRng) -> GeoPoint {
 /// profiles.
 fn sample_people(city: &City, config: &PopulationConfig, rng: &mut StdRng) -> Vec<Person> {
     let landmarks: Vec<GeoPoint> = city.network.landmarks().map(|lm| lm.position).collect();
-    // Downtown-weighted landmark sampling by rejection.
-    let weighted_pick = |rng: &mut StdRng, downtown_bias: f64| -> GeoPoint {
-        loop {
-            let p = landmarks[rng.random_range(0..landmarks.len())];
-            let (x, y) = p.local_xy_m(city.center);
-            let r2 = x * x + y * y;
-            let w =
-                1.0 - downtown_bias + downtown_bias * (-r2 / (2.0 * 4_000.0_f64 * 4_000.0)).exp();
-            if rng.random_bool(w.clamp(0.02, 1.0)) {
-                return p;
-            }
-        }
-    };
     (0..config.num_people as u32)
-        .map(|i| {
-            let home = weighted_pick(rng, 0.55).offset_m(
-                rng.random_range(-200.0..200.0),
-                rng.random_range(-200.0..200.0),
-            );
-            let profile = if rng.random_bool(config.commuter_fraction) {
-                MobilityProfile::Commuter
-            } else {
-                MobilityProfile::Homebody
-            };
-            let work = if profile == MobilityProfile::Commuter {
-                weighted_pick(rng, 0.85).offset_m(
-                    rng.random_range(-150.0..150.0),
-                    rng.random_range(-150.0..150.0),
-                )
-            } else {
-                home
-            };
-            Person {
-                id: PersonId(i),
-                home,
-                work,
-                profile,
-            }
-        })
+        .map(|i| sample_person(city, config, &landmarks, PersonId(i), rng))
         .collect()
+}
+
+/// Downtown-weighted landmark sampling by rejection.
+fn weighted_pick(
+    city: &City,
+    landmarks: &[GeoPoint],
+    rng: &mut StdRng,
+    downtown_bias: f64,
+) -> GeoPoint {
+    loop {
+        let p = landmarks[rng.random_range(0..landmarks.len())];
+        let (x, y) = p.local_xy_m(city.center);
+        let r2 = x * x + y * y;
+        let w = 1.0 - downtown_bias + downtown_bias * (-r2 / (2.0 * 4_000.0_f64 * 4_000.0)).exp();
+        if rng.random_bool(w.clamp(0.02, 1.0)) {
+            return p;
+        }
+    }
+}
+
+/// Samples a single person's home, work, and profile. Factored out of
+/// [`sample_people`] so the streaming generator ([`crate::stream`]) can
+/// materialize any resident independently with a per-resident RNG; the RNG
+/// call sequence matches the original batch sampler exactly.
+pub(crate) fn sample_person(
+    city: &City,
+    config: &PopulationConfig,
+    landmarks: &[GeoPoint],
+    id: PersonId,
+    rng: &mut StdRng,
+) -> Person {
+    let home = weighted_pick(city, landmarks, rng, 0.55).offset_m(
+        rng.random_range(-200.0..200.0),
+        rng.random_range(-200.0..200.0),
+    );
+    let profile = if rng.random_bool(config.commuter_fraction) {
+        MobilityProfile::Commuter
+    } else {
+        MobilityProfile::Homebody
+    };
+    let work = if profile == MobilityProfile::Commuter {
+        weighted_pick(city, landmarks, rng, 0.85).offset_m(
+            rng.random_range(-150.0..150.0),
+            rng.random_range(-150.0..150.0),
+        )
+    } else {
+        home
+    };
+    Person {
+        id,
+        home,
+        work,
+        profile,
+    }
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ pub mod map_match;
 pub mod person;
 pub mod rescue;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 pub mod trips;
 
@@ -39,5 +40,6 @@ pub use rescue::{
     RescueRecord,
 };
 pub use stats::{mean, pearson, std_dev, Cdf};
+pub use stream::{generate_streamed, ResidentStream};
 pub use trace::{GpsPing, MobilityDataset, Trajectory, MINUTES_PER_DAY};
 pub use trips::{extract_trips, Trip, DEFAULT_TRIP_THRESHOLD_M};

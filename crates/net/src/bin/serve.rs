@@ -68,7 +68,10 @@ Modes:
                        enter the guarded rollout pipeline
 
 Listen/train-mode options:
-  --scenario NAME      world to serve: small | medium | charlotte (default: small)
+  --scenario NAME      world to serve: small | medium | charlotte | metro
+                       | multi_city (default: small). Metro presets serve
+                       the storm-hour condition window of a 100k+-segment
+                       multi-district world
   --shards N           city shards (default: 2)
   --epochs N           dispatch epochs before draining (default: 60)
   --period-ms MS       wall-clock milliseconds per dispatch epoch
@@ -119,9 +122,10 @@ fn parse_args() -> Result<Args, String> {
             "--train" => parsed.train = true,
             "--scenario" => {
                 let name = value(&mut args, "--scenario")?;
-                if !["small", "medium", "charlotte"].contains(&name.as_str()) {
+                if ScenarioConfig::from_name(&name).is_none() {
                     return Err(format!(
-                        "unknown scenario {name:?} (expected small, medium, or charlotte)"
+                        "unknown scenario {name:?} (expected small, medium, charlotte, \
+                         metro, or multi_city)"
                     ));
                 }
                 parsed.scenario = name;
@@ -206,22 +210,21 @@ fn dump_metrics(args: &Args, obs: &mobirescue_obs::ObsSnapshot) -> Result<(), Se
 // ---------------------------------------------------------------------
 
 fn run_listen(args: &Args, addr: &str) -> Result<(), ServeError> {
-    let scenario = Arc::new(match args.scenario.as_str() {
-        "medium" => ScenarioConfig::medium().florence().build(SEED),
-        "charlotte" => ScenarioConfig::charlotte_like().florence().build(SEED),
-        _ => ScenarioConfig::small().florence().build(SEED),
-    });
+    let scenario = Arc::new(build_scenario(&args.scenario));
+    // Simulation starts at the first covered condition hour (0 for the
+    // classic presets; the storm window's opening hour for metro presets).
+    let first = scenario.conditions.first_hour();
     let hours = scenario.conditions.hours();
     // Size the simulated window to cover every epoch (the dispatch period
     // is simulated seconds; the wall-clock pacing below is independent).
     let base = if args.scenario == "small" {
-        SimConfig::small(0)
+        SimConfig::small(first)
     } else {
-        SimConfig::paper(0)
+        SimConfig::paper(first)
     };
     let needed_hours = (args.epochs * base.dispatch_period_s).div_ceil(3_600) + 1;
     let sim = SimConfig {
-        duration_hours: needed_hours.min(hours),
+        duration_hours: needed_hours.min(hours - first),
         ..base
     };
     let max_epochs = sim.duration_hours * 3_600 / sim.dispatch_period_s;
@@ -326,6 +329,15 @@ fn run_listen(args: &Args, addr: &str) -> Result<(), ServeError> {
 // Demo mode: the accelerated end-to-end feature tour.
 // ---------------------------------------------------------------------
 
+/// Builds the named preset's Florence scenario (the name is validated at
+/// argument-parse time, so the lookup cannot fail here).
+fn build_scenario(name: &str) -> Scenario {
+    ScenarioConfig::from_name(name)
+        .expect("scenario name validated by parse_args")
+        .florence()
+        .build(SEED)
+}
+
 /// A deterministic synthetic request stream for one shard and epoch,
 /// mimicking the repo's test idiom (mined rescue records need the full
 /// mobility pipeline; the service only cares about the arrival process).
@@ -361,8 +373,10 @@ fn ingest_epoch(service: &Arc<DispatchService>, scenario: &Arc<Scenario>, epoch:
                         accepted += 1;
                     }
                 }
-                // One advisory of each kind per shard per epoch.
-                let hour = (epoch / 12).min(scenario.conditions.hours() - 1);
+                // One advisory of each kind per shard per epoch, pinned to
+                // the covered condition window.
+                let hour = (scenario.conditions.first_hour() + epoch / 12)
+                    .min(scenario.conditions.hours() - 1);
                 service
                     .ingest(Event::Weather {
                         shard,
@@ -656,20 +670,17 @@ fn run_demo(args: &Args) -> Result<(), ServeError> {
 // ---------------------------------------------------------------------
 
 fn run_train(args: &Args) -> Result<(), ServeError> {
-    let scenario = Arc::new(match args.scenario.as_str() {
-        "medium" => ScenarioConfig::medium().florence().build(SEED),
-        "charlotte" => ScenarioConfig::charlotte_like().florence().build(SEED),
-        _ => ScenarioConfig::small().florence().build(SEED),
-    });
+    let scenario = Arc::new(build_scenario(&args.scenario));
+    let first = scenario.conditions.first_hour();
     let hours = scenario.conditions.hours();
     let base = if args.scenario == "small" {
-        SimConfig::small(0)
+        SimConfig::small(first)
     } else {
-        SimConfig::paper(0)
+        SimConfig::paper(first)
     };
     let needed_hours = (args.epochs * base.dispatch_period_s).div_ceil(3_600) + 1;
     let sim = SimConfig {
-        duration_hours: needed_hours.min(hours),
+        duration_hours: needed_hours.min(hours - first),
         ..base
     };
     let max_epochs = sim.duration_hours * 3_600 / sim.dispatch_period_s;

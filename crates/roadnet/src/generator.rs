@@ -57,6 +57,17 @@ pub struct CityConfig {
     /// Strong connectivity is repaired afterwards, so any value in
     /// `[0, 1]` yields a drivable city. Defaults to `0.0` (all two-way).
     pub one_way_fraction: f64,
+    /// Districts along the east-west axis. With `districts_x * districts_y
+    /// == 1` (the default) the generator emits the classic single-district
+    /// grid; more districts tile `districts_x × districts_y` copies of the
+    /// grid, each with its own arterial/motorway pattern, joined by
+    /// motorway/arterial connectors across the district gaps — the
+    /// metro-scale "grid-plus-arterials" layout.
+    pub districts_x: usize,
+    /// Districts along the north-south axis.
+    pub districts_y: usize,
+    /// Gap between adjacent districts, meters (spanned by the connectors).
+    pub district_gap_m: f64,
 }
 
 impl CityConfig {
@@ -74,6 +85,9 @@ impl CityConfig {
             arterial_every: 4,
             hospitals_per_region: 2,
             one_way_fraction: 0.0,
+            districts_x: 1,
+            districts_y: 1,
+            district_gap_m: 0.0,
         }
     }
 
@@ -89,6 +103,48 @@ impl CityConfig {
         }
     }
 
+    /// A metro-scale configuration: 2×2 districts of 80×80 landmarks at
+    /// 300 m spacing — 25,600 landmarks and ≈101k directed segments, the
+    /// "city of millions" substrate.
+    pub fn metro() -> Self {
+        Self {
+            grid_width: 80,
+            grid_height: 80,
+            spacing_m: 300.0,
+            position_jitter_m: 60.0,
+            num_regions: 13,
+            downtown_radius_m: 4_000.0,
+            hospitals_per_region: 3,
+            districts_x: 2,
+            districts_y: 2,
+            district_gap_m: 1_200.0,
+            ..Self::charlotte_like()
+        }
+    }
+
+    /// A multi-city configuration: 3×2 well-separated 48×48 cities joined
+    /// by long motorway/arterial connectors (≈54k directed segments).
+    pub fn multi_city() -> Self {
+        Self {
+            grid_width: 48,
+            grid_height: 48,
+            spacing_m: 400.0,
+            position_jitter_m: 70.0,
+            num_regions: 9,
+            downtown_radius_m: 3_000.0,
+            hospitals_per_region: 2,
+            districts_x: 3,
+            districts_y: 2,
+            district_gap_m: 6_000.0,
+            ..Self::charlotte_like()
+        }
+    }
+
+    /// Total districts in the layout.
+    pub fn num_districts(&self) -> usize {
+        self.districts_x * self.districts_y
+    }
+
     /// Generates the city deterministically from `seed`.
     ///
     /// # Panics
@@ -102,6 +158,16 @@ impl CityConfig {
         );
         assert!(self.num_regions >= 2, "need at least two regions");
         assert!(self.arterial_every > 0, "arterial_every must be positive");
+        assert!(
+            self.districts_x >= 1 && self.districts_y >= 1,
+            "district counts must be positive"
+        );
+        if self.num_districts() > 1 {
+            // The metro path draws from its own RNG stream; the
+            // single-district path below is byte-for-byte the original
+            // generator, so every existing fixture stays pinned.
+            return self.build_districts(seed);
+        }
         let mut rng = StdRng::seed_from_u64(seed ^ 0x6d6f_6269_7265_7363);
         let mut network = RoadNetwork::new();
 
@@ -187,6 +253,164 @@ impl CityConfig {
             hospitals,
             depot,
             center: self.center,
+        }
+    }
+
+    /// The multi-district metro generator: `districts_x × districts_y`
+    /// jittered grids (each with the per-district arterial pattern and
+    /// central motorway cross), joined across the district gaps by two-way
+    /// connectors on every arterial row/column (motorway on the central
+    /// row/column). Connectors on every district boundary keep the metro
+    /// strongly connected whenever each district is.
+    // Index loops are the natural shape here: the connector passes pair
+    // each district with its eastern/southern neighbor (`grids[dy][dx]`
+    // vs `grids[dy][dx + 1]`), which iterators cannot express cleanly.
+    #[allow(clippy::needless_range_loop)]
+    fn build_districts(&self, seed: u64) -> City {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6d65_7472_6f63_6974);
+        let mut network = RoadNetwork::new();
+        let span_x = (self.grid_width - 1) as f64 * self.spacing_m;
+        let span_y = (self.grid_height - 1) as f64 * self.spacing_m;
+        let pitch_x = span_x + self.district_gap_m;
+        let pitch_y = span_y + self.district_gap_m;
+        // Center the whole metro on `self.center`.
+        let origin_e = -(span_x + (self.districts_x - 1) as f64 * pitch_x) / 2.0;
+        let origin_n = -(span_y + (self.districts_y - 1) as f64 * pitch_y) / 2.0;
+
+        let mid_r = self.grid_height / 2;
+        let mid_c = self.grid_width / 2;
+        let class_of = |r: usize, c: usize, horizontal: bool| -> RoadClass {
+            if (horizontal && r == mid_r) || (!horizontal && c == mid_c) {
+                RoadClass::Motorway
+            } else if (horizontal && r.is_multiple_of(self.arterial_every))
+                || (!horizontal && c.is_multiple_of(self.arterial_every))
+            {
+                RoadClass::Arterial
+            } else {
+                RoadClass::Residential
+            }
+        };
+        // Row `r` hosts an inter-district connector (arterial grid line or
+        // the central motorway).
+        let connector_row =
+            |r: usize| -> bool { r.is_multiple_of(self.arterial_every) || r == mid_r };
+        let connector_class = |r: usize| -> RoadClass {
+            if r == mid_r {
+                RoadClass::Motorway
+            } else {
+                RoadClass::Arterial
+            }
+        };
+
+        let mut skipped_reverses: Vec<(LandmarkId, LandmarkId, RoadClass)> = Vec::new();
+        // grids[dy][dx][r][c]
+        let mut grids: Vec<Vec<Vec<Vec<LandmarkId>>>> =
+            vec![vec![Vec::new(); self.districts_x]; self.districts_y];
+        for dy in 0..self.districts_y {
+            for dx in 0..self.districts_x {
+                let base_e = origin_e + dx as f64 * pitch_x;
+                let base_n = origin_n + dy as f64 * pitch_y;
+                let mut grid = vec![vec![LandmarkId(0); self.grid_width]; self.grid_height];
+                for (r, row) in grid.iter_mut().enumerate() {
+                    for (c, cell) in row.iter_mut().enumerate() {
+                        let east = base_e
+                            + c as f64 * self.spacing_m
+                            + rng.random_range(-self.position_jitter_m..=self.position_jitter_m);
+                        let north = base_n
+                            + r as f64 * self.spacing_m
+                            + rng.random_range(-self.position_jitter_m..=self.position_jitter_m);
+                        *cell = network.add_landmark(self.center.offset_m(east, north));
+                    }
+                }
+                for r in 0..self.grid_height {
+                    for c in 0..self.grid_width {
+                        if c + 1 < self.grid_width {
+                            self.add_street(
+                                &mut network,
+                                &mut rng,
+                                &mut skipped_reverses,
+                                grid[r][c],
+                                grid[r][c + 1],
+                                class_of(r, c, true),
+                            );
+                        }
+                        if r + 1 < self.grid_height {
+                            self.add_street(
+                                &mut network,
+                                &mut rng,
+                                &mut skipped_reverses,
+                                grid[r][c],
+                                grid[r + 1][c],
+                                class_of(r, c, false),
+                            );
+                        }
+                    }
+                }
+                grids[dy][dx] = grid;
+            }
+        }
+        // East-west connectors between horizontally adjacent districts.
+        for dy in 0..self.districts_y {
+            for dx in 0..self.districts_x.saturating_sub(1) {
+                for r in 0..self.grid_height {
+                    if connector_row(r) {
+                        let a = grids[dy][dx][r][self.grid_width - 1];
+                        let b = grids[dy][dx + 1][r][0];
+                        network.add_two_way(a, b, connector_class(r));
+                    }
+                }
+            }
+        }
+        // North-south connectors between vertically adjacent districts.
+        for dy in 0..self.districts_y.saturating_sub(1) {
+            for dx in 0..self.districts_x {
+                for c in 0..self.grid_width {
+                    if connector_row(c) {
+                        let a = grids[dy][dx][self.grid_height - 1][c];
+                        let b = grids[dy + 1][dx][0][c];
+                        network.add_two_way(a, b, connector_class(c));
+                    }
+                }
+            }
+        }
+        self.repair_connectivity(&mut network, skipped_reverses);
+
+        let regions = self.partition(&network);
+        let hospitals = self.place_hospitals(&network, &regions, &mut rng);
+        let depot = network
+            .nearest_landmark(self.center)
+            .expect("generated network is non-empty");
+
+        City {
+            network,
+            regions,
+            hospitals,
+            depot,
+            center: self.center,
+        }
+    }
+
+    /// Adds one street between `a` and `b`, possibly one-way (residential
+    /// only), recording skipped reverse directions as connectivity-repair
+    /// candidates.
+    fn add_street(
+        &self,
+        network: &mut RoadNetwork,
+        rng: &mut StdRng,
+        skipped_reverses: &mut Vec<(LandmarkId, LandmarkId, RoadClass)>,
+        a: LandmarkId,
+        b: LandmarkId,
+        class: RoadClass,
+    ) {
+        let one_way = class == RoadClass::Residential
+            && self.one_way_fraction > 0.0
+            && rng.random_bool(self.one_way_fraction.clamp(0.0, 1.0));
+        if one_way {
+            let (from, to) = if rng.random_bool(0.5) { (a, b) } else { (b, a) };
+            network.add_segment(from, to, class);
+            skipped_reverses.push((to, from, class));
+        } else {
+            network.add_two_way(a, b, class);
         }
     }
 

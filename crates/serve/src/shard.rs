@@ -282,7 +282,7 @@ fn run_shard(index: usize, spec: ShardSpec, rx: &Receiver<ShardCmd>, tx: &Sender
         d.set_time_source(phase_timer.clone());
         d.set_transition_tap(spec.tap_transitions);
     }
-    let mut fallback = NearestRequestDispatcher;
+    let mut fallback = NearestRequestDispatcher::default();
     let mut injected: u64 = 0;
     let mut rejected: u64 = 0;
     let mut carry_ms: u64 = 0;

@@ -67,8 +67,18 @@ pub trait Dispatcher {
 /// A naive built-in policy for engine tests and as an extra baseline: every
 /// idle team is sent to the segment of the oldest waiting request not yet
 /// claimed this tick; teams with nothing to do stand by where they are.
+///
+/// Scratch buffers (the claim table over the waiting list and the free-team
+/// candidate list) live on the dispatcher and are reused across dispatch
+/// rounds — at metro scale the waiting list runs to tens of thousands of
+/// entries per epoch, so reallocating them every period dominated the
+/// dispatch tick.
 #[derive(Debug, Clone, Default)]
-pub struct NearestRequestDispatcher;
+pub struct NearestRequestDispatcher {
+    claimed: Vec<bool>,
+    free: Vec<u32>,
+    sources: Vec<LandmarkId>,
+}
 
 impl Dispatcher for NearestRequestDispatcher {
     fn name(&self) -> &str {
@@ -81,25 +91,32 @@ impl Dispatcher for NearestRequestDispatcher {
 
     fn dispatch(&mut self, state: &DispatchState<'_>) -> DispatchPlan {
         let mut plan = DispatchPlan::none(state.teams.len());
-        let mut claimed = vec![false; state.waiting.len()];
-        let free: Vec<&TeamView> = state
-            .teams
-            .iter()
-            .filter(|t| !t.delivering && t.onboard == 0)
-            .collect();
-        state.prewarm_team_routes(&free);
-        for team in free {
+        self.claimed.clear();
+        self.claimed.resize(state.waiting.len(), false);
+        self.free.clear();
+        self.sources.clear();
+        for (i, t) in state.teams.iter().enumerate() {
+            if !t.delivering && t.onboard == 0 {
+                self.free.push(i as u32);
+                self.sources.push(t.location);
+            }
+        }
+        state
+            .planner
+            .prewarm(state.condition, &self.sources, pool::available_threads());
+        for &ti in &self.free {
+            let team: &TeamView = &state.teams[ti as usize];
             // Oldest unclaimed request reachable from this team.
             let sp = state.planner.paths_from(state.condition, team.location);
             let target = state
                 .waiting
                 .iter()
                 .enumerate()
-                .filter(|(i, _)| !claimed[*i])
+                .filter(|(i, _)| !self.claimed[*i])
                 .filter(|(_, r)| sp.travel_time_s(state.net.segment(r.segment).to).is_some())
                 .min_by_key(|(_, r)| r.appear_s);
             if let Some((i, r)) = target {
-                claimed[i] = true;
+                self.claimed[i] = true;
                 plan.orders[team.id.index()] = Some(Order::GoToSegment(r.segment));
             }
         }
@@ -151,7 +168,7 @@ mod tests {
             hospitals: &city.hospitals,
             depot: city.depot,
         };
-        let mut d = NearestRequestDispatcher;
+        let mut d = NearestRequestDispatcher::default();
         let plan = d.dispatch(&state);
         let targets: Vec<_> = plan.orders.iter().flatten().collect();
         assert_eq!(targets.len(), 2, "two requests, two orders");
@@ -189,7 +206,7 @@ mod tests {
             hospitals: &city.hospitals,
             depot: city.depot,
         };
-        let plan = NearestRequestDispatcher.dispatch(&state);
+        let plan = NearestRequestDispatcher::default().dispatch(&state);
         assert_eq!(plan.orders[0], None);
     }
 }

@@ -1,0 +1,356 @@
+//! Struct-of-arrays storage for the engine's hot state.
+//!
+//! At metro scale (100k+ segments, hundreds of teams, tens of thousands of
+//! requests) the original array-of-structs layout — one heap `Vec` per team,
+//! one `HashMap` entry per waiting segment, one 56-byte `RequestOutcome`
+//! per request — dominates both cache misses and allocator traffic in the
+//! per-second step loop. These arenas keep each field in its own flat
+//! parallel vector indexed by the entity's id, with sentinel encodings for
+//! the optional fields (`u32::MAX` for absent seconds/teams, NaN for the
+//! absent delay), and the waiting queues in a dense per-segment table with
+//! a dirty list instead of a hash map.
+//!
+//! The layouts are storage-only: every observable behavior — pickup order,
+//! dispatch view ordering, snapshot text — is bit-identical to the original
+//! engine (pinned by `tests/scale_equivalence.rs` and the sim golden
+//! suites).
+
+use crate::types::{RequestId, RequestOutcome, RequestSpec, TeamId};
+use mobirescue_roadnet::graph::{LandmarkId, SegmentId};
+use std::collections::VecDeque;
+
+use super::Mission;
+
+/// Sentinel for "absent" in the `u32` columns (never a legal second or
+/// team index: windows are bounded well below `u32::MAX`).
+pub(super) const NO_U32: u32 = u32::MAX;
+
+/// Request state in parallel columns indexed by [`RequestId`].
+pub(super) struct RequestArena {
+    appear_s: Vec<u32>,
+    segment: Vec<SegmentId>,
+    /// `NO_U32` until picked up.
+    picked_up_s: Vec<u32>,
+    /// `NO_U32` until delivered.
+    delivered_s: Vec<u32>,
+    /// `NO_U32` until assigned via pickup.
+    team: Vec<u32>,
+    /// NaN until picked up.
+    driving_delay_s: Vec<f64>,
+    picked_count: usize,
+    delivered_count: usize,
+}
+
+impl RequestArena {
+    pub(super) fn new() -> Self {
+        Self {
+            appear_s: Vec::new(),
+            segment: Vec::new(),
+            picked_up_s: Vec::new(),
+            delivered_s: Vec::new(),
+            team: Vec::new(),
+            driving_delay_s: Vec::new(),
+            picked_count: 0,
+            delivered_count: 0,
+        }
+    }
+
+    pub(super) fn len(&self) -> usize {
+        self.appear_s.len()
+    }
+
+    /// Registers a fresh (not yet appeared) request; its id is its index.
+    pub(super) fn push_spec(&mut self, spec: RequestSpec) -> RequestId {
+        let id = RequestId(self.appear_s.len() as u32);
+        self.appear_s.push(spec.appear_s);
+        self.segment.push(spec.segment);
+        self.picked_up_s.push(NO_U32);
+        self.delivered_s.push(NO_U32);
+        self.team.push(NO_U32);
+        self.driving_delay_s.push(f64::NAN);
+        id
+    }
+
+    /// Appends a fully described outcome (the snapshot-restore path). The
+    /// outcome's id must equal the next index — snapshots write outcomes
+    /// in id order.
+    pub(super) fn push_outcome(&mut self, o: &RequestOutcome) {
+        debug_assert_eq!(o.id.index(), self.appear_s.len());
+        self.appear_s.push(o.spec.appear_s);
+        self.segment.push(o.spec.segment);
+        self.picked_up_s.push(o.picked_up_s.unwrap_or(NO_U32));
+        self.delivered_s.push(o.delivered_s.unwrap_or(NO_U32));
+        self.team.push(o.team.map_or(NO_U32, |t| t.0));
+        self.driving_delay_s
+            .push(o.driving_delay_s.unwrap_or(f64::NAN));
+        if o.picked_up_s.is_some() {
+            self.picked_count += 1;
+        }
+        if o.delivered_s.is_some() {
+            self.delivered_count += 1;
+        }
+    }
+
+    pub(super) fn appear_s(&self, id: RequestId) -> u32 {
+        self.appear_s[id.index()]
+    }
+
+    /// Marks `id` picked up now by `team`, driving delay included.
+    pub(super) fn record_pickup(&mut self, id: RequestId, now: u32, team: TeamId, delay_s: f64) {
+        let i = id.index();
+        self.picked_up_s[i] = now;
+        self.team[i] = team.0;
+        self.driving_delay_s[i] = delay_s;
+        self.picked_count += 1;
+    }
+
+    /// Marks `id` delivered now.
+    pub(super) fn record_delivery(&mut self, id: RequestId, now: u32) {
+        self.delivered_s[id.index()] = now;
+        self.delivered_count += 1;
+    }
+
+    pub(super) fn picked_count(&self) -> usize {
+        self.picked_count
+    }
+
+    pub(super) fn delivered_count(&self) -> usize {
+        self.delivered_count
+    }
+
+    /// Materializes one request's outcome row.
+    pub(super) fn outcome(&self, index: usize) -> RequestOutcome {
+        let none_u32 = |v: u32| (v != NO_U32).then_some(v);
+        let delay = self.driving_delay_s[index];
+        RequestOutcome {
+            id: RequestId(index as u32),
+            spec: RequestSpec {
+                appear_s: self.appear_s[index],
+                segment: self.segment[index],
+            },
+            picked_up_s: none_u32(self.picked_up_s[index]),
+            delivered_s: none_u32(self.delivered_s[index]),
+            team: none_u32(self.team[index]).map(TeamId),
+            driving_delay_s: (!delay.is_nan()).then_some(delay),
+        }
+    }
+
+    /// Materializes every outcome (the batch `SimOutcome` shape).
+    pub(super) fn to_outcomes(&self) -> Vec<RequestOutcome> {
+        (0..self.len()).map(|i| self.outcome(i)).collect()
+    }
+}
+
+/// Team state in parallel columns indexed by team number. Onboard loads
+/// live in one flat vector strided by the configured capacity.
+pub(super) struct TeamArena {
+    capacity: usize,
+    pub(super) location: Vec<LandmarkId>,
+    pub(super) seg_remaining_s: Vec<f64>,
+    pub(super) stall_s: Vec<f64>,
+    pub(super) mission: Vec<Mission>,
+    pub(super) order_start_s: Vec<u32>,
+    pub(super) routes: Vec<VecDeque<SegmentId>>,
+    onboard: Vec<RequestId>,
+    onboard_len: Vec<u32>,
+}
+
+impl TeamArena {
+    pub(super) fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            location: Vec::new(),
+            seg_remaining_s: Vec::new(),
+            stall_s: Vec::new(),
+            mission: Vec::new(),
+            order_start_s: Vec::new(),
+            routes: Vec::new(),
+            onboard: Vec::new(),
+            onboard_len: Vec::new(),
+        }
+    }
+
+    pub(super) fn len(&self) -> usize {
+        self.location.len()
+    }
+
+    pub(super) fn clear(&mut self) {
+        self.location.clear();
+        self.seg_remaining_s.clear();
+        self.stall_s.clear();
+        self.mission.clear();
+        self.order_start_s.clear();
+        self.routes.clear();
+        self.onboard.clear();
+        self.onboard_len.clear();
+    }
+
+    /// Appends one team. Returns `false` (appending nothing) when the
+    /// onboard load exceeds the arena's capacity stride.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn push(
+        &mut self,
+        location: LandmarkId,
+        route: VecDeque<SegmentId>,
+        seg_remaining_s: f64,
+        stall_s: f64,
+        onboard: &[RequestId],
+        mission: Mission,
+        order_start_s: u32,
+    ) -> bool {
+        if onboard.len() > self.capacity {
+            return false;
+        }
+        self.location.push(location);
+        self.seg_remaining_s.push(seg_remaining_s);
+        self.stall_s.push(stall_s);
+        self.mission.push(mission);
+        self.order_start_s.push(order_start_s);
+        self.routes.push(route);
+        let base = self.onboard.len();
+        self.onboard.resize(base + self.capacity, RequestId(NO_U32));
+        self.onboard[base..base + onboard.len()].copy_from_slice(onboard);
+        self.onboard_len.push(onboard.len() as u32);
+        true
+    }
+
+    pub(super) fn onboard(&self, ti: usize) -> &[RequestId] {
+        let base = ti * self.capacity;
+        &self.onboard[base..base + self.onboard_len[ti] as usize]
+    }
+
+    pub(super) fn onboard_count(&self, ti: usize) -> usize {
+        self.onboard_len[ti] as usize
+    }
+
+    pub(super) fn push_onboard(&mut self, ti: usize, id: RequestId) {
+        let len = self.onboard_len[ti] as usize;
+        debug_assert!(len < self.capacity);
+        self.onboard[ti * self.capacity + len] = id;
+        self.onboard_len[ti] = (len + 1) as u32;
+    }
+
+    pub(super) fn clear_onboard(&mut self, ti: usize) {
+        self.onboard_len[ti] = 0;
+    }
+
+    pub(super) fn standby(&self, ti: usize) -> bool {
+        matches!(self.mission[ti], Mission::Standby)
+    }
+
+    pub(super) fn serving(&self, ti: usize) -> bool {
+        matches!(
+            self.mission[ti],
+            Mission::ToSegment(_) | Mission::ToHospital
+        )
+    }
+
+    pub(super) fn num_serving(&self) -> usize {
+        (0..self.len()).filter(|&ti| self.serving(ti)).count()
+    }
+}
+
+/// Per-segment waiting queues in a dense table plus a dirty list — the
+/// replacement for `HashMap<SegmentId, Vec<RequestId>>` whose per-entry
+/// hashing and allocation dominated ingest at metro segment counts.
+///
+/// "Present" mirrors the old map's key-presence exactly (entries are
+/// created by push or restore, removed when drained by pickups), so the
+/// snapshot's `wait` records are byte-identical. The dirty list may carry
+/// stale or duplicate segments between compactions; iteration sites sort,
+/// dedup, and filter by presence, which also keeps the ordering
+/// deterministic without hashing.
+pub(super) struct WaitingQueues {
+    queues: Vec<Vec<RequestId>>,
+    present: Vec<bool>,
+    dirty: Vec<SegmentId>,
+    total: usize,
+}
+
+impl WaitingQueues {
+    pub(super) fn new(num_segments: usize) -> Self {
+        Self {
+            queues: vec![Vec::new(); num_segments],
+            present: vec![false; num_segments],
+            dirty: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Requests waiting across all segments.
+    pub(super) fn total(&self) -> usize {
+        self.total
+    }
+
+    pub(super) fn present(&self, seg: SegmentId) -> bool {
+        self.present[seg.index()]
+    }
+
+    pub(super) fn ids(&self, seg: SegmentId) -> &[RequestId] {
+        &self.queues[seg.index()]
+    }
+
+    /// Appends `id` to `seg`'s queue (pickup order), creating the entry.
+    pub(super) fn push(&mut self, seg: SegmentId, id: RequestId) {
+        if !self.present[seg.index()] {
+            self.present[seg.index()] = true;
+            self.dirty.push(seg);
+        }
+        self.queues[seg.index()].push(id);
+        self.total += 1;
+    }
+
+    /// Pops the segment's oldest waiting request (FIFO pickup order).
+    pub(super) fn pop_front(&mut self, seg: SegmentId) -> Option<RequestId> {
+        let queue = &mut self.queues[seg.index()];
+        if queue.is_empty() {
+            return None;
+        }
+        self.total -= 1;
+        Some(queue.remove(0))
+    }
+
+    /// Drops the entry for `seg` (mirrors the old map's `remove` of a
+    /// drained queue). The stale dirty slot is filtered out at the next
+    /// iteration.
+    pub(super) fn remove_entry(&mut self, seg: SegmentId) {
+        self.total -= self.queues[seg.index()].len();
+        self.queues[seg.index()].clear();
+        self.present[seg.index()] = false;
+    }
+
+    /// Replaces `seg`'s entry wholesale (the snapshot-restore path);
+    /// present even when `ids` is empty, exactly like a map insert.
+    pub(super) fn set_entry(&mut self, seg: SegmentId, ids: Vec<RequestId>) {
+        if self.present[seg.index()] {
+            self.total -= self.queues[seg.index()].len();
+        } else {
+            self.present[seg.index()] = true;
+            self.dirty.push(seg);
+        }
+        self.total += ids.len();
+        self.queues[seg.index()] = ids;
+    }
+
+    /// The present segments, sorted — the deterministic iteration order
+    /// for snapshots and dispatch views.
+    pub(super) fn present_sorted(&self) -> Vec<SegmentId> {
+        let mut segs: Vec<SegmentId> = self
+            .dirty
+            .iter()
+            .copied()
+            .filter(|&s| self.present[s.index()])
+            .collect();
+        segs.sort_unstable_by_key(|s| s.0);
+        segs.dedup();
+        segs
+    }
+
+    /// Shrinks the dirty list to exactly the present segments. Called at
+    /// dispatch ticks so stale slots from drained queues don't accumulate
+    /// across a long-running world.
+    pub(super) fn compact(&mut self) {
+        let segs = self.present_sorted();
+        self.dirty = segs;
+    }
+}

@@ -28,7 +28,10 @@ use mobirescue_roadnet::planner::RoutePlanner;
 use mobirescue_roadnet::routing::TravelCost;
 use std::collections::{HashMap, VecDeque};
 
+mod arena;
 mod snapshot;
+
+use arena::{RequestArena, TeamArena, WaitingQueues, NO_U32};
 
 pub use snapshot::{fnv1a_64, fnv1a_64_bytes, open_snapshot, seal_snapshot};
 
@@ -38,27 +41,6 @@ enum Mission {
     ToSegment(SegmentId),
     ToHospital,
     ToBase,
-}
-
-#[derive(Debug)]
-struct Team {
-    location: LandmarkId,
-    route: VecDeque<SegmentId>,
-    seg_remaining_s: f64,
-    stall_s: f64,
-    onboard: Vec<RequestId>,
-    mission: Mission,
-    order_start_s: u32,
-}
-
-impl Team {
-    fn standby(&self) -> bool {
-        matches!(self.mission, Mission::Standby)
-    }
-
-    fn serving(&self) -> bool {
-        matches!(self.mission, Mission::ToSegment(_) | Mission::ToHospital)
-    }
 }
 
 /// Why a [`World`] could not be built or an event could not be applied.
@@ -162,15 +144,16 @@ pub struct World<'a> {
     conditions: &'a HourlyConditions,
     config: SimConfig,
     planner: RoutePlanner<'a>,
-    /// Reverse-segment lookup: requests on a one-way pair are reachable
-    /// from either direction.
-    reverse: HashMap<SegmentId, SegmentId>,
+    /// Reverse-segment lookup, indexed by segment (`NO_U32` when one-way
+    /// with no twin): requests on a two-way pair are reachable from either
+    /// direction.
+    reverse: Vec<u32>,
     /// Scheduled, not-yet-appeared requests, sorted by `appear_s`.
     specs: Vec<(RequestId, RequestSpec)>,
     next_spec: usize,
-    outcomes: Vec<RequestOutcome>,
-    waiting_by_segment: HashMap<SegmentId, Vec<RequestId>>,
-    teams: Vec<Team>,
+    requests: RequestArena,
+    waiting: WaitingQueues,
+    teams: TeamArena,
     serving_per_tick: Vec<(u32, usize)>,
     position_samples: Vec<(u32, Vec<LandmarkId>)>,
     team_served: Vec<Vec<u32>>,
@@ -210,11 +193,13 @@ impl<'a> World<'a> {
         if city.hospitals.is_empty() {
             return Err(WorldError::NoHospitals);
         }
-        if config.start_hour + config.duration_hours > conditions.hours() {
+        if config.start_hour < conditions.first_hour()
+            || config.start_hour + config.duration_hours > conditions.hours()
+        {
             return Err(WorldError::WindowExceedsConditions);
         }
         let net = &city.network;
-        let mut reverse: HashMap<SegmentId, SegmentId> = HashMap::new();
+        let mut reverse = vec![NO_U32; net.num_segments()];
         {
             let mut by_ends: HashMap<(LandmarkId, LandmarkId), SegmentId> = HashMap::new();
             for seg in net.segments() {
@@ -222,23 +207,24 @@ impl<'a> World<'a> {
             }
             for seg in net.segments() {
                 if let Some(&r) = by_ends.get(&(seg.to, seg.from)) {
-                    reverse.insert(seg.id, r);
+                    reverse[seg.id.index()] = r.0;
                 }
             }
         }
 
         // Teams start distributed round-robin over the hospitals.
-        let teams: Vec<Team> = (0..config.num_teams)
-            .map(|i| Team {
-                location: city.hospitals[i % city.hospitals.len()],
-                route: VecDeque::new(),
-                seg_remaining_s: 0.0,
-                stall_s: 0.0,
-                onboard: Vec::new(),
-                mission: Mission::Standby,
-                order_start_s: 0,
-            })
-            .collect();
+        let mut teams = TeamArena::new(config.capacity);
+        for i in 0..config.num_teams {
+            teams.push(
+                city.hospitals[i % city.hospitals.len()],
+                VecDeque::new(),
+                0.0,
+                0.0,
+                &[],
+                Mission::Standby,
+                0,
+            );
+        }
         let team_served = vec![vec![0u32; config.duration_hours as usize]; config.num_teams];
         Ok(Self {
             city,
@@ -248,8 +234,8 @@ impl<'a> World<'a> {
             reverse,
             specs: Vec::new(),
             next_spec: 0,
-            outcomes: Vec::new(),
-            waiting_by_segment: HashMap::new(),
+            requests: RequestArena::new(),
+            waiting: WaitingQueues::new(net.num_segments()),
             teams,
             serving_per_tick: Vec::new(),
             position_samples: Vec::new(),
@@ -298,15 +284,7 @@ impl<'a> World<'a> {
             }
         }
         for &spec in requests {
-            let id = RequestId(self.outcomes.len() as u32);
-            self.outcomes.push(RequestOutcome {
-                id,
-                spec,
-                picked_up_s: None,
-                delivered_s: None,
-                team: None,
-                driving_delay_s: None,
-            });
+            let id = self.requests.push_spec(spec);
             self.specs.push((id, spec));
         }
         // Stable sort keeps id order within one appearance second.
@@ -326,15 +304,7 @@ impl<'a> World<'a> {
         if spec.segment.index() >= self.city.network.num_segments() {
             return Err(WorldError::UnknownSegment(spec.segment));
         }
-        let id = RequestId(self.outcomes.len() as u32);
-        self.outcomes.push(RequestOutcome {
-            id,
-            spec,
-            picked_up_s: None,
-            delivered_s: None,
-            team: None,
-            driving_delay_s: None,
-        });
+        let id = self.requests.push_spec(spec);
         // Insert in appearance order among the not-yet-appeared.
         let tail = &mut self.specs[self.next_spec..];
         let offset = tail.partition_point(|(_, s)| s.appear_s <= spec.appear_s);
@@ -357,30 +327,29 @@ impl<'a> World<'a> {
         self.now / self.config.dispatch_period_s
     }
 
-    /// Requests currently waiting for pickup.
+    /// Requests currently waiting for pickup. O(1) — the waiting table
+    /// keeps a running total.
     pub fn num_waiting(&self) -> usize {
-        self.waiting_by_segment.values().map(Vec::len).sum()
+        self.waiting.total()
     }
 
-    /// Requests picked up so far.
+    /// Requests picked up so far. O(1) — counted incrementally.
     pub fn num_picked_up(&self) -> usize {
-        self.outcomes
-            .iter()
-            .filter(|o| o.picked_up_s.is_some())
-            .count()
+        self.requests.picked_count()
     }
 
-    /// Requests delivered to a hospital so far.
+    /// Requests delivered to a hospital so far. O(1) — counted
+    /// incrementally.
     pub fn num_delivered(&self) -> usize {
-        self.outcomes
-            .iter()
-            .filter(|o| o.delivered_s.is_some())
-            .count()
+        self.requests.delivered_count()
     }
 
-    /// All request outcomes so far (final only after the world ends).
-    pub fn outcomes(&self) -> &[RequestOutcome] {
-        &self.outcomes
+    /// Materializes all request outcomes so far (final only after the
+    /// world ends). Allocates — request state lives in a struct-of-arrays
+    /// arena; use [`World::num_picked_up`]/[`World::num_delivered`] for
+    /// counters.
+    pub fn outcomes(&self) -> Vec<RequestOutcome> {
+        self.requests.to_outcomes()
     }
 
     /// Cumulative hit/miss counters of the world's shared route planner
@@ -405,10 +374,7 @@ impl<'a> World<'a> {
         let t_ingest = self.phase_timer.now_ms();
         while self.next_spec < self.specs.len() && self.specs[self.next_spec].1.appear_s <= now {
             let (id, spec) = self.specs[self.next_spec];
-            self.waiting_by_segment
-                .entry(spec.segment)
-                .or_default()
-                .push(id);
+            self.waiting.push(spec.segment, id);
             self.next_spec += 1;
         }
         self.phases.ingest_ms += self.phase_timer.elapsed_since(t_ingest);
@@ -417,37 +383,34 @@ impl<'a> World<'a> {
         if let Some(every) = self.config.sample_positions_every_s {
             if every > 0 && now.is_multiple_of(every) {
                 self.position_samples
-                    .push((now, self.teams.iter().map(|t| t.location).collect()));
+                    .push((now, self.teams.location.clone()));
             }
         }
 
         // 2. Dispatch tick.
         let t_dispatch = self.phase_timer.now_ms();
         if now.is_multiple_of(self.config.dispatch_period_s) {
-            self.serving_per_tick
-                .push((now, self.teams.iter().filter(|t| t.serving()).count()));
-            let views: Vec<TeamView> = self
-                .teams
-                .iter()
-                .enumerate()
-                .map(|(i, t)| TeamView {
+            self.serving_per_tick.push((now, self.teams.num_serving()));
+            let views: Vec<TeamView> = (0..self.teams.len())
+                .map(|i| TeamView {
                     id: TeamId(i as u32),
-                    location: t.location,
-                    onboard: t.onboard.len(),
-                    delivering: t.mission == Mission::ToHospital,
-                    standby: t.standby(),
+                    location: self.teams.location[i],
+                    onboard: self.teams.onboard_count(i),
+                    delivering: self.teams.mission[i] == Mission::ToHospital,
+                    standby: self.teams.standby(i),
                 })
                 .collect();
-            let mut waiting: Vec<RequestView> = self
-                .waiting_by_segment
-                .iter()
-                .flat_map(|(&segment, ids)| ids.iter().map(move |&id| (segment, id)))
-                .map(|(segment, id)| RequestView {
-                    id,
-                    segment,
-                    appear_s: self.outcomes[id.index()].spec.appear_s,
-                })
-                .collect();
+            self.waiting.compact();
+            let mut waiting: Vec<RequestView> = Vec::with_capacity(self.waiting.total());
+            for segment in self.waiting.present_sorted() {
+                for &id in self.waiting.ids(segment) {
+                    waiting.push(RequestView {
+                        id,
+                        segment,
+                        appear_s: self.requests.appear_s(id),
+                    });
+                }
+            }
             waiting.sort_by_key(|r| r.id);
             self.waiting_at_last_tick = waiting.len();
             let state = DispatchState {
@@ -475,26 +438,32 @@ impl<'a> World<'a> {
             let (_, plan) = self.pending_plans.pop_front().expect("checked non-empty");
             for (i, order) in plan.orders.iter().enumerate().take(self.teams.len()) {
                 let Some(order) = order else { continue };
-                let team = &mut self.teams[i];
-                if team.mission == Mission::ToHospital || team.onboard.len() >= self.config.capacity
+                if self.teams.mission[i] == Mission::ToHospital
+                    || self.teams.onboard_count(i) >= self.config.capacity
                 {
                     continue; // committed to unloading
                 }
                 match order {
                     Order::GoToSegment(seg) => {
-                        if !set_route_to_segment(team, &self.planner, cond, *seg) {
+                        if !set_route_to_segment(&mut self.teams, i, &self.planner, cond, *seg) {
                             self.unroutable_orders += 1;
                         } else {
-                            team.mission = Mission::ToSegment(*seg);
-                            team.order_start_s = now;
+                            self.teams.mission[i] = Mission::ToSegment(*seg);
+                            self.teams.order_start_s[i] = now;
                         }
                     }
                     Order::ReturnToBase => {
-                        if team.onboard.is_empty()
-                            && set_route_to_landmark(team, &self.planner, cond, self.city.depot)
+                        if self.teams.onboard_count(i) == 0
+                            && set_route_to_landmark(
+                                &mut self.teams,
+                                i,
+                                &self.planner,
+                                cond,
+                                self.city.depot,
+                            )
                         {
-                            team.mission = Mission::ToBase;
-                            team.order_start_s = now;
+                            self.teams.mission[i] = Mission::ToBase;
+                            self.teams.order_start_s[i] = now;
                         }
                     }
                 }
@@ -510,59 +479,60 @@ impl<'a> World<'a> {
                 served_row.resize(hour_idx + 1, 0);
             }
         }
-        for (ti, team) in self.teams.iter_mut().enumerate() {
-            if team.stall_s > 0.0 {
-                team.stall_s -= 1.0;
+        for ti in 0..self.teams.len() {
+            if self.teams.stall_s[ti] > 0.0 {
+                self.teams.stall_s[ti] -= 1.0;
                 continue;
             }
             // A team ordered to a hospital it is already at unloads on the
             // spot.
-            if team.route.is_empty() && team.mission == Mission::ToHospital {
-                for id in team.onboard.drain(..) {
-                    self.outcomes[id.index()].delivered_s = Some(now);
+            if self.teams.routes[ti].is_empty() && self.teams.mission[ti] == Mission::ToHospital {
+                for &id in self.teams.onboard(ti) {
+                    self.requests.record_delivery(id, now);
                 }
-                team.mission = Mission::Standby;
+                self.teams.clear_onboard(ti);
+                self.teams.mission[ti] = Mission::Standby;
             }
-            let Some(&current) = team.route.front() else {
+            let Some(&current) = self.teams.routes[ti].front() else {
                 continue;
             };
-            if team.seg_remaining_s <= 0.0 {
+            if self.teams.seg_remaining_s[ti] <= 0.0 {
                 // Entering the segment now.
                 match cond.travel_time_s(net.segment(current)) {
-                    Some(t) => team.seg_remaining_s = t,
+                    Some(t) => self.teams.seg_remaining_s[ti] = t,
                     None => {
                         // Flooded since routing: replan toward the mission.
-                        if !replan(team, &self.planner, cond, self.city) {
-                            abort_mission(team, &self.planner, cond, self.city);
+                        if !replan(&mut self.teams, ti, &self.planner, cond, self.city) {
+                            abort_mission(&mut self.teams, ti, &self.planner, cond, self.city);
                         }
                         continue;
                     }
                 }
             }
-            team.seg_remaining_s -= 1.0;
-            if team.seg_remaining_s > 0.0 {
+            self.teams.seg_remaining_s[ti] -= 1.0;
+            if self.teams.seg_remaining_s[ti] > 0.0 {
                 continue;
             }
             // Arrived at the end of `current`.
-            team.route.pop_front();
-            team.location = net.segment(current).to;
+            self.teams.routes[ti].pop_front();
+            self.teams.location[ti] = net.segment(current).to;
             pickup_on(
                 current,
                 &self.reverse,
-                team,
+                &mut self.teams,
                 ti,
                 now,
                 &self.config,
-                &mut self.waiting_by_segment,
-                &mut self.outcomes,
+                &mut self.waiting,
+                &mut self.requests,
                 &mut self.team_served[ti][hour_idx..hour_idx + 1],
             );
-            if team.onboard.len() >= self.config.capacity {
-                team.route.clear();
+            if self.teams.onboard_count(ti) >= self.config.capacity {
+                self.teams.routes[ti].clear();
             }
-            if team.route.is_empty() {
+            if self.teams.routes[ti].is_empty() {
                 // Mission endpoint reached (or truncated by a full load).
-                match team.mission {
+                match self.teams.mission[ti] {
                     Mission::ToSegment(target) => {
                         // Serve the assigned segment even if it could not
                         // be traversed (e.g. the segment itself is flooded)
@@ -570,33 +540,42 @@ impl<'a> World<'a> {
                         // truncated at the water's edge does not reach the
                         // trapped person.
                         let tgt = net.segment(target);
-                        if team.location == tgt.from || team.location == tgt.to {
+                        if self.teams.location[ti] == tgt.from || self.teams.location[ti] == tgt.to
+                        {
                             pickup_on(
                                 target,
                                 &self.reverse,
-                                team,
+                                &mut self.teams,
                                 ti,
                                 now,
                                 &self.config,
-                                &mut self.waiting_by_segment,
-                                &mut self.outcomes,
+                                &mut self.waiting,
+                                &mut self.requests,
                                 &mut self.team_served[ti][hour_idx..hour_idx + 1],
                             );
                         }
-                        if team.onboard.is_empty() {
-                            team.mission = Mission::Standby;
+                        if self.teams.onboard_count(ti) == 0 {
+                            self.teams.mission[ti] = Mission::Standby;
                         } else {
-                            head_to_hospital(team, &self.planner, cond, self.city, now);
+                            head_to_hospital(
+                                &mut self.teams,
+                                ti,
+                                &self.planner,
+                                cond,
+                                self.city,
+                                now,
+                            );
                         }
                     }
                     Mission::ToHospital => {
-                        for id in team.onboard.drain(..) {
-                            self.outcomes[id.index()].delivered_s = Some(now);
+                        for &id in self.teams.onboard(ti) {
+                            self.requests.record_delivery(id, now);
                         }
-                        team.mission = Mission::Standby;
+                        self.teams.clear_onboard(ti);
+                        self.teams.mission[ti] = Mission::Standby;
                     }
                     Mission::ToBase | Mission::Standby => {
-                        team.mission = Mission::Standby;
+                        self.teams.mission[ti] = Mission::Standby;
                     }
                 }
             }
@@ -691,7 +670,7 @@ impl<'a> World<'a> {
         SimOutcome {
             dispatcher: dispatcher_name.to_owned(),
             config: self.config,
-            requests: self.outcomes,
+            requests: self.requests.to_outcomes(),
             serving_per_tick: self.serving_per_tick,
             team_served: self.team_served,
             dispatch_rounds: self.dispatch_rounds,
@@ -727,45 +706,42 @@ pub fn run(
     world.into_outcome(dispatcher.name())
 }
 
-/// Picks up waiting requests on `seg` (and its reverse twin) into `team`,
-/// recording outcomes. `served_slot` is the team's counter for the current
-/// hour.
+/// Picks up waiting requests on `seg` (and its reverse twin) into team
+/// `ti`, recording outcomes. `served_slot` is the team's counter for the
+/// current hour.
 #[allow(clippy::too_many_arguments)]
 fn pickup_on(
     seg: SegmentId,
-    reverse: &HashMap<SegmentId, SegmentId>,
-    team: &mut Team,
-    team_index: usize,
+    reverse: &[u32],
+    teams: &mut TeamArena,
+    ti: usize,
     now: u32,
     config: &SimConfig,
-    waiting_by_segment: &mut HashMap<SegmentId, Vec<RequestId>>,
-    outcomes: &mut [RequestOutcome],
+    waiting: &mut WaitingQueues,
+    requests: &mut RequestArena,
     served_slot: &mut [u32],
 ) {
-    let mut segs = vec![seg];
-    if let Some(&r) = reverse.get(&seg) {
-        segs.push(r);
-    }
-    for s in segs {
-        let Some(queue) = waiting_by_segment.get_mut(&s) else {
+    let twin = reverse[seg.index()];
+    let segs = [Some(seg), (twin != NO_U32).then_some(SegmentId(twin))];
+    for s in segs.into_iter().flatten() {
+        if !waiting.present(s) {
             continue;
-        };
-        while !queue.is_empty() && team.onboard.len() < config.capacity {
-            let id = queue.remove(0);
-            let out = &mut outcomes[id.index()];
-            out.picked_up_s = Some(now);
-            out.team = Some(TeamId(team_index as u32));
+        }
+        while teams.onboard_count(ti) < config.capacity {
+            let Some(id) = waiting.pop_front(s) else {
+                break;
+            };
             // Driving delay counts from whichever came later: the team's
             // order or the request's appearance — a pre-positioned team
             // was not yet "driving to" a request that did not exist.
-            let start = team.order_start_s.max(out.spec.appear_s);
-            out.driving_delay_s = Some(now.saturating_sub(start) as f64);
-            team.onboard.push(id);
-            team.stall_s += config.pickup_service_s as f64;
+            let start = teams.order_start_s[ti].max(requests.appear_s(id));
+            requests.record_pickup(id, now, TeamId(ti as u32), now.saturating_sub(start) as f64);
+            teams.push_onboard(ti, id);
+            teams.stall_s[ti] += config.pickup_service_s as f64;
             served_slot[0] += 1;
         }
-        if queue.is_empty() {
-            waiting_by_segment.remove(&s);
+        if waiting.ids(s).is_empty() {
+            waiting.remove_entry(s);
         }
     }
 }
@@ -773,15 +749,19 @@ fn pickup_on(
 /// Where rerouting starts and which in-progress segment must be kept: a
 /// team midway along a segment finishes it first and replans from its end;
 /// an idle team replans from its location.
-fn reroute_start(team: &Team, planner: &RoutePlanner<'_>) -> (LandmarkId, VecDeque<SegmentId>) {
-    if team.seg_remaining_s > 0.0 {
-        if let Some(&cur) = team.route.front() {
+fn reroute_start(
+    teams: &TeamArena,
+    ti: usize,
+    planner: &RoutePlanner<'_>,
+) -> (LandmarkId, VecDeque<SegmentId>) {
+    if teams.seg_remaining_s[ti] > 0.0 {
+        if let Some(&cur) = teams.routes[ti].front() {
             let mut prefix = VecDeque::new();
             prefix.push_back(cur);
             return (planner.network().segment(cur).to, prefix);
         }
     }
-    (team.location, VecDeque::new())
+    (teams.location[ti], VecDeque::new())
 }
 
 /// Routes `team` to traverse `seg` (or only to `seg.from` when the segment
@@ -793,20 +773,21 @@ fn reroute_start(team: &Team, planner: &RoutePlanner<'_>) -> (LandmarkId, VecDeq
 /// en route. Returns `false` only when the team cannot move toward the
 /// target at all.
 fn set_route_to_segment(
-    team: &mut Team,
+    teams: &mut TeamArena,
+    ti: usize,
     planner: &RoutePlanner<'_>,
     cond: &NetworkCondition,
     seg: SegmentId,
 ) -> bool {
     let net = planner.network();
     let target_from = net.segment(seg).from;
-    let (start, mut route) = reroute_start(team, planner);
+    let (start, mut route) = reroute_start(teams, ti, planner);
     if let Some(path) = planner.route(cond, start, target_from) {
         route.extend(path.segments);
         if cond.is_operable(seg) {
             route.push_back(seg);
         }
-        team.route = route;
+        teams.routes[ti] = route;
         return true;
     }
     // Unreachable on G̃: drive the intact-network route up to the water's
@@ -825,42 +806,46 @@ fn set_route_to_segment(
     if !drove_anywhere {
         return false;
     }
-    team.route = route;
+    teams.routes[ti] = route;
     true
 }
 
-/// Routes `team` to a landmark. Returns `false` when unreachable.
+/// Routes team `ti` to a landmark. Returns `false` when unreachable.
 fn set_route_to_landmark(
-    team: &mut Team,
+    teams: &mut TeamArena,
+    ti: usize,
     planner: &RoutePlanner<'_>,
     cond: &NetworkCondition,
     to: LandmarkId,
 ) -> bool {
-    let (start, mut route) = reroute_start(team, planner);
+    let (start, mut route) = reroute_start(teams, ti, planner);
     let Some(path) = planner.route(cond, start, to) else {
         return false;
     };
     route.extend(path.segments);
-    team.route = route;
+    teams.routes[ti] = route;
     true
 }
 
 /// Replans the current mission from the team's location. Returns `false`
 /// when the mission target is unreachable.
 fn replan(
-    team: &mut Team,
+    teams: &mut TeamArena,
+    ti: usize,
     planner: &RoutePlanner<'_>,
     cond: &NetworkCondition,
     city: &City,
 ) -> bool {
-    team.seg_remaining_s = 0.0;
-    team.route.clear();
-    match team.mission {
-        Mission::ToSegment(seg) => set_route_to_segment(team, planner, cond, seg),
+    teams.seg_remaining_s[ti] = 0.0;
+    teams.routes[ti].clear();
+    match teams.mission[ti] {
+        Mission::ToSegment(seg) => set_route_to_segment(teams, ti, planner, cond, seg),
         Mission::ToHospital => planner
-            .nearest_target(cond, team.location, &city.hospitals)
-            .is_some_and(|(i, _)| set_route_to_landmark(team, planner, cond, city.hospitals[i])),
-        Mission::ToBase => set_route_to_landmark(team, planner, cond, city.depot),
+            .nearest_target(cond, teams.location[ti], &city.hospitals)
+            .is_some_and(|(i, _)| {
+                set_route_to_landmark(teams, ti, planner, cond, city.hospitals[i])
+            }),
+        Mission::ToBase => set_route_to_landmark(teams, ti, planner, cond, city.depot),
         Mission::Standby => true,
     }
 }
@@ -868,39 +853,41 @@ fn replan(
 /// Abandons the mission: loaded teams try any hospital, empty teams stand
 /// by.
 fn abort_mission(
-    team: &mut Team,
+    teams: &mut TeamArena,
+    ti: usize,
     planner: &RoutePlanner<'_>,
     cond: &NetworkCondition,
     city: &City,
 ) {
-    team.route.clear();
-    team.seg_remaining_s = 0.0;
-    if !team.onboard.is_empty() {
-        if let Some((i, _)) = planner.nearest_target(cond, team.location, &city.hospitals) {
-            if set_route_to_landmark(team, planner, cond, city.hospitals[i]) {
-                team.mission = Mission::ToHospital;
+    teams.routes[ti].clear();
+    teams.seg_remaining_s[ti] = 0.0;
+    if teams.onboard_count(ti) > 0 {
+        if let Some((i, _)) = planner.nearest_target(cond, teams.location[ti], &city.hospitals) {
+            if set_route_to_landmark(teams, ti, planner, cond, city.hospitals[i]) {
+                teams.mission[ti] = Mission::ToHospital;
                 return;
             }
         }
     }
-    team.mission = Mission::Standby;
+    teams.mission[ti] = Mission::Standby;
 }
 
 /// Sends a loaded team to the nearest reachable hospital.
 fn head_to_hospital(
-    team: &mut Team,
+    teams: &mut TeamArena,
+    ti: usize,
     planner: &RoutePlanner<'_>,
     cond: &NetworkCondition,
     city: &City,
     now: u32,
 ) {
-    team.seg_remaining_s = 0.0;
-    if let Some((i, _)) = planner.nearest_target(cond, team.location, &city.hospitals) {
-        if set_route_to_landmark(team, planner, cond, city.hospitals[i]) {
-            team.mission = Mission::ToHospital;
-            team.order_start_s = now;
+    teams.seg_remaining_s[ti] = 0.0;
+    if let Some((i, _)) = planner.nearest_target(cond, teams.location[ti], &city.hospitals) {
+        if set_route_to_landmark(teams, ti, planner, cond, city.hospitals[i]) {
+            teams.mission[ti] = Mission::ToHospital;
+            teams.order_start_s[ti] = now;
             return;
         }
     }
-    team.mission = Mission::Standby;
+    teams.mission[ti] = Mission::Standby;
 }

@@ -13,7 +13,7 @@
 //! floats with `{:?}` (shortest round-tripping representation), so
 //! snapshot → restore → snapshot is byte-stable.
 
-use super::{Mission, Team, World, WorldError};
+use super::{Mission, World, WorldError};
 use crate::types::{DispatchPlan, Order, RequestId, RequestOutcome, RequestSpec, SimConfig};
 use mobirescue_mobility::flow::HourlyConditions;
 use mobirescue_roadnet::generator::City;
@@ -186,7 +186,8 @@ impl World<'_> {
         for (id, spec) in &self.specs {
             let _ = writeln!(out, "spec {} {} {}", id.0, spec.appear_s, spec.segment.0);
         }
-        for o in &self.outcomes {
+        for i in 0..self.requests.len() {
+            let o = self.requests.outcome(i);
             let _ = writeln!(
                 out,
                 "outcome {} {} {} {} {} {} {}",
@@ -201,30 +202,28 @@ impl World<'_> {
         }
         // Sorted by segment for byte stability (queue order within a
         // segment is pickup order and is preserved as-is).
-        let mut waiting: Vec<_> = self.waiting_by_segment.iter().collect();
-        waiting.sort_by_key(|(seg, _)| seg.0);
-        for (seg, ids) in waiting {
+        for seg in self.waiting.present_sorted() {
             let _ = write!(out, "wait {}", seg.0);
-            for id in ids {
+            for id in self.waiting.ids(seg) {
                 let _ = write!(out, " {}", id.0);
             }
             out.push('\n');
         }
-        for t in &self.teams {
+        for ti in 0..self.teams.len() {
             let _ = write!(
                 out,
                 "team {} {:?} {:?} {} {} route",
-                t.location.0,
-                t.seg_remaining_s,
-                t.stall_s,
-                t.order_start_s,
-                mission_token(t.mission),
+                self.teams.location[ti].0,
+                self.teams.seg_remaining_s[ti],
+                self.teams.stall_s[ti],
+                self.teams.order_start_s[ti],
+                mission_token(self.teams.mission[ti]),
             );
-            for seg in &t.route {
+            for seg in &self.teams.routes[ti] {
                 let _ = write!(out, " {}", seg.0);
             }
             let _ = write!(out, " onboard");
-            for id in &t.onboard {
+            for id in self.teams.onboard(ti) {
                 let _ = write!(out, " {}", id.0);
             }
             out.push('\n');
@@ -327,6 +326,9 @@ impl World<'_> {
                 }
                 "outcome" => {
                     let id = RequestId(parse(p.next(), "outcome id")?);
+                    if id.index() != world.requests.len() {
+                        return Err(bad(format!("outcome id {} out of order", id.0)));
+                    }
                     let appear_s = parse(p.next(), "outcome appear_s")?;
                     let segment = SegmentId(parse(p.next(), "outcome segment")?);
                     let picked_up_s =
@@ -337,7 +339,7 @@ impl World<'_> {
                         .map(crate::types::TeamId);
                     let driving_delay_s =
                         parse_opt_f64(p.next().ok_or_else(|| bad("missing delay"))?)?;
-                    world.outcomes.push(RequestOutcome {
+                    world.requests.push_outcome(&RequestOutcome {
                         id,
                         spec: RequestSpec { appear_s, segment },
                         picked_up_s,
@@ -358,7 +360,7 @@ impl World<'_> {
                                 .map_err(|_| bad(format!("bad wait id `{tok}`")))
                         })
                         .collect::<Result<_, _>>()?;
-                    world.waiting_by_segment.insert(seg, ids);
+                    world.waiting.set_entry(seg, ids);
                 }
                 "team" => {
                     let location = LandmarkId(parse(p.next(), "team location")?);
@@ -385,15 +387,17 @@ impl World<'_> {
                     if in_route {
                         return Err(bad("missing team onboard marker"));
                     }
-                    world.teams.push(Team {
+                    if !world.teams.push(
                         location,
                         route,
                         seg_remaining_s,
                         stall_s,
-                        onboard,
+                        &onboard,
                         mission,
                         order_start_s,
-                    });
+                    ) {
+                        return Err(bad("team onboard exceeds capacity"));
+                    }
                 }
                 "plan" => {
                     let apply_at = parse(p.next(), "plan apply_at")?;
@@ -478,7 +482,7 @@ mod tests {
         let config = SimConfig::small(0);
         let mut world = World::new(&city, &conditions, &config).unwrap();
         world.schedule_requests(&sample_requests(&city)).unwrap();
-        let mut d = NearestRequestDispatcher;
+        let mut d = NearestRequestDispatcher::default();
         for _ in 0..3 {
             world.run_epoch(&mut d, 0.0);
         }
@@ -497,7 +501,7 @@ mod tests {
         let config = SimConfig::small(0);
         let mut world = World::new(&city, &conditions, &config).unwrap();
         world.schedule_requests(&sample_requests(&city)).unwrap();
-        let mut d = NearestRequestDispatcher;
+        let mut d = NearestRequestDispatcher::default();
         for _ in 0..2 {
             world.run_epoch(&mut d, 0.0);
         }
@@ -506,7 +510,7 @@ mod tests {
 
         // The dispatcher is stateless, so original and restored evolve in
         // lockstep from the boundary.
-        let mut d2 = NearestRequestDispatcher;
+        let mut d2 = NearestRequestDispatcher::default();
         for _ in 0..4 {
             world.run_epoch(&mut d, 0.0);
             restored.run_epoch(&mut d2, 0.0);

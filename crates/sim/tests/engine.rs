@@ -35,7 +35,7 @@ fn serves_requests_before_the_disaster() {
         &city,
         &conds,
         &requests,
-        &mut NearestRequestDispatcher,
+        &mut NearestRequestDispatcher::default(),
         &config,
     );
     assert!(
@@ -56,7 +56,7 @@ fn outcome_invariants_hold() {
         &city,
         &conds,
         &requests,
-        &mut NearestRequestDispatcher,
+        &mut NearestRequestDispatcher::default(),
         &config,
     );
     for r in &outcome.requests {
@@ -99,14 +99,14 @@ fn deterministic_across_runs() {
         &city,
         &conds,
         &requests,
-        &mut NearestRequestDispatcher,
+        &mut NearestRequestDispatcher::default(),
         &config,
     );
     let b = run(
         &city,
         &conds,
         &requests,
-        &mut NearestRequestDispatcher,
+        &mut NearestRequestDispatcher::default(),
         &config,
     );
     assert_eq!(a.requests, b.requests);
@@ -139,14 +139,14 @@ fn dispatch_latency_hurts_timeliness() {
         &city,
         &conds,
         &requests,
-        &mut NearestRequestDispatcher,
+        &mut NearestRequestDispatcher::default(),
         &config,
     );
     let slow = run(
         &city,
         &conds,
         &requests,
-        &mut Slow(NearestRequestDispatcher, 300.0),
+        &mut Slow(NearestRequestDispatcher::default(), 300.0),
         &config,
     );
     let fast_med = fast.timeliness_cdf().quantile(0.5);
@@ -167,7 +167,7 @@ fn flood_reduces_service() {
         &city,
         &conds,
         &requests,
-        &mut NearestRequestDispatcher,
+        &mut NearestRequestDispatcher::default(),
         &SimConfig::small(24),
     );
     let peak_hour = Hurricane::florence().timeline.peak_hour() + 24;
@@ -175,7 +175,7 @@ fn flood_reduces_service() {
         &city,
         &conds,
         &requests,
-        &mut NearestRequestDispatcher,
+        &mut NearestRequestDispatcher::default(),
         &SimConfig::small(peak_hour),
     );
     assert!(
@@ -205,7 +205,7 @@ fn teams_respect_capacity() {
         &city,
         &conds,
         &requests,
-        &mut NearestRequestDispatcher,
+        &mut NearestRequestDispatcher::default(),
         &config,
     );
     let mut pickups: Vec<u32> = outcome
@@ -234,7 +234,7 @@ fn serving_team_counts_are_bounded() {
         &city,
         &conds,
         &requests,
-        &mut NearestRequestDispatcher,
+        &mut NearestRequestDispatcher::default(),
         &config,
     );
     for &(_, n) in outcome.serving_teams_per_slot() {
@@ -253,7 +253,7 @@ fn position_sampling_records_training_data() {
         &city,
         &conds,
         &requests,
-        &mut NearestRequestDispatcher,
+        &mut NearestRequestDispatcher::default(),
         &config,
     );
     // One sample per minute for two hours.
@@ -272,7 +272,13 @@ fn position_sampling_records_training_data() {
 fn zero_requests_is_a_quiet_day() {
     let (city, conds) = setup();
     let config = SimConfig::small(24);
-    let outcome = run(&city, &conds, &[], &mut NearestRequestDispatcher, &config);
+    let outcome = run(
+        &city,
+        &conds,
+        &[],
+        &mut NearestRequestDispatcher::default(),
+        &config,
+    );
     assert_eq!(outcome.total_served(), 0);
     assert!(outcome.requests.is_empty());
     assert!(outcome.dispatch_rounds > 0, "dispatcher still ticks");

@@ -50,7 +50,7 @@ fn engine_survives_progressive_damage() {
         &city,
         &conditions,
         &requests,
-        &mut NearestRequestDispatcher,
+        &mut NearestRequestDispatcher::default(),
         &config,
     );
     // No panics, invariants hold, and the early (pristine) phase serves
@@ -98,7 +98,7 @@ fn teams_boxed_in_by_water_do_not_wedge_the_engine() {
         &city,
         &conditions,
         &requests,
-        &mut NearestRequestDispatcher,
+        &mut NearestRequestDispatcher::default(),
         &config,
     );
     // Every order is unroutable once the world is water; the run must
@@ -136,7 +136,7 @@ fn recovery_restores_service() {
         &city,
         &conditions,
         &requests,
-        &mut NearestRequestDispatcher,
+        &mut NearestRequestDispatcher::default(),
         &config,
     );
     // All requests appeared during the blockade but teams serve them after

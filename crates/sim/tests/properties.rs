@@ -51,7 +51,7 @@ proptest! {
             &f.city,
             &f.conditions,
             &requests,
-            &mut NearestRequestDispatcher,
+            &mut NearestRequestDispatcher::default(),
             &config,
         );
         prop_assert_eq!(outcome.requests.len(), requests.len());
@@ -89,10 +89,10 @@ proptest! {
             .collect();
         let config = SimConfig::small(24);
         let a = mobirescue_sim::run(
-            &f.city, &f.conditions, &requests, &mut NearestRequestDispatcher, &config,
+            &f.city, &f.conditions, &requests, &mut NearestRequestDispatcher::default(), &config,
         );
         let b = mobirescue_sim::run(
-            &f.city, &f.conditions, &requests, &mut NearestRequestDispatcher, &config,
+            &f.city, &f.conditions, &requests, &mut NearestRequestDispatcher::default(), &config,
         );
         prop_assert_eq!(a.requests, b.requests);
         prop_assert_eq!(a.serving_per_tick, b.serving_per_tick);

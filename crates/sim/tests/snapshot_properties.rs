@@ -37,7 +37,7 @@ fn fixture() -> &'static Fixture {
         let config = SimConfig::small(0);
         let mut world = World::new(&city, &conditions, &config).expect("world builds");
         world.schedule_requests(&requests).expect("valid requests");
-        let mut d = NearestRequestDispatcher;
+        let mut d = NearestRequestDispatcher::default();
         for _ in 0..3 {
             world.run_epoch(&mut d, 0.0);
         }

@@ -86,6 +86,27 @@ impl SvmModel {
     pub fn predict(&self, x: &[f64]) -> bool {
         self.decision_function(x) > 0.0
     }
+
+    /// Decision values for a flat, row-major batch of `dim`-wide rows,
+    /// written into a caller-owned buffer (cleared first). One call per
+    /// epoch replaces per-row calls in inference hot loops; each row's
+    /// arithmetic is identical to [`SvmModel::decision_function`], so the
+    /// results are bit-equal to the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero or `rows.len()` is not a multiple of `dim`.
+    pub fn decision_batch(&self, rows: &[f64], dim: usize, out: &mut Vec<f64>) {
+        assert!(dim > 0, "batch rows must have positive dimension");
+        assert_eq!(
+            rows.len() % dim,
+            0,
+            "flat batch length must be a multiple of dim"
+        );
+        out.clear();
+        out.reserve(rows.len() / dim);
+        out.extend(rows.chunks_exact(dim).map(|x| self.decision_function(x)));
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +135,32 @@ mod tests {
         let m1 = SvmModel::from_parts(Kernel::Linear, sv.clone(), vec![1.0, -1.0], 0.0);
         // f(x) = 1*(1*x) + (-1)*(-1*x) = 2x
         assert!((m1.decision_function(&[3.0]) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_decisions_equal_scalar_decisions() {
+        let model = SvmModel::from_parts(
+            Kernel::Rbf { gamma: 0.7 },
+            vec![vec![0.0, 1.0], vec![2.0, -1.0]],
+            vec![1.5, -0.5],
+            0.25,
+        );
+        let rows = [[0.0, 0.0], [1.0, 1.0], [2.0, -1.0], [-3.0, 4.0]];
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let mut out = vec![99.0; 1]; // stale contents must be discarded
+        model.decision_batch(&flat, 2, &mut out);
+        assert_eq!(out.len(), rows.len());
+        for (row, &d) in rows.iter().zip(&out) {
+            assert_eq!(d, model.decision_function(row));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn ragged_batch_panics() {
+        let model = SvmModel::from_parts(Kernel::Linear, vec![vec![1.0]], vec![1.0], 0.0);
+        let mut out = Vec::new();
+        model.decision_batch(&[1.0, 2.0, 3.0], 2, &mut out);
     }
 
     #[test]

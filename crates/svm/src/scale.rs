@@ -85,11 +85,41 @@ impl StandardScaler {
     ///
     /// Panics if `row` has the wrong dimension.
     pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.dim());
+        self.transform_into(row, &mut out);
+        out
+    }
+
+    /// Scales one row into a caller-owned buffer (cleared first), so hot
+    /// loops can standardize millions of rows without allocating per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong dimension.
+    pub fn transform_into(&self, row: &[f64], out: &mut Vec<f64>) {
         assert_eq!(row.len(), self.dim(), "row has wrong dimension");
-        row.iter()
-            .zip(self.means.iter().zip(&self.stds))
-            .map(|(x, (m, s))| (x - m) / s)
-            .collect()
+        out.clear();
+        out.extend(
+            row.iter()
+                .zip(self.means.iter().zip(&self.stds))
+                .map(|(x, (m, s))| (x - m) / s),
+        );
+    }
+
+    /// Appends the scaled row to a flat, row-major buffer (stride =
+    /// [`StandardScaler::dim`]) — the batch layout
+    /// [`crate::SvmModel::decision_batch`] consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong dimension.
+    pub fn transform_append(&self, row: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(row.len(), self.dim(), "row has wrong dimension");
+        out.extend(
+            row.iter()
+                .zip(self.means.iter().zip(&self.stds))
+                .map(|(x, (m, s))| (x - m) / s),
+        );
     }
 
     /// Scales many rows.
@@ -126,6 +156,23 @@ mod tests {
         let scaler = StandardScaler::fit(&rows);
         assert_eq!(scaler.transform(&[5.0]), vec![0.0]);
         assert_eq!(scaler.transform(&[7.0]), vec![2.0]);
+    }
+
+    #[test]
+    fn buffered_transforms_match_the_allocating_path() {
+        let rows = vec![vec![10.0, 100.0], vec![20.0, 300.0], vec![30.0, 200.0]];
+        let scaler = StandardScaler::fit(&rows);
+        let mut buf = Vec::new();
+        let mut flat = Vec::new();
+        for r in &rows {
+            scaler.transform_into(r, &mut buf);
+            assert_eq!(buf, scaler.transform(r));
+            scaler.transform_append(r, &mut flat);
+        }
+        assert_eq!(flat.len(), rows.len() * scaler.dim());
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(&flat[i * 2..i * 2 + 2], scaler.transform(r).as_slice());
+        }
     }
 
     #[test]

@@ -3,9 +3,10 @@
 # TCP serving load test, comparing both against their committed
 # baselines (BENCH_routing.json, BENCH_serve.json).
 #
-#   scripts/check_bench.sh              # gate against both baselines
+#   scripts/check_bench.sh              # gate against all baselines
 #   MAX_SLOWDOWN_PCT=40 scripts/check_bench.sh   # loosen the timing gate
-#   SERVE_GATE=0 scripts/check_bench.sh          # routing gate only
+#   SERVE_GATE=0 scripts/check_bench.sh          # skip the serving gate
+#   ROUTING_GATE=0 SERVE_GATE=0 scripts/check_bench.sh   # scale gate only
 #
 # The routing gate fails (non-zero exit) when either:
 #   * the `checksum` differs from the baseline — the routing *results*
@@ -28,10 +29,21 @@
 #   * either process exits non-zero — a hung drain is a failure, not a
 #     timeout to shrug at.
 #
+# The scale gate re-runs the metro-scale world benchmark (bench_scale)
+# for the presets in SCALE_PRESETS (default "medium metro"; CI gates
+# only `medium` to stay within the smoke budget) and fails when either:
+#   * any preset's snapshot `checksum` differs from the baseline row —
+#     engine behavior changed at scale; or
+#   * any preset's `epoch_ms` regressed more than SCALE_MAX_SLOWDOWN_PCT
+#     percent (default: MAX_SLOWDOWN_PCT) over the best of SCALE_RUNS
+#     (default 2) runs.
+# Disable with SCALE_GATE=0.
+#
 # To re-bless the baselines after an intentional change:
 #
 #   scripts/bench_routing.sh            # rewrites BENCH_routing.json
 #   scripts/loadgen_smoke.sh --bless    # rewrites BENCH_serve.json
+#   scripts/bench_scale.sh --bless      # rewrites BENCH_scale.json
 #
 # and commit the new baseline together with the change and a rationale
 # (in particular, explain any checksum change — it means different
@@ -44,61 +56,66 @@ BASELINE="BENCH_routing.json"
 MAX_SLOWDOWN_PCT="${MAX_SLOWDOWN_PCT:-25}"
 BENCH_RUNS="${BENCH_RUNS:-3}"
 
-if [[ ! -f "$BASELINE" ]]; then
-    echo "check_bench: no baseline $BASELINE; run scripts/bench_routing.sh first" >&2
-    exit 1
-fi
-
 fresh="$(mktemp)"
-trap 'rm -f "$fresh"' EXIT
-
-echo "==> cargo build --release -p mobirescue-bench --bin bench_routing"
-cargo build --release -q -p mobirescue-bench --bin bench_routing
+serve_log=""
+fresh_serve=""
+fresh_scale=""
+trap 'rm -f "$fresh" "$serve_log" "$fresh_serve" "$fresh_scale"' EXIT
 
 # Extract `"key": value` scalars from the flat JSON the benchmark emits.
 field() { # field FILE KEY
     sed -n "s/^.*\"$2\": \([0-9.]*\).*$/\1/p" "$1" | head -n 1
 }
 
-new_checksum=""
-new_ms=""
-for run in $(seq 1 "$BENCH_RUNS"); do
-    echo "==> running routing benchmark ($run/$BENCH_RUNS)"
-    ./target/release/bench_routing > "$fresh"
-    run_checksum="$(field "$fresh" checksum)"
-    run_ms="$(field "$fresh" cached_single_thread)"
-    if [[ -n "$new_checksum" && "$run_checksum" != "$new_checksum" ]]; then
-        echo "FAIL: checksum not even stable across runs ($run_checksum vs $new_checksum)" >&2
-        exit 1
-    fi
-    new_checksum="$run_checksum"
-    if [[ -z "$new_ms" ]] || awk -v a="$run_ms" -v b="$new_ms" 'BEGIN { exit !(a < b) }'; then
-        new_ms="$run_ms"
-    fi
-done
-
-base_checksum="$(field "$BASELINE" checksum)"
-base_ms="$(field "$BASELINE" cached_single_thread)"
-
-if [[ -z "$base_checksum" || -z "$base_ms" ]]; then
-    echo "check_bench: baseline $BASELINE is missing checksum/cached_single_thread;" >&2
-    echo "             re-bless it with scripts/bench_routing.sh" >&2
-    exit 1
-fi
-
 failures=0
 
-echo "checksum: baseline $base_checksum, fresh $new_checksum"
-if [[ "$new_checksum" != "$base_checksum" ]]; then
-    echo "FAIL: routing checksum changed — results differ from the baseline" >&2
-    failures=$((failures + 1))
-fi
+if [[ "${ROUTING_GATE:-1}" != "0" ]]; then
+    if [[ ! -f "$BASELINE" ]]; then
+        echo "check_bench: no baseline $BASELINE; run scripts/bench_routing.sh first" >&2
+        exit 1
+    fi
 
-echo "cached_single_thread per-epoch ms: baseline $base_ms, fresh $new_ms (gate: +${MAX_SLOWDOWN_PCT}%)"
-if ! awk -v new="$new_ms" -v base="$base_ms" -v pct="$MAX_SLOWDOWN_PCT" \
-        'BEGIN { exit !(new <= base * (1 + pct / 100)) }'; then
-    echo "FAIL: cached_single_thread regressed more than ${MAX_SLOWDOWN_PCT}% vs baseline" >&2
-    failures=$((failures + 1))
+    echo "==> cargo build --release -p mobirescue-bench --bin bench_routing"
+    cargo build --release -q -p mobirescue-bench --bin bench_routing
+
+    new_checksum=""
+    new_ms=""
+    for run in $(seq 1 "$BENCH_RUNS"); do
+        echo "==> running routing benchmark ($run/$BENCH_RUNS)"
+        ./target/release/bench_routing > "$fresh"
+        run_checksum="$(field "$fresh" checksum)"
+        run_ms="$(field "$fresh" cached_single_thread)"
+        if [[ -n "$new_checksum" && "$run_checksum" != "$new_checksum" ]]; then
+            echo "FAIL: checksum not even stable across runs ($run_checksum vs $new_checksum)" >&2
+            exit 1
+        fi
+        new_checksum="$run_checksum"
+        if [[ -z "$new_ms" ]] || awk -v a="$run_ms" -v b="$new_ms" 'BEGIN { exit !(a < b) }'; then
+            new_ms="$run_ms"
+        fi
+    done
+
+    base_checksum="$(field "$BASELINE" checksum)"
+    base_ms="$(field "$BASELINE" cached_single_thread)"
+
+    if [[ -z "$base_checksum" || -z "$base_ms" ]]; then
+        echo "check_bench: baseline $BASELINE is missing checksum/cached_single_thread;" >&2
+        echo "             re-bless it with scripts/bench_routing.sh" >&2
+        exit 1
+    fi
+
+    echo "checksum: baseline $base_checksum, fresh $new_checksum"
+    if [[ "$new_checksum" != "$base_checksum" ]]; then
+        echo "FAIL: routing checksum changed — results differ from the baseline" >&2
+        failures=$((failures + 1))
+    fi
+
+    echo "cached_single_thread per-epoch ms: baseline $base_ms, fresh $new_ms (gate: +${MAX_SLOWDOWN_PCT}%)"
+    if ! awk -v new="$new_ms" -v base="$base_ms" -v pct="$MAX_SLOWDOWN_PCT" \
+            'BEGIN { exit !(new <= base * (1 + pct / 100)) }'; then
+        echo "FAIL: cached_single_thread regressed more than ${MAX_SLOWDOWN_PCT}% vs baseline" >&2
+        failures=$((failures + 1))
+    fi
 fi
 
 # ---------------------------------------------------------------------
@@ -126,7 +143,6 @@ if [[ "${SERVE_GATE:-1}" != "0" ]]; then
 
     serve_log="$(mktemp)"
     fresh_serve="$(mktemp)"
-    trap 'rm -f "$fresh" "$serve_log" "$fresh_serve"' EXIT
     echo "==> serve --listen 127.0.0.1:0 (small scenario)"
     ./target/release/serve --listen 127.0.0.1:0 --epochs 250 --period-ms 100 --quiet \
         > "$serve_log" 2>&1 &
@@ -179,6 +195,86 @@ if [[ "${SERVE_GATE:-1}" != "0" ]]; then
             failures=$((failures + 1))
         fi
     fi
+fi
+
+# ---------------------------------------------------------------------
+# Scale gate: bench_scale vs BENCH_scale.json (exact per-preset snapshot
+# checksum + epoch-latency ceiling).
+# ---------------------------------------------------------------------
+
+SCALE_BASELINE="BENCH_scale.json"
+if [[ "${SCALE_GATE:-1}" != "0" ]]; then
+    if [[ ! -f "$SCALE_BASELINE" ]]; then
+        echo "check_bench: no baseline $SCALE_BASELINE; run scripts/bench_scale.sh --bless" >&2
+        exit 1
+    fi
+    SCALE_MAX_SLOWDOWN_PCT="${SCALE_MAX_SLOWDOWN_PCT:-$MAX_SLOWDOWN_PCT}"
+    SCALE_RUNS="${SCALE_RUNS:-2}"
+    read -r -a scale_presets <<< "${SCALE_PRESETS:-medium metro}"
+
+    # Extract `"key": value` from the named preset's row in the `worlds`
+    # array (values may be bare numbers or quoted checksums).
+    scale_field() { # scale_field FILE PRESET KEY
+        awk -v preset="$2" -v key="$3" '
+            $0 ~ "\"preset\": \"" preset "\"" { in_row = 1; next }
+            in_row && match($0, "\"" key "\": \"?[0-9a-fx.]+") {
+                v = substr($0, RSTART, RLENGTH)
+                sub(/.*: "?/, "", v)
+                print v
+                exit
+            }
+            in_row && /^    \}/ { exit }
+        ' "$1"
+    }
+
+    echo "==> cargo build --release -p mobirescue-bench --bin bench_scale"
+    cargo build --release -q -p mobirescue-bench --bin bench_scale
+
+    fresh_scale="$(mktemp)"
+    declare -A scale_checksum scale_ms
+    for run in $(seq 1 "$SCALE_RUNS"); do
+        echo "==> running scale benchmark ($run/$SCALE_RUNS: ${scale_presets[*]})"
+        ./target/release/bench_scale "${scale_presets[@]}" > "$fresh_scale"
+        for preset in "${scale_presets[@]}"; do
+            run_checksum="$(scale_field "$fresh_scale" "$preset" checksum)"
+            run_ms="$(scale_field "$fresh_scale" "$preset" epoch_ms)"
+            if [[ -z "$run_checksum" || -z "$run_ms" ]]; then
+                echo "FAIL: scale benchmark emitted no $preset row" >&2
+                exit 1
+            fi
+            if [[ -n "${scale_checksum[$preset]:-}" && "$run_checksum" != "${scale_checksum[$preset]}" ]]; then
+                echo "FAIL: $preset checksum not even stable across runs" \
+                     "($run_checksum vs ${scale_checksum[$preset]})" >&2
+                exit 1
+            fi
+            scale_checksum[$preset]="$run_checksum"
+            if [[ -z "${scale_ms[$preset]:-}" ]] || \
+                    awk -v a="$run_ms" -v b="${scale_ms[$preset]}" 'BEGIN { exit !(a < b) }'; then
+                scale_ms[$preset]="$run_ms"
+            fi
+        done
+    done
+
+    for preset in "${scale_presets[@]}"; do
+        base_checksum="$(scale_field "$SCALE_BASELINE" "$preset" checksum)"
+        base_ms="$(scale_field "$SCALE_BASELINE" "$preset" epoch_ms)"
+        if [[ -z "$base_checksum" || -z "$base_ms" ]]; then
+            echo "check_bench: $SCALE_BASELINE has no $preset row;" >&2
+            echo "             re-bless it with scripts/bench_scale.sh --bless" >&2
+            exit 1
+        fi
+        echo "scale/$preset checksum: baseline $base_checksum, fresh ${scale_checksum[$preset]}"
+        if [[ "${scale_checksum[$preset]}" != "$base_checksum" ]]; then
+            echo "FAIL: $preset scale checksum changed — engine behavior differs at scale" >&2
+            failures=$((failures + 1))
+        fi
+        echo "scale/$preset epoch_ms: baseline $base_ms, fresh ${scale_ms[$preset]} (gate: +${SCALE_MAX_SLOWDOWN_PCT}%)"
+        if ! awk -v new="${scale_ms[$preset]}" -v base="$base_ms" -v pct="$SCALE_MAX_SLOWDOWN_PCT" \
+                'BEGIN { exit !(new <= base * (1 + pct / 100)) }'; then
+            echo "FAIL: $preset epoch latency regressed more than ${SCALE_MAX_SLOWDOWN_PCT}% vs baseline" >&2
+            failures=$((failures + 1))
+        fi
+    done
 fi
 
 if [[ "$failures" -gt 0 ]]; then

@@ -38,6 +38,11 @@ run_step "rollout chaos suite" cargo test -q --test rollout_chaos
 run_step "trainer chaos suite" cargo test -q --test trainer_chaos
 run_step "net chaos suite" cargo test -q --test net_chaos
 run_step "net crate tests" cargo test -q -p mobirescue-net
+# Scale gate only (routing/serve gates have their own CI jobs); medium
+# preset with a loosened ceiling — verify machines vary more than the
+# bless machine, and the exact checksum is the load-bearing part.
+run_step "scale bench gate" env ROUTING_GATE=0 SERVE_GATE=0 SCALE_PRESETS=medium \
+    SCALE_MAX_SLOWDOWN_PCT=150 scripts/check_bench.sh
 
 if [[ "${1:-}" == "--full" ]]; then
     run_step "full workspace tests" cargo test --workspace --release -q

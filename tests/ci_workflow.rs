@@ -2,10 +2,10 @@
 //!
 //! The build environment has no YAML parser crate, so this validates the
 //! subset of YAML that workflow files actually use: indentation-scoped
-//! mappings with no tabs. It pins the structure CI depends on — all four
+//! mappings with no tabs. It pins the structure CI depends on — all five
 //! jobs exist, run the gate scripts, and cache `target/` keyed on
-//! `Cargo.lock` — so an edit that breaks the pipeline fails locally, not
-//! on the runner.
+//! `Cargo.lock` with `restore-keys` fallbacks — so an edit that breaks
+//! the pipeline fails locally, not on the runner.
 
 use std::path::Path;
 
@@ -31,7 +31,7 @@ fn workflow_is_plausible_yaml() {
             line.trim_end() == line,
             "ci.yml:{n}: trailing whitespace breaks some parsers"
         );
-        // Skip the contents of `|` block scalars (multi-line run/path
+        // Skip the contents of `|`/`>` block scalars (multi-line run/path
         // values); they are free-form text, not mappings.
         if let Some(level) = in_block_scalar_deeper_than {
             if line.trim().is_empty() || indent(line) > level {
@@ -50,7 +50,8 @@ fn workflow_is_plausible_yaml() {
             content.contains(':') || content.starts_with('-'),
             "ci.yml:{n}: expected a `key: value` mapping or list item: {line:?}"
         );
-        if line.trim_end().ends_with(": |") {
+        let trimmed = line.trim_end();
+        if trimmed.ends_with(": |") || trimmed.ends_with(": >") {
             in_block_scalar_deeper_than = Some(indent(line));
         }
     }
@@ -71,23 +72,50 @@ fn workflow_triggers_on_push_and_pull_request() {
     assert!(has_key_at(&text, 0, "on"), "missing top-level on:");
     assert!(has_key_at(&text, 2, "push"), "missing push trigger");
     assert!(has_key_at(&text, 2, "pull_request"), "missing PR trigger");
+    assert!(
+        has_key_at(&text, 2, "workflow_dispatch"),
+        "missing manual-dispatch trigger (re-run without an empty commit)"
+    );
+}
+
+#[test]
+fn superseded_runs_are_cancelled() {
+    let text = workflow();
+    assert!(
+        has_key_at(&text, 0, "concurrency"),
+        "missing top-level concurrency: block"
+    );
+    assert!(
+        text.contains("group: ci-${{ github.ref }}"),
+        "concurrency group must be per-ref so unrelated branches don't queue"
+    );
+    assert!(
+        text.contains("cancel-in-progress: true"),
+        "a newer push to the same ref must cancel the stale run"
+    );
 }
 
 #[test]
 fn all_jobs_run_their_gate_scripts_on_a_runner() {
     let text = workflow();
     assert!(has_key_at(&text, 0, "jobs"), "missing top-level jobs:");
-    for job in ["verify", "bench-smoke", "loadgen-smoke", "train-smoke"] {
+    for job in [
+        "verify",
+        "bench-smoke",
+        "loadgen-smoke",
+        "scale-smoke",
+        "train-smoke",
+    ] {
         assert!(has_key_at(&text, 2, job), "missing job {job}");
     }
     assert_eq!(
         text.matches("runs-on:").count(),
-        4,
+        5,
         "every job needs a runs-on"
     );
     assert_eq!(
         text.matches("uses: actions/checkout@").count(),
-        4,
+        5,
         "every job checks out the repo"
     );
     assert!(
@@ -106,6 +134,14 @@ fn all_jobs_run_their_gate_scripts_on_a_runner() {
         text.contains("run: scripts/train_smoke.sh"),
         "train-smoke job must run scripts/train_smoke.sh"
     );
+    assert!(
+        text.contains("SCALE_PRESETS=medium"),
+        "scale-smoke job must gate the medium preset via check_bench.sh"
+    );
+    assert!(
+        text.contains("SCALE_GATE=0 scripts/check_bench.sh"),
+        "bench-smoke must skip the scale gate (scale-smoke owns it)"
+    );
 }
 
 #[test]
@@ -113,17 +149,25 @@ fn all_jobs_cache_target_keyed_on_the_lockfile() {
     let text = workflow();
     assert_eq!(
         text.matches("uses: actions/cache@").count(),
-        4,
+        5,
         "every job caches the build"
     );
     assert_eq!(
         text.matches("hashFiles('Cargo.lock')").count(),
-        4,
+        5,
         "cache keys must invalidate when Cargo.lock changes"
     );
     // `target` appears in each job's cached-path block.
     assert!(
-        text.lines().filter(|l| l.trim() == "target").count() >= 4,
+        text.lines().filter(|l| l.trim() == "target").count() >= 5,
         "every cache must include target/"
+    );
+    // A lockfile bump should warm-start from the previous cache rather
+    // than rebuild the world from scratch, so every cache step needs a
+    // restore-keys fallback prefix.
+    assert_eq!(
+        text.matches("restore-keys:").count(),
+        5,
+        "every cache step must declare restore-keys"
     );
 }

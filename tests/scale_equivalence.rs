@@ -1,0 +1,79 @@
+//! SoA-equivalence pin: the struct-of-arrays refactor of `sim::engine::World`
+//! (request/team arenas, flat waiting queues) must be *bit-identical* to the
+//! original array-of-structs engine. These checksums were captured on the
+//! pre-refactor engine (commit 9442eec) over the `medium` preset across five
+//! seeds; any divergence in dispatch order, pickup order, routing, or
+//! snapshot encoding changes the FNV-1a of the final world snapshot and
+//! fails here.
+
+use mobirescue_core::scenario::ScenarioConfig;
+use mobirescue_disaster::hurricane::Hurricane;
+use mobirescue_disaster::scenario::DisasterScenario;
+use mobirescue_mobility::flow::HourlyConditions;
+use mobirescue_roadnet::damage::NetworkCondition;
+use mobirescue_roadnet::graph::SegmentId;
+use mobirescue_sim::dispatcher::NearestRequestDispatcher;
+use mobirescue_sim::engine::{fnv1a_64, World};
+use mobirescue_sim::types::{RequestSpec, SimConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Hours of Florence's landfall ramp (disaster day 12 starts at hour 288;
+/// the intensity ramp begins half a day earlier).
+const STORM_HOUR: u32 = 276;
+const COND_HOURS: u32 = 8;
+
+/// Runs a storm-window dispatch simulation on the `medium` preset city and
+/// returns the FNV-1a checksum of the final world snapshot. The snapshot
+/// covers every outcome, waiting queue, team route, mission, plan, and
+/// metric row — so equal checksums mean bit-identical engine behavior.
+fn medium_dispatch_checksum(seed: u64) -> u64 {
+    let cfg = ScenarioConfig::medium();
+    let city = cfg.city.build(seed);
+    let disaster = DisasterScenario::new(&city, Hurricane::florence(), seed);
+    let conditions: Vec<NetworkCondition> = (0..COND_HOURS)
+        .map(|h| disaster.network_condition(&city.network, STORM_HOUR + h))
+        .collect();
+    let conditions = HourlyConditions::from_conditions(conditions);
+
+    let mut sim = SimConfig::small(0);
+    sim.sample_positions_every_s = Some(900);
+    let mut world = World::new(&city, &conditions, &sim).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ca1e);
+    let n = city.network.num_segments() as u32;
+    let horizon = sim.duration_s();
+    let specs: Vec<RequestSpec> = (0..48)
+        .map(|_| RequestSpec {
+            appear_s: rng.random_range(0..horizon * 3 / 4),
+            segment: SegmentId(rng.random_range(0..n)),
+        })
+        .collect();
+    world.schedule_requests(&specs).unwrap();
+
+    let mut dispatcher = NearestRequestDispatcher::default();
+    while world.now_s() < horizon {
+        world.step(&mut dispatcher, 0.0);
+    }
+    fnv1a_64(&world.snapshot_text())
+}
+
+#[test]
+fn medium_preset_dispatch_is_bit_identical_across_refactors() {
+    // (seed, snapshot checksum) pairs captured pre-refactor.
+    const PINNED: [(u64, u64); 5] = [
+        (11, 0x447ba74735c8f45f),
+        (22, 0x9b4b79ee1a346949),
+        (33, 0x20dc7e3d12b30b2f),
+        (44, 0x69401e5ad25375af),
+        (55, 0x6d9da6b49e714ffd),
+    ];
+    for (seed, expect) in PINNED {
+        let got = medium_dispatch_checksum(seed);
+        assert_eq!(
+            got, expect,
+            "seed {seed}: snapshot checksum {got:#018x} != pinned {expect:#018x} \
+             — engine behavior diverged from the pre-SoA baseline"
+        );
+    }
+}
