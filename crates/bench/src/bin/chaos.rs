@@ -11,15 +11,18 @@
 //! (drop/delay/duplicate/corrupt ingestion, shard stalls and crashes,
 //! failed hot-swaps), then runs the crash-replay masking check, the
 //! poisoned-checkpoint rollout sweep (NaN weights, wrong dims, and a
-//! reward-tanking policy against the guarded promotion pipeline), and the
+//! reward-tanking policy against the guarded promotion pipeline), the
 //! trainer fault sweep (transition drops, stale-candidate floods, and
-//! boundary crashes against the online training loop). Exits non-zero if
-//! any seed breaks an invariant — pipe the output into
-//! `robustness_serve.txt` via `scripts/chaos.sh`.
+//! boundary crashes against the online training loop), and the WAL fault
+//! sweep (kill -9 at arbitrary journal byte offsets, torn appends, bit
+//! flips and fsync stalls against the durable ingest journal, over the
+//! pinned `CHAOS_SEEDS`). Exits non-zero if any seed breaks an invariant
+//! — pipe the output into `robustness_serve.txt` via `scripts/chaos.sh`.
 
 use mobirescue_serve::chaos::{
     crash_replay_divergence, rollout_chaos_divergence, run_chaos, trainer_chaos_divergence,
-    ChaosOptions, RolloutChaosOptions, TrainerChaosOptions,
+    wal_chaos_divergence, ChaosOptions, RolloutChaosOptions, TrainerChaosOptions, WalChaosOptions,
+    CHAOS_SEEDS,
 };
 
 fn main() {
@@ -115,6 +118,32 @@ fn main() {
             Ok(divergences) if divergences.is_empty() => {
                 println!(
                     "  seed {seed:>4}: conservation held, floods blocked, crash twin bit-identical -> OK"
+                );
+            }
+            Ok(divergences) => {
+                println!("  seed {seed:>4}: VIOLATED -> FAIL");
+                for d in &divergences {
+                    println!("    {d}");
+                }
+                failures += 1;
+            }
+            Err(e) => {
+                println!("  seed {seed:>4}: service error: {e} -> FAIL");
+                failures += 1;
+            }
+        }
+    }
+
+    // The WAL arm runs the pinned seed set (the same CHAOS_SEEDS constant
+    // the test suites iterate) rather than the sweep range: crash-at-any-
+    // byte recovery is a pinned contract, not a coverage lottery.
+    println!("wal chaos (kill -9 at any journal byte, torn tails, bit flips, fsync stalls):");
+    for seed in CHAOS_SEEDS {
+        let opts = WalChaosOptions::standard(shards);
+        match wal_chaos_divergence(seed, &opts) {
+            Ok(divergences) if divergences.is_empty() => {
+                println!(
+                    "  seed {seed:>4}: crash twin bit-identical, corruption refused typed -> OK"
                 );
             }
             Ok(divergences) => {

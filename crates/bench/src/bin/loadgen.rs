@@ -10,7 +10,7 @@ use mobirescue_bench::loadgen::{mined_stream, LoadReport, Profile};
 use mobirescue_core::scenario::ScenarioConfig;
 use mobirescue_net::{Frame, NackReason, NetClient, NetError};
 use mobirescue_obs::Histogram;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,8 +29,12 @@ Options:
   --scenario NAME      world the server runs: small | medium | charlotte
                        (default: small; must match the server)
   --slo-ms MS          p99 RTT ceiling stamped into the report (default: 250)
+  --p999-slo-ms MS     p99.9 RTT ceiling stamped into the report (default: 1000)
   --max-shed-pct PCT   shed-rate ceiling stamped into the report (default: 5)
   --out FILE           also write the JSON report to FILE
+  --acked-ids FILE     write the sorted ids of every ACKed request to FILE,
+                       one per line — the durability ledger the WAL crash
+                       smoke diffs against a restarted server
   --quiet              suppress progress output
   --help               print this message and exit"
         .to_owned()
@@ -43,8 +47,10 @@ struct Args {
     profile: Profile,
     scenario: String,
     slo_ms: u64,
+    p999_slo_ms: u64,
     max_shed_pct: f64,
     out: Option<std::path::PathBuf>,
+    acked_ids: Option<std::path::PathBuf>,
     quiet: bool,
 }
 
@@ -56,8 +62,10 @@ fn parse_args() -> Result<Args, String> {
         profile: Profile::Open,
         scenario: "small".to_owned(),
         slo_ms: 250,
+        p999_slo_ms: 1_000,
         max_shed_pct: 5.0,
         out: None,
+        acked_ids: None,
         quiet: false,
     };
     let mut args = std::env::args().skip(1);
@@ -98,12 +106,20 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--slo-ms needs a positive integer".to_owned())?;
             }
+            "--p999-slo-ms" => {
+                parsed.p999_slo_ms = value(&mut args, "--p999-slo-ms")?
+                    .parse()
+                    .map_err(|_| "--p999-slo-ms needs a positive integer".to_owned())?;
+            }
             "--max-shed-pct" => {
                 parsed.max_shed_pct = value(&mut args, "--max-shed-pct")?
                     .parse()
                     .map_err(|_| "--max-shed-pct needs a number".to_owned())?;
             }
             "--out" => parsed.out = Some(value(&mut args, "--out")?.into()),
+            "--acked-ids" => {
+                parsed.acked_ids = Some(value(&mut args, "--acked-ids")?.into());
+            }
             "--quiet" => parsed.quiet = true,
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -127,6 +143,22 @@ struct Tallies {
     /// Send instant of request `id`, as micros since the run epoch;
     /// `u64::MAX` = not sent yet.
     send_us: Vec<AtomicU64>,
+    /// Whether request `id` was ACKed — the durability ledger. Every id
+    /// flagged here was promised durable by the server; after a crash
+    /// and restart, each one must still be accounted for.
+    acked_ids: Vec<AtomicBool>,
+}
+
+/// Writes the sorted ids of every ACKed request, one per line.
+fn write_ledger(path: &std::path::Path, tallies: &Tallies) -> Result<(), String> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (id, acked) in tallies.acked_ids.iter().enumerate() {
+        if acked.load(Ordering::Acquire) {
+            let _ = writeln!(out, "{id}");
+        }
+    }
+    std::fs::write(path, out).map_err(|e| format!("write {}: {e}", path.display()))
 }
 
 fn main() {
@@ -177,6 +209,7 @@ fn run(args: &Args) -> Result<(), String> {
         nacked_invalid: AtomicU64::new(0),
         rtt_ms: Histogram::new(),
         send_us: (0..total).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        acked_ids: (0..total).map(|_| AtomicBool::new(false)).collect(),
     });
 
     let epoch = Instant::now();
@@ -207,6 +240,7 @@ fn run(args: &Args) -> Result<(), String> {
                     tallies.nacked_invalid.fetch_add(1, Ordering::Relaxed);
                 } else {
                     tallies.acked.fetch_add(1, Ordering::Relaxed);
+                    tallies.acked_ids[id as usize].store(true, Ordering::Release);
                     if sent_us != u64::MAX {
                         let now_us = epoch.elapsed().as_micros() as u64;
                         tallies
@@ -221,6 +255,7 @@ fn run(args: &Args) -> Result<(), String> {
 
     // Open-loop writer: requests go out at the schedule's offsets no
     // matter how the server is doing.
+    let mut run_err: Option<String> = None;
     let start = Instant::now();
     for (i, &offset_ms) in schedule.iter().enumerate() {
         let target = Duration::from_millis(offset_ms);
@@ -230,14 +265,19 @@ fn run(args: &Args) -> Result<(), String> {
         }
         let (appear_s, segment) = stream[i % stream.len()];
         tallies.send_us[i].store(epoch.elapsed().as_micros() as u64, Ordering::Release);
-        writer_client
-            .send(&Frame::Request {
-                id: i as u64,
-                shard: i as u32 % num_shards_hint,
-                appear_s,
-                segment,
-            })
-            .map_err(|e| format!("send: {e}"))?;
+        if let Err(e) = writer_client.send(&Frame::Request {
+            id: i as u64,
+            shard: i as u32 % num_shards_hint,
+            appear_s,
+            segment,
+        }) {
+            // The server vanished mid-run (the crash smoke's kill -9).
+            // Stop sending but keep going: the reader drains whatever
+            // ACKs made it back, and the ledger below still gets written
+            // — knowing what was acked before a crash is its whole point.
+            run_err = Some(format!("send: {e}"));
+            break;
+        }
         if !args.quiet && (i + 1) % 1_000 == 0 {
             eprintln!("loadgen: sent {}/{total}", i + 1);
         }
@@ -247,20 +287,41 @@ fn run(args: &Args) -> Result<(), String> {
     // Pull the server-side ingest-to-dispatch percentiles on a second
     // connection (the first one's read side belongs to the reader
     // thread), then half-close to let the reader drain to EOF.
-    let server = NetClient::connect(addr)
-        .and_then(|mut c| c.pull_metrics())
-        .map_err(|e| format!("metrics pull: {e}"))?;
+    let server = if run_err.is_none() {
+        match NetClient::connect(addr).and_then(|mut c| c.pull_metrics()) {
+            Ok(report) => Some(report),
+            Err(e) => {
+                run_err = Some(format!("metrics pull: {e}"));
+                None
+            }
+        }
+    } else {
+        None
+    };
     let drain_deadline = Instant::now() + Duration::from_secs(5);
     while !reader.is_finished() && Instant::now() < drain_deadline {
         std::thread::sleep(Duration::from_millis(10));
     }
-    writer_client
-        .shutdown_write()
-        .map_err(|e| format!("shutdown: {e}"))?;
+    let _ = writer_client.shutdown_write();
     let reader_result = reader.join().expect("reader thread");
+
+    if let Some(path) = &args.acked_ids {
+        write_ledger(path, &tallies)?;
+        if !args.quiet {
+            eprintln!(
+                "loadgen: wrote {} acked id(s) to {}",
+                tallies.acked.load(Ordering::Relaxed),
+                path.display()
+            );
+        }
+    }
+    if let Some(e) = run_err {
+        return Err(e);
+    }
     if let Err(e) = reader_result {
         return Err(format!("recv: {e}"));
     }
+    let server = server.expect("metrics pulled on the healthy path");
 
     let acked = tallies.acked.load(Ordering::Relaxed);
     let nacked_shed = tallies.nacked_shed.load(Ordering::Relaxed);
@@ -285,6 +346,7 @@ fn run(args: &Args) -> Result<(), String> {
         i2d_p99_ms: server.i2d_p99,
         i2d_p999_ms: server.i2d_p999,
         p99_slo_ms: args.slo_ms,
+        p999_slo_ms: args.p999_slo_ms,
         max_shed_pct: args.max_shed_pct,
     };
     let json = report.to_json();

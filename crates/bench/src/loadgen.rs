@@ -168,6 +168,9 @@ pub struct LoadReport {
     /// The p99 RTT ceiling this run is expected to hold — committed in
     /// the baseline so the gate is self-describing.
     pub p99_slo_ms: u64,
+    /// The p99.9 RTT ceiling committed alongside: the tail the p99 gate
+    /// cannot see, where fsync stalls and drain hiccups hide.
+    pub p999_slo_ms: u64,
     /// The shed-rate ceiling (percent) committed alongside.
     pub max_shed_pct: f64,
 }
@@ -196,6 +199,7 @@ impl LoadReport {
         let _ = writeln!(out, "  \"i2d_p99_ms\": {},", self.i2d_p99_ms);
         let _ = writeln!(out, "  \"i2d_p999_ms\": {},", self.i2d_p999_ms);
         let _ = writeln!(out, "  \"p99_slo_ms\": {},", self.p99_slo_ms);
+        let _ = writeln!(out, "  \"p999_slo_ms\": {},", self.p999_slo_ms);
         let _ = writeln!(out, "  \"max_shed_pct\": {:.1}", self.max_shed_pct);
         out.push_str("}\n");
         out
@@ -291,6 +295,7 @@ mod tests {
             i2d_p99_ms: 90,
             i2d_p999_ms: 120,
             p99_slo_ms: 250,
+            p999_slo_ms: 1_000,
             max_shed_pct: 5.0,
         };
         let json = report.to_json();
@@ -302,6 +307,7 @@ mod tests {
             "rtt_p999_ms",
             "i2d_p99_ms",
             "p99_slo_ms",
+            "p999_slo_ms",
             "max_shed_pct",
         ] {
             assert!(json.contains(&format!("\"{key}\":")), "missing {key}");

@@ -43,8 +43,8 @@ use mobirescue_rl::persist::mlp_to_text;
 use mobirescue_roadnet::graph::SegmentId;
 use mobirescue_serve::{
     CheckpointPoison, Clock, DispatchService, EpochScheduler, Event, FaultInjector, FaultPlan,
-    ModelRegistry, RolloutConfig, RolloutError, ServeConfig, ServeError, SimClock, TrainerConfig,
-    WallClock,
+    FsyncPolicy, ModelRegistry, RolloutConfig, RolloutError, ServeConfig, ServeError, SimClock,
+    TrainerConfig, WalConfig, WallClock,
 };
 use mobirescue_sim::{RequestSpec, SimConfig};
 use std::io::Write as _;
@@ -77,6 +77,14 @@ Listen/train-mode options:
   --period-ms MS       wall-clock milliseconds per dispatch epoch
                        (default: 100; listen mode only)
   --queue-capacity N   per-shard request queue capacity (default: 1024)
+  --max-conns N        concurrent connection cap; over-cap connects get
+                       `mrnet 1 busy` (default: 64; listen mode only)
+  --wal-dir DIR        durable ingest journal + epoch snapshots in DIR;
+                       on start, restores DIR/snapshot.txt if present and
+                       replays the journal suffix, so a kill -9 loses no
+                       acked request (listen mode only)
+  --fsync POLICY       journal fsync policy: always | epoch | off
+                       (default: always; needs --wal-dir)
   --quiet              suppress per-epoch output
 
 Common options:
@@ -94,6 +102,9 @@ struct Args {
     epochs: u32,
     period_ms: u64,
     queue_capacity: usize,
+    max_conns: usize,
+    wal_dir: Option<std::path::PathBuf>,
+    fsync: FsyncPolicy,
     quiet: bool,
     metrics_out: Option<std::path::PathBuf>,
     metrics_prom: Option<std::path::PathBuf>,
@@ -108,6 +119,9 @@ fn parse_args() -> Result<Args, String> {
         epochs: 60,
         period_ms: 100,
         queue_capacity: 1_024,
+        max_conns: 64,
+        wal_dir: None,
+        fsync: FsyncPolicy::Always,
         quiet: false,
         metrics_out: None,
         metrics_prom: None,
@@ -149,6 +163,22 @@ fn parse_args() -> Result<Args, String> {
                 parsed.queue_capacity = value(&mut args, "--queue-capacity")?
                     .parse()
                     .map_err(|_| "--queue-capacity needs a positive integer".to_owned())?;
+            }
+            "--max-conns" => {
+                parsed.max_conns = value(&mut args, "--max-conns")?
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| "--max-conns needs a positive integer".to_owned())?;
+            }
+            "--wal-dir" => {
+                parsed.wal_dir = Some(value(&mut args, "--wal-dir")?.into());
+            }
+            "--fsync" => {
+                let policy = value(&mut args, "--fsync")?;
+                parsed.fsync = FsyncPolicy::parse(&policy).ok_or_else(|| {
+                    format!("--fsync must be always, epoch or off, got {policy:?}")
+                })?;
             }
             "--quiet" => parsed.quiet = true,
             "--metrics-out" => {
@@ -238,18 +268,58 @@ fn run_listen(args: &Args, addr: &str) -> Result<(), ServeError> {
     let mut config = ServeConfig::new(sim);
     config.num_shards = args.shards.max(1);
     config.request_queue_capacity = args.queue_capacity.max(1);
+    // With --wal-dir, every accepted request is journaled (and fsynced
+    // per --fsync) before its Ack leaves the process, and the service
+    // snapshots to DIR/snapshot.txt at each epoch boundary.
+    let snapshot_path = args.wal_dir.as_ref().map(|dir| dir.join("snapshot.txt"));
+    if let Some(dir) = &args.wal_dir {
+        std::fs::create_dir_all(dir).map_err(|e| ServeError::Io(e.to_string()))?;
+        let mut wal_cfg = WalConfig::new(dir.join("journal"));
+        wal_cfg.fsync = args.fsync;
+        config.wal = Some(wal_cfg);
+    }
     let clock: Arc<WallClock> = Arc::new(WallClock::new());
     let registry = Arc::new(ModelRegistry::new(None, None));
-    let service = Arc::new(DispatchService::start(
-        Arc::clone(&scenario),
-        config,
-        Arc::clone(&clock) as Arc<dyn Clock>,
-        registry,
-    )?);
+    let prior_snapshot = match &snapshot_path {
+        Some(path) if path.exists() => {
+            Some(std::fs::read_to_string(path).map_err(|e| ServeError::Io(e.to_string()))?)
+        }
+        _ => None,
+    };
+    let recovering = prior_snapshot.is_some();
+    let service = Arc::new(match prior_snapshot {
+        Some(text) => DispatchService::restore(
+            Arc::clone(&scenario),
+            config,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            registry,
+            &text,
+        )?,
+        None => DispatchService::start(
+            Arc::clone(&scenario),
+            config,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            registry,
+        )?,
+    });
+    if recovering {
+        // The line the crash-recovery smoke parses: everything on this
+        // line is already durable again, so `accepted` is the floor no
+        // previously-acked request may fall below.
+        let m = service.metrics();
+        println!(
+            "recovered: epochs {} accepted {} journal_seq {}",
+            m.epochs_completed,
+            m.requests_accepted,
+            service.wal_last_seq()
+        );
+    }
+    let mut net_cfg = NetConfig::new(addr);
+    net_cfg.max_connections = args.max_conns;
     let mut server = NetServer::start(
         Arc::clone(&service),
         Arc::clone(&clock) as Arc<dyn Clock>,
-        NetConfig::new(addr),
+        net_cfg,
     )
     .map_err(|e| ServeError::Io(e.to_string()))?;
 
@@ -277,6 +347,17 @@ fn run_listen(args: &Args, addr: &str) -> Result<(), ServeError> {
         server.epoch_started();
         let reports = service.run_epoch()?;
         server.epoch_finished();
+        if let Some(path) = &snapshot_path {
+            // Persist-then-compact, in that order: the snapshot must be
+            // durably renamed into place before the journal prefix it
+            // covers may be dropped, so a kill -9 between the two steps
+            // only ever leaves extra journal to replay, never a gap.
+            let text = service.snapshot()?;
+            let tmp = path.with_extension("txt.tmp");
+            std::fs::write(&tmp, &text).map_err(|e| ServeError::Io(e.to_string()))?;
+            std::fs::rename(&tmp, path).map_err(|e| ServeError::Io(e.to_string()))?;
+            service.wal_compact()?;
+        }
         if !args.quiet && (epoch + 1) % 10 == 0 {
             let report = server.report();
             println!(

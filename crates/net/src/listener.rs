@@ -218,6 +218,16 @@ impl NetServer {
         for join in handlers {
             let _ = join.join();
         }
+        // Every connection is drained; under the `epoch`/`off` fsync
+        // policies the last acked requests may still sit in the page
+        // cache, so force the ingest journal to stable storage before
+        // reporting a clean drain.
+        if let Err(e) = self.shared.service.wal_sync() {
+            self.shared.log(
+                Level::Warn,
+                format!("net: drain-time journal flush failed: {e}"),
+            );
+        }
         self.shared.log(
             Level::Info,
             "net: drained, all connections closed".to_owned(),
@@ -240,6 +250,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
         if shared.active.load(Ordering::SeqCst) >= shared.cfg.max_connections {
             let _ = stream.write_all(HELLO_BUSY.as_bytes());
             shared.metrics.connections_refused.inc();
+            shared.metrics.busy_rejects.inc();
             continue;
         }
         shared.active.fetch_add(1, Ordering::SeqCst);

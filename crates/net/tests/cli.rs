@@ -45,6 +45,20 @@ fn bad_scenario_name_exits_nonzero() {
 }
 
 #[test]
+fn bad_fsync_policy_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(["--listen", "127.0.0.1:0", "--fsync", "sometimes"])
+        .output()
+        .expect("serve runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--fsync must be always, epoch or off"),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn help_prints_usage_to_stdout_and_exits_zero() {
     let out = Command::new(env!("CARGO_BIN_EXE_serve"))
         .arg("--help")

@@ -40,13 +40,21 @@
 //! floods, stale-candidate floods never reaching a primary dispatch, and
 //! a trainer that crashes at epoch boundaries recovering bit-identically
 //! to an unfaulted twin.
+//!
+//! [`wal_chaos_divergence`] covers the durable ingest journal
+//! ([`crate::wal`]): torn appends surface as typed refusals with the
+//! conservation law `acked == dispatched + still_journaled` intact, fsync
+//! stalls never perturb state, a process killed at *any byte offset* of
+//! the journal recovers bit-identical to a twin that never crashed, and
+//! an interior bit flip is a typed [`crate::WalError::Corrupt`] refusal
+//! naming the segment and offset.
 
 use crate::clock::{Clock, SimClock};
 use crate::error::ServeError;
 use crate::event::Event;
 use crate::fault::{
     CheckpointPoison, FaultCounters, FaultInjector, FaultPlan, FaultPlanConfig, ScheduledFaults,
-    TrainerFault,
+    TrainerFault, WalFault,
 };
 use crate::metrics::MetricsSnapshot;
 use crate::registry::ModelRegistry;
@@ -54,6 +62,7 @@ use crate::rollout::{RolloutConfig, RolloutError};
 use crate::scheduler::EpochScheduler;
 use crate::service::{DispatchService, RetryPolicy, ServeConfig};
 use crate::trainer::TrainerConfig;
+use crate::wal::{FsyncPolicy, WalConfig, WalError};
 use mobirescue_core::rl_dispatch::FEATURE_DIM;
 use mobirescue_core::scenario::{Scenario, ScenarioConfig};
 use mobirescue_obs::ObsSnapshot;
@@ -63,7 +72,15 @@ use mobirescue_roadnet::graph::SegmentId;
 use mobirescue_sim::{RequestSpec, SimConfig};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// The pinned seed set every chaos sweep and pinned test shares — the
+/// chaos binary and the `tests/*_chaos.rs` suites iterate this one
+/// constant, so a failing seed from a sweep reproduces as a test without
+/// translation.
+pub const CHAOS_SEEDS: [u64; 5] = [11, 23, 37, 41, 53];
 
 /// What a chaos run should look like, beyond the fault plan itself.
 #[derive(Debug, Clone)]
@@ -1026,4 +1043,463 @@ pub fn trainer_chaos_divergence(
         ));
     }
     Ok(divergences)
+}
+
+/// What a WAL chaos run should look like.
+#[derive(Debug, Clone)]
+pub struct WalChaosOptions {
+    /// Dispatch epochs to drive (the crash arm snapshots at the halfway
+    /// boundary, so keep this even and at least 2).
+    pub epochs: u32,
+    /// City shards to host.
+    pub num_shards: usize,
+    /// Request offers per shard per epoch.
+    pub requests_per_epoch: usize,
+    /// Seeded interior byte offsets the crash arm kills at, on top of the
+    /// two endpoints (right after the boundary snapshot, and after every
+    /// post-snapshot offer was journaled).
+    pub interior_crash_points: usize,
+}
+
+impl WalChaosOptions {
+    /// The standard sweep configuration.
+    pub fn standard(num_shards: usize) -> Self {
+        Self {
+            epochs: 8,
+            num_shards,
+            requests_per_epoch: 4,
+            interior_crash_points: 3,
+        }
+    }
+}
+
+fn wal_chaos_dir(seed: u64, arm: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "mobirescue-walchaos-{}-{seed}-{arm}",
+        std::process::id()
+    ))
+}
+
+fn fresh_dir(dir: &Path) {
+    let _ = fs::remove_dir_all(dir);
+}
+
+fn wal_serve_config(
+    opts: &WalChaosOptions,
+    dir: &Path,
+    faults: Option<Arc<FaultInjector>>,
+) -> ServeConfig {
+    let mut config = ServeConfig::new(SimConfig::small(6));
+    config.num_shards = opts.num_shards;
+    config.request_queue_capacity = 8;
+    config.faults = faults;
+    let mut wal = WalConfig::new(dir);
+    // One segment keeps the crash arm's byte-offset arithmetic over a
+    // single file; rotation/compaction have their own unit coverage.
+    wal.segment_max_bytes = 1 << 20;
+    wal.fsync = FsyncPolicy::Always;
+    config.wal = Some(wal);
+    config
+}
+
+/// The one journal segment a [`wal_serve_config`] run produced.
+fn only_segment(dir: &Path) -> Result<PathBuf, String> {
+    let mut segs: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("journal dir unreadable: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        })
+        .collect();
+    segs.sort();
+    match segs.len() {
+        1 => Ok(segs.remove(0)),
+        n => Err(format!("expected one journal segment, found {n}")),
+    }
+}
+
+/// The durable-ingest-journal invariants, checked as four arms:
+///
+/// **Arm A (seeded torn appends + fsync stalls):**
+/// * every injected torn append surfaces as a typed
+///   [`ServeError::Wal`]([`WalError::TornTail`]) refusal at ingestion —
+///   the request was never made durable, so it is never acked;
+/// * **conservation** — every acked (admitted) request is dispatched
+///   (injected into a world), rejected by it, or still journaled in a
+///   queue: `acked == dispatched + still_journaled`;
+/// * the journal stays parseable through every injected tear (the tail
+///   self-heals exactly as recovery would truncate it), so the final
+///   snapshot restores over the same journal directory to an equal
+///   service.
+///
+/// **Arm A2 (stall-only twin):** a run whose appends stall on fsync ends
+/// **bit-identical** — snapshot text and metrics — to a twin that never
+/// stalled: durability latency must never leak into state.
+///
+/// **Arm B (kill -9 at any byte):** a reference run snapshots at the
+/// halfway boundary, journals one more epoch's offers, then finishes
+/// cleanly. For each crash offset — right after the boundary snapshot,
+/// after every post-snapshot offer, and seeded interior bytes (torn
+/// mid-record included) — a twin restores from the boundary snapshot plus
+/// the journal *truncated at that byte*, re-offers exactly the suffix the
+/// truncated journal lost (the client-retry model: an un-journaled offer
+/// was never acked), runs the remaining epochs, and must end
+/// **bit-identical** to the reference: snapshot text, metrics, and
+/// journal sequence numbers.
+///
+/// **Arm C (interior bit flip):** a run whose journal was bit-flipped
+/// in place must be *refused* at recovery with a typed
+/// [`WalError::Corrupt`] naming the segment and byte offset — never a
+/// panic, never a silent wrong replay.
+///
+/// Returns the list of violations/divergences (empty on a clean run).
+///
+/// # Errors
+///
+/// Returns the first *unexpected* service error from any run (typed torn
+/// refusals and the arm-C corrupt rejection are the contract, not
+/// errors).
+pub fn wal_chaos_divergence(seed: u64, opts: &WalChaosOptions) -> Result<Vec<String>, ServeError> {
+    let scenario = Arc::new(chaos_scenario());
+    let segments = scenario.city.network.num_segments() as u32;
+    let mut violations = Vec::new();
+
+    // ---- Arm A: seeded torn appends + fsync stalls, one of each forced.
+    {
+        let dir = wal_chaos_dir(seed, "a");
+        fresh_dir(&dir);
+        let cfg = FaultPlanConfig::wal_chaos(opts.epochs, opts.num_shards);
+        let plan = FaultPlan::generate(seed, &cfg)
+            .with_wal_fault(1, WalFault::TornAppend)
+            .with_wal_fault(4, WalFault::FsyncStall(7));
+        let injector = Arc::new(FaultInjector::new(plan));
+        let config = wal_serve_config(opts, &dir, Some(Arc::clone(&injector)));
+        let clock: Arc<SimClock> = Arc::new(SimClock::new());
+        let registry = Arc::new(ModelRegistry::new(None, None));
+        let service = DispatchService::start(
+            Arc::clone(&scenario),
+            config,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            Arc::clone(&registry),
+        )?;
+        let mut torn_refused = 0u64;
+        let mut ingest_errors = Vec::new();
+        {
+            let mut offer = |service: &DispatchService, epoch: u32| {
+                for event in
+                    request_events(epoch, opts.num_shards, opts.requests_per_epoch, segments)
+                {
+                    match service.ingest(event) {
+                        Ok(_) => {}
+                        Err(ServeError::Wal(WalError::TornTail { .. })) => torn_refused += 1,
+                        Err(e) => ingest_errors.push(format!("unexpected ingest error: {e}")),
+                    }
+                }
+            };
+            let mut scheduler = EpochScheduler::for_service(&service)?;
+            offer(&service, 0);
+            scheduler.run(&service, clock.as_ref(), opts.epochs, |e, _| {
+                if e + 1 < opts.epochs {
+                    offer(&service, e + 1);
+                }
+            })?;
+        }
+        violations.extend(ingest_errors);
+        let counters = injector.counters();
+        if counters.wal_torn == 0 {
+            violations.push("arm A fired no torn appends".to_owned());
+        }
+        if counters.wal_stalls == 0 {
+            violations.push("arm A fired no fsync stalls".to_owned());
+        }
+        if torn_refused != counters.wal_torn {
+            violations.push(format!(
+                "{torn_refused} typed torn refusals for {} torn appends fired",
+                counters.wal_torn
+            ));
+        }
+        // Conservation: acked == dispatched + still_journaled.
+        let metrics = service.metrics();
+        let consumed: u64 = metrics
+            .shards
+            .iter()
+            .map(|s| s.injected + s.rejected + s.queue_depth as u64)
+            .sum();
+        if metrics.requests_accepted != consumed {
+            violations.push(format!(
+                "acked {} but shards account for {consumed} (dispatched + still journaled)",
+                metrics.requests_accepted
+            ));
+        }
+        // Every injected tear self-healed: the journal directory restores
+        // to an equal service.
+        let snapshot = service.snapshot()?;
+        match DispatchService::restore(
+            Arc::clone(&scenario),
+            service.config().clone(),
+            Arc::new(SimClock::new()) as Arc<dyn Clock>,
+            Arc::clone(&registry),
+            &snapshot,
+        ) {
+            Ok(restored) => {
+                if restored.metrics() != metrics {
+                    violations
+                        .push("arm A restore over the torn journal diverged from live".to_owned());
+                }
+                if restored.wal_last_seq() != service.wal_last_seq() {
+                    violations.push(format!(
+                        "arm A restore recovered journal seq {}, live is at {}",
+                        restored.wal_last_seq(),
+                        service.wal_last_seq()
+                    ));
+                }
+                restored.shutdown();
+            }
+            Err(e) => violations.push(format!("arm A journal unrecoverable after tears: {e}")),
+        }
+        service.shutdown();
+        fresh_dir(&dir);
+    }
+
+    // ---- Arm A2: fsync stalls must never leak into state.
+    {
+        let run = |arm: &str, plan: FaultPlan| -> Result<(String, MetricsSnapshot), ServeError> {
+            let dir = wal_chaos_dir(seed, arm);
+            fresh_dir(&dir);
+            let injector = Arc::new(FaultInjector::new(plan));
+            let config = wal_serve_config(opts, &dir, Some(injector));
+            let clock: Arc<SimClock> = Arc::new(SimClock::new());
+            let service = DispatchService::start(
+                Arc::clone(&scenario),
+                config,
+                Arc::clone(&clock) as Arc<dyn Clock>,
+                Arc::new(ModelRegistry::new(None, None)),
+            )?;
+            let mut scheduler = EpochScheduler::for_service(&service)?;
+            for event in request_events(0, opts.num_shards, opts.requests_per_epoch, segments) {
+                service.ingest(event)?;
+            }
+            scheduler.run(&service, clock.as_ref(), opts.epochs, |e, _| {
+                if e + 1 < opts.epochs {
+                    for event in
+                        request_events(e + 1, opts.num_shards, opts.requests_per_epoch, segments)
+                    {
+                        let _ = service.ingest(event);
+                    }
+                }
+            })?;
+            let end = (service.snapshot()?, service.metrics());
+            service.shutdown();
+            fresh_dir(&dir);
+            Ok(end)
+        };
+        let stall_cfg = FaultPlanConfig {
+            wal_horizon: 64,
+            p_wal_stall: 0.5,
+            wal_stall_ms: 15,
+            ..FaultPlanConfig::quiet(opts.epochs, opts.num_shards)
+        };
+        let plan = FaultPlan::generate(seed, &stall_cfg).with_wal_fault(0, WalFault::FsyncStall(5));
+        let (stalled_snap, stalled_metrics) = run("a2s", plan)?;
+        let (clean_snap, clean_metrics) = run("a2c", FaultPlan::empty())?;
+        if stalled_metrics != clean_metrics {
+            violations.push("metrics diverged between stalled and clean journal runs".to_owned());
+        }
+        if stalled_snap != clean_snap {
+            let at = stalled_snap
+                .bytes()
+                .zip(clean_snap.bytes())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| stalled_snap.len().min(clean_snap.len()));
+            violations.push(format!(
+                "stall twin snapshots diverge at byte {at} (stalled {} bytes, clean {} bytes)",
+                stalled_snap.len(),
+                clean_snap.len()
+            ));
+        }
+    }
+
+    // ---- Arm B: kill -9 at any byte of the journal.
+    {
+        let mid = (opts.epochs / 2).max(1);
+        let dir = wal_chaos_dir(seed, "ref");
+        fresh_dir(&dir);
+        let config = wal_serve_config(opts, &dir, None);
+        let clock: Arc<SimClock> = Arc::new(SimClock::new());
+        let service = DispatchService::start(
+            Arc::clone(&scenario),
+            config,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            Arc::new(ModelRegistry::new(None, None)),
+        )?;
+        let mut scheduler = EpochScheduler::for_service(&service)?;
+        for event in request_events(0, opts.num_shards, opts.requests_per_epoch, segments) {
+            service.ingest(event)?;
+        }
+        scheduler.run(&service, clock.as_ref(), mid, |e, _| {
+            if e + 1 < mid {
+                for event in
+                    request_events(e + 1, opts.num_shards, opts.requests_per_epoch, segments)
+                {
+                    let _ = service.ingest(event);
+                }
+            }
+        })?;
+        // The boundary snapshot pins the journal high-water mark; every
+        // offer after it lives only in the journal until dispatched.
+        let boundary_snapshot = service.snapshot()?;
+        let hwm = service.wal_last_seq();
+        let segment = match only_segment(&dir) {
+            Ok(p) => p,
+            Err(why) => {
+                violations.push(format!("arm B: {why}"));
+                service.shutdown();
+                fresh_dir(&dir);
+                return Ok(violations);
+            }
+        };
+        let prefix_len = fs::read(&segment)
+            .map_err(|e| ServeError::Io(format!("read {}: {e}", segment.display())))?
+            .len();
+        let post: Vec<Event> =
+            request_events(mid, opts.num_shards, opts.requests_per_epoch, segments);
+        for event in post.iter().cloned() {
+            service.ingest(event)?;
+        }
+        let journal = fs::read(&segment)
+            .map_err(|e| ServeError::Io(format!("read {}: {e}", segment.display())))?;
+        let mut tail = EpochScheduler::for_service(&service)?;
+        tail.run(&service, clock.as_ref(), opts.epochs - mid, |_, _| {})?;
+        let reference_snapshot = service.snapshot()?;
+        let reference_metrics = service.metrics();
+        let reference_seq = service.wal_last_seq();
+        service.shutdown();
+
+        if journal.len() <= prefix_len {
+            violations.push("arm B journal never grew past the boundary snapshot".to_owned());
+        } else {
+            // Crash offsets: both endpoints plus seeded interior bytes —
+            // interior cuts usually land mid-record, exercising the torn
+            // tail truncation on the recovery path.
+            let span = (journal.len() - prefix_len) as u64;
+            let mut cuts = vec![prefix_len, journal.len()];
+            let mut x = seed ^ 0x0007_7a1c_4a05_u64;
+            for _ in 0..opts.interior_crash_points {
+                x = x
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                cuts.push(prefix_len + (x % span) as usize);
+            }
+            cuts.sort_unstable();
+            cuts.dedup();
+            let segment_file = segment.file_name().expect("segment has a name").to_owned();
+            for (i, &cut) in cuts.iter().enumerate() {
+                let crash_dir = wal_chaos_dir(seed, &format!("b{i}"));
+                fresh_dir(&crash_dir);
+                fs::create_dir_all(&crash_dir)
+                    .map_err(|e| ServeError::Io(format!("create {}: {e}", crash_dir.display())))?;
+                fs::write(crash_dir.join(&segment_file), &journal[..cut])
+                    .map_err(|e| ServeError::Io(format!("write truncated journal: {e}")))?;
+                let config = wal_serve_config(opts, &crash_dir, None);
+                let clock: Arc<SimClock> = Arc::new(SimClock::new());
+                let restored = DispatchService::restore(
+                    Arc::clone(&scenario),
+                    config,
+                    Arc::clone(&clock) as Arc<dyn Clock>,
+                    Arc::new(ModelRegistry::new(None, None)),
+                    &boundary_snapshot,
+                )?;
+                let recovered = restored.wal_last_seq();
+                if recovered < hwm {
+                    violations.push(format!(
+                        "crash at byte {cut}: recovery lost journal seq {recovered} below \
+                         snapshot hwm {hwm}"
+                    ));
+                }
+                // The client-retry model: an offer the truncated journal
+                // lost was never acked, so the client re-offers exactly
+                // that suffix, in order.
+                let missing = (hwm + post.len() as u64 - recovered) as usize;
+                for event in post[post.len() - missing..].iter().cloned() {
+                    restored.ingest(event)?;
+                }
+                let mut tail = EpochScheduler::for_service(&restored)?;
+                tail.run(&restored, clock.as_ref(), opts.epochs - mid, |_, _| {})?;
+                let crashed_snapshot = restored.snapshot()?;
+                if restored.metrics() != reference_metrics {
+                    violations.push(format!(
+                        "crash at byte {cut}: metrics diverged from the never-crashed twin"
+                    ));
+                }
+                if restored.wal_last_seq() != reference_seq {
+                    violations.push(format!(
+                        "crash at byte {cut}: journal resumed at seq {}, twin at {reference_seq}",
+                        restored.wal_last_seq()
+                    ));
+                }
+                if crashed_snapshot != reference_snapshot {
+                    let at = crashed_snapshot
+                        .bytes()
+                        .zip(reference_snapshot.bytes())
+                        .position(|(a, b)| a != b)
+                        .unwrap_or_else(|| crashed_snapshot.len().min(reference_snapshot.len()));
+                    violations.push(format!(
+                        "crash at byte {cut}: snapshots diverge at byte {at} (crashed {} bytes, \
+                         twin {} bytes)",
+                        crashed_snapshot.len(),
+                        reference_snapshot.len()
+                    ));
+                }
+                restored.shutdown();
+                fresh_dir(&crash_dir);
+            }
+        }
+        fresh_dir(&dir);
+    }
+
+    // ---- Arm C: an interior bit flip is a typed refusal, never a panic.
+    {
+        let dir = wal_chaos_dir(seed, "c");
+        fresh_dir(&dir);
+        let plan = FaultPlan::empty().with_wal_fault(2, WalFault::SegmentBitFlip);
+        let injector = Arc::new(FaultInjector::new(plan));
+        let config = wal_serve_config(opts, &dir, Some(Arc::clone(&injector)));
+        let service = DispatchService::start(
+            Arc::clone(&scenario),
+            config,
+            Arc::new(SimClock::new()) as Arc<dyn Clock>,
+            Arc::new(ModelRegistry::new(None, None)),
+        )?;
+        for event in request_events(0, opts.num_shards, opts.requests_per_epoch, segments) {
+            let _ = service.ingest(event);
+        }
+        if injector.counters().wal_bitflips == 0 {
+            violations.push("arm C fired no bit flips".to_owned());
+        }
+        let snapshot = service.snapshot()?;
+        match DispatchService::restore(
+            Arc::clone(&scenario),
+            service.config().clone(),
+            Arc::new(SimClock::new()) as Arc<dyn Clock>,
+            Arc::new(ModelRegistry::new(None, None)),
+            &snapshot,
+        ) {
+            Err(ServeError::Wal(WalError::Corrupt { segment, .. })) => {
+                if segment.is_empty() {
+                    violations.push("arm C corrupt refusal names no segment".to_owned());
+                }
+            }
+            Ok(restored) => {
+                violations.push("bit-flipped journal recovered without error".to_owned());
+                restored.shutdown();
+            }
+            Err(e) => violations.push(format!("arm C refused with the wrong error: {e}")),
+        }
+        service.shutdown();
+        fresh_dir(&dir);
+    }
+
+    Ok(violations)
 }

@@ -8,6 +8,7 @@
 //! keeps serving through malformed input.
 
 use crate::rollout::RolloutError;
+use crate::wal::WalError;
 use mobirescue_sim::WorldError;
 
 /// Why a service operation failed.
@@ -40,6 +41,10 @@ pub enum ServeError {
     Io(String),
     /// The configuration cannot host a service (e.g. zero shards).
     BadConfig(&'static str),
+    /// The durable ingest journal failed (torn append, corrupt segment,
+    /// filesystem failure) — the request was *not* made durable and
+    /// must not be acked.
+    Wal(WalError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -57,6 +62,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Rollout(e) => write!(f, "rollout rejected: {e}"),
             ServeError::Io(why) => write!(f, "i/o error: {why}"),
             ServeError::BadConfig(what) => write!(f, "bad service config: {what}"),
+            ServeError::Wal(e) => write!(f, "ingest journal failed: {e}"),
         }
     }
 }
@@ -66,6 +72,12 @@ impl std::error::Error for ServeError {}
 impl From<WorldError> for ServeError {
     fn from(e: WorldError) -> Self {
         ServeError::World(e)
+    }
+}
+
+impl From<WalError> for ServeError {
+    fn from(e: WalError) -> Self {
+        ServeError::Wal(e)
     }
 }
 
@@ -94,5 +106,12 @@ mod tests {
         assert!(ServeError::Rollout(RolloutError::InFlight)
             .to_string()
             .contains("in flight"));
+        let e: ServeError = WalError::TornTail {
+            segment: "wal-1.log".into(),
+            offset: 42,
+        }
+        .into();
+        assert!(e.to_string().contains("torn tail"));
+        assert!(e.to_string().contains("42"));
     }
 }

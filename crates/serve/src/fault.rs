@@ -94,6 +94,25 @@ pub enum TrainerFault {
     TransitionDrop,
 }
 
+/// A fault applied to the durable ingest journal (`crate::wal`) at one
+/// journaled push attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalFault {
+    /// The process "dies" mid-append: a torn prefix of the record hits
+    /// disk and the entry is never journaled. The service must surface
+    /// the typed `WalError::TornTail` — the request is not admitted and
+    /// must never be acked.
+    TornAppend,
+    /// Silent storage rot: one bit of an already-journaled record flips
+    /// on disk. The live run is unaffected; the *next* recovery must
+    /// refuse with a typed error naming the segment and offset.
+    SegmentBitFlip,
+    /// The device stalls under fsync (a failing disk's write cache
+    /// draining) for this many clock milliseconds. The append blocks for
+    /// the stall and then completes normally.
+    FsyncStall(u64),
+}
+
 /// How a submitted checkpoint is poisoned before it reaches the rollout
 /// pipeline's admission gate (a corrupted training job, a bad export, or
 /// an adversarially regressed policy).
@@ -176,6 +195,17 @@ pub struct FaultPlanConfig {
     pub p_trainer_drop: f64,
     /// Candidates per [`TrainerFault::StaleCandidateFlood`] burst.
     pub trainer_flood_len: u32,
+    /// Journaled push attempts covered by WAL-fault decisions; attempts
+    /// beyond the horizon append clean.
+    pub wal_horizon: usize,
+    /// Per-attempt probability of [`WalFault::TornAppend`].
+    pub p_wal_torn: f64,
+    /// Per-attempt probability of [`WalFault::SegmentBitFlip`].
+    pub p_wal_bitflip: f64,
+    /// Per-attempt probability of [`WalFault::FsyncStall`].
+    pub p_wal_stall: f64,
+    /// Fsync-stall magnitude, clock milliseconds.
+    pub wal_stall_ms: u64,
 }
 
 impl FaultPlanConfig {
@@ -206,6 +236,11 @@ impl FaultPlanConfig {
             p_trainer_flood: 0.0,
             p_trainer_drop: 0.0,
             trainer_flood_len: 3,
+            wal_horizon: 0,
+            p_wal_torn: 0.0,
+            p_wal_bitflip: 0.0,
+            p_wal_stall: 0.0,
+            wal_stall_ms: 0,
         }
     }
 
@@ -238,6 +273,23 @@ impl FaultPlanConfig {
         }
     }
 
+    /// The journal chaos mix: *only* WAL faults armed (torn appends and
+    /// fsync stalls; bit flips are forced explicitly by harnesses that
+    /// want them, since a flipped segment poisons every later recovery).
+    /// Everything else stays off so journal invariants are verified
+    /// against an otherwise-healthy fleet, mirroring
+    /// [`FaultPlanConfig::trainer_chaos`].
+    pub fn wal_chaos(epochs: u32, num_shards: usize) -> Self {
+        Self {
+            wal_horizon: 64,
+            p_wal_torn: 0.10,
+            p_wal_bitflip: 0.0,
+            p_wal_stall: 0.12,
+            wal_stall_ms: 15,
+            ..Self::quiet(epochs, num_shards)
+        }
+    }
+
     /// No faults at all — the control arm of a chaos comparison.
     pub fn quiet(epochs: u32, num_shards: usize) -> Self {
         Self {
@@ -264,6 +316,11 @@ impl FaultPlanConfig {
             p_trainer_flood: 0.0,
             p_trainer_drop: 0.0,
             trainer_flood_len: 0,
+            wal_horizon: 0,
+            p_wal_torn: 0.0,
+            p_wal_bitflip: 0.0,
+            p_wal_stall: 0.0,
+            wal_stall_ms: 0,
         }
     }
 }
@@ -288,6 +345,8 @@ pub struct ScheduledFaults {
     pub conn: usize,
     /// Scheduled trainer faults.
     pub trainer: usize,
+    /// Journaled push attempts with a WAL-fault decision.
+    pub wal: usize,
 }
 
 impl ScheduledFaults {
@@ -301,6 +360,7 @@ impl ScheduledFaults {
             + self.poisoned_checkpoints
             + self.conn
             + self.trainer
+            + self.wal
             > 0
     }
 }
@@ -315,6 +375,7 @@ pub struct FaultPlan {
     poison: Vec<CheckpointPoison>,
     conn: Vec<Option<ConnFault>>,
     trainer: BTreeMap<u32, TrainerFault>,
+    wal: Vec<Option<WalFault>>,
 }
 
 impl FaultPlan {
@@ -426,6 +487,26 @@ impl FaultPlan {
                 trainer.insert(epoch, TrainerFault::TransitionDrop);
             }
         }
+        // WAL faults draw after trainer, with their own offer index, so
+        // arming the journal leaves every existing seeded plan intact.
+        let wal = (0..cfg.wal_horizon)
+            .map(|_| {
+                let roll: f64 = rng.random();
+                let mut acc = cfg.p_wal_torn;
+                if roll < acc {
+                    return Some(WalFault::TornAppend);
+                }
+                acc += cfg.p_wal_bitflip;
+                if roll < acc {
+                    return Some(WalFault::SegmentBitFlip);
+                }
+                acc += cfg.p_wal_stall;
+                if roll < acc {
+                    return Some(WalFault::FsyncStall(cfg.wal_stall_ms));
+                }
+                None
+            })
+            .collect();
         Self {
             ingest,
             shard,
@@ -434,6 +515,7 @@ impl FaultPlan {
             poison,
             conn,
             trainer,
+            wal,
         }
     }
 
@@ -494,6 +576,15 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules `fault` for the `offer_index`-th journaled push attempt.
+    pub fn with_wal_fault(mut self, offer_index: usize, fault: WalFault) -> Self {
+        if self.wal.len() <= offer_index {
+            self.wal.resize(offer_index + 1, None);
+        }
+        self.wal[offer_index] = Some(fault);
+        self
+    }
+
     /// What the plan has scheduled, by kind.
     pub fn scheduled(&self) -> ScheduledFaults {
         ScheduledFaults {
@@ -513,6 +604,7 @@ impl FaultPlan {
             poisoned_checkpoints: self.poison.len(),
             conn: self.conn.iter().filter(|f| f.is_some()).count(),
             trainer: self.trainer.len(),
+            wal: self.wal.iter().filter(|f| f.is_some()).count(),
         }
     }
 }
@@ -559,6 +651,12 @@ pub struct FaultCounters {
     pub trainer_floods: u64,
     /// Transition drops fired.
     pub trainer_drops: u64,
+    /// Torn journal appends fired.
+    pub wal_torn: u64,
+    /// Journal segment bit-flips fired.
+    pub wal_bitflips: u64,
+    /// Journal fsync stalls fired.
+    pub wal_stalls: u64,
 }
 
 impl FaultCounters {
@@ -585,6 +683,9 @@ impl FaultCounters {
             + self.trainer_crashes
             + self.trainer_floods
             + self.trainer_drops
+            + self.wal_torn
+            + self.wal_bitflips
+            + self.wal_stalls
             > 0
     }
 }
@@ -600,9 +701,11 @@ pub struct FaultInjector {
     poison: Mutex<VecDeque<CheckpointPoison>>,
     conn: Vec<Option<ConnFault>>,
     trainer: Mutex<BTreeMap<u32, TrainerFault>>,
+    wal: Vec<Option<WalFault>>,
     scheduled: ScheduledFaults,
     offer_idx: AtomicUsize,
     conn_offer_idx: AtomicUsize,
+    wal_offer_idx: AtomicUsize,
     c_offers: AtomicU64,
     c_drops: AtomicU64,
     c_delays: AtomicU64,
@@ -620,6 +723,9 @@ pub struct FaultInjector {
     c_trainer_crashes: AtomicU64,
     c_trainer_floods: AtomicU64,
     c_trainer_drops: AtomicU64,
+    c_wal_torn: AtomicU64,
+    c_wal_bitflips: AtomicU64,
+    c_wal_stalls: AtomicU64,
 }
 
 impl FaultInjector {
@@ -634,9 +740,11 @@ impl FaultInjector {
             poison: Mutex::new(plan.poison.into()),
             conn: plan.conn,
             trainer: Mutex::new(plan.trainer),
+            wal: plan.wal,
             scheduled,
             offer_idx: AtomicUsize::new(0),
             conn_offer_idx: AtomicUsize::new(0),
+            wal_offer_idx: AtomicUsize::new(0),
             c_offers: AtomicU64::new(0),
             c_drops: AtomicU64::new(0),
             c_delays: AtomicU64::new(0),
@@ -654,6 +762,9 @@ impl FaultInjector {
             c_trainer_crashes: AtomicU64::new(0),
             c_trainer_floods: AtomicU64::new(0),
             c_trainer_drops: AtomicU64::new(0),
+            c_wal_torn: AtomicU64::new(0),
+            c_wal_bitflips: AtomicU64::new(0),
+            c_wal_stalls: AtomicU64::new(0),
         }
     }
 
@@ -711,6 +822,27 @@ impl FaultInjector {
             }
             Some(ConnFault::SlowLoris) => {
                 self.c_conn_slow_loris.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {}
+        }
+        fault
+    }
+
+    /// The fault (if any) for the next journaled push attempt. WAL
+    /// offers advance on their own index: arming the journal never
+    /// shifts the ingest or conn schedules, and vice versa.
+    pub fn next_wal_fault(&self) -> Option<WalFault> {
+        let idx = self.wal_offer_idx.fetch_add(1, Ordering::Relaxed);
+        let fault = self.wal.get(idx).copied().flatten();
+        match fault {
+            Some(WalFault::TornAppend) => {
+                self.c_wal_torn.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(WalFault::SegmentBitFlip) => {
+                self.c_wal_bitflips.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(WalFault::FsyncStall(_)) => {
+                self.c_wal_stalls.fetch_add(1, Ordering::Relaxed);
             }
             None => {}
         }
@@ -808,6 +940,9 @@ impl FaultInjector {
             trainer_crashes: self.c_trainer_crashes.load(Ordering::Relaxed),
             trainer_floods: self.c_trainer_floods.load(Ordering::Relaxed),
             trainer_drops: self.c_trainer_drops.load(Ordering::Relaxed),
+            wal_torn: self.c_wal_torn.load(Ordering::Relaxed),
+            wal_bitflips: self.c_wal_bitflips.load(Ordering::Relaxed),
+            wal_stalls: self.c_wal_stalls.load(Ordering::Relaxed),
         }
     }
 }
@@ -1078,6 +1213,81 @@ mod tests {
             (0, 0, 0, 0, 0),
             "trainer chaos arms no other fault kind"
         );
+    }
+
+    #[test]
+    fn wal_faults_consume_one_shot_with_their_own_index() {
+        let plan = FaultPlan::empty()
+            .with_wal_fault(1, WalFault::TornAppend)
+            .with_wal_fault(2, WalFault::SegmentBitFlip)
+            .with_wal_fault(3, WalFault::FsyncStall(7))
+            .with_ingest_fault(0, IngestFault::Drop)
+            .with_conn_fault(0, ConnFault::TornWrite);
+        assert_eq!(plan.scheduled().wal, 3);
+        assert!(plan.scheduled().any());
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.next_wal_fault(), None);
+        assert_eq!(inj.next_wal_fault(), Some(WalFault::TornAppend));
+        assert_eq!(inj.next_wal_fault(), Some(WalFault::SegmentBitFlip));
+        assert_eq!(inj.next_wal_fault(), Some(WalFault::FsyncStall(7)));
+        assert_eq!(inj.next_wal_fault(), None, "beyond the horizon");
+        // The WAL index consumed neither the ingest nor the conn schedule.
+        assert_eq!(inj.next_ingest_fault(), Some(IngestFault::Drop));
+        assert_eq!(inj.next_conn_fault(), Some(ConnFault::TornWrite));
+        let c = inj.counters();
+        assert_eq!(c.wal_torn, 1);
+        assert_eq!(c.wal_bitflips, 1);
+        assert_eq!(c.wal_stalls, 1);
+        assert!(c.any());
+    }
+
+    #[test]
+    fn wal_draws_leave_seeded_plans_untouched() {
+        // Arming the journal must not perturb anything a seed already
+        // draws — WAL faults are drawn after every other kind.
+        let base_cfg = FaultPlanConfig {
+            trainer_horizon: 6,
+            p_trainer_crash: 0.2,
+            p_trainer_flood: 0.2,
+            p_trainer_drop: 0.2,
+            ..FaultPlanConfig::net_chaos(6, 2)
+        };
+        let with_wal = FaultPlanConfig {
+            wal_horizon: 64,
+            p_wal_torn: 0.3,
+            p_wal_bitflip: 0.3,
+            p_wal_stall: 0.3,
+            wal_stall_ms: 10,
+            ..base_cfg.clone()
+        };
+        let a = FaultPlan::generate(7, &base_cfg);
+        let b = FaultPlan::generate(7, &with_wal);
+        assert_eq!(a.ingest, b.ingest, "wal draws must not perturb ingest");
+        assert_eq!(a.shard, b.shard);
+        assert_eq!(a.swap_fail, b.swap_fail);
+        assert_eq!(a.conn, b.conn, "wal draws must not perturb conn");
+        assert_eq!(a.trainer, b.trainer, "wal draws must not perturb trainer");
+        assert_eq!(a.scheduled().wal, 0);
+        assert!(b.scheduled().wal > 0, "horizon 64 at p=0.9 draws faults");
+        // And the WAL schedule itself is deterministic per seed.
+        let c = FaultPlan::generate(7, &with_wal);
+        assert_eq!(b.wal, c.wal);
+        // The dedicated mix schedules only WAL faults.
+        let solo = FaultPlan::generate(7, &FaultPlanConfig::wal_chaos(8, 2));
+        let sched = solo.scheduled();
+        assert_eq!(
+            (
+                sched.ingest,
+                sched.stalls,
+                sched.crashes,
+                sched.swap_fails,
+                sched.conn,
+                sched.trainer
+            ),
+            (0, 0, 0, 0, 0, 0),
+            "wal chaos arms no other fault kind"
+        );
+        assert!(sched.wal > 0);
     }
 
     #[test]

@@ -50,6 +50,14 @@
 //!   service improves itself without ever serving an unguarded model.
 //!   Deterministic on a [`SimClock`], snapshot/restore-exact, and pinned
 //!   by its own chaos suite ([`TrainerFault`]).
+//! * **Durable ingest journal** ([`wal`], [`Wal`], [`FsyncPolicy`]) —
+//!   every accepted offer is appended to a checksummed, segment-rotated
+//!   write-ahead log *before* it can be acked; recovery replays the
+//!   journal suffix past the snapshot's high-water mark, bit-identical
+//!   to an uncrashed twin at any crash byte. Torn tails truncate with a
+//!   typed report, interior damage is a typed refusal, and the
+//!   crash-at-any-byte contract is pinned by its own chaos suite
+//!   ([`WalFault`]).
 //!
 //! Built entirely on `std` (`std::thread`, `std::sync::mpsc`).
 
@@ -68,10 +76,12 @@ pub mod scheduler;
 pub mod service;
 mod shard;
 pub mod trainer;
+pub mod wal;
 
 pub use chaos::{
-    rollout_chaos_divergence, run_chaos, trainer_chaos_divergence, ChaosOptions, ChaosOutcome,
-    RolloutChaosOptions, TrainerChaosOptions,
+    rollout_chaos_divergence, run_chaos, trainer_chaos_divergence, wal_chaos_divergence,
+    ChaosOptions, ChaosOutcome, RolloutChaosOptions, TrainerChaosOptions, WalChaosOptions,
+    CHAOS_SEEDS,
 };
 pub use clock::{Clock, ClockTimeSource, SimClock, WallClock};
 pub use error::ServeError;
@@ -79,7 +89,7 @@ pub use event::Event;
 pub use fault::{
     poisoned_policy_text, reward_tank_policy_text, CheckpointPoison, ConnFault, FaultCounters,
     FaultInjector, FaultPlan, FaultPlanConfig, IngestFault, ScheduledFaults, ShardFault,
-    SnapshotCorruption, TrainerFault,
+    SnapshotCorruption, TrainerFault, WalFault,
 };
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardMetrics, LATENCY_BOUNDS_MS};
 pub use mobirescue_obs as obs;
@@ -92,3 +102,4 @@ pub use scheduler::EpochScheduler;
 pub use service::{DispatchService, RetryPolicy, ServeConfig};
 pub use shard::SwapError;
 pub use trainer::{TrainerConfig, TrainerStatus};
+pub use wal::{FsyncPolicy, Wal, WalConfig, WalEntry, WalError, WalRecord, WalRecovery};

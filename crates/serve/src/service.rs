@@ -6,7 +6,7 @@
 use crate::clock::{Clock, ClockTimeSource};
 use crate::error::ServeError;
 use crate::event::Event;
-use crate::fault::{reward_tank_policy_text, IngestFault, TrainerFault};
+use crate::fault::{reward_tank_policy_text, IngestFault, TrainerFault, WalFault};
 use crate::metrics::{LatencyHistogram, MetricsSnapshot, ShardMetrics};
 use crate::queue::{BoundedQueue, ShedPolicy};
 use crate::registry::{ModelBundle, ModelRegistry};
@@ -18,6 +18,7 @@ use crate::shard::{
     spawn_shard, RolloutDirective, ShardCmd, ShardReply, ShardSpec, ShardStatus, SwapError,
 };
 use crate::trainer::{Trainer, TrainerConfig, TrainerObs, TrainerStatus};
+use crate::wal::{FsyncPolicy, Wal, WalConfig, WalEntry, WalError};
 use crate::FaultInjector;
 use mobirescue_core::predictor::RequestPredictor;
 use mobirescue_core::rl_dispatch::RlDispatchConfig;
@@ -81,6 +82,12 @@ pub struct ServeConfig {
     /// feed [`DispatchService::submit_rollout`]; `None` (the default)
     /// disables training entirely.
     pub trainer: Option<TrainerConfig>,
+    /// Durable write-ahead ingest journal. `Some` journals every request
+    /// push attempt *before* it reaches a queue — so an `Ok(true)` from
+    /// [`DispatchService::ingest`] (and therefore a net-layer `Ack`)
+    /// means the request survives a process kill; `None` (the default)
+    /// keeps ingestion memory-only.
+    pub wal: Option<WalConfig>,
 }
 
 impl ServeConfig {
@@ -100,6 +107,7 @@ impl ServeConfig {
             obs: None,
             rollout: RolloutConfig::default(),
             trainer: None,
+            wal: None,
         }
     }
 }
@@ -207,19 +215,39 @@ pub struct DispatchService {
     // synchronously at each epoch boundary.
     trainer: Mutex<Option<TrainerSlot>>,
     trainer_obs: Option<TrainerObs>,
+    // The durable ingest journal (populated iff `config.wal` is set),
+    // appended to under its own lock so producers group-commit naturally.
+    wal: Mutex<Option<Wal>>,
     state: Mutex<ServiceState>,
 }
 
 impl DispatchService {
     /// Starts the service: validates the configuration, spawns one worker
-    /// thread per shard.
+    /// thread per shard, and (when `config.wal` is set) opens the durable
+    /// ingest journal and replays every journaled request into the fresh
+    /// queues — a fresh boot has no snapshot, so the entire journal is the
+    /// un-checkpointed suffix.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::BadConfig`] for zero shards and
+    /// Returns [`ServeError::BadConfig`] for zero shards,
     /// [`ServeError::World`] when the simulation configuration cannot host
-    /// a world over `scenario`.
+    /// a world over `scenario`, and [`ServeError::Wal`] when the journal
+    /// directory holds a corrupt segment.
     pub fn start(
+        scenario: Arc<Scenario>,
+        config: ServeConfig,
+        clock: Arc<dyn Clock>,
+        registry: Arc<ModelRegistry>,
+    ) -> Result<Self, ServeError> {
+        let svc = Self::start_core(scenario, config, clock, registry)?;
+        svc.attach_wal(Some(0))?;
+        Ok(svc)
+    }
+
+    /// Spawns the service without touching the journal; `start` and
+    /// `restore` attach it afterwards with the right replay cutoff.
+    fn start_core(
         scenario: Arc<Scenario>,
         config: ServeConfig,
         clock: Arc<dyn Clock>,
@@ -330,8 +358,174 @@ impl DispatchService {
             snapshot_hist,
             trainer: Mutex::new(trainer),
             trainer_obs,
+            wal: Mutex::new(None),
             state: Mutex::new(state),
         })
+    }
+
+    /// Opens the journal from `config.wal` (no-op when unset) and replays
+    /// the suffix past `hwm` into the request queues: `Some(h)` replays
+    /// records with `seq > h`, `None` (a pre-wal snapshot with no
+    /// high-water mark) replays nothing.
+    fn attach_wal(&self, hwm: Option<u64>) -> Result<(), ServeError> {
+        let Some(cfg) = self.config.wal.clone() else {
+            return Ok(());
+        };
+        let time: Arc<dyn TimeSource> = Arc::new(ClockTimeSource(Arc::clone(&self.clock)));
+        let (mut wal, recovery) = Wal::open(cfg, &self.obs, time)?;
+        if let Some(WalError::TornTail { segment, offset }) = &recovery.torn {
+            self.obs.events().log(
+                Level::Warn,
+                0,
+                None,
+                format!("wal: truncated torn tail in {segment} at byte {offset}"),
+            );
+        }
+        let cutoff = hwm.unwrap_or(u64::MAX);
+        let mut replayed = 0u64;
+        for rec in &recovery.records {
+            if rec.seq <= cutoff {
+                continue;
+            }
+            if rec.shard >= self.request_queues.len() {
+                return Err(ServeError::Wal(WalError::Corrupt {
+                    segment: rec.segment.clone(),
+                    offset: rec.offset,
+                    why: format!(
+                        "shard {} out of range (service hosts {})",
+                        rec.shard,
+                        self.request_queues.len()
+                    ),
+                }));
+            }
+            // Replay bypasses journaling and fault injection: the record
+            // is already durable and the fault schedule already fired for
+            // it in the run that journaled it.
+            self.request_queues[rec.shard].push(rec.spec);
+            replayed += 1;
+        }
+        wal.note_replayed(replayed);
+        if replayed > 0 {
+            self.obs.events().log(
+                Level::Info,
+                0,
+                None,
+                format!("wal: replayed {replayed} journaled requests past hwm {cutoff}"),
+            );
+        }
+        if let Some(h) = hwm {
+            wal.mark_snapshot(h);
+        }
+        *lock(&self.wal) = Some(wal);
+        Ok(())
+    }
+
+    /// Journals a batch of push attempts for `shard`, then reports whether
+    /// journaling happened at all (false when no journal is configured).
+    ///
+    /// One injected WAL fault is drawn per call, so a duplicate-fault
+    /// double push journals as a single group commit under one draw.
+    fn journal(&self, shard: usize, specs: &[RequestSpec]) -> Result<(), ServeError> {
+        let mut guard = lock(&self.wal);
+        let Some(wal) = guard.as_mut() else {
+            return Ok(());
+        };
+        let clock_ms = self.clock.now_ms();
+        let entries: Vec<WalEntry> = specs
+            .iter()
+            .map(|spec| WalEntry {
+                clock_ms,
+                shard,
+                spec: *spec,
+            })
+            .collect();
+        match self.config.faults.as_ref().and_then(|f| f.next_wal_fault()) {
+            Some(WalFault::TornAppend) => {
+                // The append dies mid-write: the tail is torn (and healed
+                // in place, as recovery would), nothing was made durable,
+                // so the caller must refuse the request instead of acking.
+                let err = wal.inject_torn_append(&entries[0]);
+                self.obs
+                    .events()
+                    .log(Level::Warn, 0, Some(shard), format!("wal: injected {err}"));
+                return Err(ServeError::Wal(err));
+            }
+            Some(WalFault::SegmentBitFlip) => {
+                wal.append(&entries)?;
+                if let Some((segment, offset)) = wal.inject_bit_flip() {
+                    self.obs.events().log(
+                        Level::Warn,
+                        0,
+                        Some(shard),
+                        format!("wal: injected bit flip in {segment} at byte {offset}"),
+                    );
+                }
+            }
+            Some(WalFault::FsyncStall(ms)) => {
+                self.clock.sleep_ms(ms);
+                wal.append(&entries)?;
+            }
+            None => {
+                wal.append(&entries)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Journals then pushes one request: the queue only sees specs the
+    /// journal already holds, so `Ok(true)` here means the request
+    /// survives a process kill.
+    fn journal_push(&self, shard: usize, spec: RequestSpec) -> Result<bool, ServeError> {
+        self.journal(shard, &[spec])?;
+        Ok(self.request_queues[shard].push(spec))
+    }
+
+    /// Flushes the journal when the fsync policy is `Epoch`; called at
+    /// every epoch boundary.
+    fn wal_epoch_sync(&self) -> Result<(), ServeError> {
+        let mut guard = lock(&self.wal);
+        if let Some(wal) = guard.as_mut() {
+            if wal.fsync_policy() == FsyncPolicy::Epoch {
+                wal.sync()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Forces the journal to stable storage regardless of fsync policy.
+    /// Drain paths call this before reporting a clean shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Wal`] when the flush fails.
+    pub fn wal_sync(&self) -> Result<(), ServeError> {
+        let mut guard = lock(&self.wal);
+        if let Some(wal) = guard.as_mut() {
+            wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Deletes journal segments wholly covered by the last snapshot's
+    /// high-water mark, returning how many were removed. Call only after
+    /// the snapshot that recorded that mark is durably persisted —
+    /// compaction deletes the only other copy of those records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Wal`] when a segment cannot be removed.
+    pub fn wal_compact(&self) -> Result<usize, ServeError> {
+        let mut guard = lock(&self.wal);
+        match guard.as_mut() {
+            Some(wal) => Ok(wal.compact()?),
+            None => Ok(0),
+        }
+    }
+
+    /// The journal's last assigned sequence number (0 when no journal is
+    /// configured or nothing was ever journaled).
+    pub fn wal_last_seq(&self) -> u64 {
+        lock(&self.wal).as_ref().map_or(0, |w| w.last_seq())
     }
 
     fn state(&self) -> MutexGuard<'_, ServiceState> {
@@ -779,12 +973,15 @@ impl DispatchService {
             Event::Request { spec, .. } => {
                 self.validate_request(&spec)?;
                 let Some(injector) = &self.config.faults else {
-                    return Ok(self.request_queues[shard].push(spec));
+                    return self.journal_push(shard, spec);
                 };
                 match injector.next_ingest_fault() {
-                    None => Ok(self.request_queues[shard].push(spec)),
+                    None => self.journal_push(shard, spec),
                     Some(IngestFault::Drop) => Ok(false),
                     Some(IngestFault::Delay(epochs)) => {
+                        // Not journaled yet: the spec is journaled when it
+                        // is released into a queue, so replay never
+                        // resurrects a request ahead of its release epoch.
                         let release_epoch = self.state().epochs_completed + epochs.max(1);
                         lock(&self.delayed).push(DelayedRequest {
                             release_epoch,
@@ -794,6 +991,9 @@ impl DispatchService {
                         Ok(true)
                     }
                     Some(IngestFault::Duplicate) => {
+                        // Both push attempts journal as one group commit
+                        // (and one injected-wal-fault draw).
+                        self.journal(shard, &[spec, spec])?;
                         let q = &self.request_queues[shard];
                         let first = q.push(spec);
                         let _ = q.push(spec);
@@ -849,6 +1049,19 @@ impl DispatchService {
         let mut pending = Vec::with_capacity(delayed.len());
         for d in delayed.drain(..) {
             if d.release_epoch <= epoch {
+                // Journal at release time; if journaling fails the request
+                // stays pending for the next boundary instead of being
+                // silently lost.
+                if let Err(err) = self.journal(d.shard, &[d.spec]) {
+                    self.obs.events().log(
+                        Level::Warn,
+                        epoch,
+                        Some(d.shard),
+                        format!("wal: delayed release held back: {err}"),
+                    );
+                    pending.push(d);
+                    continue;
+                }
                 self.request_queues[d.shard].push(d.spec);
                 if let Some(injector) = &self.config.faults {
                     injector.note_delay_released();
@@ -1165,6 +1378,7 @@ impl DispatchService {
             self.obs.events().log(level, epoch, shard, message);
         }
         self.run_trainer_phase(epoch, trainer_feed);
+        self.wal_epoch_sync()?;
         self.obs
             .events()
             .log(Level::Info, epoch, None, format!("epoch {epoch} complete"));
@@ -1384,10 +1598,25 @@ impl DispatchService {
     pub fn snapshot(&self) -> Result<String, ServeError> {
         let ts = ClockTimeSource(Arc::clone(&self.clock));
         let _span = self.snapshot_hist.time(&ts);
+        // Fetch the journal high-water mark before taking the state lock
+        // (wal and state locks are never held together). Everything this
+        // snapshot captures was journaled at or below this sequence, so a
+        // restore replays strictly past it.
+        let wal_hwm = {
+            let mut guard = lock(&self.wal);
+            match guard.as_mut() {
+                Some(wal) => {
+                    let hwm = wal.last_seq();
+                    wal.mark_snapshot(hwm);
+                    hwm
+                }
+                None => 0,
+            }
+        };
         let mut out = String::from("mrserve 1\n");
         {
             let state = self.state();
-            let _ = writeln!(out, "epochs {}", state.epochs_completed);
+            let _ = writeln!(out, "epochs {} {}", state.epochs_completed, wal_hwm);
             let _ = writeln!(
                 out,
                 "advisories {} {} {} {}",
@@ -1557,12 +1786,16 @@ impl DispatchService {
     ) -> Result<Self, ServeError> {
         let bad = |why: &str| ServeError::BadSnapshot(why.to_owned());
         let text = open_snapshot(text).map_err(ServeError::BadSnapshot)?;
-        let svc = Self::start(scenario, config, clock, registry)?;
+        // start_core, not start: the journal must replay against the
+        // *restored* queues with the snapshot's high-water mark as the
+        // cutoff, so it attaches at the very end of restore.
+        let svc = Self::start_core(scenario, config, clock, registry)?;
         let mut lines = text.lines();
         if lines.next() != Some("mrserve 1") {
             return Err(bad("missing `mrserve 1` header"));
         }
         let mut epochs = 0u32;
+        let mut wal_hwm: Option<u64> = None;
         let mut adv_counts = (0u64, 0u64, 0u64, 0u64);
         let mut resil = (0u64, 0u64);
         let mut swap_causes = (0u64, 0u64, 0u64);
@@ -1584,6 +1817,14 @@ impl DispatchService {
                         .next()
                         .and_then(|t| t.parse().ok())
                         .ok_or_else(|| bad("bad epochs line"))?;
+                    // Pre-wal snapshots carry one field; the extended
+                    // format appends the journal high-water mark. Absent
+                    // means "replay nothing" — everything this snapshot
+                    // holds predates the journal.
+                    wal_hwm = match p.next() {
+                        Some(t) => Some(t.parse().map_err(|_| bad("bad epochs hwm"))?),
+                        None => None,
+                    };
                 }
                 "advisories" => {
                     let mut next = || p.next().and_then(|t| t.parse::<u64>().ok());
@@ -1908,6 +2149,10 @@ impl DispatchService {
             state.rollout = restored_rollout;
             state.recent_rewards = recent_rewards;
         }
+        // The snapshot restored everything journaled at or below its
+        // high-water mark; replaying the journal suffix past it recovers
+        // the requests acked after the snapshot was taken.
+        svc.attach_wal(wal_hwm)?;
         // Seed recovery checkpoints with the restored state, so a crash
         // before the first post-restore boundary does not roll back to a
         // fresh world.
@@ -1918,6 +2163,16 @@ impl DispatchService {
     }
 
     fn stop_workers(&mut self) {
+        // Best-effort flush so clean exits under `Epoch`/`Off` fsync
+        // policies leave the journal on stable storage.
+        if let Some(wal) = self
+            .wal
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_mut()
+        {
+            let _ = wal.sync();
+        }
         for shard in &mut self.shards {
             let h = shard
                 .get_mut()

@@ -177,6 +177,42 @@ fn pre_rollout_snapshot_still_restores() {
     restored.shutdown();
 }
 
+/// Snapshots written before the durable ingest journal carry a one-field
+/// `epochs` record — no journal high-water mark. Operators holding one
+/// of those on disk must still restore cleanly, with the absent mark
+/// meaning "replay nothing": everything the snapshot holds predates the
+/// journal, so the journal contributes nothing.
+#[test]
+fn pre_wal_snapshot_still_restores() {
+    let frozen = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/mrserve_v1_pre_wal.txt"
+    ))
+    .expect("frozen pre-wal fixture is checked in");
+    assert!(
+        frozen.contains("\nepochs 2\n"),
+        "fixture must stay in the pre-wal one-field epochs format; never re-bless it"
+    );
+    let scenario = Arc::new(ScenarioConfig::small().florence().build(11));
+    let mut config = ServeConfig::new(SimConfig::small(6));
+    config.num_shards = 2;
+    config.request_queue_capacity = 4;
+    config.trainer = Some(golden_trainer());
+    let restored = DispatchService::restore(
+        scenario,
+        config,
+        Arc::new(SimClock::new()) as Arc<dyn Clock>,
+        Arc::new(ModelRegistry::new(None, None)),
+        &frozen,
+    )
+    .expect("legacy snapshots restore");
+    let m = restored.metrics();
+    assert_eq!(m.epochs_completed, 2);
+    assert_eq!(m.requests_accepted, 13);
+    assert_eq!(restored.wal_last_seq(), 0, "no journal was ever attached");
+    restored.shutdown();
+}
+
 #[test]
 fn golden_fixture_still_restores() {
     let golden = std::fs::read_to_string(GOLDEN_PATH)

@@ -4,7 +4,9 @@
 # checkpoints (NaN weights, wrong dims, reward tank) through the guarded
 # rollout pipeline, then sweep trainer faults (transition drops,
 # stale-candidate floods, boundary crashes) through the online training
-# loop.
+# loop, then sweep WAL faults (kill -9 at arbitrary journal bytes, torn
+# appends, bit flips, fsync stalls) through the durable ingest journal
+# over the pinned CHAOS_SEEDS.
 #
 #   scripts/chaos.sh [SEEDS] [BASE_SEED]
 #

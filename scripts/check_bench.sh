@@ -24,6 +24,9 @@
 #   * the client-observed p99 request→ACK latency exceeds the SLO the
 #     baseline itself declares in `p99_slo_ms` (override with
 #     SERVE_P99_SLO_MS); or
+#   * the client-observed p99.9 request→ACK latency exceeds the tail SLO
+#     the baseline declares in `p999_slo_ms` (override with
+#     SERVE_P999_SLO_MS) — the tail where fsync stalls hide; or
 #   * the shed rate exceeds the baseline's `max_shed_pct` ceiling
 #     (override with SERVE_MAX_SHED_PCT); or
 #   * either process exits non-zero — a hung drain is a failure, not a
@@ -129,11 +132,12 @@ if [[ "${SERVE_GATE:-1}" != "0" ]]; then
         exit 1
     fi
     slo_ms="${SERVE_P99_SLO_MS:-$(field "$SERVE_BASELINE" p99_slo_ms)}"
+    p999_slo_ms="${SERVE_P999_SLO_MS:-$(field "$SERVE_BASELINE" p999_slo_ms)}"
     max_shed="${SERVE_MAX_SHED_PCT:-$(field "$SERVE_BASELINE" max_shed_pct)}"
     rate="$(field "$SERVE_BASELINE" target_rps)"
     duration="$(field "$SERVE_BASELINE" duration_ms)"
-    if [[ -z "$slo_ms" || -z "$max_shed" || -z "$rate" || -z "$duration" ]]; then
-        echo "check_bench: $SERVE_BASELINE is missing p99_slo_ms/max_shed_pct/target_rps/duration_ms;" >&2
+    if [[ -z "$slo_ms" || -z "$p999_slo_ms" || -z "$max_shed" || -z "$rate" || -z "$duration" ]]; then
+        echo "check_bench: $SERVE_BASELINE is missing p99_slo_ms/p999_slo_ms/max_shed_pct/target_rps/duration_ms;" >&2
         echo "             re-bless it with scripts/loadgen_smoke.sh --bless" >&2
         exit 1
     fi
@@ -174,16 +178,21 @@ if [[ "${SERVE_GATE:-1}" != "0" ]]; then
     fi
 
     p99="$(field "$fresh_serve" rtt_p99_ms)"
+    p999="$(field "$fresh_serve" rtt_p999_ms)"
     shed="$(field "$fresh_serve" shed_rate_pct)"
     sent="$(field "$fresh_serve" sent)"
     lost="$(field "$fresh_serve" lost)"
-    echo "serve: sent $sent, lost $lost, p99 ${p99}ms (SLO ${slo_ms}ms), shed ${shed}% (cap ${max_shed}%)"
-    if [[ -z "$p99" || -z "$shed" ]]; then
-        echo "FAIL: loadgen report is missing rtt_p99_ms/shed_rate_pct" >&2
+    echo "serve: sent $sent, lost $lost, p99 ${p99}ms (SLO ${slo_ms}ms), p999 ${p999}ms (SLO ${p999_slo_ms}ms), shed ${shed}% (cap ${max_shed}%)"
+    if [[ -z "$p99" || -z "$p999" || -z "$shed" ]]; then
+        echo "FAIL: loadgen report is missing rtt_p99_ms/rtt_p999_ms/shed_rate_pct" >&2
         failures=$((failures + 1))
     else
         if ! awk -v v="$p99" -v cap="$slo_ms" 'BEGIN { exit !(v <= cap) }'; then
             echo "FAIL: p99 request latency ${p99}ms exceeds the ${slo_ms}ms SLO" >&2
+            failures=$((failures + 1))
+        fi
+        if ! awk -v v="$p999" -v cap="$p999_slo_ms" 'BEGIN { exit !(v <= cap) }'; then
+            echo "FAIL: p99.9 request latency ${p999}ms exceeds the ${p999_slo_ms}ms tail SLO" >&2
             failures=$((failures + 1))
         fi
         if ! awk -v v="$shed" -v cap="$max_shed" 'BEGIN { exit !(v <= cap) }'; then

@@ -47,7 +47,7 @@ fi
 if [[ "$BLESS" == "1" ]]; then
     echo "==> loadgen (open profile, blessing BENCH_serve.json)"
     ./target/release/loadgen --addr "$addr" --profile open --rate 200 \
-        --duration-ms 5000 --slo-ms 250 --max-shed-pct 5 \
+        --duration-ms 5000 --slo-ms 250 --p999-slo-ms 1000 --max-shed-pct 5 \
         --out BENCH_serve.json --quiet > "$report"
 else
     echo "==> loadgen (ramp profile)"
@@ -94,6 +94,18 @@ if [[ "$failures" -gt 0 ]]; then
     exit 1
 fi
 if [[ "$BLESS" == "1" ]]; then
+    # Ride-along informational rows: what each journal fsync policy
+    # costs per group-committed append batch on the bless machine. The
+    # SLO gate does not read these; they document the durability tax.
+    echo "==> bench_wal (fsync-policy cost rows)"
+    cargo build --release -q -p mobirescue-bench --bin bench_wal
+    wal_rows="$(mktemp)"
+    ./target/release/bench_wal > "$wal_rows"
+    head -n -1 BENCH_serve.json > "${wal_rows}.merged"
+    sed -i '$ s/$/,/' "${wal_rows}.merged"
+    sed -e '1d' "$wal_rows" >> "${wal_rows}.merged"
+    mv "${wal_rows}.merged" BENCH_serve.json
+    rm -f "$wal_rows"
     echo "loadgen_smoke: blessed BENCH_serve.json"
 fi
 echo "loadgen_smoke: OK"

@@ -37,6 +37,7 @@ run_step "chaos suite" cargo test -q --test chaos
 run_step "rollout chaos suite" cargo test -q --test rollout_chaos
 run_step "trainer chaos suite" cargo test -q --test trainer_chaos
 run_step "net chaos suite" cargo test -q --test net_chaos
+run_step "wal chaos suite" cargo test -q --test wal_chaos
 run_step "net crate tests" cargo test -q -p mobirescue-net
 # Scale gate only (routing/serve gates have their own CI jobs); medium
 # preset with a loosened ceiling — verify machines vary more than the

@@ -17,7 +17,7 @@ use std::sync::Arc;
 /// The fixed seed set the suite (and `scripts/verify.sh`) pins. Chosen
 /// arbitrarily; together they exercise every fault kind at least once,
 /// which `chaos_invariants_hold_for_fixed_seeds` asserts.
-const SEEDS: [u64; 5] = [11, 23, 37, 41, 53];
+const SEEDS: [u64; 5] = mobirescue_serve::CHAOS_SEEDS;
 
 #[test]
 fn chaos_invariants_hold_for_fixed_seeds() {

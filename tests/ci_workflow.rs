@@ -2,7 +2,7 @@
 //!
 //! The build environment has no YAML parser crate, so this validates the
 //! subset of YAML that workflow files actually use: indentation-scoped
-//! mappings with no tabs. It pins the structure CI depends on — all five
+//! mappings with no tabs. It pins the structure CI depends on — all six
 //! jobs exist, run the gate scripts, and cache `target/` keyed on
 //! `Cargo.lock` with `restore-keys` fallbacks — so an edit that breaks
 //! the pipeline fails locally, not on the runner.
@@ -104,18 +104,19 @@ fn all_jobs_run_their_gate_scripts_on_a_runner() {
         "bench-smoke",
         "loadgen-smoke",
         "scale-smoke",
+        "wal-smoke",
         "train-smoke",
     ] {
         assert!(has_key_at(&text, 2, job), "missing job {job}");
     }
     assert_eq!(
         text.matches("runs-on:").count(),
-        5,
+        6,
         "every job needs a runs-on"
     );
     assert_eq!(
         text.matches("uses: actions/checkout@").count(),
-        5,
+        6,
         "every job checks out the repo"
     );
     assert!(
@@ -135,6 +136,10 @@ fn all_jobs_run_their_gate_scripts_on_a_runner() {
         "train-smoke job must run scripts/train_smoke.sh"
     );
     assert!(
+        text.contains("run: scripts/wal_smoke.sh"),
+        "wal-smoke job must run scripts/wal_smoke.sh"
+    );
+    assert!(
         text.contains("SCALE_PRESETS=medium"),
         "scale-smoke job must gate the medium preset via check_bench.sh"
     );
@@ -149,17 +154,17 @@ fn all_jobs_cache_target_keyed_on_the_lockfile() {
     let text = workflow();
     assert_eq!(
         text.matches("uses: actions/cache@").count(),
-        5,
+        6,
         "every job caches the build"
     );
     assert_eq!(
         text.matches("hashFiles('Cargo.lock')").count(),
-        5,
+        6,
         "cache keys must invalidate when Cargo.lock changes"
     );
     // `target` appears in each job's cached-path block.
     assert!(
-        text.lines().filter(|l| l.trim() == "target").count() >= 5,
+        text.lines().filter(|l| l.trim() == "target").count() >= 6,
         "every cache must include target/"
     );
     // A lockfile bump should warm-start from the previous cache rather
@@ -167,7 +172,7 @@ fn all_jobs_cache_target_keyed_on_the_lockfile() {
     // restore-keys fallback prefix.
     assert_eq!(
         text.matches("restore-keys:").count(),
-        5,
+        6,
         "every cache step must declare restore-keys"
     );
 }

@@ -21,7 +21,7 @@
 use mobirescue_serve::chaos::{rollout_chaos_divergence, RolloutChaosOptions};
 
 /// Same pinned set as the ingestion/crash chaos suite.
-const SEEDS: [u64; 5] = [11, 23, 37, 41, 53];
+const SEEDS: [u64; 5] = mobirescue_serve::CHAOS_SEEDS;
 
 #[test]
 fn poisoned_rollouts_never_serve_and_twins_stay_bit_identical() {

@@ -22,7 +22,7 @@
 use mobirescue_serve::chaos::{trainer_chaos_divergence, TrainerChaosOptions};
 
 /// Same pinned set as the ingestion/crash and rollout chaos suites.
-const SEEDS: [u64; 5] = [11, 23, 37, 41, 53];
+const SEEDS: [u64; 5] = mobirescue_serve::CHAOS_SEEDS;
 
 #[test]
 fn trainer_faults_never_break_conservation_or_serve_unguarded_models() {
