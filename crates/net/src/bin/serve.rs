@@ -351,11 +351,27 @@ fn run_listen(args: &Args, addr: &str) -> Result<(), ServeError> {
             // Persist-then-compact, in that order: the snapshot must be
             // durably renamed into place before the journal prefix it
             // covers may be dropped, so a kill -9 between the two steps
-            // only ever leaves extra journal to replay, never a gap.
+            // only ever leaves extra journal to replay, never a gap. The
+            // tmp file is fsynced before the rename and the directory
+            // after it — compaction deletes the only other copy of the
+            // covered records, so a power loss must not be able to drop
+            // the renamed directory entry.
             let text = service.snapshot()?;
             let tmp = path.with_extension("txt.tmp");
-            std::fs::write(&tmp, &text).map_err(|e| ServeError::Io(e.to_string()))?;
-            std::fs::rename(&tmp, path).map_err(|e| ServeError::Io(e.to_string()))?;
+            let io = |e: std::io::Error| ServeError::Io(e.to_string());
+            {
+                let mut f = std::fs::File::create(&tmp).map_err(io)?;
+                f.write_all(text.as_bytes()).map_err(io)?;
+                f.sync_all().map_err(io)?;
+            }
+            std::fs::rename(&tmp, path).map_err(io)?;
+            let dir = match path.parent() {
+                Some(d) if !d.as_os_str().is_empty() => d,
+                _ => std::path::Path::new("."),
+            };
+            std::fs::File::open(dir)
+                .and_then(|d| d.sync_all())
+                .map_err(io)?;
             service.wal_compact()?;
         }
         if !args.quiet && (epoch + 1) % 10 == 0 {

@@ -45,6 +45,17 @@ pub enum ServeError {
     /// filesystem failure) — the request was *not* made durable and
     /// must not be acked.
     Wal(WalError),
+    /// Recovery (journal replay or snapshot restore) overflowed a bounded
+    /// request queue: admitting the remainder would silently shed
+    /// durably-acked requests, so the service refuses to start. Restart
+    /// with a queue capacity at least as large as the crashed process
+    /// used.
+    ReplayOverflow {
+        /// The shard whose restored queue is full.
+        shard: usize,
+        /// The configured capacity that was exceeded.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -63,6 +74,12 @@ impl std::fmt::Display for ServeError {
             ServeError::Io(why) => write!(f, "i/o error: {why}"),
             ServeError::BadConfig(what) => write!(f, "bad service config: {what}"),
             ServeError::Wal(e) => write!(f, "ingest journal failed: {e}"),
+            ServeError::ReplayOverflow { shard, capacity } => write!(
+                f,
+                "recovery would shed acked requests: shard {shard}'s restored queue \
+                 exceeds its capacity of {capacity}; restart with at least the \
+                 crashed process's queue capacity"
+            ),
         }
     }
 }

@@ -77,6 +77,23 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// How many of `n` back-to-back offers made right now would be
+    /// admitted: limited by the free room under [`ShedPolicy::DropNewest`],
+    /// all of them (by eviction) under [`ShedPolicy::DropOldest`]. Only
+    /// meaningful while the caller serializes pushes externally;
+    /// concurrent drains can only make room, never take it.
+    pub fn admittable(&self, n: usize) -> usize {
+        match self.policy {
+            ShedPolicy::DropOldest => n,
+            ShedPolicy::DropNewest => self.capacity.saturating_sub(self.lock().len()).min(n),
+        }
+    }
+
+    /// The hard capacity the queue was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Takes every queued event, oldest first.
     pub fn drain(&self) -> Vec<T> {
         self.lock().drain(..).collect()

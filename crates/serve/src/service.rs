@@ -400,8 +400,16 @@ impl DispatchService {
             }
             // Replay bypasses journaling and fault injection: the record
             // is already durable and the fault schedule already fired for
-            // it in the run that journaled it.
-            self.request_queues[rec.shard].push(rec.spec);
+            // it in the run that journaled it. Every journaled record was
+            // admitted (and acked) by the crashed process, so an overflow
+            // here means the queue capacity shrank across the restart —
+            // refuse rather than silently shed a durable request.
+            if !self.request_queues[rec.shard].push(rec.spec) {
+                return Err(ServeError::ReplayOverflow {
+                    shard: rec.shard,
+                    capacity: self.request_queues[rec.shard].capacity(),
+                });
+            }
             replayed += 1;
         }
         wal.note_replayed(replayed);
@@ -420,16 +428,36 @@ impl DispatchService {
         Ok(())
     }
 
-    /// Journals a batch of push attempts for `shard`, then reports whether
-    /// journaling happened at all (false when no journal is configured).
+    /// Journals a batch of admitted offers for `shard` under an
+    /// already-held journal lock. Callers must complete the matching
+    /// queue pushes *before releasing `guard`*: [`snapshot`] captures
+    /// the high-water mark and the queue contents in one journal
+    /// critical section, so journal-and-push must be atomic with
+    /// respect to it — a record at `seq <= hwm` is always visible to
+    /// the queue capture, a record past it never is.
     ///
-    /// One injected WAL fault is drawn per call, so a duplicate-fault
-    /// double push journals as a single group commit under one draw.
-    fn journal(&self, shard: usize, specs: &[RequestSpec]) -> Result<(), ServeError> {
-        let mut guard = lock(&self.wal);
+    /// Only offers the bounded queue will actually admit may be passed
+    /// in: a journaled record means "admitted and about to be acked",
+    /// or recovery would replay requests no client was ever acked for.
+    ///
+    /// One injected WAL fault is drawn per call with a non-empty batch,
+    /// so a duplicate-fault double push journals as a single group
+    /// commit under one draw (and a shed offer, which never reaches the
+    /// journal, draws nothing).
+    ///
+    /// [`snapshot`]: DispatchService::snapshot
+    fn journal_locked(
+        &self,
+        guard: &mut MutexGuard<'_, Option<Wal>>,
+        shard: usize,
+        specs: &[RequestSpec],
+    ) -> Result<(), ServeError> {
         let Some(wal) = guard.as_mut() else {
             return Ok(());
         };
+        if specs.is_empty() {
+            return Ok(());
+        }
         let clock_ms = self.clock.now_ms();
         let entries: Vec<WalEntry> = specs
             .iter()
@@ -472,12 +500,27 @@ impl DispatchService {
         Ok(())
     }
 
-    /// Journals then pushes one request: the queue only sees specs the
-    /// journal already holds, so `Ok(true)` here means the request
-    /// survives a process kill.
+    /// Journals then pushes one request, atomically with respect to
+    /// [`snapshot`]: the queue only sees specs the journal already
+    /// holds, so `Ok(true)` here means the request survives a process
+    /// kill. A full queue sheds *before* journaling — `Ok(false)` means
+    /// the offer left no durable trace, so a recovery never replays a
+    /// request whose client got a NACK (and a shed-then-retried offer
+    /// is journaled exactly once, on the attempt that is admitted).
+    ///
+    /// The journal lock is held across the push; it serializes every
+    /// journaled push, which is what makes the shed check race-free
+    /// (concurrent epoch drains only ever make room).
+    ///
+    /// [`snapshot`]: DispatchService::snapshot
     fn journal_push(&self, shard: usize, spec: RequestSpec) -> Result<bool, ServeError> {
-        self.journal(shard, &[spec])?;
-        Ok(self.request_queues[shard].push(spec))
+        let mut guard = lock(&self.wal);
+        let q = &self.request_queues[shard];
+        if q.admittable(1) == 0 {
+            return Ok(q.push(spec));
+        }
+        self.journal_locked(&mut guard, shard, &[spec])?;
+        Ok(q.push(spec))
     }
 
     /// Flushes the journal when the fsync policy is `Epoch`; called at
@@ -992,9 +1035,13 @@ impl DispatchService {
                     }
                     Some(IngestFault::Duplicate) => {
                         // Both push attempts journal as one group commit
-                        // (and one injected-wal-fault draw).
-                        self.journal(shard, &[spec, spec])?;
+                        // (and one injected-wal-fault draw) — but only
+                        // the copies the bounded queue has room to admit;
+                        // a shed copy must leave no durable trace.
+                        let mut guard = lock(&self.wal);
                         let q = &self.request_queues[shard];
+                        let room = q.admittable(2);
+                        self.journal_locked(&mut guard, shard, &[spec, spec][..room])?;
                         let first = q.push(spec);
                         let _ = q.push(spec);
                         Ok(first)
@@ -1049,10 +1096,24 @@ impl DispatchService {
         let mut pending = Vec::with_capacity(delayed.len());
         for d in delayed.drain(..) {
             if d.release_epoch <= epoch {
-                // Journal at release time; if journaling fails the request
+                // Journal at release time, atomically with the push (like
+                // every journaled push); if journaling fails the request
                 // stays pending for the next boundary instead of being
-                // silently lost.
-                if let Err(err) = self.journal(d.shard, &[d.spec]) {
+                // silently lost, and a shed release is never journaled.
+                let released = {
+                    let mut guard = lock(&self.wal);
+                    let q = &self.request_queues[d.shard];
+                    if q.admittable(1) == 0 {
+                        let _ = q.push(d.spec);
+                        Ok(())
+                    } else {
+                        self.journal_locked(&mut guard, d.shard, &[d.spec])
+                            .map(|()| {
+                                let _ = q.push(d.spec);
+                            })
+                    }
+                };
+                if let Err(err) = released {
                     self.obs.events().log(
                         Level::Warn,
                         epoch,
@@ -1062,7 +1123,6 @@ impl DispatchService {
                     pending.push(d);
                     continue;
                 }
-                self.request_queues[d.shard].push(d.spec);
                 if let Some(injector) = &self.config.faults {
                     injector.note_delay_released();
                 }
@@ -1598,20 +1658,34 @@ impl DispatchService {
     pub fn snapshot(&self) -> Result<String, ServeError> {
         let ts = ClockTimeSource(Arc::clone(&self.clock));
         let _span = self.snapshot_hist.time(&ts);
-        // Fetch the journal high-water mark before taking the state lock
-        // (wal and state locks are never held together). Everything this
-        // snapshot captures was journaled at or below this sequence, so a
-        // restore replays strictly past it.
-        let wal_hwm = {
+        // Capture the journal high-water mark AND the queue contents in
+        // ONE journal critical section, before taking the state lock (wal
+        // and state locks are never held together). Every journaled push
+        // holds the wal lock across its queue push, so a record at
+        // `seq <= hwm` is already visible to this capture and a record
+        // past the mark never is — exactly the invariant a restore's
+        // replay-strictly-past-hwm depends on. Capturing them in separate
+        // critical sections would let a concurrent listener thread slip a
+        // push between them, losing (or duplicating) an acked request
+        // across a crash-restore.
+        let (wal_hwm, rqueue_text) = {
             let mut guard = lock(&self.wal);
-            match guard.as_mut() {
+            let hwm = match guard.as_mut() {
                 Some(wal) => {
                     let hwm = wal.last_seq();
                     wal.mark_snapshot(hwm);
                     hwm
                 }
                 None => 0,
+            };
+            let mut rq = String::new();
+            for (i, q) in self.request_queues.iter().enumerate() {
+                let _ = writeln!(rq, "rqueue {i} {} {}", q.accepted(), q.shed());
+                for spec in q.peek_all() {
+                    let _ = writeln!(rq, "queued {i} {} {}", spec.appear_s, spec.segment.0);
+                }
             }
+            (hwm, rq)
         };
         let mut out = String::from("mrserve 1\n");
         {
@@ -1705,12 +1779,7 @@ impl DispatchService {
         if let Some(slot) = lock(&self.trainer).as_ref() {
             write_text_block(&mut out, "tstate", &slot.trainer.snapshot_text());
         }
-        for (i, q) in self.request_queues.iter().enumerate() {
-            let _ = writeln!(out, "rqueue {i} {} {}", q.accepted(), q.shed());
-            for spec in q.peek_all() {
-                let _ = writeln!(out, "queued {i} {} {}", spec.appear_s, spec.segment.0);
-            }
-        }
+        out.push_str(&rqueue_text);
         for event in self.advisories.peek_all() {
             match event {
                 Event::Weather {
@@ -1946,7 +2015,16 @@ impl DispatchService {
                         .and_then(|t| t.parse().ok())
                         .map(SegmentId)
                         .ok_or_else(|| bad("bad queued segment"))?;
-                    svc.request_queues[i].push(RequestSpec { appear_s, segment });
+                    // A `queued` record was admitted (and acked) by the
+                    // snapshotted process; overflow means the capacity
+                    // shrank across the restart — refuse rather than
+                    // silently shed it.
+                    if !svc.request_queues[i].push(RequestSpec { appear_s, segment }) {
+                        return Err(ServeError::ReplayOverflow {
+                            shard: i,
+                            capacity: svc.request_queues[i].capacity(),
+                        });
+                    }
                 }
                 "adv" => match p.next() {
                     Some("w") => {

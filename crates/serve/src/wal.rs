@@ -237,6 +237,14 @@ fn io_err(path: &Path, e: std::io::Error) -> WalError {
     }
 }
 
+/// Fsyncs the journal directory itself, making segment creations and
+/// deletions durable: without this a freshly rotated segment's directory
+/// entry can vanish on power loss even though its data was fdatasync'd.
+fn sync_dir(dir: &Path) -> Result<(), WalError> {
+    let d = File::open(dir).map_err(|e| io_err(dir, e))?;
+    d.sync_all().map_err(|e| io_err(dir, e))
+}
+
 fn record_body(seq: u64, clock_ms: u64, shard: usize, spec: &RequestSpec) -> String {
     format!(
         "rec {seq} {clock_ms} {shard} {} {}",
@@ -270,9 +278,12 @@ fn parse_record(line: &str, expected_seq: u64) -> Result<(u64, usize, RequestSpe
     };
     let seq = next("seq")?;
     let clock_ms = next("clock")?;
-    let shard = next("shard")? as usize;
-    let appear_s = next("appear_s")? as u32;
-    let segment = SegmentId(next("segment")? as u32);
+    let shard = usize::try_from(next("shard")?).map_err(|_| "shard field overflows".to_owned())?;
+    let appear_s =
+        u32::try_from(next("appear_s")?).map_err(|_| "appear_s field overflows".to_owned())?;
+    let segment = SegmentId(
+        u32::try_from(next("segment")?).map_err(|_| "segment field overflows".to_owned())?,
+    );
     if seq != expected_seq {
         return Err(format!(
             "sequence gap: found {seq}, expected {expected_seq}"
@@ -354,6 +365,7 @@ impl Wal {
         if fresh {
             file.write_all(format!("{HEADER_PREFIX}1\n").as_bytes())
                 .map_err(|e| io_err(&seg_path, e))?;
+            sync_dir(&cfg.dir)?;
         }
         let seg_bytes = file
             .seek(SeekFrom::End(0))
@@ -478,6 +490,9 @@ impl Wal {
             std::fs::remove_file(&seg.path).map_err(|e| io_err(&seg.path, e))?;
             removed += 1;
         }
+        if removed > 0 {
+            sync_dir(&self.cfg.dir)?;
+        }
         Ok(removed)
     }
 
@@ -583,6 +598,7 @@ impl Wal {
         let header = format!("{HEADER_PREFIX}{start}\n");
         file.write_all(header.as_bytes())
             .map_err(|e| io_err(&path, e))?;
+        sync_dir(&self.cfg.dir)?;
         self.seg_bytes = header.len() as u64;
         self.file = file;
         self.segments.push(Segment {
